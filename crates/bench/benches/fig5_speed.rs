@@ -1,0 +1,25 @@
+//! Criterion bench behind Fig. 5: host cost of running each simulator
+//! configuration on a reduced workload (the figure itself is printed by
+//! `--bin fig5` from simulated clock counts).
+
+use cabt_core::DetailLevel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_speed");
+    g.sample_size(10);
+    let w = cabt_workloads::gcd(4, 1);
+    g.bench_function("golden_gcd", |b| {
+        b.iter(|| black_box(cabt_bench::run_golden(&w)))
+    });
+    for level in [DetailLevel::Functional, DetailLevel::Static, DetailLevel::Cache] {
+        g.bench_function(format!("translated_gcd_{level}"), |b| {
+            b.iter(|| black_box(cabt_bench::run_translated(&w, level)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench behind Fig. 6: cost of the accuracy measurement
+//! (golden run + three translated runs) on a reduced workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_accuracy");
+    g.sample_size(10);
+    let set = vec![cabt_workloads::fir(4, 32, 5)];
+    g.bench_function("fig6_fir_small", |b| {
+        b.iter(|| black_box(cabt_bench::fig6(&set)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench behind Table 2: per-instruction cost of the three
+//! execution vehicles (RTL model, golden model, translated-on-VLIW).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_runtime");
+    g.sample_size(10);
+    let w = cabt_workloads::fibonacci(5, 12);
+    let elf = w.elf().expect("assembles");
+    g.bench_function("rtl_core", |b| {
+        b.iter(|| {
+            let mut core = cabt_rtlsim::RtlCore::new(&elf).expect("elaborates");
+            core.run(1_000_000).expect("halts");
+            black_box(core.cycles())
+        })
+    });
+    g.bench_function("golden_model", |b| {
+        b.iter(|| black_box(cabt_bench::run_golden(&w)))
+    });
+    g.bench_function("translated_static", |b| {
+        b.iter(|| black_box(cabt_bench::run_translated(&w, cabt_core::DetailLevel::Static)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 5: comparison of speed (million source instructions
+//! per second) across the five configurations.
+
+fn main() {
+    let rows = cabt_bench::fig5(&cabt_workloads::fig5_set());
+    println!("Figure 5 — Comparison of speed (MIPS)");
+    println!(
+        "{:<10} {:>12} {:>16} {:>16} {:>16} {:>12}",
+        "program", "TC10GP", "C6x w/o cycle", "C6x cycle", "C6x branch", "C6x cache"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>12.2} {:>16.2} {:>16.2} {:>16.2} {:>12.2}",
+            r.name, r.board, r.functional, r.cycle, r.branch, r.cache
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Fig. 6: comparison of cycle accuracy — generated cycle
+//! counts per detail level against the measured (golden-model) counts.
+
+fn main() {
+    let rows = cabt_bench::fig6(&cabt_workloads::fig5_set());
+    println!("Figure 6 — Comparison of cycle accuracy (cycles; deviation vs measured)");
+    println!(
+        "{:<10} {:>12} {:>20} {:>20} {:>20}",
+        "program", "measured", "cycle (dev %)", "branch (dev %)", "cache (dev %)"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>12} {:>13} ({:>4.1}%) {:>13} ({:>4.1}%) {:>13} ({:>4.1}%)",
+            r.name,
+            r.measured,
+            r.cycle,
+            r.deviation(r.cycle),
+            r.branch,
+            r.deviation(r.branch),
+            r.cache,
+            r.deviation(r.cache),
+        );
+    }
+    let max_bp = rows.iter().map(|r| r.deviation(r.branch)).fold(0.0f64, f64::max);
+    let min_bp = rows.iter().map(|r| r.deviation(r.branch)).fold(f64::MAX, f64::min);
+    println!("\nbranch-prediction deviation range: {min_bp:.1}% .. {max_bp:.1}% (paper: 3% .. 15%)");
+}

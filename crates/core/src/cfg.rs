@@ -1,0 +1,281 @@
+//! Intermediate code construction and basic-block building (the first
+//! two grey boxes of the paper's Fig. 1).
+//!
+//! The object code is decoded into a list of intermediate instructions
+//! (each carrying its original address), then partitioned into basic
+//! blocks: leaders are the program entry, every direct branch target,
+//! every instruction following a control transfer, and every symbol of
+//! type `Func` in the ELF symbol table (so that indirectly reached
+//! routines are block-aligned).
+
+use crate::{Granularity, TranslateError};
+use cabt_isa::elf::{ElfFile, SectionKind, SymbolKind};
+use cabt_tricore::encode::decode_section;
+use cabt_tricore::isa::Instr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One intermediate instruction: the decoded source instruction plus its
+/// original address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrInstr {
+    /// Address in the source program.
+    pub addr: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+}
+
+/// A basic block of the source program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Index of this block in [`Cfg::blocks`].
+    pub id: usize,
+    /// Address of the first instruction.
+    pub start: u32,
+    /// Address one past the last instruction.
+    pub end: u32,
+    /// The instructions of the block in program order.
+    pub instrs: Vec<IrInstr>,
+}
+
+impl Block {
+    /// The control-transfer instruction terminating the block, if the
+    /// block ends in one (otherwise the block falls through).
+    pub fn terminator(&self) -> Option<&IrInstr> {
+        self.instrs.last().filter(|i| i.instr.is_control())
+    }
+}
+
+/// The control-flow graph: blocks in ascending address order.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks in ascending start-address order.
+    pub blocks: Vec<Block>,
+    /// Program entry address.
+    pub entry: u32,
+    block_of_addr: BTreeMap<u32, usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG for the `.text` section of `elf`.
+    ///
+    /// With [`Granularity::PerInstruction`] every instruction becomes its
+    /// own block (the debug translation of §3.5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError`] if the image has no text section, uses
+    /// the wrong machine number, fails to decode, or contains a direct
+    /// branch out of the program.
+    pub fn build(elf: &ElfFile, granularity: Granularity) -> Result<Self, TranslateError> {
+        if elf.machine != cabt_isa::elf::EM_TRICORE {
+            return Err(TranslateError::WrongMachine { found: elf.machine });
+        }
+        let mut program: Vec<IrInstr> = Vec::new();
+        let mut any_text = false;
+        for s in &elf.sections {
+            if s.kind == SectionKind::Text {
+                any_text = true;
+                let decoded = decode_section(s.addr, &s.data)
+                    .map_err(|_| TranslateError::Decode { addr: s.addr })?;
+                program.extend(decoded.into_iter().map(|(addr, instr)| IrInstr { addr, instr }));
+            }
+        }
+        if !any_text {
+            return Err(TranslateError::NoText);
+        }
+        program.sort_by_key(|i| i.addr);
+
+        let addrs: BTreeSet<u32> = program.iter().map(|i| i.addr).collect();
+        let mut leaders: BTreeSet<u32> = BTreeSet::new();
+        leaders.insert(elf.entry);
+
+        for ir in &program {
+            if granularity == Granularity::PerInstruction {
+                leaders.insert(ir.addr);
+            }
+            if ir.instr.is_control() {
+                if let Some(t) = ir.instr.target(ir.addr) {
+                    if !addrs.contains(&t) {
+                        return Err(TranslateError::BadBranchTarget { from: ir.addr, to: t });
+                    }
+                    leaders.insert(t);
+                }
+                // The instruction after any control transfer starts a block.
+                leaders.insert(ir.addr + ir.instr.size());
+            }
+        }
+        for sym in &elf.symbols {
+            if sym.kind == SymbolKind::Func && addrs.contains(&sym.value) {
+                leaders.insert(sym.value);
+            }
+        }
+
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of_addr = BTreeMap::new();
+        let mut current: Vec<IrInstr> = Vec::new();
+        let flush = |current: &mut Vec<IrInstr>, blocks: &mut Vec<Block>| {
+            if let (Some(first), Some(last)) = (current.first(), current.last()) {
+                blocks.push(Block {
+                    id: blocks.len(),
+                    start: first.addr,
+                    end: last.addr + last.instr.size(),
+                    instrs: std::mem::take(current),
+                });
+            }
+        };
+        for ir in &program {
+            if leaders.contains(&ir.addr) {
+                flush(&mut current, &mut blocks);
+            }
+            current.push(*ir);
+            if ir.instr.is_control() {
+                flush(&mut current, &mut blocks);
+            }
+        }
+        flush(&mut current, &mut blocks);
+
+        for b in &blocks {
+            block_of_addr.insert(b.start, b.id);
+        }
+        Ok(Cfg { blocks, entry: elf.entry, block_of_addr })
+    }
+
+    /// The block starting exactly at `addr`.
+    pub fn block_at(&self, addr: u32) -> Option<&Block> {
+        self.block_of_addr.get(&addr).map(|&i| &self.blocks[i])
+    }
+
+    /// The block containing `addr`.
+    pub fn block_containing(&self, addr: u32) -> Option<&Block> {
+        self.block_of_addr
+            .range(..=addr)
+            .next_back()
+            .map(|(_, &i)| &self.blocks[i])
+            .filter(|b| addr < b.end)
+    }
+
+    /// Total number of source instructions.
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cabt_tricore::asm::assemble;
+
+    fn cfg(src: &str) -> Cfg {
+        Cfg::build(&assemble(src).unwrap(), Granularity::BasicBlock).unwrap()
+    }
+
+    #[test]
+    fn straightline_is_one_block() {
+        let g = cfg(".text\n_start: mov %d0, 1\nmov %d1, 2\ndebug\n");
+        assert_eq!(g.blocks.len(), 1);
+        assert_eq!(g.blocks[0].instrs.len(), 3);
+        assert!(g.blocks[0].terminator().is_some());
+    }
+
+    #[test]
+    fn branch_target_and_fallthrough_start_blocks() {
+        let g = cfg("
+            .text
+        _start:
+            mov %d0, 5
+        top:
+            addi %d0, %d0, -1
+            jnz %d0, top
+            debug
+        ");
+        // Blocks: [_start..top), [top..jnz], [debug]
+        assert_eq!(g.blocks.len(), 3);
+        assert_eq!(g.blocks[1].instrs.len(), 2);
+        assert!(g.block_at(g.blocks[1].start).is_some());
+    }
+
+    #[test]
+    fn call_splits_blocks_and_function_symbols_lead() {
+        let g = cfg("
+            .text
+        _start:
+            call f
+            debug
+        f:
+            mov %d1, 1
+            ret
+        ");
+        assert_eq!(g.blocks.len(), 3);
+        // f is a leader via both the call target and the Func symbol.
+        let f_block = g.blocks.iter().find(|b| b.instrs.len() == 2).unwrap();
+        assert!(matches!(f_block.terminator().unwrap().instr, Instr::Ret16));
+    }
+
+    #[test]
+    fn per_instruction_granularity_splits_everything() {
+        let src = ".text\n_start: mov %d0, 1\nmov %d1, 2\nadd %d0, %d1\ndebug\n";
+        let bb = Cfg::build(&assemble(src).unwrap(), Granularity::BasicBlock).unwrap();
+        let pi = Cfg::build(&assemble(src).unwrap(), Granularity::PerInstruction).unwrap();
+        assert_eq!(bb.blocks.len(), 1);
+        assert_eq!(pi.blocks.len(), 4);
+        assert_eq!(pi.instr_count(), bb.instr_count());
+    }
+
+    #[test]
+    fn block_containing_finds_interior_addresses() {
+        let g = cfg(".text\n_start: mov %d0, 1\nmov %d1, 2\ndebug\n");
+        let b = &g.blocks[0];
+        let second = b.instrs[1].addr;
+        assert_eq!(g.block_containing(second).unwrap().id, b.id);
+        assert!(g.block_containing(b.end).is_none());
+    }
+
+    #[test]
+    fn rejects_branch_outside_program() {
+        let elf = assemble(".text\n_start: j _start\n").unwrap();
+        // Corrupt: re-assemble with a jump to a bogus absolute address.
+        let bad = assemble(".text\n_start: j 0x80001000\nnop\n");
+        // 0x80001000 is beyond this two-instruction program.
+        let elf2 = bad.unwrap();
+        assert!(matches!(
+            Cfg::build(&elf2, Granularity::BasicBlock),
+            Err(TranslateError::BadBranchTarget { .. })
+        ));
+        drop(elf);
+    }
+
+    #[test]
+    fn rejects_wrong_machine() {
+        let mut elf = assemble(".text\n_start: debug\n").unwrap();
+        elf.machine = 999;
+        assert!(matches!(
+            Cfg::build(&elf, Granularity::BasicBlock),
+            Err(TranslateError::WrongMachine { found: 999 })
+        ));
+    }
+
+    #[test]
+    fn rejects_no_text() {
+        let elf = cabt_isa::elf::ElfFile::new(cabt_isa::elf::EM_TRICORE, 0);
+        assert!(matches!(
+            Cfg::build(&elf, Granularity::BasicBlock),
+            Err(TranslateError::NoText)
+        ));
+    }
+
+    #[test]
+    fn loop_instruction_terminates_block() {
+        let g = cfg("
+            .text
+        _start:
+            mov %d0, 3
+            mov.a %a2, %d0
+        body:
+            nop
+            loop %a2, body
+            debug
+        ");
+        let body = g.block_at(g.blocks[1].start).unwrap();
+        assert!(matches!(body.terminator().unwrap().instr, Instr::Loop { .. }));
+    }
+}

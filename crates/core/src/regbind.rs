@@ -1,0 +1,175 @@
+//! Register binding: how source registers and translator-internal state
+//! map onto the 64 target registers.
+//!
+//! The paper's "register binding" step assigns every source register a
+//! home in the target register files. We use a fixed binding (the source
+//! has 32 registers, the target 64, so no spilling is ever needed):
+//!
+//! | Target | Meaning |
+//! |---|---|
+//! | `A16..A31` | source data registers `d0..d15` |
+//! | `B16..B31` | source address registers `a0..a15` |
+//! | `A0..A2`, `B0..B2` | condition (predicate) registers |
+//! | `A3..A15` | expansion temporaries (rotating pool) |
+//! | `B3` | synchronization-device base address |
+//! | `B4` | cycle correction counter (§3.4 of the paper) |
+//! | `B5` | simulated-cache data base address |
+//! | `B6` | return address for the cache correction subroutine |
+//! | `B7` | temporary inside the cache subroutine |
+//! | `B8` | constant 0 |
+//! | `B9` | constant 1 |
+//! | `B10..B15` | expansion temporaries (rotating pool) |
+
+use cabt_tricore::isa::{AReg, DReg};
+use cabt_vliw::isa::Reg;
+
+/// Target home of source data register `d`.
+pub fn dreg(d: DReg) -> Reg {
+    Reg::a(16 + d.0)
+}
+
+/// Target home of source address register `a`.
+pub fn areg(a: AReg) -> Reg {
+    Reg::b(16 + a.0)
+}
+
+/// Synchronization-device base address register.
+pub const SYNC_BASE_REG: Reg = Reg::b(3);
+
+/// Cycle correction counter (the paper's dynamic correction cycles
+/// accumulate here).
+pub const CORR_REG: Reg = Reg::b(4);
+
+/// Base address of the simulated cache's tag/valid/LRU array.
+pub const CACHE_BASE_REG: Reg = Reg::b(5);
+
+/// Return-address register for the cache correction subroutine.
+pub const CACHE_RET_REG: Reg = Reg::b(6);
+
+/// Scratch register reserved for the cache correction subroutine.
+pub const CACHE_TMP_REG: Reg = Reg::b(7);
+
+/// Register holding constant 0.
+pub const ZERO_REG: Reg = Reg::b(8);
+
+/// Register holding constant 1.
+pub const ONE_REG: Reg = Reg::b(9);
+
+/// Argument register: cache-analysis-block tag (with valid bit).
+pub const CACHE_ARG_TAG: Reg = Reg::a(4);
+
+/// Argument register: cache-analysis-block set index.
+pub const CACHE_ARG_SET: Reg = Reg::a(5);
+
+/// A rotating pool of expansion temporaries. Rotation (rather than a
+/// single scratch register) avoids false dependences between adjacent
+/// expansions, which would otherwise serialize the dual-issue packing.
+#[derive(Debug, Clone)]
+pub struct TempAlloc {
+    a_next: u8,
+    b_next: u8,
+}
+
+/// A-file temporaries available to expansions (A6..A15; A3..A5 are
+/// reserved for cache-subroutine arguments and address scratch).
+const A_POOL: std::ops::Range<u8> = 6..16;
+/// B-file temporaries available to expansions.
+const B_POOL: std::ops::Range<u8> = 10..16;
+
+impl Default for TempAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TempAlloc {
+    /// A fresh rotating allocator.
+    pub fn new() -> Self {
+        TempAlloc { a_next: A_POOL.start, b_next: B_POOL.start }
+    }
+
+    /// Next A-file temporary.
+    pub fn a(&mut self) -> Reg {
+        let r = Reg::a(self.a_next);
+        self.a_next += 1;
+        if self.a_next >= A_POOL.end {
+            self.a_next = A_POOL.start;
+        }
+        r
+    }
+
+    /// Next B-file temporary.
+    pub fn b(&mut self) -> Reg {
+        let r = Reg::b(self.b_next);
+        self.b_next += 1;
+        if self.b_next >= B_POOL.end {
+            self.b_next = B_POOL.start;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_registers_map_into_upper_halves() {
+        assert_eq!(dreg(DReg(0)), Reg::a(16));
+        assert_eq!(dreg(DReg(15)), Reg::a(31));
+        assert_eq!(areg(AReg(0)), Reg::b(16));
+        assert_eq!(areg(AReg(11)), Reg::b(27)); // return-address register
+    }
+
+    #[test]
+    fn reserved_registers_are_where_documented() {
+        assert_eq!(SYNC_BASE_REG, Reg::b(3));
+        assert_eq!(CORR_REG, Reg::b(4));
+        assert_eq!(CACHE_BASE_REG, Reg::b(5));
+        assert_eq!(CACHE_RET_REG, Reg::b(6));
+        assert_eq!(CACHE_TMP_REG, Reg::b(7));
+        assert_eq!(ZERO_REG, Reg::b(8));
+        assert_eq!(ONE_REG, Reg::b(9));
+        assert_eq!(CACHE_ARG_TAG, Reg::a(4));
+        assert_eq!(CACHE_ARG_SET, Reg::a(5));
+    }
+
+    #[test]
+    fn reserved_registers_never_collide_with_bindings() {
+        let reserved = [
+            SYNC_BASE_REG,
+            CORR_REG,
+            CACHE_BASE_REG,
+            CACHE_RET_REG,
+            CACHE_TMP_REG,
+            ZERO_REG,
+            ONE_REG,
+            CACHE_ARG_TAG,
+            CACHE_ARG_SET,
+        ];
+        for i in 0..16u8 {
+            assert!(!reserved.contains(&dreg(DReg(i))));
+            assert!(!reserved.contains(&areg(AReg(i))));
+        }
+    }
+
+    #[test]
+    fn temp_pool_rotates_without_touching_reserved() {
+        let mut t = TempAlloc::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let a = t.a();
+            let b = t.b();
+            assert!(a.is_a_file());
+            assert!(!b.is_a_file());
+            assert_ne!(a, CACHE_ARG_TAG);
+            assert_ne!(a, CACHE_ARG_SET);
+            assert_ne!(b, SYNC_BASE_REG);
+            assert_ne!(b, ZERO_REG);
+            assert_ne!(b, ONE_REG);
+            seen.insert(a);
+            seen.insert(b);
+        }
+        assert!(seen.len() >= 10, "pool actually rotates");
+    }
+}

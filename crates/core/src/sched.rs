@@ -1,0 +1,543 @@
+//! Packing of target operations into execute packets ("further
+//! transformations of the intermediate code": parallelization,
+//! functional-unit assignment, and NOP padding for delay slots).
+//!
+//! The scheduler consumes a linear stream of [`Item`]s — target
+//! operations interleaved with [`Item::Label`] markers for branch targets
+//! — and produces rows of slots (proto execute packets). Placement is
+//! *monotonic tail packing*: each operation either joins the youngest row
+//! (when its operands are ready, a legal unit is free, and no same-row
+//! hazard exists) or opens a new row, with multi-cycle NOP rows inserted
+//! to cover load/multiply delay slots. This reproduces the paper's
+//! observation that "on the average about two or three C6x instructions
+//! can be executed in parallel" for translated code.
+//!
+//! Memory ordering: stores and *volatile* operations (accesses to the
+//! synchronization device and the SoC-bus adapter) are strictly ordered
+//! against all other memory operations; plain loads may share a row with
+//! other loads.
+
+use crate::TranslateError;
+use cabt_vliw::isa::{Op, Packet, Pred, Slot, Unit};
+
+/// Relocation applied after layout assigns packet addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixupKind {
+    /// Patch a `B` displacement to reach the label.
+    Branch,
+    /// Patch an `Mvk` immediate with the low half of the label address.
+    MvkLo,
+    /// Patch an `Mvkh` immediate with the high half of the label address.
+    MvkHi,
+}
+
+/// One target operation awaiting scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TOp {
+    /// Optional predicate guard.
+    pub pred: Option<Pred>,
+    /// The operation (displacements/immediates may be placeholders if
+    /// `fixup` is set).
+    pub op: Op,
+    /// Post-layout relocation against a label.
+    pub fixup: Option<(FixupKind, usize)>,
+    /// Strictly ordered against all memory operations (device accesses).
+    pub volatile: bool,
+}
+
+impl TOp {
+    /// A plain operation.
+    pub fn new(op: Op) -> Self {
+        TOp { pred: None, op, fixup: None, volatile: false }
+    }
+
+    /// A predicated operation.
+    pub fn when(pred: Pred, op: Op) -> Self {
+        TOp { pred: Some(pred), op, fixup: None, volatile: false }
+    }
+
+    /// Marks the operation as a device access with program order.
+    pub fn volatile(mut self) -> Self {
+        self.volatile = true;
+        self
+    }
+
+    /// Attaches a layout fixup.
+    pub fn with_fixup(mut self, kind: FixupKind, label: usize) -> Self {
+        self.fixup = Some((kind, label));
+        self
+    }
+}
+
+/// Scheduler input: operations and branch-target markers.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// A target operation.
+    Op(TOp),
+    /// A branch-target label: the next operation starts a new packet and
+    /// the label resolves to that packet's address.
+    Label(usize),
+}
+
+/// Scheduler output: proto-packets (rows) plus label and fixup tables.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    /// Rows of slots; each row becomes one execute packet.
+    pub rows: Vec<Vec<Slot>>,
+    /// Label → row index.
+    pub labels: std::collections::HashMap<usize, usize>,
+    /// `(row, slot, kind, label)` relocations.
+    pub fixups: Vec<(usize, usize, FixupKind, usize)>,
+}
+
+impl Schedule {
+    /// Lays the rows out as packets starting at `base`, returning the
+    /// packets and the byte address of each row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError::Sched`] if a row violates the packet
+    /// rules (a scheduler bug).
+    pub fn layout(&self, base: u32) -> Result<(Vec<Packet>, Vec<u32>), TranslateError> {
+        let mut packets = Vec::with_capacity(self.rows.len());
+        let mut addrs = Vec::with_capacity(self.rows.len());
+        let mut cur = base;
+        for row in &self.rows {
+            let mut p = Packet::at(cur);
+            for s in row {
+                p.push(*s).map_err(|e| TranslateError::Sched(e.to_string()))?;
+            }
+            addrs.push(cur);
+            cur += p.size();
+            packets.push(p);
+        }
+        Ok((packets, addrs))
+    }
+}
+
+/// Total issue cycles of a row (multi-cycle NOPs count their length).
+fn row_issue_cycles(row: &[Slot]) -> u64 {
+    match row.first() {
+        Some(Slot { op: Op::Nop { count }, .. }) if row.len() == 1 => *count as u64,
+        _ => 1,
+    }
+}
+
+/// The monotonic tail-packing scheduler.
+#[derive(Debug)]
+pub struct Scheduler {
+    rows: Vec<Vec<Slot>>,
+    /// Issue cycle of each row.
+    row_cycle: Vec<u64>,
+    /// Cycle at which each register's value is available.
+    ready: [u64; 64],
+    /// Earliest cycle for the next load (after the last store/volatile).
+    load_barrier: u64,
+    /// Earliest cycle for the next store/volatile (after every memory op).
+    store_barrier: u64,
+    /// Force the next operation into a fresh row (after a label).
+    force_new: bool,
+    pending_labels: Vec<usize>,
+    schedule: Schedule,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        Scheduler {
+            rows: Vec::new(),
+            row_cycle: Vec::new(),
+            ready: [0; 64],
+            load_barrier: 0,
+            store_barrier: 0,
+            force_new: false,
+            pending_labels: Vec::new(),
+            schedule: Schedule::default(),
+        }
+    }
+
+    /// Cycle at which the next new row would issue.
+    fn next_cycle(&self) -> u64 {
+        match (self.rows.last(), self.row_cycle.last()) {
+            (Some(r), Some(&c)) => c + row_issue_cycles(r),
+            _ => 0,
+        }
+    }
+
+    /// Feeds one item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError::Sched`] if an operation has no legal
+    /// unit (a translator bug).
+    pub fn push(&mut self, item: Item) -> Result<(), TranslateError> {
+        match item {
+            Item::Label(l) => {
+                self.force_new = true;
+                self.pending_labels.push(l);
+                Ok(())
+            }
+            Item::Op(t) => self.place(t),
+        }
+    }
+
+    fn place(&mut self, t: TOp) -> Result<(), TranslateError> {
+        let is_load = matches!(t.op, Op::Ld { .. });
+        let is_store = matches!(t.op, Op::St { .. });
+        let is_mem = is_load || is_store;
+        let ordered = t.volatile || is_store;
+
+        // Earliest legal cycle from operand readiness and memory order.
+        let mut earliest = 0u64;
+        for s in t.op.sources() {
+            earliest = earliest.max(self.ready[s.index()]);
+        }
+        if let Some(p) = t.pred {
+            earliest = earliest.max(self.ready[p.reg.index()]);
+        }
+        // WAW: a new write must not be overtaken by an in-flight delayed
+        // write of the same register (e.g. a pending load).
+        if let Some(d) = t.op.dest() {
+            earliest = earliest.max(self.ready[d.index()].saturating_sub(1));
+        }
+        if is_mem || t.volatile {
+            earliest = earliest.max(if ordered { self.store_barrier } else { self.load_barrier });
+        }
+
+        let multi_nop = matches!(t.op, Op::Nop { count } if count > 1);
+
+        // Try to join the tail row.
+        let tail_ok = !self.force_new
+            && !multi_nop
+            && !self.rows.is_empty()
+            && {
+                let row = self.rows.last().expect("nonempty");
+                let cycle = *self.row_cycle.last().expect("nonempty");
+                cycle >= earliest
+                    && !(row.len() == 1
+                        && matches!(row[0].op, Op::Nop { count } if count > 1))
+                    && row.len() < 8
+                    && self.free_unit(row, &t.op).is_some()
+                    && !self.same_row_hazard(row, &t)
+            };
+
+        let (row_idx, cycle) = if tail_ok {
+            let idx = self.rows.len() - 1;
+            let unit = self
+                .free_unit(&self.rows[idx], &t.op)
+                .expect("checked in tail_ok");
+            self.rows[idx].push(Slot { unit, pred: t.pred, op: t.op });
+            (idx, self.row_cycle[idx])
+        } else {
+            let mut start = self.next_cycle();
+            if earliest > start {
+                // Pad delay slots with a multi-cycle NOP row.
+                let pad = (earliest - start).min(9) as u8;
+                self.rows.push(vec![Slot::new(Unit::S1, Op::Nop { count: pad })]);
+                self.row_cycle.push(start);
+                start += pad as u64;
+                // A single NOP row of up to 9 cycles covers every delay
+                // in the ISA (max is the divider's 17 — loop if needed).
+                while earliest > start {
+                    let pad = (earliest - start).min(9) as u8;
+                    self.rows.push(vec![Slot::new(Unit::S1, Op::Nop { count: pad })]);
+                    self.row_cycle.push(start);
+                    start += pad as u64;
+                }
+            }
+            let unit = self.free_unit(&[], &t.op).ok_or_else(|| {
+                TranslateError::Sched(format!("no legal unit for {}", t.op))
+            })?;
+            self.rows.push(vec![Slot { unit, pred: t.pred, op: t.op }]);
+            self.row_cycle.push(start);
+            self.force_new = false;
+            for l in self.pending_labels.drain(..) {
+                self.schedule.labels.insert(l, self.rows.len() - 1);
+            }
+            (self.rows.len() - 1, start)
+        };
+
+        if let Some((kind, label)) = t.fixup {
+            let slot = self.rows[row_idx].len() - 1;
+            self.schedule.fixups.push((row_idx, slot, kind, label));
+        }
+
+        if let Some(d) = t.op.dest() {
+            self.ready[d.index()] = cycle + 1 + t.op.delay_slots() as u64;
+        }
+        if is_mem || t.volatile {
+            self.store_barrier = self.store_barrier.max(cycle + 1);
+            if ordered {
+                self.load_barrier = self.load_barrier.max(cycle + 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds a free unit in `row` that can execute `op`.
+    fn free_unit(&self, row: &[Slot], op: &Op) -> Option<Unit> {
+        for kind in op.legal_kinds() {
+            for unit in Unit::ALL {
+                if unit.kind() == *kind && !row.iter().any(|s| s.unit == unit) {
+                    return Some(unit);
+                }
+            }
+        }
+        None
+    }
+
+    /// True if placing `t` in `row` would create a same-row hazard:
+    /// a WAW with another slot, two ordered memory ops, a branch already
+    /// present, or a halt mixing with other work.
+    fn same_row_hazard(&self, row: &[Slot], t: &TOp) -> bool {
+        let writes_same = t.op.dest().is_some_and(|d| {
+            row.iter().any(|s| s.op.dest() == Some(d))
+        });
+        let mem_conflict = (matches!(t.op, Op::St { .. }) || t.volatile)
+            && row.iter().any(|s| matches!(s.op, Op::Ld { .. } | Op::St { .. }));
+        let second_mem_store = matches!(t.op, Op::Ld { .. })
+            && row.iter().any(|s| matches!(s.op, Op::St { .. }));
+        let branch_present = row
+            .iter()
+            .any(|s| matches!(s.op, Op::B { .. } | Op::BReg { .. } | Op::Halt));
+        let is_branchy = matches!(t.op, Op::B { .. } | Op::BReg { .. } | Op::Halt);
+        writes_same || mem_conflict || second_mem_store || (branch_present && is_branchy)
+    }
+
+    /// Pads with NOP rows until every in-flight write to an
+    /// architectural register home (`A16..A31`, `B16..B31`) has
+    /// committed. Used before `HALT` and, in the per-instruction debug
+    /// translation, at every block boundary so a stopped debugger
+    /// observes the architectural state.
+    pub fn flush_architectural(&mut self) {
+        let due = (16..32)
+            .chain(48..64)
+            .map(|i| self.ready[i])
+            .max()
+            .unwrap_or(0);
+        let mut start = self.next_cycle();
+        while due > start {
+            let pad = (due - start).min(9) as u8;
+            self.rows.push(vec![Slot::new(Unit::S1, Op::Nop { count: pad })]);
+            self.row_cycle.push(start);
+            start += pad as u64;
+        }
+        // The next operation must start its own packet: a HALT (or the
+        // next debug block) sharing the last write's cycle would stop
+        // the core before the write retires.
+        self.force_new = true;
+    }
+
+    /// Finishes scheduling and returns the rows, labels and fixups.
+    /// Labels pending at the end resolve to one-past-the-last row.
+    pub fn finish(mut self) -> Schedule {
+        for l in self.pending_labels.drain(..) {
+            self.schedule.labels.insert(l, self.rows.len());
+        }
+        self.schedule.rows = self.rows;
+        self.schedule
+    }
+
+    /// Total issue cycles of everything scheduled so far.
+    pub fn cycles(&self) -> u64 {
+        self.next_cycle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cabt_vliw::isa::Reg;
+
+    fn add(d: u8, s1: u8, s2: u8) -> TOp {
+        TOp::new(Op::Add { d: Reg::a(d), s1: Reg::a(s1), s2: Reg::a(s2) })
+    }
+
+    fn sched(items: Vec<Item>) -> Schedule {
+        let mut s = Scheduler::new();
+        for i in items {
+            s.push(i).unwrap();
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn independent_ops_pack_into_one_row() {
+        let s = sched(vec![
+            Item::Op(add(1, 2, 3)),
+            Item::Op(add(4, 5, 6)),
+            Item::Op(add(7, 8, 9)),
+        ]);
+        assert_eq!(s.rows.len(), 1);
+        assert_eq!(s.rows[0].len(), 3);
+        // Three distinct units were assigned.
+        let units: std::collections::HashSet<_> = s.rows[0].iter().map(|s| s.unit).collect();
+        assert_eq!(units.len(), 3);
+    }
+
+    #[test]
+    fn dependent_ops_serialize() {
+        let s = sched(vec![Item::Op(add(1, 2, 3)), Item::Op(add(4, 1, 1))]);
+        assert_eq!(s.rows.len(), 2);
+    }
+
+    #[test]
+    fn waw_in_same_row_refused() {
+        let s = sched(vec![Item::Op(add(1, 2, 3)), Item::Op(add(1, 5, 6))]);
+        assert_eq!(s.rows.len(), 2, "two writes of A1 must not share a row");
+    }
+
+    #[test]
+    fn load_delay_pads_with_nops() {
+        let ld = TOp::new(Op::Ld {
+            w: cabt_vliw::isa::Width::W,
+            unsigned: false,
+            d: Reg::a(1),
+            base: Reg::b(16),
+            woff: 0,
+        });
+        let s = sched(vec![Item::Op(ld), Item::Op(add(2, 1, 1))]);
+        // Row 0: load. Row 1: NOP 4. Row 2: add.
+        assert_eq!(s.rows.len(), 3);
+        assert!(matches!(s.rows[1][0].op, Op::Nop { count: 4 }));
+    }
+
+    #[test]
+    fn mpy_delay_one() {
+        let mpy = TOp::new(Op::Mpy { d: Reg::a(1), s1: Reg::a(2), s2: Reg::a(3) });
+        let s = sched(vec![Item::Op(mpy), Item::Op(add(4, 1, 1))]);
+        assert_eq!(s.rows.len(), 3);
+        assert!(matches!(s.rows[1][0].op, Op::Nop { count: 1 }));
+    }
+
+    #[test]
+    fn labels_force_new_rows_and_resolve() {
+        let s = sched(vec![
+            Item::Op(add(1, 2, 3)),
+            Item::Label(7),
+            Item::Op(add(4, 5, 6)), // would otherwise pack into row 0
+        ]);
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.labels[&7], 1);
+    }
+
+    #[test]
+    fn trailing_label_resolves_past_end() {
+        let s = sched(vec![Item::Op(add(1, 2, 3)), Item::Label(9)]);
+        assert_eq!(s.labels[&9], 1);
+    }
+
+    #[test]
+    fn stores_are_strictly_ordered() {
+        let st = |reg: u8| {
+            TOp::new(Op::St {
+                w: cabt_vliw::isa::Width::W,
+                s: Reg::a(reg),
+                base: Reg::b(16),
+                woff: 0,
+            })
+        };
+        let s = sched(vec![Item::Op(st(1)), Item::Op(st(2))]);
+        assert_eq!(s.rows.len(), 2);
+    }
+
+    #[test]
+    fn loads_may_share_a_row() {
+        let ld = |d: u8, b: u8| {
+            TOp::new(Op::Ld {
+                w: cabt_vliw::isa::Width::W,
+                unsigned: false,
+                d: Reg::a(d),
+                base: Reg::b(b),
+                woff: 0,
+            })
+        };
+        let s = sched(vec![Item::Op(ld(1, 16)), Item::Op(ld(2, 17))]);
+        assert_eq!(s.rows.len(), 1, "two loads on D1/D2 share the packet");
+    }
+
+    #[test]
+    fn volatile_ops_keep_program_order() {
+        let ld = TOp::new(Op::Ld {
+            w: cabt_vliw::isa::Width::W,
+            unsigned: false,
+            d: Reg::a(1),
+            base: Reg::b(3),
+            woff: 1,
+        })
+        .volatile();
+        let ld2 = TOp::new(Op::Ld {
+            w: cabt_vliw::isa::Width::W,
+            unsigned: false,
+            d: Reg::a(2),
+            base: Reg::b(3),
+            woff: 3,
+        })
+        .volatile();
+        let s = sched(vec![Item::Op(ld), Item::Op(ld2)]);
+        assert_eq!(s.rows.len(), 2, "device reads must not reorder or merge");
+    }
+
+    #[test]
+    fn multicycle_nop_gets_own_row() {
+        let s = sched(vec![
+            Item::Op(add(1, 2, 3)),
+            Item::Op(TOp::new(Op::Nop { count: 5 })),
+            Item::Op(add(4, 5, 6)),
+        ]);
+        assert_eq!(s.rows.len(), 3);
+        assert!(matches!(s.rows[1][0].op, Op::Nop { count: 5 }));
+    }
+
+    #[test]
+    fn fixups_recorded_at_slot_positions() {
+        let b = TOp::new(Op::B { disp21: 0 }).with_fixup(FixupKind::Branch, 42);
+        let s = sched(vec![Item::Op(add(1, 2, 3)), Item::Op(b)]);
+        // Branch shares row 0 (S unit free, no hazard).
+        assert_eq!(s.fixups, vec![(0, 1, FixupKind::Branch, 42)]);
+    }
+
+    #[test]
+    fn layout_assigns_addresses_by_size() {
+        let s = sched(vec![
+            Item::Op(add(1, 2, 3)),
+            Item::Op(add(4, 5, 6)),
+            Item::Label(1),
+            Item::Op(add(7, 8, 9)),
+        ]);
+        let (packets, addrs) = s.layout(0x1000).unwrap();
+        assert_eq!(packets.len(), 2);
+        assert_eq!(addrs, vec![0x1000, 0x1000 + 16]);
+        assert_eq!(packets[1].addr, 0x1010);
+    }
+
+    #[test]
+    fn divider_delay_pads_in_chunks() {
+        let div = TOp::new(Op::Div { d: Reg::a(1), s1: Reg::a(2), s2: Reg::a(3) });
+        let s = sched(vec![Item::Op(div), Item::Op(add(4, 1, 1))]);
+        // 17 delay slots → NOP 9 + NOP 8 + add.
+        let nops: u32 = s
+            .rows
+            .iter()
+            .filter_map(|r| match r[0].op {
+                Op::Nop { count } if r.len() == 1 => Some(count as u32),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(nops, 17);
+    }
+
+    #[test]
+    fn cycles_track_issue_slots() {
+        let mut s = Scheduler::new();
+        s.push(Item::Op(add(1, 2, 3))).unwrap();
+        s.push(Item::Op(TOp::new(Op::Nop { count: 5 }))).unwrap();
+        assert_eq!(s.cycles(), 6);
+    }
+}

@@ -1,0 +1,441 @@
+#![forbid(unsafe_code)]
+//! Debugging of translated code (§3.5 of the paper).
+//!
+//! "The debug code contains two translations of the original code. In
+//! one of these translations the code has to be annotated with a basic
+//! block oriented cycle generation, and in the other one it has to be
+//! annotated with an instruction oriented cycle generation."
+//!
+//! [`DebugSession`] holds both translations. Breakpoints are set at
+//! source addresses; continuing runs the *instruction-oriented* image
+//! (every source instruction is a packet-aligned block, so execution can
+//! stop at any source address while still generating cycles), and the
+//! session translates register names and addresses between the source
+//! and target worlds, as the paper's interface program does for gdb.
+//! A gdb-remote-serial-protocol-style packet layer ([`rsp`]) exposes the
+//! session over any byte transport.
+
+pub mod rsp;
+
+use cabt_core::regbind::{areg, dreg};
+use cabt_core::{DetailLevel, Granularity, TranslateError, Translated, Translator};
+use cabt_isa::elf::ElfFile;
+use cabt_tricore::isa::{AReg, DReg};
+use cabt_vliw::sim::{VliwError, VliwSim};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A breakpoint at the given source address was hit.
+    Breakpoint(u32),
+    /// One instruction was stepped; now at the given source address.
+    Step(u32),
+    /// The program halted (`debug` instruction).
+    Halted,
+}
+
+/// Errors from debug sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DebugError {
+    /// Translation of the debuggee failed.
+    Translate(TranslateError),
+    /// Target execution failed.
+    Exec(VliwError),
+    /// The requested address is not a source instruction address.
+    BadAddress(u32),
+    /// The requested register name is unknown.
+    BadRegister(String),
+}
+
+impl fmt::Display for DebugError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DebugError::Translate(e) => write!(f, "cannot translate debuggee: {e}"),
+            DebugError::Exec(e) => write!(f, "target fault: {e}"),
+            DebugError::BadAddress(a) => write!(f, "{a:#010x} is not an instruction address"),
+            DebugError::BadRegister(n) => write!(f, "unknown register `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for DebugError {}
+
+impl From<TranslateError> for DebugError {
+    fn from(e: TranslateError) -> Self {
+        DebugError::Translate(e)
+    }
+}
+
+impl From<VliwError> for DebugError {
+    fn from(e: VliwError) -> Self {
+        DebugError::Exec(e)
+    }
+}
+
+/// An interactive debug session over a source program.
+///
+/// # Example
+///
+/// ```
+/// use cabt_debug::{DebugSession, StopReason};
+/// use cabt_tricore::asm::assemble;
+///
+/// let elf = assemble(
+///     ".text\n_start: mov %d1, 1\nmid: mov %d2, 2\n add %d2, %d1\n debug\n",
+/// )?;
+/// let mid = elf.symbol("mid").expect("symbol").value;
+/// let mut dbg = DebugSession::new(&elf)?;
+/// dbg.set_breakpoint(mid)?;
+/// assert_eq!(dbg.cont()?, StopReason::Breakpoint(mid));
+/// assert_eq!(dbg.read_reg("d1")?, 1);
+/// dbg.step()?; // executes `mov %d2, 2`
+/// assert_eq!(dbg.read_reg("d2")?, 2);
+/// assert_eq!(dbg.cont()?, StopReason::Halted);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct DebugSession {
+    /// Basic-block-oriented translation (kept for inspection and for
+    /// fast uninstrumented runs via [`DebugSession::block_image`]).
+    bb: Translated,
+    /// Instruction-oriented translation driving the session.
+    pi: Translated,
+    sim: VliwSim,
+    /// Target packet address → source instruction address.
+    src_of_tgt: HashMap<u32, u32>,
+    /// Valid source instruction addresses.
+    src_addrs: BTreeSet<u32>,
+    breakpoints: BTreeSet<u32>,
+    symbols: HashMap<String, u32>,
+}
+
+impl fmt::Debug for DebugSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DebugSession")
+            .field("breakpoints", &self.breakpoints)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DebugSession {
+    /// Translates the program twice (basic-block and per-instruction
+    /// cycle generation) and loads the per-instruction image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and load failures.
+    pub fn new(elf: &ElfFile) -> Result<Self, DebugError> {
+        Self::with_level(elf, DetailLevel::Static)
+    }
+
+    /// Like [`DebugSession::new`] with an explicit detail level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates translation and load failures.
+    pub fn with_level(elf: &ElfFile, level: DetailLevel) -> Result<Self, DebugError> {
+        let bb = Translator::new(level).translate(elf)?;
+        let pi = Translator::new(level)
+            .with_granularity(Granularity::PerInstruction)
+            .translate(elf)?;
+        let sim = pi.make_sim()?;
+        let mut src_of_tgt = HashMap::new();
+        let mut src_addrs = BTreeSet::new();
+        for (src, tgt) in &pi.addr_map {
+            src_of_tgt.insert(*tgt, *src);
+            src_addrs.insert(*src);
+        }
+        let symbols = elf
+            .symbols
+            .iter()
+            .map(|s| (s.name.clone(), s.value))
+            .collect();
+        let mut session = DebugSession {
+            bb,
+            pi,
+            sim,
+            src_of_tgt,
+            src_addrs,
+            breakpoints: BTreeSet::new(),
+            symbols,
+        };
+        // Execute the translated prologue (constant-register setup, the
+        // jump to the entry block) so the session starts positioned at
+        // the first *source* instruction, like gdb at a program's entry.
+        for _ in 0..1000 {
+            if session.current_src().is_some() || session.sim.is_halted() {
+                break;
+            }
+            session.sim.step_packet()?;
+        }
+        Ok(session)
+    }
+
+    /// The basic-block-oriented image (the paper's "normal" translation).
+    pub fn block_image(&self) -> &Translated {
+        &self.bb
+    }
+
+    /// The instruction-oriented image driving this session.
+    pub fn instruction_image(&self) -> &Translated {
+        &self.pi
+    }
+
+    /// Sets a breakpoint at a source instruction address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DebugError::BadAddress`] for addresses that are not
+    /// instruction starts.
+    pub fn set_breakpoint(&mut self, src: u32) -> Result<(), DebugError> {
+        if !self.src_addrs.contains(&src) {
+            return Err(DebugError::BadAddress(src));
+        }
+        self.breakpoints.insert(src);
+        Ok(())
+    }
+
+    /// Removes a breakpoint (no-op if absent).
+    pub fn clear_breakpoint(&mut self, src: u32) {
+        self.breakpoints.remove(&src);
+    }
+
+    /// Resolves a symbol name to its address.
+    pub fn lookup(&self, symbol: &str) -> Option<u32> {
+        self.symbols.get(symbol).copied()
+    }
+
+    /// The source address of the next instruction to execute, if the
+    /// target pc sits at an instruction boundary.
+    pub fn current_src(&self) -> Option<u32> {
+        self.sim.pc_addr().and_then(|t| self.src_of_tgt.get(&t).copied())
+    }
+
+    /// Runs until a breakpoint or the program halt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates target faults; a 100M-cycle safety limit guards
+    /// against runaway debuggees.
+    pub fn cont(&mut self) -> Result<StopReason, DebugError> {
+        // Always leave the current address first, so `cont` after a hit
+        // makes progress.
+        let start = self.current_src();
+        let mut moved = false;
+        for _ in 0..100_000_000u64 {
+            if self.sim.is_halted() {
+                return Ok(StopReason::Halted);
+            }
+            if let Some(src) = self.current_src() {
+                if (moved || Some(src) != start) && self.breakpoints.contains(&src) {
+                    self.sim.commit_due_writes();
+                    return Ok(StopReason::Breakpoint(src));
+                }
+            }
+            self.sim.step_packet()?;
+            moved = true;
+        }
+        Err(DebugError::Exec(VliwError::CycleLimit))
+    }
+
+    /// Executes exactly one source instruction (the paper's single-step
+    /// over the instruction-oriented image).
+    ///
+    /// # Errors
+    ///
+    /// Propagates target faults.
+    pub fn step(&mut self) -> Result<StopReason, DebugError> {
+        let start = self.current_src();
+        for _ in 0..1_000_000u64 {
+            if self.sim.is_halted() {
+                return Ok(StopReason::Halted);
+            }
+            self.sim.step_packet()?;
+            if let Some(src) = self.current_src() {
+                if Some(src) != start {
+                    self.sim.commit_due_writes();
+                    return Ok(StopReason::Step(src));
+                }
+            }
+        }
+        Err(DebugError::Exec(VliwError::CycleLimit))
+    }
+
+    /// Reads a source register by name (`d0..d15`, `a0..a15`, `sp`,
+    /// `ra`), translating to its target home.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DebugError::BadRegister`] for unknown names.
+    pub fn read_reg(&self, name: &str) -> Result<u32, DebugError> {
+        Ok(self.sim.reg(reg_by_name(name)?))
+    }
+
+    /// Writes a source register by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DebugError::BadRegister`] for unknown names.
+    pub fn write_reg(&mut self, name: &str, value: u32) -> Result<(), DebugError> {
+        self.sim.set_reg(reg_by_name(name)?, value);
+        Ok(())
+    }
+
+    /// Reads emulated memory (identity-mapped data space).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults.
+    pub fn read_mem(&mut self, addr: u32, len: usize) -> Result<Vec<u8>, DebugError> {
+        self.sim
+            .mem
+            .read_block(addr, len)
+            .map_err(|e| DebugError::Exec(VliwError::Mem(e)))
+    }
+
+    /// Target cycles consumed so far (includes cycle-generation
+    /// overhead of the instrumented image).
+    pub fn cycles(&self) -> u64 {
+        self.sim.cycle()
+    }
+
+    /// All register values in gdb `g`-packet order (`d0..d15`,
+    /// `a0..a15`, `pc`).
+    pub fn all_regs(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(33);
+        for i in 0..16 {
+            out.push(self.sim.reg(dreg(DReg(i))));
+        }
+        for i in 0..16 {
+            out.push(self.sim.reg(areg(AReg(i))));
+        }
+        out.push(self.current_src().unwrap_or(0));
+        out
+    }
+}
+
+fn reg_by_name(name: &str) -> Result<cabt_vliw::isa::Reg, DebugError> {
+    let bad = || DebugError::BadRegister(name.to_string());
+    match name {
+        "sp" => return Ok(areg(AReg(10))),
+        "ra" => return Ok(areg(AReg(11))),
+        _ => {}
+    }
+    if let Some(n) = name.strip_prefix('d') {
+        let i: u8 = n.parse().map_err(|_| bad())?;
+        if i < 16 {
+            return Ok(dreg(DReg(i)));
+        }
+    }
+    if let Some(n) = name.strip_prefix('a') {
+        let i: u8 = n.parse().map_err(|_| bad())?;
+        if i < 16 {
+            return Ok(areg(AReg(i)));
+        }
+    }
+    Err(bad())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cabt_tricore::asm::assemble;
+
+    const SRC: &str = "
+        .text
+    _start:
+        mov %d0, 3
+        mov %d2, 0
+    top:
+        add %d2, %d0
+        addi %d0, %d0, -1
+        jnz %d0, top
+        debug
+    ";
+
+    fn session() -> DebugSession {
+        DebugSession::new(&assemble(SRC).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn breakpoints_hit_on_every_iteration() {
+        let mut dbg = session();
+        let top = dbg.lookup("top").unwrap();
+        dbg.set_breakpoint(top).unwrap();
+        let mut hits = 0;
+        loop {
+            match dbg.cont().unwrap() {
+                StopReason::Breakpoint(a) => {
+                    assert_eq!(a, top);
+                    hits += 1;
+                }
+                StopReason::Halted => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(hits, 3, "loop body entered three times");
+        assert_eq!(dbg.read_reg("d2").unwrap(), 6);
+    }
+
+    #[test]
+    fn single_step_walks_instructions() {
+        let mut dbg = session();
+        // Step through: mov, mov, then we are at `top`.
+        dbg.step().unwrap();
+        assert_eq!(dbg.read_reg("d0").unwrap(), 3);
+        dbg.step().unwrap();
+        assert_eq!(dbg.read_reg("d2").unwrap(), 0);
+        let here = dbg.current_src().unwrap();
+        assert_eq!(here, dbg.lookup("top").unwrap());
+    }
+
+    #[test]
+    fn stepping_counts_cycles() {
+        let mut dbg = session();
+        let c0 = dbg.cycles();
+        dbg.step().unwrap();
+        assert!(dbg.cycles() > c0, "instrumented stepping consumes cycles");
+    }
+
+    #[test]
+    fn bad_addresses_and_registers_rejected() {
+        let mut dbg = session();
+        assert!(matches!(dbg.set_breakpoint(0x1234), Err(DebugError::BadAddress(_))));
+        assert!(matches!(dbg.read_reg("x9"), Err(DebugError::BadRegister(_))));
+        assert!(matches!(dbg.read_reg("d16"), Err(DebugError::BadRegister(_))));
+        assert_eq!(dbg.read_reg("sp").unwrap(), 0xd003_0000);
+    }
+
+    #[test]
+    fn write_reg_alters_execution() {
+        let mut dbg = session();
+        dbg.step().unwrap(); // d0 = 3 executed
+        dbg.write_reg("d0", 1).unwrap();
+        // Now the loop runs once: d2 = 1.
+        assert_eq!(dbg.cont().unwrap(), StopReason::Halted);
+        assert_eq!(dbg.read_reg("d2").unwrap(), 1);
+    }
+
+    #[test]
+    fn memory_reads_see_data_sections() {
+        let elf = assemble(".text\n_start: debug\n.data\nv: .word 0x11223344\n").unwrap();
+        let mut dbg = DebugSession::new(&elf).unwrap();
+        let v = dbg.read_mem(0xd000_0000, 4).unwrap();
+        assert_eq!(v, vec![0x44, 0x33, 0x22, 0x11]);
+    }
+
+    #[test]
+    fn both_images_present_and_differ() {
+        let dbg = session();
+        assert!(dbg.instruction_image().blocks.len() > dbg.block_image().blocks.len());
+    }
+
+    #[test]
+    fn all_regs_has_gdb_layout() {
+        let dbg = session();
+        let regs = dbg.all_regs();
+        assert_eq!(regs.len(), 33);
+        assert_eq!(regs[26], 0xd003_0000, "a10 = sp");
+    }
+}

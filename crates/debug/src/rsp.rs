@@ -1,0 +1,228 @@
+//! A gdb Remote-Serial-Protocol-style packet layer over a
+//! [`DebugSession`].
+//!
+//! The paper's debug interface sits "between the translated code and the
+//! remote debugging interface of the GNU Debugger (gdb)". This module
+//! implements the packet framing (`$payload#checksum`) and the core
+//! command set — `g` (registers), `m addr,len` (memory), `Z0`/`z0`
+//! (breakpoints), `s` (step), `c` (continue), `?` (stop reason) — over
+//! an in-memory transport so the whole stack is testable hermetically.
+
+use crate::{DebugError, DebugSession, StopReason};
+use std::fmt::Write as _;
+
+/// Frames a payload as `$payload#xx` with the two-digit modulo-256
+/// checksum gdb uses.
+pub fn frame(payload: &str) -> String {
+    let sum: u8 = payload.bytes().fold(0u8, |a, b| a.wrapping_add(b));
+    format!("${payload}#{sum:02x}")
+}
+
+/// Parses a framed packet, validating the checksum.
+///
+/// Returns the payload, or `None` for malformed packets.
+pub fn unframe(packet: &str) -> Option<&str> {
+    let rest = packet.strip_prefix('$')?;
+    let hash = rest.rfind('#')?;
+    let (payload, sum) = rest.split_at(hash);
+    let sum = u8::from_str_radix(&sum[1..], 16).ok()?;
+    let actual: u8 = payload.bytes().fold(0u8, |a, b| a.wrapping_add(b));
+    (actual == sum).then_some(payload)
+}
+
+/// A stateful RSP server wrapping a debug session.
+#[derive(Debug)]
+pub struct RspServer {
+    session: DebugSession,
+    last_stop: Option<StopReason>,
+}
+
+impl RspServer {
+    /// Wraps a session.
+    pub fn new(session: DebugSession) -> Self {
+        RspServer { session, last_stop: None }
+    }
+
+    /// The wrapped session (for out-of-band inspection in tests).
+    pub fn session(&self) -> &DebugSession {
+        &self.session
+    }
+
+    /// Handles one framed packet and returns the framed response.
+    /// Malformed packets get a `-` NAK; unsupported commands return the
+    /// empty response per RSP convention.
+    pub fn handle(&mut self, packet: &str) -> String {
+        let Some(payload) = unframe(packet) else {
+            return "-".to_string();
+        };
+        match self.dispatch(payload) {
+            Ok(resp) => frame(&resp),
+            Err(e) => frame(&format!("E.{e}")),
+        }
+    }
+
+    fn dispatch(&mut self, payload: &str) -> Result<String, DebugError> {
+        let stop_str = |r: &Option<StopReason>| -> String {
+            match r {
+                Some(StopReason::Halted) => "W00".to_string(),
+                Some(StopReason::Breakpoint(_)) | Some(StopReason::Step(_)) => "S05".to_string(),
+                None => "S05".to_string(),
+            }
+        };
+        if payload.is_empty() {
+            return Ok(String::new());
+        }
+        let (cmd, args) = payload.split_at(1);
+        match cmd {
+            "?" => Ok(stop_str(&self.last_stop)),
+            "g" => {
+                let mut out = String::new();
+                for r in self.session.all_regs() {
+                    // gdb transfers registers little-endian byte order.
+                    let _ = write!(out, "{:08x}", r.swap_bytes());
+                }
+                Ok(out)
+            }
+            "m" => {
+                let (addr, len) = parse_addr_len(args)?;
+                let bytes = self.session.read_mem(addr, len)?;
+                let mut out = String::new();
+                for b in bytes {
+                    let _ = write!(out, "{b:02x}");
+                }
+                Ok(out)
+            }
+            "Z" => {
+                let addr = parse_break(args)?;
+                self.session.set_breakpoint(addr)?;
+                Ok("OK".to_string())
+            }
+            "z" => {
+                let addr = parse_break(args)?;
+                self.session.clear_breakpoint(addr);
+                Ok("OK".to_string())
+            }
+            "s" => {
+                let r = self.session.step()?;
+                self.last_stop = Some(r);
+                Ok(stop_str(&self.last_stop))
+            }
+            "c" => {
+                let r = self.session.cont()?;
+                self.last_stop = Some(r);
+                Ok(stop_str(&self.last_stop))
+            }
+            _ => Ok(String::new()),
+        }
+    }
+}
+
+fn parse_addr_len(args: &str) -> Result<(u32, usize), DebugError> {
+    let bad = || DebugError::BadAddress(0);
+    let (a, l) = args.split_once(',').ok_or_else(bad)?;
+    let addr = u32::from_str_radix(a.trim(), 16).map_err(|_| bad())?;
+    let len = usize::from_str_radix(l.trim(), 16).map_err(|_| bad())?;
+    Ok((addr, len.min(4096)))
+}
+
+fn parse_break(args: &str) -> Result<u32, DebugError> {
+    // Form: "0,addr,kind" (software breakpoint type 0).
+    let bad = || DebugError::BadAddress(0);
+    let mut parts = args.split(',');
+    let ty = parts.next().ok_or_else(bad)?;
+    if ty != "0" {
+        return Err(bad());
+    }
+    let addr = parts.next().ok_or_else(bad)?;
+    u32::from_str_radix(addr.trim(), 16).map_err(|_| bad())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cabt_tricore::asm::assemble;
+
+    fn server() -> RspServer {
+        let elf = assemble(
+            "
+            .text
+        _start:
+            mov %d0, 2
+        top:
+            addi %d0, %d0, -1
+            jnz %d0, top
+            debug
+            .data
+        v:  .word 0xcafef00d
+        ",
+        )
+        .unwrap();
+        RspServer::new(crate::DebugSession::new(&elf).unwrap())
+    }
+
+    #[test]
+    fn frame_and_unframe_round_trip() {
+        let f = frame("g");
+        assert_eq!(f, "$g#67");
+        assert_eq!(unframe(&f), Some("g"));
+        assert_eq!(unframe("$g#00"), None, "bad checksum rejected");
+        assert_eq!(unframe("g#67"), None, "missing $");
+    }
+
+    #[test]
+    fn registers_packet_is_33_words() {
+        let mut s = server();
+        let resp = s.handle(&frame("g"));
+        let payload = unframe(&resp).unwrap();
+        assert_eq!(payload.len(), 33 * 8);
+    }
+
+    #[test]
+    fn memory_read_returns_hex() {
+        let mut s = server();
+        let resp = s.handle(&frame("md0000000,4"));
+        assert_eq!(unframe(&resp), Some("0df0feca"), "little-endian bytes of 0xcafef00d");
+    }
+
+    #[test]
+    fn breakpoint_continue_and_halt() {
+        let mut s = server();
+        let top = s.session().lookup("top").unwrap();
+        let resp = s.handle(&frame(&format!("Z0,{top:x},2")));
+        assert_eq!(unframe(&resp), Some("OK"));
+        // Two loop iterations stop twice, then the program exits.
+        assert_eq!(unframe(&s.handle(&frame("c"))), Some("S05"));
+        assert_eq!(unframe(&s.handle(&frame("c"))), Some("S05"));
+        assert_eq!(unframe(&s.handle(&frame("c"))), Some("W00"));
+    }
+
+    #[test]
+    fn step_reports_stop() {
+        let mut s = server();
+        assert_eq!(unframe(&s.handle(&frame("s"))), Some("S05"));
+        assert_eq!(unframe(&s.handle(&frame("?"))), Some("S05"));
+    }
+
+    #[test]
+    fn clear_breakpoint_lets_program_run() {
+        let mut s = server();
+        let top = s.session().lookup("top").unwrap();
+        s.handle(&frame(&format!("Z0,{top:x},2")));
+        s.handle(&frame(&format!("z0,{top:x},2")));
+        assert_eq!(unframe(&s.handle(&frame("c"))), Some("W00"));
+    }
+
+    #[test]
+    fn bad_packets_nak_and_bad_commands_empty() {
+        let mut s = server();
+        assert_eq!(s.handle("$g#00"), "-");
+        assert_eq!(unframe(&s.handle(&frame("qSupported"))), Some(""));
+    }
+
+    #[test]
+    fn error_responses_are_framed() {
+        let mut s = server();
+        let resp = s.handle(&frame("Z0,zzzz,2"));
+        assert!(unframe(&resp).unwrap().starts_with("E."));
+    }
+}

@@ -1,0 +1,288 @@
+//! Sparse paged memory shared by all CABT simulators.
+//!
+//! Both address spaces in the system (the emulated source processor's and
+//! the VLIW target's) are 32-bit and mostly empty, so [`Memory`] stores
+//! 4 KiB pages in a hash map and materializes them on first write. Reads
+//! from unmapped memory either return zero (the default, matching an
+//! uninitialized SRAM model) or fault, depending on
+//! [`Memory::set_fault_on_unmapped`].
+//!
+//! All multi-byte accesses are little-endian, matching both the TriCore
+//! and C6x memory conventions used in the paper's platform.
+
+use crate::{Addr, IsaError, Word};
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const OFFSET_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// A sparse, paged, little-endian memory.
+///
+/// # Example
+///
+/// ```
+/// use cabt_isa::mem::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_u16(0x100, 0xbeef)?;
+/// assert_eq!(mem.read_u8(0x100)?, 0xef);
+/// assert_eq!(mem.read_u8(0x101)?, 0xbe);
+/// # Ok::<(), cabt_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    fault_on_unmapped: bool,
+    reads: u64,
+    writes: u64,
+}
+
+impl Memory {
+    /// Creates an empty memory that reads zeroes from unmapped pages.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configures whether reads from pages never written fault with
+    /// [`IsaError::Unmapped`] instead of returning zero.
+    pub fn set_fault_on_unmapped(&mut self, fault: bool) {
+        self.fault_on_unmapped = fault;
+    }
+
+    /// Number of byte-level reads served so far (used by platform
+    /// statistics and tests).
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of byte-level writes served so far.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Copies `data` into memory starting at `addr`, allocating pages as
+    /// needed. This is how ELF segments are loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Unmapped`] if the segment would wrap past the
+    /// end of the 32-bit address space.
+    pub fn load(&mut self, addr: Addr, data: &[u8]) -> Result<(), IsaError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let end = addr
+            .checked_add(data.len() as u32 - 1)
+            .ok_or(IsaError::Unmapped { addr })?;
+        let _ = end;
+        for (i, &b) in data.iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u32), b);
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unmapped-access faults when faulting is enabled.
+    pub fn read_block(&mut self, addr: Addr, len: usize) -> Result<Vec<u8>, IsaError> {
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            out.push(self.read_u8(addr.wrapping_add(i as u32))?);
+        }
+        Ok(out)
+    }
+
+    #[inline]
+    fn page_of(&self, addr: Addr) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    }
+
+    #[inline]
+    fn page_mut(&mut self, addr: Addr) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    #[inline]
+    fn store_u8(&mut self, addr: Addr, value: u8) {
+        self.page_mut(addr)[(addr & OFFSET_MASK) as usize] = value;
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Unmapped`] when the page is unmapped and
+    /// faulting is enabled.
+    pub fn read_u8(&mut self, addr: Addr) -> Result<u8, IsaError> {
+        self.reads += 1;
+        match self.page_of(addr) {
+            Some(page) => Ok(page[(addr & OFFSET_MASK) as usize]),
+            None if self.fault_on_unmapped => Err(IsaError::Unmapped { addr }),
+            None => Ok(0),
+        }
+    }
+
+    /// Writes one byte, materializing the page if needed.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) -> Result<(), IsaError> {
+        self.writes += 1;
+        self.store_u8(addr, value);
+        Ok(())
+    }
+
+    /// Reads a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Misaligned`] for odd addresses, or an
+    /// unmapped-access fault as for [`Memory::read_u8`].
+    pub fn read_u16(&mut self, addr: Addr) -> Result<u16, IsaError> {
+        if addr & 1 != 0 {
+            return Err(IsaError::Misaligned { addr, align: 2 });
+        }
+        let lo = self.read_u8(addr)? as u16;
+        let hi = self.read_u8(addr.wrapping_add(1))? as u16;
+        Ok(lo | (hi << 8))
+    }
+
+    /// Writes a little-endian halfword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Misaligned`] for odd addresses.
+    pub fn write_u16(&mut self, addr: Addr, value: u16) -> Result<(), IsaError> {
+        if addr & 1 != 0 {
+            return Err(IsaError::Misaligned { addr, align: 2 });
+        }
+        self.write_u8(addr, value as u8)?;
+        self.write_u8(addr.wrapping_add(1), (value >> 8) as u8)
+    }
+
+    /// Reads a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Misaligned`] unless `addr` is 4-byte aligned,
+    /// or an unmapped-access fault as for [`Memory::read_u8`].
+    pub fn read_u32(&mut self, addr: Addr) -> Result<Word, IsaError> {
+        if addr & 3 != 0 {
+            return Err(IsaError::Misaligned { addr, align: 4 });
+        }
+        let b0 = self.read_u8(addr)? as u32;
+        let b1 = self.read_u8(addr.wrapping_add(1))? as u32;
+        let b2 = self.read_u8(addr.wrapping_add(2))? as u32;
+        let b3 = self.read_u8(addr.wrapping_add(3))? as u32;
+        Ok(b0 | (b1 << 8) | (b2 << 16) | (b3 << 24))
+    }
+
+    /// Writes a little-endian word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Misaligned`] unless `addr` is 4-byte aligned.
+    pub fn write_u32(&mut self, addr: Addr, value: Word) -> Result<(), IsaError> {
+        if addr & 3 != 0 {
+            return Err(IsaError::Misaligned { addr, align: 4 });
+        }
+        self.write_u8(addr, value as u8)?;
+        self.write_u8(addr.wrapping_add(1), (value >> 8) as u8)?;
+        self.write_u8(addr.wrapping_add(2), (value >> 16) as u8)?;
+        self.write_u8(addr.wrapping_add(3), (value >> 24) as u8)
+    }
+
+    /// Number of pages currently materialized (diagnostics).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_by_default() {
+        let mut m = Memory::new();
+        assert_eq!(m.read_u32(0x1234_0000).unwrap(), 0);
+        assert_eq!(m.read_u8(u32::MAX).unwrap(), 0);
+    }
+
+    #[test]
+    fn fault_on_unmapped_when_enabled() {
+        let mut m = Memory::new();
+        m.set_fault_on_unmapped(true);
+        assert_eq!(
+            m.read_u8(0x42).unwrap_err(),
+            IsaError::Unmapped { addr: 0x42 }
+        );
+        m.write_u8(0x42, 7).unwrap();
+        assert_eq!(m.read_u8(0x42).unwrap(), 7);
+        // The rest of the page is now mapped and readable.
+        assert_eq!(m.read_u8(0x43).unwrap(), 0);
+    }
+
+    #[test]
+    fn little_endian_word_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0x0403_0201).unwrap();
+        assert_eq!(m.read_u8(0x100).unwrap(), 1);
+        assert_eq!(m.read_u8(0x101).unwrap(), 2);
+        assert_eq!(m.read_u8(0x102).unwrap(), 3);
+        assert_eq!(m.read_u8(0x103).unwrap(), 4);
+        assert_eq!(m.read_u16(0x100).unwrap(), 0x0201);
+        assert_eq!(m.read_u16(0x102).unwrap(), 0x0403);
+    }
+
+    #[test]
+    fn misaligned_accesses_fault() {
+        let mut m = Memory::new();
+        assert!(matches!(
+            m.read_u16(1),
+            Err(IsaError::Misaligned { addr: 1, align: 2 })
+        ));
+        assert!(matches!(
+            m.read_u32(2),
+            Err(IsaError::Misaligned { addr: 2, align: 4 })
+        ));
+        assert!(m.write_u32(0x101, 0).is_err());
+        assert!(m.write_u16(0x103, 0).is_err());
+    }
+
+    #[test]
+    fn load_spans_pages() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..8192u32).map(|i| (i & 0xff) as u8).collect();
+        m.load(0x0fff_f800, &data).unwrap();
+        for i in 0..8192u32 {
+            assert_eq!(m.read_u8(0x0fff_f800 + i).unwrap(), (i & 0xff) as u8);
+        }
+        assert!(m.page_count() >= 2);
+    }
+
+    #[test]
+    fn load_empty_is_noop() {
+        let mut m = Memory::new();
+        m.load(0, &[]).unwrap();
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn read_block_round_trips() {
+        let mut m = Memory::new();
+        m.load(0x200, b"hello world").unwrap();
+        assert_eq!(m.read_block(0x200, 11).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn access_counters_advance() {
+        let mut m = Memory::new();
+        m.write_u32(0, 1).unwrap();
+        let _ = m.read_u32(0).unwrap();
+        assert_eq!(m.write_count(), 4);
+        assert_eq!(m.read_count(), 4);
+    }
+}

@@ -1,0 +1,282 @@
+//! The SoC bus and its peripherals.
+//!
+//! The attached hardware "expects to be connected to an SoC bus" and is
+//! clocked by the synchronization device's generated cycles. Peripherals
+//! receive the current generated-cycle count with every transaction, so
+//! time-dependent behaviour (timer expiry, UART byte timestamps) is
+//! defined in emulated SoC time — which is exactly what makes device
+//! drivers validated on this platform cycle-accurate.
+
+use std::collections::HashMap;
+
+/// A device on the SoC bus.
+pub trait SocPeripheral {
+    /// `(first, last_exclusive)` address range served by this device.
+    fn range(&self) -> (u32, u32);
+    /// Handles a read at SoC time `soc_cycle`.
+    fn read(&mut self, soc_cycle: u64, addr: u32, size: u32) -> u32;
+    /// Handles a write at SoC time `soc_cycle`.
+    fn write(&mut self, soc_cycle: u64, addr: u32, size: u32, value: u32);
+    /// Transmit log, for peripherals that record output (UARTs).
+    fn transmit_log(&self) -> Vec<(u64, u8)> {
+        Vec::new()
+    }
+}
+
+/// A word-level SoC bus with positional device decoding. Unclaimed
+/// addresses read zero and ignore writes (open bus).
+#[derive(Default)]
+pub struct SocBus {
+    devices: Vec<Box<dyn SocPeripheral>>,
+    /// Transactions served (diagnostics).
+    transactions: u64,
+}
+
+impl std::fmt::Debug for SocBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocBus")
+            .field("devices", &self.devices.len())
+            .field("transactions", &self.transactions)
+            .finish()
+    }
+}
+
+impl SocBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a peripheral.
+    pub fn attach(&mut self, dev: Box<dyn SocPeripheral>) {
+        self.devices.push(dev);
+    }
+
+    /// Number of transactions served so far.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Routes a read.
+    pub fn read(&mut self, soc_cycle: u64, addr: u32, size: u32) -> u32 {
+        self.transactions += 1;
+        for d in &mut self.devices {
+            let (lo, hi) = d.range();
+            if (lo..hi).contains(&addr) {
+                return d.read(soc_cycle, addr, size);
+            }
+        }
+        0
+    }
+
+    /// Routes a write.
+    pub fn write(&mut self, soc_cycle: u64, addr: u32, size: u32, value: u32) {
+        self.transactions += 1;
+        for d in &mut self.devices {
+            let (lo, hi) = d.range();
+            if (lo..hi).contains(&addr) {
+                d.write(soc_cycle, addr, size, value);
+                return;
+            }
+        }
+    }
+
+    /// Concatenated transmit logs of all logging peripherals on the bus.
+    pub fn uart_log(&self) -> Vec<(u64, u8)> {
+        self.devices.iter().flat_map(|d| d.transmit_log()).collect()
+    }
+}
+
+/// A free-running timer clocked by generated SoC cycles.
+///
+/// Register map (offsets from base): `0x0` current count (read),
+/// `0x4` compare value (read/write), `0x8` status — 1 once the count has
+/// reached the compare value (read), `0xc` epoch reset (write).
+#[derive(Debug)]
+pub struct Timer {
+    base: u32,
+    epoch: u64,
+    compare: u32,
+}
+
+impl Timer {
+    /// A timer at `base`.
+    pub fn new(base: u32) -> Self {
+        Timer { base, epoch: 0, compare: u32::MAX }
+    }
+}
+
+impl SocPeripheral for Timer {
+    fn range(&self) -> (u32, u32) {
+        (self.base, self.base + 0x10)
+    }
+
+    fn read(&mut self, soc_cycle: u64, addr: u32, _size: u32) -> u32 {
+        let count = soc_cycle.saturating_sub(self.epoch);
+        match addr - self.base {
+            0x0 => count as u32,
+            0x4 => self.compare,
+            0x8 => (count >= self.compare as u64) as u32,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, soc_cycle: u64, addr: u32, _size: u32, value: u32) {
+        match addr - self.base {
+            0x4 => self.compare = value,
+            0xc => self.epoch = soc_cycle,
+            _ => {}
+        }
+    }
+}
+
+/// A transmit-only UART that logs bytes with their SoC-cycle timestamps.
+///
+/// Register map: `0x0` data (write to transmit), `0x4` status (reads 1 —
+/// always ready).
+#[derive(Debug, Default)]
+pub struct Uart {
+    base: u32,
+    log: Vec<(u64, u8)>,
+}
+
+impl Uart {
+    /// A UART at `base`.
+    pub fn new(base: u32) -> Self {
+        Uart { base, log: Vec::new() }
+    }
+
+    /// Bytes transmitted so far.
+    pub fn transmitted(&self) -> &[(u64, u8)] {
+        &self.log
+    }
+}
+
+impl SocPeripheral for Uart {
+    fn range(&self) -> (u32, u32) {
+        (self.base, self.base + 0x100)
+    }
+
+    fn transmit_log(&self) -> Vec<(u64, u8)> {
+        self.log.clone()
+    }
+
+    fn read(&mut self, _soc_cycle: u64, addr: u32, _size: u32) -> u32 {
+        match addr - self.base {
+            0x4 => 1,
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, soc_cycle: u64, addr: u32, _size: u32, value: u32) {
+        if addr - self.base == 0 {
+            self.log.push((soc_cycle, value as u8));
+        }
+    }
+}
+
+/// A scratch RAM window on the SoC bus (for DMA-style tests).
+#[derive(Debug, Default)]
+pub struct ScratchRam {
+    base: u32,
+    size: u32,
+    words: HashMap<u32, u32>,
+}
+
+impl ScratchRam {
+    /// A RAM of `size` bytes at `base`.
+    pub fn new(base: u32, size: u32) -> Self {
+        ScratchRam { base, size, words: HashMap::new() }
+    }
+}
+
+impl SocPeripheral for ScratchRam {
+    fn range(&self) -> (u32, u32) {
+        (self.base, self.base + self.size)
+    }
+
+    fn read(&mut self, _soc_cycle: u64, addr: u32, _size: u32) -> u32 {
+        *self.words.get(&(addr & !3)).unwrap_or(&0)
+    }
+
+    fn write(&mut self, _soc_cycle: u64, addr: u32, _size: u32, value: u32) {
+        self.words.insert(addr & !3, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_routes_by_range() {
+        let mut bus = SocBus::new();
+        bus.attach(Box::new(Timer::new(0x1000)));
+        bus.attach(Box::new(ScratchRam::new(0x2000, 0x100)));
+        bus.write(0, 0x2004, 4, 0xabcd);
+        assert_eq!(bus.read(0, 0x2004, 4), 0xabcd);
+        assert_eq!(bus.read(5, 0x1000, 4), 5, "timer count");
+        assert_eq!(bus.read(0, 0x9999, 4), 0, "open bus reads zero");
+        assert_eq!(bus.transactions(), 4);
+    }
+
+    #[test]
+    fn timer_compare_and_reset() {
+        let mut t = Timer::new(0);
+        t.write(0, 0x4, 4, 100); // compare = 100
+        assert_eq!(t.read(50, 0x8, 4), 0);
+        assert_eq!(t.read(100, 0x8, 4), 1);
+        t.write(150, 0xc, 4, 0); // reset epoch at soc time 150
+        assert_eq!(t.read(170, 0x0, 4), 20);
+        assert_eq!(t.read(170, 0x8, 4), 0);
+    }
+
+    #[test]
+    fn uart_logs_bytes_with_time() {
+        let mut u = Uart::new(0x100);
+        assert_eq!(u.read(0, 0x104, 4), 1, "always ready");
+        u.write(10, 0x100, 4, b'A' as u32);
+        u.write(20, 0x100, 4, b'B' as u32);
+        assert_eq!(u.transmitted(), &[(10, b'A'), (20, b'B')]);
+    }
+
+    #[test]
+    fn scratch_ram_round_trips() {
+        let mut r = ScratchRam::new(0, 64);
+        r.write(0, 16, 4, 42);
+        assert_eq!(r.read(0, 16, 4), 42);
+        assert_eq!(r.read(0, 20, 4), 0);
+    }
+}
+
+/// Adapter that exposes a [`SocBus`] as the golden model's
+/// [`cabt_tricore::sim::IoDevice`], so the *same* peripherals can sit
+/// behind the reference simulator and behind the translated platform.
+/// SoC time is taken from the golden model's own cycle progression via a
+/// caller-updated handle.
+#[derive(Debug)]
+pub struct GoldenBridge {
+    bus: std::rc::Rc<std::cell::RefCell<SocBus>>,
+    /// Monotonic access counter used as SoC time on the golden side
+    /// (the golden core *is* the SoC clock, one access per bus cycle).
+    accesses: u64,
+}
+
+impl GoldenBridge {
+    /// Wraps a shared bus.
+    pub fn new(bus: std::rc::Rc<std::cell::RefCell<SocBus>>) -> Self {
+        GoldenBridge { bus, accesses: 0 }
+    }
+}
+
+impl cabt_tricore::sim::IoDevice for GoldenBridge {
+    fn io_read(&mut self, addr: u32, size: u32) -> u32 {
+        self.accesses += 1;
+        self.bus.borrow_mut().read(self.accesses, addr, size)
+    }
+
+    fn io_write(&mut self, addr: u32, size: u32, value: u32) {
+        self.accesses += 1;
+        self.bus.borrow_mut().write(self.accesses, addr, size, value);
+    }
+}

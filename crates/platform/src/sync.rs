@@ -1,0 +1,192 @@
+//! The synchronization device (§3.1 of the paper).
+//!
+//! "The compiler adds an instruction that starts the cycle generation at
+//! the beginning of the basic block. This instruction is a write access
+//! to the synchronization device that contains the number n of cycles
+//! this basic block would need on the source processor. From now on the
+//! execution of the instructions in the translated basic block and the
+//! generation of the cycles for the attached hardware run in parallel
+//! until the executed program reaches the 'wait for end of cycle
+//! generation' instruction."
+//!
+//! The device generates cycles at a configurable rate relative to the
+//! target clock ([`SyncRate`]). Generation requests queue back to back;
+//! a wait read returns the number of target cycles the core must stall
+//! until the queue drains. Correction cycles (§3.4) are accounted in a
+//! separate counter but share the same generation queue, so the Fig. 3
+//! ordering (wait-for-main, then wait-for-correction) behaves exactly as
+//! on the real hardware.
+
+/// How fast the device can generate SoC cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncRate {
+    /// Generation is instantaneous; wait reads never stall. Used to
+    /// measure pure code speed (Table 1 / Fig. 5).
+    Unlimited,
+    /// `num` target cycles per `den` generated SoC cycles (e.g. 25/6 for
+    /// 200 MHz over 48 MHz).
+    Ratio {
+        /// Target-clock cycles.
+        num: u32,
+        /// Generated SoC cycles produced in that span.
+        den: u32,
+    },
+}
+
+/// The memory-mapped synchronization device model.
+///
+/// Register map (word offsets from the device base):
+///
+/// | offset | access | function |
+/// |---|---|---|
+/// | 0 | write | start cycle generation of `n` cycles |
+/// | 4 | read | wait for end of cycle generation |
+/// | 8 | write | start correction cycle generation |
+/// | 12 | read | wait for end of correction cycle generation |
+#[derive(Debug, Clone)]
+pub struct SyncDevice {
+    rate: SyncRate,
+    /// Target cycle at which the generation queue drains.
+    done_at: u64,
+    /// SoC cycles generated from block predictions.
+    generated: u64,
+    /// SoC cycles generated from corrections.
+    corrected: u64,
+    /// Target cycles callers have spent stalled on waits.
+    stalls: u64,
+}
+
+impl SyncDevice {
+    /// A device with an empty generation queue.
+    pub fn new(rate: SyncRate) -> Self {
+        SyncDevice { rate, done_at: 0, generated: 0, corrected: 0, stalls: 0 }
+    }
+
+    fn gen_target_cycles(&self, n: u64) -> u64 {
+        match self.rate {
+            SyncRate::Unlimited => 0,
+            SyncRate::Ratio { num, den } => (n * num as u64).div_ceil(den as u64),
+        }
+    }
+
+    /// Starts generation of `n` SoC cycles at target cycle `cycle`
+    /// (write to offset 0).
+    pub fn start(&mut self, cycle: u64, n: u32) {
+        let begin = self.done_at.max(cycle);
+        self.done_at = begin + self.gen_target_cycles(n as u64);
+        self.generated += n as u64;
+    }
+
+    /// Starts generation of `n` correction cycles (write to offset 8).
+    /// Zero is a no-op, as the unconditional correction block of Fig. 3
+    /// relies on.
+    pub fn start_correction(&mut self, cycle: u64, n: u32) {
+        let begin = self.done_at.max(cycle);
+        self.done_at = begin + self.gen_target_cycles(n as u64);
+        self.corrected += n as u64;
+    }
+
+    /// Wait for the end of cycle generation (read of offset 4): returns
+    /// the stall in target cycles.
+    pub fn wait(&mut self, cycle: u64) -> u64 {
+        let stall = self.done_at.saturating_sub(cycle);
+        self.stalls += stall;
+        stall
+    }
+
+    /// Wait for the end of correction generation (read of offset 12).
+    /// The queue is shared, so this is the same drain check.
+    pub fn wait_correction(&mut self, cycle: u64) -> u64 {
+        self.wait(cycle)
+    }
+
+    /// Total SoC cycles generated from block predictions.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Total SoC cycles generated from corrections.
+    pub fn corrected(&self) -> u64 {
+        self.corrected
+    }
+
+    /// Total target cycles callers stalled in waits.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Current SoC time: every generated cycle has been emitted towards
+    /// the attached hardware by now (the paper's peripherals are clocked
+    /// by this count).
+    pub fn soc_time(&self) -> u64 {
+        self.generated + self.corrected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_rate_never_stalls() {
+        let mut d = SyncDevice::new(SyncRate::Unlimited);
+        d.start(0, 1000);
+        assert_eq!(d.wait(0), 0);
+        assert_eq!(d.generated(), 1000);
+    }
+
+    #[test]
+    fn ratio_generation_takes_time() {
+        // 25 target cycles per 6 SoC cycles.
+        let mut d = SyncDevice::new(SyncRate::Ratio { num: 25, den: 6 });
+        d.start(0, 6);
+        // 6 SoC cycles take 25 target cycles.
+        assert_eq!(d.wait(10), 15);
+        assert_eq!(d.wait(25), 0);
+        assert_eq!(d.stall_cycles(), 15);
+    }
+
+    #[test]
+    fn requests_queue_back_to_back() {
+        let mut d = SyncDevice::new(SyncRate::Ratio { num: 2, den: 1 });
+        d.start(0, 10); // done at 20
+        d.start(5, 5); // queued: done at 30
+        assert_eq!(d.wait(0), 30);
+        assert_eq!(d.generated(), 15);
+    }
+
+    #[test]
+    fn idle_device_restarts_from_now() {
+        let mut d = SyncDevice::new(SyncRate::Ratio { num: 2, den: 1 });
+        d.start(0, 5); // done at 10
+        assert_eq!(d.wait(50), 0);
+        d.start(100, 5); // begins at 100, done at 110
+        assert_eq!(d.wait(100), 10);
+    }
+
+    #[test]
+    fn corrections_share_the_queue_but_count_separately() {
+        let mut d = SyncDevice::new(SyncRate::Ratio { num: 1, den: 1 });
+        d.start(0, 10);
+        d.start_correction(0, 3);
+        assert_eq!(d.generated(), 10);
+        assert_eq!(d.corrected(), 3);
+        assert_eq!(d.soc_time(), 13);
+        assert_eq!(d.wait_correction(0), 13);
+    }
+
+    #[test]
+    fn zero_correction_is_a_noop() {
+        let mut d = SyncDevice::new(SyncRate::Ratio { num: 4, den: 1 });
+        d.start_correction(7, 0);
+        assert_eq!(d.corrected(), 0);
+        assert_eq!(d.wait(7), 0);
+    }
+
+    #[test]
+    fn rounding_is_up() {
+        let mut d = SyncDevice::new(SyncRate::Ratio { num: 25, den: 6 });
+        d.start(0, 1); // ceil(25/6) = 5
+        assert_eq!(d.wait(0), 5);
+    }
+}

@@ -1,0 +1,710 @@
+//! Architecture description of the source processor.
+//!
+//! The paper keeps "a description of the pipelines and the caches of the
+//! processor" in an XML file and feeds it to the translator; the golden
+//! reference model must obviously agree with it. Here the description is
+//! typed Rust data — [`Timing`], [`CacheConfig`], [`ArchDesc`] — and the
+//! *same* incremental timing machine ([`TimingModel`]) is used by
+//!
+//! * the golden-model simulator ([`crate::sim`]), which feeds it the
+//!   dynamic instruction stream and actual branch outcomes, and
+//! * the translator's static cycle calculator (`cabt-core`), which feeds
+//!   it one basic block at a time from a fresh [`TimingState`] and uses
+//!   the *minimum* branch cost, exactly as §3.3 of the paper prescribes.
+//!
+//! Because both consumers share this one model, the only sources of
+//! static-prediction error are the genuine ones from the paper: effects
+//! that cross basic-block boundaries, branch outcomes, and cache misses.
+
+use crate::isa::Instr;
+
+/// Issue pipeline of an instruction (the TriCore-style dual pipe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IssueClass {
+    /// Integer pipeline (data-register ALU and moves).
+    Ip,
+    /// Load/store pipeline (memory and address-register operations).
+    Ls,
+    /// Branch (terminates an issue group).
+    Br,
+}
+
+/// Classifies an instruction into its issue pipeline.
+pub fn issue_class(instr: &Instr) -> IssueClass {
+    use Instr::*;
+    match instr {
+        Ld { .. } | LdA { .. } | St { .. } | StA { .. } | LdW16 { .. } | StW16 { .. }
+        | Lea { .. } | MovA { .. } | MovAA { .. } | MovhA { .. } | MovD { .. } => IssueClass::Ls,
+        J { .. } | Jl { .. } | Ji { .. } | Jli { .. } | Jcond { .. } | JcondZ { .. }
+        | Loop { .. } | Ret16 | Debug16 => IssueClass::Br,
+        _ => IssueClass::Ip,
+    }
+}
+
+/// Latency and branch-cost parameters of the source pipeline.
+///
+/// All costs are in source-processor cycles. Conditional-branch costs
+/// follow the static-prediction scheme of §3.4.1: each branch has a
+/// minimum cost (added statically) plus outcome-dependent extra cycles
+/// (added by the dynamic correction code).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timing {
+    /// Result latency of simple ALU operations.
+    pub alu_latency: u32,
+    /// Result latency of `mul`/`madd`/`msub`.
+    pub mul_latency: u32,
+    /// Occupancy (and result latency) of the iterative divider.
+    pub div_cycles: u32,
+    /// Result latency of loads (`load_latency - 1` is the load-use stall).
+    pub load_latency: u32,
+    /// Cost of unconditional control transfers (`j`, `jl`, `ji`, `ret`).
+    pub jump_cycles: u32,
+    /// Cost of a conditional branch that was predicted taken and is taken.
+    pub cond_taken_correct: u32,
+    /// Cost of a conditional branch that was predicted not-taken and
+    /// falls through.
+    pub cond_nottaken_correct: u32,
+    /// Cost of a mispredicted conditional branch (either direction).
+    pub cond_mispredict: u32,
+    /// Cost of a `loop` instruction that branches back (loop pipeline).
+    pub loop_taken: u32,
+    /// Cost of a `loop` instruction that exits.
+    pub loop_exit: u32,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            alu_latency: 1,
+            mul_latency: 2,
+            div_cycles: 17,
+            load_latency: 2,
+            jump_cycles: 2,
+            cond_taken_correct: 2,
+            cond_nottaken_correct: 1,
+            cond_mispredict: 3,
+            loop_taken: 1,
+            loop_exit: 2,
+        }
+    }
+}
+
+impl Timing {
+    /// Static BTFN (backward-taken / forward-not-taken) branch
+    /// prediction, plus always-taken for the loop pipeline.
+    ///
+    /// Returns `None` for non-conditional instructions.
+    pub fn predicts_taken(&self, instr: &Instr) -> Option<bool> {
+        match *instr {
+            Instr::Jcond { disp16, .. } | Instr::JcondZ { disp16, .. } => Some(disp16 < 0),
+            Instr::Loop { .. } => Some(true),
+            _ => None,
+        }
+    }
+
+    /// The guaranteed minimum cost of a control transfer — the number the
+    /// paper folds into the static per-block cycle count ("such a
+    /// conditional branch needs a minimum number of cycles in all cases").
+    pub fn control_min(&self, instr: &Instr) -> u32 {
+        match *instr {
+            Instr::J { .. }
+            | Instr::Jl { .. }
+            | Instr::Ji { .. }
+            | Instr::Jli { .. }
+            | Instr::Ret16 => self.jump_cycles,
+            Instr::Jcond { disp16, .. } | Instr::JcondZ { disp16, .. } => {
+                if disp16 < 0 {
+                    // predicted taken: both outcomes cost at least the
+                    // taken-correct cost
+                    self.cond_taken_correct.min(self.cond_mispredict)
+                } else {
+                    self.cond_nottaken_correct.min(self.cond_mispredict)
+                }
+            }
+            Instr::Loop { .. } => self.loop_taken.min(self.loop_exit),
+            Instr::Debug16 => 1,
+            _ => 0,
+        }
+    }
+
+    /// Extra cycles of a conditional branch beyond [`Timing::control_min`],
+    /// given the actual direction. This is exactly what the paper's
+    /// inserted correction code computes at run time.
+    pub fn control_extra(&self, instr: &Instr, taken: bool) -> u32 {
+        let full = self.control_cost(instr, taken);
+        full - self.control_min(instr)
+    }
+
+    /// Full dynamic cost of a control transfer given its direction.
+    pub fn control_cost(&self, instr: &Instr, taken: bool) -> u32 {
+        match *instr {
+            Instr::J { .. }
+            | Instr::Jl { .. }
+            | Instr::Ji { .. }
+            | Instr::Jli { .. }
+            | Instr::Ret16 => self.jump_cycles,
+            Instr::Jcond { .. } | Instr::JcondZ { .. } => {
+                let predicted = self.predicts_taken(instr).expect("conditional");
+                match (predicted, taken) {
+                    (true, true) => self.cond_taken_correct,
+                    (false, false) => self.cond_nottaken_correct,
+                    _ => self.cond_mispredict,
+                }
+            }
+            Instr::Loop { .. } => {
+                if taken {
+                    self.loop_taken
+                } else {
+                    self.loop_exit
+                }
+            }
+            Instr::Debug16 => 1,
+            _ => 0,
+        }
+    }
+
+    /// Result latency of a non-control instruction.
+    pub fn result_latency(&self, instr: &Instr) -> u32 {
+        use crate::isa::BinOp;
+        match instr {
+            Instr::Ld { .. } | Instr::LdA { .. } | Instr::LdW16 { .. } => self.load_latency,
+            Instr::Bin { op: BinOp::Mul, .. } | Instr::Madd { .. } | Instr::Msub { .. } => {
+                self.mul_latency
+            }
+            Instr::Bin { op: BinOp::Div, .. }
+            | Instr::Bin { op: BinOp::Rem, .. }
+            | Instr::BinI { op: BinOp::Div, .. }
+            | Instr::BinI { op: BinOp::Rem, .. } => self.div_cycles,
+            Instr::BinI { op: BinOp::Mul, .. } => self.mul_latency,
+            _ => self.alu_latency,
+        }
+    }
+
+    /// Issue occupancy of an instruction (cycles the issue stage is
+    /// blocked). Only the iterative divider is non-pipelined.
+    pub fn occupancy(&self, instr: &Instr) -> u32 {
+        use crate::isa::BinOp;
+        match instr {
+            Instr::Bin { op: BinOp::Div, .. }
+            | Instr::Bin { op: BinOp::Rem, .. }
+            | Instr::BinI { op: BinOp::Div, .. }
+            | Instr::BinI { op: BinOp::Rem, .. } => self.div_cycles,
+            _ => 1,
+        }
+    }
+}
+
+/// Geometry of the instruction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets.
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Extra cycles per line fill on a miss.
+    pub miss_penalty: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // 1 KiB, 2-way, 32-byte lines: small enough that real programs
+        // exercise misses, as on the TC10GP-class parts.
+        CacheConfig { sets: 16, ways: 2, line_bytes: 32, miss_penalty: 8 }
+    }
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> u32 {
+        self.sets * self.ways * self.line_bytes
+    }
+
+    /// Line-aligned address of the line containing `addr`.
+    pub fn line_of(&self, addr: u32) -> u32 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// Set index of `addr`.
+    pub fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.line_bytes) % self.sets
+    }
+
+    /// Tag of `addr` (the address bits above the index).
+    pub fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.line_bytes / self.sets
+    }
+}
+
+/// A runnable model of the instruction cache: tags, valid bits and LRU
+/// state. Used by the golden model; the translator generates target code
+/// that maintains exactly this state in the emulated memory (Fig. 4 of
+/// the paper).
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    cfg: CacheConfig,
+    /// `tag | VALID` per (set, way); `u64` so every 32-bit tag fits beside
+    /// the valid bit.
+    tags: Vec<u64>,
+    /// LRU rank per (set, way); 0 = most recently used.
+    lru: Vec<u8>,
+    hits: u64,
+    misses: u64,
+}
+
+const VALID: u64 = 1 << 32;
+
+impl CacheSim {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let n = (cfg.sets * cfg.ways) as usize;
+        // LRU ranks start as a permutation per set so replacement is
+        // well-defined from the first fill on.
+        let lru = (0..n).map(|i| (i as u32 % cfg.ways) as u8).collect();
+        CacheSim { cfg, tags: vec![0; n], lru, hits: 0, misses: 0 }
+    }
+
+    /// The geometry this simulation uses.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Accesses the line containing `addr`. Returns `true` on hit.
+    /// Misses fill the LRU way; both outcomes update LRU ranks.
+    pub fn access(&mut self, addr: u32) -> bool {
+        let set = self.cfg.set_of(addr);
+        let tag = self.cfg.tag_of(addr) as u64;
+        let base = (set * self.cfg.ways) as usize;
+        let ways = self.cfg.ways as usize;
+        let slot = (0..ways).find(|&w| self.tags[base + w] == (tag | VALID));
+        match slot {
+            Some(w) => {
+                self.touch(base, ways, w);
+                self.hits += 1;
+                true
+            }
+            None => {
+                // Replace the way with the highest LRU rank.
+                let victim = (0..ways)
+                    .max_by_key(|&w| self.lru[base + w])
+                    .expect("at least one way");
+                self.tags[base + victim] = tag | VALID;
+                self.touch(base, ways, victim);
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    fn touch(&mut self, base: usize, ways: usize, used: usize) {
+        let old = self.lru[base + used];
+        for w in 0..ways {
+            if self.lru[base + w] < old {
+                self.lru[base + w] += 1;
+            }
+        }
+        self.lru[base + used] = 0;
+    }
+}
+
+/// Complete architecture description: what the paper's XML file carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchDesc {
+    /// Human-readable name of the described core.
+    pub name: String,
+    /// Core clock in Hz (the TC10GP board ran at 48 MHz).
+    pub clock_hz: u64,
+    /// Pipeline timing parameters.
+    pub timing: Timing,
+    /// Instruction-cache geometry.
+    pub cache: CacheConfig,
+}
+
+impl Default for ArchDesc {
+    fn default() -> Self {
+        ArchDesc {
+            name: "tc10gp-like".to_string(),
+            clock_hz: 48_000_000,
+            timing: Timing::default(),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// Incremental dual-issue timing machine shared by the golden model and
+/// the static cycle calculator.
+///
+/// Feed it instructions in (dynamic or static) program order via
+/// [`TimingModel::step`]; it accounts issue pairing, operand stalls,
+/// divider occupancy, MAC accumulator forwarding and control-transfer
+/// costs. Cache penalties are accounted separately by the caller (the
+/// golden model knows the dynamic fetch stream; the translated code
+/// maintains its own cache state).
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    timing: Timing,
+}
+
+/// Mutable pipeline state threaded through [`TimingModel::step`].
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct TimingState {
+    /// Cycle at which each register's value is available (index space of
+    /// [`Instr::reads`]).
+    ready: [u64; 32],
+    /// Early-forwarded availability for MAC accumulator chains.
+    mac_ready: [u64; 32],
+    /// First cycle at which the next issue group can start.
+    next: u64,
+    /// Open integer-pipe slot that a load/store instruction may pair into.
+    pair: Option<PairSlot>,
+}
+
+#[derive(Debug, Clone)]
+struct PairSlot {
+    cycle: u64,
+    writes: Vec<u8>,
+}
+
+
+impl TimingState {
+    /// Fresh pipeline state (everything ready at cycle 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total cycles consumed so far (the value of the cycle counter after
+    /// the last issue group retires its issue slot).
+    pub fn cycles(&self) -> u64 {
+        self.next
+    }
+
+    /// Inserts `cycles` of external stall (e.g. an instruction-cache line
+    /// fill). Fetch stalls break any open dual-issue slot.
+    pub fn stall(&mut self, cycles: u64) {
+        self.next += cycles;
+        self.pair = None;
+    }
+}
+
+/// What one [`TimingModel::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepInfo {
+    /// Cycle at which the instruction issued.
+    pub issue_cycle: u64,
+    /// `true` if it dual-issued into the previous integer slot.
+    pub paired: bool,
+}
+
+impl TimingModel {
+    /// Creates a timing machine over the given parameters.
+    pub fn new(timing: Timing) -> Self {
+        TimingModel { timing }
+    }
+
+    /// The underlying parameters.
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// Accounts one instruction. For conditional control transfers pass
+    /// the actual direction in `taken`; pass `None` to account only the
+    /// guaranteed minimum cost (the static-calculation mode of §3.3).
+    pub fn step(&self, st: &mut TimingState, instr: &Instr, taken: Option<bool>) -> StepInfo {
+        let class = issue_class(instr);
+        let reads = instr.reads();
+        let writes = instr.writes();
+
+        // Earliest cycle all operands are ready.
+        let mut operands_ready = 0u64;
+        for &r in &reads {
+            let mut avail = st.ready[r as usize];
+            // MAC accumulator forwarding: a madd/msub may consume the
+            // accumulator produced by the previous MAC one cycle early.
+            if matches!(instr, Instr::Madd { acc, .. } | Instr::Msub { acc, .. } if acc.0 == r) {
+                avail = avail.min(st.mac_ready[r as usize]);
+            }
+            operands_ready = operands_ready.max(avail);
+        }
+
+        // Try to pair into an open integer slot.
+        if class == IssueClass::Ls {
+            if let Some(slot) = &st.pair {
+                let conflicts = reads.iter().chain(writes.iter()).any(|r| slot.writes.contains(r));
+                if !conflicts && operands_ready <= slot.cycle {
+                    let cycle = slot.cycle;
+                    st.pair = None;
+                    self.retire(st, instr, cycle, &writes);
+                    // `next` was already advanced past `cycle` by the
+                    // integer instruction that opened the slot.
+                    return StepInfo { issue_cycle: cycle, paired: true };
+                }
+            }
+        }
+
+        let issue = st.next.max(operands_ready);
+
+        match class {
+            IssueClass::Br => {
+                let cost = match taken {
+                    Some(t) => self.timing.control_cost(instr, t),
+                    None => self.timing.control_min(instr),
+                };
+                st.next = issue + cost.max(1) as u64;
+                st.pair = None;
+                // Link-register writes become ready immediately after issue.
+                for &w in &writes {
+                    st.ready[w as usize] = issue + 1;
+                    st.mac_ready[w as usize] = issue + 1;
+                }
+            }
+            IssueClass::Ip | IssueClass::Ls => {
+                st.next = issue + self.timing.occupancy(instr) as u64;
+                st.pair = if class == IssueClass::Ip {
+                    Some(PairSlot { cycle: issue, writes: writes.clone() })
+                } else {
+                    None
+                };
+                self.retire(st, instr, issue, &writes);
+            }
+        }
+
+        StepInfo { issue_cycle: issue, paired: false }
+    }
+
+    fn retire(&self, st: &mut TimingState, instr: &Instr, issue: u64, writes: &[u8]) {
+        let lat = self.timing.result_latency(instr) as u64;
+        let is_mac = matches!(instr, Instr::Madd { .. } | Instr::Msub { .. });
+        for &w in writes {
+            st.ready[w as usize] = issue + lat;
+            st.mac_ready[w as usize] = if is_mac { issue + 1 } else { issue + lat };
+        }
+        // Post-increment address updates are fast (address ALU).
+        if let Instr::Ld { base, postinc: true, .. }
+        | Instr::LdA { base, postinc: true, .. }
+        | Instr::St { base, postinc: true, .. }
+        | Instr::StA { base, postinc: true, .. } = instr
+        {
+            st.ready[(base.0 + 16) as usize] = issue + 1;
+            st.mac_ready[(base.0 + 16) as usize] = issue + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AReg, BinOp, Cond, DReg, LdKind};
+
+    fn model() -> TimingModel {
+        TimingModel::new(Timing::default())
+    }
+
+    fn add(d: u8, s1: u8, s2: u8) -> Instr {
+        Instr::Bin { op: BinOp::Add, d: DReg(d), s1: DReg(s1), s2: DReg(s2) }
+    }
+
+    fn ldw(d: u8, base: u8) -> Instr {
+        Instr::Ld { kind: LdKind::W, d: DReg(d), base: AReg(base), off10: 0, postinc: false }
+    }
+
+    #[test]
+    fn independent_alu_ops_take_one_cycle_each() {
+        let m = model();
+        let mut st = TimingState::new();
+        m.step(&mut st, &add(0, 1, 2), None);
+        m.step(&mut st, &add(3, 4, 5), None);
+        m.step(&mut st, &add(6, 7, 8), None);
+        assert_eq!(st.cycles(), 3);
+    }
+
+    #[test]
+    fn ip_ls_pair_dual_issues() {
+        let m = model();
+        let mut st = TimingState::new();
+        let i1 = m.step(&mut st, &add(0, 1, 2), None);
+        let i2 = m.step(&mut st, &ldw(3, 4), None);
+        assert!(!i1.paired);
+        assert!(i2.paired);
+        assert_eq!(i1.issue_cycle, i2.issue_cycle);
+        assert_eq!(st.cycles(), 1);
+    }
+
+    #[test]
+    fn dependent_ls_does_not_pair() {
+        let m = model();
+        let mut st = TimingState::new();
+        // add writes d3; store reads d3 -> cannot share the cycle.
+        m.step(&mut st, &add(3, 1, 2), None);
+        let st_instr = Instr::St {
+            kind: crate::isa::StKind::W,
+            s: DReg(3),
+            base: AReg(4),
+            off10: 0,
+            postinc: false,
+        };
+        let info = m.step(&mut st, &st_instr, None);
+        assert!(!info.paired);
+        assert_eq!(st.cycles(), 2);
+    }
+
+    #[test]
+    fn ls_then_ip_does_not_pair() {
+        let m = model();
+        let mut st = TimingState::new();
+        m.step(&mut st, &ldw(3, 4), None);
+        let info = m.step(&mut st, &add(0, 1, 2), None);
+        assert!(!info.paired, "pairing is IP-slot first, LS second only");
+        assert_eq!(st.cycles(), 2);
+    }
+
+    #[test]
+    fn load_use_stalls_one_cycle() {
+        let m = model();
+        let mut st = TimingState::new();
+        m.step(&mut st, &ldw(1, 4), None); // d1 ready at cycle 2
+        let info = m.step(&mut st, &add(2, 1, 1), None);
+        assert_eq!(info.issue_cycle, 2);
+        assert_eq!(st.cycles(), 3);
+    }
+
+    #[test]
+    fn mul_latency_stalls_dependent() {
+        let m = model();
+        let mut st = TimingState::new();
+        let mul = Instr::Bin { op: BinOp::Mul, d: DReg(1), s1: DReg(2), s2: DReg(3) };
+        m.step(&mut st, &mul, None);
+        let info = m.step(&mut st, &add(4, 1, 1), None);
+        assert_eq!(info.issue_cycle, 2);
+    }
+
+    #[test]
+    fn mac_chain_forwards_accumulator() {
+        let m = model();
+        let mut st = TimingState::new();
+        let madd = |d: u8, acc: u8| Instr::Madd {
+            d: DReg(d),
+            acc: DReg(acc),
+            s1: DReg(5),
+            s2: DReg(6),
+        };
+        m.step(&mut st, &madd(1, 1), None);
+        let info = m.step(&mut st, &madd(1, 1), None);
+        assert_eq!(info.issue_cycle, 1, "accumulator chain must not stall");
+        // But a plain ALU consumer of the MAC result pays full latency.
+        let info = m.step(&mut st, &add(2, 1, 1), None);
+        assert_eq!(info.issue_cycle, 3);
+    }
+
+    #[test]
+    fn divider_blocks_issue() {
+        let m = model();
+        let mut st = TimingState::new();
+        let div = Instr::Bin { op: BinOp::Div, d: DReg(1), s1: DReg(2), s2: DReg(3) };
+        m.step(&mut st, &div, None);
+        assert_eq!(st.cycles(), Timing::default().div_cycles as u64);
+        let info = m.step(&mut st, &add(4, 5, 6), None);
+        assert_eq!(info.issue_cycle, Timing::default().div_cycles as u64);
+    }
+
+    #[test]
+    fn branch_costs_min_and_dynamic() {
+        let t = Timing::default();
+        let back = Instr::Jcond { cond: Cond::Ne, s1: DReg(0), s2: DReg(1), disp16: -4 };
+        let fwd = Instr::Jcond { cond: Cond::Ne, s1: DReg(0), s2: DReg(1), disp16: 4 };
+        assert_eq!(t.predicts_taken(&back), Some(true));
+        assert_eq!(t.predicts_taken(&fwd), Some(false));
+        assert_eq!(t.control_min(&back), 2);
+        assert_eq!(t.control_min(&fwd), 1);
+        assert_eq!(t.control_cost(&back, true), 2);
+        assert_eq!(t.control_cost(&back, false), 3);
+        assert_eq!(t.control_cost(&fwd, true), 3);
+        assert_eq!(t.control_cost(&fwd, false), 1);
+        assert_eq!(t.control_extra(&back, false), 1);
+        assert_eq!(t.control_extra(&fwd, true), 2);
+        let lp = Instr::Loop { a: AReg(2), disp16: -6 };
+        assert_eq!(t.control_min(&lp), 1);
+        assert_eq!(t.control_extra(&lp, false), 1);
+        assert_eq!(t.control_extra(&lp, true), 0);
+    }
+
+    #[test]
+    fn branch_closes_issue_group() {
+        let m = model();
+        let mut st = TimingState::new();
+        m.step(&mut st, &add(0, 1, 2), None);
+        m.step(&mut st, &Instr::J { disp24: 4 }, None);
+        // Branch cannot pair; costs jump_cycles.
+        assert_eq!(st.cycles(), 1 + 2);
+        // Nothing can pair into a slot after a branch.
+        let info = m.step(&mut st, &ldw(3, 4), None);
+        assert!(!info.paired);
+    }
+
+    #[test]
+    fn static_vs_dynamic_agree_on_straightline_code() {
+        // For a block without conditionals, min-cost accounting equals
+        // dynamic accounting — the invariant that makes level-1
+        // translation exact for straight-line code.
+        let m = model();
+        let prog =
+            [add(0, 1, 2), ldw(3, 4), add(5, 3, 3), add(6, 0, 5), Instr::J { disp24: 10 }];
+        let mut s1 = TimingState::new();
+        let mut s2 = TimingState::new();
+        for i in &prog {
+            m.step(&mut s1, i, None);
+            m.step(&mut s2, i, Some(true));
+        }
+        assert_eq!(s1.cycles(), s2.cycles());
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = CacheConfig::default();
+        assert_eq!(c.total_bytes(), 1024);
+        assert_eq!(c.line_of(0x8000_0047), 0x8000_0040);
+        assert_eq!(c.set_of(0x8000_0040), 2);
+        assert_eq!(c.set_of(0x8000_0040 + 32 * 16), 2, "wraps around the sets");
+        assert_ne!(c.tag_of(0x8000_0040), c.tag_of(0x8000_0040 + 32 * 16));
+    }
+
+    #[test]
+    fn cache_hits_and_lru_replacement() {
+        let mut c = CacheSim::new(CacheConfig { sets: 2, ways: 2, line_bytes: 16, miss_penalty: 8 });
+        // Three distinct lines mapping to set 0: addresses 0, 32, 64.
+        assert!(!c.access(0));
+        assert!(!c.access(32));
+        assert!(c.access(0), "both ways resident");
+        assert!(!c.access(64), "fills over LRU way (32)");
+        assert!(c.access(0), "0 was MRU, must survive");
+        assert!(!c.access(32), "32 was evicted");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 4);
+    }
+
+    #[test]
+    fn cache_respects_associativity_one() {
+        let mut c = CacheSim::new(CacheConfig { sets: 4, ways: 1, line_bytes: 16, miss_penalty: 8 });
+        assert!(!c.access(0));
+        assert!(!c.access(64)); // same set, direct-mapped conflict
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn arch_desc_defaults_match_paper_platform() {
+        let a = ArchDesc::default();
+        assert_eq!(a.clock_hz, 48_000_000);
+        assert_eq!(a.cache.total_bytes(), 1024);
+    }
+}

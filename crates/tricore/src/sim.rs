@@ -1,0 +1,679 @@
+//! Cycle-accurate interpretive golden model of the source processor.
+//!
+//! This simulator plays the role of the TriCore TC10GP evaluation board
+//! in the paper's experiments: it executes the same ELF images the
+//! translator consumes and reports the *measured* cycle count that the
+//! translated program's generated cycle count is compared against
+//! (Fig. 6), as well as the board-speed reference of Fig. 5 and Table 1.
+//!
+//! Timing comes from the shared [`TimingModel`]
+//! (dual-issue pairing, operand stalls, divider occupancy, branch costs
+//! with static BTFN prediction) plus a set-associative instruction cache
+//! ([`CacheSim`]) charged per line fetch.
+
+use crate::arch::{ArchDesc, CacheSim, TimingModel, TimingState};
+use crate::encode::decode_section;
+use crate::isa::{AReg, Instr, LdKind, StKind, RA};
+use cabt_isa::elf::ElfFile;
+use cabt_isa::mem::Memory;
+use cabt_isa::IsaError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Start of the memory-mapped I/O region on the source SoC bus.
+pub const IO_BASE: u32 = 0xf000_0000;
+/// End (exclusive) of the memory-mapped I/O region.
+pub const IO_END: u32 = 0xf010_0000;
+
+/// A memory-mapped device attached to the source processor's bus.
+///
+/// The golden model routes loads/stores inside `IO_BASE..IO_END` to this
+/// trait so the SoC-peripheral experiments can run the same program on
+/// the reference model and on the translated platform.
+pub trait IoDevice {
+    /// Handles a load of `size` bytes (1, 2 or 4) from `addr`.
+    fn io_read(&mut self, addr: u32, size: u32) -> u32;
+    /// Handles a store of `size` bytes to `addr`.
+    fn io_write(&mut self, addr: u32, size: u32, value: u32);
+}
+
+/// Errors raised while simulating.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program counter left the loaded program.
+    PcInvalid {
+        /// The bad program counter.
+        pc: u32,
+    },
+    /// A data access failed.
+    Mem(IsaError),
+    /// The instruction limit of [`Simulator::run`] was exceeded.
+    InstructionLimit,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PcInvalid { pc } => write!(f, "pc {pc:#010x} is outside the program"),
+            SimError::Mem(e) => write!(f, "memory fault: {e}"),
+            SimError::InstructionLimit => write!(f, "instruction limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<IsaError> for SimError {
+    fn from(e: IsaError) -> Self {
+        SimError::Mem(e)
+    }
+}
+
+/// Architectural register state.
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    d: [u32; 16],
+    a: [u32; 16],
+    /// Program counter.
+    pub pc: u32,
+}
+
+impl Cpu {
+    /// Reads data register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 15`.
+    pub fn d(&self, i: u8) -> u32 {
+        self.d[i as usize]
+    }
+
+    /// Reads address register `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 15`.
+    pub fn a(&self, i: u8) -> u32 {
+        self.a[i as usize]
+    }
+
+    /// Writes data register `i`.
+    pub fn set_d(&mut self, i: u8, v: u32) {
+        self.d[i as usize] = v;
+    }
+
+    /// Writes address register `i`.
+    pub fn set_a(&mut self, i: u8, v: u32) {
+        self.a[i as usize] = v;
+    }
+}
+
+/// Why [`Simulator::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// The program executed `debug` (normal termination).
+    Halted,
+}
+
+/// Counters accumulated while running.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Source-processor cycles consumed.
+    pub cycles: u64,
+    /// Conditional branches executed (including `loop`).
+    pub cond_branches: u64,
+    /// Conditional branches taken.
+    pub taken: u64,
+    /// Conditional branches whose static prediction was wrong.
+    pub mispredicted: u64,
+    /// Instruction-cache line accesses.
+    pub icache_accesses: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Why the run ended.
+    pub exit: Option<RunExitKind>,
+}
+
+/// Exit kind stored in [`RunStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExitKind {
+    /// Program halted via `debug`.
+    Halted,
+}
+
+/// The golden-model simulator.
+///
+/// # Example
+///
+/// ```
+/// use cabt_tricore::{asm::assemble, sim::Simulator};
+///
+/// let elf = assemble(".text\n_start: mov %d2, 7\n debug\n")?;
+/// let mut sim = Simulator::new(&elf)?;
+/// sim.run(100)?;
+/// assert_eq!(sim.cpu.d(2), 7);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Simulator {
+    /// Architectural register state.
+    pub cpu: Cpu,
+    /// Data memory (code is pre-decoded and never read as data).
+    pub mem: Memory,
+    arch: ArchDesc,
+    model: TimingModel,
+    tstate: TimingState,
+    cache: Option<CacheSim>,
+    program: HashMap<u32, Instr>,
+    stats: RunStats,
+    io: Option<Box<dyn IoDevice>>,
+    halted: bool,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("pc", &self.cpu.pc)
+            .field("stats", &self.stats)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator for `elf` with the default architecture
+    /// description (48 MHz TC10GP-like core, 1 KiB 2-way I-cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the image fails to load or its code
+    /// section does not decode.
+    pub fn new(elf: &ElfFile) -> Result<Self, SimError> {
+        Self::with_arch(elf, ArchDesc::default())
+    }
+
+    /// Builds a simulator with an explicit architecture description.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::new`].
+    pub fn with_arch(elf: &ElfFile, arch: ArchDesc) -> Result<Self, SimError> {
+        let mut mem = Memory::new();
+        elf.load_into(&mut mem)?;
+        let mut program = HashMap::new();
+        for s in &elf.sections {
+            if s.kind == cabt_isa::elf::SectionKind::Text {
+                let decoded = decode_section(s.addr, &s.data)
+                    .map_err(|_| SimError::PcInvalid { pc: s.addr })?;
+                program.extend(decoded);
+            }
+        }
+        let mut cpu = Cpu { pc: elf.entry, ..Cpu::default() };
+        cpu.set_a(10, 0xd003_0000); // default stack pointer
+        Ok(Simulator {
+            cpu,
+            mem,
+            model: TimingModel::new(arch.timing.clone()),
+            cache: Some(CacheSim::new(arch.cache)),
+            arch,
+            tstate: TimingState::new(),
+            program,
+            stats: RunStats::default(),
+            io: None,
+            halted: false,
+        })
+    }
+
+    /// Disables the instruction-cache model (an ideal-memory variant used
+    /// by ablation benches).
+    pub fn disable_icache(&mut self) {
+        self.cache = None;
+    }
+
+    /// Attaches a memory-mapped I/O device for `IO_BASE..IO_END`.
+    pub fn set_io_device(&mut self, dev: Box<dyn IoDevice>) {
+        self.io = Some(dev);
+    }
+
+    /// The architecture description in use.
+    pub fn arch(&self) -> &ArchDesc {
+        &self.arch
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> RunStats {
+        let mut s = self.stats;
+        s.cycles = self.tstate.cycles();
+        s
+    }
+
+    /// True once the program executed `debug`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Runs until `debug` halts the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InstructionLimit`] after `max_instructions`
+    /// retirements without a halt, or any fault from [`Simulator::step`].
+    pub fn run(&mut self, max_instructions: u64) -> Result<RunStats, SimError> {
+        while !self.halted {
+            if self.stats.instructions >= max_instructions {
+                return Err(SimError::InstructionLimit);
+            }
+            self.step()?;
+        }
+        Ok(self.stats())
+    }
+
+    /// Executes a single instruction, returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PcInvalid`] if the program counter points
+    /// outside the decoded program, or [`SimError::Mem`] on data faults.
+    pub fn step(&mut self) -> Result<Instr, SimError> {
+        let pc = self.cpu.pc;
+        let instr = *self.program.get(&pc).ok_or(SimError::PcInvalid { pc })?;
+
+        // Instruction-cache accounting: charge each line the fetch touches.
+        if let Some(cache) = &mut self.cache {
+            let cfg = *cache.config();
+            let first = cfg.line_of(pc);
+            let last = cfg.line_of(pc + instr.size() - 1);
+            let mut line = first;
+            loop {
+                self.stats.icache_accesses += 1;
+                if !cache.access(line) {
+                    self.stats.icache_misses += 1;
+                    self.tstate.stall(cfg.miss_penalty as u64);
+                }
+                if line == last {
+                    break;
+                }
+                line += cfg.line_bytes;
+            }
+        }
+
+        let mut next_pc = pc.wrapping_add(instr.size());
+        let mut taken: Option<bool> = None;
+
+        match instr {
+            Instr::Nop16 | Instr::Nop => {}
+            Instr::Debug16 => {
+                self.halted = true;
+                self.stats.exit = Some(RunExitKind::Halted);
+            }
+            Instr::Ret16 => next_pc = self.cpu.a(RA.0),
+            Instr::Mov16 { d, imm7 } => self.cpu.set_d(d.0, imm7 as i32 as u32),
+            Instr::MovRR16 { d, s } => self.cpu.set_d(d.0, self.cpu.d(s.0)),
+            Instr::Add16 { d, s } => {
+                self.cpu.set_d(d.0, self.cpu.d(d.0).wrapping_add(self.cpu.d(s.0)))
+            }
+            Instr::Sub16 { d, s } => {
+                self.cpu.set_d(d.0, self.cpu.d(d.0).wrapping_sub(self.cpu.d(s.0)))
+            }
+            Instr::LdW16 { d, a } => {
+                let v = self.load(self.cpu.a(a.0), LdKind::W)?;
+                self.cpu.set_d(d.0, v);
+            }
+            Instr::StW16 { a, s } => {
+                self.store(self.cpu.a(a.0), StKind::W, self.cpu.d(s.0))?;
+            }
+            Instr::Mov { d, imm16 } => self.cpu.set_d(d.0, imm16 as i32 as u32),
+            Instr::Movh { d, imm16 } => self.cpu.set_d(d.0, (imm16 as u32) << 16),
+            Instr::MovhA { a, imm16 } => self.cpu.set_a(a.0, (imm16 as u32) << 16),
+            Instr::Addi { d, s, imm16 } => {
+                self.cpu.set_d(d.0, self.cpu.d(s.0).wrapping_add(imm16 as i32 as u32))
+            }
+            Instr::Addih { d, s, imm16 } => {
+                self.cpu.set_d(d.0, self.cpu.d(s.0).wrapping_add((imm16 as u32) << 16))
+            }
+            Instr::MovRR { d, s } => self.cpu.set_d(d.0, self.cpu.d(s.0)),
+            Instr::MovA { a, s } => self.cpu.set_a(a.0, self.cpu.d(s.0)),
+            Instr::MovD { d, a } => self.cpu.set_d(d.0, self.cpu.a(a.0)),
+            Instr::MovAA { a, s } => self.cpu.set_a(a.0, self.cpu.a(s.0)),
+            Instr::Lea { a, base, off16 } => {
+                self.cpu.set_a(a.0, self.cpu.a(base.0).wrapping_add(off16 as i32 as u32))
+            }
+            Instr::Bin { op, d, s1, s2 } => {
+                self.cpu.set_d(d.0, op.apply(self.cpu.d(s1.0), self.cpu.d(s2.0)))
+            }
+            Instr::BinI { op, d, s1, imm9 } => {
+                self.cpu.set_d(d.0, op.apply(self.cpu.d(s1.0), imm9 as i32 as u32))
+            }
+            Instr::Madd { d, acc, s1, s2 } => {
+                let v = self
+                    .cpu
+                    .d(acc.0)
+                    .wrapping_add(self.cpu.d(s1.0).wrapping_mul(self.cpu.d(s2.0)));
+                self.cpu.set_d(d.0, v);
+            }
+            Instr::Msub { d, acc, s1, s2 } => {
+                let v = self
+                    .cpu
+                    .d(acc.0)
+                    .wrapping_sub(self.cpu.d(s1.0).wrapping_mul(self.cpu.d(s2.0)));
+                self.cpu.set_d(d.0, v);
+            }
+            Instr::Ld { kind, d, base, off10, postinc } => {
+                let addr = self.ea(base, off10, postinc);
+                let v = self.load(addr, kind)?;
+                self.cpu.set_d(d.0, v);
+            }
+            Instr::LdA { a, base, off10, postinc } => {
+                let addr = self.ea(base, off10, postinc);
+                let v = self.load(addr, LdKind::W)?;
+                self.cpu.set_a(a.0, v);
+            }
+            Instr::St { kind, s, base, off10, postinc } => {
+                let addr = self.ea(base, off10, postinc);
+                self.store(addr, kind, self.cpu.d(s.0))?;
+            }
+            Instr::StA { s, base, off10, postinc } => {
+                let addr = self.ea(base, off10, postinc);
+                self.store(addr, StKind::W, self.cpu.a(s.0))?;
+            }
+            Instr::J { .. } => next_pc = instr.target(pc).expect("direct"),
+            Instr::Jl { .. } => {
+                self.cpu.set_a(RA.0, next_pc);
+                next_pc = instr.target(pc).expect("direct");
+            }
+            Instr::Ji { a } => next_pc = self.cpu.a(a.0),
+            Instr::Jli { a } => {
+                let t = self.cpu.a(a.0);
+                self.cpu.set_a(RA.0, next_pc);
+                next_pc = t;
+            }
+            Instr::Jcond { cond, s1, s2, .. } => {
+                let t = cond.eval(self.cpu.d(s1.0), self.cpu.d(s2.0));
+                taken = Some(t);
+                if t {
+                    next_pc = instr.target(pc).expect("direct");
+                }
+            }
+            Instr::JcondZ { cond, s1, .. } => {
+                let t = cond.eval(self.cpu.d(s1.0), 0);
+                taken = Some(t);
+                if t {
+                    next_pc = instr.target(pc).expect("direct");
+                }
+            }
+            Instr::Loop { a, .. } => {
+                let v = self.cpu.a(a.0).wrapping_sub(1);
+                self.cpu.set_a(a.0, v);
+                let t = v != 0;
+                taken = Some(t);
+                if t {
+                    next_pc = instr.target(pc).expect("direct");
+                }
+            }
+        }
+
+        // Timing: dynamic outcome for conditionals, exact for the rest.
+        let dyn_taken = taken.or(Some(true));
+        self.model.step(&mut self.tstate, &instr, dyn_taken);
+
+        if let Some(t) = taken {
+            self.stats.cond_branches += 1;
+            if t {
+                self.stats.taken += 1;
+            }
+            if self.arch.timing.predicts_taken(&instr) != Some(t) {
+                self.stats.mispredicted += 1;
+            }
+        }
+
+        self.stats.instructions += 1;
+        self.cpu.pc = next_pc;
+        Ok(instr)
+    }
+
+    fn ea(&mut self, base: AReg, off10: i16, postinc: bool) -> u32 {
+        let b = self.cpu.a(base.0);
+        if postinc {
+            self.cpu.set_a(base.0, b.wrapping_add(off10 as i32 as u32));
+            b
+        } else {
+            b.wrapping_add(off10 as i32 as u32)
+        }
+    }
+
+    fn load(&mut self, addr: u32, kind: LdKind) -> Result<u32, SimError> {
+        if (IO_BASE..IO_END).contains(&addr) {
+            if let Some(dev) = &mut self.io {
+                let size = match kind {
+                    LdKind::B | LdKind::Bu => 1,
+                    LdKind::H | LdKind::Hu => 2,
+                    LdKind::W => 4,
+                };
+                return Ok(dev.io_read(addr, size));
+            }
+        }
+        Ok(match kind {
+            LdKind::B => self.mem.read_u8(addr)? as i8 as i32 as u32,
+            LdKind::Bu => self.mem.read_u8(addr)? as u32,
+            LdKind::H => self.mem.read_u16(addr)? as i16 as i32 as u32,
+            LdKind::Hu => self.mem.read_u16(addr)? as u32,
+            LdKind::W => self.mem.read_u32(addr)?,
+        })
+    }
+
+    fn store(&mut self, addr: u32, kind: StKind, value: u32) -> Result<(), SimError> {
+        if (IO_BASE..IO_END).contains(&addr) {
+            if let Some(dev) = &mut self.io {
+                let size = match kind {
+                    StKind::B => 1,
+                    StKind::H => 2,
+                    StKind::W => 4,
+                };
+                dev.io_write(addr, size, value);
+                return Ok(());
+            }
+        }
+        match kind {
+            StKind::B => self.mem.write_u8(addr, value as u8)?,
+            StKind::H => self.mem.write_u16(addr, value as u16)?,
+            StKind::W => self.mem.write_u32(addr, value)?,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str) -> Simulator {
+        let elf = assemble(src).expect("assembles");
+        let mut sim = Simulator::new(&elf).expect("loads");
+        sim.run(1_000_000).expect("halts");
+        sim
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let sim = run(".text\n_start: mov %d1, 20\nmov %d2, 22\nadd %d2, %d1\ndebug\n");
+        assert_eq!(sim.cpu.d(2), 42);
+        assert!(sim.is_halted());
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let sim = run("
+            .text
+        _start:
+            movh.a %a2, hi:buf
+            lea  %a2, [%a2]lo:buf
+            mov  %d1, -5
+            st.w [%a2]0, %d1
+            ld.w %d3, [%a2]0
+            ld.h %d4, [%a2]0
+            ld.bu %d5, [%a2]0
+            debug
+            .data
+        buf: .word 0
+        ");
+        assert_eq!(sim.cpu.d(3), (-5i32) as u32);
+        assert_eq!(sim.cpu.d(4), (-5i32) as u32);
+        assert_eq!(sim.cpu.d(5), 0xfb);
+    }
+
+    #[test]
+    fn postincrement_walks_array() {
+        let sim = run("
+            .text
+        _start:
+            movh.a %a2, hi:arr
+            lea  %a2, [%a2]lo:arr
+            mov  %d2, 0
+            mov  %d0, 4
+            mov.a %a3, %d0
+        sum:
+            ld.w %d1, [%a2+]4
+            add  %d2, %d1
+            loop %a3, sum
+            debug
+            .data
+        arr: .word 10, 20, 30, 40
+        ");
+        assert_eq!(sim.cpu.d(2), 100);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let sim = run("
+            .text
+        _start:
+            mov %d2, 1
+            call double
+            call double
+            debug
+        double:
+            add %d2, %d2
+            ret
+        ");
+        assert_eq!(sim.cpu.d(2), 4);
+    }
+
+    #[test]
+    fn conditional_branch_stats() {
+        let sim = run("
+            .text
+        _start:
+            mov %d0, 10
+            mov %d2, 0
+        top:
+            add %d2, %d0
+            addi %d0, %d0, -1
+            jnz %d0, top
+            debug
+        ");
+        assert_eq!(sim.cpu.d(2), 55);
+        let st = sim.stats();
+        assert_eq!(st.cond_branches, 10);
+        assert_eq!(st.taken, 9);
+        // Backward branch is predicted taken: exactly one mispredict (exit).
+        assert_eq!(st.mispredicted, 1);
+        assert_eq!(st.exit, Some(RunExitKind::Halted));
+    }
+
+    #[test]
+    fn cycles_exceed_instructions_and_track_cache() {
+        let sim = run(".text\n_start: mov %d1, 1\nmov %d2, 2\nmov %d3, 3\ndebug\n");
+        let st = sim.stats();
+        assert_eq!(st.instructions, 4);
+        assert!(st.cycles >= st.instructions);
+        assert!(st.icache_accesses >= 4);
+        assert!(st.icache_misses >= 1, "cold start must miss");
+    }
+
+    #[test]
+    fn icache_can_be_disabled() {
+        let elf = assemble(".text\n_start: mov %d1, 1\ndebug\n").unwrap();
+        let mut sim = Simulator::new(&elf).unwrap();
+        sim.disable_icache();
+        sim.run(100).unwrap();
+        assert_eq!(sim.stats().icache_accesses, 0);
+    }
+
+    #[test]
+    fn invalid_pc_faults() {
+        let elf = assemble(".text\n_start: ji %a0\n").unwrap();
+        let mut sim = Simulator::new(&elf).unwrap();
+        sim.cpu.set_a(0, 0x1234_0000);
+        sim.step().unwrap();
+        assert!(matches!(sim.step(), Err(SimError::PcInvalid { pc: 0x1234_0000 })));
+    }
+
+    #[test]
+    fn instruction_limit_enforced() {
+        let elf = assemble(".text\n_start: j _start\n").unwrap();
+        let mut sim = Simulator::new(&elf).unwrap();
+        assert_eq!(sim.run(50), Err(SimError::InstructionLimit));
+    }
+
+    #[test]
+    fn io_device_sees_accesses() {
+        struct Probe(Vec<(u32, u32)>);
+        impl IoDevice for Probe {
+            fn io_read(&mut self, _addr: u32, _size: u32) -> u32 {
+                0x55
+            }
+            fn io_write(&mut self, addr: u32, _size: u32, value: u32) {
+                self.0.push((addr, value));
+            }
+        }
+        let elf = assemble("
+            .text
+        _start:
+            movh.a %a2, 0xf000
+            mov %d1, 9
+            st.w [%a2]16, %d1
+            ld.w %d3, [%a2]16
+            debug
+        ")
+        .unwrap();
+        let mut sim = Simulator::new(&elf).unwrap();
+        sim.set_io_device(Box::new(Probe(Vec::new())));
+        sim.run(100).unwrap();
+        assert_eq!(sim.cpu.d(3), 0x55);
+    }
+
+    #[test]
+    fn loop_instruction_counts_iterations() {
+        let sim = run("
+            .text
+        _start:
+            mov %d0, 5
+            mov.a %a4, %d0
+            mov %d2, 0
+        body:
+            addi %d2, %d2, 1
+            loop %a4, body
+            debug
+        ");
+        assert_eq!(sim.cpu.d(2), 5);
+    }
+
+    #[test]
+    fn madd_accumulates() {
+        let sim = run(".text\n_start: mov %d1, 3\nmov %d2, 4\nmov %d3, 10\nmadd %d4, %d3, %d1, %d2\ndebug\n");
+        assert_eq!(sim.cpu.d(4), 22);
+    }
+
+    #[test]
+    fn shift_and_logic_semantics() {
+        let sim = run(
+            ".text\n_start: mov %d1, -8\nsra %d2, %d1, 1\nsrl %d3, %d1, 1\nsll %d4, %d1, 1\nand %d5, %d1, 0xf\ndebug\n",
+        );
+        assert_eq!(sim.cpu.d(2) as i32, -4);
+        assert_eq!(sim.cpu.d(3), 0x7fff_fffc);
+        assert_eq!(sim.cpu.d(4) as i32, -16);
+        assert_eq!(sim.cpu.d(5), 8);
+    }
+}

@@ -1,0 +1,351 @@
+//! Binary container encoding for translated VLIW programs.
+//!
+//! Each slot occupies two little-endian 32-bit words. The first word
+//! carries the C6x-style **p-bit** (bit 0: `1` = the next slot belongs to
+//! the same execute packet), the opcode, the predicate, the functional
+//! unit and up to three 6-bit register fields; the second word carries
+//! the immediate/displacement. This is wider than the real C6x's packed
+//! 32-bit format (documented as a container-format substitution in
+//! DESIGN.md) but preserves the property that translated programs are
+//! self-contained binary images with packet chaining, which is what the
+//! debug interface and the ELF round-trip rely on.
+//!
+//! Word 0 layout: `p` bit 0, `opcode` bits `[6:1]`, `pred` bits `[10:7]`
+//! (0 = none, 1..=12 enumerate (condition register, negated)), `unit`
+//! bits `[13:11]`, `dst` bits `[19:14]`, `src1` bits `[25:20]`, `src2`
+//! bits `[31:26]` (register fields use 63 = unused).
+
+use crate::isa::{Op, Packet, Pred, Reg, Slot, Unit, Width, PRED_REGS};
+use std::fmt;
+
+/// Error decoding a translated image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset of the offending word.
+    pub offset: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal VLIW encoding at byte offset {}", self.offset)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn op_num(op: &Op) -> u32 {
+    match op {
+        Op::Add { .. } => 1,
+        Op::Sub { .. } => 2,
+        Op::And { .. } => 3,
+        Op::Or { .. } => 4,
+        Op::Xor { .. } => 5,
+        Op::AddI { .. } => 6,
+        Op::Shl { .. } => 7,
+        Op::Shr { .. } => 8,
+        Op::Shru { .. } => 9,
+        Op::ShlI { .. } => 10,
+        Op::ShrI { .. } => 11,
+        Op::ShruI { .. } => 12,
+        Op::Mpy { .. } => 13,
+        Op::Div { .. } => 14,
+        Op::Rem { .. } => 15,
+        Op::CmpEq { .. } => 16,
+        Op::CmpGt { .. } => 17,
+        Op::CmpGtU { .. } => 18,
+        Op::CmpLt { .. } => 19,
+        Op::CmpLtU { .. } => 20,
+        Op::Mv { .. } => 21,
+        Op::Mvk { .. } => 22,
+        Op::Mvkh { .. } => 23,
+        Op::Ld { w: Width::B, unsigned: false, .. } => 24,
+        Op::Ld { w: Width::B, unsigned: true, .. } => 25,
+        Op::Ld { w: Width::H, unsigned: false, .. } => 26,
+        Op::Ld { w: Width::H, unsigned: true, .. } => 27,
+        Op::Ld { w: Width::W, .. } => 28,
+        Op::St { w: Width::B, .. } => 29,
+        Op::St { w: Width::H, .. } => 30,
+        Op::St { w: Width::W, .. } => 31,
+        Op::B { .. } => 32,
+        Op::BReg { .. } => 33,
+        Op::Nop { .. } => 34,
+        Op::Halt => 35,
+    }
+}
+
+fn pred_num(p: Option<Pred>) -> u32 {
+    match p {
+        None => 0,
+        Some(p) => {
+            let i = PRED_REGS.iter().position(|&r| r == p.reg).expect("validated predicate");
+            1 + (i as u32) * 2 + (p.negated as u32)
+        }
+    }
+}
+
+fn pred_from(n: u32) -> Option<Option<Pred>> {
+    if n == 0 {
+        return Some(None);
+    }
+    let n = n - 1;
+    let reg = *PRED_REGS.get((n / 2) as usize)?;
+    Some(Some(Pred { reg, negated: n % 2 == 1 }))
+}
+
+/// Encodes one slot into its two words.
+fn encode_slot(slot: &Slot, p_bit: bool) -> [u32; 2] {
+    let (d, s1, s2, imm) = fields(&slot.op);
+    let unit = Unit::ALL.iter().position(|&u| u == slot.unit).expect("unit listed") as u32;
+    let w0 = (p_bit as u32)
+        | (op_num(&slot.op) << 1)
+        | (pred_num(slot.pred) << 7)
+        | (unit << 11)
+        | (d << 14)
+        | (s1 << 20)
+        | (s2 << 26);
+    [w0, imm]
+}
+
+fn fields(op: &Op) -> (u32, u32, u32, u32) {
+    let r = |r: Reg| r.index() as u32;
+    match *op {
+        Op::Add { d, s1, s2 }
+        | Op::Sub { d, s1, s2 }
+        | Op::And { d, s1, s2 }
+        | Op::Or { d, s1, s2 }
+        | Op::Xor { d, s1, s2 }
+        | Op::Shl { d, s1, s2 }
+        | Op::Shr { d, s1, s2 }
+        | Op::Shru { d, s1, s2 }
+        | Op::Mpy { d, s1, s2 }
+        | Op::Div { d, s1, s2 }
+        | Op::Rem { d, s1, s2 }
+        | Op::CmpEq { d, s1, s2 }
+        | Op::CmpGt { d, s1, s2 }
+        | Op::CmpGtU { d, s1, s2 }
+        | Op::CmpLt { d, s1, s2 }
+        | Op::CmpLtU { d, s1, s2 } => (r(d), r(s1), r(s2), 0),
+        Op::AddI { d, s1, imm5 } => (r(d), r(s1), 0, imm5 as i32 as u32),
+        Op::ShlI { d, s1, imm5 } | Op::ShrI { d, s1, imm5 } | Op::ShruI { d, s1, imm5 } => {
+            (r(d), r(s1), 0, imm5 as u32)
+        }
+        Op::Mv { d, s } => (r(d), r(s), 0, 0),
+        Op::Mvk { d, imm16 } => (r(d), 0, 0, imm16 as i32 as u32),
+        Op::Mvkh { d, imm16 } => (r(d), 0, 0, imm16 as u32),
+        Op::Ld { d, base, woff, .. } => (r(d), r(base), 0, woff as i32 as u32),
+        Op::St { s, base, woff, .. } => (0, r(s), r(base), woff as i32 as u32),
+        Op::B { disp21 } => (0, 0, 0, disp21 as u32),
+        Op::BReg { s } => (0, r(s), 0, 0),
+        Op::Nop { count } => (0, 0, 0, count as u32),
+        Op::Halt => (0, 0, 0, 0),
+    }
+}
+
+/// Serializes a program (a list of execute packets) to bytes.
+///
+/// Empty packets encode as a single-cycle NOP slot so every packet
+/// occupies at least one slot.
+pub fn encode_program(packets: &[Packet]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for p in packets {
+        let slots = p.slots();
+        if slots.is_empty() {
+            let nop = Slot::new(Unit::S1, Op::Nop { count: 1 });
+            for w in encode_slot(&nop, false) {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            continue;
+        }
+        for (i, s) in slots.iter().enumerate() {
+            let p_bit = i + 1 < slots.len();
+            for w in encode_slot(s, p_bit) {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Parses bytes produced by [`encode_program`] back into packets, with
+/// `base` as the address of the first slot.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unallocated opcodes, bad register or
+/// predicate fields, or a truncated image.
+pub fn decode_program(base: u32, bytes: &[u8]) -> Result<Vec<Packet>, DecodeError> {
+    let mut packets = Vec::new();
+    let mut current: Option<Packet> = None;
+    let mut off = 0usize;
+    while off < bytes.len() {
+        if off + 8 > bytes.len() {
+            return Err(DecodeError { offset: off });
+        }
+        let w0 = u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
+        let imm =
+            u32::from_le_bytes([bytes[off + 4], bytes[off + 5], bytes[off + 6], bytes[off + 7]]);
+        let p_bit = w0 & 1 != 0;
+        let slot = decode_slot(w0, imm).ok_or(DecodeError { offset: off })?;
+        let addr = base + off as u32;
+        let pkt = current.get_or_insert_with(|| Packet::at(addr));
+        pkt.push(slot).map_err(|_| DecodeError { offset: off })?;
+        if !p_bit {
+            packets.push(current.take().expect("just inserted"));
+        }
+        off += 8;
+    }
+    if current.is_some() {
+        // p-bit chain ran off the end of the image.
+        return Err(DecodeError { offset: bytes.len() });
+    }
+    Ok(packets)
+}
+
+fn decode_slot(w0: u32, imm: u32) -> Option<Slot> {
+    let op_n = (w0 >> 1) & 0x3f;
+    let pred = pred_from((w0 >> 7) & 0xf)?;
+    let unit = *Unit::ALL.get(((w0 >> 11) & 0x7) as usize)?;
+    let rd = (w0 >> 14) & 0x3f;
+    let rs1 = (w0 >> 20) & 0x3f;
+    let rs2 = (w0 >> 26) & 0x3f;
+    let d = Reg::from_index(rd as u8);
+    let s1 = Reg::from_index(rs1 as u8);
+    let s2 = Reg::from_index(rs2 as u8);
+    let r3 = |f: fn(Reg, Reg, Reg) -> Op| Some(f(d, s1, s2));
+
+    let op = match op_n {
+        1 => r3(|d, s1, s2| Op::Add { d, s1, s2 })?,
+        2 => r3(|d, s1, s2| Op::Sub { d, s1, s2 })?,
+        3 => r3(|d, s1, s2| Op::And { d, s1, s2 })?,
+        4 => r3(|d, s1, s2| Op::Or { d, s1, s2 })?,
+        5 => r3(|d, s1, s2| Op::Xor { d, s1, s2 })?,
+        6 => Op::AddI { d, s1, imm5: imm as i32 as i8 },
+        7 => r3(|d, s1, s2| Op::Shl { d, s1, s2 })?,
+        8 => r3(|d, s1, s2| Op::Shr { d, s1, s2 })?,
+        9 => r3(|d, s1, s2| Op::Shru { d, s1, s2 })?,
+        10 => Op::ShlI { d, s1, imm5: imm as u8 },
+        11 => Op::ShrI { d, s1, imm5: imm as u8 },
+        12 => Op::ShruI { d, s1, imm5: imm as u8 },
+        13 => r3(|d, s1, s2| Op::Mpy { d, s1, s2 })?,
+        14 => r3(|d, s1, s2| Op::Div { d, s1, s2 })?,
+        15 => r3(|d, s1, s2| Op::Rem { d, s1, s2 })?,
+        16 => r3(|d, s1, s2| Op::CmpEq { d, s1, s2 })?,
+        17 => r3(|d, s1, s2| Op::CmpGt { d, s1, s2 })?,
+        18 => r3(|d, s1, s2| Op::CmpGtU { d, s1, s2 })?,
+        19 => r3(|d, s1, s2| Op::CmpLt { d, s1, s2 })?,
+        20 => r3(|d, s1, s2| Op::CmpLtU { d, s1, s2 })?,
+        21 => Op::Mv { d, s: s1 },
+        22 => Op::Mvk { d, imm16: imm as i32 as i16 },
+        23 => Op::Mvkh { d, imm16: imm as u16 },
+        24 => Op::Ld { w: Width::B, unsigned: false, d, base: s1, woff: imm as i32 as i16 },
+        25 => Op::Ld { w: Width::B, unsigned: true, d, base: s1, woff: imm as i32 as i16 },
+        26 => Op::Ld { w: Width::H, unsigned: false, d, base: s1, woff: imm as i32 as i16 },
+        27 => Op::Ld { w: Width::H, unsigned: true, d, base: s1, woff: imm as i32 as i16 },
+        28 => Op::Ld { w: Width::W, unsigned: false, d, base: s1, woff: imm as i32 as i16 },
+        29 => Op::St { w: Width::B, s: s1, base: s2, woff: imm as i32 as i16 },
+        30 => Op::St { w: Width::H, s: s1, base: s2, woff: imm as i32 as i16 },
+        31 => Op::St { w: Width::W, s: s1, base: s2, woff: imm as i32 as i16 },
+        32 => Op::B { disp21: imm as i32 },
+        33 => Op::BReg { s: s1 },
+        34 => Op::Nop { count: imm as u8 },
+        35 => Op::Halt,
+        _ => return None,
+    };
+    Some(Slot { unit, pred, op })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Vec<Packet> {
+        let mut p0 = Packet::at(0x1000);
+        p0.push(Slot::new(Unit::S1, Op::Mvk { d: Reg::a(3), imm16: -7 })).unwrap();
+        p0.push(Slot::new(Unit::L1, Op::Add { d: Reg::a(4), s1: Reg::a(5), s2: Reg::a(6) }))
+            .unwrap();
+        p0.push(Slot::new(Unit::D2, Op::Ld {
+            w: Width::W,
+            unsigned: false,
+            d: Reg::b(1),
+            base: Reg::b(2),
+            woff: -3,
+        }))
+        .unwrap();
+        let mut p1 = Packet::at(0x1000 + p0.size());
+        p1.push(Slot::when(Unit::S2, Pred::z(Reg::b(0)), Op::B { disp21: -6 })).unwrap();
+        let mut p2 = Packet::at(p1.addr + p1.size());
+        p2.push(Slot::new(Unit::S1, Op::Nop { count: 5 })).unwrap();
+        let mut p3 = Packet::at(p2.addr + p2.size());
+        p3.push(Slot::new(Unit::S1, Op::Halt)).unwrap();
+        vec![p0, p1, p2, p3]
+    }
+
+    #[test]
+    fn round_trip_preserves_packets() {
+        let prog = sample_program();
+        let bytes = encode_program(&prog);
+        let back = decode_program(0x1000, &bytes).unwrap();
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn p_bit_chains_slots_within_packet() {
+        let prog = sample_program();
+        let bytes = encode_program(&prog);
+        // First packet has three slots: p-bits 1,1,0.
+        assert_eq!(bytes[0] & 1, 1);
+        assert_eq!(bytes[8] & 1, 1);
+        assert_eq!(bytes[16] & 1, 0);
+        assert_eq!(bytes[24] & 1, 0, "second packet is a single slot");
+    }
+
+    #[test]
+    fn empty_packet_encodes_as_nop() {
+        let prog = vec![Packet::at(0)];
+        let bytes = encode_program(&prog);
+        assert_eq!(bytes.len(), 8);
+        let back = decode_program(0, &bytes).unwrap();
+        assert_eq!(back[0].slots().len(), 1);
+        assert!(matches!(back[0].slots()[0].op, Op::Nop { count: 1 }));
+    }
+
+    #[test]
+    fn truncated_image_fails() {
+        let bytes = encode_program(&sample_program());
+        assert!(decode_program(0x1000, &bytes[..bytes.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn unterminated_p_chain_fails() {
+        let mut p = Packet::at(0);
+        p.push(Slot::new(Unit::L1, Op::Add { d: Reg::a(1), s1: Reg::a(2), s2: Reg::a(3) }))
+            .unwrap();
+        let mut bytes = encode_program(&[p]);
+        bytes[0] |= 1; // claim a following slot that is not there
+        assert!(decode_program(0, &bytes).is_err());
+    }
+
+    #[test]
+    fn bad_opcode_fails() {
+        let mut bytes = encode_program(&sample_program());
+        bytes[0] = (bytes[0] & 1) | (63 << 1); // opcode 63 unallocated
+        assert!(decode_program(0x1000, &bytes).is_err());
+    }
+
+    #[test]
+    fn predicates_survive_round_trip() {
+        for (i, &reg) in PRED_REGS.iter().enumerate() {
+            for negated in [false, true] {
+                let mut p = Packet::at(0);
+                p.push(Slot::when(
+                    Unit::L1,
+                    Pred { reg, negated },
+                    Op::Add { d: Reg::a(9), s1: Reg::a(9), s2: Reg::a(9) },
+                ))
+                .unwrap();
+                let back = decode_program(0, &encode_program(&[p.clone()])).unwrap();
+                assert_eq!(back[0], p, "predicate {i} negated={negated}");
+            }
+        }
+    }
+}

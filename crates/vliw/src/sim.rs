@@ -1,0 +1,699 @@
+//! Cycle-counting simulator for the VLIW target.
+//!
+//! Executes a translated program packet by packet, modelling exactly the
+//! timing properties the experiments depend on: one cycle per execute
+//! packet, multi-cycle NOPs, delayed register write-back (loads 4 delay
+//! slots, multiplies 1, iterative divide 17), branch shadows of 5 issue
+//! slots, and stall cycles injected by memory-mapped devices through
+//! [`TargetBus`] — which is how the platform's synchronization device
+//! makes a "wait for end of cycle generation" read block.
+
+use crate::isa::{Op, Packet, Reg, Slot, Width};
+use cabt_isa::mem::Memory;
+use cabt_isa::IsaError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A memory-mapped device region on the target's bus.
+///
+/// Reads return the value *and* the number of stall cycles the access
+/// costs; writes return stall cycles. The platform implements its
+/// synchronization device and SoC-bus adapter behind this trait.
+pub trait TargetBus {
+    /// True if `addr` belongs to this device region.
+    fn covers(&self, addr: u32) -> bool;
+    /// Handles a load of `size` bytes; returns `(value, stall_cycles)`.
+    /// `cycle` is the current target cycle, so devices can model elapsed
+    /// time between accesses.
+    fn bus_read(&mut self, cycle: u64, addr: u32, size: u32) -> (u32, u64);
+    /// Handles a store; returns stall cycles.
+    fn bus_write(&mut self, cycle: u64, addr: u32, size: u32, value: u32) -> u64;
+}
+
+/// Errors raised while executing target code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VliwError {
+    /// Execution fell off the end of the program or branched to an
+    /// address that is not a packet start.
+    BadPc {
+        /// The bad target address.
+        addr: u32,
+    },
+    /// A branch was issued while another branch was still in its shadow.
+    OverlappingBranches {
+        /// Cycle of the second branch.
+        cycle: u64,
+    },
+    /// A data access faulted.
+    Mem(IsaError),
+    /// The cycle limit of [`VliwSim::run`] was exceeded.
+    CycleLimit,
+}
+
+impl fmt::Display for VliwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VliwError::BadPc { addr } => write!(f, "branch to non-packet address {addr:#010x}"),
+            VliwError::OverlappingBranches { cycle } => {
+                write!(f, "branch issued inside another branch shadow at cycle {cycle}")
+            }
+            VliwError::Mem(e) => write!(f, "memory fault: {e}"),
+            VliwError::CycleLimit => write!(f, "cycle limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for VliwError {}
+
+impl From<IsaError> for VliwError {
+    fn from(e: IsaError) -> Self {
+        VliwError::Mem(e)
+    }
+}
+
+/// Execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VliwStats {
+    /// Target cycles consumed (including device stalls).
+    pub cycles: u64,
+    /// Execute packets dispatched.
+    pub packets: u64,
+    /// Instruction slots executed (predicated-false slots included,
+    /// NOPs excluded).
+    pub slots: u64,
+    /// Cycles spent stalled on device accesses.
+    pub stall_cycles: u64,
+}
+
+/// The VLIW target simulator. See the crate docs for an example.
+pub struct VliwSim {
+    regs: [u32; 64],
+    /// Target data memory.
+    pub mem: Memory,
+    program: Vec<Packet>,
+    index: HashMap<u32, usize>,
+    pc: usize,
+    cycle: u64,
+    pending_writes: Vec<(u64, Reg, u32)>,
+    /// `(remaining issue slots, target address)`.
+    pending_branch: Option<(i64, u32)>,
+    bus: Option<Box<dyn TargetBus>>,
+    stats: VliwStats,
+    halted: bool,
+}
+
+impl fmt::Debug for VliwSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VliwSim")
+            .field("pc", &self.pc)
+            .field("cycle", &self.cycle)
+            .field("halted", &self.halted)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl VliwSim {
+    /// Builds a simulator over a packet list. Packet addresses index the
+    /// branch-target map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VliwError::BadPc`] if two packets share an address.
+    pub fn new(program: Vec<Packet>) -> Result<Self, VliwError> {
+        let mut index = HashMap::with_capacity(program.len());
+        for (i, p) in program.iter().enumerate() {
+            if index.insert(p.addr, i).is_some() {
+                return Err(VliwError::BadPc { addr: p.addr });
+            }
+        }
+        Ok(VliwSim {
+            regs: [0; 64],
+            mem: Memory::new(),
+            program,
+            index,
+            pc: 0,
+            cycle: 0,
+            pending_writes: Vec::new(),
+            pending_branch: None,
+            bus: None,
+            stats: VliwStats::default(),
+            halted: false,
+        })
+    }
+
+    /// Attaches the memory-mapped device bus.
+    pub fn set_bus(&mut self, bus: Box<dyn TargetBus>) {
+        self.bus = Some(bus);
+    }
+
+    /// Takes the bus back (to inspect device state after a run).
+    pub fn take_bus(&mut self) -> Option<Box<dyn TargetBus>> {
+        self.bus.take()
+    }
+
+    /// Reads a register as the architecture would see it *now*
+    /// (committed state; in-flight delayed writes are not visible).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register immediately (for test and platform setup).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Commits all delayed writes whose delay slots have elapsed — the
+    /// same retirement the next packet dispatch would perform. Debuggers
+    /// call this before inspecting registers so the architecturally
+    /// visible state is observed.
+    pub fn commit_due_writes(&mut self) {
+        let now = self.cycle;
+        self.pending_writes.sort_by_key(|&(c, _, _)| c);
+        let mut i = 0;
+        while i < self.pending_writes.len() {
+            if self.pending_writes[i].0 <= now {
+                let (_, r, v) = self.pending_writes.remove(i);
+                self.regs[r.index()] = v;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Address of the next execute packet to dispatch (`None` once
+    /// execution fell off the end of the program). A branch whose shadow
+    /// has expired is accounted as already taken, so the reported
+    /// address is the architectural next packet.
+    pub fn pc_addr(&self) -> Option<u32> {
+        if let Some((remaining, target)) = self.pending_branch {
+            if remaining <= 0 {
+                return Some(target);
+            }
+        }
+        self.program.get(self.pc).map(|p| p.addr)
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> VliwStats {
+        let mut s = self.stats;
+        s.cycles = self.cycle;
+        s
+    }
+
+    /// True once a `HALT` slot executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Repositions fetch at the packet starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VliwError::BadPc`] if no packet starts there.
+    pub fn jump_to(&mut self, addr: u32) -> Result<(), VliwError> {
+        self.pc = *self.index.get(&addr).ok_or(VliwError::BadPc { addr })?;
+        Ok(())
+    }
+
+    /// Runs until `HALT` or until `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VliwError::CycleLimit`] on timeout or any execution
+    /// fault from [`VliwSim::step_packet`].
+    pub fn run(&mut self, max_cycles: u64) -> Result<VliwStats, VliwError> {
+        while !self.halted {
+            if self.cycle >= max_cycles {
+                return Err(VliwError::CycleLimit);
+            }
+            self.step_packet()?;
+        }
+        // Retire writes that became due during the final packets so the
+        // architectural state is fully visible to the caller.
+        self.commit_due_writes();
+        Ok(self.stats())
+    }
+
+    /// Dispatches one execute packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VliwError`] on bad branch targets, overlapping branch
+    /// shadows or data faults.
+    pub fn step_packet(&mut self) -> Result<(), VliwError> {
+        self.commit_due_writes();
+
+        // Branch shadow expired? Redirect before dispatch.
+        if let Some((remaining, target)) = self.pending_branch {
+            if remaining <= 0 {
+                self.pc = *self.index.get(&target).ok_or(VliwError::BadPc { addr: target })?;
+                self.pending_branch = None;
+            }
+        }
+
+        let packet = match self.program.get(self.pc) {
+            Some(p) => p.clone(),
+            None => {
+                return Err(VliwError::BadPc {
+                    addr: self.program.last().map(|p| p.addr + p.size()).unwrap_or(0),
+                })
+            }
+        };
+
+        let mut stall = 0u64;
+        let mut writes: Vec<(u64, Reg, u32)> = Vec::new();
+        let mut branch: Option<u32> = None;
+
+        for slot in packet.slots() {
+            if let Some(p) = slot.pred {
+                let v = self.regs[p.reg.index()];
+                if (v != 0) == p.negated {
+                    continue; // guard false: annulled
+                }
+            }
+            if !matches!(slot.op, Op::Nop { .. }) {
+                self.stats.slots += 1;
+            }
+            self.exec_slot(slot, &packet, &mut writes, &mut stall, &mut branch)?;
+        }
+
+        // End of packet: stage results (visible from the next cycle on).
+        self.pending_writes.extend(writes);
+
+        if let Some(target) = branch {
+            if self.pending_branch.is_some() {
+                return Err(VliwError::OverlappingBranches { cycle: self.cycle });
+            }
+            self.pending_branch = Some((5, target));
+        } else if let Some((remaining, _)) = &mut self.pending_branch {
+            *remaining -= packet.issue_cycles() as i64;
+        }
+
+        self.stats.packets += 1;
+        self.stats.stall_cycles += stall;
+        self.cycle += packet.issue_cycles() as u64 + stall;
+        self.pc += 1;
+        Ok(())
+    }
+
+    fn exec_slot(
+        &mut self,
+        slot: &Slot,
+        packet: &Packet,
+        writes: &mut Vec<(u64, Reg, u32)>,
+        stall: &mut u64,
+        branch: &mut Option<u32>,
+    ) -> Result<(), VliwError> {
+        let g = |sim: &Self, r: Reg| sim.regs[r.index()];
+        let now = self.cycle;
+        let mut put = |op: &Op, r: Reg, v: u32| {
+            writes.push((now + 1 + op.delay_slots() as u64, r, v));
+        };
+        let op = slot.op;
+        match op {
+            Op::Add { d, s1, s2 } => put(&op, d, g(self, s1).wrapping_add(g(self, s2))),
+            Op::Sub { d, s1, s2 } => put(&op, d, g(self, s1).wrapping_sub(g(self, s2))),
+            Op::And { d, s1, s2 } => put(&op, d, g(self, s1) & g(self, s2)),
+            Op::Or { d, s1, s2 } => put(&op, d, g(self, s1) | g(self, s2)),
+            Op::Xor { d, s1, s2 } => put(&op, d, g(self, s1) ^ g(self, s2)),
+            Op::AddI { d, s1, imm5 } => {
+                put(&op, d, g(self, s1).wrapping_add(imm5 as i32 as u32))
+            }
+            Op::Shl { d, s1, s2 } => put(&op, d, g(self, s1).wrapping_shl(g(self, s2) & 31)),
+            Op::Shr { d, s1, s2 } => {
+                put(&op, d, ((g(self, s1) as i32).wrapping_shr(g(self, s2) & 31)) as u32)
+            }
+            Op::Shru { d, s1, s2 } => put(&op, d, g(self, s1).wrapping_shr(g(self, s2) & 31)),
+            Op::ShlI { d, s1, imm5 } => put(&op, d, g(self, s1).wrapping_shl(imm5 as u32 & 31)),
+            Op::ShrI { d, s1, imm5 } => {
+                put(&op, d, ((g(self, s1) as i32).wrapping_shr(imm5 as u32 & 31)) as u32)
+            }
+            Op::ShruI { d, s1, imm5 } => {
+                put(&op, d, g(self, s1).wrapping_shr(imm5 as u32 & 31))
+            }
+            Op::Mpy { d, s1, s2 } => put(&op, d, g(self, s1).wrapping_mul(g(self, s2))),
+            Op::Div { d, s1, s2 } => {
+                let b = g(self, s2);
+                let v = if b == 0 {
+                    0
+                } else {
+                    (g(self, s1) as i32).wrapping_div(b as i32) as u32
+                };
+                put(&op, d, v);
+            }
+            Op::Rem { d, s1, s2 } => {
+                let b = g(self, s2);
+                let v = if b == 0 {
+                    0
+                } else {
+                    (g(self, s1) as i32).wrapping_rem(b as i32) as u32
+                };
+                put(&op, d, v);
+            }
+            Op::CmpEq { d, s1, s2 } => put(&op, d, (g(self, s1) == g(self, s2)) as u32),
+            Op::CmpGt { d, s1, s2 } => {
+                put(&op, d, ((g(self, s1) as i32) > (g(self, s2) as i32)) as u32)
+            }
+            Op::CmpGtU { d, s1, s2 } => put(&op, d, (g(self, s1) > g(self, s2)) as u32),
+            Op::CmpLt { d, s1, s2 } => {
+                put(&op, d, ((g(self, s1) as i32) < (g(self, s2) as i32)) as u32)
+            }
+            Op::CmpLtU { d, s1, s2 } => put(&op, d, (g(self, s1) < g(self, s2)) as u32),
+            Op::Mv { d, s } => put(&op, d, g(self, s)),
+            Op::Mvk { d, imm16 } => put(&op, d, imm16 as i32 as u32),
+            Op::Mvkh { d, imm16 } => {
+                put(&op, d, (g(self, d) & 0xffff) | ((imm16 as u32) << 16))
+            }
+            Op::Ld { w, unsigned, d, base, woff } => {
+                let addr = g(self, base).wrapping_add((woff as i32 as u32).wrapping_mul(w.bytes()));
+                let v = self.load(addr, w, unsigned, stall)?;
+                writes.push((self.cycle + 1 + op.delay_slots() as u64, d, v));
+            }
+            Op::St { w, s, base, woff } => {
+                let addr = g(self, base).wrapping_add((woff as i32 as u32).wrapping_mul(w.bytes()));
+                let v = g(self, s);
+                self.store(addr, w, v, stall)?;
+            }
+            Op::B { disp21 } => {
+                // Slot address: packet base + 8 * slot position.
+                let pos = packet.slots().iter().position(|s| s == slot).unwrap_or(0) as u32;
+                let slot_addr = packet.addr + 8 * pos;
+                *branch = Some(slot_addr.wrapping_add((disp21 as u32).wrapping_mul(4)));
+            }
+            Op::BReg { s } => *branch = Some(g(self, s)),
+            Op::Nop { .. } => {}
+            Op::Halt => self.halted = true,
+        }
+        Ok(())
+    }
+
+    fn load(
+        &mut self,
+        addr: u32,
+        w: Width,
+        unsigned: bool,
+        stall: &mut u64,
+    ) -> Result<u32, VliwError> {
+        if let Some(bus) = &mut self.bus {
+            if bus.covers(addr) {
+                let (v, s) = bus.bus_read(self.cycle, addr, w.bytes());
+                *stall += s;
+                return Ok(v);
+            }
+        }
+        Ok(match (w, unsigned) {
+            (Width::B, false) => self.mem.read_u8(addr)? as i8 as i32 as u32,
+            (Width::B, true) => self.mem.read_u8(addr)? as u32,
+            (Width::H, false) => self.mem.read_u16(addr)? as i16 as i32 as u32,
+            (Width::H, true) => self.mem.read_u16(addr)? as u32,
+            (Width::W, _) => self.mem.read_u32(addr)?,
+        })
+    }
+
+    fn store(&mut self, addr: u32, w: Width, v: u32, stall: &mut u64) -> Result<(), VliwError> {
+        if let Some(bus) = &mut self.bus {
+            if bus.covers(addr) {
+                *stall += bus.bus_write(self.cycle, addr, w.bytes(), v);
+                return Ok(());
+            }
+        }
+        match w {
+            Width::B => self.mem.write_u8(addr, v as u8)?,
+            Width::H => self.mem.write_u16(addr, v as u16)?,
+            Width::W => self.mem.write_u32(addr, v)?,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Pred, Unit};
+
+    /// Builds a linear program from op lists; each inner vec is a packet.
+    fn program(ops: Vec<Vec<Slot>>) -> Vec<Packet> {
+        let mut addr = 0x8000;
+        let mut out = Vec::new();
+        for slots in ops {
+            let mut p = Packet::at(addr);
+            for s in slots {
+                p.push(s).unwrap();
+            }
+            addr += p.size();
+            out.push(p);
+        }
+        out
+    }
+
+    fn halt() -> Vec<Slot> {
+        vec![Slot::new(Unit::S1, Op::Halt)]
+    }
+
+    #[test]
+    fn alu_results_visible_next_packet() {
+        let prog = program(vec![
+            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::a(1), imm16: 21 })],
+            vec![Slot::new(Unit::L1, Op::Add { d: Reg::a(2), s1: Reg::a(1), s2: Reg::a(1) })],
+            halt(),
+        ]);
+        let mut sim = VliwSim::new(prog).unwrap();
+        sim.run(100).unwrap();
+        assert_eq!(sim.reg(Reg::a(2)), 42);
+        assert_eq!(sim.stats().packets, 3);
+    }
+
+    #[test]
+    fn within_packet_reads_see_old_values() {
+        // Classic VLIW semantics: both slots read the pre-packet state.
+        let prog = program(vec![
+            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::a(1), imm16: 5 })],
+            vec![
+                Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 }),
+                Slot::new(Unit::S1, Op::Mv { d: Reg::a(2), s: Reg::a(1) }),
+            ],
+            halt(),
+        ]);
+        let mut sim = VliwSim::new(prog).unwrap();
+        sim.run(100).unwrap();
+        assert_eq!(sim.reg(Reg::a(1)), 6);
+        assert_eq!(sim.reg(Reg::a(2)), 5, "MV must see the pre-increment value");
+    }
+
+    #[test]
+    fn load_has_four_delay_slots() {
+        let mut prog = program(vec![
+            vec![Slot::new(Unit::D1, Op::Ld {
+                w: Width::W,
+                unsigned: false,
+                d: Reg::a(1),
+                base: Reg::b(1),
+                woff: 0,
+            })],
+            // These four packets are in the load shadow: they see A1 = 0.
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(2), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(3), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(4), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(5), s: Reg::a(1) })],
+            // Fifth packet after the load sees the loaded value.
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(6), s: Reg::a(1) })],
+            halt(),
+        ]);
+        prog.rotate_right(0);
+        let mut sim = VliwSim::new(prog).unwrap();
+        sim.mem.write_u32(0x100, 0xdead_beef).unwrap();
+        sim.set_reg(Reg::b(1), 0x100);
+        sim.run(100).unwrap();
+        assert_eq!(sim.reg(Reg::a(2)), 0);
+        assert_eq!(sim.reg(Reg::a(5)), 0);
+        assert_eq!(sim.reg(Reg::a(6)), 0xdead_beef);
+    }
+
+    #[test]
+    fn branch_shadow_is_five_issue_slots() {
+        // Packet 0: B to the halt packet. Packets 1..=5 are delay slots
+        // and still execute; the packet after them is skipped.
+        let mut prog = program(vec![
+            vec![Slot::new(Unit::S1, Op::B { disp21: 0 })], // patched below
+            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 })],
+            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 })],
+            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 })],
+            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 })],
+            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 })],
+            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(2), s1: Reg::a(2), imm5: 1 })], // skipped
+            halt(),
+        ]);
+        let target = prog[7].addr;
+        let from = prog[0].addr;
+        prog[0] = {
+            let mut p = Packet::at(from);
+            p.push(Slot::new(Unit::S1, Op::B { disp21: ((target - from) / 4) as i32 })).unwrap();
+            p
+        };
+        let mut sim = VliwSim::new(prog).unwrap();
+        sim.run(100).unwrap();
+        assert_eq!(sim.reg(Reg::a(1)), 5, "all five delay slots execute");
+        assert_eq!(sim.reg(Reg::a(2)), 0, "post-shadow packet is skipped");
+    }
+
+    #[test]
+    fn predication_annuls_slots() {
+        let prog = program(vec![
+            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::a(1), imm16: 1 })],
+            vec![
+                Slot::when(Unit::L1, Pred::nz(Reg::a(1)), Op::AddI {
+                    d: Reg::a(2),
+                    s1: Reg::a(2),
+                    imm5: 5,
+                }),
+                Slot::when(Unit::S1, Pred::z(Reg::a(1)), Op::Mvk { d: Reg::a(3), imm16: 9 }),
+            ],
+            halt(),
+        ]);
+        let mut sim = VliwSim::new(prog).unwrap();
+        sim.run(100).unwrap();
+        assert_eq!(sim.reg(Reg::a(2)), 5, "true guard executes");
+        assert_eq!(sim.reg(Reg::a(3)), 0, "false guard annuls");
+    }
+
+    #[test]
+    fn multicycle_nop_advances_cycles() {
+        let prog = program(vec![
+            vec![Slot::new(Unit::S1, Op::Nop { count: 5 })],
+            halt(),
+        ]);
+        let mut sim = VliwSim::new(prog).unwrap();
+        let st = sim.run(100).unwrap();
+        assert_eq!(st.cycles, 6);
+        assert_eq!(st.packets, 2);
+        assert_eq!(st.slots, 1, "NOPs are not counted as slots");
+    }
+
+    #[test]
+    fn mvk_mvkh_build_constants() {
+        let prog = program(vec![
+            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::b(7), imm16: 0x5678 })],
+            vec![Slot::new(Unit::S1, Op::Mvkh { d: Reg::b(7), imm16: 0x1234 })],
+            halt(),
+        ]);
+        let mut sim = VliwSim::new(prog).unwrap();
+        sim.run(100).unwrap();
+        assert_eq!(sim.reg(Reg::b(7)), 0x1234_5678);
+    }
+
+    #[test]
+    fn bus_stall_cycles_accumulate() {
+        struct SlowDev;
+        impl TargetBus for SlowDev {
+            fn covers(&self, addr: u32) -> bool {
+                addr >= 0xff00_0000
+            }
+            fn bus_read(&mut self, _c: u64, _a: u32, _s: u32) -> (u32, u64) {
+                (7, 10)
+            }
+            fn bus_write(&mut self, _c: u64, _a: u32, _s: u32, _v: u32) -> u64 {
+                3
+            }
+        }
+        let prog = program(vec![
+            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::b(1), imm16: 0 })],
+            vec![Slot::new(Unit::S1, Op::Mvkh { d: Reg::b(1), imm16: 0xff00 })],
+            vec![Slot::new(Unit::D1, Op::St { w: Width::W, s: Reg::b(1), base: Reg::b(1), woff: 0 })],
+            vec![Slot::new(Unit::D1, Op::Ld {
+                w: Width::W,
+                unsigned: false,
+                d: Reg::a(1),
+                base: Reg::b(1),
+                woff: 0,
+            })],
+            halt(),
+        ]);
+        let mut sim = VliwSim::new(prog).unwrap();
+        sim.set_bus(Box::new(SlowDev));
+        let st = sim.run(1000).unwrap();
+        assert_eq!(st.stall_cycles, 13);
+        assert_eq!(st.cycles, 5 + 13);
+        // The 10-cycle read stall pushes the halt packet past the load's
+        // delay slots, so the loaded value has committed.
+        assert_eq!(sim.reg(Reg::a(1)), 7);
+    }
+
+    #[test]
+    fn branch_to_unknown_address_fails() {
+        let _prog = program(vec![
+            vec![Slot::new(Unit::S1, Op::B { disp21: 1000 })],
+            halt(),
+            halt(),
+            halt(),
+            halt(),
+            halt(),
+            halt(),
+        ]);
+        // Halt packets in the shadow would stop execution before the
+        // redirect faults, so use harmless delay slots instead.
+        let prog = program(vec![
+            vec![Slot::new(Unit::S1, Op::B { disp21: 1000 })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+        ]);
+        let mut sim = VliwSim::new(prog).unwrap();
+        let e = sim.run(100).unwrap_err();
+        assert!(matches!(e, VliwError::BadPc { .. }));
+    }
+
+    #[test]
+    fn running_off_the_end_faults() {
+        let prog = program(vec![vec![Slot::new(Unit::L1, Op::Mv {
+            d: Reg::a(1),
+            s: Reg::a(1),
+        })]]);
+        let mut sim = VliwSim::new(prog).unwrap();
+        sim.step_packet().unwrap();
+        assert!(matches!(sim.step_packet(), Err(VliwError::BadPc { .. })));
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let mut prog = program(vec![
+            vec![Slot::new(Unit::S1, Op::B { disp21: 0 })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+        ]);
+        // Branch back to self: infinite loop.
+        let addr = prog[0].addr;
+        prog[0] = {
+            let mut p = Packet::at(addr);
+            p.push(Slot::new(Unit::S1, Op::B { disp21: 0 })).unwrap();
+            p
+        };
+        let mut sim = VliwSim::new(prog).unwrap();
+        assert_eq!(sim.run(200).unwrap_err(), VliwError::CycleLimit);
+    }
+
+    #[test]
+    fn div_by_zero_yields_zero() {
+        let prog = program(vec![
+            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::a(1), imm16: 100 })],
+            vec![Slot::new(Unit::M1, Op::Div { d: Reg::a(2), s1: Reg::a(1), s2: Reg::a(3) })],
+            vec![Slot::new(Unit::S1, Op::Nop { count: 9 })],
+            vec![Slot::new(Unit::S1, Op::Nop { count: 9 })],
+            halt(),
+        ]);
+        let mut sim = VliwSim::new(prog).unwrap();
+        sim.run(1000).unwrap();
+        assert_eq!(sim.reg(Reg::a(2)), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Debugging translated code (§3.5): dual translation, breakpoints,
+//! single-stepping, register/address translation — plus the gdb-RSP
+//! packet layer.
+//!
+//! ```sh
+//! cargo run --release --example debugging
+//! ```
+
+use cabt::prelude::*;
+use cabt_debug::rsp::{frame, unframe, RspServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let elf = assemble(
+        r#"
+        .text
+    _start:
+        mov  %d0, 4
+        mov  %d2, 1
+    fact:
+        mul  %d2, %d2, %d0
+        addi %d0, %d0, -1
+        jnz  %d0, fact
+        debug
+    "#,
+    )?;
+
+    // The session holds two translations: block-oriented and
+    // instruction-oriented cycle generation (the paper's debug pair).
+    let mut dbg = DebugSession::new(&elf)?;
+    println!(
+        "debug images: {} blocks (block-oriented), {} blocks (instruction-oriented)",
+        dbg.block_image().blocks.len(),
+        dbg.instruction_image().blocks.len()
+    );
+
+    let fact = dbg.lookup("fact").expect("symbol");
+    dbg.set_breakpoint(fact)?;
+    let mut iterations = 0;
+    loop {
+        match dbg.cont()? {
+            StopReason::Breakpoint(addr) => {
+                iterations += 1;
+                println!(
+                    "hit fact (src {addr:#010x}): d0={} d2={} after {} target cycles",
+                    dbg.read_reg("d0")?,
+                    dbg.read_reg("d2")?,
+                    dbg.cycles()
+                );
+                // Single-step one source instruction (the mul).
+                dbg.step()?;
+                println!("  after one step: d2={}", dbg.read_reg("d2")?);
+            }
+            StopReason::Halted => break,
+            other => println!("stopped: {other:?}"),
+        }
+    }
+    println!("program halted after {iterations} loop entries; 4! = {}", dbg.read_reg("d2")?);
+
+    // The same session drives a gdb-RSP-style server.
+    let elf2 = assemble(".text\n_start: mov %d1, 7\n debug\n.data\nv: .word 42\n")?;
+    let mut server = RspServer::new(DebugSession::new(&elf2)?);
+    for cmd in ["g", "md0000000,4", "s", "c", "?"] {
+        let resp = server.handle(&frame(cmd));
+        println!("rsp {cmd:<12} -> {}", unframe(&resp).unwrap_or("<nak>"));
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: assemble a program, measure it on the golden model,
+//! translate it, and run it on the prototyping platform.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cabt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let elf = assemble(
+        r#"
+        .text
+    _start:
+        mov  %d0, 10        # n
+        mov  %d2, 0         # sum
+    top:
+        add  %d2, %d0
+        addi %d0, %d0, -1
+        jnz  %d0, top
+        debug
+    "#,
+    )?;
+
+    // The reference: a cycle-accurate interpretive model of the source
+    // core (dual-issue pipeline, BTFN branch prediction, I-cache).
+    let mut board = Simulator::new(&elf)?;
+    let measured = board.run(10_000)?;
+    println!("golden model: sum = {}", board.cpu.d(2));
+    println!("  instructions = {}", measured.instructions);
+    println!("  cycles       = {}", measured.cycles);
+
+    for level in [DetailLevel::Static, DetailLevel::BranchPredict, DetailLevel::Cache] {
+        let translated = Translator::new(level).translate(&elf)?;
+        let mut platform = Platform::new(&translated, PlatformConfig::default())?;
+        let stats = platform.run(1_000_000)?;
+        let dev = (stats.total_generated() as f64 - measured.cycles as f64).abs()
+            / measured.cycles as f64
+            * 100.0;
+        println!(
+            "level {level:<15} generated {:>6} SoC cycles ({dev:.1}% off), {:>6} target cycles",
+            stats.total_generated(),
+            stats.target_cycles
+        );
+    }
+    Ok(())
+}

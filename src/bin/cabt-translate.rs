@@ -1,0 +1,115 @@
+//! Command-line front end for the translator: assemble a source file,
+//! translate it at a chosen detail level, and print the annotated
+//! listing plus (optionally) run it on the platform.
+//!
+//! ```sh
+//! cargo run --release --bin cabt-translate -- prog.s --level cache --run
+//! ```
+
+use cabt::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cabt-translate <file.s> [--level functional|static|branch|cache] \
+         [--per-instruction] [--run] [--listing]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut level = DetailLevel::Static;
+    let mut granularity = Granularity::BasicBlock;
+    let mut run = false;
+    let mut listing = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--level" => {
+                level = match it.next().map(String::as_str) {
+                    Some("functional") => DetailLevel::Functional,
+                    Some("static") => DetailLevel::Static,
+                    Some("branch") => DetailLevel::BranchPredict,
+                    Some("cache") => DetailLevel::Cache,
+                    _ => return usage(),
+                }
+            }
+            "--per-instruction" => granularity = Granularity::PerInstruction,
+            "--run" => run = true,
+            "--listing" => listing = true,
+            other if path.is_none() && !other.starts_with('-') => {
+                path = Some(other.to_string())
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(path) = path else { return usage() };
+
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elf = match assemble(&source) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let translated = match Translator::new(level).with_granularity(granularity).translate(&elf)
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("translation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{}: {} source instructions -> {} packets ({} slots) at level `{level}`",
+        path,
+        translated.stats.source_instructions,
+        translated.stats.target_packets,
+        translated.stats.target_slots
+    );
+    println!(
+        "blocks: {}, statically-known I/O accesses: {}, unknown bases: {}",
+        translated.stats.blocks, translated.stats.io_accesses, translated.stats.unknown_bases
+    );
+    if listing {
+        println!("{}", translated.listing());
+    }
+    if run {
+        let mut platform = match Platform::new(&translated, PlatformConfig::default()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("platform setup failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match platform.run(10_000_000_000) {
+            Ok(stats) => {
+                println!(
+                    "run: {} target cycles, {} generated SoC cycles ({} corrections)",
+                    stats.target_cycles,
+                    stats.total_generated(),
+                    stats.corrected_cycles
+                );
+                if !stats.uart.is_empty() {
+                    let bytes: Vec<u8> = stats.uart.iter().map(|&(_, b)| b).collect();
+                    println!("uart: {:?}", String::from_utf8_lossy(&bytes));
+                }
+            }
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,88 @@
+#![forbid(unsafe_code)]
+//! # CABT — Cycle-Accurate Binary Translation for SoC Rapid Prototyping
+//!
+//! A from-scratch Rust reproduction of *Schnerr, Bringmann, Rosenstiel:
+//! "Cycle Accurate Binary Translation for Simulation Acceleration in
+//! Rapid Prototyping of SoCs", DATE 2005*.
+//!
+//! The system translates object code of an embedded SoC processor core
+//! (a TriCore-like ISA) into VLIW (C6x-like) target code annotated with
+//! **cycle-generation instructions**: each translated basic block starts
+//! by telling a synchronization device how many source-processor cycles
+//! it represents, the device clocks the attached SoC hardware in
+//! parallel with the block's execution, and a wait access at the block
+//! end re-synchronizes the two (Fig. 2 of the paper). Dynamic
+//! correction code refines the static prediction for branch outcomes and
+//! instruction-cache misses (Fig. 3/4).
+//!
+//! This crate is the umbrella: it re-exports the subsystem crates and
+//! hosts the runnable examples and the cross-crate integration tests.
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`isa`] | memory model, ELF32 reader/writer |
+//! | [`tricore`] | source ISA, assembler, cycle-accurate golden model |
+//! | [`vliw`] | target VLIW ISA, binary container format, simulator |
+//! | [`core`] | **the translator** (the paper's contribution) |
+//! | [`platform`] | synchronization device, SoC bus, peripherals |
+//! | [`rtlsim`] | event-driven RT-level baseline simulator |
+//! | [`debug`] | dual-translation debugger + RSP packet layer |
+//! | [`workloads`] | the paper's benchmark programs |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cabt::prelude::*;
+//!
+//! // 1. Assemble a source program (normally you'd load existing object code).
+//! let elf = assemble(
+//!     r#"
+//!     .text
+//! _start:
+//!     mov  %d0, 6
+//!     mov  %d2, 1
+//! fact:
+//!     mul  %d2, %d2, %d0
+//!     addi %d0, %d0, -1
+//!     jnz  %d0, fact
+//!     debug
+//! "#,
+//! )?;
+//!
+//! // 2. Reference: the cycle-accurate golden model (the "evaluation board").
+//! let mut board = Simulator::new(&elf)?;
+//! let measured = board.run(10_000)?;
+//!
+//! // 3. Translate with full dynamic correction (branch prediction and
+//! //    instruction-cache simulation).
+//! let translated = Translator::new(DetailLevel::Cache).translate(&elf)?;
+//!
+//! // 4. Run on the prototyping platform; the program clocks the SoC bus.
+//! let mut platform = Platform::new(&translated, PlatformConfig::default())?;
+//! let stats = platform.run(1_000_000)?;
+//!
+//! assert_eq!(board.cpu.d(2), 720); // 6!
+//! let dev = (stats.total_generated() as f64 - measured.cycles as f64).abs()
+//!     / measured.cycles as f64;
+//! assert!(dev < 0.05, "generated cycles track the measured count");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use cabt_core as core;
+pub use cabt_debug as debug;
+pub use cabt_isa as isa;
+pub use cabt_platform as platform;
+pub use cabt_rtlsim as rtlsim;
+pub use cabt_tricore as tricore;
+pub use cabt_vliw as vliw;
+pub use cabt_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use cabt_core::{DetailLevel, Granularity, Translated, Translator};
+    pub use cabt_debug::{DebugSession, StopReason};
+    pub use cabt_platform::{Platform, PlatformConfig, SyncRate};
+    pub use cabt_tricore::asm::assemble;
+    pub use cabt_tricore::sim::Simulator;
+    pub use cabt_workloads::Workload;
+}

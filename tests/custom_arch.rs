@@ -1,0 +1,106 @@
+//! Retargetability: the paper's compiler is adapted to different source
+//! processors by swapping the architecture description ("this processor
+//! is usually defined in an XML file"). Our [`ArchDesc`] plays that
+//! role: changing pipeline latencies, branch costs or cache geometry
+//! must retune *both* the golden model and the translator's static
+//! calculation coherently, keeping the generated cycle counts accurate
+//! without touching any translator code.
+
+use cabt::prelude::*;
+use cabt_tricore::arch::{ArchDesc, CacheConfig, Timing};
+
+fn accuracy_for(arch: &ArchDesc, w: &Workload) -> (u64, u64) {
+    let elf = w.elf().expect("assembles");
+    let mut gold = Simulator::with_arch(&elf, arch.clone()).expect("loads");
+    let gstats = gold.run(500_000_000).expect("halts");
+    assert_eq!(gold.cpu.d(2), w.expected_d2, "{} golden checksum", w.name);
+
+    let t = Translator::new(DetailLevel::Cache)
+        .with_arch(arch.clone())
+        .translate(&elf)
+        .expect("translates");
+    let mut p = Platform::new(&t, PlatformConfig::unlimited()).expect("builds");
+    let s = p.run(5_000_000_000).expect("halts");
+    (gstats.cycles, s.total_generated())
+}
+
+#[test]
+fn slow_multiplier_architecture_stays_accurate() {
+    // A core with a 5-cycle multiplier and expensive jumps.
+    let arch = ArchDesc {
+        name: "slow-mul".into(),
+        timing: Timing {
+            mul_latency: 5,
+            jump_cycles: 4,
+            cond_taken_correct: 3,
+            cond_nottaken_correct: 1,
+            cond_mispredict: 6,
+            ..Timing::default()
+        },
+        ..ArchDesc::default()
+    };
+    for w in [cabt::workloads::fir(8, 64, 13), cabt::workloads::ellip(24, 13)] {
+        let (measured, generated) = accuracy_for(&arch, &w);
+        let dev = (generated as f64 - measured as f64).abs() / measured as f64;
+        assert!(dev < 0.05, "{}: deviation {dev:.3} on the slow-mul core", w.name);
+        // The slow multiplier must actually show up in the counts.
+        let (base, _) = accuracy_for(&ArchDesc::default(), &w);
+        assert!(measured > base, "{}: 5-cycle multiplies must cost cycles", w.name);
+    }
+}
+
+#[test]
+fn single_issue_architecture_stays_accurate() {
+    // Degenerate "no dual issue" core approximated by making loads slow
+    // enough that pairing hardly matters, plus a huge miss penalty.
+    let arch = ArchDesc {
+        name: "slow-mem".into(),
+        timing: Timing { load_latency: 4, ..Timing::default() },
+        cache: CacheConfig { sets: 8, ways: 2, line_bytes: 16, miss_penalty: 20 },
+        ..ArchDesc::default()
+    };
+    let w = cabt::workloads::sieve(150);
+    let (measured, generated) = accuracy_for(&arch, &w);
+    let dev = (generated as f64 - measured as f64).abs() / measured as f64;
+    assert!(dev < 0.05, "sieve deviation {dev:.3} on the slow-mem core");
+}
+
+#[test]
+fn branch_cost_changes_propagate_to_corrections() {
+    // Raising only the misprediction penalty must raise only the
+    // corrected-cycle count of a mispredicting workload.
+    let cheap = ArchDesc::default();
+    let dear = ArchDesc {
+        timing: Timing { cond_mispredict: 9, ..Timing::default() },
+        ..ArchDesc::default()
+    };
+    let w = cabt::workloads::gcd(8, 17);
+    let run = |arch: &ArchDesc| {
+        let elf = w.elf().expect("assembles");
+        let t = Translator::new(DetailLevel::BranchPredict)
+            .with_arch(arch.clone())
+            .translate(&elf)
+            .expect("translates");
+        let mut p = Platform::new(&t, PlatformConfig::unlimited()).expect("builds");
+        p.run(5_000_000_000).expect("halts")
+    };
+    let a = run(&cheap);
+    let b = run(&dear);
+    assert!(b.corrected_cycles > a.corrected_cycles, "{a:?} vs {b:?}");
+    assert_eq!(
+        a.generated_cycles, b.generated_cycles,
+        "static parts agree: only the *minimum* branch cost is static, \
+         and min(2,9) == min(2,3)"
+    );
+}
+
+#[test]
+fn faster_clock_config_only_rescales_time_not_cycles() {
+    let w = cabt::workloads::dpcm(100, 17);
+    let arch_a = ArchDesc::default();
+    let arch_b = ArchDesc { clock_hz: 96_000_000, ..ArchDesc::default() };
+    let (cycles_a, gen_a) = accuracy_for(&arch_a, &w);
+    let (cycles_b, gen_b) = accuracy_for(&arch_b, &w);
+    assert_eq!(cycles_a, cycles_b, "clock rate must not change cycle counts");
+    assert_eq!(gen_a, gen_b);
+}
