@@ -2,8 +2,8 @@
 //! cache-correction subroutine vs. inline expansion, and per-block vs.
 //! per-instruction cycle generation.
 
+use cabt_bench::{bench_seconds, human_time};
 use cabt_core::{DetailLevel, Granularity, Translator};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn run(t: &cabt_core::Translated) -> u64 {
@@ -11,40 +11,50 @@ fn run(t: &cabt_core::Translated) -> u64 {
     sim.run(1_000_000_000).expect("halts").cycles
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
+fn main() {
     let w = cabt_workloads::ellip(24, 3);
     let elf = w.elf().expect("assembles");
 
-    let call = Translator::new(DetailLevel::Cache).translate(&elf).expect("translates");
+    let call = Translator::new(DetailLevel::Cache)
+        .translate(&elf)
+        .expect("translates");
     let inline = Translator::new(DetailLevel::Cache)
         .with_cache_inline(true)
         .translate(&elf)
         .expect("translates");
     // Report the simulated cycle counts once: the ablation's headline.
-    eprintln!(
+    println!(
         "ablation cache correction: call={} cycles, inline={} cycles",
         run(&call),
         run(&inline)
     );
-    g.bench_function("cache_call", |b| b.iter(|| black_box(run(&call))));
-    g.bench_function("cache_inline", |b| b.iter(|| black_box(run(&inline))));
+    let s = bench_seconds(10, || {
+        black_box(run(&call));
+    });
+    println!("ablations — cache_call: {}", human_time(s));
+    let s = bench_seconds(10, || {
+        black_box(run(&inline));
+    });
+    println!("ablations — cache_inline: {}", human_time(s));
 
-    let bb = Translator::new(DetailLevel::Static).translate(&elf).expect("translates");
+    let bb = Translator::new(DetailLevel::Static)
+        .translate(&elf)
+        .expect("translates");
     let pi = Translator::new(DetailLevel::Static)
         .with_granularity(Granularity::PerInstruction)
         .translate(&elf)
         .expect("translates");
-    eprintln!(
+    println!(
         "ablation granularity: per-block={} cycles, per-instruction={} cycles",
         run(&bb),
         run(&pi)
     );
-    g.bench_function("granularity_block", |b| b.iter(|| black_box(run(&bb))));
-    g.bench_function("granularity_instruction", |b| b.iter(|| black_box(run(&pi))));
-    g.finish();
+    let s = bench_seconds(10, || {
+        black_box(run(&bb));
+    });
+    println!("ablations — granularity_block: {}", human_time(s));
+    let s = bench_seconds(10, || {
+        black_box(run(&pi));
+    });
+    println!("ablations — granularity_instruction: {}", human_time(s));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

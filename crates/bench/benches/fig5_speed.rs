@@ -1,25 +1,79 @@
-//! Criterion bench behind Fig. 5: host cost of running each simulator
+//! Bench behind Fig. 5: host cost of running each simulator
 //! configuration on a reduced workload (the figure itself is printed by
-//! `--bin fig5` from simulated clock counts).
+//! `--bin fig5` from simulated clock counts), plus the dispatch
+//! comparison of the naive versus pre-decoded engine cores, emitted as
+//! `BENCH_fig5.json` so the repo's performance trajectory accumulates.
+//!
+//! Run via `cargo bench -p cabt-bench --bench fig5_speed`; the JSON
+//! lands in `BENCH_fig5.json` (override with `BENCH_FIG5_OUT`).
 
+use cabt_bench::{bench_seconds, compare_dispatch, human_time};
 use cabt_core::DetailLevel;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_speed");
-    g.sample_size(10);
+fn main() {
     let w = cabt_workloads::gcd(4, 1);
-    g.bench_function("golden_gcd", |b| {
-        b.iter(|| black_box(cabt_bench::run_golden(&w)))
+    println!(
+        "fig5_speed — host seconds per configuration run ({}):",
+        w.name
+    );
+    let s = bench_seconds(10, || {
+        black_box(cabt_bench::run_golden(&w));
     });
-    for level in [DetailLevel::Functional, DetailLevel::Static, DetailLevel::Cache] {
-        g.bench_function(format!("translated_gcd_{level}"), |b| {
-            b.iter(|| black_box(cabt_bench::run_translated(&w, level)))
+    println!("  {:<26} {}", "golden_gcd", human_time(s));
+    for level in [
+        DetailLevel::Functional,
+        DetailLevel::Static,
+        DetailLevel::Cache,
+    ] {
+        let s = bench_seconds(10, || {
+            black_box(cabt_bench::run_translated(&w, level));
         });
+        println!(
+            "  {:<26} {}",
+            format!("translated_gcd_{level}"),
+            human_time(s)
+        );
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+    // Dispatch-core comparison: the decode-once refactor's headline.
+    // Workloads are sized so each timed run lasts milliseconds — small
+    // programs drown in timer noise.
+    println!("\ndispatch throughput (naive vs pre-decoded):");
+    let rows = [
+        compare_dispatch(&cabt_workloads::gcd(256, 0xcab7), DetailLevel::Static, 10),
+        compare_dispatch(
+            &cabt_workloads::fir(16, 2000, 0xcab7),
+            DetailLevel::Static,
+            10,
+        ),
+        compare_dispatch(&cabt_workloads::sieve(2000), DetailLevel::Cache, 10),
+    ];
+    for r in &rows {
+        println!(
+            "  {:<8} level {:<14} golden {:>7.2} -> {:>7.2} MIPS ({:.2}x)   vliw {:>7.2} -> {:>7.2} Mpkt/s ({:.2}x)",
+            r.workload,
+            r.level.to_string(),
+            r.golden_naive_mips,
+            r.golden_predecoded_mips,
+            r.golden_speedup(),
+            r.vliw_naive_mpps,
+            r.vliw_predecoded_mpps,
+            r.vliw_speedup(),
+        );
+    }
+
+    let json = format!(
+        "{{\"bench\":\"fig5_speed\",\"rows\":[{}]}}\n",
+        rows.iter()
+            .map(|r| r.to_json())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    // Default to the workspace root (cargo bench runs with the package
+    // directory as CWD).
+    let path = std::env::var("BENCH_FIG5_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_fig5.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&path, &json).expect("write BENCH_fig5.json");
+    println!("\nwrote {path}");
+}

@@ -1,18 +1,13 @@
-//! Criterion bench behind Fig. 6: cost of the accuracy measurement
-//! (golden run + three translated runs) on a reduced workload.
+//! Bench behind Fig. 6: cost of the accuracy measurement (golden run +
+//! three translated runs) on a reduced workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cabt_bench::{bench_seconds, human_time};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_accuracy");
-    g.sample_size(10);
+fn main() {
     let set = vec![cabt_workloads::fir(4, 32, 5)];
-    g.bench_function("fig6_fir_small", |b| {
-        b.iter(|| black_box(cabt_bench::fig6(&set)))
+    let s = bench_seconds(10, || {
+        black_box(cabt_bench::fig6(&set));
     });
-    g.finish();
+    println!("fig6_accuracy — fig6_fir_small: {}", human_time(s));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

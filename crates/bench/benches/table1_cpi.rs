@@ -1,18 +1,13 @@
-//! Criterion bench behind Table 1: cost of the CPI measurement loop on a
-//! reduced workload set (the table is printed by `--bin table1`).
+//! Bench behind Table 1: cost of the CPI measurement loop on a reduced
+//! workload set (the table is printed by `--bin table1`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cabt_bench::{bench_seconds, human_time};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_cpi");
-    g.sample_size(10);
+fn main() {
     let set = vec![cabt_workloads::gcd(3, 5), cabt_workloads::dpcm(40, 5)];
-    g.bench_function("table1_small_set", |b| {
-        b.iter(|| black_box(cabt_bench::table1(&set)))
+    let s = bench_seconds(10, || {
+        black_box(cabt_bench::table1(&set));
     });
-    g.finish();
+    println!("table1_cpi — table1_small_set: {}", human_time(s));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,29 +1,27 @@
-//! Criterion bench behind Table 2: per-instruction cost of the three
-//! execution vehicles (RTL model, golden model, translated-on-VLIW).
+//! Bench behind Table 2: per-instruction cost of the three execution
+//! vehicles (RTL model, golden model, translated-on-VLIW).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cabt_bench::{bench_seconds, human_time};
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_runtime");
-    g.sample_size(10);
+fn main() {
     let w = cabt_workloads::fibonacci(5, 12);
     let elf = w.elf().expect("assembles");
-    g.bench_function("rtl_core", |b| {
-        b.iter(|| {
-            let mut core = cabt_rtlsim::RtlCore::new(&elf).expect("elaborates");
-            core.run(1_000_000).expect("halts");
-            black_box(core.cycles())
-        })
+    let s = bench_seconds(10, || {
+        let mut core = cabt_rtlsim::RtlCore::new(&elf).expect("elaborates");
+        core.run(1_000_000).expect("halts");
+        black_box(core.cycles());
     });
-    g.bench_function("golden_model", |b| {
-        b.iter(|| black_box(cabt_bench::run_golden(&w)))
+    println!("table2_runtime — rtl_core: {}", human_time(s));
+    let s = bench_seconds(10, || {
+        black_box(cabt_bench::run_golden(&w));
     });
-    g.bench_function("translated_static", |b| {
-        b.iter(|| black_box(cabt_bench::run_translated(&w, cabt_core::DetailLevel::Static)))
+    println!("table2_runtime — golden_model: {}", human_time(s));
+    let s = bench_seconds(10, || {
+        black_box(cabt_bench::run_translated(
+            &w,
+            cabt_core::DetailLevel::Static,
+        ));
     });
-    g.finish();
+    println!("table2_runtime — translated_static: {}", human_time(s));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -21,7 +21,15 @@ fn main() {
             r.deviation(r.cache),
         );
     }
-    let max_bp = rows.iter().map(|r| r.deviation(r.branch)).fold(0.0f64, f64::max);
-    let min_bp = rows.iter().map(|r| r.deviation(r.branch)).fold(f64::MAX, f64::min);
-    println!("\nbranch-prediction deviation range: {min_bp:.1}% .. {max_bp:.1}% (paper: 3% .. 15%)");
+    let max_bp = rows
+        .iter()
+        .map(|r| r.deviation(r.branch))
+        .fold(0.0f64, f64::max);
+    let min_bp = rows
+        .iter()
+        .map(|r| r.deviation(r.branch))
+        .fold(f64::MAX, f64::min);
+    println!(
+        "\nbranch-prediction deviation range: {min_bp:.1}% .. {max_bp:.1}% (paper: 3% .. 15%)"
+    );
 }

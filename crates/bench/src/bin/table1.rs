@@ -6,8 +6,14 @@ fn main() {
     println!("Table 1 — Clock cycles per TriCore instruction (paper values in parens)");
     println!("{:<34} {:>8}   paper", "configuration", "ours");
     println!("{:<34} {:>8.2}   1.08", "TC10GP Evaluation Board", t.board);
-    println!("{:<34} {:>8.2}   2.94", "C6x without cycle information", t.functional);
-    println!("{:<34} {:>8.2}   4.28", "C6x with cycle information", t.cycle);
+    println!(
+        "{:<34} {:>8.2}   2.94",
+        "C6x without cycle information", t.functional
+    );
+    println!(
+        "{:<34} {:>8.2}   4.28",
+        "C6x with cycle information", t.cycle
+    );
     println!("{:<34} {:>8.2}   5.87", "C6x branch prediction", t.branch);
     println!("{:<34} {:>8.2}  35.34", "C6x caches", t.cache);
 }

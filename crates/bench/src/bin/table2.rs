@@ -19,9 +19,19 @@ fn main() {
         );
     };
     row("# executed instructions", &|r| r.instructions.to_string());
-    row("Simulation (this host)", &|r| cabt_bench::human_time(r.rtl_seconds));
-    row("Emulation (FPGA, 8MHz)", &|r| cabt_bench::human_time(r.fpga_seconds));
-    row("Translation C6x cycle", &|r| cabt_bench::human_time(r.translation_seconds[0]));
-    row("Translation C6x branch", &|r| cabt_bench::human_time(r.translation_seconds[1]));
-    row("Translation C6x cache", &|r| cabt_bench::human_time(r.translation_seconds[2]));
+    row("Simulation (this host)", &|r| {
+        cabt_bench::human_time(r.rtl_seconds)
+    });
+    row("Emulation (FPGA, 8MHz)", &|r| {
+        cabt_bench::human_time(r.fpga_seconds)
+    });
+    row("Translation C6x cycle", &|r| {
+        cabt_bench::human_time(r.translation_seconds[0])
+    });
+    row("Translation C6x branch", &|r| {
+        cabt_bench::human_time(r.translation_seconds[1])
+    });
+    row("Translation C6x cache", &|r| {
+        cabt_bench::human_time(r.translation_seconds[2])
+    });
 }

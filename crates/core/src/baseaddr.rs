@@ -149,10 +149,30 @@ fn analyze_block(block: &Block, info: &mut BaseAddrInfo) {
             Instr::MovRR16 { d: r, s } | Instr::MovRR { d: r, s } => {
                 d[r.0 as usize] = d[s.0 as usize]
             }
-            Instr::Ld { base, postinc: true, off10, .. }
-            | Instr::St { base, postinc: true, off10, .. }
-            | Instr::LdA { base, postinc: true, off10, .. }
-            | Instr::StA { base, postinc: true, off10, .. } => {
+            Instr::Ld {
+                base,
+                postinc: true,
+                off10,
+                ..
+            }
+            | Instr::St {
+                base,
+                postinc: true,
+                off10,
+                ..
+            }
+            | Instr::LdA {
+                base,
+                postinc: true,
+                off10,
+                ..
+            }
+            | Instr::StA {
+                base,
+                postinc: true,
+                off10,
+                ..
+            } => {
                 a[base.0 as usize] = match a[base.0 as usize] {
                     Val::Known(v) => Val::Known(v.wrapping_add(off10 as i32 as u32)),
                     Val::Unknown => Val::Unknown,

@@ -77,7 +77,11 @@ impl Cfg {
                 any_text = true;
                 let decoded = decode_section(s.addr, &s.data)
                     .map_err(|_| TranslateError::Decode { addr: s.addr })?;
-                program.extend(decoded.into_iter().map(|(addr, instr)| IrInstr { addr, instr }));
+                program.extend(
+                    decoded
+                        .into_iter()
+                        .map(|(addr, instr)| IrInstr { addr, instr }),
+                );
             }
         }
         if !any_text {
@@ -96,7 +100,10 @@ impl Cfg {
             if ir.instr.is_control() {
                 if let Some(t) = ir.instr.target(ir.addr) {
                     if !addrs.contains(&t) {
-                        return Err(TranslateError::BadBranchTarget { from: ir.addr, to: t });
+                        return Err(TranslateError::BadBranchTarget {
+                            from: ir.addr,
+                            to: t,
+                        });
                     }
                     leaders.insert(t);
                 }
@@ -137,7 +144,11 @@ impl Cfg {
         for b in &blocks {
             block_of_addr.insert(b.start, b.id);
         }
-        Ok(Cfg { blocks, entry: elf.entry, block_of_addr })
+        Ok(Cfg {
+            blocks,
+            entry: elf.entry,
+            block_of_addr,
+        })
     }
 
     /// The block starting exactly at `addr`.
@@ -276,6 +287,9 @@ mod tests {
             debug
         ");
         let body = g.block_at(g.blocks[1].start).unwrap();
-        assert!(matches!(body.terminator().unwrap().instr, Instr::Loop { .. }));
+        assert!(matches!(
+            body.terminator().unwrap().instr,
+            Instr::Loop { .. }
+        ));
     }
 }

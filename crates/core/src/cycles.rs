@@ -42,7 +42,11 @@ pub fn block_cycles(model: &TimingModel, block: &Block) -> BlockCycles {
             nottaken_extra = Some(model.timing().control_extra(&ir.instr, false));
         }
     }
-    BlockCycles { cycles: st.cycles() as u32, taken_extra, nottaken_extra }
+    BlockCycles {
+        cycles: st.cycles() as u32,
+        taken_extra,
+        nottaken_extra,
+    }
 }
 
 #[cfg(test)]
@@ -60,7 +64,8 @@ mod tests {
 
     #[test]
     fn serial_dependent_code_counts_each_cycle() {
-        let (m, cfg) = blocks(".text\n_start: mov %d1, 1\nadd %d2, %d1, %d1\nadd %d3, %d2, %d2\ndebug\n");
+        let (m, cfg) =
+            blocks(".text\n_start: mov %d1, 1\nadd %d2, %d1, %d1\nadd %d3, %d2, %d2\ndebug\n");
         let bc = block_cycles(&m, &cfg.blocks[0]);
         // Three dependent IP ops + debug (1 cycle).
         assert_eq!(bc.cycles, 4);
@@ -114,14 +119,16 @@ mod tests {
         let bc = block_cycles(&m, &cfg.blocks[0]);
         let t = Timing::default();
         assert_eq!(bc.cycles, t.cond_nottaken_correct);
-        assert_eq!(bc.taken_extra, Some(t.cond_mispredict - t.cond_nottaken_correct));
+        assert_eq!(
+            bc.taken_extra,
+            Some(t.cond_mispredict - t.cond_nottaken_correct)
+        );
         assert_eq!(bc.nottaken_extra, Some(0));
     }
 
     #[test]
     fn load_use_stall_included() {
-        let (m, cfg) =
-            blocks(".text\n_start: ld.w %d1, [%a2]0\nadd %d2, %d1, %d1\ndebug\n");
+        let (m, cfg) = blocks(".text\n_start: ld.w %d1, [%a2]0\nadd %d2, %d1, %d1\ndebug\n");
         let bc = block_cycles(&m, &cfg.blocks[0]);
         // ld (1) + stall (1) + add (1) + debug (1)
         assert_eq!(bc.cycles, 4);
@@ -133,7 +140,8 @@ mod tests {
         // predictions equals the golden model's cycle count minus
         // cross-block effects; with a single block they are identical
         // (ignoring cache misses).
-        let src = ".text\n_start: mov %d1, 3\nmov %d2, 4\nmul %d3, %d1, %d2\nadd %d4, %d3, %d1\ndebug\n";
+        let src =
+            ".text\n_start: mov %d1, 3\nmov %d2, 4\nmul %d3, %d1, %d2\nadd %d4, %d3, %d1\ndebug\n";
         let (m, cfg) = blocks(src);
         let bc = block_cycles(&m, &cfg.blocks[0]);
         let elf = assemble(src).unwrap();

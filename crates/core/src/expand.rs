@@ -20,40 +20,76 @@ use cabt_vliw::isa::{Op, Reg, Width};
 /// Panics if called with a control-transfer instruction — the translator
 /// driver handles those (they need block context).
 pub fn expand_instr(instr: &Instr, temps: &mut TempAlloc, volatile_mem: bool, out: &mut Vec<TOp>) {
-    assert!(!instr.is_control(), "control transfers are lowered by the driver");
+    assert!(
+        !instr.is_control(),
+        "control transfers are lowered by the driver"
+    );
     let mem = |t: TOp| if volatile_mem { t.volatile() } else { t };
     match *instr {
         Instr::Nop16 | Instr::Nop => {}
         Instr::Debug16 | Instr::Ret16 => unreachable!("control handled by driver"),
-        Instr::Mov16 { d, imm7 } => out.push(TOp::new(Op::Mvk { d: dreg(d), imm16: imm7 as i16 })),
+        Instr::Mov16 { d, imm7 } => out.push(TOp::new(Op::Mvk {
+            d: dreg(d),
+            imm16: imm7 as i16,
+        })),
         Instr::Mov { d, imm16 } => out.push(TOp::new(Op::Mvk { d: dreg(d), imm16 })),
         Instr::Movh { d, imm16 } => {
-            out.push(TOp::new(Op::Mvk { d: dreg(d), imm16: 0 }));
+            out.push(TOp::new(Op::Mvk {
+                d: dreg(d),
+                imm16: 0,
+            }));
             out.push(TOp::new(Op::Mvkh { d: dreg(d), imm16 }));
         }
         Instr::MovhA { a, imm16 } => {
-            out.push(TOp::new(Op::Mvk { d: areg(a), imm16: 0 }));
+            out.push(TOp::new(Op::Mvk {
+                d: areg(a),
+                imm16: 0,
+            }));
             out.push(TOp::new(Op::Mvkh { d: areg(a), imm16 }));
         }
         Instr::MovRR16 { d, s } | Instr::MovRR { d, s } => {
-            out.push(TOp::new(Op::Mv { d: dreg(d), s: dreg(s) }));
+            out.push(TOp::new(Op::Mv {
+                d: dreg(d),
+                s: dreg(s),
+            }));
         }
-        Instr::MovA { a, s } => out.push(TOp::new(Op::Mv { d: areg(a), s: dreg(s) })),
-        Instr::MovD { d, a } => out.push(TOp::new(Op::Mv { d: dreg(d), s: areg(a) })),
-        Instr::MovAA { a, s } => out.push(TOp::new(Op::Mv { d: areg(a), s: areg(s) })),
+        Instr::MovA { a, s } => out.push(TOp::new(Op::Mv {
+            d: areg(a),
+            s: dreg(s),
+        })),
+        Instr::MovD { d, a } => out.push(TOp::new(Op::Mv {
+            d: dreg(d),
+            s: areg(a),
+        })),
+        Instr::MovAA { a, s } => out.push(TOp::new(Op::Mv {
+            d: areg(a),
+            s: areg(s),
+        })),
         Instr::Addi { d, s, imm16 } => add_imm(dreg(d), dreg(s), imm16 as i32, temps, out),
         Instr::Addih { d, s, imm16 } => {
             let t = temps.a();
             out.push(TOp::new(Op::Mvk { d: t, imm16: 0 }));
             out.push(TOp::new(Op::Mvkh { d: t, imm16 }));
-            out.push(TOp::new(Op::Add { d: dreg(d), s1: dreg(s), s2: t }));
+            out.push(TOp::new(Op::Add {
+                d: dreg(d),
+                s1: dreg(s),
+                s2: t,
+            }));
         }
         Instr::Lea { a, base, off16 } => add_imm(areg(a), areg(base), off16 as i32, temps, out),
         Instr::Add16 { d, s } => {
-            out.push(TOp::new(Op::Add { d: dreg(d), s1: dreg(d), s2: dreg(s) }));
+            out.push(TOp::new(Op::Add {
+                d: dreg(d),
+                s1: dreg(d),
+                s2: dreg(s),
+            }));
         }
         Instr::Sub16 { d, s } => {
-            out.push(TOp::new(Op::Sub { d: dreg(d), s1: dreg(d), s2: dreg(s) }));
+            out.push(TOp::new(Op::Sub {
+                d: dreg(d),
+                s1: dreg(d),
+                s2: dreg(s),
+            }));
         }
         Instr::Bin { op, d, s1, s2 } => {
             out.push(TOp::new(bin_op(op, dreg(d), dreg(s1), dreg(s2))));
@@ -83,20 +119,67 @@ pub fn expand_instr(instr: &Instr, temps: &mut TempAlloc, volatile_mem: bool, ou
         },
         Instr::Madd { d, acc, s1, s2 } => {
             let t = temps.a();
-            out.push(TOp::new(Op::Mpy { d: t, s1: dreg(s1), s2: dreg(s2) }));
-            out.push(TOp::new(Op::Add { d: dreg(d), s1: dreg(acc), s2: t }));
+            out.push(TOp::new(Op::Mpy {
+                d: t,
+                s1: dreg(s1),
+                s2: dreg(s2),
+            }));
+            out.push(TOp::new(Op::Add {
+                d: dreg(d),
+                s1: dreg(acc),
+                s2: t,
+            }));
         }
         Instr::Msub { d, acc, s1, s2 } => {
             let t = temps.a();
-            out.push(TOp::new(Op::Mpy { d: t, s1: dreg(s1), s2: dreg(s2) }));
-            out.push(TOp::new(Op::Sub { d: dreg(d), s1: dreg(acc), s2: t }));
+            out.push(TOp::new(Op::Mpy {
+                d: t,
+                s1: dreg(s1),
+                s2: dreg(s2),
+            }));
+            out.push(TOp::new(Op::Sub {
+                d: dreg(d),
+                s1: dreg(acc),
+                s2: t,
+            }));
         }
-        Instr::Ld { kind, d, base, off10, postinc } => {
+        Instr::Ld {
+            kind,
+            d,
+            base,
+            off10,
+            postinc,
+        } => {
             let (w, unsigned) = ld_width(kind);
-            lower_load(dreg(d), areg(base), off10, postinc, w, unsigned, temps, &mem, out);
+            lower_load(
+                dreg(d),
+                areg(base),
+                off10,
+                postinc,
+                w,
+                unsigned,
+                temps,
+                &mem,
+                out,
+            );
         }
-        Instr::LdA { a, base, off10, postinc } => {
-            lower_load(areg(a), areg(base), off10, postinc, Width::W, false, temps, &mem, out);
+        Instr::LdA {
+            a,
+            base,
+            off10,
+            postinc,
+        } => {
+            lower_load(
+                areg(a),
+                areg(base),
+                off10,
+                postinc,
+                Width::W,
+                false,
+                temps,
+                &mem,
+                out,
+            );
         }
         Instr::LdW16 { d, a } => {
             out.push(mem(TOp::new(Op::Ld {
@@ -107,15 +190,40 @@ pub fn expand_instr(instr: &Instr, temps: &mut TempAlloc, volatile_mem: bool, ou
                 woff: 0,
             })));
         }
-        Instr::St { kind, s, base, off10, postinc } => {
+        Instr::St {
+            kind,
+            s,
+            base,
+            off10,
+            postinc,
+        } => {
             let w = st_width(kind);
             lower_store(dreg(s), areg(base), off10, postinc, w, temps, &mem, out);
         }
-        Instr::StA { s, base, off10, postinc } => {
-            lower_store(areg(s), areg(base), off10, postinc, Width::W, temps, &mem, out);
+        Instr::StA {
+            s,
+            base,
+            off10,
+            postinc,
+        } => {
+            lower_store(
+                areg(s),
+                areg(base),
+                off10,
+                postinc,
+                Width::W,
+                temps,
+                &mem,
+                out,
+            );
         }
         Instr::StW16 { a, s } => {
-            out.push(mem(TOp::new(Op::St { w: Width::W, s: dreg(s), base: areg(a), woff: 0 })));
+            out.push(mem(TOp::new(Op::St {
+                w: Width::W,
+                s: dreg(s),
+                base: areg(a),
+                woff: 0,
+            })));
         }
         Instr::J { .. }
         | Instr::Jl { .. }
@@ -167,15 +275,28 @@ fn add_imm(d: Reg, s: Reg, imm: i32, temps: &mut TempAlloc, out: &mut Vec<TOp>) 
         return;
     }
     if (-16..=15).contains(&imm) {
-        out.push(TOp::new(Op::AddI { d, s1: s, imm5: imm as i8 }));
+        out.push(TOp::new(Op::AddI {
+            d,
+            s1: s,
+            imm5: imm as i8,
+        }));
     } else if (-32768..=32767).contains(&imm) {
         let t = if d.is_a_file() { temps.a() } else { temps.b() };
-        out.push(TOp::new(Op::Mvk { d: t, imm16: imm as i16 }));
+        out.push(TOp::new(Op::Mvk {
+            d: t,
+            imm16: imm as i16,
+        }));
         out.push(TOp::new(Op::Add { d, s1: s, s2: t }));
     } else {
         let t = if d.is_a_file() { temps.a() } else { temps.b() };
-        out.push(TOp::new(Op::Mvk { d: t, imm16: (imm & 0xffff) as i16 }));
-        out.push(TOp::new(Op::Mvkh { d: t, imm16: ((imm as u32) >> 16) as u16 }));
+        out.push(TOp::new(Op::Mvk {
+            d: t,
+            imm16: (imm & 0xffff) as i16,
+        }));
+        out.push(TOp::new(Op::Mvkh {
+            d: t,
+            imm16: ((imm as u32) >> 16) as u16,
+        }));
         out.push(TOp::new(Op::Add { d, s1: s, s2: t }));
     }
 }
@@ -204,7 +325,13 @@ fn lower_load(
     } else {
         let t = temps.b();
         add_imm(t, base, off, temps, out);
-        out.push(mem(TOp::new(Op::Ld { w, unsigned, d, base: t, woff: 0 })));
+        out.push(mem(TOp::new(Op::Ld {
+            w,
+            unsigned,
+            d,
+            base: t,
+            woff: 0,
+        })));
     }
     if postinc {
         add_imm(base, base, off10 as i32, temps, out);
@@ -224,11 +351,21 @@ fn lower_store(
 ) {
     let off = if postinc { 0 } else { off10 as i32 };
     if off % w.bytes() as i32 == 0 {
-        out.push(mem(TOp::new(Op::St { w, s, base, woff: (off / w.bytes() as i32) as i16 })));
+        out.push(mem(TOp::new(Op::St {
+            w,
+            s,
+            base,
+            woff: (off / w.bytes() as i32) as i16,
+        })));
     } else {
         let t = temps.b();
         add_imm(t, base, off, temps, out);
-        out.push(mem(TOp::new(Op::St { w, s, base: t, woff: 0 })));
+        out.push(mem(TOp::new(Op::St {
+            w,
+            s,
+            base: t,
+            woff: 0,
+        })));
     }
     if postinc {
         add_imm(base, base, off10 as i32, temps, out);
@@ -249,24 +386,38 @@ mod tests {
 
     #[test]
     fn mov_forms() {
-        let ops = expand(Instr::Mov16 { d: DReg(1), imm7: -3 });
+        let ops = expand(Instr::Mov16 {
+            d: DReg(1),
+            imm7: -3,
+        });
         assert_eq!(ops.len(), 1);
         assert!(matches!(ops[0].op, Op::Mvk { imm16: -3, .. }));
-        let ops = expand(Instr::Movh { d: DReg(1), imm16: 0xd000 });
+        let ops = expand(Instr::Movh {
+            d: DReg(1),
+            imm16: 0xd000,
+        });
         assert_eq!(ops.len(), 2);
         assert!(matches!(ops[1].op, Op::Mvkh { imm16: 0xd000, .. }));
     }
 
     #[test]
     fn small_addi_uses_short_form() {
-        let ops = expand(Instr::Addi { d: DReg(1), s: DReg(2), imm16: -1 });
+        let ops = expand(Instr::Addi {
+            d: DReg(1),
+            s: DReg(2),
+            imm16: -1,
+        });
         assert_eq!(ops.len(), 1);
         assert!(matches!(ops[0].op, Op::AddI { imm5: -1, .. }));
     }
 
     #[test]
     fn large_addi_materializes_constant() {
-        let ops = expand(Instr::Addi { d: DReg(1), s: DReg(2), imm16: 1000 });
+        let ops = expand(Instr::Addi {
+            d: DReg(1),
+            s: DReg(2),
+            imm16: 1000,
+        });
         assert_eq!(ops.len(), 2);
         assert!(matches!(ops[0].op, Op::Mvk { imm16: 1000, .. }));
         assert!(matches!(ops[1].op, Op::Add { .. }));
@@ -274,7 +425,12 @@ mod tests {
 
     #[test]
     fn madd_is_mpy_plus_add() {
-        let ops = expand(Instr::Madd { d: DReg(1), acc: DReg(2), s1: DReg(3), s2: DReg(4) });
+        let ops = expand(Instr::Madd {
+            d: DReg(1),
+            acc: DReg(2),
+            s1: DReg(3),
+            s2: DReg(4),
+        });
         assert_eq!(ops.len(), 2);
         assert!(matches!(ops[0].op, Op::Mpy { .. }));
         assert!(matches!(ops[1].op, Op::Add { .. }));
@@ -290,7 +446,14 @@ mod tests {
             postinc: false,
         });
         assert_eq!(ops.len(), 1);
-        assert!(matches!(ops[0].op, Op::Ld { woff: 2, w: Width::W, .. }));
+        assert!(matches!(
+            ops[0].op,
+            Op::Ld {
+                woff: 2,
+                w: Width::W,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -332,20 +495,42 @@ mod tests {
             postinc: false,
         });
         assert_eq!(ops.len(), 1);
-        assert!(matches!(ops[0].op, Op::St { woff: 3, w: Width::H, .. }));
+        assert!(matches!(
+            ops[0].op,
+            Op::St {
+                woff: 3,
+                w: Width::H,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn shifts_by_constant() {
-        let ops = expand(Instr::BinI { op: BinOp::Sra, d: DReg(1), s1: DReg(2), imm9: 3 });
+        let ops = expand(Instr::BinI {
+            op: BinOp::Sra,
+            d: DReg(1),
+            s1: DReg(2),
+            imm9: 3,
+        });
         assert!(matches!(ops[0].op, Op::ShrI { imm5: 3, .. }));
-        let ops = expand(Instr::BinI { op: BinOp::Srl, d: DReg(1), s1: DReg(2), imm9: 3 });
+        let ops = expand(Instr::BinI {
+            op: BinOp::Srl,
+            d: DReg(1),
+            s1: DReg(2),
+            imm9: 3,
+        });
         assert!(matches!(ops[0].op, Op::ShruI { imm5: 3, .. }));
     }
 
     #[test]
     fn logic_with_immediate_materializes() {
-        let ops = expand(Instr::BinI { op: BinOp::And, d: DReg(1), s1: DReg(2), imm9: 0xf });
+        let ops = expand(Instr::BinI {
+            op: BinOp::And,
+            d: DReg(1),
+            s1: DReg(2),
+            imm9: 0xf,
+        });
         assert_eq!(ops.len(), 2);
         assert!(matches!(ops[0].op, Op::Mvk { imm16: 0xf, .. }));
         assert!(matches!(ops[1].op, Op::And { .. }));
@@ -356,7 +541,13 @@ mod tests {
         let mut t = TempAlloc::new();
         let mut out = Vec::new();
         expand_instr(
-            &Instr::St { kind: StKind::W, s: DReg(1), base: AReg(2), off10: 0, postinc: false },
+            &Instr::St {
+                kind: StKind::W,
+                s: DReg(1),
+                base: AReg(2),
+                off10: 0,
+                postinc: false,
+            },
             &mut t,
             true,
             &mut out,

@@ -88,7 +88,11 @@ pub fn analysis_blocks(block: &Block, cfg: &CacheConfig) -> Vec<AnalysisBlock> {
             if let Some(b) = out.last_mut() {
                 b.end = i;
             }
-            out.push(AnalysisBlock { line: first, start: i, end: i + 1 });
+            out.push(AnalysisBlock {
+                line: first,
+                start: i,
+                end: i + 1,
+            });
             current_line = Some(first);
         }
         if last != first {
@@ -97,7 +101,11 @@ pub fn analysis_blocks(block: &Block, cfg: &CacheConfig) -> Vec<AnalysisBlock> {
             if let Some(b) = out.last_mut() {
                 b.end = i + 1;
             }
-            out.push(AnalysisBlock { line: last, start: i + 1, end: i + 1 });
+            out.push(AnalysisBlock {
+                line: last,
+                start: i + 1,
+                end: i + 1,
+            });
             current_line = Some(last);
         }
     }
@@ -151,108 +159,210 @@ pub fn correction_body(layout: &CacheLayout) -> Vec<TOp> {
     // (2-way): decompose into shifts.
     match stride {
         8 => {
-            ops.push(o(Op::ShlI { d: T_ADDR, s1: CACHE_ARG_SET, imm5: 3 }));
-            ops.push(o(Op::Add { d: T_ADDR, s1: T_ADDR, s2: CACHE_BASE_REG }));
+            ops.push(o(Op::ShlI {
+                d: T_ADDR,
+                s1: CACHE_ARG_SET,
+                imm5: 3,
+            }));
+            ops.push(o(Op::Add {
+                d: T_ADDR,
+                s1: T_ADDR,
+                s2: CACHE_BASE_REG,
+            }));
         }
         12 => {
-            ops.push(o(Op::ShlI { d: T_ADDR, s1: CACHE_ARG_SET, imm5: 3 }));
-            ops.push(o(Op::ShlI { d: T_SCALED, s1: CACHE_ARG_SET, imm5: 2 }));
-            ops.push(o(Op::Add { d: T_ADDR, s1: T_ADDR, s2: T_SCALED }));
-            ops.push(o(Op::Add { d: T_ADDR, s1: T_ADDR, s2: CACHE_BASE_REG }));
+            ops.push(o(Op::ShlI {
+                d: T_ADDR,
+                s1: CACHE_ARG_SET,
+                imm5: 3,
+            }));
+            ops.push(o(Op::ShlI {
+                d: T_SCALED,
+                s1: CACHE_ARG_SET,
+                imm5: 2,
+            }));
+            ops.push(o(Op::Add {
+                d: T_ADDR,
+                s1: T_ADDR,
+                s2: T_SCALED,
+            }));
+            ops.push(o(Op::Add {
+                d: T_ADDR,
+                s1: T_ADDR,
+                s2: CACHE_BASE_REG,
+            }));
         }
         other => {
             // Generic (unused today, kept for forward compatibility):
             // multiply by the stride.
-            ops.push(o(Op::Mvk { d: T_SCALED, imm16: other as i16 }));
-            ops.push(o(Op::Mpy { d: T_ADDR, s1: CACHE_ARG_SET, s2: T_SCALED }));
-            ops.push(o(Op::Add { d: T_ADDR, s1: T_ADDR, s2: CACHE_BASE_REG }));
+            ops.push(o(Op::Mvk {
+                d: T_SCALED,
+                imm16: other as i16,
+            }));
+            ops.push(o(Op::Mpy {
+                d: T_ADDR,
+                s1: CACHE_ARG_SET,
+                s2: T_SCALED,
+            }));
+            ops.push(o(Op::Add {
+                d: T_ADDR,
+                s1: T_ADDR,
+                s2: CACHE_BASE_REG,
+            }));
         }
     }
 
     // Probe the tags.
-    ops.push(o(Op::Ld { w: Width::W, unsigned: false, d: T_TAG0, base: T_ADDR, woff: 0 }));
+    ops.push(o(Op::Ld {
+        w: Width::W,
+        unsigned: false,
+        d: T_TAG0,
+        base: T_ADDR,
+        woff: 0,
+    }));
     if cfg.ways == 2 {
-        ops.push(o(Op::Ld { w: Width::W, unsigned: false, d: T_TAG1, base: T_ADDR, woff: 1 }));
-    }
-    ops.push(o(Op::CmpEq { d: P_HIT0, s1: T_TAG0, s2: CACHE_ARG_TAG }));
-    if cfg.ways == 2 {
-        ops.push(o(Op::CmpEq { d: P_HIT1, s1: T_TAG1, s2: CACHE_ARG_TAG }));
-        ops.push(o(Op::Or { d: P_MISS, s1: P_HIT0, s2: P_HIT1 }));
-        // Hit: renew LRU — the LRU word names the *victim* way, i.e. the
-        // way not just used.
-        ops.push(TOp::when(Pred::nz(P_HIT0), Op::St {
-            w: Width::W,
-            s: ONE_REG,
-            base: T_ADDR,
-            woff: 2,
-        }));
-        ops.push(TOp::when(Pred::nz(P_HIT1), Op::St {
-            w: Width::W,
-            s: ZERO_REG,
-            base: T_ADDR,
-            woff: 2,
-        }));
-        // Miss: read the victim index, overwrite its tag, flip the LRU,
-        // and charge the penalty.
-        ops.push(TOp::when(Pred::z(P_MISS), Op::Ld {
+        ops.push(o(Op::Ld {
             w: Width::W,
             unsigned: false,
-            d: T_VICT,
+            d: T_TAG1,
             base: T_ADDR,
-            woff: 2,
+            woff: 1,
         }));
-        ops.push(TOp::when(Pred::z(P_MISS), Op::ShlI { d: T_VADDR, s1: T_VICT, imm5: 2 }));
-        ops.push(TOp::when(Pred::z(P_MISS), Op::Add {
-            d: T_VADDR,
-            s1: T_VADDR,
-            s2: T_ADDR,
+    }
+    ops.push(o(Op::CmpEq {
+        d: P_HIT0,
+        s1: T_TAG0,
+        s2: CACHE_ARG_TAG,
+    }));
+    if cfg.ways == 2 {
+        ops.push(o(Op::CmpEq {
+            d: P_HIT1,
+            s1: T_TAG1,
+            s2: CACHE_ARG_TAG,
         }));
-        ops.push(TOp::when(Pred::z(P_MISS), Op::St {
-            w: Width::W,
-            s: CACHE_ARG_TAG,
-            base: T_VADDR,
-            woff: 0,
+        ops.push(o(Op::Or {
+            d: P_MISS,
+            s1: P_HIT0,
+            s2: P_HIT1,
         }));
-        ops.push(TOp::when(Pred::z(P_MISS), Op::Sub {
-            d: T_NEWLRU,
-            s1: ONE_REG,
-            s2: T_VICT,
-        }));
-        ops.push(TOp::when(Pred::z(P_MISS), Op::St {
-            w: Width::W,
-            s: T_NEWLRU,
-            base: T_ADDR,
-            woff: 2,
-        }));
+        // Hit: renew LRU — the LRU word names the *victim* way, i.e. the
+        // way not just used.
+        ops.push(TOp::when(
+            Pred::nz(P_HIT0),
+            Op::St {
+                w: Width::W,
+                s: ONE_REG,
+                base: T_ADDR,
+                woff: 2,
+            },
+        ));
+        ops.push(TOp::when(
+            Pred::nz(P_HIT1),
+            Op::St {
+                w: Width::W,
+                s: ZERO_REG,
+                base: T_ADDR,
+                woff: 2,
+            },
+        ));
+        // Miss: read the victim index, overwrite its tag, flip the LRU,
+        // and charge the penalty.
+        ops.push(TOp::when(
+            Pred::z(P_MISS),
+            Op::Ld {
+                w: Width::W,
+                unsigned: false,
+                d: T_VICT,
+                base: T_ADDR,
+                woff: 2,
+            },
+        ));
+        ops.push(TOp::when(
+            Pred::z(P_MISS),
+            Op::ShlI {
+                d: T_VADDR,
+                s1: T_VICT,
+                imm5: 2,
+            },
+        ));
+        ops.push(TOp::when(
+            Pred::z(P_MISS),
+            Op::Add {
+                d: T_VADDR,
+                s1: T_VADDR,
+                s2: T_ADDR,
+            },
+        ));
+        ops.push(TOp::when(
+            Pred::z(P_MISS),
+            Op::St {
+                w: Width::W,
+                s: CACHE_ARG_TAG,
+                base: T_VADDR,
+                woff: 0,
+            },
+        ));
+        ops.push(TOp::when(
+            Pred::z(P_MISS),
+            Op::Sub {
+                d: T_NEWLRU,
+                s1: ONE_REG,
+                s2: T_VICT,
+            },
+        ));
+        ops.push(TOp::when(
+            Pred::z(P_MISS),
+            Op::St {
+                w: Width::W,
+                s: T_NEWLRU,
+                base: T_ADDR,
+                woff: 2,
+            },
+        ));
     } else {
         // Direct-mapped: a miss is simply "tag differs".
-        ops.push(o(Op::Mv { d: P_MISS, s: P_HIT0 }));
-        ops.push(TOp::when(Pred::z(P_MISS), Op::St {
-            w: Width::W,
-            s: CACHE_ARG_TAG,
-            base: T_ADDR,
-            woff: 0,
+        ops.push(o(Op::Mv {
+            d: P_MISS,
+            s: P_HIT0,
         }));
+        ops.push(TOp::when(
+            Pred::z(P_MISS),
+            Op::St {
+                w: Width::W,
+                s: CACHE_ARG_TAG,
+                base: T_ADDR,
+                woff: 0,
+            },
+        ));
     }
 
     // Charge the miss penalty to the correction counter.
     let pen = cfg.miss_penalty;
     if pen <= 15 {
-        ops.push(TOp::when(Pred::z(P_MISS), Op::AddI {
-            d: CORR_REG,
-            s1: CORR_REG,
-            imm5: pen as i8,
-        }));
+        ops.push(TOp::when(
+            Pred::z(P_MISS),
+            Op::AddI {
+                d: CORR_REG,
+                s1: CORR_REG,
+                imm5: pen as i8,
+            },
+        ));
     } else {
-        ops.push(TOp::when(Pred::z(P_MISS), Op::Mvk {
-            d: CACHE_TMP_REG,
-            imm16: pen as i16,
-        }));
-        ops.push(TOp::when(Pred::z(P_MISS), Op::Add {
-            d: CORR_REG,
-            s1: CORR_REG,
-            s2: CACHE_TMP_REG,
-        }));
+        ops.push(TOp::when(
+            Pred::z(P_MISS),
+            Op::Mvk {
+                d: CACHE_TMP_REG,
+                imm16: pen as i16,
+            },
+        ));
+        ops.push(TOp::when(
+            Pred::z(P_MISS),
+            Op::Add {
+                d: CORR_REG,
+                s1: CORR_REG,
+                s2: CACHE_TMP_REG,
+            },
+        ));
     }
     ops
 }
@@ -336,7 +446,10 @@ mod tests {
     use cabt_tricore::asm::assemble;
 
     fn layout() -> CacheLayout {
-        CacheLayout { cfg: CacheConfig::default(), base: 0x0010_0000 }
+        CacheLayout {
+            cfg: CacheConfig::default(),
+            base: 0x0010_0000,
+        }
     }
 
     #[test]
@@ -386,7 +499,10 @@ mod tests {
 
     #[test]
     fn unsupported_ways_rejected() {
-        let cfg = CacheConfig { ways: 4, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            ways: 4,
+            ..CacheConfig::default()
+        };
         assert!(matches!(
             check_supported(&cfg),
             Err(TranslateError::UnsupportedCache { ways: 4 })
@@ -409,7 +525,10 @@ mod tests {
     #[test]
     fn reference_access_matches_golden_cache() {
         use cabt_tricore::arch::CacheSim;
-        let l = CacheLayout { cfg: CacheConfig::default(), base: 0 };
+        let l = CacheLayout {
+            cfg: CacheConfig::default(),
+            base: 0,
+        };
         let mut state = initial_state(&l);
         let mut golden = CacheSim::new(l.cfg);
         // A pseudo-random-ish but deterministic line stream.
@@ -425,7 +544,12 @@ mod tests {
     #[test]
     fn direct_mapped_reference_matches_golden() {
         use cabt_tricore::arch::CacheSim;
-        let cfg = CacheConfig { sets: 8, ways: 1, line_bytes: 16, miss_penalty: 8 };
+        let cfg = CacheConfig {
+            sets: 8,
+            ways: 1,
+            line_bytes: 16,
+            miss_penalty: 8,
+        };
         let l = CacheLayout { cfg, base: 0 };
         let mut state = initial_state(&l);
         let mut golden = CacheSim::new(cfg);
@@ -438,16 +562,26 @@ mod tests {
 
     #[test]
     fn penalty_above_addi_range_uses_constant_load() {
-        let cfg = CacheConfig { miss_penalty: 40, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            miss_penalty: 40,
+            ..CacheConfig::default()
+        };
         let l = CacheLayout { cfg, base: 0 };
         let ops = correction_body(&l);
-        assert!(ops.iter().any(|t| matches!(t.op, Op::Mvk { imm16: 40, .. })));
+        assert!(ops
+            .iter()
+            .any(|t| matches!(t.op, Op::Mvk { imm16: 40, .. })));
     }
 
     #[test]
     fn touched_lines_dedups_consecutive() {
         use cabt_tricore::isa::{BinOp, DReg, Instr};
-        let add = Instr::Bin { op: BinOp::Add, d: DReg(1), s1: DReg(2), s2: DReg(3) };
+        let add = Instr::Bin {
+            op: BinOp::Add,
+            d: DReg(1),
+            s1: DReg(2),
+            s2: DReg(3),
+        };
         let cfg = CacheConfig::default();
         let instrs: Vec<(u32, Instr)> = (0..10).map(|i| (0x100 + i * 4, add)).collect();
         let lines = touched_lines(&instrs, &cfg);

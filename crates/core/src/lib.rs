@@ -158,16 +158,25 @@ impl fmt::Display for TranslateError {
         match self {
             TranslateError::NoText => write!(f, "input image has no .text section"),
             TranslateError::WrongMachine { found } => {
-                write!(f, "input image is for machine {found}, expected TriCore (44)")
+                write!(
+                    f,
+                    "input image is for machine {found}, expected TriCore (44)"
+                )
             }
             TranslateError::Decode { addr } => {
                 write!(f, "cannot decode source instruction at {addr:#010x}")
             }
             TranslateError::BadBranchTarget { from, to } => {
-                write!(f, "branch at {from:#010x} targets {to:#010x}, outside the program")
+                write!(
+                    f,
+                    "branch at {from:#010x} targets {to:#010x}, outside the program"
+                )
             }
             TranslateError::UnsupportedCache { ways } => {
-                write!(f, "cache correction code supports 1- or 2-way caches, not {ways}-way")
+                write!(
+                    f,
+                    "cache correction code supports 1- or 2-way caches, not {ways}-way"
+                )
             }
             TranslateError::Sched(msg) => write!(f, "scheduling failure: {msg}"),
         }

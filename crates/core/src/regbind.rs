@@ -85,7 +85,10 @@ impl Default for TempAlloc {
 impl TempAlloc {
     /// A fresh rotating allocator.
     pub fn new() -> Self {
-        TempAlloc { a_next: A_POOL.start, b_next: B_POOL.start }
+        TempAlloc {
+            a_next: A_POOL.start,
+            b_next: B_POOL.start,
+        }
     }
 
     /// Next A-file temporary.

@@ -48,12 +48,22 @@ pub struct TOp {
 impl TOp {
     /// A plain operation.
     pub fn new(op: Op) -> Self {
-        TOp { pred: None, op, fixup: None, volatile: false }
+        TOp {
+            pred: None,
+            op,
+            fixup: None,
+            volatile: false,
+        }
     }
 
     /// A predicated operation.
     pub fn when(pred: Pred, op: Op) -> Self {
-        TOp { pred: Some(pred), op, fixup: None, volatile: false }
+        TOp {
+            pred: Some(pred),
+            op,
+            fixup: None,
+            volatile: false,
+        }
     }
 
     /// Marks the operation as a device access with program order.
@@ -105,7 +115,8 @@ impl Schedule {
         for row in &self.rows {
             let mut p = Packet::at(cur);
             for s in row {
-                p.push(*s).map_err(|e| TranslateError::Sched(e.to_string()))?;
+                p.push(*s)
+                    .map_err(|e| TranslateError::Sched(e.to_string()))?;
             }
             addrs.push(cur);
             cur += p.size();
@@ -118,7 +129,10 @@ impl Schedule {
 /// Total issue cycles of a row (multi-cycle NOPs count their length).
 fn row_issue_cycles(row: &[Slot]) -> u64 {
     match row.first() {
-        Some(Slot { op: Op::Nop { count }, .. }) if row.len() == 1 => *count as u64,
+        Some(Slot {
+            op: Op::Nop { count },
+            ..
+        }) if row.len() == 1 => *count as u64,
         _ => 1,
     }
 }
@@ -207,54 +221,64 @@ impl Scheduler {
             earliest = earliest.max(self.ready[d.index()].saturating_sub(1));
         }
         if is_mem || t.volatile {
-            earliest = earliest.max(if ordered { self.store_barrier } else { self.load_barrier });
+            earliest = earliest.max(if ordered {
+                self.store_barrier
+            } else {
+                self.load_barrier
+            });
         }
 
         let multi_nop = matches!(t.op, Op::Nop { count } if count > 1);
 
         // Try to join the tail row.
-        let tail_ok = !self.force_new
-            && !multi_nop
-            && !self.rows.is_empty()
-            && {
-                let row = self.rows.last().expect("nonempty");
-                let cycle = *self.row_cycle.last().expect("nonempty");
-                cycle >= earliest
-                    && !(row.len() == 1
-                        && matches!(row[0].op, Op::Nop { count } if count > 1))
-                    && row.len() < 8
-                    && self.free_unit(row, &t.op).is_some()
-                    && !self.same_row_hazard(row, &t)
-            };
+        let tail_ok = !self.force_new && !multi_nop && !self.rows.is_empty() && {
+            let row = self.rows.last().expect("nonempty");
+            let cycle = *self.row_cycle.last().expect("nonempty");
+            cycle >= earliest
+                && !(row.len() == 1 && matches!(row[0].op, Op::Nop { count } if count > 1))
+                && row.len() < 8
+                && self.free_unit(row, &t.op).is_some()
+                && !self.same_row_hazard(row, &t)
+        };
 
         let (row_idx, cycle) = if tail_ok {
             let idx = self.rows.len() - 1;
             let unit = self
                 .free_unit(&self.rows[idx], &t.op)
                 .expect("checked in tail_ok");
-            self.rows[idx].push(Slot { unit, pred: t.pred, op: t.op });
+            self.rows[idx].push(Slot {
+                unit,
+                pred: t.pred,
+                op: t.op,
+            });
             (idx, self.row_cycle[idx])
         } else {
             let mut start = self.next_cycle();
             if earliest > start {
                 // Pad delay slots with a multi-cycle NOP row.
                 let pad = (earliest - start).min(9) as u8;
-                self.rows.push(vec![Slot::new(Unit::S1, Op::Nop { count: pad })]);
+                self.rows
+                    .push(vec![Slot::new(Unit::S1, Op::Nop { count: pad })]);
                 self.row_cycle.push(start);
                 start += pad as u64;
                 // A single NOP row of up to 9 cycles covers every delay
                 // in the ISA (max is the divider's 17 — loop if needed).
                 while earliest > start {
                     let pad = (earliest - start).min(9) as u8;
-                    self.rows.push(vec![Slot::new(Unit::S1, Op::Nop { count: pad })]);
+                    self.rows
+                        .push(vec![Slot::new(Unit::S1, Op::Nop { count: pad })]);
                     self.row_cycle.push(start);
                     start += pad as u64;
                 }
             }
-            let unit = self.free_unit(&[], &t.op).ok_or_else(|| {
-                TranslateError::Sched(format!("no legal unit for {}", t.op))
-            })?;
-            self.rows.push(vec![Slot { unit, pred: t.pred, op: t.op }]);
+            let unit = self
+                .free_unit(&[], &t.op)
+                .ok_or_else(|| TranslateError::Sched(format!("no legal unit for {}", t.op)))?;
+            self.rows.push(vec![Slot {
+                unit,
+                pred: t.pred,
+                op: t.op,
+            }]);
             self.row_cycle.push(start);
             self.force_new = false;
             for l in self.pending_labels.drain(..) {
@@ -296,13 +320,15 @@ impl Scheduler {
     /// a WAW with another slot, two ordered memory ops, a branch already
     /// present, or a halt mixing with other work.
     fn same_row_hazard(&self, row: &[Slot], t: &TOp) -> bool {
-        let writes_same = t.op.dest().is_some_and(|d| {
-            row.iter().any(|s| s.op.dest() == Some(d))
-        });
+        let writes_same =
+            t.op.dest()
+                .is_some_and(|d| row.iter().any(|s| s.op.dest() == Some(d)));
         let mem_conflict = (matches!(t.op, Op::St { .. }) || t.volatile)
-            && row.iter().any(|s| matches!(s.op, Op::Ld { .. } | Op::St { .. }));
-        let second_mem_store = matches!(t.op, Op::Ld { .. })
-            && row.iter().any(|s| matches!(s.op, Op::St { .. }));
+            && row
+                .iter()
+                .any(|s| matches!(s.op, Op::Ld { .. } | Op::St { .. }));
+        let second_mem_store =
+            matches!(t.op, Op::Ld { .. }) && row.iter().any(|s| matches!(s.op, Op::St { .. }));
         let branch_present = row
             .iter()
             .any(|s| matches!(s.op, Op::B { .. } | Op::BReg { .. } | Op::Halt));
@@ -324,7 +350,8 @@ impl Scheduler {
         let mut start = self.next_cycle();
         while due > start {
             let pad = (due - start).min(9) as u8;
-            self.rows.push(vec![Slot::new(Unit::S1, Op::Nop { count: pad })]);
+            self.rows
+                .push(vec![Slot::new(Unit::S1, Op::Nop { count: pad })]);
             self.row_cycle.push(start);
             start += pad as u64;
         }
@@ -356,7 +383,11 @@ mod tests {
     use cabt_vliw::isa::Reg;
 
     fn add(d: u8, s1: u8, s2: u8) -> TOp {
-        TOp::new(Op::Add { d: Reg::a(d), s1: Reg::a(s1), s2: Reg::a(s2) })
+        TOp::new(Op::Add {
+            d: Reg::a(d),
+            s1: Reg::a(s1),
+            s2: Reg::a(s2),
+        })
     }
 
     fn sched(items: Vec<Item>) -> Schedule {
@@ -410,7 +441,11 @@ mod tests {
 
     #[test]
     fn mpy_delay_one() {
-        let mpy = TOp::new(Op::Mpy { d: Reg::a(1), s1: Reg::a(2), s2: Reg::a(3) });
+        let mpy = TOp::new(Op::Mpy {
+            d: Reg::a(1),
+            s1: Reg::a(2),
+            s2: Reg::a(3),
+        });
         let s = sched(vec![Item::Op(mpy), Item::Op(add(4, 1, 1))]);
         assert_eq!(s.rows.len(), 3);
         assert!(matches!(s.rows[1][0].op, Op::Nop { count: 1 }));
@@ -519,7 +554,11 @@ mod tests {
 
     #[test]
     fn divider_delay_pads_in_chunks() {
-        let div = TOp::new(Op::Div { d: Reg::a(1), s1: Reg::a(2), s2: Reg::a(3) });
+        let div = TOp::new(Op::Div {
+            d: Reg::a(1),
+            s1: Reg::a(2),
+            s2: Reg::a(3),
+        });
         let s = sched(vec![Item::Op(div), Item::Op(add(4, 1, 1))]);
         // 17 delay slots → NOP 9 + NOP 8 + add.
         let nops: u32 = s

@@ -6,8 +6,10 @@ use crate::cfg::{Block, Cfg};
 use crate::cycles::{block_cycles, BlockCycles};
 use crate::expand::expand_instr;
 use crate::icache::{analysis_blocks, check_supported, correction_inline, CacheLayout};
-use crate::regbind::{areg, dreg, TempAlloc, CACHE_ARG_SET, CACHE_ARG_TAG, CACHE_BASE_REG,
-    CACHE_RET_REG, CORR_REG, ONE_REG, SYNC_BASE_REG, ZERO_REG};
+use crate::regbind::{
+    areg, dreg, TempAlloc, CACHE_ARG_SET, CACHE_ARG_TAG, CACHE_BASE_REG, CACHE_RET_REG, CORR_REG,
+    ONE_REG, SYNC_BASE_REG, ZERO_REG,
+};
 use crate::sched::{FixupKind, Item, Scheduler, TOp};
 use crate::{DetailLevel, Granularity, TranslateError};
 use cabt_isa::elf::{ElfFile, Section, SectionKind, EM_TI_C6000};
@@ -95,8 +97,13 @@ impl Translated {
     pub fn make_sim(&self) -> Result<VliwSim, cabt_vliw::sim::VliwError> {
         let mut sim = VliwSim::new(self.packets.clone())?;
         for (addr, data) in &self.data_sections {
-            sim.mem.load(*addr, data).map_err(cabt_vliw::sim::VliwError::Mem)?;
+            sim.mem
+                .load(*addr, data)
+                .map_err(cabt_vliw::sim::VliwError::Mem)?;
         }
+        // The placed data sections are the state an engine reset
+        // restores.
+        sim.seal_reset_image();
         Ok(sim)
     }
 
@@ -108,7 +115,8 @@ impl Translated {
     /// Propagates ELF encoding failures.
     pub fn to_elf(&self) -> Result<ElfFile, cabt_isa::IsaError> {
         let mut elf = ElfFile::new(EM_TI_C6000, self.entry);
-        elf.sections.push(Section::text(self.entry, encode_program(&self.packets)));
+        elf.sections
+            .push(Section::text(self.entry, encode_program(&self.packets)));
         for (i, (addr, data)) in self.data_sections.iter().enumerate() {
             let mut s = Section::data(*addr, data.clone());
             if i > 0 {
@@ -231,8 +239,7 @@ impl Translator {
             check_supported(&self.arch.cache)?;
         }
         let model = TimingModel::new(self.arch.timing.clone());
-        let cycles: Vec<BlockCycles> =
-            cfg.blocks.iter().map(|b| block_cycles(&model, b)).collect();
+        let cycles: Vec<BlockCycles> = cfg.blocks.iter().map(|b| block_cycles(&model, b)).collect();
 
         // Label space: blocks, then the cache subroutine, then the cache
         // data marker, then call-site return labels.
@@ -254,20 +261,44 @@ impl Translator {
 
         // ---- prologue ----
         emit_const32(&mut sched, SYNC_BASE_REG, SYNC_DEVICE_BASE)?;
-        push(&mut sched, TOp::new(Op::Mvk { d: CORR_REG, imm16: 0 }))?;
-        push(&mut sched, TOp::new(Op::Mvk { d: ZERO_REG, imm16: 0 }))?;
-        push(&mut sched, TOp::new(Op::Mvk { d: ONE_REG, imm16: 1 }))?;
+        push(
+            &mut sched,
+            TOp::new(Op::Mvk {
+                d: CORR_REG,
+                imm16: 0,
+            }),
+        )?;
+        push(
+            &mut sched,
+            TOp::new(Op::Mvk {
+                d: ZERO_REG,
+                imm16: 0,
+            }),
+        )?;
+        push(
+            &mut sched,
+            TOp::new(Op::Mvk {
+                d: ONE_REG,
+                imm16: 1,
+            }),
+        )?;
         if self.level.simulates_icache() {
             // Cache data base is only known after layout: patch via label.
             push(
                 &mut sched,
-                TOp::new(Op::Mvk { d: CACHE_BASE_REG, imm16: 0 })
-                    .with_fixup(FixupKind::MvkLo, data_label),
+                TOp::new(Op::Mvk {
+                    d: CACHE_BASE_REG,
+                    imm16: 0,
+                })
+                .with_fixup(FixupKind::MvkLo, data_label),
             )?;
             push(
                 &mut sched,
-                TOp::new(Op::Mvkh { d: CACHE_BASE_REG, imm16: 0 })
-                    .with_fixup(FixupKind::MvkHi, data_label),
+                TOp::new(Op::Mvkh {
+                    d: CACHE_BASE_REG,
+                    imm16: 0,
+                })
+                .with_fixup(FixupKind::MvkHi, data_label),
             )?;
         }
         // Source stack pointer (identity-mapped data space).
@@ -288,8 +319,13 @@ impl Translator {
                 emit_const32(&mut sched, Reg::a(3), bc.cycles)?;
                 push(
                     &mut sched,
-                    TOp::new(Op::St { w: Width::W, s: Reg::a(3), base: SYNC_BASE_REG, woff: 0 })
-                        .volatile(),
+                    TOp::new(Op::St {
+                        w: Width::W,
+                        s: Reg::a(3),
+                        base: SYNC_BASE_REG,
+                        woff: 0,
+                    })
+                    .volatile(),
                 )?;
             }
 
@@ -299,7 +335,10 @@ impl Translator {
             } else {
                 Vec::new()
             };
-            let layout_probe = CacheLayout { cfg: self.arch.cache, base: 0 };
+            let layout_probe = CacheLayout {
+                cfg: self.arch.cache,
+                base: 0,
+            };
             if self.level.simulates_icache() {
                 for ab in &abs {
                     // Arguments: tag word and set index of this line.
@@ -321,13 +360,19 @@ impl Translator {
                         next_label += 1;
                         push(
                             &mut sched,
-                            TOp::new(Op::Mvk { d: CACHE_RET_REG, imm16: 0 })
-                                .with_fixup(FixupKind::MvkLo, ret),
+                            TOp::new(Op::Mvk {
+                                d: CACHE_RET_REG,
+                                imm16: 0,
+                            })
+                            .with_fixup(FixupKind::MvkLo, ret),
                         )?;
                         push(
                             &mut sched,
-                            TOp::new(Op::Mvkh { d: CACHE_RET_REG, imm16: 0 })
-                                .with_fixup(FixupKind::MvkHi, ret),
+                            TOp::new(Op::Mvkh {
+                                d: CACHE_RET_REG,
+                                imm16: 0,
+                            })
+                            .with_fixup(FixupKind::MvkHi, ret),
                         )?;
                         push(
                             &mut sched,
@@ -379,14 +424,17 @@ impl Translator {
         // ---- layout and relocation ----
         let mut schedule = sched.finish();
         let (row_addrs, end_addr) = row_addresses(&schedule.rows, self.image_base);
-        let label_addr = |label: usize,
-                          labels: &HashMap<usize, usize>|
-         -> Result<u32, TranslateError> {
-            let row = *labels
-                .get(&label)
-                .ok_or_else(|| TranslateError::Sched(format!("unresolved label {label}")))?;
-            Ok(if row < row_addrs.len() { row_addrs[row] } else { end_addr })
-        };
+        let label_addr =
+            |label: usize, labels: &HashMap<usize, usize>| -> Result<u32, TranslateError> {
+                let row = *labels
+                    .get(&label)
+                    .ok_or_else(|| TranslateError::Sched(format!("unresolved label {label}")))?;
+                Ok(if row < row_addrs.len() {
+                    row_addrs[row]
+                } else {
+                    end_addr
+                })
+            };
         let fixups = schedule.fixups.clone();
         for (row, slot, kind, label) in fixups {
             let target = label_addr(label, &schedule.labels)?;
@@ -412,7 +460,10 @@ impl Translator {
 
         let (packets, _) = schedule.layout(self.image_base)?;
         let cache_layout = if self.level.simulates_icache() {
-            Some(CacheLayout { cfg: self.arch.cache, base: end_addr })
+            Some(CacheLayout {
+                cfg: self.arch.cache,
+                base: end_addr,
+            })
         } else {
             None
         };
@@ -492,13 +543,19 @@ impl Translator {
         let ret_block_label = |end: u32| -> Result<usize, TranslateError> {
             cfg.block_at(end)
                 .map(|b| b.id)
-                .ok_or(TranslateError::BadBranchTarget { from: block.start, to: end })
+                .ok_or(TranslateError::BadBranchTarget {
+                    from: block.start,
+                    to: end,
+                })
         };
         let target_label = |ir: &crate::cfg::IrInstr| -> Result<usize, TranslateError> {
             let t = ir.instr.target(ir.addr).expect("direct branch");
             cfg.block_at(t)
                 .map(|b| b.id)
-                .ok_or(TranslateError::BadBranchTarget { from: ir.addr, to: t })
+                .ok_or(TranslateError::BadBranchTarget {
+                    from: ir.addr,
+                    to: t,
+                })
         };
 
         // 1. Compare / decrement producing the predicate, for conditionals.
@@ -508,16 +565,35 @@ impl Translator {
                 Instr::Jcond { cond, s1, s2, .. } => {
                     let (op, negated) = cmp_for(cond, dreg(s1), dreg(s2));
                     push(sched, TOp::new(op))?;
-                    cond_pred = Some(Pred { reg: PRED_MAIN, negated });
+                    cond_pred = Some(Pred {
+                        reg: PRED_MAIN,
+                        negated,
+                    });
                 }
                 Instr::JcondZ { cond, s1, .. } => {
                     let (op, negated) = cmp_for(cond, dreg(s1), ZERO_REG);
                     push(sched, TOp::new(op))?;
-                    cond_pred = Some(Pred { reg: PRED_MAIN, negated });
+                    cond_pred = Some(Pred {
+                        reg: PRED_MAIN,
+                        negated,
+                    });
                 }
                 Instr::Loop { a, .. } => {
-                    push(sched, TOp::new(Op::AddI { d: areg(a), s1: areg(a), imm5: -1 }))?;
-                    push(sched, TOp::new(Op::Mv { d: PRED_MAIN, s: areg(a) }))?;
+                    push(
+                        sched,
+                        TOp::new(Op::AddI {
+                            d: areg(a),
+                            s1: areg(a),
+                            imm5: -1,
+                        }),
+                    )?;
+                    push(
+                        sched,
+                        TOp::new(Op::Mv {
+                            d: PRED_MAIN,
+                            s: areg(a),
+                        }),
+                    )?;
                     cond_pred = Some(Pred::nz(PRED_MAIN));
                 }
                 _ => {}
@@ -534,22 +610,31 @@ impl Translator {
                 if t_extra > 0 {
                     push(
                         sched,
-                        TOp::when(pred, Op::AddI {
-                            d: CORR_REG,
-                            s1: CORR_REG,
-                            imm5: t_extra.min(15) as i8,
-                        }),
+                        TOp::when(
+                            pred,
+                            Op::AddI {
+                                d: CORR_REG,
+                                s1: CORR_REG,
+                                imm5: t_extra.min(15) as i8,
+                            },
+                        ),
                     )?;
                 }
                 if nt_extra > 0 {
-                    let negated = Pred { reg: pred.reg, negated: !pred.negated };
+                    let negated = Pred {
+                        reg: pred.reg,
+                        negated: !pred.negated,
+                    };
                     push(
                         sched,
-                        TOp::when(negated, Op::AddI {
-                            d: CORR_REG,
-                            s1: CORR_REG,
-                            imm5: nt_extra.min(15) as i8,
-                        }),
+                        TOp::when(
+                            negated,
+                            Op::AddI {
+                                d: CORR_REG,
+                                s1: CORR_REG,
+                                imm5: nt_extra.min(15) as i8,
+                            },
+                        ),
                     )?;
                 }
             }
@@ -561,28 +646,57 @@ impl Translator {
         if self.level.corrects_dynamically() {
             push(
                 sched,
-                TOp::new(Op::St { w: Width::W, s: CORR_REG, base: SYNC_BASE_REG, woff: 2 })
-                    .volatile(),
+                TOp::new(Op::St {
+                    w: Width::W,
+                    s: CORR_REG,
+                    base: SYNC_BASE_REG,
+                    woff: 2,
+                })
+                .volatile(),
             )?;
             let t1 = temps.b();
             push(
                 sched,
-                TOp::new(Op::Ld { w: Width::W, unsigned: false, d: t1, base: SYNC_BASE_REG, woff: 1 })
-                    .volatile(),
+                TOp::new(Op::Ld {
+                    w: Width::W,
+                    unsigned: false,
+                    d: t1,
+                    base: SYNC_BASE_REG,
+                    woff: 1,
+                })
+                .volatile(),
             )?;
             let t2 = temps.b();
             push(
                 sched,
-                TOp::new(Op::Ld { w: Width::W, unsigned: false, d: t2, base: SYNC_BASE_REG, woff: 3 })
-                    .volatile(),
+                TOp::new(Op::Ld {
+                    w: Width::W,
+                    unsigned: false,
+                    d: t2,
+                    base: SYNC_BASE_REG,
+                    woff: 3,
+                })
+                .volatile(),
             )?;
-            push(sched, TOp::new(Op::Mv { d: CORR_REG, s: ZERO_REG }))?;
+            push(
+                sched,
+                TOp::new(Op::Mv {
+                    d: CORR_REG,
+                    s: ZERO_REG,
+                }),
+            )?;
         } else if self.level.generates_cycles() {
             let t1 = temps.b();
             push(
                 sched,
-                TOp::new(Op::Ld { w: Width::W, unsigned: false, d: t1, base: SYNC_BASE_REG, woff: 1 })
-                    .volatile(),
+                TOp::new(Op::Ld {
+                    w: Width::W,
+                    unsigned: false,
+                    d: t1,
+                    base: SYNC_BASE_REG,
+                    woff: 1,
+                })
+                .volatile(),
             )?;
         }
 
@@ -596,21 +710,35 @@ impl Translator {
             }
             Some((ir, Instr::J { .. })) => {
                 let l = target_label(&ir)?;
-                push(sched, TOp::new(Op::B { disp21: 0 }).with_fixup(FixupKind::Branch, l))?;
+                push(
+                    sched,
+                    TOp::new(Op::B { disp21: 0 }).with_fixup(FixupKind::Branch, l),
+                )?;
                 push(sched, TOp::new(Op::Nop { count: 5 }))?;
             }
             Some((ir, Instr::Jl { .. })) => {
                 let ret = ret_block_label(block.end)?;
                 push(
                     sched,
-                    TOp::new(Op::Mvk { d: areg(RA), imm16: 0 }).with_fixup(FixupKind::MvkLo, ret),
+                    TOp::new(Op::Mvk {
+                        d: areg(RA),
+                        imm16: 0,
+                    })
+                    .with_fixup(FixupKind::MvkLo, ret),
                 )?;
                 push(
                     sched,
-                    TOp::new(Op::Mvkh { d: areg(RA), imm16: 0 }).with_fixup(FixupKind::MvkHi, ret),
+                    TOp::new(Op::Mvkh {
+                        d: areg(RA),
+                        imm16: 0,
+                    })
+                    .with_fixup(FixupKind::MvkHi, ret),
                 )?;
                 let l = target_label(&ir)?;
-                push(sched, TOp::new(Op::B { disp21: 0 }).with_fixup(FixupKind::Branch, l))?;
+                push(
+                    sched,
+                    TOp::new(Op::B { disp21: 0 }).with_fixup(FixupKind::Branch, l),
+                )?;
                 push(sched, TOp::new(Op::Nop { count: 5 }))?;
             }
             Some((_, Instr::Ji { a })) => {
@@ -621,11 +749,19 @@ impl Translator {
                 let ret = ret_block_label(block.end)?;
                 push(
                     sched,
-                    TOp::new(Op::Mvk { d: areg(RA), imm16: 0 }).with_fixup(FixupKind::MvkLo, ret),
+                    TOp::new(Op::Mvk {
+                        d: areg(RA),
+                        imm16: 0,
+                    })
+                    .with_fixup(FixupKind::MvkLo, ret),
                 )?;
                 push(
                     sched,
-                    TOp::new(Op::Mvkh { d: areg(RA), imm16: 0 }).with_fixup(FixupKind::MvkHi, ret),
+                    TOp::new(Op::Mvkh {
+                        d: areg(RA),
+                        imm16: 0,
+                    })
+                    .with_fixup(FixupKind::MvkHi, ret),
                 )?;
                 push(sched, TOp::new(Op::BReg { s: areg(a) }))?;
                 push(sched, TOp::new(Op::Nop { count: 5 }))?;
@@ -639,18 +775,18 @@ impl Translator {
             | Some((ir, Instr::Loop { .. })) => {
                 let l = target_label(&ir)?;
                 let pred = cond_pred.expect("set above");
-                sched.push(Item::Op(
-                    TOp {
-                        pred: Some(pred),
-                        op: Op::B { disp21: 0 },
-                        fixup: Some((FixupKind::Branch, l)),
-                        volatile: false,
-                    },
-                ))?;
+                sched.push(Item::Op(TOp {
+                    pred: Some(pred),
+                    op: Op::B { disp21: 0 },
+                    fixup: Some((FixupKind::Branch, l)),
+                    volatile: false,
+                }))?;
                 push(sched, TOp::new(Op::Nop { count: 5 }))?;
             }
             Some((_, other)) => {
-                return Err(TranslateError::Sched(format!("unexpected terminator {other}")))
+                return Err(TranslateError::Sched(format!(
+                    "unexpected terminator {other}"
+                )))
             }
         }
         Ok(())
@@ -661,12 +797,54 @@ impl Translator {
 /// negation).
 fn cmp_for(cond: Cond, s1: Reg, s2: Reg) -> (Op, bool) {
     match cond {
-        Cond::Eq => (Op::CmpEq { d: PRED_MAIN, s1, s2 }, false),
-        Cond::Ne => (Op::CmpEq { d: PRED_MAIN, s1, s2 }, true),
-        Cond::Lt => (Op::CmpLt { d: PRED_MAIN, s1, s2 }, false),
-        Cond::Ge => (Op::CmpLt { d: PRED_MAIN, s1, s2 }, true),
-        Cond::LtU => (Op::CmpLtU { d: PRED_MAIN, s1, s2 }, false),
-        Cond::GeU => (Op::CmpLtU { d: PRED_MAIN, s1, s2 }, true),
+        Cond::Eq => (
+            Op::CmpEq {
+                d: PRED_MAIN,
+                s1,
+                s2,
+            },
+            false,
+        ),
+        Cond::Ne => (
+            Op::CmpEq {
+                d: PRED_MAIN,
+                s1,
+                s2,
+            },
+            true,
+        ),
+        Cond::Lt => (
+            Op::CmpLt {
+                d: PRED_MAIN,
+                s1,
+                s2,
+            },
+            false,
+        ),
+        Cond::Ge => (
+            Op::CmpLt {
+                d: PRED_MAIN,
+                s1,
+                s2,
+            },
+            true,
+        ),
+        Cond::LtU => (
+            Op::CmpLtU {
+                d: PRED_MAIN,
+                s1,
+                s2,
+            },
+            false,
+        ),
+        Cond::GeU => (
+            Op::CmpLtU {
+                d: PRED_MAIN,
+                s1,
+                s2,
+            },
+            true,
+        ),
     }
 }
 
@@ -681,10 +859,19 @@ fn access_volatile(info: &BaseAddrInfo, addr: u32) -> bool {
 fn emit_const32(sched: &mut Scheduler, reg: Reg, value: u32) -> Result<(), TranslateError> {
     let as_i32 = value as i32;
     if (-32768..=32767).contains(&as_i32) {
-        sched.push(Item::Op(TOp::new(Op::Mvk { d: reg, imm16: as_i32 as i16 })))
+        sched.push(Item::Op(TOp::new(Op::Mvk {
+            d: reg,
+            imm16: as_i32 as i16,
+        })))
     } else {
-        sched.push(Item::Op(TOp::new(Op::Mvk { d: reg, imm16: (value & 0xffff) as u16 as i16 })))?;
-        sched.push(Item::Op(TOp::new(Op::Mvkh { d: reg, imm16: (value >> 16) as u16 })))
+        sched.push(Item::Op(TOp::new(Op::Mvk {
+            d: reg,
+            imm16: (value & 0xffff) as u16 as i16,
+        })))?;
+        sched.push(Item::Op(TOp::new(Op::Mvkh {
+            d: reg,
+            imm16: (value >> 16) as u16,
+        })))
     }
 }
 
@@ -732,7 +919,11 @@ mod tests {
         for level in DetailLevel::ALL {
             let t = translate(SUM_SRC, level);
             let sim = run(&t);
-            assert_eq!(sim.reg(dreg(cabt_tricore::isa::DReg(2))), 55, "level {level}");
+            assert_eq!(
+                sim.reg(dreg(cabt_tricore::isa::DReg(2))),
+                55,
+                "level {level}"
+            );
         }
     }
 
@@ -792,7 +983,11 @@ mod tests {
         for level in [DetailLevel::Functional, DetailLevel::Cache] {
             let t = translate(src, level);
             let sim = run(&t);
-            assert_eq!(sim.reg(dreg(cabt_tricore::isa::DReg(2))), 100, "level {level}");
+            assert_eq!(
+                sim.reg(dreg(cabt_tricore::isa::DReg(2))),
+                100,
+                "level {level}"
+            );
         }
     }
 

@@ -14,11 +14,19 @@
 //! and target worlds, as the paper's interface program does for gdb.
 //! A gdb-remote-serial-protocol-style packet layer ([`rsp`]) exposes the
 //! session over any byte transport.
+//!
+//! The stepping/inspection machinery is not VLIW-specific: it lives in
+//! [`Lockstep`], which drives *any* [`ExecutionEngine`] whose dispatch
+//! addresses can be mapped back to source addresses. `DebugSession` is
+//! the translated-image instantiation (`Lockstep<VliwSim>`); the same
+//! driver runs the golden model or future backends in lockstep, which
+//! is how the differential test suite compares engines.
 
 pub mod rsp;
 
 use cabt_core::regbind::{areg, dreg};
 use cabt_core::{DetailLevel, Granularity, TranslateError, Translated, Translator};
+use cabt_exec::ExecutionEngine;
 use cabt_isa::elf::ElfFile;
 use cabt_tricore::isa::{AReg, DReg};
 use cabt_vliw::sim::{VliwError, VliwSim};
@@ -74,6 +82,178 @@ impl From<VliwError> for DebugError {
     }
 }
 
+/// How [`Lockstep::advance`] decides where to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Advance {
+    /// Run until a breakpoint (or halt); budget guards runaways.
+    Continue,
+    /// Run until the source address changes once (single step).
+    StepOnce,
+}
+
+/// Generic lockstep driver: runs any [`ExecutionEngine`] stopping at
+/// *source-address* boundaries.
+///
+/// The engine dispatches target-native units; `src_of_tgt` maps the
+/// engine's dispatch addresses back to source instruction addresses
+/// (identity for engines that execute source code directly). All
+/// stepping, breakpoint and inspection plumbing shared by the debugger
+/// front ends lives here, once, instead of being re-implemented per
+/// engine.
+#[derive(Debug)]
+pub struct Lockstep<E: ExecutionEngine> {
+    engine: E,
+    /// Engine dispatch address → source instruction address.
+    src_of_tgt: HashMap<u32, u32>,
+    /// Valid source instruction addresses.
+    src_addrs: BTreeSet<u32>,
+    breakpoints: BTreeSet<u32>,
+}
+
+impl<E: ExecutionEngine> Lockstep<E> {
+    /// Wraps an engine with its target→source address map.
+    pub fn new(engine: E, src_of_tgt: HashMap<u32, u32>) -> Self {
+        let src_addrs = src_of_tgt.values().copied().collect();
+        Lockstep {
+            engine,
+            src_of_tgt,
+            src_addrs,
+            breakpoints: BTreeSet::new(),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Mutable access to the wrapped engine.
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// True if `src` is a known source instruction address.
+    pub fn is_src_addr(&self, src: u32) -> bool {
+        self.src_addrs.contains(&src)
+    }
+
+    /// Sets a breakpoint at a source instruction address; `false` if the
+    /// address is not an instruction start.
+    pub fn set_breakpoint(&mut self, src: u32) -> bool {
+        if !self.src_addrs.contains(&src) {
+            return false;
+        }
+        self.breakpoints.insert(src);
+        true
+    }
+
+    /// Removes a breakpoint (no-op if absent).
+    pub fn clear_breakpoint(&mut self, src: u32) {
+        self.breakpoints.remove(&src);
+    }
+
+    /// The source address of the next unit to execute, if the engine
+    /// sits at a source instruction boundary.
+    pub fn current_src(&self) -> Option<u32> {
+        self.engine
+            .pc()
+            .and_then(|t| self.src_of_tgt.get(&t).copied())
+    }
+
+    /// True once the debuggee halted.
+    pub fn is_halted(&self) -> bool {
+        self.engine.is_halted()
+    }
+
+    /// Engine cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.engine.cycle()
+    }
+
+    /// One stop-condition evaluation at the current position. Every
+    /// stop commits delayed write-backs first, so architectural state
+    /// is observable at every exit — halt included.
+    fn check_stop(&mut self, mode: Advance, start: Option<u32>, moved: bool) -> Option<StopReason> {
+        if self.engine.is_halted() {
+            self.engine.commit_arch_state();
+            return Some(StopReason::Halted);
+        }
+        let src = self.current_src()?;
+        let hit = match mode {
+            Advance::Continue => (moved || Some(src) != start) && self.breakpoints.contains(&src),
+            Advance::StepOnce => moved && Some(src) != start,
+        };
+        if hit {
+            self.engine.commit_arch_state();
+            Some(match mode {
+                Advance::Continue => StopReason::Breakpoint(src),
+                Advance::StepOnce => StopReason::Step(src),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Runs until a breakpoint or halt (`Continue`), or until the
+    /// source address changes (`StepOnce`). The single boundary loop
+    /// serving both `cont` and `step`. The stop condition is evaluated
+    /// once more after the last budgeted step, so a boundary reached on
+    /// exactly the budget-th unit is still reported.
+    fn advance(&mut self, mode: Advance, budget: u64) -> Result<Option<StopReason>, E::Error> {
+        // Always leave the current address first, so continuing after a
+        // breakpoint hit makes progress.
+        let start = self.current_src();
+        let mut moved = false;
+        for _ in 0..budget {
+            if let Some(stop) = self.check_stop(mode, start, moved) {
+                return Ok(Some(stop));
+            }
+            self.engine.step_unit()?;
+            moved = true;
+        }
+        Ok(self.check_stop(mode, start, moved))
+    }
+
+    /// Runs until a breakpoint or the program halt; `None` when `budget`
+    /// engine units elapsed first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine faults.
+    pub fn cont(&mut self, budget: u64) -> Result<Option<StopReason>, E::Error> {
+        self.advance(Advance::Continue, budget)
+    }
+
+    /// Executes exactly one source instruction; `None` when `budget`
+    /// engine units elapsed without reaching the next source boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine faults.
+    pub fn step(&mut self, budget: u64) -> Result<Option<StopReason>, E::Error> {
+        self.advance(Advance::StepOnce, budget)
+    }
+
+    /// Reads a register by flat engine index (committed state).
+    pub fn read_reg_index(&self, index: usize) -> u32 {
+        self.engine.read_reg_index(index)
+    }
+
+    /// Writes a register by flat engine index.
+    pub fn write_reg_index(&mut self, index: usize, value: u32) {
+        self.engine.write_reg_index(index, value);
+    }
+
+    /// Reads engine memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine memory faults.
+    pub fn read_mem(&mut self, addr: u32, len: usize) -> Result<Vec<u8>, E::Error> {
+        self.engine.read_mem(addr, len)
+    }
+}
+
 /// An interactive debug session over a source program.
 ///
 /// # Example
@@ -101,20 +281,14 @@ pub struct DebugSession {
     bb: Translated,
     /// Instruction-oriented translation driving the session.
     pi: Translated,
-    sim: VliwSim,
-    /// Target packet address → source instruction address.
-    src_of_tgt: HashMap<u32, u32>,
-    /// Valid source instruction addresses.
-    src_addrs: BTreeSet<u32>,
-    breakpoints: BTreeSet<u32>,
+    /// The generic driver over the translated-image engine.
+    inner: Lockstep<VliwSim>,
     symbols: HashMap<String, u32>,
 }
 
 impl fmt::Debug for DebugSession {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DebugSession")
-            .field("breakpoints", &self.breakpoints)
-            .finish_non_exhaustive()
+        f.debug_struct("DebugSession").finish_non_exhaustive()
     }
 }
 
@@ -140,36 +314,29 @@ impl DebugSession {
             .with_granularity(Granularity::PerInstruction)
             .translate(elf)?;
         let sim = pi.make_sim()?;
-        let mut src_of_tgt = HashMap::new();
-        let mut src_addrs = BTreeSet::new();
-        for (src, tgt) in &pi.addr_map {
-            src_of_tgt.insert(*tgt, *src);
-            src_addrs.insert(*src);
-        }
+        let src_of_tgt: HashMap<u32, u32> =
+            pi.addr_map.iter().map(|(src, tgt)| (*tgt, *src)).collect();
         let symbols = elf
             .symbols
             .iter()
             .map(|s| (s.name.clone(), s.value))
             .collect();
-        let mut session = DebugSession {
-            bb,
-            pi,
-            sim,
-            src_of_tgt,
-            src_addrs,
-            breakpoints: BTreeSet::new(),
-            symbols,
-        };
+        let mut inner = Lockstep::new(sim, src_of_tgt);
         // Execute the translated prologue (constant-register setup, the
         // jump to the entry block) so the session starts positioned at
         // the first *source* instruction, like gdb at a program's entry.
         for _ in 0..1000 {
-            if session.current_src().is_some() || session.sim.is_halted() {
+            if inner.current_src().is_some() || inner.is_halted() {
                 break;
             }
-            session.sim.step_packet()?;
+            inner.engine_mut().step_packet()?;
         }
-        Ok(session)
+        Ok(DebugSession {
+            bb,
+            pi,
+            inner,
+            symbols,
+        })
     }
 
     /// The basic-block-oriented image (the paper's "normal" translation).
@@ -182,6 +349,12 @@ impl DebugSession {
         &self.pi
     }
 
+    /// The generic lockstep driver underneath (for engine-agnostic
+    /// tooling).
+    pub fn lockstep(&mut self) -> &mut Lockstep<VliwSim> {
+        &mut self.inner
+    }
+
     /// Sets a breakpoint at a source instruction address.
     ///
     /// # Errors
@@ -189,16 +362,15 @@ impl DebugSession {
     /// Returns [`DebugError::BadAddress`] for addresses that are not
     /// instruction starts.
     pub fn set_breakpoint(&mut self, src: u32) -> Result<(), DebugError> {
-        if !self.src_addrs.contains(&src) {
+        if !self.inner.set_breakpoint(src) {
             return Err(DebugError::BadAddress(src));
         }
-        self.breakpoints.insert(src);
         Ok(())
     }
 
     /// Removes a breakpoint (no-op if absent).
     pub fn clear_breakpoint(&mut self, src: u32) {
-        self.breakpoints.remove(&src);
+        self.inner.clear_breakpoint(src);
     }
 
     /// Resolves a symbol name to its address.
@@ -209,7 +381,7 @@ impl DebugSession {
     /// The source address of the next instruction to execute, if the
     /// target pc sits at an instruction boundary.
     pub fn current_src(&self) -> Option<u32> {
-        self.sim.pc_addr().and_then(|t| self.src_of_tgt.get(&t).copied())
+        self.inner.current_src()
     }
 
     /// Runs until a breakpoint or the program halt.
@@ -219,24 +391,10 @@ impl DebugSession {
     /// Propagates target faults; a 100M-cycle safety limit guards
     /// against runaway debuggees.
     pub fn cont(&mut self) -> Result<StopReason, DebugError> {
-        // Always leave the current address first, so `cont` after a hit
-        // makes progress.
-        let start = self.current_src();
-        let mut moved = false;
-        for _ in 0..100_000_000u64 {
-            if self.sim.is_halted() {
-                return Ok(StopReason::Halted);
-            }
-            if let Some(src) = self.current_src() {
-                if (moved || Some(src) != start) && self.breakpoints.contains(&src) {
-                    self.sim.commit_due_writes();
-                    return Ok(StopReason::Breakpoint(src));
-                }
-            }
-            self.sim.step_packet()?;
-            moved = true;
+        match self.inner.cont(100_000_000)? {
+            Some(r) => Ok(r),
+            None => Err(DebugError::Exec(VliwError::CycleLimit)),
         }
-        Err(DebugError::Exec(VliwError::CycleLimit))
     }
 
     /// Executes exactly one source instruction (the paper's single-step
@@ -246,20 +404,10 @@ impl DebugSession {
     ///
     /// Propagates target faults.
     pub fn step(&mut self) -> Result<StopReason, DebugError> {
-        let start = self.current_src();
-        for _ in 0..1_000_000u64 {
-            if self.sim.is_halted() {
-                return Ok(StopReason::Halted);
-            }
-            self.sim.step_packet()?;
-            if let Some(src) = self.current_src() {
-                if Some(src) != start {
-                    self.sim.commit_due_writes();
-                    return Ok(StopReason::Step(src));
-                }
-            }
+        match self.inner.step(1_000_000)? {
+            Some(r) => Ok(r),
+            None => Err(DebugError::Exec(VliwError::CycleLimit)),
         }
-        Err(DebugError::Exec(VliwError::CycleLimit))
     }
 
     /// Reads a source register by name (`d0..d15`, `a0..a15`, `sp`,
@@ -269,7 +417,7 @@ impl DebugSession {
     ///
     /// Returns [`DebugError::BadRegister`] for unknown names.
     pub fn read_reg(&self, name: &str) -> Result<u32, DebugError> {
-        Ok(self.sim.reg(reg_by_name(name)?))
+        Ok(self.inner.read_reg_index(reg_by_name(name)?.index()))
     }
 
     /// Writes a source register by name.
@@ -278,7 +426,8 @@ impl DebugSession {
     ///
     /// Returns [`DebugError::BadRegister`] for unknown names.
     pub fn write_reg(&mut self, name: &str, value: u32) -> Result<(), DebugError> {
-        self.sim.set_reg(reg_by_name(name)?, value);
+        self.inner
+            .write_reg_index(reg_by_name(name)?.index(), value);
         Ok(())
     }
 
@@ -288,16 +437,13 @@ impl DebugSession {
     ///
     /// Propagates memory faults.
     pub fn read_mem(&mut self, addr: u32, len: usize) -> Result<Vec<u8>, DebugError> {
-        self.sim
-            .mem
-            .read_block(addr, len)
-            .map_err(|e| DebugError::Exec(VliwError::Mem(e)))
+        self.inner.read_mem(addr, len).map_err(DebugError::Exec)
     }
 
     /// Target cycles consumed so far (includes cycle-generation
     /// overhead of the instrumented image).
     pub fn cycles(&self) -> u64 {
-        self.sim.cycle()
+        self.inner.cycles()
     }
 
     /// All register values in gdb `g`-packet order (`d0..d15`,
@@ -305,10 +451,10 @@ impl DebugSession {
     pub fn all_regs(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(33);
         for i in 0..16 {
-            out.push(self.sim.reg(dreg(DReg(i))));
+            out.push(self.inner.read_reg_index(dreg(DReg(i)).index()));
         }
         for i in 0..16 {
-            out.push(self.sim.reg(areg(AReg(i))));
+            out.push(self.inner.read_reg_index(areg(AReg(i)).index()));
         }
         out.push(self.current_src().unwrap_or(0));
         out
@@ -341,6 +487,7 @@ fn reg_by_name(name: &str) -> Result<cabt_vliw::isa::Reg, DebugError> {
 mod tests {
     use super::*;
     use cabt_tricore::asm::assemble;
+    use cabt_tricore::sim::Simulator;
 
     const SRC: &str = "
         .text
@@ -401,9 +548,18 @@ mod tests {
     #[test]
     fn bad_addresses_and_registers_rejected() {
         let mut dbg = session();
-        assert!(matches!(dbg.set_breakpoint(0x1234), Err(DebugError::BadAddress(_))));
-        assert!(matches!(dbg.read_reg("x9"), Err(DebugError::BadRegister(_))));
-        assert!(matches!(dbg.read_reg("d16"), Err(DebugError::BadRegister(_))));
+        assert!(matches!(
+            dbg.set_breakpoint(0x1234),
+            Err(DebugError::BadAddress(_))
+        ));
+        assert!(matches!(
+            dbg.read_reg("x9"),
+            Err(DebugError::BadRegister(_))
+        ));
+        assert!(matches!(
+            dbg.read_reg("d16"),
+            Err(DebugError::BadRegister(_))
+        ));
         assert_eq!(dbg.read_reg("sp").unwrap(), 0xd003_0000);
     }
 
@@ -437,5 +593,37 @@ mod tests {
         let regs = dbg.all_regs();
         assert_eq!(regs.len(), 33);
         assert_eq!(regs[26], 0xd003_0000, "a10 = sp");
+    }
+
+    /// The generic driver accepts any engine: run the *golden model*
+    /// under the same lockstep machinery (identity address map).
+    #[test]
+    fn lockstep_drives_the_golden_model_too() {
+        let elf = assemble(SRC).unwrap();
+        let sim = Simulator::new(&elf).unwrap();
+        // Source engine: dispatch addresses *are* source addresses.
+        let identity: HashMap<u32, u32> = elf
+            .sections
+            .iter()
+            .filter(|s| s.kind == cabt_isa::elf::SectionKind::Text)
+            .flat_map(|s| cabt_tricore::encode::decode_section(s.addr, &s.data).unwrap())
+            .map(|(a, _)| (a, a))
+            .collect();
+        let mut ls = Lockstep::new(sim, identity);
+        let top = elf.symbol("top").unwrap().value;
+        assert!(ls.set_breakpoint(top));
+        let mut hits = 0;
+        loop {
+            match ls.cont(1_000_000).unwrap() {
+                Some(StopReason::Breakpoint(a)) => {
+                    assert_eq!(a, top);
+                    hits += 1;
+                }
+                Some(StopReason::Halted) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(hits, 3, "same boundary behaviour as the translated session");
+        assert_eq!(ls.read_reg_index(2), 6, "d2 via the flat index space");
     }
 }

@@ -40,7 +40,10 @@ pub struct RspServer {
 impl RspServer {
     /// Wraps a session.
     pub fn new(session: DebugSession) -> Self {
-        RspServer { session, last_stop: None }
+        RspServer {
+            session,
+            last_stop: None,
+        }
     }
 
     /// The wrapped session (for out-of-band inspection in tests).
@@ -181,7 +184,11 @@ mod tests {
     fn memory_read_returns_hex() {
         let mut s = server();
         let resp = s.handle(&frame("md0000000,4"));
-        assert_eq!(unframe(&resp), Some("0df0feca"), "little-endian bytes of 0xcafef00d");
+        assert_eq!(
+            unframe(&resp),
+            Some("0df0feca"),
+            "little-endian bytes of 0xcafef00d"
+        );
     }
 
     #[test]

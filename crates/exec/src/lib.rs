@@ -1,0 +1,346 @@
+#![forbid(unsafe_code)]
+//! The execution-engine abstraction shared by every CABT simulator.
+//!
+//! The paper's experiments (Fig. 5, Fig. 6, Tables 1/2) compare *four*
+//! execution vehicles for the same source program: the evaluation board
+//! (our golden model), the translated VLIW image, the FPGA emulation and
+//! an RT-level simulation. The repo grows more backends over time (JIT,
+//! sharded multi-core); everything that *drives* an execution — the
+//! platform harness, the lockstep debugger, the benchmark tables — goes
+//! through one trait so backends stay interchangeable.
+//!
+//! [`ExecutionEngine`] deliberately models the *dispatch core* of a
+//! simulator, not its construction: engines are built by their own
+//! crates (from an ELF image, a packet list, a translation) and handed
+//! to generic drivers afterwards. The trait surface is exactly what the
+//! drivers need:
+//!
+//! * stepping and bounded runs ([`ExecutionEngine::step`],
+//!   [`ExecutionEngine::run_until`]) with a uniform stop/fault shape,
+//! * cycle/retirement counters ([`EngineStats`]) for throughput tables,
+//! * architectural inspection (program counter, a flat register file
+//!   index space, memory reads) for debuggers and differential tests.
+//!
+//! Engines in this workspace come in two dispatch flavours (see
+//! `cabt-tricore`/`cabt-vliw`): a retained naive interpreter that
+//! re-fetches through an address map on every step (the seed
+//! implementation, kept as the reference for differential testing) and
+//! the pre-decoded engine, which decodes the whole image once at load
+//! into a dense table indexed by position, so the hot loop chases table
+//! indices instead of hashing addresses.
+
+use std::fmt;
+
+/// Why a bounded run returned without a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The program reached its halt instruction.
+    Halted,
+    /// The budget given to [`ExecutionEngine::run_until`] was exhausted.
+    LimitReached,
+}
+
+/// Budget for [`ExecutionEngine::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limit {
+    /// Stop once the engine's cycle counter reaches this value.
+    Cycles(u64),
+    /// Stop once this many units (instructions or packets) have retired.
+    Retirements(u64),
+}
+
+/// Uniform counters every engine exposes, in engine-native units
+/// (source cycles/instructions for interpreters of source code, target
+/// cycles/packets for the VLIW core).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Clock cycles consumed.
+    pub cycles: u64,
+    /// Units retired (instructions or execute packets).
+    pub retired: u64,
+    /// Cycles spent stalled (device waits, cache misses — engine
+    /// defined; 0 where the engine does not track stalls separately).
+    pub stall_cycles: u64,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles / {} retired ({} stalled)",
+            self.cycles, self.retired, self.stall_cycles
+        )
+    }
+}
+
+/// A simulator core that generic drivers (platform, debugger, bench
+/// harnesses) can reset, step, run and inspect.
+///
+/// Registers are exposed through a flat index space; what an index
+/// means is engine-defined and documented by the implementation (the
+/// golden model maps `0..16` to `D0..D15` and `16..32` to `A0..A15`;
+/// the VLIW engine exposes its 64 physical registers, with source
+/// registers at the homes assigned by register binding). Drivers that
+/// need *named* source registers resolve names to indices themselves.
+pub trait ExecutionEngine {
+    /// Fault type raised by stepping.
+    type Error: std::error::Error + 'static;
+
+    /// Returns architectural state (registers, program counter, cycle
+    /// and stat counters, pending pipeline state) to the
+    /// post-load/reset state, and restores memory to the engine's
+    /// load-time image where one was captured — so reset-then-rerun is
+    /// reproducible even for programs that mutate their data sections.
+    /// Engines loaded by hand without sealing an image leave memory
+    /// untouched (see the implementation's docs).
+    ///
+    /// Scope: reset covers the *engine*. Attached devices (bus hooks,
+    /// memory-mapped peripherals) are owned by whoever attached them
+    /// and keep their state; a driver that needs a fully fresh system
+    /// — e.g. a platform whose synchronization device has generated
+    /// cycles — rebuilds that harness instead.
+    fn reset(&mut self);
+
+    /// Dispatches one engine-native unit: one instruction on an
+    /// instruction interpreter, one execute packet on the VLIW core.
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific faults (invalid program counter, memory faults).
+    fn step_unit(&mut self) -> Result<(), Self::Error>;
+
+    /// Runs until halt or until `limit` is exhausted, whichever comes
+    /// first. The budget check happens *before* each dispatch: a
+    /// `Retirements` budget is exact, while a `Cycles` budget may be
+    /// overshot by the last dispatched unit (units cost several cycles
+    /// on most engines) — `LimitReached` means the engine is at or just
+    /// past the boundary, never more than one unit beyond it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates faults from stepping.
+    fn run_until(&mut self, limit: Limit) -> Result<StopCause, Self::Error> {
+        loop {
+            if self.is_halted() {
+                self.commit_arch_state();
+                return Ok(StopCause::Halted);
+            }
+            let exhausted = match limit {
+                Limit::Cycles(c) => self.cycle() >= c,
+                Limit::Retirements(r) => self.engine_stats().retired >= r,
+            };
+            if exhausted {
+                return Ok(StopCause::LimitReached);
+            }
+            self.step_unit()?;
+        }
+    }
+
+    /// Clock cycles consumed so far.
+    fn cycle(&self) -> u64;
+
+    /// True once the program executed its halt instruction.
+    fn is_halted(&self) -> bool;
+
+    /// Address of the next unit to dispatch, if it is known and inside
+    /// the program (`None` once execution left the image).
+    fn pc(&self) -> Option<u32>;
+
+    /// Makes all retired results architecturally visible (e.g. commits
+    /// delayed write-backs). A no-op for engines without delayed state.
+    fn commit_arch_state(&mut self) {}
+
+    /// Size of the flat register index space.
+    fn reg_count(&self) -> usize;
+
+    /// Reads register `index` of the flat space.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `index >= reg_count()`.
+    fn read_reg_index(&self, index: usize) -> u32;
+
+    /// Writes register `index` of the flat space.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `index >= reg_count()`.
+    fn write_reg_index(&mut self, index: usize, value: u32);
+
+    /// Reads `len` bytes of engine memory at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Engine memory faults.
+    fn read_mem(&mut self, addr: u32, len: usize) -> Result<Vec<u8>, Self::Error>;
+
+    /// Uniform counters.
+    fn engine_stats(&self) -> EngineStats;
+}
+
+/// Generic epoch-batched driver: runs `engine` to halt within a total
+/// cycle budget, advancing in epochs of `epoch` cycles.
+///
+/// Harnesses that poll shared state between bursts (the platform
+/// snapshots synchronization-device counters, future async peripherals
+/// get clocked) call this instead of hand-rolling the loop; `on_epoch`
+/// fires after every completed epoch. With `epoch >= max_cycles` this
+/// degenerates to a single uninterrupted run.
+///
+/// # Errors
+///
+/// Propagates engine faults.
+pub fn run_epochs<E: ExecutionEngine>(
+    engine: &mut E,
+    max_cycles: u64,
+    epoch: u64,
+    mut on_epoch: impl FnMut(&mut E),
+) -> Result<StopCause, E::Error> {
+    let epoch = epoch.max(1);
+    loop {
+        let deadline = engine.cycle().saturating_add(epoch).min(max_cycles);
+        match engine.run_until(Limit::Cycles(deadline))? {
+            StopCause::Halted => return Ok(StopCause::Halted),
+            StopCause::LimitReached => {
+                if deadline >= max_cycles {
+                    return Ok(StopCause::LimitReached);
+                }
+                on_epoch(engine);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy engine: each unit costs 3 cycles, halts after 5 units.
+    struct Toy {
+        cycles: u64,
+        units: u64,
+        regs: [u32; 4],
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct NoFault;
+    impl fmt::Display for NoFault {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "no fault")
+        }
+    }
+    impl std::error::Error for NoFault {}
+
+    impl ExecutionEngine for Toy {
+        type Error = NoFault;
+        fn reset(&mut self) {
+            self.cycles = 0;
+            self.units = 0;
+            self.regs = [0; 4];
+        }
+        fn step_unit(&mut self) -> Result<(), NoFault> {
+            self.cycles += 3;
+            self.units += 1;
+            self.regs[0] = self.units as u32;
+            Ok(())
+        }
+        fn cycle(&self) -> u64 {
+            self.cycles
+        }
+        fn is_halted(&self) -> bool {
+            self.units >= 5
+        }
+        fn pc(&self) -> Option<u32> {
+            (!self.is_halted()).then_some(self.units as u32 * 4)
+        }
+        fn reg_count(&self) -> usize {
+            4
+        }
+        fn read_reg_index(&self, index: usize) -> u32 {
+            self.regs[index]
+        }
+        fn write_reg_index(&mut self, index: usize, value: u32) {
+            self.regs[index] = value;
+        }
+        fn read_mem(&mut self, _addr: u32, len: usize) -> Result<Vec<u8>, NoFault> {
+            Ok(vec![0; len])
+        }
+        fn engine_stats(&self) -> EngineStats {
+            EngineStats {
+                cycles: self.cycles,
+                retired: self.units,
+                stall_cycles: 0,
+            }
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy {
+            cycles: 0,
+            units: 0,
+            regs: [0; 4],
+        }
+    }
+
+    #[test]
+    fn run_until_halts_or_limits() {
+        let mut t = toy();
+        assert_eq!(t.run_until(Limit::Cycles(1_000)), Ok(StopCause::Halted));
+        assert_eq!(t.cycle(), 15);
+
+        let mut t = toy();
+        assert_eq!(t.run_until(Limit::Cycles(7)), Ok(StopCause::LimitReached));
+        assert_eq!(
+            t.engine_stats().retired,
+            3,
+            "budget checked before dispatch"
+        );
+
+        let mut t = toy();
+        assert_eq!(
+            t.run_until(Limit::Retirements(2)),
+            Ok(StopCause::LimitReached)
+        );
+        assert_eq!(t.engine_stats().retired, 2);
+    }
+
+    #[test]
+    fn reset_restores_counters() {
+        let mut t = toy();
+        t.run_until(Limit::Cycles(u64::MAX)).unwrap();
+        t.reset();
+        assert_eq!(t.cycle(), 0);
+        assert!(!t.is_halted());
+    }
+
+    #[test]
+    fn epoch_driver_visits_epoch_boundaries() {
+        let mut t = toy();
+        let mut epochs = 0;
+        let r = run_epochs(&mut t, 1_000, 6, |_| epochs += 1);
+        assert_eq!(r, Ok(StopCause::Halted));
+        assert!(
+            epochs >= 2,
+            "15 cycles in epochs of 6: at least two boundaries"
+        );
+    }
+
+    #[test]
+    fn epoch_driver_respects_total_budget() {
+        let mut t = toy();
+        let r = run_epochs(&mut t, 7, 2, |_| {});
+        assert_eq!(r, Ok(StopCause::LimitReached));
+        assert!(t.cycle() <= 9, "stops at the budget boundary");
+        assert!(!t.is_halted());
+    }
+
+    #[test]
+    fn stats_display() {
+        let s = EngineStats {
+            cycles: 10,
+            retired: 4,
+            stall_cycles: 1,
+        };
+        assert_eq!(s.to_string(), "10 cycles / 4 retired (1 stalled)");
+    }
+}

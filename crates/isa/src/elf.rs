@@ -65,18 +65,36 @@ impl Section {
     /// Creates a code section.
     pub fn text(addr: Addr, data: Vec<u8>) -> Self {
         let size = data.len() as u32;
-        Section { name: ".text".into(), kind: SectionKind::Text, addr, data, size }
+        Section {
+            name: ".text".into(),
+            kind: SectionKind::Text,
+            addr,
+            data,
+            size,
+        }
     }
 
     /// Creates an initialized-data section.
     pub fn data(addr: Addr, data: Vec<u8>) -> Self {
         let size = data.len() as u32;
-        Section { name: ".data".into(), kind: SectionKind::Data, addr, data, size }
+        Section {
+            name: ".data".into(),
+            kind: SectionKind::Data,
+            addr,
+            data,
+            size,
+        }
     }
 
     /// Creates a zero-initialized section of `size` bytes.
     pub fn bss(addr: Addr, size: u32) -> Self {
-        Section { name: ".bss".into(), kind: SectionKind::Bss, addr, data: Vec::new(), size }
+        Section {
+            name: ".bss".into(),
+            kind: SectionKind::Bss,
+            addr,
+            data: Vec::new(),
+            size,
+        }
     }
 }
 
@@ -135,7 +153,12 @@ pub struct ElfFile {
 impl ElfFile {
     /// Creates an empty image for `machine` with the given entry point.
     pub fn new(machine: u16, entry: Addr) -> Self {
-        ElfFile { machine, entry, sections: Vec::new(), symbols: Vec::new() }
+        ElfFile {
+            machine,
+            entry,
+            sections: Vec::new(),
+            symbols: Vec::new(),
+        }
     }
 
     /// Returns the section named `name`, if present.
@@ -269,7 +292,18 @@ impl ElfFile {
             body.push(0);
         }
         let strtab_name = shstr_off(".strtab", &mut shstrtab);
-        headers.push((strtab_name, SHT_STRTAB, 0, 0, strtab_off, strtab.len() as u32, 0, 0, 1, 0));
+        headers.push((
+            strtab_name,
+            SHT_STRTAB,
+            0,
+            0,
+            strtab_off,
+            strtab.len() as u32,
+            0,
+            0,
+            1,
+            0,
+        ));
 
         let shstrtab_name = shstr_off(".shstrtab", &mut shstrtab);
         let shstrtab_off = EHDR_SIZE + body.len() as u32;
@@ -312,7 +346,9 @@ impl ElfFile {
 
         out.extend_from_slice(&body);
         for (name, ty, flags, addr, offset, size, link, info, align, entsize) in headers {
-            for v in [name, ty, flags, addr, offset, size, link, info, align, entsize] {
+            for v in [
+                name, ty, flags, addr, offset, size, link, info, align, entsize,
+            ] {
                 put_u32(&mut out, v);
             }
         }
@@ -433,16 +469,25 @@ impl ElfFile {
                             1 => SymbolKind::Object,
                             _ => SymbolKind::NoType,
                         };
-                        let name =
-                            cstr(strdata, name_off).ok_or_else(|| bad("bad symbol name"))?;
-                        symbols.push(Symbol { name, value, size, kind });
+                        let name = cstr(strdata, name_off).ok_or_else(|| bad("bad symbol name"))?;
+                        symbols.push(Symbol {
+                            name,
+                            value,
+                            size,
+                            kind,
+                        });
                     }
                 }
                 _ => {}
             }
         }
 
-        Ok(ElfFile { machine, entry, sections, symbols })
+        Ok(ElfFile {
+            machine,
+            entry,
+            sections,
+            symbols,
+        })
     }
 }
 
@@ -454,7 +499,12 @@ fn get_u32(bytes: &[u8], off: usize) -> Result<u32, IsaError> {
     if off + 4 > bytes.len() {
         return Err(IsaError::BadElf("truncated word".into()));
     }
-    Ok(u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]))
+    Ok(u32::from_le_bytes([
+        bytes[off],
+        bytes[off + 1],
+        bytes[off + 2],
+        bytes[off + 3],
+    ]))
 }
 
 fn slice(bytes: &[u8], off: u32, len: u32) -> Result<&[u8], IsaError> {
@@ -481,7 +531,8 @@ mod tests {
 
     fn sample() -> ElfFile {
         let mut elf = ElfFile::new(EM_TRICORE, 0x8000_0010);
-        elf.sections.push(Section::text(0x8000_0000, vec![1, 2, 3, 4, 5, 6]));
+        elf.sections
+            .push(Section::text(0x8000_0000, vec![1, 2, 3, 4, 5, 6]));
         elf.sections.push(Section::data(0xd000_0000, vec![9, 8, 7]));
         elf.sections.push(Section::bss(0xd000_1000, 64));
         elf.symbols.push(Symbol {

@@ -25,6 +25,7 @@
 
 pub mod elf;
 pub mod mem;
+pub mod rng;
 
 use std::fmt;
 
@@ -90,7 +91,10 @@ impl std::error::Error for IsaError {}
 /// ```
 #[inline]
 pub fn sign_extend(value: u32, bits: u32) -> i32 {
-    assert!((1..=32).contains(&bits), "sign_extend bit width out of range");
+    assert!(
+        (1..=32).contains(&bits),
+        "sign_extend bit width out of range"
+    );
     let shift = 32 - bits;
     ((value << shift) as i32) >> shift
 }

@@ -136,6 +136,10 @@ impl Memory {
 
     /// Reads a little-endian halfword.
     ///
+    /// Aligned multi-byte accesses never span a page, so this costs one
+    /// page lookup, not one per byte — the simulators' data paths live
+    /// on this.
+    ///
     /// # Errors
     ///
     /// Returns [`IsaError::Misaligned`] for odd addresses, or an
@@ -144,9 +148,13 @@ impl Memory {
         if addr & 1 != 0 {
             return Err(IsaError::Misaligned { addr, align: 2 });
         }
-        let lo = self.read_u8(addr)? as u16;
-        let hi = self.read_u8(addr.wrapping_add(1))? as u16;
-        Ok(lo | (hi << 8))
+        self.reads += 2;
+        let off = (addr & OFFSET_MASK) as usize;
+        match self.page_of(addr) {
+            Some(page) => Ok(u16::from_le_bytes([page[off], page[off + 1]])),
+            None if self.fault_on_unmapped => Err(IsaError::Unmapped { addr }),
+            None => Ok(0),
+        }
     }
 
     /// Writes a little-endian halfword.
@@ -158,11 +166,14 @@ impl Memory {
         if addr & 1 != 0 {
             return Err(IsaError::Misaligned { addr, align: 2 });
         }
-        self.write_u8(addr, value as u8)?;
-        self.write_u8(addr.wrapping_add(1), (value >> 8) as u8)
+        self.writes += 2;
+        let off = (addr & OFFSET_MASK) as usize;
+        self.page_mut(addr)[off..off + 2].copy_from_slice(&value.to_le_bytes());
+        Ok(())
     }
 
-    /// Reads a little-endian word.
+    /// Reads a little-endian word (one page lookup; see
+    /// [`Memory::read_u16`]).
     ///
     /// # Errors
     ///
@@ -172,11 +183,17 @@ impl Memory {
         if addr & 3 != 0 {
             return Err(IsaError::Misaligned { addr, align: 4 });
         }
-        let b0 = self.read_u8(addr)? as u32;
-        let b1 = self.read_u8(addr.wrapping_add(1))? as u32;
-        let b2 = self.read_u8(addr.wrapping_add(2))? as u32;
-        let b3 = self.read_u8(addr.wrapping_add(3))? as u32;
-        Ok(b0 | (b1 << 8) | (b2 << 16) | (b3 << 24))
+        self.reads += 4;
+        let off = (addr & OFFSET_MASK) as usize;
+        match self.page_of(addr) {
+            Some(page) => Ok(u32::from_le_bytes(
+                page[off..off + 4]
+                    .try_into()
+                    .expect("aligned word inside page"),
+            )),
+            None if self.fault_on_unmapped => Err(IsaError::Unmapped { addr }),
+            None => Ok(0),
+        }
     }
 
     /// Writes a little-endian word.
@@ -188,10 +205,10 @@ impl Memory {
         if addr & 3 != 0 {
             return Err(IsaError::Misaligned { addr, align: 4 });
         }
-        self.write_u8(addr, value as u8)?;
-        self.write_u8(addr.wrapping_add(1), (value >> 8) as u8)?;
-        self.write_u8(addr.wrapping_add(2), (value >> 16) as u8)?;
-        self.write_u8(addr.wrapping_add(3), (value >> 24) as u8)
+        self.writes += 4;
+        let off = (addr & OFFSET_MASK) as usize;
+        self.page_mut(addr)[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
     }
 
     /// Number of pages currently materialized (diagnostics).

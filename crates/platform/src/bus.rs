@@ -102,7 +102,11 @@ pub struct Timer {
 impl Timer {
     /// A timer at `base`.
     pub fn new(base: u32) -> Self {
-        Timer { base, epoch: 0, compare: u32::MAX }
+        Timer {
+            base,
+            epoch: 0,
+            compare: u32::MAX,
+        }
     }
 }
 
@@ -143,7 +147,10 @@ pub struct Uart {
 impl Uart {
     /// A UART at `base`.
     pub fn new(base: u32) -> Self {
-        Uart { base, log: Vec::new() }
+        Uart {
+            base,
+            log: Vec::new(),
+        }
     }
 
     /// Bytes transmitted so far.
@@ -186,7 +193,11 @@ pub struct ScratchRam {
 impl ScratchRam {
     /// A RAM of `size` bytes at `base`.
     pub fn new(base: u32, size: u32) -> Self {
-        ScratchRam { base, size, words: HashMap::new() }
+        ScratchRam {
+            base,
+            size,
+            words: HashMap::new(),
+        }
     }
 }
 
@@ -277,6 +288,8 @@ impl cabt_tricore::sim::IoDevice for GoldenBridge {
 
     fn io_write(&mut self, addr: u32, size: u32, value: u32) {
         self.accesses += 1;
-        self.bus.borrow_mut().write(self.accesses, addr, size, value);
+        self.bus
+            .borrow_mut()
+            .write(self.accesses, addr, size, value);
     }
 }

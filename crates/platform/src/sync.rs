@@ -59,7 +59,13 @@ pub struct SyncDevice {
 impl SyncDevice {
     /// A device with an empty generation queue.
     pub fn new(rate: SyncRate) -> Self {
-        SyncDevice { rate, done_at: 0, generated: 0, corrected: 0, stalls: 0 }
+        SyncDevice {
+            rate,
+            done_at: 0,
+            generated: 0,
+            corrected: 0,
+            stalls: 0,
+        }
     }
 
     fn gen_target_cycles(&self, n: u64) -> u64 {

@@ -9,10 +9,10 @@
 //! the "RT level simulation on a workstation" baseline of Table 2.
 
 use crate::kernel::{DeltaOverflow, Kernel, SignalId};
-use cabt_tricore::encode::decode;
-use cabt_tricore::isa::{Cond, Instr, LdKind, StKind, RA};
 use cabt_isa::elf::ElfFile;
 use cabt_isa::mem::Memory;
+use cabt_tricore::encode::decode;
+use cabt_tricore::isa::{Cond, Instr, LdKind, StKind, RA};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -90,7 +90,8 @@ impl RtlCore {
     /// fault immediately anyway, but we check early).
     pub fn new(elf: &ElfFile) -> Result<Self, RtlError> {
         let mut data_mem = Memory::new();
-        elf.load_into(&mut data_mem).map_err(|_| RtlError::Fault { pc: elf.entry })?;
+        elf.load_into(&mut data_mem)
+            .map_err(|_| RtlError::Fault { pc: elf.entry })?;
         let mem = Rc::new(RefCell::new(data_mem));
 
         // Instruction memory: halfwords keyed by address.
@@ -176,9 +177,8 @@ impl RtlCore {
                 }
             };
             let d = |ctx: &crate::kernel::ProcCtx<'_>, i: u8| ctx.get(regs_e[i as usize]) as u32;
-            let a = |ctx: &crate::kernel::ProcCtx<'_>, i: u8| {
-                ctx.get(regs_e[16 + i as usize]) as u32
-            };
+            let a =
+                |ctx: &crate::kernel::ProcCtx<'_>, i: u8| ctx.get(regs_e[16 + i as usize]) as u32;
             let seq = pcv.wrapping_add(size);
 
             // Default control outputs.
@@ -215,9 +215,7 @@ impl RtlCore {
                 }
                 Instr::Mov { d: r, imm16 } => wb0(ctx, r.0 as u64, imm16 as i32 as u32),
                 Instr::Movh { d: r, imm16 } => wb0(ctx, r.0 as u64, (imm16 as u32) << 16),
-                Instr::MovhA { a: r, imm16 } => {
-                    wb0(ctx, 16 + r.0 as u64, (imm16 as u32) << 16)
-                }
+                Instr::MovhA { a: r, imm16 } => wb0(ctx, 16 + r.0 as u64, (imm16 as u32) << 16),
                 Instr::Addi { d: r, s, imm16 } => {
                     let v = d(ctx, s.0).wrapping_add(imm16 as i32 as u32);
                     wb0(ctx, r.0 as u64, v);
@@ -255,18 +253,26 @@ impl RtlCore {
                     wb0(ctx, r.0 as u64, v);
                 }
                 Instr::Madd { d: r, acc, s1, s2 } => {
-                    let v = d(ctx, acc.0)
-                        .wrapping_add(d(ctx, s1.0).wrapping_mul(d(ctx, s2.0)));
+                    let v = d(ctx, acc.0).wrapping_add(d(ctx, s1.0).wrapping_mul(d(ctx, s2.0)));
                     wb0(ctx, r.0 as u64, v);
                 }
                 Instr::Msub { d: r, acc, s1, s2 } => {
-                    let v = d(ctx, acc.0)
-                        .wrapping_sub(d(ctx, s1.0).wrapping_mul(d(ctx, s2.0)));
+                    let v = d(ctx, acc.0).wrapping_sub(d(ctx, s1.0).wrapping_mul(d(ctx, s2.0)));
                     wb0(ctx, r.0 as u64, v);
                 }
-                Instr::Ld { kind, d: r, base, off10, postinc } => {
+                Instr::Ld {
+                    kind,
+                    d: r,
+                    base,
+                    off10,
+                    postinc,
+                } => {
                     let b = a(ctx, base.0);
-                    let addr = if postinc { b } else { b.wrapping_add(off10 as i32 as u32) };
+                    let addr = if postinc {
+                        b
+                    } else {
+                        b.wrapping_add(off10 as i32 as u32)
+                    };
                     ctx.set(mem_op, MEM_LD);
                     ctx.set(mem_addr, addr as u64);
                     ctx.set(mem_kind, ld_kind_code(kind));
@@ -278,9 +284,18 @@ impl RtlCore {
                     }
                     go_mem = true;
                 }
-                Instr::LdA { a: r, base, off10, postinc } => {
+                Instr::LdA {
+                    a: r,
+                    base,
+                    off10,
+                    postinc,
+                } => {
                     let b = a(ctx, base.0);
-                    let addr = if postinc { b } else { b.wrapping_add(off10 as i32 as u32) };
+                    let addr = if postinc {
+                        b
+                    } else {
+                        b.wrapping_add(off10 as i32 as u32)
+                    };
                     ctx.set(mem_op, MEM_LD);
                     ctx.set(mem_addr, addr as u64);
                     ctx.set(mem_kind, ld_kind_code(LdKind::W));
@@ -299,9 +314,19 @@ impl RtlCore {
                     ctx.set(wb0_reg, r.0 as u64);
                     go_mem = true;
                 }
-                Instr::St { kind, s, base, off10, postinc } => {
+                Instr::St {
+                    kind,
+                    s,
+                    base,
+                    off10,
+                    postinc,
+                } => {
                     let b = a(ctx, base.0);
-                    let addr = if postinc { b } else { b.wrapping_add(off10 as i32 as u32) };
+                    let addr = if postinc {
+                        b
+                    } else {
+                        b.wrapping_add(off10 as i32 as u32)
+                    };
                     ctx.set(mem_op, MEM_ST);
                     ctx.set(mem_addr, addr as u64);
                     ctx.set(mem_kind, st_kind_code(kind));
@@ -313,9 +338,18 @@ impl RtlCore {
                     }
                     go_mem = true;
                 }
-                Instr::StA { s, base, off10, postinc } => {
+                Instr::StA {
+                    s,
+                    base,
+                    off10,
+                    postinc,
+                } => {
                     let b = a(ctx, base.0);
-                    let addr = if postinc { b } else { b.wrapping_add(off10 as i32 as u32) };
+                    let addr = if postinc {
+                        b
+                    } else {
+                        b.wrapping_add(off10 as i32 as u32)
+                    };
                     ctx.set(mem_op, MEM_ST);
                     ctx.set(mem_addr, addr as u64);
                     ctx.set(mem_kind, st_kind_code(StKind::W));
@@ -334,9 +368,7 @@ impl RtlCore {
                     ctx.set(mem_wdata, d(ctx, s.0) as u64);
                     go_mem = true;
                 }
-                Instr::J { .. } => {
-                    ctx.set(next_pc, instr.target(pcv).expect("direct") as u64)
-                }
+                Instr::J { .. } => ctx.set(next_pc, instr.target(pcv).expect("direct") as u64),
                 Instr::Jl { .. } => {
                     wb0(ctx, 16 + RA.0 as u64, seq);
                     ctx.set(next_pc, instr.target(pcv).expect("direct") as u64);
@@ -439,7 +471,15 @@ impl RtlCore {
         });
         k.make_sensitive(wb, clk);
 
-        Ok(RtlCore { kernel: k, clk, state, regs, pc, instructions: 0, mem })
+        Ok(RtlCore {
+            kernel: k,
+            clk,
+            state,
+            regs,
+            pc,
+            instructions: 0,
+            mem,
+        })
     }
 
     /// Executes one instruction (several clock ticks).
@@ -456,7 +496,9 @@ impl RtlCore {
             self.kernel.tick(self.clk)?;
             match self.kernel.value(self.state) {
                 ST_FAULT => {
-                    return Err(RtlError::Fault { pc: self.kernel.value(self.pc) as u32 })
+                    return Err(RtlError::Fault {
+                        pc: self.kernel.value(self.pc) as u32,
+                    })
                 }
                 ST_HALT => {
                     self.instructions += 1;
@@ -469,7 +511,9 @@ impl RtlCore {
                 _ => {}
             }
         }
-        Err(RtlError::Fault { pc: self.kernel.value(self.pc) as u32 })
+        Err(RtlError::Fault {
+            pc: self.kernel.value(self.pc) as u32,
+        })
     }
 
     /// Runs to the halt instruction.

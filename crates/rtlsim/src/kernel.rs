@@ -47,7 +47,11 @@ pub struct DeltaOverflow {
 
 impl fmt::Display for DeltaOverflow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "delta cycles did not converge within {} iterations", self.limit)
+        write!(
+            f,
+            "delta cycles did not converge within {} iterations",
+            self.limit
+        )
     }
 }
 
@@ -99,7 +103,10 @@ impl fmt::Debug for Kernel {
 impl Kernel {
     /// An empty kernel (delta budget 1000).
     pub fn new() -> Self {
-        Kernel { delta_limit: 1000, ..Default::default() }
+        Kernel {
+            delta_limit: 1000,
+            ..Default::default()
+        }
     }
 
     /// Declares a signal with an initial value.
@@ -160,7 +167,10 @@ impl Kernel {
             for idx in running {
                 let mut p = self.procs[idx].take().expect("process not reentrant");
                 {
-                    let mut ctx = ProcCtx { current: &self.values, staged: &mut staged };
+                    let mut ctx = ProcCtx {
+                        current: &self.values,
+                        staged: &mut staged,
+                    };
                     p(&mut ctx);
                 }
                 self.procs[idx] = Some(p);
@@ -174,7 +184,9 @@ impl Kernel {
                 }
             }
         }
-        Err(DeltaOverflow { limit: self.delta_limit })
+        Err(DeltaOverflow {
+            limit: self.delta_limit,
+        })
     }
 
     /// Advances one clock period on `clock`: rising edge, settle,

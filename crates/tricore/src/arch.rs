@@ -33,10 +33,26 @@ pub enum IssueClass {
 pub fn issue_class(instr: &Instr) -> IssueClass {
     use Instr::*;
     match instr {
-        Ld { .. } | LdA { .. } | St { .. } | StA { .. } | LdW16 { .. } | StW16 { .. }
-        | Lea { .. } | MovA { .. } | MovAA { .. } | MovhA { .. } | MovD { .. } => IssueClass::Ls,
-        J { .. } | Jl { .. } | Ji { .. } | Jli { .. } | Jcond { .. } | JcondZ { .. }
-        | Loop { .. } | Ret16 | Debug16 => IssueClass::Br,
+        Ld { .. }
+        | LdA { .. }
+        | St { .. }
+        | StA { .. }
+        | LdW16 { .. }
+        | StW16 { .. }
+        | Lea { .. }
+        | MovA { .. }
+        | MovAA { .. }
+        | MovhA { .. }
+        | MovD { .. } => IssueClass::Ls,
+        J { .. }
+        | Jl { .. }
+        | Ji { .. }
+        | Jli { .. }
+        | Jcond { .. }
+        | JcondZ { .. }
+        | Loop { .. }
+        | Ret16
+        | Debug16 => IssueClass::Br,
         _ => IssueClass::Ip,
     }
 }
@@ -211,7 +227,12 @@ impl Default for CacheConfig {
     fn default() -> Self {
         // 1 KiB, 2-way, 32-byte lines: small enough that real programs
         // exercise misses, as on the TC10GP-class parts.
-        CacheConfig { sets: 16, ways: 2, line_bytes: 32, miss_penalty: 8 }
+        CacheConfig {
+            sets: 16,
+            ways: 2,
+            line_bytes: 32,
+            miss_penalty: 8,
+        }
     }
 }
 
@@ -226,14 +247,23 @@ impl CacheConfig {
         addr & !(self.line_bytes - 1)
     }
 
-    /// Set index of `addr`.
+    /// Set index of `addr`. Power-of-two geometries (the normal case)
+    /// use shifts — this sits on the per-instruction fetch path.
     pub fn set_of(&self, addr: u32) -> u32 {
-        (addr / self.line_bytes) % self.sets
+        if self.line_bytes.is_power_of_two() && self.sets.is_power_of_two() {
+            (addr >> self.line_bytes.trailing_zeros()) & (self.sets - 1)
+        } else {
+            (addr / self.line_bytes) % self.sets
+        }
     }
 
     /// Tag of `addr` (the address bits above the index).
     pub fn tag_of(&self, addr: u32) -> u32 {
-        addr / self.line_bytes / self.sets
+        if self.line_bytes.is_power_of_two() && self.sets.is_power_of_two() {
+            addr >> (self.line_bytes.trailing_zeros() + self.sets.trailing_zeros())
+        } else {
+            addr / self.line_bytes / self.sets
+        }
     }
 }
 
@@ -262,7 +292,13 @@ impl CacheSim {
         // LRU ranks start as a permutation per set so replacement is
         // well-defined from the first fill on.
         let lru = (0..n).map(|i| (i as u32 % cfg.ways) as u8).collect();
-        CacheSim { cfg, tags: vec![0; n], lru, hits: 0, misses: 0 }
+        CacheSim {
+            cfg,
+            tags: vec![0; n],
+            lru,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The geometry this simulation uses.
@@ -357,8 +393,7 @@ pub struct TimingModel {
 }
 
 /// Mutable pipeline state threaded through [`TimingModel::step`].
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TimingState {
     /// Cycle at which each register's value is available (index space of
     /// [`Instr::reads`]).
@@ -371,12 +406,21 @@ pub struct TimingState {
     pair: Option<PairSlot>,
 }
 
-#[derive(Debug, Clone)]
+/// An open dual-issue slot. Instructions write at most two registers,
+/// so the write set is a fixed-size copy (the hot loop must not
+/// allocate).
+#[derive(Debug, Clone, Copy)]
 struct PairSlot {
     cycle: u64,
-    writes: Vec<u8>,
+    writes: [u8; 2],
+    nwrites: u8,
 }
 
+impl PairSlot {
+    fn writes(&self) -> &[u8] {
+        &self.writes[..self.nwrites as usize]
+    }
+}
 
 impl TimingState {
     /// Fresh pipeline state (everything ready at cycle 0).
@@ -407,6 +451,32 @@ pub struct StepInfo {
     pub paired: bool,
 }
 
+/// Everything [`TimingModel::step`] would otherwise derive from the
+/// instruction per step, computed once at decode time. The pre-decoded
+/// engines store one of these per instruction so the hot loop reads
+/// fields instead of matching on the instruction five times.
+#[derive(Debug, Clone, Copy)]
+pub struct PreTiming {
+    /// Issue pipeline.
+    pub class: IssueClass,
+    /// Issue occupancy in cycles.
+    pub occupancy: u32,
+    /// Result latency in cycles.
+    pub latency: u32,
+    /// Control cost when taken (branches; 0 otherwise).
+    pub cost_taken: u32,
+    /// Control cost when not taken.
+    pub cost_not_taken: u32,
+    /// Static minimum control cost.
+    pub control_min: u32,
+    /// Static prediction (`None` for non-conditionals).
+    pub predicts_taken: Option<bool>,
+    /// MAC accumulator register index (`0xff` when not a MAC).
+    pub mac_acc: u8,
+    /// Post-increment base register timing index (`0xff` when none).
+    pub postinc_reg: u8,
+}
+
 impl TimingModel {
     /// Creates a timing machine over the given parameters.
     pub fn new(timing: Timing) -> Self {
@@ -418,87 +488,169 @@ impl TimingModel {
         &self.timing
     }
 
-    /// Accounts one instruction. For conditional control transfers pass
-    /// the actual direction in `taken`; pass `None` to account only the
-    /// guaranteed minimum cost (the static-calculation mode of §3.3).
-    pub fn step(&self, st: &mut TimingState, instr: &Instr, taken: Option<bool>) -> StepInfo {
-        let class = issue_class(instr);
-        let reads = instr.reads();
-        let writes = instr.writes();
+    /// Computes the per-instruction timing record consumed by
+    /// [`TimingModel::step_pre`].
+    pub fn pre_timing(&self, instr: &Instr) -> PreTiming {
+        let mac_acc = match instr {
+            Instr::Madd { acc, .. } | Instr::Msub { acc, .. } => acc.0,
+            _ => 0xff,
+        };
+        let postinc_reg = match instr {
+            Instr::Ld {
+                base,
+                postinc: true,
+                ..
+            }
+            | Instr::LdA {
+                base,
+                postinc: true,
+                ..
+            }
+            | Instr::St {
+                base,
+                postinc: true,
+                ..
+            }
+            | Instr::StA {
+                base,
+                postinc: true,
+                ..
+            } => base.0 + 16,
+            _ => 0xff,
+        };
+        PreTiming {
+            class: issue_class(instr),
+            occupancy: self.timing.occupancy(instr),
+            latency: self.timing.result_latency(instr),
+            cost_taken: self.timing.control_cost(instr, true),
+            cost_not_taken: self.timing.control_cost(instr, false),
+            control_min: self.timing.control_min(instr),
+            predicts_taken: self.timing.predicts_taken(instr),
+            mac_acc,
+            postinc_reg,
+        }
+    }
 
+    /// [`TimingModel::step`] over a pre-computed timing record — the
+    /// allocation- and match-free variant the pre-decoded dispatch core
+    /// runs. `p`, `reads` and `writes` must have been derived from the
+    /// same instruction; results are bit-identical to [`TimingModel::step`].
+    pub fn step_pre(
+        &self,
+        st: &mut TimingState,
+        p: &PreTiming,
+        taken: Option<bool>,
+        reads: &[u8],
+        writes: &[u8],
+    ) -> StepInfo {
         // Earliest cycle all operands are ready.
         let mut operands_ready = 0u64;
-        for &r in &reads {
+        for &r in reads {
             let mut avail = st.ready[r as usize];
             // MAC accumulator forwarding: a madd/msub may consume the
             // accumulator produced by the previous MAC one cycle early.
-            if matches!(instr, Instr::Madd { acc, .. } | Instr::Msub { acc, .. } if acc.0 == r) {
+            if p.mac_acc == r {
                 avail = avail.min(st.mac_ready[r as usize]);
             }
             operands_ready = operands_ready.max(avail);
         }
 
         // Try to pair into an open integer slot.
-        if class == IssueClass::Ls {
+        if p.class == IssueClass::Ls {
             if let Some(slot) = &st.pair {
-                let conflicts = reads.iter().chain(writes.iter()).any(|r| slot.writes.contains(r));
+                let conflicts = reads
+                    .iter()
+                    .chain(writes.iter())
+                    .any(|r| slot.writes().contains(r));
                 if !conflicts && operands_ready <= slot.cycle {
                     let cycle = slot.cycle;
                     st.pair = None;
-                    self.retire(st, instr, cycle, &writes);
+                    self.retire_pre(st, p, cycle, writes);
                     // `next` was already advanced past `cycle` by the
                     // integer instruction that opened the slot.
-                    return StepInfo { issue_cycle: cycle, paired: true };
+                    return StepInfo {
+                        issue_cycle: cycle,
+                        paired: true,
+                    };
                 }
             }
         }
 
         let issue = st.next.max(operands_ready);
 
-        match class {
+        match p.class {
             IssueClass::Br => {
                 let cost = match taken {
-                    Some(t) => self.timing.control_cost(instr, t),
-                    None => self.timing.control_min(instr),
+                    Some(true) => p.cost_taken,
+                    Some(false) => p.cost_not_taken,
+                    None => p.control_min,
                 };
                 st.next = issue + cost.max(1) as u64;
                 st.pair = None;
                 // Link-register writes become ready immediately after issue.
-                for &w in &writes {
+                for &w in writes {
                     st.ready[w as usize] = issue + 1;
                     st.mac_ready[w as usize] = issue + 1;
                 }
             }
             IssueClass::Ip | IssueClass::Ls => {
-                st.next = issue + self.timing.occupancy(instr) as u64;
-                st.pair = if class == IssueClass::Ip {
-                    Some(PairSlot { cycle: issue, writes: writes.clone() })
+                st.next = issue + p.occupancy as u64;
+                st.pair = if p.class == IssueClass::Ip {
+                    let mut w = [0u8; 2];
+                    w[..writes.len()].copy_from_slice(writes);
+                    Some(PairSlot {
+                        cycle: issue,
+                        writes: w,
+                        nwrites: writes.len() as u8,
+                    })
                 } else {
                     None
                 };
-                self.retire(st, instr, issue, &writes);
+                self.retire_pre(st, p, issue, writes);
             }
         }
 
-        StepInfo { issue_cycle: issue, paired: false }
+        StepInfo {
+            issue_cycle: issue,
+            paired: false,
+        }
     }
 
-    fn retire(&self, st: &mut TimingState, instr: &Instr, issue: u64, writes: &[u8]) {
-        let lat = self.timing.result_latency(instr) as u64;
-        let is_mac = matches!(instr, Instr::Madd { .. } | Instr::Msub { .. });
+    fn retire_pre(&self, st: &mut TimingState, p: &PreTiming, issue: u64, writes: &[u8]) {
+        let lat = p.latency as u64;
+        let is_mac = p.mac_acc != 0xff;
         for &w in writes {
             st.ready[w as usize] = issue + lat;
             st.mac_ready[w as usize] = if is_mac { issue + 1 } else { issue + lat };
         }
         // Post-increment address updates are fast (address ALU).
-        if let Instr::Ld { base, postinc: true, .. }
-        | Instr::LdA { base, postinc: true, .. }
-        | Instr::St { base, postinc: true, .. }
-        | Instr::StA { base, postinc: true, .. } = instr
-        {
-            st.ready[(base.0 + 16) as usize] = issue + 1;
-            st.mac_ready[(base.0 + 16) as usize] = issue + 1;
+        if p.postinc_reg != 0xff {
+            st.ready[p.postinc_reg as usize] = issue + 1;
+            st.mac_ready[p.postinc_reg as usize] = issue + 1;
         }
+    }
+
+    /// Accounts one instruction. For conditional control transfers pass
+    /// the actual direction in `taken`; pass `None` to account only the
+    /// guaranteed minimum cost (the static-calculation mode of §3.3).
+    pub fn step(&self, st: &mut TimingState, instr: &Instr, taken: Option<bool>) -> StepInfo {
+        self.step_with(st, instr, taken, &instr.reads(), &instr.writes())
+    }
+
+    /// Like [`TimingModel::step`] with the instruction's read and write
+    /// sets supplied by the caller; `reads`/`writes` must equal
+    /// [`Instr::reads`]/[`Instr::writes`] of `instr`. The timing record
+    /// is derived on the spot and handed to [`TimingModel::step_pre`],
+    /// which owns the one copy of the issue/pair/retire algorithm.
+    pub fn step_with(
+        &self,
+        st: &mut TimingState,
+        instr: &Instr,
+        taken: Option<bool>,
+        reads: &[u8],
+        writes: &[u8],
+    ) -> StepInfo {
+        self.step_pre(st, &self.pre_timing(instr), taken, reads, writes)
     }
 }
 
@@ -512,11 +664,22 @@ mod tests {
     }
 
     fn add(d: u8, s1: u8, s2: u8) -> Instr {
-        Instr::Bin { op: BinOp::Add, d: DReg(d), s1: DReg(s1), s2: DReg(s2) }
+        Instr::Bin {
+            op: BinOp::Add,
+            d: DReg(d),
+            s1: DReg(s1),
+            s2: DReg(s2),
+        }
     }
 
     fn ldw(d: u8, base: u8) -> Instr {
-        Instr::Ld { kind: LdKind::W, d: DReg(d), base: AReg(base), off10: 0, postinc: false }
+        Instr::Ld {
+            kind: LdKind::W,
+            d: DReg(d),
+            base: AReg(base),
+            off10: 0,
+            postinc: false,
+        }
     }
 
     #[test]
@@ -583,7 +746,12 @@ mod tests {
     fn mul_latency_stalls_dependent() {
         let m = model();
         let mut st = TimingState::new();
-        let mul = Instr::Bin { op: BinOp::Mul, d: DReg(1), s1: DReg(2), s2: DReg(3) };
+        let mul = Instr::Bin {
+            op: BinOp::Mul,
+            d: DReg(1),
+            s1: DReg(2),
+            s2: DReg(3),
+        };
         m.step(&mut st, &mul, None);
         let info = m.step(&mut st, &add(4, 1, 1), None);
         assert_eq!(info.issue_cycle, 2);
@@ -611,7 +779,12 @@ mod tests {
     fn divider_blocks_issue() {
         let m = model();
         let mut st = TimingState::new();
-        let div = Instr::Bin { op: BinOp::Div, d: DReg(1), s1: DReg(2), s2: DReg(3) };
+        let div = Instr::Bin {
+            op: BinOp::Div,
+            d: DReg(1),
+            s1: DReg(2),
+            s2: DReg(3),
+        };
         m.step(&mut st, &div, None);
         assert_eq!(st.cycles(), Timing::default().div_cycles as u64);
         let info = m.step(&mut st, &add(4, 5, 6), None);
@@ -621,8 +794,18 @@ mod tests {
     #[test]
     fn branch_costs_min_and_dynamic() {
         let t = Timing::default();
-        let back = Instr::Jcond { cond: Cond::Ne, s1: DReg(0), s2: DReg(1), disp16: -4 };
-        let fwd = Instr::Jcond { cond: Cond::Ne, s1: DReg(0), s2: DReg(1), disp16: 4 };
+        let back = Instr::Jcond {
+            cond: Cond::Ne,
+            s1: DReg(0),
+            s2: DReg(1),
+            disp16: -4,
+        };
+        let fwd = Instr::Jcond {
+            cond: Cond::Ne,
+            s1: DReg(0),
+            s2: DReg(1),
+            disp16: 4,
+        };
         assert_eq!(t.predicts_taken(&back), Some(true));
         assert_eq!(t.predicts_taken(&fwd), Some(false));
         assert_eq!(t.control_min(&back), 2);
@@ -633,7 +816,10 @@ mod tests {
         assert_eq!(t.control_cost(&fwd, false), 1);
         assert_eq!(t.control_extra(&back, false), 1);
         assert_eq!(t.control_extra(&fwd, true), 2);
-        let lp = Instr::Loop { a: AReg(2), disp16: -6 };
+        let lp = Instr::Loop {
+            a: AReg(2),
+            disp16: -6,
+        };
         assert_eq!(t.control_min(&lp), 1);
         assert_eq!(t.control_extra(&lp, false), 1);
         assert_eq!(t.control_extra(&lp, true), 0);
@@ -658,8 +844,13 @@ mod tests {
         // dynamic accounting — the invariant that makes level-1
         // translation exact for straight-line code.
         let m = model();
-        let prog =
-            [add(0, 1, 2), ldw(3, 4), add(5, 3, 3), add(6, 0, 5), Instr::J { disp24: 10 }];
+        let prog = [
+            add(0, 1, 2),
+            ldw(3, 4),
+            add(5, 3, 3),
+            add(6, 0, 5),
+            Instr::J { disp24: 10 },
+        ];
         let mut s1 = TimingState::new();
         let mut s2 = TimingState::new();
         for i in &prog {
@@ -681,7 +872,12 @@ mod tests {
 
     #[test]
     fn cache_hits_and_lru_replacement() {
-        let mut c = CacheSim::new(CacheConfig { sets: 2, ways: 2, line_bytes: 16, miss_penalty: 8 });
+        let mut c = CacheSim::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_bytes: 16,
+            miss_penalty: 8,
+        });
         // Three distinct lines mapping to set 0: addresses 0, 32, 64.
         assert!(!c.access(0));
         assert!(!c.access(32));
@@ -695,7 +891,12 @@ mod tests {
 
     #[test]
     fn cache_respects_associativity_one() {
-        let mut c = CacheSim::new(CacheConfig { sets: 4, ways: 1, line_bytes: 16, miss_penalty: 8 });
+        let mut c = CacheSim::new(CacheConfig {
+            sets: 4,
+            ways: 1,
+            line_bytes: 16,
+            miss_penalty: 8,
+        });
         assert!(!c.access(0));
         assert!(!c.access(64)); // same set, direct-mapped conflict
         assert!(!c.access(0));

@@ -60,7 +60,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err<T>(line: u32, msg: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, msg: msg.into() })
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 /// hi:/lo: operator applied to a symbolic value.
@@ -77,8 +80,16 @@ enum Arg {
     D(DReg),
     A(AReg),
     Imm(i64),
-    Sym { name: String, add: i64, part: Part },
-    Mem { base: AReg, postinc: bool, off: Box<Arg> },
+    Sym {
+        name: String,
+        add: i64,
+        part: Part,
+    },
+    Mem {
+        base: AReg,
+        postinc: bool,
+        off: Box<Arg>,
+    },
 }
 
 impl Arg {
@@ -158,7 +169,11 @@ impl Default for Assembler {
 impl Assembler {
     /// Creates an assembler with the default memory map.
     pub fn new() -> Self {
-        Assembler { text_base: TEXT_BASE, data_base: DATA_BASE, bss_base: BSS_BASE }
+        Assembler {
+            text_base: TEXT_BASE,
+            data_base: DATA_BASE,
+            bss_base: BSS_BASE,
+        }
     }
 
     /// Overrides the `.text` base address.
@@ -214,7 +229,10 @@ impl Assembler {
                 }
                 // "hi:" / "lo:" inside operands never reach here because
                 // labels are only recognized before the mnemonic.
-                if symbols.insert(name.to_string(), (pc[idx(section)], section)).is_some() {
+                if symbols
+                    .insert(name.to_string(), (pc[idx(section)], section))
+                    .is_some()
+                {
                     return err(line, format!("duplicate label `{name}`"));
                 }
                 text = rest[1..].trim();
@@ -234,14 +252,17 @@ impl Assembler {
                     "bss" => section = SectionId::Bss,
                     "global" | "globl" => globals.push(rest.to_string()),
                     "org" => {
-                        let v = parse_number(rest)
-                            .ok_or_else(|| AsmError { line, msg: "bad .org value".into() })?;
+                        let v = parse_number(rest).ok_or_else(|| AsmError {
+                            line,
+                            msg: "bad .org value".into(),
+                        })?;
                         pc[idx(section)] = v as u32;
                     }
                     "align" => {
-                        let v = parse_number(rest)
-                            .ok_or_else(|| AsmError { line, msg: "bad .align value".into() })?
-                            as u32;
+                        let v = parse_number(rest).ok_or_else(|| AsmError {
+                            line,
+                            msg: "bad .align value".into(),
+                        })? as u32;
                         if v == 0 || !v.is_power_of_two() {
                             return err(line, ".align requires a power of two");
                         }
@@ -258,9 +279,10 @@ impl Assembler {
                         }
                     }
                     "space" | "skip" => {
-                        let v = parse_number(rest)
-                            .ok_or_else(|| AsmError { line, msg: "bad .space value".into() })?
-                            as u32;
+                        let v = parse_number(rest).ok_or_else(|| AsmError {
+                            line,
+                            msg: "bad .space value".into(),
+                        })? as u32;
                         items.push(Item {
                             line,
                             addr: pc[idx(section)],
@@ -279,7 +301,12 @@ impl Assembler {
                             "half" => (ItemKind::Half(args.clone()), 2),
                             _ => (ItemKind::Byte(args.clone()), 1),
                         };
-                        items.push(Item { line, addr: pc[idx(section)], section, kind });
+                        items.push(Item {
+                            line,
+                            addr: pc[idx(section)],
+                            section,
+                            kind,
+                        });
                         pc[idx(section)] += unit * args.len() as u32;
                     }
                     other => return err(line, format!("unknown directive `.{other}`")),
@@ -307,7 +334,10 @@ impl Assembler {
                 line,
                 addr: pc[0],
                 section,
-                kind: ItemKind::Instr { mnemonic: mnemonic.to_string(), args },
+                kind: ItemKind::Instr {
+                    mnemonic: mnemonic.to_string(),
+                    args,
+                },
             });
             pc[0] += size;
         }
@@ -356,10 +386,16 @@ impl Assembler {
 
         let mut elf = ElfFile::new(EM_TRICORE, 0);
         if !text.is_empty() {
-            elf.sections.push(Section::text(text_addr_start.unwrap_or(self.text_base), text));
+            elf.sections.push(Section::text(
+                text_addr_start.unwrap_or(self.text_base),
+                text,
+            ));
         }
         if !data.is_empty() {
-            elf.sections.push(Section::data(data_addr_start.unwrap_or(self.data_base), data));
+            elf.sections.push(Section::data(
+                data_addr_start.unwrap_or(self.data_base),
+                data,
+            ));
         }
         if bss_size > 0 {
             elf.sections.push(Section::bss(self.bss_base, bss_size));
@@ -369,10 +405,15 @@ impl Assembler {
                 name: name.clone(),
                 value: *value,
                 size: 0,
-                kind: if *sect == SectionId::Text { SymbolKind::Func } else { SymbolKind::Object },
+                kind: if *sect == SectionId::Text {
+                    SymbolKind::Func
+                } else {
+                    SymbolKind::Object
+                },
             });
         }
-        elf.symbols.sort_by(|a, b| a.value.cmp(&b.value).then(a.name.cmp(&b.name)));
+        elf.symbols
+            .sort_by(|a, b| a.value.cmp(&b.value).then(a.name.cmp(&b.name)));
         elf.entry = symbols
             .get("_start")
             .map(|&(v, _)| v)
@@ -433,12 +474,16 @@ fn parse_arg(s: &str, line: u32) -> Result<Arg, AsmError> {
         return err(line, "empty operand");
     }
     if s.starts_with('%') {
-        return parse_reg(s).ok_or_else(|| AsmError { line, msg: format!("bad register `{s}`") });
+        return parse_reg(s).ok_or_else(|| AsmError {
+            line,
+            msg: format!("bad register `{s}`"),
+        });
     }
     if let Some(rest) = s.strip_prefix('[') {
-        let close = rest
-            .find(']')
-            .ok_or_else(|| AsmError { line, msg: "missing `]` in memory operand".into() })?;
+        let close = rest.find(']').ok_or_else(|| AsmError {
+            line,
+            msg: "missing `]` in memory operand".into(),
+        })?;
         let (inner, off_str) = (&rest[..close], rest[close + 1..].trim());
         let (reg_str, postinc) = match inner.trim().strip_suffix('+') {
             Some(r) => (r.trim(), true),
@@ -453,7 +498,11 @@ fn parse_arg(s: &str, line: u32) -> Result<Arg, AsmError> {
         } else {
             parse_arg(off_str, line)?
         };
-        return Ok(Arg::Mem { base, postinc, off: Box::new(off) });
+        return Ok(Arg::Mem {
+            base,
+            postinc,
+            off: Box::new(off),
+        });
     }
     for (prefix, part) in [("hi:", Part::Hi), ("lo:", Part::Lo)] {
         if let Some(rest) = s.strip_prefix(prefix) {
@@ -471,19 +520,27 @@ fn parse_arg(s: &str, line: u32) -> Result<Arg, AsmError> {
     let (name, add) = match s.find(['+', '-']) {
         Some(p) if p > 0 => {
             let (n, rest) = s.split_at(p);
-            let add = parse_number(rest)
-                .ok_or_else(|| AsmError { line, msg: format!("bad offset in `{s}`") })?;
+            let add = parse_number(rest).ok_or_else(|| AsmError {
+                line,
+                msg: format!("bad offset in `{s}`"),
+            })?;
             (n.trim(), add)
         }
         _ => (s, 0),
     };
     if name.is_empty()
-        || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
         || name.chars().next().is_some_and(|c| c.is_ascii_digit())
     {
         return err(line, format!("bad operand `{s}`"));
     }
-    Ok(Arg::Sym { name: name.to_string(), add, part: Part::None })
+    Ok(Arg::Sym {
+        name: name.to_string(),
+        add,
+        part: Part::None,
+    })
 }
 
 fn apply_part(v: i64, part: Part) -> i64 {
@@ -498,8 +555,10 @@ fn eval_arg(arg: &Arg, line: u32, resolve: &dyn Fn(&str) -> Option<i64>) -> Resu
     match arg {
         Arg::Imm(v) => Ok(*v),
         Arg::Sym { name, add, part } => {
-            let base = resolve(name)
-                .ok_or_else(|| AsmError { line, msg: format!("undefined symbol `{name}`") })?;
+            let base = resolve(name).ok_or_else(|| AsmError {
+                line,
+                msg: format!("undefined symbol `{name}`"),
+            })?;
             Ok(apply_part(base + add, *part))
         }
         _ => err(line, "expected an immediate or symbol"),
@@ -523,12 +582,7 @@ fn imm_range(v: i64, lo: i64, hi: i64, line: u32, what: &str) -> Result<i64, Asm
     }
 }
 
-fn branch_disp(
-    target: i64,
-    pc: u32,
-    line: u32,
-    bits: u32,
-) -> Result<i32, AsmError> {
+fn branch_disp(target: i64, pc: u32, line: u32, bits: u32) -> Result<i32, AsmError> {
     let delta = target - pc as i64;
     if delta % 2 != 0 {
         return err(line, "branch target is not halfword aligned");
@@ -536,7 +590,10 @@ fn branch_disp(
     let disp = delta / 2;
     let lim = 1i64 << (bits - 1);
     if disp < -lim || disp >= lim {
-        return err(line, format!("branch displacement {disp} exceeds {bits} bits"));
+        return err(
+            line,
+            format!("branch displacement {disp} exceeds {bits} bits"),
+        );
     }
     Ok(disp as i32)
 }
@@ -619,12 +676,18 @@ fn build_instr(
                 (Arg::D(d), rhs) => {
                     if let Some(v) = literal(rhs) {
                         if (-64..=63).contains(&v) {
-                            return Ok(Instr::Mov16 { d: *d, imm7: v as i8 });
+                            return Ok(Instr::Mov16 {
+                                d: *d,
+                                imm7: v as i8,
+                            });
                         }
                     }
                     let v = ev(rhs)?;
                     let v = imm_range(v, -32768, 65535, line, "mov immediate")?;
-                    Ok(Instr::Mov { d: *d, imm16: v as u16 as i16 })
+                    Ok(Instr::Mov {
+                        d: *d,
+                        imm16: v as u16 as i16,
+                    })
                 }
                 _ => err(line, "mov needs a data-register destination"),
             }
@@ -639,44 +702,75 @@ fn build_instr(
             let a = n_args(args, 2, line)?;
             let r = a[0].a(line)?;
             let v = imm_range(ev(&a[1])?, 0, 65535, line, "movh.a immediate")?;
-            Ok(Instr::MovhA { a: r, imm16: v as u16 })
+            Ok(Instr::MovhA {
+                a: r,
+                imm16: v as u16,
+            })
         }
         "mov.a" => {
             let a = n_args(args, 2, line)?;
-            Ok(Instr::MovA { a: a[0].a(line)?, s: a[1].d(line)? })
+            Ok(Instr::MovA {
+                a: a[0].a(line)?,
+                s: a[1].d(line)?,
+            })
         }
         "mov.d" => {
             let a = n_args(args, 2, line)?;
-            Ok(Instr::MovD { d: a[0].d(line)?, a: a[1].a(line)? })
+            Ok(Instr::MovD {
+                d: a[0].d(line)?,
+                a: a[1].a(line)?,
+            })
         }
         "mov.aa" => {
             let a = n_args(args, 2, line)?;
-            Ok(Instr::MovAA { a: a[0].a(line)?, s: a[1].a(line)? })
+            Ok(Instr::MovAA {
+                a: a[0].a(line)?,
+                s: a[1].a(line)?,
+            })
         }
         "addi" => {
             let a = n_args(args, 3, line)?;
             let v = imm_range(ev(&a[2])?, -32768, 32767, line, "addi immediate")?;
-            Ok(Instr::Addi { d: a[0].d(line)?, s: a[1].d(line)?, imm16: v as i16 })
+            Ok(Instr::Addi {
+                d: a[0].d(line)?,
+                s: a[1].d(line)?,
+                imm16: v as i16,
+            })
         }
         "addih" => {
             let a = n_args(args, 3, line)?;
             let v = imm_range(ev(&a[2])?, 0, 65535, line, "addih immediate")?;
-            Ok(Instr::Addih { d: a[0].d(line)?, s: a[1].d(line)?, imm16: v as u16 })
+            Ok(Instr::Addih {
+                d: a[0].d(line)?,
+                s: a[1].d(line)?,
+                imm16: v as u16,
+            })
         }
         "lea" => {
             let a = n_args(args, 2, line)?;
-            let (base, postinc, off) = mem_of(&a[1])
-                .ok_or_else(|| AsmError { line, msg: "lea needs a memory operand".into() })?;
+            let (base, postinc, off) = mem_of(&a[1]).ok_or_else(|| AsmError {
+                line,
+                msg: "lea needs a memory operand".into(),
+            })?;
             if postinc {
                 return err(line, "lea does not support post-increment");
             }
-            let v = imm_range(eval_arg(&off, line, resolve)?, -32768, 32767, line, "lea offset")?;
-            Ok(Instr::Lea { a: a[0].a(line)?, base, off16: v as i16 })
+            let v = imm_range(
+                eval_arg(&off, line, resolve)?,
+                -32768,
+                32767,
+                line,
+                "lea offset",
+            )?;
+            Ok(Instr::Lea {
+                a: a[0].a(line)?,
+                base,
+                off16: v as i16,
+            })
         }
         "madd" | "msub" => {
             let a = n_args(args, 4, line)?;
-            let (d, acc, s1, s2) =
-                (a[0].d(line)?, a[1].d(line)?, a[2].d(line)?, a[3].d(line)?);
+            let (d, acc, s1, s2) = (a[0].d(line)?, a[1].d(line)?, a[2].d(line)?, a[3].d(line)?);
             Ok(if mnemonic == "madd" {
                 Instr::Madd { d, acc, s1, s2 }
             } else {
@@ -703,7 +797,12 @@ fn build_instr(
                         Arg::D(s2) => Ok(Instr::Bin { op, d, s1, s2: *s2 }),
                         rhs => {
                             let v = imm_range(ev(rhs)?, -256, 255, line, "ALU immediate")?;
-                            Ok(Instr::BinI { op, d, s1, imm9: v as i16 })
+                            Ok(Instr::BinI {
+                                op,
+                                d,
+                                s1,
+                                imm9: v as i16,
+                            })
                         }
                     }
                 }
@@ -712,10 +811,17 @@ fn build_instr(
         }
         "ld.w" | "ld.h" | "ld.hu" | "ld.b" | "ld.bu" | "ld.a" => {
             let a = n_args(args, 2, line)?;
-            let (base, postinc, off) = mem_of(&a[1])
-                .ok_or_else(|| AsmError { line, msg: "load needs a memory operand".into() })?;
-            let offv =
-                imm_range(eval_arg(&off, line, resolve)?, -512, 511, line, "load offset")?;
+            let (base, postinc, off) = mem_of(&a[1]).ok_or_else(|| AsmError {
+                line,
+                msg: "load needs a memory operand".into(),
+            })?;
+            let offv = imm_range(
+                eval_arg(&off, line, resolve)?,
+                -512,
+                511,
+                line,
+                "load offset",
+            )?;
             if mnemonic == "ld.a" {
                 return Ok(Instr::LdA {
                     a: a[0].a(line)?,
@@ -736,14 +842,27 @@ fn build_instr(
                 "ld.b" => LdKind::B,
                 _ => LdKind::Bu,
             };
-            Ok(Instr::Ld { kind, d, base, off10: offv as i16, postinc })
+            Ok(Instr::Ld {
+                kind,
+                d,
+                base,
+                off10: offv as i16,
+                postinc,
+            })
         }
         "st.w" | "st.h" | "st.b" | "st.a" => {
             let a = n_args(args, 2, line)?;
-            let (base, postinc, off) = mem_of(&a[0])
-                .ok_or_else(|| AsmError { line, msg: "store needs a memory operand first".into() })?;
-            let offv =
-                imm_range(eval_arg(&off, line, resolve)?, -512, 511, line, "store offset")?;
+            let (base, postinc, off) = mem_of(&a[0]).ok_or_else(|| AsmError {
+                line,
+                msg: "store needs a memory operand first".into(),
+            })?;
+            let offv = imm_range(
+                eval_arg(&off, line, resolve)?,
+                -512,
+                511,
+                line,
+                "store offset",
+            )?;
             if mnemonic == "st.a" {
                 return Ok(Instr::StA {
                     s: a[1].a(line)?,
@@ -761,7 +880,13 @@ fn build_instr(
                 "st.h" => StKind::H,
                 _ => StKind::B,
             };
-            Ok(Instr::St { kind, s, base, off10: offv as i16, postinc })
+            Ok(Instr::St {
+                kind,
+                s,
+                base,
+                off10: offv as i16,
+                postinc,
+            })
         }
         "j" | "jl" | "call" => {
             let a = n_args(args, 1, line)?;
@@ -803,7 +928,10 @@ fn build_instr(
         "loop" => {
             let a = n_args(args, 2, line)?;
             let disp = branch_disp(ev(&a[1])?, pc, line, 16)?;
-            Ok(Instr::Loop { a: a[0].a(line)?, disp16: disp as i16 })
+            Ok(Instr::Loop {
+                a: a[0].a(line)?,
+                disp16: disp as i16,
+            })
         }
         other => err(line, format!("unknown mnemonic `{other}`")),
     }
@@ -823,7 +951,13 @@ mod tests {
     fn assembles_minimal_program() {
         let elf = assemble(".text\n_start:\n  mov %d0, 5\n  debug\n").unwrap();
         let code = decode_text(&elf);
-        assert_eq!(code[0].1, Instr::Mov16 { d: DReg(0), imm7: 5 });
+        assert_eq!(
+            code[0].1,
+            Instr::Mov16 {
+                d: DReg(0),
+                imm7: 5
+            }
+        );
         assert_eq!(code[1].1, Instr::Debug16);
         assert_eq!(elf.entry, TEXT_BASE);
     }
@@ -832,9 +966,27 @@ mod tests {
     fn selects_long_mov_for_large_immediates() {
         let elf = assemble(".text\nmov %d0, 64\nmov %d1, -65\nmov %d2, 63\n").unwrap();
         let code = decode_text(&elf);
-        assert_eq!(code[0].1, Instr::Mov { d: DReg(0), imm16: 64 });
-        assert_eq!(code[1].1, Instr::Mov { d: DReg(1), imm16: -65 });
-        assert_eq!(code[2].1, Instr::Mov16 { d: DReg(2), imm7: 63 });
+        assert_eq!(
+            code[0].1,
+            Instr::Mov {
+                d: DReg(0),
+                imm16: 64
+            }
+        );
+        assert_eq!(
+            code[1].1,
+            Instr::Mov {
+                d: DReg(1),
+                imm16: -65
+            }
+        );
+        assert_eq!(
+            code[2].1,
+            Instr::Mov16 {
+                d: DReg(2),
+                imm7: 63
+            }
+        );
     }
 
     #[test]
@@ -875,7 +1027,11 @@ mod tests {
         let top = code[0].0;
         let jnz_pc = code[1].0;
         match code[1].1 {
-            Instr::JcondZ { cond: Cond::Ne, disp16, .. } => {
+            Instr::JcondZ {
+                cond: Cond::Ne,
+                disp16,
+                ..
+            } => {
                 assert_eq!(jnz_pc.wrapping_add((disp16 as i32 * 2) as u32), top);
             }
             other => panic!("unexpected {other}"),
@@ -922,12 +1078,26 @@ mod tests {
 
     #[test]
     fn short_load_store_forms() {
-        let elf = assemble(".text\nld.w %d1, [%a2]\nld.w %d1, [%a2]4\nst.w [%a3], %d1\nld.w %d1, [%a2+]0\n")
-            .unwrap();
+        let elf = assemble(
+            ".text\nld.w %d1, [%a2]\nld.w %d1, [%a2]4\nst.w [%a3], %d1\nld.w %d1, [%a2+]0\n",
+        )
+        .unwrap();
         let code = decode_text(&elf);
-        assert_eq!(code[0].1, Instr::LdW16 { d: DReg(1), a: AReg(2) });
+        assert_eq!(
+            code[0].1,
+            Instr::LdW16 {
+                d: DReg(1),
+                a: AReg(2)
+            }
+        );
         assert!(matches!(code[1].1, Instr::Ld { .. }));
-        assert_eq!(code[2].1, Instr::StW16 { a: AReg(3), s: DReg(1) });
+        assert_eq!(
+            code[2].1,
+            Instr::StW16 {
+                a: AReg(3),
+                s: DReg(1)
+            }
+        );
         assert!(matches!(code[3].1, Instr::Ld { postinc: true, .. }));
     }
 
@@ -967,7 +1137,13 @@ mod tests {
     fn two_operand_add_uses_short_form() {
         let elf = assemble(".text\nadd %d1, %d2\nadd %d1, %d2, %d3\n").unwrap();
         let code = decode_text(&elf);
-        assert_eq!(code[0].1, Instr::Add16 { d: DReg(1), s: DReg(2) });
+        assert_eq!(
+            code[0].1,
+            Instr::Add16 {
+                d: DReg(1),
+                s: DReg(2)
+            }
+        );
         assert_eq!(code[0].1.size(), 2);
         assert_eq!(code[1].1.size(), 4);
     }
@@ -976,7 +1152,14 @@ mod tests {
     fn sp_and_ra_aliases() {
         let elf = assemble(".text\nlea %sp, [%sp]-16\nji %ra\n").unwrap();
         let code = decode_text(&elf);
-        assert_eq!(code[0].1, Instr::Lea { a: AReg(10), base: AReg(10), off16: -16 });
+        assert_eq!(
+            code[0].1,
+            Instr::Lea {
+                a: AReg(10),
+                base: AReg(10),
+                off16: -16
+            }
+        );
         assert_eq!(code[1].1, Instr::Ji { a: AReg(11) });
     }
 
@@ -994,13 +1177,17 @@ mod tests {
 
     #[test]
     fn symbol_plus_offset() {
-        let src = ".text\nmovh.a %a0, hi:arr+8\nlea %a0, [%a0]lo:arr+8\ndebug\n.data\narr: .space 16\n";
+        let src =
+            ".text\nmovh.a %a0, hi:arr+8\nlea %a0, [%a0]lo:arr+8\ndebug\n.data\narr: .space 16\n";
         let elf = assemble(src).unwrap();
         let code = decode_text(&elf);
         let (hi, lo) = match (code[0].1, code[1].1) {
             (Instr::MovhA { imm16: h, .. }, Instr::Lea { off16: l, .. }) => (h, l),
             other => panic!("unexpected {other:?}"),
         };
-        assert_eq!(((hi as u32) << 16).wrapping_add(lo as i32 as u32), DATA_BASE + 8);
+        assert_eq!(
+            ((hi as u32) << 16).wrapping_add(lo as i32 as u32),
+            DATA_BASE + 8
+        );
     }
 }

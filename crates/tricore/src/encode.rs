@@ -68,18 +68,27 @@ const BINOPS: [BinOp; 11] = [
 const CONDS: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::LtU, Cond::GeU];
 
 fn binop_index(op: BinOp) -> u32 {
-    BINOPS.iter().position(|&o| o == op).expect("all binops listed") as u32
+    BINOPS
+        .iter()
+        .position(|&o| o == op)
+        .expect("all binops listed") as u32
 }
 
 fn cond_index(c: Cond) -> u32 {
-    CONDS.iter().position(|&o| o == c).expect("all conds listed") as u32
+    CONDS
+        .iter()
+        .position(|&o| o == c)
+        .expect("all conds listed") as u32
 }
 
 fn check(ok: bool, instr: &Instr, field: &'static str) -> Result<(), EncodeError> {
     if ok {
         Ok(())
     } else {
-        Err(EncodeError { instr: instr.to_string(), field })
+        Err(EncodeError {
+            instr: instr.to_string(),
+            field,
+        })
     }
 }
 
@@ -116,9 +125,10 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
         }
         Instr::Movh { d, imm16 } => push32(out, w32(2, d.0 as u32, 0, (imm16 as u32) << 16)),
         Instr::MovhA { a, imm16 } => push32(out, w32(3, a.0 as u32, 0, (imm16 as u32) << 16)),
-        Instr::Addi { d, s, imm16 } => {
-            push32(out, w32(4, d.0 as u32, s.0 as u32, ((imm16 as u16) as u32) << 16))
-        }
+        Instr::Addi { d, s, imm16 } => push32(
+            out,
+            w32(4, d.0 as u32, s.0 as u32, ((imm16 as u16) as u32) << 16),
+        ),
         Instr::Addih { d, s, imm16 } => {
             push32(out, w32(5, d.0 as u32, s.0 as u32, (imm16 as u32) << 16))
         }
@@ -126,28 +136,56 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
         Instr::MovA { a, s } => push32(out, w32(7, a.0 as u32, s.0 as u32, 0)),
         Instr::MovD { d, a } => push32(out, w32(8, d.0 as u32, a.0 as u32, 0)),
         Instr::MovAA { a, s } => push32(out, w32(9, a.0 as u32, s.0 as u32, 0)),
-        Instr::Lea { a, base, off16 } => {
-            push32(out, w32(10, a.0 as u32, base.0 as u32, ((off16 as u16) as u32) << 16))
-        }
-        Instr::Bin { op, d, s1, s2 } => {
-            push32(out, w32(11 + binop_index(op), d.0 as u32, s1.0 as u32, (s2.0 as u32) << 16))
-        }
+        Instr::Lea { a, base, off16 } => push32(
+            out,
+            w32(10, a.0 as u32, base.0 as u32, ((off16 as u16) as u32) << 16),
+        ),
+        Instr::Bin { op, d, s1, s2 } => push32(
+            out,
+            w32(
+                11 + binop_index(op),
+                d.0 as u32,
+                s1.0 as u32,
+                (s2.0 as u32) << 16,
+            ),
+        ),
         Instr::BinI { op, d, s1, imm9 } => {
             check((-256..=255).contains(&imm9), instr, "imm9")?;
             push32(
                 out,
-                w32(22 + binop_index(op), d.0 as u32, s1.0 as u32, ((imm9 as u32) & 0x1ff) << 16),
+                w32(
+                    22 + binop_index(op),
+                    d.0 as u32,
+                    s1.0 as u32,
+                    ((imm9 as u32) & 0x1ff) << 16,
+                ),
             )
         }
         Instr::Madd { d, acc, s1, s2 } => push32(
             out,
-            w32(33, d.0 as u32, s1.0 as u32, ((s2.0 as u32) << 16) | ((acc.0 as u32) << 20)),
+            w32(
+                33,
+                d.0 as u32,
+                s1.0 as u32,
+                ((s2.0 as u32) << 16) | ((acc.0 as u32) << 20),
+            ),
         ),
         Instr::Msub { d, acc, s1, s2 } => push32(
             out,
-            w32(34, d.0 as u32, s1.0 as u32, ((s2.0 as u32) << 16) | ((acc.0 as u32) << 20)),
+            w32(
+                34,
+                d.0 as u32,
+                s1.0 as u32,
+                ((s2.0 as u32) << 16) | ((acc.0 as u32) << 20),
+            ),
         ),
-        Instr::Ld { kind, d, base, off10, postinc } => {
+        Instr::Ld {
+            kind,
+            d,
+            base,
+            off10,
+            postinc,
+        } => {
             check((-512..=511).contains(&off10), instr, "off10")?;
             let opc = match kind {
                 LdKind::B => 35,
@@ -159,12 +197,23 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
             let rest = (((off10 as u32) & 0x3ff) << 16) | ((postinc as u32) << 26);
             push32(out, w32(opc, d.0 as u32, base.0 as u32, rest))
         }
-        Instr::LdA { a, base, off10, postinc } => {
+        Instr::LdA {
+            a,
+            base,
+            off10,
+            postinc,
+        } => {
             check((-512..=511).contains(&off10), instr, "off10")?;
             let rest = (((off10 as u32) & 0x3ff) << 16) | ((postinc as u32) << 26);
             push32(out, w32(40, a.0 as u32, base.0 as u32, rest))
         }
-        Instr::St { kind, s, base, off10, postinc } => {
+        Instr::St {
+            kind,
+            s,
+            base,
+            off10,
+            postinc,
+        } => {
             check((-512..=511).contains(&off10), instr, "off10")?;
             let opc = match kind {
                 StKind::B => 41,
@@ -174,7 +223,12 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
             let rest = (((off10 as u32) & 0x3ff) << 16) | ((postinc as u32) << 26);
             push32(out, w32(opc, s.0 as u32, base.0 as u32, rest))
         }
-        Instr::StA { s, base, off10, postinc } => {
+        Instr::StA {
+            s,
+            base,
+            off10,
+            postinc,
+        } => {
             check((-512..=511).contains(&off10), instr, "off10")?;
             let rest = (((off10 as u32) & 0x3ff) << 16) | ((postinc as u32) << 26);
             push32(out, w32(44, s.0 as u32, base.0 as u32, rest))
@@ -189,13 +243,28 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
         }
         Instr::Ji { a } => push32(out, w32(47, a.0 as u32, 0, 0)),
         Instr::Jli { a } => push32(out, w32(48, a.0 as u32, 0, 0)),
-        Instr::Jcond { cond, s1, s2, disp16 } => push32(
+        Instr::Jcond {
+            cond,
+            s1,
+            s2,
+            disp16,
+        } => push32(
             out,
-            w32(49 + cond_index(cond), s1.0 as u32, s2.0 as u32, ((disp16 as u16) as u32) << 16),
+            w32(
+                49 + cond_index(cond),
+                s1.0 as u32,
+                s2.0 as u32,
+                ((disp16 as u16) as u32) << 16,
+            ),
         ),
         Instr::JcondZ { cond, s1, disp16 } => push32(
             out,
-            w32(55 + cond_index(cond), s1.0 as u32, 0, ((disp16 as u16) as u32) << 16),
+            w32(
+                55 + cond_index(cond),
+                s1.0 as u32,
+                0,
+                ((disp16 as u16) as u32) << 16,
+            ),
         ),
         Instr::Loop { a, disp16 } => {
             push32(out, w32(61, a.0 as u32, 0, ((disp16 as u16) as u32) << 16))
@@ -235,11 +304,26 @@ pub fn decode(lo: u16, hi: u16) -> Result<(Instr, u32), DecodeError> {
                 d: DReg(ra),
                 imm7: sign_extend(bits(lo as u32, 15, 9), 7) as i8,
             },
-            4 => Instr::MovRR16 { d: DReg(ra), s: DReg(rb) },
-            5 => Instr::Add16 { d: DReg(ra), s: DReg(rb) },
-            6 => Instr::Sub16 { d: DReg(ra), s: DReg(rb) },
-            7 => Instr::LdW16 { d: DReg(ra), a: AReg(rb) },
-            8 => Instr::StW16 { a: AReg(rb), s: DReg(ra) },
+            4 => Instr::MovRR16 {
+                d: DReg(ra),
+                s: DReg(rb),
+            },
+            5 => Instr::Add16 {
+                d: DReg(ra),
+                s: DReg(rb),
+            },
+            6 => Instr::Sub16 {
+                d: DReg(ra),
+                s: DReg(rb),
+            },
+            7 => Instr::LdW16 {
+                d: DReg(ra),
+                a: AReg(rb),
+            },
+            8 => Instr::StW16 {
+                a: AReg(rb),
+                s: DReg(ra),
+            },
             _ => return Err(DecodeError { halfword: lo }),
         };
         return Ok((instr, 2));
@@ -259,16 +343,49 @@ pub fn decode(lo: u16, hi: u16) -> Result<(Instr, u32), DecodeError> {
     let disp24 = sign_extend(bits(w, 31, 8), 24);
 
     let instr = match op {
-        1 => Instr::Mov { d: DReg(r1), imm16: imm16s },
-        2 => Instr::Movh { d: DReg(r1), imm16: imm16u },
-        3 => Instr::MovhA { a: AReg(r1), imm16: imm16u },
-        4 => Instr::Addi { d: DReg(r1), s: DReg(r2), imm16: imm16s },
-        5 => Instr::Addih { d: DReg(r1), s: DReg(r2), imm16: imm16u },
-        6 => Instr::MovRR { d: DReg(r1), s: DReg(r2) },
-        7 => Instr::MovA { a: AReg(r1), s: DReg(r2) },
-        8 => Instr::MovD { d: DReg(r1), a: AReg(r2) },
-        9 => Instr::MovAA { a: AReg(r1), s: AReg(r2) },
-        10 => Instr::Lea { a: AReg(r1), base: AReg(r2), off16: imm16s },
+        1 => Instr::Mov {
+            d: DReg(r1),
+            imm16: imm16s,
+        },
+        2 => Instr::Movh {
+            d: DReg(r1),
+            imm16: imm16u,
+        },
+        3 => Instr::MovhA {
+            a: AReg(r1),
+            imm16: imm16u,
+        },
+        4 => Instr::Addi {
+            d: DReg(r1),
+            s: DReg(r2),
+            imm16: imm16s,
+        },
+        5 => Instr::Addih {
+            d: DReg(r1),
+            s: DReg(r2),
+            imm16: imm16u,
+        },
+        6 => Instr::MovRR {
+            d: DReg(r1),
+            s: DReg(r2),
+        },
+        7 => Instr::MovA {
+            a: AReg(r1),
+            s: DReg(r2),
+        },
+        8 => Instr::MovD {
+            d: DReg(r1),
+            a: AReg(r2),
+        },
+        9 => Instr::MovAA {
+            a: AReg(r1),
+            s: AReg(r2),
+        },
+        10 => Instr::Lea {
+            a: AReg(r1),
+            base: AReg(r2),
+            off16: imm16s,
+        },
         11..=21 => Instr::Bin {
             op: BINOPS[(op - 11) as usize],
             d: DReg(r1),
@@ -281,18 +398,86 @@ pub fn decode(lo: u16, hi: u16) -> Result<(Instr, u32), DecodeError> {
             s1: DReg(r2),
             imm9,
         },
-        33 => Instr::Madd { d: DReg(r1), acc: DReg(acc), s1: DReg(r2), s2: DReg(r3) },
-        34 => Instr::Msub { d: DReg(r1), acc: DReg(acc), s1: DReg(r2), s2: DReg(r3) },
-        35 => Instr::Ld { kind: LdKind::B, d: DReg(r1), base: AReg(r2), off10, postinc },
-        36 => Instr::Ld { kind: LdKind::Bu, d: DReg(r1), base: AReg(r2), off10, postinc },
-        37 => Instr::Ld { kind: LdKind::H, d: DReg(r1), base: AReg(r2), off10, postinc },
-        38 => Instr::Ld { kind: LdKind::Hu, d: DReg(r1), base: AReg(r2), off10, postinc },
-        39 => Instr::Ld { kind: LdKind::W, d: DReg(r1), base: AReg(r2), off10, postinc },
-        40 => Instr::LdA { a: AReg(r1), base: AReg(r2), off10, postinc },
-        41 => Instr::St { kind: StKind::B, s: DReg(r1), base: AReg(r2), off10, postinc },
-        42 => Instr::St { kind: StKind::H, s: DReg(r1), base: AReg(r2), off10, postinc },
-        43 => Instr::St { kind: StKind::W, s: DReg(r1), base: AReg(r2), off10, postinc },
-        44 => Instr::StA { s: AReg(r1), base: AReg(r2), off10, postinc },
+        33 => Instr::Madd {
+            d: DReg(r1),
+            acc: DReg(acc),
+            s1: DReg(r2),
+            s2: DReg(r3),
+        },
+        34 => Instr::Msub {
+            d: DReg(r1),
+            acc: DReg(acc),
+            s1: DReg(r2),
+            s2: DReg(r3),
+        },
+        35 => Instr::Ld {
+            kind: LdKind::B,
+            d: DReg(r1),
+            base: AReg(r2),
+            off10,
+            postinc,
+        },
+        36 => Instr::Ld {
+            kind: LdKind::Bu,
+            d: DReg(r1),
+            base: AReg(r2),
+            off10,
+            postinc,
+        },
+        37 => Instr::Ld {
+            kind: LdKind::H,
+            d: DReg(r1),
+            base: AReg(r2),
+            off10,
+            postinc,
+        },
+        38 => Instr::Ld {
+            kind: LdKind::Hu,
+            d: DReg(r1),
+            base: AReg(r2),
+            off10,
+            postinc,
+        },
+        39 => Instr::Ld {
+            kind: LdKind::W,
+            d: DReg(r1),
+            base: AReg(r2),
+            off10,
+            postinc,
+        },
+        40 => Instr::LdA {
+            a: AReg(r1),
+            base: AReg(r2),
+            off10,
+            postinc,
+        },
+        41 => Instr::St {
+            kind: StKind::B,
+            s: DReg(r1),
+            base: AReg(r2),
+            off10,
+            postinc,
+        },
+        42 => Instr::St {
+            kind: StKind::H,
+            s: DReg(r1),
+            base: AReg(r2),
+            off10,
+            postinc,
+        },
+        43 => Instr::St {
+            kind: StKind::W,
+            s: DReg(r1),
+            base: AReg(r2),
+            off10,
+            postinc,
+        },
+        44 => Instr::StA {
+            s: AReg(r1),
+            base: AReg(r2),
+            off10,
+            postinc,
+        },
         45 => Instr::J { disp24 },
         46 => Instr::Jl { disp24 },
         47 => Instr::Ji { a: AReg(r1) },
@@ -308,7 +493,10 @@ pub fn decode(lo: u16, hi: u16) -> Result<(Instr, u32), DecodeError> {
             s1: DReg(r1),
             disp16: imm16s,
         },
-        61 => Instr::Loop { a: AReg(r1), disp16: imm16s },
+        61 => Instr::Loop {
+            a: AReg(r1),
+            disp16: imm16s,
+        },
         62 => Instr::Nop,
         _ => return Err(DecodeError { halfword: lo }),
     };
@@ -348,7 +536,11 @@ mod tests {
         let bytes = encode(&i).unwrap();
         assert_eq!(bytes.len() as u32, i.size(), "size mismatch for {i}");
         let lo = u16::from_le_bytes([bytes[0], bytes[1]]);
-        let hi = if bytes.len() == 4 { u16::from_le_bytes([bytes[2], bytes[3]]) } else { 0 };
+        let hi = if bytes.len() == 4 {
+            u16::from_le_bytes([bytes[2], bytes[3]])
+        } else {
+            0
+        };
         let (back, size) = decode(lo, hi).unwrap();
         assert_eq!(back, i, "round-trip mismatch");
         assert_eq!(size, i.size());
@@ -361,37 +553,143 @@ mod tests {
             Nop16,
             Debug16,
             Ret16,
-            Mov16 { d: DReg(7), imm7: -64 },
-            Mov16 { d: DReg(15), imm7: 63 },
-            MovRR16 { d: DReg(1), s: DReg(14) },
-            Add16 { d: DReg(0), s: DReg(15) },
-            Sub16 { d: DReg(9), s: DReg(3) },
-            LdW16 { d: DReg(4), a: AReg(12) },
-            StW16 { a: AReg(2), s: DReg(8) },
-            Mov { d: DReg(3), imm16: -32768 },
-            Movh { d: DReg(3), imm16: 0xd000 },
-            MovhA { a: AReg(0), imm16: 0xf000 },
-            Addi { d: DReg(1), s: DReg(2), imm16: -1 },
-            Addih { d: DReg(1), s: DReg(2), imm16: 0xffff },
-            MovRR { d: DReg(0), s: DReg(15) },
-            MovA { a: AReg(5), s: DReg(6) },
-            MovD { d: DReg(6), a: AReg(5) },
-            MovAA { a: AReg(1), s: AReg(2) },
-            Lea { a: AReg(4), base: AReg(4), off16: -4096 },
-            Madd { d: DReg(0), acc: DReg(1), s1: DReg(2), s2: DReg(3) },
-            Msub { d: DReg(15), acc: DReg(14), s1: DReg(13), s2: DReg(12) },
-            Ld { kind: LdKind::W, d: DReg(2), base: AReg(3), off10: 511, postinc: false },
-            Ld { kind: LdKind::Bu, d: DReg(2), base: AReg(3), off10: -512, postinc: true },
-            LdA { a: AReg(1), base: AReg(10), off10: 8, postinc: false },
-            St { kind: StKind::H, s: DReg(0), base: AReg(15), off10: -2, postinc: true },
-            StA { s: AReg(11), base: AReg(10), off10: 0, postinc: false },
+            Mov16 {
+                d: DReg(7),
+                imm7: -64,
+            },
+            Mov16 {
+                d: DReg(15),
+                imm7: 63,
+            },
+            MovRR16 {
+                d: DReg(1),
+                s: DReg(14),
+            },
+            Add16 {
+                d: DReg(0),
+                s: DReg(15),
+            },
+            Sub16 {
+                d: DReg(9),
+                s: DReg(3),
+            },
+            LdW16 {
+                d: DReg(4),
+                a: AReg(12),
+            },
+            StW16 {
+                a: AReg(2),
+                s: DReg(8),
+            },
+            Mov {
+                d: DReg(3),
+                imm16: -32768,
+            },
+            Movh {
+                d: DReg(3),
+                imm16: 0xd000,
+            },
+            MovhA {
+                a: AReg(0),
+                imm16: 0xf000,
+            },
+            Addi {
+                d: DReg(1),
+                s: DReg(2),
+                imm16: -1,
+            },
+            Addih {
+                d: DReg(1),
+                s: DReg(2),
+                imm16: 0xffff,
+            },
+            MovRR {
+                d: DReg(0),
+                s: DReg(15),
+            },
+            MovA {
+                a: AReg(5),
+                s: DReg(6),
+            },
+            MovD {
+                d: DReg(6),
+                a: AReg(5),
+            },
+            MovAA {
+                a: AReg(1),
+                s: AReg(2),
+            },
+            Lea {
+                a: AReg(4),
+                base: AReg(4),
+                off16: -4096,
+            },
+            Madd {
+                d: DReg(0),
+                acc: DReg(1),
+                s1: DReg(2),
+                s2: DReg(3),
+            },
+            Msub {
+                d: DReg(15),
+                acc: DReg(14),
+                s1: DReg(13),
+                s2: DReg(12),
+            },
+            Ld {
+                kind: LdKind::W,
+                d: DReg(2),
+                base: AReg(3),
+                off10: 511,
+                postinc: false,
+            },
+            Ld {
+                kind: LdKind::Bu,
+                d: DReg(2),
+                base: AReg(3),
+                off10: -512,
+                postinc: true,
+            },
+            LdA {
+                a: AReg(1),
+                base: AReg(10),
+                off10: 8,
+                postinc: false,
+            },
+            St {
+                kind: StKind::H,
+                s: DReg(0),
+                base: AReg(15),
+                off10: -2,
+                postinc: true,
+            },
+            StA {
+                s: AReg(11),
+                base: AReg(10),
+                off10: 0,
+                postinc: false,
+            },
             J { disp24: -(1 << 23) },
-            Jl { disp24: (1 << 23) - 1 },
+            Jl {
+                disp24: (1 << 23) - 1,
+            },
             Ji { a: AReg(11) },
             Jli { a: AReg(3) },
-            Jcond { cond: Cond::LtU, s1: DReg(1), s2: DReg(2), disp16: -30000 },
-            JcondZ { cond: Cond::Ne, s1: DReg(9), disp16: 32767 },
-            Loop { a: AReg(6), disp16: -8 },
+            Jcond {
+                cond: Cond::LtU,
+                s1: DReg(1),
+                s2: DReg(2),
+                disp16: -30000,
+            },
+            JcondZ {
+                cond: Cond::Ne,
+                s1: DReg(9),
+                disp16: 32767,
+            },
+            Loop {
+                a: AReg(6),
+                disp16: -8,
+            },
             Nop,
         ];
         for c in cases {
@@ -402,26 +700,66 @@ mod tests {
     #[test]
     fn roundtrip_all_binops() {
         for op in BINOPS {
-            roundtrip(Instr::Bin { op, d: DReg(1), s1: DReg(2), s2: DReg(3) });
-            roundtrip(Instr::BinI { op, d: DReg(1), s1: DReg(2), imm9: -200 });
+            roundtrip(Instr::Bin {
+                op,
+                d: DReg(1),
+                s1: DReg(2),
+                s2: DReg(3),
+            });
+            roundtrip(Instr::BinI {
+                op,
+                d: DReg(1),
+                s1: DReg(2),
+                imm9: -200,
+            });
         }
         for cond in CONDS {
-            roundtrip(Instr::Jcond { cond, s1: DReg(0), s2: DReg(1), disp16: 12 });
-            roundtrip(Instr::JcondZ { cond, s1: DReg(0), disp16: -12 });
+            roundtrip(Instr::Jcond {
+                cond,
+                s1: DReg(0),
+                s2: DReg(1),
+                disp16: 12,
+            });
+            roundtrip(Instr::JcondZ {
+                cond,
+                s1: DReg(0),
+                disp16: -12,
+            });
         }
         for kind in [LdKind::B, LdKind::Bu, LdKind::H, LdKind::Hu, LdKind::W] {
-            roundtrip(Instr::Ld { kind, d: DReg(5), base: AReg(6), off10: 16, postinc: true });
+            roundtrip(Instr::Ld {
+                kind,
+                d: DReg(5),
+                base: AReg(6),
+                off10: 16,
+                postinc: true,
+            });
         }
         for kind in [StKind::B, StKind::H, StKind::W] {
-            roundtrip(Instr::St { kind, s: DReg(5), base: AReg(6), off10: 16, postinc: false });
+            roundtrip(Instr::St {
+                kind,
+                s: DReg(5),
+                base: AReg(6),
+                off10: 16,
+                postinc: false,
+            });
         }
     }
 
     #[test]
     fn out_of_range_fields_are_rejected() {
-        assert!(encode(&Instr::Mov16 { d: DReg(0), imm7: 64 }).is_err());
-        assert!(encode(&Instr::BinI { op: BinOp::Add, d: DReg(0), s1: DReg(0), imm9: 256 })
-            .is_err());
+        assert!(encode(&Instr::Mov16 {
+            d: DReg(0),
+            imm7: 64
+        })
+        .is_err());
+        assert!(encode(&Instr::BinI {
+            op: BinOp::Add,
+            d: DReg(0),
+            s1: DReg(0),
+            imm9: 256
+        })
+        .is_err());
         assert!(encode(&Instr::Ld {
             kind: LdKind::W,
             d: DReg(0),
@@ -444,9 +782,18 @@ mod tests {
     #[test]
     fn decode_section_walks_mixed_lengths() {
         let prog = vec![
-            Instr::Mov16 { d: DReg(1), imm7: 5 },
-            Instr::Movh { d: DReg(2), imm16: 0x1234 },
-            Instr::Add16 { d: DReg(1), s: DReg(2) },
+            Instr::Mov16 {
+                d: DReg(1),
+                imm7: 5,
+            },
+            Instr::Movh {
+                d: DReg(2),
+                imm16: 0x1234,
+            },
+            Instr::Add16 {
+                d: DReg(1),
+                s: DReg(2),
+            },
             Instr::Debug16,
         ];
         let mut bytes = Vec::new();

@@ -285,21 +285,63 @@ pub enum Instr {
     /// `lea %aX, [%aY]off16` — `aX = aY + sext(off16)`.
     Lea { a: AReg, base: AReg, off16: i16 },
     /// Three-register ALU operation.
-    Bin { op: BinOp, d: DReg, s1: DReg, s2: DReg },
+    Bin {
+        op: BinOp,
+        d: DReg,
+        s1: DReg,
+        s2: DReg,
+    },
     /// Register-immediate ALU operation (9-bit signed immediate).
-    BinI { op: BinOp, d: DReg, s1: DReg, imm9: i16 },
+    BinI {
+        op: BinOp,
+        d: DReg,
+        s1: DReg,
+        imm9: i16,
+    },
     /// `madd %dX, %dA, %dY, %dZ` — `dX = dA + dY*dZ`.
-    Madd { d: DReg, acc: DReg, s1: DReg, s2: DReg },
+    Madd {
+        d: DReg,
+        acc: DReg,
+        s1: DReg,
+        s2: DReg,
+    },
     /// `msub %dX, %dA, %dY, %dZ` — `dX = dA - dY*dZ`.
-    Msub { d: DReg, acc: DReg, s1: DReg, s2: DReg },
+    Msub {
+        d: DReg,
+        acc: DReg,
+        s1: DReg,
+        s2: DReg,
+    },
     /// Load into a data register.
-    Ld { kind: LdKind, d: DReg, base: AReg, off10: i16, postinc: bool },
+    Ld {
+        kind: LdKind,
+        d: DReg,
+        base: AReg,
+        off10: i16,
+        postinc: bool,
+    },
     /// Load into an address register (`ld.a`).
-    LdA { a: AReg, base: AReg, off10: i16, postinc: bool },
+    LdA {
+        a: AReg,
+        base: AReg,
+        off10: i16,
+        postinc: bool,
+    },
     /// Store from a data register.
-    St { kind: StKind, s: DReg, base: AReg, off10: i16, postinc: bool },
+    St {
+        kind: StKind,
+        s: DReg,
+        base: AReg,
+        off10: i16,
+        postinc: bool,
+    },
     /// Store from an address register (`st.a`).
-    StA { s: AReg, base: AReg, off10: i16, postinc: bool },
+    StA {
+        s: AReg,
+        base: AReg,
+        off10: i16,
+        postinc: bool,
+    },
     /// Unconditional jump, 24-bit halfword displacement.
     J { disp24: i32 },
     /// Jump-and-link (call): `A11 = next pc`, 24-bit displacement.
@@ -309,7 +351,12 @@ pub enum Instr {
     /// Indirect jump-and-link through an address register.
     Jli { a: AReg },
     /// Compare-and-branch on two data registers (16-bit displacement).
-    Jcond { cond: Cond, s1: DReg, s2: DReg, disp16: i16 },
+    Jcond {
+        cond: Cond,
+        s1: DReg,
+        s2: DReg,
+        disp16: i16,
+    },
     /// Compare-and-branch against zero (16-bit displacement).
     JcondZ { cond: Cond, s1: DReg, disp16: i16 },
     /// Zero-overhead loop: `aX -= 1; if aX != 0 jump` (16-bit displacement).
@@ -354,7 +401,10 @@ impl Instr {
     /// True for conditional control flow (the targets of the paper's
     /// branch-prediction correction code).
     pub fn is_conditional(&self) -> bool {
-        matches!(self, Instr::Jcond { .. } | Instr::JcondZ { .. } | Instr::Loop { .. })
+        matches!(
+            self,
+            Instr::Jcond { .. } | Instr::JcondZ { .. } | Instr::Loop { .. }
+        )
     }
 
     /// Branch target for direct control transfers, given the address of
@@ -429,7 +479,12 @@ impl Instr {
             | Instr::MovAA { a: aa, .. }
             | Instr::Lea { a: aa, .. }
             | Instr::LdA { a: aa, .. } => vec![a(aa)],
-            Instr::Ld { d: dd, base, postinc, .. } => {
+            Instr::Ld {
+                d: dd,
+                base,
+                postinc,
+                ..
+            } => {
                 if postinc {
                     vec![d(dd), a(base)]
                 } else {
@@ -477,23 +532,60 @@ impl fmt::Display for Instr {
             Instr::BinI { op, d, s1, imm9 } => write!(f, "{} {d}, {s1}, {imm9}", op.mnemonic()),
             Instr::Madd { d, acc, s1, s2 } => write!(f, "madd {d}, {acc}, {s1}, {s2}"),
             Instr::Msub { d, acc, s1, s2 } => write!(f, "msub {d}, {acc}, {s1}, {s2}"),
-            Instr::Ld { kind, d, base, off10, postinc } => {
-                write!(f, "ld.{} {d}, [{base}{}]{off10}", kind.suffix(), pi(postinc))
+            Instr::Ld {
+                kind,
+                d,
+                base,
+                off10,
+                postinc,
+            } => {
+                write!(
+                    f,
+                    "ld.{} {d}, [{base}{}]{off10}",
+                    kind.suffix(),
+                    pi(postinc)
+                )
             }
-            Instr::LdA { a, base, off10, postinc } => {
+            Instr::LdA {
+                a,
+                base,
+                off10,
+                postinc,
+            } => {
                 write!(f, "ld.a {a}, [{base}{}]{off10}", pi(postinc))
             }
-            Instr::St { kind, s, base, off10, postinc } => {
-                write!(f, "st.{} [{base}{}]{off10}, {s}", kind.suffix(), pi(postinc))
+            Instr::St {
+                kind,
+                s,
+                base,
+                off10,
+                postinc,
+            } => {
+                write!(
+                    f,
+                    "st.{} [{base}{}]{off10}, {s}",
+                    kind.suffix(),
+                    pi(postinc)
+                )
             }
-            Instr::StA { s, base, off10, postinc } => {
+            Instr::StA {
+                s,
+                base,
+                off10,
+                postinc,
+            } => {
                 write!(f, "st.a [{base}{}]{off10}, {s}", pi(postinc))
             }
             Instr::J { disp24 } => write!(f, "j {:+}", disp24 * 2),
             Instr::Jl { disp24 } => write!(f, "jl {:+}", disp24 * 2),
             Instr::Ji { a } => write!(f, "ji {a}"),
             Instr::Jli { a } => write!(f, "jli {a}"),
-            Instr::Jcond { cond, s1, s2, disp16 } => {
+            Instr::Jcond {
+                cond,
+                s1,
+                s2,
+                disp16,
+            } => {
                 write!(f, "{} {s1}, {s2}, {:+}", cond.mnemonic(), disp16 as i32 * 2)
             }
             Instr::JcondZ { cond, s1, disp16 } => {
@@ -515,7 +607,11 @@ mod tests {
         assert_eq!(BinOp::Sub.apply(0, 1), u32::MAX);
         assert_eq!(BinOp::Sra.apply(0x8000_0000, 31), u32::MAX);
         assert_eq!(BinOp::Srl.apply(0x8000_0000, 31), 1);
-        assert_eq!(BinOp::Sll.apply(1, 33), 2, "shift amount is masked to 5 bits");
+        assert_eq!(
+            BinOp::Sll.apply(1, 33),
+            2,
+            "shift amount is masked to 5 bits"
+        );
         assert_eq!(BinOp::Div.apply((-7i32) as u32, 2), (-3i32) as u32);
         assert_eq!(BinOp::Div.apply(5, 0), 0);
         assert_eq!(BinOp::Rem.apply((-7i32) as u32, 2), (-1i32) as u32);
@@ -537,7 +633,14 @@ mod tests {
     fn sizes() {
         assert_eq!(Instr::Nop16.size(), 2);
         assert_eq!(Instr::Ret16.size(), 2);
-        assert_eq!(Instr::Mov { d: DReg(0), imm16: 0 }.size(), 4);
+        assert_eq!(
+            Instr::Mov {
+                d: DReg(0),
+                imm16: 0
+            }
+            .size(),
+            4
+        );
         assert_eq!(Instr::J { disp24: 0 }.size(), 4);
     }
 
@@ -545,7 +648,12 @@ mod tests {
     fn branch_targets_are_halfword_relative() {
         let j = Instr::J { disp24: 3 };
         assert_eq!(j.target(0x8000_0000), Some(0x8000_0006));
-        let b = Instr::Jcond { cond: Cond::Eq, s1: DReg(0), s2: DReg(1), disp16: -2 };
+        let b = Instr::Jcond {
+            cond: Cond::Eq,
+            s1: DReg(0),
+            s2: DReg(1),
+            disp16: -2,
+        };
         assert_eq!(b.target(0x8000_0010), Some(0x8000_000c));
         assert_eq!(Instr::Ji { a: AReg(0) }.target(0), None);
         assert_eq!(Instr::Nop.target(0), None);
@@ -553,10 +661,22 @@ mod tests {
 
     #[test]
     fn reads_writes_track_postincrement() {
-        let ld = Instr::Ld { kind: LdKind::W, d: DReg(1), base: AReg(2), off10: 4, postinc: true };
+        let ld = Instr::Ld {
+            kind: LdKind::W,
+            d: DReg(1),
+            base: AReg(2),
+            off10: 4,
+            postinc: true,
+        };
         assert!(ld.writes().contains(&1));
         assert!(ld.writes().contains(&18));
-        let st = Instr::St { kind: StKind::W, s: DReg(1), base: AReg(2), off10: 4, postinc: false };
+        let st = Instr::St {
+            kind: StKind::W,
+            s: DReg(1),
+            base: AReg(2),
+            off10: 4,
+            postinc: false,
+        };
         assert!(st.writes().is_empty());
         assert!(st.reads().contains(&1));
         assert!(st.reads().contains(&18));
@@ -572,7 +692,11 @@ mod tests {
     fn control_classification() {
         assert!(Instr::J { disp24: 0 }.is_control());
         assert!(!Instr::J { disp24: 0 }.is_conditional());
-        assert!(Instr::Loop { a: AReg(3), disp16: -4 }.is_conditional());
+        assert!(Instr::Loop {
+            a: AReg(3),
+            disp16: -4
+        }
+        .is_conditional());
         assert!(Instr::Debug16.is_control());
         assert!(!Instr::Nop.is_control());
     }
@@ -585,9 +709,20 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let i = Instr::Ld { kind: LdKind::W, d: DReg(4), base: AReg(2), off10: 4, postinc: true };
+        let i = Instr::Ld {
+            kind: LdKind::W,
+            d: DReg(4),
+            base: AReg(2),
+            off10: 4,
+            postinc: true,
+        };
         assert_eq!(i.to_string(), "ld.w %d4, [%a2+]4");
-        let i = Instr::Madd { d: DReg(0), acc: DReg(1), s1: DReg(2), s2: DReg(3) };
+        let i = Instr::Madd {
+            d: DReg(0),
+            acc: DReg(1),
+            s1: DReg(2),
+            s2: DReg(3),
+        };
         assert_eq!(i.to_string(), "madd %d0, %d1, %d2, %d3");
     }
 }

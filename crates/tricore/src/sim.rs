@@ -10,10 +10,29 @@
 //! (dual-issue pairing, operand stalls, divider occupancy, branch costs
 //! with static BTFN prediction) plus a set-associative instruction cache
 //! ([`CacheSim`]) charged per line fetch.
+//!
+//! # Dispatch modes
+//!
+//! The simulator has two dispatch cores selected by [`DispatchMode`]:
+//!
+//! * [`DispatchMode::Predecoded`] (the default) decodes the whole
+//!   `.text` image once at load into a dense table. Each entry carries
+//!   the decoded instruction, its fall-through and direct-branch-target
+//!   *table indices*, the cache lines its fetch touches, and its
+//!   read/write register sets — so the hot loop chases indices through
+//!   a flat `Vec` and never hashes an address or allocates.
+//! * [`DispatchMode::Naive`] is the retained seed interpreter: an
+//!   address-keyed map looked up on every step, with per-step line and
+//!   operand-set computation. It exists as the reference for the
+//!   differential tests proving the pre-decoded core bit-identical.
+//!
+//! Both modes produce exactly the same architectural state, cycle
+//! counts, statistics and fault behaviour.
 
-use crate::arch::{ArchDesc, CacheSim, TimingModel, TimingState};
+use crate::arch::{ArchDesc, CacheConfig, CacheSim, PreTiming, TimingModel, TimingState};
 use crate::encode::decode_section;
 use crate::isa::{AReg, Instr, LdKind, StKind, RA};
+use cabt_exec::{EngineStats, ExecutionEngine};
 use cabt_isa::elf::ElfFile;
 use cabt_isa::mem::Memory;
 use cabt_isa::IsaError;
@@ -132,6 +151,8 @@ pub struct RunStats {
     pub icache_accesses: u64,
     /// Instruction-cache misses.
     pub icache_misses: u64,
+    /// Cycles spent stalled on instruction-cache line fills.
+    pub stall_cycles: u64,
     /// Why the run ended.
     pub exit: Option<RunExitKind>,
 }
@@ -141,6 +162,68 @@ pub struct RunStats {
 pub enum RunExitKind {
     /// Program halted via `debug`.
     Halted,
+}
+
+/// Which dispatch core [`Simulator::step`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Decode-once table dispatch (index-chased hot loop).
+    #[default]
+    Predecoded,
+    /// The retained seed interpreter: address-map fetch on every step.
+    Naive,
+}
+
+/// Sentinel for "no table entry".
+const NO_IDX: u32 = u32::MAX;
+
+/// One pre-decoded instruction: the decoded form plus everything the
+/// hot loop would otherwise recompute per step.
+#[derive(Debug, Clone, Copy)]
+struct PreInstr {
+    instr: Instr,
+    /// Source address of this instruction.
+    pc: u32,
+    /// Address of the next sequential instruction.
+    fall_pc: u32,
+    /// Table index of the next sequential instruction (`NO_IDX` if it
+    /// leaves the decoded image).
+    fall: u32,
+    /// Direct branch target address (0 when the instruction has none).
+    target_pc: u32,
+    /// Table index of the direct branch target.
+    target: u32,
+    /// First and last I-cache lines the fetch touches.
+    line_first: u32,
+    line_last: u32,
+    /// Cached operand sets for the timing model (max 3 reads, 2 writes).
+    reads: [u8; 3],
+    nreads: u8,
+    writes: [u8; 2],
+    nwrites: u8,
+    /// Cached per-instruction timing record.
+    timing: PreTiming,
+}
+
+impl PreInstr {
+    fn reads(&self) -> &[u8] {
+        &self.reads[..self.nreads as usize]
+    }
+
+    fn writes(&self) -> &[u8] {
+        &self.writes[..self.nwrites as usize]
+    }
+}
+
+/// Where execution goes after an instruction.
+#[derive(Debug, Clone, Copy)]
+enum Flow {
+    /// Fall through to the next sequential instruction.
+    Fall,
+    /// Take the instruction's direct branch target.
+    Direct,
+    /// Jump to a computed address (`ret`, `ji`, `jli`).
+    Indirect(u32),
 }
 
 /// The golden-model simulator.
@@ -161,11 +244,26 @@ pub struct Simulator {
     pub cpu: Cpu,
     /// Data memory (code is pre-decoded and never read as data).
     pub mem: Memory,
+    /// Pristine copy of `mem` as loaded from the image, restored by
+    /// [`ExecutionEngine::reset`] so reruns are reproducible even when
+    /// the program mutates its data sections.
+    mem_image: Memory,
     arch: ArchDesc,
     model: TimingModel,
     tstate: TimingState,
     cache: Option<CacheSim>,
-    program: HashMap<u32, Instr>,
+    /// Copy of the cache geometry (hot loop must not borrow the cache).
+    cache_cfg: CacheConfig,
+    /// Pre-decoded instruction table, sorted by address. The naive path
+    /// fetches through `index_of` into this table — the same per-step
+    /// address hash the seed's instruction map cost.
+    table: Vec<PreInstr>,
+    /// Address → table index (entry points, indirect jumps).
+    index_of: HashMap<u32, u32>,
+    /// Cached table index of `cpu.pc` (`NO_IDX` forces a map lookup).
+    cur: u32,
+    mode: DispatchMode,
+    entry: u32,
     stats: RunStats,
     io: Option<Box<dyn IoDevice>>,
     halted: bool,
@@ -175,6 +273,7 @@ impl fmt::Debug for Simulator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulator")
             .field("pc", &self.cpu.pc)
+            .field("mode", &self.mode)
             .field("stats", &self.stats)
             .field("halted", &self.halted)
             .finish_non_exhaustive()
@@ -201,24 +300,73 @@ impl Simulator {
     pub fn with_arch(elf: &ElfFile, arch: ArchDesc) -> Result<Self, SimError> {
         let mut mem = Memory::new();
         elf.load_into(&mut mem)?;
-        let mut program = HashMap::new();
+        let mem_image = mem.clone();
+        let mut decoded: Vec<(u32, Instr)> = Vec::new();
         for s in &elf.sections {
             if s.kind == cabt_isa::elf::SectionKind::Text {
-                let decoded = decode_section(s.addr, &s.data)
+                let d = decode_section(s.addr, &s.data)
                     .map_err(|_| SimError::PcInvalid { pc: s.addr })?;
-                program.extend(decoded);
+                decoded.extend(d);
             }
         }
-        let mut cpu = Cpu { pc: elf.entry, ..Cpu::default() };
+        decoded.sort_by_key(|&(addr, _)| addr);
+
+        let index_of: HashMap<u32, u32> = decoded
+            .iter()
+            .enumerate()
+            .map(|(i, &(addr, _))| (addr, i as u32))
+            .collect();
+        let cfg = arch.cache;
+        let model = TimingModel::new(arch.timing.clone());
+        let table: Vec<PreInstr> = decoded
+            .iter()
+            .map(|&(pc, instr)| {
+                let fall_pc = pc.wrapping_add(instr.size());
+                let target_pc = instr.target(pc).unwrap_or(0);
+                let r = instr.reads();
+                let w = instr.writes();
+                let mut reads = [0u8; 3];
+                reads[..r.len()].copy_from_slice(&r);
+                let mut writes = [0u8; 2];
+                writes[..w.len()].copy_from_slice(&w);
+                PreInstr {
+                    instr,
+                    pc,
+                    fall_pc,
+                    fall: index_of.get(&fall_pc).copied().unwrap_or(NO_IDX),
+                    target_pc,
+                    target: index_of.get(&target_pc).copied().unwrap_or(NO_IDX),
+                    line_first: cfg.line_of(pc),
+                    line_last: cfg.line_of(pc + instr.size() - 1),
+                    reads,
+                    nreads: r.len() as u8,
+                    writes,
+                    nwrites: w.len() as u8,
+                    timing: model.pre_timing(&instr),
+                }
+            })
+            .collect();
+
+        let mut cpu = Cpu {
+            pc: elf.entry,
+            ..Cpu::default()
+        };
         cpu.set_a(10, 0xd003_0000); // default stack pointer
+        let cur = index_of.get(&elf.entry).copied().unwrap_or(NO_IDX);
         Ok(Simulator {
             cpu,
             mem,
-            model: TimingModel::new(arch.timing.clone()),
+            mem_image,
+            model,
             cache: Some(CacheSim::new(arch.cache)),
+            cache_cfg: arch.cache,
             arch,
             tstate: TimingState::new(),
-            program,
+            table,
+            index_of,
+            cur,
+            mode: DispatchMode::default(),
+            entry: elf.entry,
             stats: RunStats::default(),
             io: None,
             halted: false,
@@ -229,6 +377,16 @@ impl Simulator {
     /// by ablation benches).
     pub fn disable_icache(&mut self) {
         self.cache = None;
+    }
+
+    /// Selects the dispatch core (pre-decoded by default).
+    pub fn set_dispatch(&mut self, mode: DispatchMode) {
+        self.mode = mode;
+    }
+
+    /// The dispatch core in use.
+    pub fn dispatch(&self) -> DispatchMode {
+        self.mode
     }
 
     /// Attaches a memory-mapped I/O device for `IO_BASE..IO_END`.
@@ -276,8 +434,71 @@ impl Simulator {
     /// Returns [`SimError::PcInvalid`] if the program counter points
     /// outside the decoded program, or [`SimError::Mem`] on data faults.
     pub fn step(&mut self) -> Result<Instr, SimError> {
+        match self.mode {
+            DispatchMode::Predecoded => self.step_predecoded(),
+            DispatchMode::Naive => self.step_naive(),
+        }
+    }
+
+    /// The pre-decoded hot loop: index-chased dispatch over the flat
+    /// table, no address hashing, no per-step operand-set allocation.
+    fn step_predecoded(&mut self) -> Result<Instr, SimError> {
         let pc = self.cpu.pc;
-        let instr = *self.program.get(&pc).ok_or(SimError::PcInvalid { pc })?;
+        // The cached index is valid unless someone rewrote `cpu.pc`
+        // behind our back (debuggers do); fall back to one map lookup.
+        let cur = if self.cur != NO_IDX && self.table[self.cur as usize].pc == pc {
+            self.cur
+        } else {
+            *self.index_of.get(&pc).ok_or(SimError::PcInvalid { pc })?
+        };
+        let pi = self.table[cur as usize];
+
+        // Instruction-cache accounting over the precomputed line span.
+        if let Some(cache) = &mut self.cache {
+            let mut line = pi.line_first;
+            loop {
+                self.stats.icache_accesses += 1;
+                if !cache.access(line) {
+                    self.stats.icache_misses += 1;
+                    self.stats.stall_cycles += self.cache_cfg.miss_penalty as u64;
+                    self.tstate.stall(self.cache_cfg.miss_penalty as u64);
+                }
+                if line == pi.line_last {
+                    break;
+                }
+                line += self.cache_cfg.line_bytes;
+            }
+        }
+
+        let (flow, taken) = self.exec(pc, pi.instr, pi.fall_pc)?;
+        let (next_pc, next_idx) = match flow {
+            Flow::Fall => (pi.fall_pc, pi.fall),
+            Flow::Direct => (pi.target_pc, pi.target),
+            Flow::Indirect(a) => (a, self.index_of.get(&a).copied().unwrap_or(NO_IDX)),
+        };
+
+        let dyn_taken = taken.or(Some(true));
+        self.model.step_pre(
+            &mut self.tstate,
+            &pi.timing,
+            dyn_taken,
+            pi.reads(),
+            pi.writes(),
+        );
+        self.finish_step(taken, pi.timing.predicts_taken);
+        self.cpu.pc = next_pc;
+        self.cur = next_idx;
+        Ok(pi.instr)
+    }
+
+    /// The retained naive interpreter: per-step map fetch, per-step line
+    /// computation, per-step operand-set construction — exactly the seed
+    /// implementation, kept as the differential-test reference.
+    fn step_naive(&mut self) -> Result<Instr, SimError> {
+        let pc = self.cpu.pc;
+        // Address-hashed fetch on every step — the seed's dispatch shape.
+        let idx = *self.index_of.get(&pc).ok_or(SimError::PcInvalid { pc })?;
+        let instr = self.table[idx as usize].instr;
 
         // Instruction-cache accounting: charge each line the fetch touches.
         if let Some(cache) = &mut self.cache {
@@ -289,6 +510,7 @@ impl Simulator {
                 self.stats.icache_accesses += 1;
                 if !cache.access(line) {
                     self.stats.icache_misses += 1;
+                    self.stats.stall_cycles += cfg.miss_penalty as u64;
                     self.tstate.stall(cfg.miss_penalty as u64);
                 }
                 if line == last {
@@ -298,7 +520,54 @@ impl Simulator {
             }
         }
 
-        let mut next_pc = pc.wrapping_add(instr.size());
+        let fall_pc = pc.wrapping_add(instr.size());
+        let (flow, taken) = self.exec(pc, instr, fall_pc)?;
+        let next_pc = match flow {
+            Flow::Fall => fall_pc,
+            Flow::Direct => instr.target(pc).expect("direct"),
+            Flow::Indirect(a) => a,
+        };
+
+        // Timing: dynamic outcome for conditionals, exact for the rest.
+        let dyn_taken = taken.or(Some(true));
+        self.model.step(&mut self.tstate, &instr, dyn_taken);
+        let predicts = if taken.is_some() {
+            self.arch.timing.predicts_taken(&instr)
+        } else {
+            None
+        };
+        self.finish_step(taken, predicts);
+        self.cpu.pc = next_pc;
+        self.cur = NO_IDX;
+        Ok(instr)
+    }
+
+    /// Branch statistics and retirement shared by both dispatch cores;
+    /// `predicts` is the instruction's static prediction (only read
+    /// when `taken` is set).
+    fn finish_step(&mut self, taken: Option<bool>, predicts: Option<bool>) {
+        if let Some(t) = taken {
+            self.stats.cond_branches += 1;
+            if t {
+                self.stats.taken += 1;
+            }
+            if predicts != Some(t) {
+                self.stats.mispredicted += 1;
+            }
+        }
+        self.stats.instructions += 1;
+    }
+
+    /// Executes one instruction's architectural effect and reports where
+    /// control goes. Shared verbatim by both dispatch cores — this *is*
+    /// the instruction semantics.
+    fn exec(
+        &mut self,
+        pc: u32,
+        instr: Instr,
+        fall_pc: u32,
+    ) -> Result<(Flow, Option<bool>), SimError> {
+        let mut flow = Flow::Fall;
         let mut taken: Option<bool> = None;
 
         match instr {
@@ -307,15 +576,15 @@ impl Simulator {
                 self.halted = true;
                 self.stats.exit = Some(RunExitKind::Halted);
             }
-            Instr::Ret16 => next_pc = self.cpu.a(RA.0),
+            Instr::Ret16 => flow = Flow::Indirect(self.cpu.a(RA.0)),
             Instr::Mov16 { d, imm7 } => self.cpu.set_d(d.0, imm7 as i32 as u32),
             Instr::MovRR16 { d, s } => self.cpu.set_d(d.0, self.cpu.d(s.0)),
-            Instr::Add16 { d, s } => {
-                self.cpu.set_d(d.0, self.cpu.d(d.0).wrapping_add(self.cpu.d(s.0)))
-            }
-            Instr::Sub16 { d, s } => {
-                self.cpu.set_d(d.0, self.cpu.d(d.0).wrapping_sub(self.cpu.d(s.0)))
-            }
+            Instr::Add16 { d, s } => self
+                .cpu
+                .set_d(d.0, self.cpu.d(d.0).wrapping_add(self.cpu.d(s.0))),
+            Instr::Sub16 { d, s } => self
+                .cpu
+                .set_d(d.0, self.cpu.d(d.0).wrapping_sub(self.cpu.d(s.0))),
             Instr::LdW16 { d, a } => {
                 let v = self.load(self.cpu.a(a.0), LdKind::W)?;
                 self.cpu.set_d(d.0, v);
@@ -326,25 +595,25 @@ impl Simulator {
             Instr::Mov { d, imm16 } => self.cpu.set_d(d.0, imm16 as i32 as u32),
             Instr::Movh { d, imm16 } => self.cpu.set_d(d.0, (imm16 as u32) << 16),
             Instr::MovhA { a, imm16 } => self.cpu.set_a(a.0, (imm16 as u32) << 16),
-            Instr::Addi { d, s, imm16 } => {
-                self.cpu.set_d(d.0, self.cpu.d(s.0).wrapping_add(imm16 as i32 as u32))
-            }
-            Instr::Addih { d, s, imm16 } => {
-                self.cpu.set_d(d.0, self.cpu.d(s.0).wrapping_add((imm16 as u32) << 16))
-            }
+            Instr::Addi { d, s, imm16 } => self
+                .cpu
+                .set_d(d.0, self.cpu.d(s.0).wrapping_add(imm16 as i32 as u32)),
+            Instr::Addih { d, s, imm16 } => self
+                .cpu
+                .set_d(d.0, self.cpu.d(s.0).wrapping_add((imm16 as u32) << 16)),
             Instr::MovRR { d, s } => self.cpu.set_d(d.0, self.cpu.d(s.0)),
             Instr::MovA { a, s } => self.cpu.set_a(a.0, self.cpu.d(s.0)),
             Instr::MovD { d, a } => self.cpu.set_d(d.0, self.cpu.a(a.0)),
             Instr::MovAA { a, s } => self.cpu.set_a(a.0, self.cpu.a(s.0)),
-            Instr::Lea { a, base, off16 } => {
-                self.cpu.set_a(a.0, self.cpu.a(base.0).wrapping_add(off16 as i32 as u32))
-            }
-            Instr::Bin { op, d, s1, s2 } => {
-                self.cpu.set_d(d.0, op.apply(self.cpu.d(s1.0), self.cpu.d(s2.0)))
-            }
-            Instr::BinI { op, d, s1, imm9 } => {
-                self.cpu.set_d(d.0, op.apply(self.cpu.d(s1.0), imm9 as i32 as u32))
-            }
+            Instr::Lea { a, base, off16 } => self
+                .cpu
+                .set_a(a.0, self.cpu.a(base.0).wrapping_add(off16 as i32 as u32)),
+            Instr::Bin { op, d, s1, s2 } => self
+                .cpu
+                .set_d(d.0, op.apply(self.cpu.d(s1.0), self.cpu.d(s2.0))),
+            Instr::BinI { op, d, s1, imm9 } => self
+                .cpu
+                .set_d(d.0, op.apply(self.cpu.d(s1.0), imm9 as i32 as u32)),
             Instr::Madd { d, acc, s1, s2 } => {
                 let v = self
                     .cpu
@@ -359,47 +628,72 @@ impl Simulator {
                     .wrapping_sub(self.cpu.d(s1.0).wrapping_mul(self.cpu.d(s2.0)));
                 self.cpu.set_d(d.0, v);
             }
-            Instr::Ld { kind, d, base, off10, postinc } => {
+            Instr::Ld {
+                kind,
+                d,
+                base,
+                off10,
+                postinc,
+            } => {
                 let addr = self.ea(base, off10, postinc);
                 let v = self.load(addr, kind)?;
                 self.cpu.set_d(d.0, v);
             }
-            Instr::LdA { a, base, off10, postinc } => {
+            Instr::LdA {
+                a,
+                base,
+                off10,
+                postinc,
+            } => {
                 let addr = self.ea(base, off10, postinc);
                 let v = self.load(addr, LdKind::W)?;
                 self.cpu.set_a(a.0, v);
             }
-            Instr::St { kind, s, base, off10, postinc } => {
+            Instr::St {
+                kind,
+                s,
+                base,
+                off10,
+                postinc,
+            } => {
                 let addr = self.ea(base, off10, postinc);
                 self.store(addr, kind, self.cpu.d(s.0))?;
             }
-            Instr::StA { s, base, off10, postinc } => {
+            Instr::StA {
+                s,
+                base,
+                off10,
+                postinc,
+            } => {
                 let addr = self.ea(base, off10, postinc);
                 self.store(addr, StKind::W, self.cpu.a(s.0))?;
             }
-            Instr::J { .. } => next_pc = instr.target(pc).expect("direct"),
-            Instr::Jl { .. } => {
-                self.cpu.set_a(RA.0, next_pc);
-                next_pc = instr.target(pc).expect("direct");
+            Instr::J { .. } => {
+                debug_assert!(instr.target(pc).is_some());
+                flow = Flow::Direct;
             }
-            Instr::Ji { a } => next_pc = self.cpu.a(a.0),
+            Instr::Jl { .. } => {
+                self.cpu.set_a(RA.0, fall_pc);
+                flow = Flow::Direct;
+            }
+            Instr::Ji { a } => flow = Flow::Indirect(self.cpu.a(a.0)),
             Instr::Jli { a } => {
                 let t = self.cpu.a(a.0);
-                self.cpu.set_a(RA.0, next_pc);
-                next_pc = t;
+                self.cpu.set_a(RA.0, fall_pc);
+                flow = Flow::Indirect(t);
             }
             Instr::Jcond { cond, s1, s2, .. } => {
                 let t = cond.eval(self.cpu.d(s1.0), self.cpu.d(s2.0));
                 taken = Some(t);
                 if t {
-                    next_pc = instr.target(pc).expect("direct");
+                    flow = Flow::Direct;
                 }
             }
             Instr::JcondZ { cond, s1, .. } => {
                 let t = cond.eval(self.cpu.d(s1.0), 0);
                 taken = Some(t);
                 if t {
-                    next_pc = instr.target(pc).expect("direct");
+                    flow = Flow::Direct;
                 }
             }
             Instr::Loop { a, .. } => {
@@ -408,28 +702,11 @@ impl Simulator {
                 let t = v != 0;
                 taken = Some(t);
                 if t {
-                    next_pc = instr.target(pc).expect("direct");
+                    flow = Flow::Direct;
                 }
             }
         }
-
-        // Timing: dynamic outcome for conditionals, exact for the rest.
-        let dyn_taken = taken.or(Some(true));
-        self.model.step(&mut self.tstate, &instr, dyn_taken);
-
-        if let Some(t) = taken {
-            self.stats.cond_branches += 1;
-            if t {
-                self.stats.taken += 1;
-            }
-            if self.arch.timing.predicts_taken(&instr) != Some(t) {
-                self.stats.mispredicted += 1;
-            }
-        }
-
-        self.stats.instructions += 1;
-        self.cpu.pc = next_pc;
-        Ok(instr)
+        Ok((flow, taken))
     }
 
     fn ea(&mut self, base: AReg, off10: i16, postinc: bool) -> u32 {
@@ -483,10 +760,83 @@ impl Simulator {
     }
 }
 
+impl ExecutionEngine for Simulator {
+    type Error = SimError;
+
+    /// Flat register space: `0..16` = `D0..D15`, `16..32` = `A0..A15`.
+    fn reset(&mut self) {
+        self.cpu = Cpu {
+            pc: self.entry,
+            ..Cpu::default()
+        };
+        self.cpu.set_a(10, 0xd003_0000);
+        self.mem = self.mem_image.clone();
+        self.tstate = TimingState::new();
+        if self.cache.is_some() {
+            self.cache = Some(CacheSim::new(self.arch.cache));
+        }
+        self.stats = RunStats::default();
+        self.halted = false;
+        self.cur = self.index_of.get(&self.entry).copied().unwrap_or(NO_IDX);
+    }
+
+    fn step_unit(&mut self) -> Result<(), SimError> {
+        self.step().map(|_| ())
+    }
+
+    fn cycle(&self) -> u64 {
+        self.tstate.cycles()
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn pc(&self) -> Option<u32> {
+        let pc = self.cpu.pc;
+        let known = (self.cur != NO_IDX && self.table[self.cur as usize].pc == pc)
+            || self.index_of.contains_key(&pc);
+        known.then_some(pc)
+    }
+
+    fn reg_count(&self) -> usize {
+        32
+    }
+
+    fn read_reg_index(&self, index: usize) -> u32 {
+        if index < 16 {
+            self.cpu.d(index as u8)
+        } else {
+            self.cpu.a((index - 16) as u8)
+        }
+    }
+
+    fn write_reg_index(&mut self, index: usize, value: u32) {
+        if index < 16 {
+            self.cpu.set_d(index as u8, value);
+        } else {
+            self.cpu.set_a((index - 16) as u8, value);
+        }
+    }
+
+    fn read_mem(&mut self, addr: u32, len: usize) -> Result<Vec<u8>, SimError> {
+        self.mem.read_block(addr, len).map_err(SimError::Mem)
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            cycles: self.tstate.cycles(),
+            retired: self.stats.instructions,
+            stall_cycles: self.stats.stall_cycles,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::asm::assemble;
+    use cabt_exec::{Limit, StopCause};
 
     fn run(src: &str) -> Simulator {
         let elf = assemble(src).expect("assembles");
@@ -590,6 +940,7 @@ mod tests {
         assert!(st.cycles >= st.instructions);
         assert!(st.icache_accesses >= 4);
         assert!(st.icache_misses >= 1, "cold start must miss");
+        assert!(st.stall_cycles > 0, "misses stall the fetch");
     }
 
     #[test]
@@ -607,7 +958,10 @@ mod tests {
         let mut sim = Simulator::new(&elf).unwrap();
         sim.cpu.set_a(0, 0x1234_0000);
         sim.step().unwrap();
-        assert!(matches!(sim.step(), Err(SimError::PcInvalid { pc: 0x1234_0000 })));
+        assert!(matches!(
+            sim.step(),
+            Err(SimError::PcInvalid { pc: 0x1234_0000 })
+        ));
     }
 
     #[test]
@@ -628,7 +982,8 @@ mod tests {
                 self.0.push((addr, value));
             }
         }
-        let elf = assemble("
+        let elf = assemble(
+            "
             .text
         _start:
             movh.a %a2, 0xf000
@@ -636,7 +991,8 @@ mod tests {
             st.w [%a2]16, %d1
             ld.w %d3, [%a2]16
             debug
-        ")
+        ",
+        )
         .unwrap();
         let mut sim = Simulator::new(&elf).unwrap();
         sim.set_io_device(Box::new(Probe(Vec::new())));
@@ -662,7 +1018,9 @@ mod tests {
 
     #[test]
     fn madd_accumulates() {
-        let sim = run(".text\n_start: mov %d1, 3\nmov %d2, 4\nmov %d3, 10\nmadd %d4, %d3, %d1, %d2\ndebug\n");
+        let sim = run(
+            ".text\n_start: mov %d1, 3\nmov %d2, 4\nmov %d3, 10\nmadd %d4, %d3, %d1, %d2\ndebug\n",
+        );
         assert_eq!(sim.cpu.d(4), 22);
     }
 
@@ -675,5 +1033,92 @@ mod tests {
         assert_eq!(sim.cpu.d(3), 0x7fff_fffc);
         assert_eq!(sim.cpu.d(4) as i32, -16);
         assert_eq!(sim.cpu.d(5), 8);
+    }
+
+    /// Every observable — registers, stats, cycles, fault shape — must
+    /// be identical between the two dispatch cores.
+    fn diff_modes(src: &str) {
+        let elf = assemble(src).expect("assembles");
+        let mut fast = Simulator::new(&elf).expect("loads");
+        let mut naive = Simulator::new(&elf).expect("loads");
+        naive.set_dispatch(DispatchMode::Naive);
+        let rf = fast.run(1_000_000);
+        let rn = naive.run(1_000_000);
+        assert_eq!(rf, rn, "run results diverge");
+        assert_eq!(fast.stats(), naive.stats(), "stats diverge");
+        for i in 0..16 {
+            assert_eq!(fast.cpu.d(i), naive.cpu.d(i), "d{i}");
+            assert_eq!(fast.cpu.a(i), naive.cpu.a(i), "a{i}");
+        }
+        assert_eq!(fast.cpu.pc, naive.cpu.pc);
+    }
+
+    #[test]
+    fn predecoded_matches_naive_on_mixed_program() {
+        diff_modes(
+            "
+            .text
+        _start:
+            mov %d0, 12
+            mov %d2, 0
+            call body
+            debug
+        body:
+        top:
+            add %d2, %d0
+            addi %d0, %d0, -1
+            jnz %d0, top
+            ret
+        ",
+        );
+    }
+
+    #[test]
+    fn naive_mode_faults_identically() {
+        let elf = assemble(".text\n_start: ji %a0\n").unwrap();
+        for mode in [DispatchMode::Predecoded, DispatchMode::Naive] {
+            let mut sim = Simulator::new(&elf).unwrap();
+            sim.set_dispatch(mode);
+            sim.cpu.set_a(0, 0x1234_0000);
+            sim.step().unwrap();
+            assert!(matches!(
+                sim.step(),
+                Err(SimError::PcInvalid { pc: 0x1234_0000 })
+            ));
+        }
+    }
+
+    #[test]
+    fn engine_trait_drives_the_simulator() {
+        let elf = assemble(".text\n_start: mov %d2, 9\nmov %d3, 1\ndebug\n").unwrap();
+        let mut sim = Simulator::new(&elf).unwrap();
+        assert_eq!(
+            sim.run_until(Limit::Retirements(1)).unwrap(),
+            StopCause::LimitReached
+        );
+        assert_eq!(sim.engine_stats().retired, 1);
+        assert_eq!(
+            sim.run_until(Limit::Cycles(u64::MAX)).unwrap(),
+            StopCause::Halted
+        );
+        assert_eq!(sim.read_reg_index(2), 9, "flat index 2 = d2");
+
+        sim.write_reg_index(16, 0x77);
+        assert_eq!(sim.cpu.a(0), 0x77, "flat index 16 = a0");
+
+        let before = sim.engine_stats();
+        sim.reset();
+        assert_eq!(sim.cycle(), 0);
+        assert!(!sim.is_halted());
+        assert!(before.cycles > 0);
+        assert_eq!(
+            sim.run_until(Limit::Cycles(u64::MAX)).unwrap(),
+            StopCause::Halted
+        );
+        assert_eq!(
+            sim.engine_stats(),
+            before,
+            "reset + rerun reproduces the run"
+        );
     }
 }

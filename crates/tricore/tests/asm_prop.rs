@@ -1,11 +1,13 @@
-//! Property tests for the assembler: generated straight-line programs
-//! must assemble, decode back to the intended instruction sequence, and
-//! execute on the golden model without faulting.
+//! Randomized property tests for the assembler: generated
+//! straight-line programs must assemble, decode back to the intended
+//! instruction sequence, and execute on the golden model without
+//! faulting. Cases come from the workspace's deterministic PRNG
+//! (the `proptest` crate is unavailable in the offline build).
 
+use cabt_isa::rng::Pcg32;
 use cabt_tricore::asm::assemble;
 use cabt_tricore::encode::decode_section;
 use cabt_tricore::isa::Instr;
-use proptest::prelude::*;
 use std::fmt::Write as _;
 
 /// One line of straight-line assembly plus the instruction it must
@@ -16,54 +18,83 @@ struct Line {
     check: fn(&Instr) -> bool,
 }
 
-fn line() -> impl Strategy<Value = Line> {
-    let dr = 0u8..16;
-    let ar = 0u8..16;
-    prop_oneof![
-        (dr.clone(), -64i32..=63).prop_map(|(d, v)| Line {
-            text: format!("mov %d{d}, {v}"),
-            check: |i| matches!(i, Instr::Mov16 { .. }),
-        }),
-        (dr.clone(), 64i32..32767).prop_map(|(d, v)| Line {
-            text: format!("mov %d{d}, {v}"),
-            check: |i| matches!(i, Instr::Mov { .. }),
-        }),
-        (dr.clone(), 0i32..65536).prop_map(|(d, v)| Line {
-            text: format!("movh %d{d}, {v}"),
-            check: |i| matches!(i, Instr::Movh { .. }),
-        }),
-        (dr.clone(), dr.clone(), dr.clone()).prop_map(|(d, s1, s2)| Line {
-            text: format!("add %d{d}, %d{s1}, %d{s2}"),
-            check: |i| matches!(i, Instr::Bin { .. }),
-        }),
-        (dr.clone(), dr.clone()).prop_map(|(d, s)| Line {
-            text: format!("sub %d{d}, %d{s}"),
-            check: |i| matches!(i, Instr::Sub16 { .. }),
-        }),
-        (dr.clone(), dr.clone(), -256i32..=255).prop_map(|(d, s, v)| Line {
-            text: format!("xor %d{d}, %d{s}, {v}"),
-            check: |i| matches!(i, Instr::BinI { .. }),
-        }),
-        (ar.clone(), ar.clone(), -512i32..=511).prop_map(|(a, b, v)| Line {
-            text: format!("lea %a{a}, [%a{b}]{v}"),
-            check: |i| matches!(i, Instr::Lea { .. }),
-        }),
-        (dr.clone(), dr.clone(), dr.clone(), dr.clone()).prop_map(|(d, a, s1, s2)| Line {
-            text: format!("madd %d{d}, %d{a}, %d{s1}, %d{s2}"),
-            check: |i| matches!(i, Instr::Madd { .. }),
-        }),
-        (dr, 0u8..16).prop_map(|(d, a)| Line {
-            text: format!("mov.a %a{a}, %d{d}"),
-            check: |i| matches!(i, Instr::MovA { .. }),
-        }),
-    ]
+fn line(rng: &mut Pcg32) -> Line {
+    let dr = |rng: &mut Pcg32| rng.random_range(0..16);
+    let ar = |rng: &mut Pcg32| rng.random_range(0..16);
+    match rng.below(9) {
+        0 => {
+            let (d, v) = (dr(rng), rng.random_range(0..128) as i32 - 64);
+            Line {
+                text: format!("mov %d{d}, {v}"),
+                check: |i| matches!(i, Instr::Mov16 { .. }),
+            }
+        }
+        1 => {
+            let (d, v) = (dr(rng), rng.random_range(64..32767));
+            Line {
+                text: format!("mov %d{d}, {v}"),
+                check: |i| matches!(i, Instr::Mov { .. }),
+            }
+        }
+        2 => {
+            let (d, v) = (dr(rng), rng.random_range(0..65536));
+            Line {
+                text: format!("movh %d{d}, {v}"),
+                check: |i| matches!(i, Instr::Movh { .. }),
+            }
+        }
+        3 => {
+            let (d, s1, s2) = (dr(rng), dr(rng), dr(rng));
+            Line {
+                text: format!("add %d{d}, %d{s1}, %d{s2}"),
+                check: |i| matches!(i, Instr::Bin { .. }),
+            }
+        }
+        4 => {
+            let (d, s) = (dr(rng), dr(rng));
+            Line {
+                text: format!("sub %d{d}, %d{s}"),
+                check: |i| matches!(i, Instr::Sub16 { .. }),
+            }
+        }
+        5 => {
+            let (d, s, v) = (dr(rng), dr(rng), rng.random_range(0..512) as i32 - 256);
+            Line {
+                text: format!("xor %d{d}, %d{s}, {v}"),
+                check: |i| matches!(i, Instr::BinI { .. }),
+            }
+        }
+        6 => {
+            let (a, b, v) = (ar(rng), ar(rng), rng.random_range(0..1024) as i32 - 512);
+            Line {
+                text: format!("lea %a{a}, [%a{b}]{v}"),
+                check: |i| matches!(i, Instr::Lea { .. }),
+            }
+        }
+        7 => {
+            let (d, a, s1, s2) = (dr(rng), dr(rng), dr(rng), dr(rng));
+            Line {
+                text: format!("madd %d{d}, %d{a}, %d{s1}, %d{s2}"),
+                check: |i| matches!(i, Instr::Madd { .. }),
+            }
+        }
+        _ => {
+            let (d, a) = (dr(rng), ar(rng));
+            Line {
+                text: format!("mov.a %a{a}, %d{d}"),
+                check: |i| matches!(i, Instr::MovA { .. }),
+            }
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn straightline_programs_assemble_and_decode(lines in proptest::collection::vec(line(), 1..40)) {
+#[test]
+fn straightline_programs_assemble_and_decode() {
+    let mut rng = Pcg32::seed_from_u64(0x0a51);
+    for _ in 0..96 {
+        let lines: Vec<Line> = (0..rng.random_range(1..40))
+            .map(|_| line(&mut rng))
+            .collect();
         let mut src = String::from(".text\n_start:\n");
         for l in &lines {
             let _ = writeln!(src, "    {}", l.text);
@@ -73,48 +104,51 @@ proptest! {
         let elf = assemble(&src).expect("assembles");
         let text = elf.section(".text").expect("text section");
         let decoded = decode_section(text.addr, &text.data).expect("decodes");
-        prop_assert_eq!(decoded.len(), lines.len() + 1);
+        assert_eq!(decoded.len(), lines.len() + 1);
         for (ir, l) in decoded.iter().zip(&lines) {
-            prop_assert!((l.check)(&ir.1), "`{}` decoded to `{}`", l.text, ir.1);
+            assert!((l.check)(&ir.1), "`{}` decoded to `{}`", l.text, ir.1);
         }
 
         // Instruction addresses must be contiguous per encoded sizes.
         let mut expect = text.addr;
         for (addr, i) in &decoded {
-            prop_assert_eq!(*addr, expect);
+            assert_eq!(*addr, expect);
             expect += i.size();
         }
 
         // The program must run to the halt on the golden model.
         let mut sim = cabt_tricore::sim::Simulator::new(&elf).expect("loads");
         let stats = sim.run(10_000).expect("halts");
-        prop_assert_eq!(stats.instructions as usize, lines.len() + 1);
+        assert_eq!(stats.instructions as usize, lines.len() + 1);
     }
+}
 
-    #[test]
-    fn assembled_cycles_match_translated_generation(seeds in proptest::collection::vec(0u32..100, 2..12)) {
-        // Random dependent ALU chain: translation at the static level
-        // generates exactly the golden cycle count for one block
-        // (cache disabled on the reference side).
-        let mut src = String::from(".text\n_start:\n    mov %d1, 7\n");
-        for s in &seeds {
-            let _ = writeln!(src, "    add %d1, %d1, {}", s % 128);
-            let _ = writeln!(src, "    xor %d2, %d1, %d2");
+#[test]
+fn assembled_programs_run_identically_in_both_dispatch_modes() {
+    // The same generated programs, executed by the pre-decoded and the
+    // naive dispatch core: every architectural observable must match.
+    use cabt_tricore::sim::{DispatchMode, Simulator};
+    let mut rng = Pcg32::seed_from_u64(0x0a52);
+    for _ in 0..48 {
+        let lines: Vec<Line> = (0..rng.random_range(1..40))
+            .map(|_| line(&mut rng))
+            .collect();
+        let mut src = String::from(".text\n_start:\n");
+        for l in &lines {
+            let _ = writeln!(src, "    {}", l.text);
         }
         src.push_str("    debug\n");
         let elf = assemble(&src).expect("assembles");
 
-        let mut gold = cabt_tricore::sim::Simulator::new(&elf).expect("loads");
-        gold.disable_icache();
-        let gstats = gold.run(100_000).expect("halts");
-
-        let t = cabt_core::Translator::new(cabt_core::DetailLevel::Static)
-            .translate(&elf)
-            .expect("translates");
-        let mut p =
-            cabt_platform::Platform::new(&t, cabt_platform::PlatformConfig::unlimited())
-                .expect("builds");
-        let stats = p.run(10_000_000).expect("halts");
-        prop_assert_eq!(stats.total_generated(), gstats.cycles);
+        let mut fast = Simulator::new(&elf).expect("loads");
+        let mut naive = Simulator::new(&elf).expect("loads");
+        naive.set_dispatch(DispatchMode::Naive);
+        let sf = fast.run(10_000).expect("halts");
+        let sn = naive.run(10_000).expect("halts");
+        assert_eq!(sf, sn, "stats diverged");
+        for i in 0..16 {
+            assert_eq!(fast.cpu.d(i), naive.cpu.d(i), "d{i}");
+            assert_eq!(fast.cpu.a(i), naive.cpu.a(i), "a{i}");
+        }
     }
 }

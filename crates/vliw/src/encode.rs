@@ -58,10 +58,26 @@ fn op_num(op: &Op) -> u32 {
         Op::Mv { .. } => 21,
         Op::Mvk { .. } => 22,
         Op::Mvkh { .. } => 23,
-        Op::Ld { w: Width::B, unsigned: false, .. } => 24,
-        Op::Ld { w: Width::B, unsigned: true, .. } => 25,
-        Op::Ld { w: Width::H, unsigned: false, .. } => 26,
-        Op::Ld { w: Width::H, unsigned: true, .. } => 27,
+        Op::Ld {
+            w: Width::B,
+            unsigned: false,
+            ..
+        } => 24,
+        Op::Ld {
+            w: Width::B,
+            unsigned: true,
+            ..
+        } => 25,
+        Op::Ld {
+            w: Width::H,
+            unsigned: false,
+            ..
+        } => 26,
+        Op::Ld {
+            w: Width::H,
+            unsigned: true,
+            ..
+        } => 27,
         Op::Ld { w: Width::W, .. } => 28,
         Op::St { w: Width::B, .. } => 29,
         Op::St { w: Width::H, .. } => 30,
@@ -77,7 +93,10 @@ fn pred_num(p: Option<Pred>) -> u32 {
     match p {
         None => 0,
         Some(p) => {
-            let i = PRED_REGS.iter().position(|&r| r == p.reg).expect("validated predicate");
+            let i = PRED_REGS
+                .iter()
+                .position(|&r| r == p.reg)
+                .expect("validated predicate");
             1 + (i as u32) * 2 + (p.negated as u32)
         }
     }
@@ -89,13 +108,19 @@ fn pred_from(n: u32) -> Option<Option<Pred>> {
     }
     let n = n - 1;
     let reg = *PRED_REGS.get((n / 2) as usize)?;
-    Some(Some(Pred { reg, negated: n % 2 == 1 }))
+    Some(Some(Pred {
+        reg,
+        negated: n % 2 == 1,
+    }))
 }
 
 /// Encodes one slot into its two words.
 fn encode_slot(slot: &Slot, p_bit: bool) -> [u32; 2] {
     let (d, s1, s2, imm) = fields(&slot.op);
-    let unit = Unit::ALL.iter().position(|&u| u == slot.unit).expect("unit listed") as u32;
+    let unit = Unit::ALL
+        .iter()
+        .position(|&u| u == slot.unit)
+        .expect("unit listed") as u32;
     let w0 = (p_bit as u32)
         | (op_num(&slot.op) << 1)
         | (pred_num(slot.pred) << 7)
@@ -182,8 +207,12 @@ pub fn decode_program(base: u32, bytes: &[u8]) -> Result<Vec<Packet>, DecodeErro
             return Err(DecodeError { offset: off });
         }
         let w0 = u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]]);
-        let imm =
-            u32::from_le_bytes([bytes[off + 4], bytes[off + 5], bytes[off + 6], bytes[off + 7]]);
+        let imm = u32::from_le_bytes([
+            bytes[off + 4],
+            bytes[off + 5],
+            bytes[off + 6],
+            bytes[off + 7],
+        ]);
         let p_bit = w0 & 1 != 0;
         let slot = decode_slot(w0, imm).ok_or(DecodeError { offset: off })?;
         let addr = base + off as u32;
@@ -196,7 +225,9 @@ pub fn decode_program(base: u32, bytes: &[u8]) -> Result<Vec<Packet>, DecodeErro
     }
     if current.is_some() {
         // p-bit chain ran off the end of the image.
-        return Err(DecodeError { offset: bytes.len() });
+        return Err(DecodeError {
+            offset: bytes.len(),
+        });
     }
     Ok(packets)
 }
@@ -219,13 +250,29 @@ fn decode_slot(w0: u32, imm: u32) -> Option<Slot> {
         3 => r3(|d, s1, s2| Op::And { d, s1, s2 })?,
         4 => r3(|d, s1, s2| Op::Or { d, s1, s2 })?,
         5 => r3(|d, s1, s2| Op::Xor { d, s1, s2 })?,
-        6 => Op::AddI { d, s1, imm5: imm as i32 as i8 },
+        6 => Op::AddI {
+            d,
+            s1,
+            imm5: imm as i32 as i8,
+        },
         7 => r3(|d, s1, s2| Op::Shl { d, s1, s2 })?,
         8 => r3(|d, s1, s2| Op::Shr { d, s1, s2 })?,
         9 => r3(|d, s1, s2| Op::Shru { d, s1, s2 })?,
-        10 => Op::ShlI { d, s1, imm5: imm as u8 },
-        11 => Op::ShrI { d, s1, imm5: imm as u8 },
-        12 => Op::ShruI { d, s1, imm5: imm as u8 },
+        10 => Op::ShlI {
+            d,
+            s1,
+            imm5: imm as u8,
+        },
+        11 => Op::ShrI {
+            d,
+            s1,
+            imm5: imm as u8,
+        },
+        12 => Op::ShruI {
+            d,
+            s1,
+            imm5: imm as u8,
+        },
         13 => r3(|d, s1, s2| Op::Mpy { d, s1, s2 })?,
         14 => r3(|d, s1, s2| Op::Div { d, s1, s2 })?,
         15 => r3(|d, s1, s2| Op::Rem { d, s1, s2 })?,
@@ -235,16 +282,67 @@ fn decode_slot(w0: u32, imm: u32) -> Option<Slot> {
         19 => r3(|d, s1, s2| Op::CmpLt { d, s1, s2 })?,
         20 => r3(|d, s1, s2| Op::CmpLtU { d, s1, s2 })?,
         21 => Op::Mv { d, s: s1 },
-        22 => Op::Mvk { d, imm16: imm as i32 as i16 },
-        23 => Op::Mvkh { d, imm16: imm as u16 },
-        24 => Op::Ld { w: Width::B, unsigned: false, d, base: s1, woff: imm as i32 as i16 },
-        25 => Op::Ld { w: Width::B, unsigned: true, d, base: s1, woff: imm as i32 as i16 },
-        26 => Op::Ld { w: Width::H, unsigned: false, d, base: s1, woff: imm as i32 as i16 },
-        27 => Op::Ld { w: Width::H, unsigned: true, d, base: s1, woff: imm as i32 as i16 },
-        28 => Op::Ld { w: Width::W, unsigned: false, d, base: s1, woff: imm as i32 as i16 },
-        29 => Op::St { w: Width::B, s: s1, base: s2, woff: imm as i32 as i16 },
-        30 => Op::St { w: Width::H, s: s1, base: s2, woff: imm as i32 as i16 },
-        31 => Op::St { w: Width::W, s: s1, base: s2, woff: imm as i32 as i16 },
+        22 => Op::Mvk {
+            d,
+            imm16: imm as i32 as i16,
+        },
+        23 => Op::Mvkh {
+            d,
+            imm16: imm as u16,
+        },
+        24 => Op::Ld {
+            w: Width::B,
+            unsigned: false,
+            d,
+            base: s1,
+            woff: imm as i32 as i16,
+        },
+        25 => Op::Ld {
+            w: Width::B,
+            unsigned: true,
+            d,
+            base: s1,
+            woff: imm as i32 as i16,
+        },
+        26 => Op::Ld {
+            w: Width::H,
+            unsigned: false,
+            d,
+            base: s1,
+            woff: imm as i32 as i16,
+        },
+        27 => Op::Ld {
+            w: Width::H,
+            unsigned: true,
+            d,
+            base: s1,
+            woff: imm as i32 as i16,
+        },
+        28 => Op::Ld {
+            w: Width::W,
+            unsigned: false,
+            d,
+            base: s1,
+            woff: imm as i32 as i16,
+        },
+        29 => Op::St {
+            w: Width::B,
+            s: s1,
+            base: s2,
+            woff: imm as i32 as i16,
+        },
+        30 => Op::St {
+            w: Width::H,
+            s: s1,
+            base: s2,
+            woff: imm as i32 as i16,
+        },
+        31 => Op::St {
+            w: Width::W,
+            s: s1,
+            base: s2,
+            woff: imm as i32 as i16,
+        },
         32 => Op::B { disp21: imm as i32 },
         33 => Op::BReg { s: s1 },
         34 => Op::Nop { count: imm as u8 },
@@ -260,19 +358,41 @@ mod tests {
 
     fn sample_program() -> Vec<Packet> {
         let mut p0 = Packet::at(0x1000);
-        p0.push(Slot::new(Unit::S1, Op::Mvk { d: Reg::a(3), imm16: -7 })).unwrap();
-        p0.push(Slot::new(Unit::L1, Op::Add { d: Reg::a(4), s1: Reg::a(5), s2: Reg::a(6) }))
-            .unwrap();
-        p0.push(Slot::new(Unit::D2, Op::Ld {
-            w: Width::W,
-            unsigned: false,
-            d: Reg::b(1),
-            base: Reg::b(2),
-            woff: -3,
-        }))
+        p0.push(Slot::new(
+            Unit::S1,
+            Op::Mvk {
+                d: Reg::a(3),
+                imm16: -7,
+            },
+        ))
+        .unwrap();
+        p0.push(Slot::new(
+            Unit::L1,
+            Op::Add {
+                d: Reg::a(4),
+                s1: Reg::a(5),
+                s2: Reg::a(6),
+            },
+        ))
+        .unwrap();
+        p0.push(Slot::new(
+            Unit::D2,
+            Op::Ld {
+                w: Width::W,
+                unsigned: false,
+                d: Reg::b(1),
+                base: Reg::b(2),
+                woff: -3,
+            },
+        ))
         .unwrap();
         let mut p1 = Packet::at(0x1000 + p0.size());
-        p1.push(Slot::when(Unit::S2, Pred::z(Reg::b(0)), Op::B { disp21: -6 })).unwrap();
+        p1.push(Slot::when(
+            Unit::S2,
+            Pred::z(Reg::b(0)),
+            Op::B { disp21: -6 },
+        ))
+        .unwrap();
         let mut p2 = Packet::at(p1.addr + p1.size());
         p2.push(Slot::new(Unit::S1, Op::Nop { count: 5 })).unwrap();
         let mut p3 = Packet::at(p2.addr + p2.size());
@@ -318,8 +438,15 @@ mod tests {
     #[test]
     fn unterminated_p_chain_fails() {
         let mut p = Packet::at(0);
-        p.push(Slot::new(Unit::L1, Op::Add { d: Reg::a(1), s1: Reg::a(2), s2: Reg::a(3) }))
-            .unwrap();
+        p.push(Slot::new(
+            Unit::L1,
+            Op::Add {
+                d: Reg::a(1),
+                s1: Reg::a(2),
+                s2: Reg::a(3),
+            },
+        ))
+        .unwrap();
         let mut bytes = encode_program(&[p]);
         bytes[0] |= 1; // claim a following slot that is not there
         assert!(decode_program(0, &bytes).is_err());
@@ -340,7 +467,11 @@ mod tests {
                 p.push(Slot::when(
                     Unit::L1,
                     Pred { reg, negated },
-                    Op::Add { d: Reg::a(9), s1: Reg::a(9), s2: Reg::a(9) },
+                    Op::Add {
+                        d: Reg::a(9),
+                        s1: Reg::a(9),
+                        s2: Reg::a(9),
+                    },
                 ))
                 .unwrap();
                 let back = decode_program(0, &encode_program(&[p.clone()])).unwrap();

@@ -79,7 +79,10 @@ pub struct Pred {
 impl Pred {
     /// `[reg]` — execute when non-zero.
     pub fn nz(reg: Reg) -> Self {
-        Pred { reg, negated: false }
+        Pred {
+            reg,
+            negated: false,
+        }
     }
 
     /// `[!reg]` — execute when zero.
@@ -114,8 +117,16 @@ pub enum Unit {
 
 impl Unit {
     /// All eight units, side 1 first.
-    pub const ALL: [Unit; 8] =
-        [Unit::L1, Unit::S1, Unit::M1, Unit::D1, Unit::L2, Unit::S2, Unit::M2, Unit::D2];
+    pub const ALL: [Unit; 8] = [
+        Unit::L1,
+        Unit::S1,
+        Unit::M1,
+        Unit::D1,
+        Unit::L2,
+        Unit::S2,
+        Unit::M2,
+        Unit::D2,
+    ];
 
     /// The unit kind letter (`'L'`, `'S'`, `'M'`, `'D'`).
     pub fn kind(self) -> char {
@@ -164,57 +175,163 @@ impl Width {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Op {
-    Add { d: Reg, s1: Reg, s2: Reg },
-    Sub { d: Reg, s1: Reg, s2: Reg },
-    And { d: Reg, s1: Reg, s2: Reg },
-    Or { d: Reg, s1: Reg, s2: Reg },
-    Xor { d: Reg, s1: Reg, s2: Reg },
+    Add {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
+    Sub {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
+    And {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
+    Or {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
+    Xor {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// Add a 5-bit signed constant.
-    AddI { d: Reg, s1: Reg, imm5: i8 },
+    AddI {
+        d: Reg,
+        s1: Reg,
+        imm5: i8,
+    },
     /// Shift left logical by register.
-    Shl { d: Reg, s1: Reg, s2: Reg },
+    Shl {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// Shift right arithmetic by register.
-    Shr { d: Reg, s1: Reg, s2: Reg },
+    Shr {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// Shift right logical by register.
-    Shru { d: Reg, s1: Reg, s2: Reg },
+    Shru {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// Shift left logical by a 5-bit constant.
-    ShlI { d: Reg, s1: Reg, imm5: u8 },
+    ShlI {
+        d: Reg,
+        s1: Reg,
+        imm5: u8,
+    },
     /// Shift right arithmetic by a 5-bit constant.
-    ShrI { d: Reg, s1: Reg, imm5: u8 },
+    ShrI {
+        d: Reg,
+        s1: Reg,
+        imm5: u8,
+    },
     /// Shift right logical by a 5-bit constant.
-    ShruI { d: Reg, s1: Reg, imm5: u8 },
+    ShruI {
+        d: Reg,
+        s1: Reg,
+        imm5: u8,
+    },
     /// 32×32→32 multiply (M unit, 1 delay slot).
-    Mpy { d: Reg, s1: Reg, s2: Reg },
+    Mpy {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// Iterative signed divide (M unit, multi-cycle; see crate docs).
-    Div { d: Reg, s1: Reg, s2: Reg },
+    Div {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// Iterative signed remainder.
-    Rem { d: Reg, s1: Reg, s2: Reg },
+    Rem {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// `d = (s1 == s2)`.
-    CmpEq { d: Reg, s1: Reg, s2: Reg },
+    CmpEq {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// `d = (s1 > s2)` signed.
-    CmpGt { d: Reg, s1: Reg, s2: Reg },
+    CmpGt {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// `d = (s1 > s2)` unsigned.
-    CmpGtU { d: Reg, s1: Reg, s2: Reg },
+    CmpGtU {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// `d = (s1 < s2)` signed.
-    CmpLt { d: Reg, s1: Reg, s2: Reg },
+    CmpLt {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// `d = (s1 < s2)` unsigned.
-    CmpLtU { d: Reg, s1: Reg, s2: Reg },
+    CmpLtU {
+        d: Reg,
+        s1: Reg,
+        s2: Reg,
+    },
     /// Register move.
-    Mv { d: Reg, s: Reg },
+    Mv {
+        d: Reg,
+        s: Reg,
+    },
     /// Load a sign-extended 16-bit constant.
-    Mvk { d: Reg, imm16: i16 },
+    Mvk {
+        d: Reg,
+        imm16: i16,
+    },
     /// Set the high halfword, keeping the low half.
-    Mvkh { d: Reg, imm16: u16 },
+    Mvkh {
+        d: Reg,
+        imm16: u16,
+    },
     /// Load (4 delay slots). `woff` is scaled by the access width.
-    Ld { w: Width, unsigned: bool, d: Reg, base: Reg, woff: i16 },
+    Ld {
+        w: Width,
+        unsigned: bool,
+        d: Reg,
+        base: Reg,
+        woff: i16,
+    },
     /// Store (takes effect this cycle).
-    St { w: Width, s: Reg, base: Reg, woff: i16 },
+    St {
+        w: Width,
+        s: Reg,
+        base: Reg,
+        woff: i16,
+    },
     /// Relative branch (5 delay slots); target = slot address + `disp*4`.
-    B { disp21: i32 },
+    B {
+        disp21: i32,
+    },
     /// Indirect branch through a register (5 delay slots).
-    BReg { s: Reg },
+    BReg {
+        s: Reg,
+    },
     /// Multi-cycle no-op (1..=9 cycles).
-    Nop { count: u8 },
+    Nop {
+        count: u8,
+    },
     /// Stop the simulation (stands in for the C6x IDLE + host break).
     Halt,
 }
@@ -224,12 +341,24 @@ impl Op {
     /// scheduler preference order).
     pub fn legal_kinds(&self) -> &'static [char] {
         match self {
-            Op::Add { .. } | Op::Sub { .. } | Op::And { .. } | Op::Or { .. } | Op::Xor { .. }
-            | Op::AddI { .. } | Op::Mv { .. } => &['L', 'S', 'D'],
-            Op::CmpEq { .. } | Op::CmpGt { .. } | Op::CmpGtU { .. } | Op::CmpLt { .. }
+            Op::Add { .. }
+            | Op::Sub { .. }
+            | Op::And { .. }
+            | Op::Or { .. }
+            | Op::Xor { .. }
+            | Op::AddI { .. }
+            | Op::Mv { .. } => &['L', 'S', 'D'],
+            Op::CmpEq { .. }
+            | Op::CmpGt { .. }
+            | Op::CmpGtU { .. }
+            | Op::CmpLt { .. }
             | Op::CmpLtU { .. } => &['L'],
-            Op::Shl { .. } | Op::Shr { .. } | Op::Shru { .. } | Op::ShlI { .. }
-            | Op::ShrI { .. } | Op::ShruI { .. } => &['S'],
+            Op::Shl { .. }
+            | Op::Shr { .. }
+            | Op::Shru { .. }
+            | Op::ShlI { .. }
+            | Op::ShrI { .. }
+            | Op::ShruI { .. } => &['S'],
             Op::Mvk { .. } | Op::Mvkh { .. } | Op::B { .. } | Op::BReg { .. } | Op::Halt => &['S'],
             Op::Mpy { .. } | Op::Div { .. } | Op::Rem { .. } => &['M'],
             Op::Ld { .. } | Op::St { .. } => &['D'],
@@ -252,13 +381,30 @@ impl Op {
     /// Destination register, if any.
     pub fn dest(&self) -> Option<Reg> {
         match *self {
-            Op::Add { d, .. } | Op::Sub { d, .. } | Op::And { d, .. } | Op::Or { d, .. }
-            | Op::Xor { d, .. } | Op::AddI { d, .. } | Op::Shl { d, .. } | Op::Shr { d, .. }
-            | Op::Shru { d, .. } | Op::ShlI { d, .. } | Op::ShrI { d, .. }
-            | Op::ShruI { d, .. } | Op::Mpy { d, .. } | Op::Div { d, .. } | Op::Rem { d, .. }
-            | Op::CmpEq { d, .. } | Op::CmpGt { d, .. } | Op::CmpGtU { d, .. }
-            | Op::CmpLt { d, .. } | Op::CmpLtU { d, .. } | Op::Mv { d, .. }
-            | Op::Mvk { d, .. } | Op::Mvkh { d, .. } | Op::Ld { d, .. } => Some(d),
+            Op::Add { d, .. }
+            | Op::Sub { d, .. }
+            | Op::And { d, .. }
+            | Op::Or { d, .. }
+            | Op::Xor { d, .. }
+            | Op::AddI { d, .. }
+            | Op::Shl { d, .. }
+            | Op::Shr { d, .. }
+            | Op::Shru { d, .. }
+            | Op::ShlI { d, .. }
+            | Op::ShrI { d, .. }
+            | Op::ShruI { d, .. }
+            | Op::Mpy { d, .. }
+            | Op::Div { d, .. }
+            | Op::Rem { d, .. }
+            | Op::CmpEq { d, .. }
+            | Op::CmpGt { d, .. }
+            | Op::CmpGtU { d, .. }
+            | Op::CmpLt { d, .. }
+            | Op::CmpLtU { d, .. }
+            | Op::Mv { d, .. }
+            | Op::Mvk { d, .. }
+            | Op::Mvkh { d, .. }
+            | Op::Ld { d, .. } => Some(d),
             _ => None,
         }
     }
@@ -266,13 +412,25 @@ impl Op {
     /// Source registers.
     pub fn sources(&self) -> Vec<Reg> {
         match *self {
-            Op::Add { s1, s2, .. } | Op::Sub { s1, s2, .. } | Op::And { s1, s2, .. }
-            | Op::Or { s1, s2, .. } | Op::Xor { s1, s2, .. } | Op::Shl { s1, s2, .. }
-            | Op::Shr { s1, s2, .. } | Op::Shru { s1, s2, .. } | Op::Mpy { s1, s2, .. }
-            | Op::Div { s1, s2, .. } | Op::Rem { s1, s2, .. } | Op::CmpEq { s1, s2, .. }
-            | Op::CmpGt { s1, s2, .. } | Op::CmpGtU { s1, s2, .. } | Op::CmpLt { s1, s2, .. }
+            Op::Add { s1, s2, .. }
+            | Op::Sub { s1, s2, .. }
+            | Op::And { s1, s2, .. }
+            | Op::Or { s1, s2, .. }
+            | Op::Xor { s1, s2, .. }
+            | Op::Shl { s1, s2, .. }
+            | Op::Shr { s1, s2, .. }
+            | Op::Shru { s1, s2, .. }
+            | Op::Mpy { s1, s2, .. }
+            | Op::Div { s1, s2, .. }
+            | Op::Rem { s1, s2, .. }
+            | Op::CmpEq { s1, s2, .. }
+            | Op::CmpGt { s1, s2, .. }
+            | Op::CmpGtU { s1, s2, .. }
+            | Op::CmpLt { s1, s2, .. }
             | Op::CmpLtU { s1, s2, .. } => vec![s1, s2],
-            Op::AddI { s1, .. } | Op::ShlI { s1, .. } | Op::ShrI { s1, .. }
+            Op::AddI { s1, .. }
+            | Op::ShlI { s1, .. }
+            | Op::ShrI { s1, .. }
             | Op::ShruI { s1, .. } => vec![s1],
             Op::Mv { s, .. } | Op::BReg { s } => vec![s],
             // Mvkh reads the destination's low half.
@@ -310,7 +468,13 @@ impl fmt::Display for Op {
             Op::Mv { d, s } => write!(f, "MV {s}, {d}"),
             Op::Mvk { d, imm16 } => write!(f, "MVK {imm16}, {d}"),
             Op::Mvkh { d, imm16 } => write!(f, "MVKH {:#x}, {d}", imm16),
-            Op::Ld { w, unsigned, d, base, woff } => {
+            Op::Ld {
+                w,
+                unsigned,
+                d,
+                base,
+                woff,
+            } => {
                 let u = if unsigned { "U" } else { "" };
                 let wch = match w {
                     Width::B => "B",
@@ -386,12 +550,20 @@ pub struct Slot {
 impl Slot {
     /// An unpredicated slot.
     pub fn new(unit: Unit, op: Op) -> Self {
-        Slot { unit, pred: None, op }
+        Slot {
+            unit,
+            pred: None,
+            op,
+        }
     }
 
     /// A predicated slot.
     pub fn when(unit: Unit, pred: Pred, op: Op) -> Self {
-        Slot { unit, pred: Some(pred), op }
+        Slot {
+            unit,
+            pred: Some(pred),
+            op,
+        }
     }
 }
 
@@ -415,7 +587,10 @@ pub struct Packet {
 impl Packet {
     /// An empty packet at `addr`.
     pub fn at(addr: u32) -> Self {
-        Packet { addr, slots: Vec::new() }
+        Packet {
+            addr,
+            slots: Vec::new(),
+        }
     }
 
     /// The slots in issue order.
@@ -445,14 +620,21 @@ impl Packet {
             return Err(PacketError::UnitTaken(slot.unit));
         }
         if !slot.op.legal_kinds().contains(&slot.unit.kind()) {
-            return Err(PacketError::WrongUnit { unit: slot.unit, op: slot.op.to_string() });
+            return Err(PacketError::WrongUnit {
+                unit: slot.unit,
+                op: slot.op.to_string(),
+            });
         }
         if let Op::Nop { count } = slot.op {
             if count > 1 && !self.slots.is_empty() {
                 return Err(PacketError::NopNotAlone);
             }
         }
-        if self.slots.iter().any(|s| matches!(s.op, Op::Nop { count } if count > 1)) {
+        if self
+            .slots
+            .iter()
+            .any(|s| matches!(s.op, Op::Nop { count } if count > 1))
+        {
             return Err(PacketError::NopNotAlone);
         }
         if let Some(p) = slot.pred {
@@ -468,7 +650,10 @@ impl Packet {
     /// occupy several).
     pub fn issue_cycles(&self) -> u32 {
         match self.slots.first() {
-            Some(Slot { op: Op::Nop { count }, .. }) if self.slots.len() == 1 => *count as u32,
+            Some(Slot {
+                op: Op::Nop { count },
+                ..
+            }) if self.slots.len() == 1 => *count as u32,
             _ => 1,
         }
     }
@@ -510,30 +695,62 @@ mod tests {
     #[test]
     fn packet_rejects_unit_conflicts() {
         let mut p = Packet::at(0);
-        p.push(Slot::new(Unit::L1, Op::Add { d: Reg::a(1), s1: Reg::a(2), s2: Reg::a(3) }))
-            .unwrap();
+        p.push(Slot::new(
+            Unit::L1,
+            Op::Add {
+                d: Reg::a(1),
+                s1: Reg::a(2),
+                s2: Reg::a(3),
+            },
+        ))
+        .unwrap();
         let e = p
-            .push(Slot::new(Unit::L1, Op::Add { d: Reg::a(4), s1: Reg::a(5), s2: Reg::a(6) }))
+            .push(Slot::new(
+                Unit::L1,
+                Op::Add {
+                    d: Reg::a(4),
+                    s1: Reg::a(5),
+                    s2: Reg::a(6),
+                },
+            ))
             .unwrap_err();
         assert_eq!(e, PacketError::UnitTaken(Unit::L1));
         // Other side is fine.
-        p.push(Slot::new(Unit::L2, Op::Add { d: Reg::b(4), s1: Reg::b(5), s2: Reg::b(6) }))
-            .unwrap();
+        p.push(Slot::new(
+            Unit::L2,
+            Op::Add {
+                d: Reg::b(4),
+                s1: Reg::b(5),
+                s2: Reg::b(6),
+            },
+        ))
+        .unwrap();
     }
 
     #[test]
     fn packet_rejects_wrong_unit() {
         let mut p = Packet::at(0);
-        let e = p.push(Slot::new(Unit::L1, Op::Mvk { d: Reg::a(1), imm16: 3 })).unwrap_err();
+        let e = p
+            .push(Slot::new(
+                Unit::L1,
+                Op::Mvk {
+                    d: Reg::a(1),
+                    imm16: 3,
+                },
+            ))
+            .unwrap_err();
         assert!(matches!(e, PacketError::WrongUnit { .. }));
         let e = p
-            .push(Slot::new(Unit::S1, Op::Ld {
-                w: Width::W,
-                unsigned: false,
-                d: Reg::a(1),
-                base: Reg::b(1),
-                woff: 0,
-            }))
+            .push(Slot::new(
+                Unit::S1,
+                Op::Ld {
+                    w: Width::W,
+                    unsigned: false,
+                    d: Reg::a(1),
+                    base: Reg::b(1),
+                    woff: 0,
+                },
+            ))
             .unwrap_err();
         assert!(matches!(e, PacketError::WrongUnit { .. }));
     }
@@ -543,16 +760,37 @@ mod tests {
         let mut p = Packet::at(0);
         for u in Unit::ALL {
             let op = match u.kind() {
-                'M' => Op::Mpy { d: Reg::a(1), s1: Reg::a(2), s2: Reg::a(3) },
-                'D' => Op::Add { d: Reg::a(4), s1: Reg::a(5), s2: Reg::a(6) },
-                'S' => Op::Mvk { d: Reg::a(7), imm16: 0 },
-                _ => Op::Add { d: Reg::a(8), s1: Reg::a(9), s2: Reg::a(10) },
+                'M' => Op::Mpy {
+                    d: Reg::a(1),
+                    s1: Reg::a(2),
+                    s2: Reg::a(3),
+                },
+                'D' => Op::Add {
+                    d: Reg::a(4),
+                    s1: Reg::a(5),
+                    s2: Reg::a(6),
+                },
+                'S' => Op::Mvk {
+                    d: Reg::a(7),
+                    imm16: 0,
+                },
+                _ => Op::Add {
+                    d: Reg::a(8),
+                    s1: Reg::a(9),
+                    s2: Reg::a(10),
+                },
             };
             p.push(Slot::new(u, op)).unwrap();
         }
         assert_eq!(p.slots().len(), 8);
-        let e =
-            p.push(Slot::new(Unit::L1, Op::Add { d: Reg::a(0), s1: Reg::a(0), s2: Reg::a(0) }));
+        let e = p.push(Slot::new(
+            Unit::L1,
+            Op::Add {
+                d: Reg::a(0),
+                s1: Reg::a(0),
+                s2: Reg::a(0),
+            },
+        ));
         assert_eq!(e, Err(PacketError::Full));
     }
 
@@ -563,8 +801,15 @@ mod tests {
         assert!(p.push(Slot::new(Unit::L1, Op::Nop { count: 1 })).is_err());
         assert_eq!(p.issue_cycles(), 5);
         let mut q = Packet::at(0);
-        q.push(Slot::new(Unit::L1, Op::Add { d: Reg::a(1), s1: Reg::a(2), s2: Reg::a(3) }))
-            .unwrap();
+        q.push(Slot::new(
+            Unit::L1,
+            Op::Add {
+                d: Reg::a(1),
+                s1: Reg::a(2),
+                s2: Reg::a(3),
+            },
+        ))
+        .unwrap();
         assert!(q.push(Slot::new(Unit::S1, Op::Nop { count: 2 })).is_err());
         assert_eq!(q.issue_cycles(), 1);
     }
@@ -575,23 +820,39 @@ mod tests {
         p.push(Slot::when(
             Unit::L1,
             Pred::nz(Reg::a(1)),
-            Op::Add { d: Reg::a(4), s1: Reg::a(5), s2: Reg::a(6) },
+            Op::Add {
+                d: Reg::a(4),
+                s1: Reg::a(5),
+                s2: Reg::a(6),
+            },
         ))
         .unwrap();
         let e = p.push(Slot::when(
             Unit::L2,
             Pred::z(Reg::b(9)),
-            Op::Add { d: Reg::b(4), s1: Reg::b(5), s2: Reg::b(6) },
+            Op::Add {
+                d: Reg::b(4),
+                s1: Reg::b(5),
+                s2: Reg::b(6),
+            },
         ));
         assert_eq!(e, Err(PacketError::BadPredicate(Reg::b(9))));
     }
 
     #[test]
     fn sources_and_dest() {
-        let op = Op::St { w: Width::W, s: Reg::a(1), base: Reg::b(2), woff: 3 };
+        let op = Op::St {
+            w: Width::W,
+            s: Reg::a(1),
+            base: Reg::b(2),
+            woff: 3,
+        };
         assert_eq!(op.dest(), None);
         assert_eq!(op.sources(), vec![Reg::a(1), Reg::b(2)]);
-        let op = Op::Mvkh { d: Reg::a(1), imm16: 0xdead };
+        let op = Op::Mvkh {
+            d: Reg::a(1),
+            imm16: 0xdead,
+        };
         assert_eq!(op.dest(), Some(Reg::a(1)));
         assert_eq!(op.sources(), vec![Reg::a(1)], "MVKH reads its low half");
     }
@@ -600,20 +861,54 @@ mod tests {
     fn delay_slots_follow_c6x() {
         assert_eq!(Op::B { disp21: 0 }.delay_slots(), 5);
         assert_eq!(
-            Op::Ld { w: Width::W, unsigned: false, d: Reg::a(0), base: Reg::b(0), woff: 0 }
-                .delay_slots(),
+            Op::Ld {
+                w: Width::W,
+                unsigned: false,
+                d: Reg::a(0),
+                base: Reg::b(0),
+                woff: 0
+            }
+            .delay_slots(),
             4
         );
-        assert_eq!(Op::Mpy { d: Reg::a(0), s1: Reg::a(0), s2: Reg::a(0) }.delay_slots(), 1);
-        assert_eq!(Op::Add { d: Reg::a(0), s1: Reg::a(0), s2: Reg::a(0) }.delay_slots(), 0);
+        assert_eq!(
+            Op::Mpy {
+                d: Reg::a(0),
+                s1: Reg::a(0),
+                s2: Reg::a(0)
+            }
+            .delay_slots(),
+            1
+        );
+        assert_eq!(
+            Op::Add {
+                d: Reg::a(0),
+                s1: Reg::a(0),
+                s2: Reg::a(0)
+            }
+            .delay_slots(),
+            0
+        );
     }
 
     #[test]
     fn display_packet() {
         let mut p = Packet::at(0x100);
-        p.push(Slot::new(Unit::L1, Op::Add { d: Reg::a(1), s1: Reg::a(2), s2: Reg::a(3) }))
-            .unwrap();
-        p.push(Slot::when(Unit::S1, Pred::z(Reg::b(0)), Op::B { disp21: -2 })).unwrap();
+        p.push(Slot::new(
+            Unit::L1,
+            Op::Add {
+                d: Reg::a(1),
+                s1: Reg::a(2),
+                s2: Reg::a(3),
+            },
+        ))
+        .unwrap();
+        p.push(Slot::when(
+            Unit::S1,
+            Pred::z(Reg::b(0)),
+            Op::B { disp21: -2 },
+        ))
+        .unwrap();
         let s = p.to_string();
         assert!(s.contains("ADD A2, A3, A1"));
         assert!(s.contains("|| [!B0] B -8"));

@@ -7,8 +7,26 @@
 //! slots, and stall cycles injected by memory-mapped devices through
 //! [`TargetBus`] — which is how the platform's synchronization device
 //! makes a "wait for end of cycle generation" read block.
+//!
+//! # Dispatch modes
+//!
+//! Like the golden model, the VLIW core has two dispatch paths selected
+//! by [`VliwDispatch`]:
+//!
+//! * [`VliwDispatch::Predecoded`] (default) flattens the packet list
+//!   once at load into a slot arena with precomputed slot addresses,
+//!   issue costs and resolved branch-target *packet indices*; the hot
+//!   loop dispatches by index, copies `Copy` slots out of the arena and
+//!   reuses one staging buffer — no per-packet clone, no linear scans,
+//!   no address hashing on the fall-through path.
+//! * [`VliwDispatch::Naive`] is the retained seed interpreter (clone
+//!   the packet, scan for slot positions, hash branch targets), kept as
+//!   the reference half of the differential tests.
+//!
+//! Both paths are cycle- and state-identical.
 
 use crate::isa::{Op, Packet, Reg, Slot, Width};
+use cabt_exec::{EngineStats, ExecutionEngine};
 use cabt_isa::mem::Memory;
 use cabt_isa::IsaError;
 use std::collections::HashMap;
@@ -55,7 +73,10 @@ impl fmt::Display for VliwError {
         match self {
             VliwError::BadPc { addr } => write!(f, "branch to non-packet address {addr:#010x}"),
             VliwError::OverlappingBranches { cycle } => {
-                write!(f, "branch issued inside another branch shadow at cycle {cycle}")
+                write!(
+                    f,
+                    "branch issued inside another branch shadow at cycle {cycle}"
+                )
             }
             VliwError::Mem(e) => write!(f, "memory fault: {e}"),
             VliwError::CycleLimit => write!(f, "cycle limit exceeded"),
@@ -85,18 +106,72 @@ pub struct VliwStats {
     pub stall_cycles: u64,
 }
 
+/// Which dispatch core [`VliwSim::step_packet`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VliwDispatch {
+    /// Decode-once flattened-arena dispatch.
+    #[default]
+    Predecoded,
+    /// The retained seed interpreter (per-packet clone and scans).
+    Naive,
+}
+
+/// Sentinel for "no packet index".
+const NO_IDX: u32 = u32::MAX;
+
+/// Pre-decoded per-packet record: issue cost plus the slice of the slot
+/// arena this packet owns.
+#[derive(Debug, Clone, Copy)]
+struct PrePacket {
+    issue: u32,
+    first_slot: u32,
+    nslots: u32,
+}
+
+/// Pre-decoded slot: the (Copy) slot plus its address and, for static
+/// branches, the resolved destination packet index.
+#[derive(Debug, Clone, Copy)]
+struct PreSlot {
+    slot: Slot,
+    /// Target-space address of this slot (packet base + 8·position).
+    slot_addr: u32,
+    /// Destination packet index for `B` (NO_IDX when unresolved or not
+    /// a static branch).
+    b_idx: u32,
+    /// Cached [`Op::delay_slots`] of the slot's operation.
+    delay: u32,
+}
+
 /// The VLIW target simulator. See the crate docs for an example.
 pub struct VliwSim {
     regs: [u32; 64],
     /// Target data memory.
     pub mem: Memory,
+    /// Pristine copy of `mem` captured by [`VliwSim::seal_reset_image`]
+    /// (loaders call it once the image is placed); restored on
+    /// [`ExecutionEngine::reset`] so reruns are reproducible.
+    mem_image: Option<Memory>,
     program: Vec<Packet>,
     index: HashMap<u32, usize>,
+    /// Pre-decoded packet table, parallel to `program`.
+    pre: Vec<PrePacket>,
+    /// Flattened slot arena for the pre-decoded path.
+    pre_slots: Vec<PreSlot>,
     pc: usize,
     cycle: u64,
     pending_writes: Vec<(u64, Reg, u32)>,
+    /// Earliest due cycle in `pending_writes` (`u64::MAX` when empty);
+    /// lets the pre-decoded core skip retirement entirely while loads
+    /// and multiplies are still in flight.
+    next_due: u64,
     /// `(remaining issue slots, target address)`.
     pending_branch: Option<(i64, u32)>,
+    /// Resolved packet index of the pending branch target (NO_IDX when
+    /// it must be looked up at redirect time).
+    pending_branch_idx: u32,
+    /// Reused staging buffer for the pre-decoded path.
+    scratch: Vec<(u64, Reg, u32)>,
+    mode: VliwDispatch,
     bus: Option<Box<dyn TargetBus>>,
     stats: VliwStats,
     halted: bool,
@@ -107,6 +182,7 @@ impl fmt::Debug for VliwSim {
         f.debug_struct("VliwSim")
             .field("pc", &self.pc)
             .field("cycle", &self.cycle)
+            .field("mode", &self.mode)
             .field("halted", &self.halted)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
@@ -115,7 +191,8 @@ impl fmt::Debug for VliwSim {
 
 impl VliwSim {
     /// Builds a simulator over a packet list. Packet addresses index the
-    /// branch-target map.
+    /// branch-target map; static branch targets are resolved to packet
+    /// indices once, here.
     ///
     /// # Errors
     ///
@@ -127,19 +204,60 @@ impl VliwSim {
                 return Err(VliwError::BadPc { addr: p.addr });
             }
         }
+        let mut pre = Vec::with_capacity(program.len());
+        let mut pre_slots = Vec::new();
+        for p in &program {
+            let first_slot = pre_slots.len() as u32;
+            for (pos, s) in p.slots().iter().enumerate() {
+                let slot_addr = p.addr + 8 * pos as u32;
+                let b_idx = match s.op {
+                    Op::B { disp21 } => {
+                        let dest = slot_addr.wrapping_add((disp21 as u32).wrapping_mul(4));
+                        index.get(&dest).map(|&i| i as u32).unwrap_or(NO_IDX)
+                    }
+                    _ => NO_IDX,
+                };
+                pre_slots.push(PreSlot {
+                    slot: *s,
+                    slot_addr,
+                    b_idx,
+                    delay: s.op.delay_slots(),
+                });
+            }
+            pre.push(PrePacket {
+                issue: p.issue_cycles(),
+                first_slot,
+                nslots: p.slots().len() as u32,
+            });
+        }
         Ok(VliwSim {
             regs: [0; 64],
             mem: Memory::new(),
+            mem_image: None,
             program,
             index,
+            pre,
+            pre_slots,
             pc: 0,
             cycle: 0,
             pending_writes: Vec::new(),
+            next_due: u64::MAX,
             pending_branch: None,
+            pending_branch_idx: NO_IDX,
+            scratch: Vec::new(),
+            mode: VliwDispatch::default(),
             bus: None,
             stats: VliwStats::default(),
             halted: false,
         })
+    }
+
+    /// Snapshots the current memory contents as the load image that
+    /// [`ExecutionEngine::reset`] restores. Loaders call this once the
+    /// program's data sections are placed; without a sealed image,
+    /// reset leaves memory untouched.
+    pub fn seal_reset_image(&mut self) {
+        self.mem_image = Some(self.mem.clone());
     }
 
     /// Attaches the memory-mapped device bus.
@@ -150,6 +268,16 @@ impl VliwSim {
     /// Takes the bus back (to inspect device state after a run).
     pub fn take_bus(&mut self) -> Option<Box<dyn TargetBus>> {
         self.bus.take()
+    }
+
+    /// Selects the dispatch core (pre-decoded by default).
+    pub fn set_dispatch(&mut self, mode: VliwDispatch) {
+        self.mode = mode;
+    }
+
+    /// The dispatch core in use.
+    pub fn dispatch(&self) -> VliwDispatch {
+        self.mode
     }
 
     /// Reads a register as the architecture would see it *now*
@@ -179,6 +307,12 @@ impl VliwSim {
                 i += 1;
             }
         }
+        self.next_due = self
+            .pending_writes
+            .iter()
+            .map(|&(c, _, _)| c)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 
     /// Current cycle count.
@@ -247,30 +381,119 @@ impl VliwSim {
     /// Returns [`VliwError`] on bad branch targets, overlapping branch
     /// shadows or data faults.
     pub fn step_packet(&mut self) -> Result<(), VliwError> {
+        match self.mode {
+            VliwDispatch::Predecoded => self.step_packet_predecoded(),
+            VliwDispatch::Naive => self.step_packet_naive(),
+        }
+    }
+
+    /// Redirects fetch if the pending branch's shadow has expired.
+    fn redirect_if_due(&mut self) -> Result<(), VliwError> {
+        if let Some((remaining, target)) = self.pending_branch {
+            if remaining <= 0 {
+                self.pc = if self.pending_branch_idx != NO_IDX {
+                    self.pending_branch_idx as usize
+                } else {
+                    *self
+                        .index
+                        .get(&target)
+                        .ok_or(VliwError::BadPc { addr: target })?
+                };
+                self.pending_branch = None;
+                self.pending_branch_idx = NO_IDX;
+            }
+        }
+        Ok(())
+    }
+
+    fn off_end_error(&self) -> VliwError {
+        VliwError::BadPc {
+            addr: self.program.last().map(|p| p.addr + p.size()).unwrap_or(0),
+        }
+    }
+
+    /// The pre-decoded hot loop: index-chased dispatch over the flat
+    /// packet table and slot arena. No packet clone, no position scans,
+    /// no allocation per step.
+    fn step_packet_predecoded(&mut self) -> Result<(), VliwError> {
+        if self.cycle >= self.next_due {
+            if self.pending_writes.len() == 1 {
+                // Overwhelmingly common case: one staged result, due now.
+                let (_, r, v) = self.pending_writes.pop().expect("len checked");
+                self.regs[r.index()] = v;
+                self.next_due = u64::MAX;
+            } else {
+                self.commit_due_writes();
+            }
+        }
+        self.redirect_if_due()?;
+
+        let pp = match self.pre.get(self.pc) {
+            Some(p) => *p,
+            None => return Err(self.off_end_error()),
+        };
+
+        let mut stall = 0u64;
+        let mut writes = std::mem::take(&mut self.scratch);
+        let mut branch: Option<(u32, u32)> = None;
+
+        let first = pp.first_slot as usize;
+        for i in first..first + pp.nslots as usize {
+            let ps = self.pre_slots[i];
+            if let Some(p) = ps.slot.pred {
+                let v = self.regs[p.reg.index()];
+                if (v != 0) == p.negated {
+                    continue; // guard false: annulled
+                }
+            }
+            if !matches!(ps.slot.op, Op::Nop { .. }) {
+                self.stats.slots += 1;
+            }
+            if let Err(e) = self.exec_slot(&ps, &mut writes, &mut stall, &mut branch) {
+                writes.clear();
+                self.scratch = writes;
+                return Err(e);
+            }
+        }
+
+        // End of packet: stage results (visible from the next cycle on).
+        for &(c, _, _) in &writes {
+            self.next_due = self.next_due.min(c);
+        }
+        self.pending_writes.append(&mut writes);
+        self.scratch = writes;
+
+        self.finish_packet(branch, pp.issue, stall)
+    }
+
+    /// The retained naive interpreter: per-packet clone, per-slot
+    /// position scans, address hashing on every redirect — exactly the
+    /// seed implementation, kept as the differential-test reference.
+    fn step_packet_naive(&mut self) -> Result<(), VliwError> {
         self.commit_due_writes();
 
         // Branch shadow expired? Redirect before dispatch.
         if let Some((remaining, target)) = self.pending_branch {
             if remaining <= 0 {
-                self.pc = *self.index.get(&target).ok_or(VliwError::BadPc { addr: target })?;
+                self.pc = *self
+                    .index
+                    .get(&target)
+                    .ok_or(VliwError::BadPc { addr: target })?;
                 self.pending_branch = None;
+                self.pending_branch_idx = NO_IDX;
             }
         }
 
         let packet = match self.program.get(self.pc) {
             Some(p) => p.clone(),
-            None => {
-                return Err(VliwError::BadPc {
-                    addr: self.program.last().map(|p| p.addr + p.size()).unwrap_or(0),
-                })
-            }
+            None => return Err(self.off_end_error()),
         };
 
         let mut stall = 0u64;
         let mut writes: Vec<(u64, Reg, u32)> = Vec::new();
-        let mut branch: Option<u32> = None;
+        let mut branch: Option<(u32, u32)> = None;
 
-        for slot in packet.slots() {
+        for (pos, slot) in packet.slots().iter().enumerate() {
             if let Some(p) = slot.pred {
                 let v = self.regs[p.reg.index()];
                 if (v != 0) == p.negated {
@@ -280,63 +503,91 @@ impl VliwSim {
             if !matches!(slot.op, Op::Nop { .. }) {
                 self.stats.slots += 1;
             }
-            self.exec_slot(slot, &packet, &mut writes, &mut stall, &mut branch)?;
+            // The naive path derives the slot record on the fly — the
+            // exact per-step work the pre-decoded table amortizes away.
+            let ps = PreSlot {
+                slot: *slot,
+                slot_addr: packet.addr + 8 * pos as u32,
+                b_idx: NO_IDX,
+                delay: slot.op.delay_slots(),
+            };
+            self.exec_slot(&ps, &mut writes, &mut stall, &mut branch)?;
         }
 
         // End of packet: stage results (visible from the next cycle on).
+        for &(c, _, _) in &writes {
+            self.next_due = self.next_due.min(c);
+        }
         self.pending_writes.extend(writes);
 
-        if let Some(target) = branch {
+        self.finish_packet(branch, packet.issue_cycles(), stall)
+    }
+
+    /// Packet epilogue shared by both dispatch cores: branch shadow
+    /// bookkeeping, counters, cycle advance.
+    fn finish_packet(
+        &mut self,
+        branch: Option<(u32, u32)>,
+        issue_cycles: u32,
+        stall: u64,
+    ) -> Result<(), VliwError> {
+        if let Some((target, idx)) = branch {
             if self.pending_branch.is_some() {
                 return Err(VliwError::OverlappingBranches { cycle: self.cycle });
             }
             self.pending_branch = Some((5, target));
+            self.pending_branch_idx = idx;
         } else if let Some((remaining, _)) = &mut self.pending_branch {
-            *remaining -= packet.issue_cycles() as i64;
+            *remaining -= issue_cycles as i64;
         }
 
         self.stats.packets += 1;
         self.stats.stall_cycles += stall;
-        self.cycle += packet.issue_cycles() as u64 + stall;
+        self.cycle += issue_cycles as u64 + stall;
         self.pc += 1;
         Ok(())
     }
 
+    /// Executes one slot record: `ps.slot_addr` is the slot's
+    /// target-space address (used by relative branches), `ps.b_idx` the
+    /// pre-resolved destination packet index of a static `B` (`NO_IDX`
+    /// when the caller has none, e.g. the naive path or an off-image
+    /// target), `ps.delay` the operation's cached [`Op::delay_slots`].
     fn exec_slot(
         &mut self,
-        slot: &Slot,
-        packet: &Packet,
+        ps: &PreSlot,
         writes: &mut Vec<(u64, Reg, u32)>,
         stall: &mut u64,
-        branch: &mut Option<u32>,
+        branch: &mut Option<(u32, u32)>,
     ) -> Result<(), VliwError> {
+        let (slot_addr, b_idx, delay) = (ps.slot_addr, ps.b_idx, ps.delay);
         let g = |sim: &Self, r: Reg| sim.regs[r.index()];
         let now = self.cycle;
-        let mut put = |op: &Op, r: Reg, v: u32| {
-            writes.push((now + 1 + op.delay_slots() as u64, r, v));
+        let mut put = |_op: &Op, r: Reg, v: u32| {
+            writes.push((now + 1 + delay as u64, r, v));
         };
-        let op = slot.op;
+        let op = ps.slot.op;
         match op {
             Op::Add { d, s1, s2 } => put(&op, d, g(self, s1).wrapping_add(g(self, s2))),
             Op::Sub { d, s1, s2 } => put(&op, d, g(self, s1).wrapping_sub(g(self, s2))),
             Op::And { d, s1, s2 } => put(&op, d, g(self, s1) & g(self, s2)),
             Op::Or { d, s1, s2 } => put(&op, d, g(self, s1) | g(self, s2)),
             Op::Xor { d, s1, s2 } => put(&op, d, g(self, s1) ^ g(self, s2)),
-            Op::AddI { d, s1, imm5 } => {
-                put(&op, d, g(self, s1).wrapping_add(imm5 as i32 as u32))
-            }
+            Op::AddI { d, s1, imm5 } => put(&op, d, g(self, s1).wrapping_add(imm5 as i32 as u32)),
             Op::Shl { d, s1, s2 } => put(&op, d, g(self, s1).wrapping_shl(g(self, s2) & 31)),
-            Op::Shr { d, s1, s2 } => {
-                put(&op, d, ((g(self, s1) as i32).wrapping_shr(g(self, s2) & 31)) as u32)
-            }
+            Op::Shr { d, s1, s2 } => put(
+                &op,
+                d,
+                ((g(self, s1) as i32).wrapping_shr(g(self, s2) & 31)) as u32,
+            ),
             Op::Shru { d, s1, s2 } => put(&op, d, g(self, s1).wrapping_shr(g(self, s2) & 31)),
             Op::ShlI { d, s1, imm5 } => put(&op, d, g(self, s1).wrapping_shl(imm5 as u32 & 31)),
-            Op::ShrI { d, s1, imm5 } => {
-                put(&op, d, ((g(self, s1) as i32).wrapping_shr(imm5 as u32 & 31)) as u32)
-            }
-            Op::ShruI { d, s1, imm5 } => {
-                put(&op, d, g(self, s1).wrapping_shr(imm5 as u32 & 31))
-            }
+            Op::ShrI { d, s1, imm5 } => put(
+                &op,
+                d,
+                ((g(self, s1) as i32).wrapping_shr(imm5 as u32 & 31)) as u32,
+            ),
+            Op::ShruI { d, s1, imm5 } => put(&op, d, g(self, s1).wrapping_shr(imm5 as u32 & 31)),
             Op::Mpy { d, s1, s2 } => put(&op, d, g(self, s1).wrapping_mul(g(self, s2))),
             Op::Div { d, s1, s2 } => {
                 let b = g(self, s2);
@@ -367,13 +618,17 @@ impl VliwSim {
             Op::CmpLtU { d, s1, s2 } => put(&op, d, (g(self, s1) < g(self, s2)) as u32),
             Op::Mv { d, s } => put(&op, d, g(self, s)),
             Op::Mvk { d, imm16 } => put(&op, d, imm16 as i32 as u32),
-            Op::Mvkh { d, imm16 } => {
-                put(&op, d, (g(self, d) & 0xffff) | ((imm16 as u32) << 16))
-            }
-            Op::Ld { w, unsigned, d, base, woff } => {
+            Op::Mvkh { d, imm16 } => put(&op, d, (g(self, d) & 0xffff) | ((imm16 as u32) << 16)),
+            Op::Ld {
+                w,
+                unsigned,
+                d,
+                base,
+                woff,
+            } => {
                 let addr = g(self, base).wrapping_add((woff as i32 as u32).wrapping_mul(w.bytes()));
                 let v = self.load(addr, w, unsigned, stall)?;
-                writes.push((self.cycle + 1 + op.delay_slots() as u64, d, v));
+                writes.push((self.cycle + 1 + delay as u64, d, v));
             }
             Op::St { w, s, base, woff } => {
                 let addr = g(self, base).wrapping_add((woff as i32 as u32).wrapping_mul(w.bytes()));
@@ -381,12 +636,12 @@ impl VliwSim {
                 self.store(addr, w, v, stall)?;
             }
             Op::B { disp21 } => {
-                // Slot address: packet base + 8 * slot position.
-                let pos = packet.slots().iter().position(|s| s == slot).unwrap_or(0) as u32;
-                let slot_addr = packet.addr + 8 * pos;
-                *branch = Some(slot_addr.wrapping_add((disp21 as u32).wrapping_mul(4)));
+                *branch = Some((
+                    slot_addr.wrapping_add((disp21 as u32).wrapping_mul(4)),
+                    b_idx,
+                ));
             }
-            Op::BReg { s } => *branch = Some(g(self, s)),
+            Op::BReg { s } => *branch = Some((g(self, s), NO_IDX)),
             Op::Nop { .. } => {}
             Op::Halt => self.halted = true,
         }
@@ -432,10 +687,78 @@ impl VliwSim {
     }
 }
 
+impl ExecutionEngine for VliwSim {
+    type Error = VliwError;
+
+    /// Flat register space: indices `0..64` are the physical registers
+    /// `A0..A31`, `B0..B31` ([`Reg::index`]). Where source registers
+    /// live inside that space is decided by the translator's register
+    /// binding, not by this engine.
+    fn reset(&mut self) {
+        self.regs = [0; 64];
+        if let Some(image) = &self.mem_image {
+            self.mem = image.clone();
+        }
+        self.pc = 0;
+        self.cycle = 0;
+        self.pending_writes.clear();
+        self.next_due = u64::MAX;
+        self.pending_branch = None;
+        self.pending_branch_idx = NO_IDX;
+        self.stats = VliwStats::default();
+        self.halted = false;
+    }
+
+    fn step_unit(&mut self) -> Result<(), VliwError> {
+        self.step_packet()
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn pc(&self) -> Option<u32> {
+        self.pc_addr()
+    }
+
+    fn commit_arch_state(&mut self) {
+        self.commit_due_writes();
+    }
+
+    fn reg_count(&self) -> usize {
+        64
+    }
+
+    fn read_reg_index(&self, index: usize) -> u32 {
+        self.regs[index]
+    }
+
+    fn write_reg_index(&mut self, index: usize, value: u32) {
+        self.regs[index] = value;
+    }
+
+    fn read_mem(&mut self, addr: u32, len: usize) -> Result<Vec<u8>, VliwError> {
+        self.mem.read_block(addr, len).map_err(VliwError::Mem)
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            cycles: self.cycle,
+            retired: self.stats.packets,
+            stall_cycles: self.stats.stall_cycles,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::isa::{Pred, Unit};
+    use cabt_exec::{Limit, StopCause};
 
     /// Builds a linear program from op lists; each inner vec is a packet.
     fn program(ops: Vec<Vec<Slot>>) -> Vec<Packet> {
@@ -459,8 +782,21 @@ mod tests {
     #[test]
     fn alu_results_visible_next_packet() {
         let prog = program(vec![
-            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::a(1), imm16: 21 })],
-            vec![Slot::new(Unit::L1, Op::Add { d: Reg::a(2), s1: Reg::a(1), s2: Reg::a(1) })],
+            vec![Slot::new(
+                Unit::S1,
+                Op::Mvk {
+                    d: Reg::a(1),
+                    imm16: 21,
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Add {
+                    d: Reg::a(2),
+                    s1: Reg::a(1),
+                    s2: Reg::a(1),
+                },
+            )],
             halt(),
         ]);
         let mut sim = VliwSim::new(prog).unwrap();
@@ -473,10 +809,29 @@ mod tests {
     fn within_packet_reads_see_old_values() {
         // Classic VLIW semantics: both slots read the pre-packet state.
         let prog = program(vec![
-            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::a(1), imm16: 5 })],
+            vec![Slot::new(
+                Unit::S1,
+                Op::Mvk {
+                    d: Reg::a(1),
+                    imm16: 5,
+                },
+            )],
             vec![
-                Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 }),
-                Slot::new(Unit::S1, Op::Mv { d: Reg::a(2), s: Reg::a(1) }),
+                Slot::new(
+                    Unit::L1,
+                    Op::AddI {
+                        d: Reg::a(1),
+                        s1: Reg::a(1),
+                        imm5: 1,
+                    },
+                ),
+                Slot::new(
+                    Unit::S1,
+                    Op::Mv {
+                        d: Reg::a(2),
+                        s: Reg::a(1),
+                    },
+                ),
             ],
             halt(),
         ]);
@@ -489,20 +844,53 @@ mod tests {
     #[test]
     fn load_has_four_delay_slots() {
         let mut prog = program(vec![
-            vec![Slot::new(Unit::D1, Op::Ld {
-                w: Width::W,
-                unsigned: false,
-                d: Reg::a(1),
-                base: Reg::b(1),
-                woff: 0,
-            })],
+            vec![Slot::new(
+                Unit::D1,
+                Op::Ld {
+                    w: Width::W,
+                    unsigned: false,
+                    d: Reg::a(1),
+                    base: Reg::b(1),
+                    woff: 0,
+                },
+            )],
             // These four packets are in the load shadow: they see A1 = 0.
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(2), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(3), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(4), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(5), s: Reg::a(1) })],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(2),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(3),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(4),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(5),
+                    s: Reg::a(1),
+                },
+            )],
             // Fifth packet after the load sees the loaded value.
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(6), s: Reg::a(1) })],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(6),
+                    s: Reg::a(1),
+                },
+            )],
             halt(),
         ]);
         prog.rotate_right(0);
@@ -521,19 +909,67 @@ mod tests {
         // and still execute; the packet after them is skipped.
         let mut prog = program(vec![
             vec![Slot::new(Unit::S1, Op::B { disp21: 0 })], // patched below
-            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 })],
-            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 })],
-            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 })],
-            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 })],
-            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(1), s1: Reg::a(1), imm5: 1 })],
-            vec![Slot::new(Unit::L1, Op::AddI { d: Reg::a(2), s1: Reg::a(2), imm5: 1 })], // skipped
+            vec![Slot::new(
+                Unit::L1,
+                Op::AddI {
+                    d: Reg::a(1),
+                    s1: Reg::a(1),
+                    imm5: 1,
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::AddI {
+                    d: Reg::a(1),
+                    s1: Reg::a(1),
+                    imm5: 1,
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::AddI {
+                    d: Reg::a(1),
+                    s1: Reg::a(1),
+                    imm5: 1,
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::AddI {
+                    d: Reg::a(1),
+                    s1: Reg::a(1),
+                    imm5: 1,
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::AddI {
+                    d: Reg::a(1),
+                    s1: Reg::a(1),
+                    imm5: 1,
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::AddI {
+                    d: Reg::a(2),
+                    s1: Reg::a(2),
+                    imm5: 1,
+                },
+            )], // skipped
             halt(),
         ]);
         let target = prog[7].addr;
         let from = prog[0].addr;
         prog[0] = {
             let mut p = Packet::at(from);
-            p.push(Slot::new(Unit::S1, Op::B { disp21: ((target - from) / 4) as i32 })).unwrap();
+            p.push(Slot::new(
+                Unit::S1,
+                Op::B {
+                    disp21: ((target - from) / 4) as i32,
+                },
+            ))
+            .unwrap();
             p
         };
         let mut sim = VliwSim::new(prog).unwrap();
@@ -545,14 +981,31 @@ mod tests {
     #[test]
     fn predication_annuls_slots() {
         let prog = program(vec![
-            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::a(1), imm16: 1 })],
+            vec![Slot::new(
+                Unit::S1,
+                Op::Mvk {
+                    d: Reg::a(1),
+                    imm16: 1,
+                },
+            )],
             vec![
-                Slot::when(Unit::L1, Pred::nz(Reg::a(1)), Op::AddI {
-                    d: Reg::a(2),
-                    s1: Reg::a(2),
-                    imm5: 5,
-                }),
-                Slot::when(Unit::S1, Pred::z(Reg::a(1)), Op::Mvk { d: Reg::a(3), imm16: 9 }),
+                Slot::when(
+                    Unit::L1,
+                    Pred::nz(Reg::a(1)),
+                    Op::AddI {
+                        d: Reg::a(2),
+                        s1: Reg::a(2),
+                        imm5: 5,
+                    },
+                ),
+                Slot::when(
+                    Unit::S1,
+                    Pred::z(Reg::a(1)),
+                    Op::Mvk {
+                        d: Reg::a(3),
+                        imm16: 9,
+                    },
+                ),
             ],
             halt(),
         ]);
@@ -578,8 +1031,20 @@ mod tests {
     #[test]
     fn mvk_mvkh_build_constants() {
         let prog = program(vec![
-            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::b(7), imm16: 0x5678 })],
-            vec![Slot::new(Unit::S1, Op::Mvkh { d: Reg::b(7), imm16: 0x1234 })],
+            vec![Slot::new(
+                Unit::S1,
+                Op::Mvk {
+                    d: Reg::b(7),
+                    imm16: 0x5678,
+                },
+            )],
+            vec![Slot::new(
+                Unit::S1,
+                Op::Mvkh {
+                    d: Reg::b(7),
+                    imm16: 0x1234,
+                },
+            )],
             halt(),
         ]);
         let mut sim = VliwSim::new(prog).unwrap();
@@ -602,16 +1067,39 @@ mod tests {
             }
         }
         let prog = program(vec![
-            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::b(1), imm16: 0 })],
-            vec![Slot::new(Unit::S1, Op::Mvkh { d: Reg::b(1), imm16: 0xff00 })],
-            vec![Slot::new(Unit::D1, Op::St { w: Width::W, s: Reg::b(1), base: Reg::b(1), woff: 0 })],
-            vec![Slot::new(Unit::D1, Op::Ld {
-                w: Width::W,
-                unsigned: false,
-                d: Reg::a(1),
-                base: Reg::b(1),
-                woff: 0,
-            })],
+            vec![Slot::new(
+                Unit::S1,
+                Op::Mvk {
+                    d: Reg::b(1),
+                    imm16: 0,
+                },
+            )],
+            vec![Slot::new(
+                Unit::S1,
+                Op::Mvkh {
+                    d: Reg::b(1),
+                    imm16: 0xff00,
+                },
+            )],
+            vec![Slot::new(
+                Unit::D1,
+                Op::St {
+                    w: Width::W,
+                    s: Reg::b(1),
+                    base: Reg::b(1),
+                    woff: 0,
+                },
+            )],
+            vec![Slot::new(
+                Unit::D1,
+                Op::Ld {
+                    w: Width::W,
+                    unsigned: false,
+                    d: Reg::a(1),
+                    base: Reg::b(1),
+                    woff: 0,
+                },
+            )],
             halt(),
         ]);
         let mut sim = VliwSim::new(prog).unwrap();
@@ -639,12 +1127,48 @@ mod tests {
         // redirect faults, so use harmless delay slots instead.
         let prog = program(vec![
             vec![Slot::new(Unit::S1, Op::B { disp21: 1000 })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(1),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(1),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(1),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(1),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(1),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(1),
+                    s: Reg::a(1),
+                },
+            )],
         ]);
         let mut sim = VliwSim::new(prog).unwrap();
         let e = sim.run(100).unwrap_err();
@@ -653,10 +1177,13 @@ mod tests {
 
     #[test]
     fn running_off_the_end_faults() {
-        let prog = program(vec![vec![Slot::new(Unit::L1, Op::Mv {
-            d: Reg::a(1),
-            s: Reg::a(1),
-        })]]);
+        let prog = program(vec![vec![Slot::new(
+            Unit::L1,
+            Op::Mv {
+                d: Reg::a(1),
+                s: Reg::a(1),
+            },
+        )]]);
         let mut sim = VliwSim::new(prog).unwrap();
         sim.step_packet().unwrap();
         assert!(matches!(sim.step_packet(), Err(VliwError::BadPc { .. })));
@@ -666,11 +1193,41 @@ mod tests {
     fn cycle_limit_reported() {
         let mut prog = program(vec![
             vec![Slot::new(Unit::S1, Op::B { disp21: 0 })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
-            vec![Slot::new(Unit::L1, Op::Mv { d: Reg::a(1), s: Reg::a(1) })],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(1),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(1),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(1),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(1),
+                    s: Reg::a(1),
+                },
+            )],
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(1),
+                    s: Reg::a(1),
+                },
+            )],
         ]);
         // Branch back to self: infinite loop.
         let addr = prog[0].addr;
@@ -686,8 +1243,21 @@ mod tests {
     #[test]
     fn div_by_zero_yields_zero() {
         let prog = program(vec![
-            vec![Slot::new(Unit::S1, Op::Mvk { d: Reg::a(1), imm16: 100 })],
-            vec![Slot::new(Unit::M1, Op::Div { d: Reg::a(2), s1: Reg::a(1), s2: Reg::a(3) })],
+            vec![Slot::new(
+                Unit::S1,
+                Op::Mvk {
+                    d: Reg::a(1),
+                    imm16: 100,
+                },
+            )],
+            vec![Slot::new(
+                Unit::M1,
+                Op::Div {
+                    d: Reg::a(2),
+                    s1: Reg::a(1),
+                    s2: Reg::a(3),
+                },
+            )],
             vec![Slot::new(Unit::S1, Op::Nop { count: 9 })],
             vec![Slot::new(Unit::S1, Op::Nop { count: 9 })],
             halt(),
@@ -695,5 +1265,176 @@ mod tests {
         let mut sim = VliwSim::new(prog).unwrap();
         sim.run(1000).unwrap();
         assert_eq!(sim.reg(Reg::a(2)), 0);
+    }
+
+    /// Loop with a backward branch plus delayed writes: both dispatch
+    /// cores must agree on every observable.
+    #[test]
+    fn predecoded_matches_naive() {
+        let build = || {
+            let mut prog = program(vec![
+                vec![Slot::new(
+                    Unit::S1,
+                    Op::Mvk {
+                        d: Reg::a(1),
+                        imm16: 5,
+                    },
+                )],
+                // Loop body starts here (packet 1).
+                vec![Slot::new(
+                    Unit::L1,
+                    Op::AddI {
+                        d: Reg::a(1),
+                        s1: Reg::a(1),
+                        imm5: -1,
+                    },
+                )],
+                vec![Slot::new(
+                    Unit::L1,
+                    Op::AddI {
+                        d: Reg::a(2),
+                        s1: Reg::a(2),
+                        imm5: 1,
+                    },
+                )],
+                vec![Slot::new(
+                    Unit::L1,
+                    Op::Mv {
+                        d: Reg::a(3),
+                        s: Reg::a(2),
+                    },
+                )],
+                vec![Slot::new(
+                    Unit::L1,
+                    Op::Mv {
+                        d: Reg::a(4),
+                        s: Reg::a(1),
+                    },
+                )],
+                vec![Slot::new(
+                    Unit::L1,
+                    Op::CmpGt {
+                        d: Reg::a(0),
+                        s1: Reg::a(1),
+                        s2: Reg::b(0),
+                    },
+                )],
+                vec![Slot::when(
+                    Unit::S1,
+                    Pred::nz(Reg::a(0)),
+                    Op::B { disp21: 0 },
+                )], // patched
+                // Branch shadow (5 issue slots), then the halt packet.
+                vec![Slot::new(
+                    Unit::L1,
+                    Op::Mv {
+                        d: Reg::a(5),
+                        s: Reg::a(2),
+                    },
+                )],
+                vec![Slot::new(
+                    Unit::L1,
+                    Op::Mv {
+                        d: Reg::a(6),
+                        s: Reg::a(2),
+                    },
+                )],
+                vec![Slot::new(
+                    Unit::L1,
+                    Op::Mv {
+                        d: Reg::a(7),
+                        s: Reg::a(2),
+                    },
+                )],
+                vec![Slot::new(
+                    Unit::L1,
+                    Op::Mv {
+                        d: Reg::a(8),
+                        s: Reg::a(2),
+                    },
+                )],
+                vec![Slot::new(
+                    Unit::L1,
+                    Op::Mv {
+                        d: Reg::a(9),
+                        s: Reg::a(2),
+                    },
+                )],
+                halt(),
+            ]);
+            // Patch packet 6 to branch back to the loop head (packet 1).
+            let from = prog[6].addr;
+            let to = prog[1].addr;
+            prog[6] = {
+                let mut p = Packet::at(from);
+                p.push(Slot::when(
+                    Unit::S1,
+                    Pred::nz(Reg::a(0)),
+                    Op::B {
+                        disp21: ((to as i64 - from as i64) / 4) as i32,
+                    },
+                ))
+                .unwrap();
+                p
+            };
+            prog
+        };
+        let mut fast = VliwSim::new(build()).unwrap();
+        let mut naive = VliwSim::new(build()).unwrap();
+        naive.set_dispatch(VliwDispatch::Naive);
+        let rf = fast.run(10_000).unwrap();
+        let rn = naive.run(10_000).unwrap();
+        assert_eq!(rf, rn, "stats diverge");
+        for i in 0..64u8 {
+            let r = Reg::from_index(i);
+            assert_eq!(fast.reg(r), naive.reg(r), "{r} diverged");
+        }
+        assert_eq!(fast.cycle(), naive.cycle());
+    }
+
+    #[test]
+    fn engine_trait_drives_the_vliw_core() {
+        let prog = program(vec![
+            vec![Slot::new(
+                Unit::S1,
+                Op::Mvk {
+                    d: Reg::a(1),
+                    imm16: 3,
+                },
+            )],
+            vec![Slot::new(
+                Unit::S1,
+                Op::Mvk {
+                    d: Reg::a(2),
+                    imm16: 4,
+                },
+            )],
+            halt(),
+        ]);
+        let mut sim = VliwSim::new(prog).unwrap();
+        assert_eq!(
+            sim.run_until(Limit::Cycles(1)).unwrap(),
+            StopCause::LimitReached
+        );
+        assert_eq!(sim.engine_stats().retired, 1);
+        assert_eq!(
+            sim.run_until(Limit::Cycles(u64::MAX)).unwrap(),
+            StopCause::Halted
+        );
+        assert_eq!(sim.read_reg_index(Reg::a(1).index()), 3);
+        assert_eq!(sim.read_reg_index(Reg::a(2).index()), 4);
+        let before = sim.engine_stats();
+        sim.reset();
+        assert_eq!(sim.cycle(), 0);
+        assert!(!sim.is_halted());
+        assert_eq!(
+            sim.run_until(Limit::Cycles(u64::MAX)).unwrap(),
+            StopCause::Halted
+        );
+        assert_eq!(
+            sim.engine_stats(),
+            before,
+            "reset + rerun reproduces the run"
+        );
     }
 }

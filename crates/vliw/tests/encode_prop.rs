@@ -1,108 +1,170 @@
-//! Property tests for the VLIW container encoding: arbitrary valid
-//! programs must round-trip bit-exactly through `encode_program` /
-//! `decode_program`.
+//! Randomized property tests for the VLIW container encoding:
+//! arbitrary valid programs must round-trip bit-exactly through
+//! `encode_program` / `decode_program`. Cases come from the workspace's
+//! deterministic PRNG (the `proptest` crate is unavailable in the
+//! offline build).
 
+use cabt_isa::rng::Pcg32;
 use cabt_vliw::encode::{decode_program, encode_program};
 use cabt_vliw::isa::{Op, Packet, Pred, Reg, Slot, Unit, Width, PRED_REGS};
-use proptest::prelude::*;
 
-fn reg() -> impl Strategy<Value = Reg> {
-    (0u8..64).prop_map(Reg::from_index)
+fn reg(rng: &mut Pcg32) -> Reg {
+    Reg::from_index(rng.random_range(0..64) as u8)
 }
 
-fn width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::B), Just(Width::H), Just(Width::W)]
+fn width(rng: &mut Pcg32) -> Width {
+    [Width::B, Width::H, Width::W][rng.below(3)]
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (reg(), reg(), reg()).prop_map(|(d, s1, s2)| Op::Add { d, s1, s2 }),
-        (reg(), reg(), reg()).prop_map(|(d, s1, s2)| Op::Sub { d, s1, s2 }),
-        (reg(), reg(), reg()).prop_map(|(d, s1, s2)| Op::Xor { d, s1, s2 }),
-        (reg(), reg(), -16i8..=15).prop_map(|(d, s1, imm5)| Op::AddI { d, s1, imm5 }),
-        (reg(), reg(), 0u8..32).prop_map(|(d, s1, imm5)| Op::ShlI { d, s1, imm5 }),
-        (reg(), reg(), reg()).prop_map(|(d, s1, s2)| Op::Mpy { d, s1, s2 }),
-        (reg(), reg(), reg()).prop_map(|(d, s1, s2)| Op::CmpLtU { d, s1, s2 }),
-        (reg(), reg()).prop_map(|(d, s)| Op::Mv { d, s }),
-        (reg(), any::<i16>()).prop_map(|(d, imm16)| Op::Mvk { d, imm16 }),
-        (reg(), any::<u16>()).prop_map(|(d, imm16)| Op::Mvkh { d, imm16 }),
-        (width(), any::<bool>(), reg(), reg(), any::<i16>())
-            .prop_map(|(w, unsigned, d, base, woff)| {
-                let unsigned = unsigned && w != Width::W;
-                Op::Ld { w, unsigned, d, base, woff }
-            }),
-        (width(), reg(), reg(), any::<i16>())
-            .prop_map(|(w, s, base, woff)| Op::St { w, s, base, woff }),
-        any::<i32>().prop_map(|disp21| Op::B { disp21 }),
-        reg().prop_map(|s| Op::BReg { s }),
-        (1u8..=9).prop_map(|count| Op::Nop { count }),
-        Just(Op::Halt),
-    ]
+fn op(rng: &mut Pcg32) -> Op {
+    match rng.below(16) {
+        0 => Op::Add {
+            d: reg(rng),
+            s1: reg(rng),
+            s2: reg(rng),
+        },
+        1 => Op::Sub {
+            d: reg(rng),
+            s1: reg(rng),
+            s2: reg(rng),
+        },
+        2 => Op::Xor {
+            d: reg(rng),
+            s1: reg(rng),
+            s2: reg(rng),
+        },
+        3 => Op::AddI {
+            d: reg(rng),
+            s1: reg(rng),
+            imm5: rng.random_range(0..32) as i8 - 16,
+        },
+        4 => Op::ShlI {
+            d: reg(rng),
+            s1: reg(rng),
+            imm5: rng.random_range(0..32) as u8,
+        },
+        5 => Op::Mpy {
+            d: reg(rng),
+            s1: reg(rng),
+            s2: reg(rng),
+        },
+        6 => Op::CmpLtU {
+            d: reg(rng),
+            s1: reg(rng),
+            s2: reg(rng),
+        },
+        7 => Op::Mv {
+            d: reg(rng),
+            s: reg(rng),
+        },
+        8 => Op::Mvk {
+            d: reg(rng),
+            imm16: rng.next_u32() as u16 as i16,
+        },
+        9 => Op::Mvkh {
+            d: reg(rng),
+            imm16: rng.next_u32() as u16,
+        },
+        10 => {
+            let w = width(rng);
+            let unsigned = rng.below(2) == 0 && w != Width::W;
+            Op::Ld {
+                w,
+                unsigned,
+                d: reg(rng),
+                base: reg(rng),
+                woff: rng.next_u32() as u16 as i16,
+            }
+        }
+        11 => Op::St {
+            w: width(rng),
+            s: reg(rng),
+            base: reg(rng),
+            woff: rng.next_u32() as u16 as i16,
+        },
+        12 => Op::B {
+            disp21: rng.next_u32() as i32,
+        },
+        13 => Op::BReg { s: reg(rng) },
+        14 => Op::Nop {
+            count: rng.random_range(1..10) as u8,
+        },
+        _ => Op::Halt,
+    }
 }
 
-fn pred() -> impl Strategy<Value = Option<Pred>> {
-    prop_oneof![
-        Just(None),
-        (0usize..6, any::<bool>())
-            .prop_map(|(i, negated)| Some(Pred { reg: PRED_REGS[i], negated })),
-    ]
+fn pred(rng: &mut Pcg32) -> Option<Pred> {
+    if rng.below(2) == 0 {
+        None
+    } else {
+        Some(Pred {
+            reg: PRED_REGS[rng.below(6)],
+            negated: rng.below(2) == 0,
+        })
+    }
 }
 
 /// A program: a list of packets, each built by pushing slots that the
 /// packet rules accept (unit conflicts and such are skipped).
-fn program() -> impl Strategy<Value = Vec<Packet>> {
-    proptest::collection::vec(
-        proptest::collection::vec((op(), pred(), 0usize..8), 1..6),
-        1..12,
-    )
-    .prop_map(|packets| {
-        let mut out = Vec::new();
-        let mut addr = 0x8000u32;
-        for slots in packets {
-            let mut p = Packet::at(addr);
-            for (op, pred, unit_idx) in slots {
-                let unit = Unit::ALL[unit_idx];
-                let slot = match pred {
-                    Some(pr) => Slot::when(unit, pr, op),
-                    None => Slot::new(unit, op),
-                };
-                let _ = p.push(slot); // illegal combinations are skipped
-            }
-            if p.slots().is_empty() {
-                // Ensure a representable packet.
-                p.push(Slot::new(Unit::S1, Op::Nop { count: 1 })).expect("lone nop");
-            }
-            addr += p.size();
-            out.push(p);
+fn program(rng: &mut Pcg32) -> Vec<Packet> {
+    let npackets = rng.random_range(1..12);
+    let mut out = Vec::new();
+    let mut addr = 0x8000u32;
+    for _ in 0..npackets {
+        let mut p = Packet::at(addr);
+        for _ in 0..rng.random_range(1..6) {
+            let unit = Unit::ALL[rng.below(8)];
+            let o = op(rng);
+            let slot = match pred(rng) {
+                Some(pr) => Slot::when(unit, pr, o),
+                None => Slot::new(unit, o),
+            };
+            let _ = p.push(slot); // illegal combinations are skipped
         }
-        out
-    })
+        if p.slots().is_empty() {
+            // Ensure a representable packet.
+            p.push(Slot::new(Unit::S1, Op::Nop { count: 1 }))
+                .expect("lone nop");
+        }
+        addr += p.size();
+        out.push(p);
+    }
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn round_trip(prog in program()) {
+#[test]
+fn round_trip() {
+    let mut rng = Pcg32::seed_from_u64(0xe5c1);
+    for _ in 0..128 {
+        let prog = program(&mut rng);
         let bytes = encode_program(&prog);
         let back = decode_program(0x8000, &bytes).expect("decodes");
-        prop_assert_eq!(back, prog);
+        assert_eq!(back, prog);
     }
+}
 
-    #[test]
-    fn every_slot_is_eight_bytes(prog in program()) {
+#[test]
+fn every_slot_is_eight_bytes() {
+    let mut rng = Pcg32::seed_from_u64(0xe5c2);
+    for _ in 0..128 {
+        let prog = program(&mut rng);
         let bytes = encode_program(&prog);
         let slots: usize = prog.iter().map(|p| p.slots().len().max(1)).sum();
-        prop_assert_eq!(bytes.len(), slots * 8);
+        assert_eq!(bytes.len(), slots * 8);
     }
+}
 
-    #[test]
-    fn corrupting_any_opcode_never_panics(prog in program(), byte in any::<usize>(),
-                                          val in any::<u8>()) {
+#[test]
+fn corrupting_any_opcode_never_panics() {
+    let mut rng = Pcg32::seed_from_u64(0xe5c3);
+    for _ in 0..128 {
+        let prog = program(&mut rng);
         let mut bytes = encode_program(&prog);
-        if bytes.is_empty() { return Ok(()); }
-        let i = byte % bytes.len();
-        bytes[i] = val;
+        if bytes.is_empty() {
+            continue;
+        }
+        let i = rng.below(bytes.len());
+        bytes[i] = rng.next_u32() as u8;
         // Must either decode to something or fail cleanly — no panic.
         let _ = decode_program(0x8000, &bytes);
     }

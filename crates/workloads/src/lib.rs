@@ -16,9 +16,8 @@
 //! mixes data flow with clamping branches.
 
 use cabt_isa::elf::ElfFile;
+use cabt_isa::rng::Pcg32 as StdRng;
 use cabt_tricore::asm::{assemble, AsmError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 
 /// A benchmark program: source, name and predicted checksum.
@@ -57,7 +56,9 @@ fn data_words(label: &str, values: &[u32]) -> String {
 /// pairs; control-flow dominated, tiny basic blocks.
 pub fn gcd(pairs: usize, seed: u64) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
-    let values: Vec<u32> = (0..pairs * 2).map(|_| rng.random_range(1..500u32)).collect();
+    let values: Vec<u32> = (0..pairs * 2)
+        .map(|_| rng.random_range(1..500u32))
+        .collect();
 
     // Reference model (identical algorithm).
     let mut expected = 0u32;
@@ -102,7 +103,11 @@ gcd_done:
         pairs = pairs,
         data = data_words("pairs", &values)
     );
-    Workload { name: "gcd", source, expected_d2: expected }
+    Workload {
+        name: "gcd",
+        source,
+        expected_d2: expected,
+    }
 }
 
 /// `fibonacci` — `reps` iterations of an iterative Fibonacci of depth
@@ -140,7 +145,11 @@ fib_loop:
     debug
 "
     );
-    Workload { name: "fibonacci", source, expected_d2: expected }
+    Workload {
+        name: "fibonacci",
+        source,
+        expected_d2: expected,
+    }
 }
 
 /// `sieve` — sieve of Eratosthenes up to `n` (byte flags); many small
@@ -150,7 +159,10 @@ fib_loop:
 ///
 /// Panics if `n` is outside `3..=30000`.
 pub fn sieve(n: u32) -> Workload {
-    assert!((3..=30000).contains(&n), "sieve size out of supported range");
+    assert!(
+        (3..=30000).contains(&n),
+        "sieve size out of supported range"
+    );
     let mut flags = vec![true; n as usize];
     let mut expected = 0u32;
     for i in 2..n as usize {
@@ -208,7 +220,11 @@ flags: .space {space}
         n = n,
         space = (n + 3) & !3
     );
-    Workload { name: "sieve", source, expected_d2: expected }
+    Workload {
+        name: "sieve",
+        source,
+        expected_d2: expected,
+    }
 }
 
 /// `fir` — `taps`-tap FIR filter over `samples` random samples using the
@@ -269,7 +285,11 @@ inner:
         xs = data_words("samples", &xs),
         hs = data_words("coeffs", &hs)
     );
-    Workload { name: "fir", source, expected_d2: expected }
+    Workload {
+        name: "fir",
+        source,
+        expected_d2: expected,
+    }
 }
 
 /// Biquad coefficients of the elliptic filter sections (scaled by 256):
@@ -301,7 +321,9 @@ pub fn ellip(samples: usize, seed: u64) -> Workload {
                 .wrapping_mul(c[1] as u32)
                 .wrapping_add(y.wrapping_mul(c[3] as u32))
                 .wrapping_add(s2[i]);
-            s2[i] = x.wrapping_mul(c[2] as u32).wrapping_add(y.wrapping_mul(c[4] as u32));
+            s2[i] = x
+                .wrapping_mul(c[2] as u32)
+                .wrapping_add(y.wrapping_mul(c[4] as u32));
             x = y;
         }
         expected = expected.wrapping_add(x);
@@ -352,7 +374,11 @@ outer:
         body = body,
         xs = data_words("samples", &xs)
     );
-    Workload { name: "ellip", source, expected_d2: expected }
+    Workload {
+        name: "ellip",
+        source,
+        expected_d2: expected,
+    }
 }
 
 /// `dpcm` — differential PCM encoder with quantizer clamping; mixes data
@@ -402,7 +428,11 @@ apply:
         n = samples,
         xs = data_words("samples", &xs)
     );
-    Workload { name: "dpcm", source, expected_d2: expected }
+    Workload {
+        name: "dpcm",
+        source,
+        expected_d2: expected,
+    }
 }
 
 /// QMF prototype filter (scaled by 256), 8 taps.
@@ -413,7 +443,9 @@ const QMF_TAPS: [i32; 8] = [12, -34, 90, 180, 180, 90, -34, 12];
 pub fn subband(outputs: usize, seed: u64) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
     let nsamples = outputs * 2 + QMF_TAPS.len();
-    let xs: Vec<u32> = (0..nsamples).map(|_| rng.random_range(0..2048u32)).collect();
+    let xs: Vec<u32> = (0..nsamples)
+        .map(|_| rng.random_range(0..2048u32))
+        .collect();
 
     let mut expected = 0u32;
     for n in 0..outputs {
@@ -472,7 +504,11 @@ outer:
         body = body,
         xs = data_words("samples", &xs)
     );
-    Workload { name: "subband", source, expected_d2: expected }
+    Workload {
+        name: "subband",
+        source,
+        expected_d2: expected,
+    }
 }
 
 /// The six Fig. 5 / Fig. 6 programs with their default parameters.
@@ -499,7 +535,9 @@ mod tests {
     use cabt_tricore::sim::Simulator;
 
     fn check(w: &Workload) -> cabt_tricore::sim::RunStats {
-        let elf = w.elf().unwrap_or_else(|e| panic!("{} fails to assemble: {e}", w.name));
+        let elf = w
+            .elf()
+            .unwrap_or_else(|e| panic!("{} fails to assemble: {e}", w.name));
         let mut sim =
             Simulator::new(&elf).unwrap_or_else(|e| panic!("{} fails to load: {e}", w.name));
         let stats = sim
@@ -585,8 +623,11 @@ mod tests {
     fn workloads_have_distinct_block_profiles() {
         // sieve must have many small blocks; subband few large ones.
         use cabt_core::cfg::Cfg;
-        let s =
-            Cfg::build(&sieve(400).elf().unwrap(), cabt_core::Granularity::BasicBlock).unwrap();
+        let s = Cfg::build(
+            &sieve(400).elf().unwrap(),
+            cabt_core::Granularity::BasicBlock,
+        )
+        .unwrap();
         let avg_sieve = s.instr_count() as f64 / s.blocks.len() as f64;
         let b = Cfg::build(
             &subband(120, 0xcab7).elf().unwrap(),

@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             other => println!("stopped: {other:?}"),
         }
     }
-    println!("program halted after {iterations} loop entries; 4! = {}", dbg.read_reg("d2")?);
+    println!(
+        "program halted after {iterations} loop entries; 4! = {}",
+        dbg.read_reg("d2")?
+    );
 
     // The same session drives a gdb-RSP-style server.
     let elf2 = assemble(".text\n_start: mov %d1, 7\n debug\n.data\nv: .word 42\n")?;

@@ -22,8 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         for level in DetailLevel::ALL {
             let translated = Translator::new(level).translate(&elf)?;
-            let mut platform =
-                Platform::new(&translated, PlatformConfig::unlimited())?;
+            let mut platform = Platform::new(&translated, PlatformConfig::unlimited())?;
             let stats = platform.run(5_000_000_000)?;
             let dev = if level.generates_cycles() {
                 format!(
@@ -44,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 dev
             );
         }
-        println!("{:<10} (measured on the golden model: {} cycles)", w.name, measured.cycles);
+        println!(
+            "{:<10} (measured on the golden model: {} cycles)",
+            w.name, measured.cycles
+        );
         println!();
     }
     Ok(())

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  instructions = {}", measured.instructions);
     println!("  cycles       = {}", measured.cycles);
 
-    for level in [DetailLevel::Static, DetailLevel::BranchPredict, DetailLevel::Cache] {
+    for level in [
+        DetailLevel::Static,
+        DetailLevel::BranchPredict,
+        DetailLevel::Cache,
+    ] {
         let translated = Translator::new(level).translate(&elf)?;
         let mut platform = Platform::new(&translated, PlatformConfig::default())?;
         let stats = platform.run(1_000_000)?;

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs the fig5_speed benchmark (host throughput of every simulator
+# configuration plus the naive-vs-pre-decoded dispatch comparison) and
+# leaves the machine-readable result in BENCH_fig5.json at the repo
+# root, so the performance trajectory accumulates run over run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export BENCH_FIG5_OUT="$PWD/BENCH_fig5.json"
+cargo bench -p cabt-bench --bench fig5_speed
+
+echo
+echo "== BENCH_fig5.json =="
+cat "$BENCH_FIG5_OUT"

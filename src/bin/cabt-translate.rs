@@ -39,9 +39,7 @@ fn main() -> ExitCode {
             "--per-instruction" => granularity = Granularity::PerInstruction,
             "--run" => run = true,
             "--listing" => listing = true,
-            other if path.is_none() && !other.starts_with('-') => {
-                path = Some(other.to_string())
-            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
             _ => return usage(),
         }
     }
@@ -61,7 +59,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let translated = match Translator::new(level).with_granularity(granularity).translate(&elf)
+    let translated = match Translator::new(level)
+        .with_granularity(granularity)
+        .translate(&elf)
     {
         Ok(t) => t,
         Err(e) => {

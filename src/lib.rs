@@ -20,14 +20,27 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`isa`] | memory model, ELF32 reader/writer |
+//! | [`isa`] | memory model, ELF32 reader/writer, deterministic PRNG |
+//! | [`exec`] | `ExecutionEngine` — the shared dispatch interface of every simulator |
 //! | [`tricore`] | source ISA, assembler, cycle-accurate golden model |
 //! | [`vliw`] | target VLIW ISA, binary container format, simulator |
 //! | [`core`] | **the translator** (the paper's contribution) |
 //! | [`platform`] | synchronization device, SoC bus, peripherals |
 //! | [`rtlsim`] | event-driven RT-level baseline simulator |
-//! | [`debug`] | dual-translation debugger + RSP packet layer |
+//! | [`debug`] | generic lockstep driver, dual-translation debugger + RSP packet layer |
 //! | [`workloads`] | the paper's benchmark programs |
+//!
+//! Both simulators are **pre-decoded execution engines**: at load, the
+//! program is decoded once into a dense table whose entries carry their
+//! fall-through and branch-target *indices* (plus cached operand sets
+//! and timing records), so the hot loop is an index-chased dispatch
+//! over a flat `Vec` instead of a fetch→decode→match per step — ≥2×
+//! faster instruction/packet dispatch than the retained naive
+//! interpreters (kept behind `DispatchMode::Naive`/`VliwDispatch::Naive`
+//! and proven bit-identical by the `predecode_diff` differential
+//! suite). The platform harness, the debugger and the benchmark tables
+//! all drive engines through [`cabt_exec::ExecutionEngine`], which is
+//! where future backends (JIT, sharded multi-core) plug in.
 //!
 //! # Quickstart
 //!
@@ -70,6 +83,7 @@
 
 pub use cabt_core as core;
 pub use cabt_debug as debug;
+pub use cabt_exec as exec;
 pub use cabt_isa as isa;
 pub use cabt_platform as platform;
 pub use cabt_rtlsim as rtlsim;
@@ -81,6 +95,7 @@ pub use cabt_workloads as workloads;
 pub mod prelude {
     pub use cabt_core::{DetailLevel, Granularity, Translated, Translator};
     pub use cabt_debug::{DebugSession, StopReason};
+    pub use cabt_exec::{ExecutionEngine, Limit, StopCause};
     pub use cabt_platform::{Platform, PlatformConfig, SyncRate};
     pub use cabt_tricore::asm::assemble;
     pub use cabt_tricore::sim::Simulator;

@@ -22,18 +22,25 @@ top:
 fn ops_of(level: DetailLevel) -> Vec<Op> {
     let elf = cabt_tricore::asm::assemble(SRC).unwrap();
     let t = Translator::new(level).translate(&elf).unwrap();
-    t.packets.iter().flat_map(|p| p.slots().iter().map(|s| s.op)).collect()
+    t.packets
+        .iter()
+        .flat_map(|p| p.slots().iter().map(|s| s.op))
+        .collect()
 }
 
 fn count_sync_stores(ops: &[Op], woff: i16) -> usize {
     ops.iter()
-        .filter(|o| matches!(o, Op::St { base, woff: w, .. } if *base == SYNC_BASE_REG && *w == woff))
+        .filter(
+            |o| matches!(o, Op::St { base, woff: w, .. } if *base == SYNC_BASE_REG && *w == woff),
+        )
         .count()
 }
 
 fn count_sync_loads(ops: &[Op], woff: i16) -> usize {
     ops.iter()
-        .filter(|o| matches!(o, Op::Ld { base, woff: w, .. } if *base == SYNC_BASE_REG && *w == woff))
+        .filter(
+            |o| matches!(o, Op::Ld { base, woff: w, .. } if *base == SYNC_BASE_REG && *w == woff),
+        )
         .count()
 }
 
@@ -41,8 +48,16 @@ fn count_sync_loads(ops: &[Op], woff: i16) -> usize {
 fn fig2_every_block_starts_and_waits() {
     let ops = ops_of(DetailLevel::Static);
     // Three basic blocks: three start writes and three wait reads.
-    assert_eq!(count_sync_stores(&ops, 0), 3, "start cycle generation per block");
-    assert_eq!(count_sync_loads(&ops, 1), 3, "wait for end of cycle generation per block");
+    assert_eq!(
+        count_sync_stores(&ops, 0),
+        3,
+        "start cycle generation per block"
+    );
+    assert_eq!(
+        count_sync_loads(&ops, 1),
+        3,
+        "wait for end of cycle generation per block"
+    );
     // No correction machinery at the static level.
     assert_eq!(count_sync_stores(&ops, 2), 0);
     assert_eq!(count_sync_loads(&ops, 3), 0);
@@ -53,9 +68,17 @@ fn fig3_correction_block_present_at_branch_predict() {
     let ops = ops_of(DetailLevel::BranchPredict);
     // Correction block per basic block: start-correction write and both
     // waits (main then correction), exactly as Fig. 3 lays them out.
-    assert_eq!(count_sync_stores(&ops, 2), 3, "start correction generation per block");
+    assert_eq!(
+        count_sync_stores(&ops, 2),
+        3,
+        "start correction generation per block"
+    );
     assert_eq!(count_sync_loads(&ops, 1), 3, "wait for main generation");
-    assert_eq!(count_sync_loads(&ops, 3), 3, "wait for correction generation");
+    assert_eq!(
+        count_sync_loads(&ops, 3),
+        3,
+        "wait for correction generation"
+    );
     // Predicated additions to the correction counter exist (the inserted
     // cycle-calculation code for the conditional jump).
     let corr_adds = ops
@@ -76,8 +99,11 @@ fn functional_level_has_no_device_accesses() {
 fn cache_level_emits_analysis_calls_and_subroutine() {
     let elf = cabt_tricore::asm::assemble(SRC).unwrap();
     let t = Translator::new(DetailLevel::Cache).translate(&elf).unwrap();
-    let ops: Vec<Op> =
-        t.packets.iter().flat_map(|p| p.slots().iter().map(|s| s.op)).collect();
+    let ops: Vec<Op> = t
+        .packets
+        .iter()
+        .flat_map(|p| p.slots().iter().map(|s| s.op))
+        .collect();
     // One branch per analysis block (plus one per block terminator, plus
     // the return in the subroutine): at least #analysis-blocks calls.
     let n_analysis: usize = t.blocks.iter().map(|b| b.analysis_blocks).sum();
@@ -100,7 +126,9 @@ fn predicted_cycle_counts_are_in_the_code() {
     // The n of Fig. 2 must literally appear as the MVK feeding the
     // start-of-generation store.
     let elf = cabt_tricore::asm::assemble(SRC).unwrap();
-    let t = Translator::new(DetailLevel::Static).translate(&elf).unwrap();
+    let t = Translator::new(DetailLevel::Static)
+        .translate(&elf)
+        .unwrap();
     let consts: Vec<i16> = t
         .packets
         .iter()
@@ -123,10 +151,15 @@ fn predicted_cycle_counts_are_in_the_code() {
 #[test]
 fn blocks_map_to_ascending_target_addresses() {
     let elf = cabt_tricore::asm::assemble(SRC).unwrap();
-    let t = Translator::new(DetailLevel::Static).translate(&elf).unwrap();
+    let t = Translator::new(DetailLevel::Static)
+        .translate(&elf)
+        .unwrap();
     let mut last = 0;
     for b in &t.blocks {
-        assert!(b.tgt_addr > last || last == 0, "blocks laid out in source order");
+        assert!(
+            b.tgt_addr > last || last == 0,
+            "blocks laid out in source order"
+        );
         last = b.tgt_addr;
         assert_eq!(t.target_of(b.src_start), Some(b.tgt_addr));
     }
@@ -147,7 +180,9 @@ fn branch_prediction_correction_polarity() {
         debug
     ";
     let elf = cabt_tricore::asm::assemble(once).unwrap();
-    let t = Translator::new(DetailLevel::BranchPredict).translate(&elf).unwrap();
+    let t = Translator::new(DetailLevel::BranchPredict)
+        .translate(&elf)
+        .unwrap();
     let mut p = Platform::new(&t, PlatformConfig::unlimited()).unwrap();
     let s = p.run(1_000_000).unwrap();
     // Single execution, not taken, predicted taken → exactly one
@@ -160,7 +195,9 @@ fn branch_prediction_correction_polarity() {
 #[test]
 fn listing_names_blocks_and_cycles() {
     let elf = cabt_tricore::asm::assemble(SRC).unwrap();
-    let t = Translator::new(DetailLevel::Static).translate(&elf).unwrap();
+    let t = Translator::new(DetailLevel::Static)
+        .translate(&elf)
+        .unwrap();
     let listing = t.listing();
     assert!(listing.contains("level `static`"));
     for b in &t.blocks {
@@ -170,5 +207,8 @@ fn listing_names_blocks_and_cycles() {
             b.id
         );
     }
-    assert!(listing.contains("STW"), "sync-device stores appear in the listing");
+    assert!(
+        listing.contains("STW"),
+        "sync-device stores appear in the listing"
+    );
 }

@@ -73,18 +73,34 @@ fn cache_simulation_tracks_golden_misses_under_thrashing() {
     // keeping the totals within the cross-block pipeline slack.
     use cabt_tricore::arch::{ArchDesc, CacheConfig};
     let arch = ArchDesc {
-        cache: CacheConfig { sets: 4, ways: 2, line_bytes: 16, miss_penalty: 8 },
+        cache: CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 16,
+            miss_penalty: 8,
+        },
         ..ArchDesc::default()
     };
     let w = cabt::workloads::ellip(24, 8);
     let elf = w.elf().unwrap();
     let mut gold = Simulator::with_arch(&elf, arch.clone()).unwrap();
     let g = gold.run(500_000_000).unwrap();
-    assert!(g.icache_misses > 100, "the tiny cache must thrash: {}", g.icache_misses);
-    let t = Translator::new(DetailLevel::Cache).with_arch(arch).translate(&elf).unwrap();
+    assert!(
+        g.icache_misses > 100,
+        "the tiny cache must thrash: {}",
+        g.icache_misses
+    );
+    let t = Translator::new(DetailLevel::Cache)
+        .with_arch(arch)
+        .translate(&elf)
+        .unwrap();
     let mut p = Platform::new(&t, PlatformConfig::unlimited()).unwrap();
     let s = p.run(5_000_000_000).unwrap();
-    assert_eq!(p.sim().reg(cabt_core::regbind::dreg(cabt_tricore::isa::DReg(2))), w.expected_d2);
+    assert_eq!(
+        p.sim()
+            .reg(cabt_core::regbind::dreg(cabt_tricore::isa::DReg(2))),
+        w.expected_d2
+    );
     let dev = (s.total_generated() as f64 - g.cycles as f64).abs() / g.cycles as f64;
     assert!(dev < 0.03, "thrashing deviation {dev:.4}");
 }
@@ -94,11 +110,21 @@ fn bigger_cache_means_fewer_corrections() {
     use cabt_tricore::arch::{ArchDesc, CacheConfig};
     let w = cabt::workloads::sieve(150);
     let small = ArchDesc {
-        cache: CacheConfig { sets: 4, ways: 2, line_bytes: 16, miss_penalty: 8 },
+        cache: CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 16,
+            miss_penalty: 8,
+        },
         ..ArchDesc::default()
     };
     let big = ArchDesc {
-        cache: CacheConfig { sets: 64, ways: 2, line_bytes: 32, miss_penalty: 8 },
+        cache: CacheConfig {
+            sets: 64,
+            ways: 2,
+            line_bytes: 32,
+            miss_penalty: 8,
+        },
         ..ArchDesc::default()
     };
     let run = |arch: &ArchDesc| {
@@ -119,14 +145,22 @@ fn bigger_cache_means_fewer_corrections() {
 fn four_way_cache_is_rejected() {
     use cabt_tricore::arch::{ArchDesc, CacheConfig};
     let arch = ArchDesc {
-        cache: CacheConfig { sets: 8, ways: 4, line_bytes: 32, miss_penalty: 8 },
+        cache: CacheConfig {
+            sets: 8,
+            ways: 4,
+            line_bytes: 32,
+            miss_penalty: 8,
+        },
         ..ArchDesc::default()
     };
     let e = Translator::new(DetailLevel::Cache)
         .with_arch(arch)
         .translate(&cabt::workloads::gcd(2, 1).elf().unwrap())
         .unwrap_err();
-    assert!(matches!(e, cabt_core::TranslateError::UnsupportedCache { ways: 4 }));
+    assert!(matches!(
+        e,
+        cabt_core::TranslateError::UnsupportedCache { ways: 4 }
+    ));
 }
 
 #[test]
@@ -134,13 +168,21 @@ fn direct_mapped_cache_works_end_to_end() {
     use cabt_tricore::arch::{ArchDesc, CacheConfig};
     let w = cabt::workloads::gcd(6, 2);
     let arch = ArchDesc {
-        cache: CacheConfig { sets: 16, ways: 1, line_bytes: 32, miss_penalty: 8 },
+        cache: CacheConfig {
+            sets: 16,
+            ways: 1,
+            line_bytes: 32,
+            miss_penalty: 8,
+        },
         ..ArchDesc::default()
     };
     let elf = w.elf().unwrap();
     let mut gold = Simulator::with_arch(&elf, arch.clone()).unwrap();
     let gstats = gold.run(100_000_000).unwrap();
-    let t = Translator::new(DetailLevel::Cache).with_arch(arch).translate(&elf).unwrap();
+    let t = Translator::new(DetailLevel::Cache)
+        .with_arch(arch)
+        .translate(&elf)
+        .unwrap();
     let mut p = Platform::new(&t, PlatformConfig::unlimited()).unwrap();
     let s = p.run(5_000_000_000).unwrap();
     assert_eq!(gold.cpu.d(2), w.expected_d2);

@@ -39,13 +39,24 @@ fn slow_multiplier_architecture_stays_accurate() {
         },
         ..ArchDesc::default()
     };
-    for w in [cabt::workloads::fir(8, 64, 13), cabt::workloads::ellip(24, 13)] {
+    for w in [
+        cabt::workloads::fir(8, 64, 13),
+        cabt::workloads::ellip(24, 13),
+    ] {
         let (measured, generated) = accuracy_for(&arch, &w);
         let dev = (generated as f64 - measured as f64).abs() / measured as f64;
-        assert!(dev < 0.05, "{}: deviation {dev:.3} on the slow-mul core", w.name);
+        assert!(
+            dev < 0.05,
+            "{}: deviation {dev:.3} on the slow-mul core",
+            w.name
+        );
         // The slow multiplier must actually show up in the counts.
         let (base, _) = accuracy_for(&ArchDesc::default(), &w);
-        assert!(measured > base, "{}: 5-cycle multiplies must cost cycles", w.name);
+        assert!(
+            measured > base,
+            "{}: 5-cycle multiplies must cost cycles",
+            w.name
+        );
     }
 }
 
@@ -55,8 +66,16 @@ fn single_issue_architecture_stays_accurate() {
     // enough that pairing hardly matters, plus a huge miss penalty.
     let arch = ArchDesc {
         name: "slow-mem".into(),
-        timing: Timing { load_latency: 4, ..Timing::default() },
-        cache: CacheConfig { sets: 8, ways: 2, line_bytes: 16, miss_penalty: 20 },
+        timing: Timing {
+            load_latency: 4,
+            ..Timing::default()
+        },
+        cache: CacheConfig {
+            sets: 8,
+            ways: 2,
+            line_bytes: 16,
+            miss_penalty: 20,
+        },
         ..ArchDesc::default()
     };
     let w = cabt::workloads::sieve(150);
@@ -71,7 +90,10 @@ fn branch_cost_changes_propagate_to_corrections() {
     // corrected-cycle count of a mispredicting workload.
     let cheap = ArchDesc::default();
     let dear = ArchDesc {
-        timing: Timing { cond_mispredict: 9, ..Timing::default() },
+        timing: Timing {
+            cond_mispredict: 9,
+            ..Timing::default()
+        },
         ..ArchDesc::default()
     };
     let w = cabt::workloads::gcd(8, 17);
@@ -98,9 +120,15 @@ fn branch_cost_changes_propagate_to_corrections() {
 fn faster_clock_config_only_rescales_time_not_cycles() {
     let w = cabt::workloads::dpcm(100, 17);
     let arch_a = ArchDesc::default();
-    let arch_b = ArchDesc { clock_hz: 96_000_000, ..ArchDesc::default() };
+    let arch_b = ArchDesc {
+        clock_hz: 96_000_000,
+        ..ArchDesc::default()
+    };
     let (cycles_a, gen_a) = accuracy_for(&arch_a, &w);
     let (cycles_b, gen_b) = accuracy_for(&arch_b, &w);
-    assert_eq!(cycles_a, cycles_b, "clock rate must not change cycle counts");
+    assert_eq!(
+        cycles_a, cycles_b,
+        "clock rate must not change cycle counts"
+    );
     assert_eq!(gen_a, gen_b);
 }

@@ -73,7 +73,11 @@ fn accuracy_improves_monotonically_per_workload() {
         );
         // At the cache level only cross-block pipeline effects remain.
         let pct = d_cache as f64 / gstats.cycles as f64;
-        assert!(pct < 0.05, "{}: cache-level deviation {pct:.3} too large", w.name);
+        assert!(
+            pct < 0.05,
+            "{}: cache-level deviation {pct:.3} too large",
+            w.name
+        );
     }
 }
 
@@ -86,7 +90,11 @@ fn static_prediction_underestimates_only_dynamic_effects() {
     for w in [cabt::workloads::gcd(8, 3), cabt::workloads::sieve(120)] {
         let (_, gstats) = golden(&w);
         let (_, s) = translated(&w, DetailLevel::BranchPredict);
-        assert!(s.corrected_cycles > 0, "{}: control code must mispredict sometimes", w.name);
+        assert!(
+            s.corrected_cycles > 0,
+            "{}: control code must mispredict sometimes",
+            w.name
+        );
         assert!(
             s.generated_cycles <= gstats.cycles,
             "{}: static part {} exceeds measured {}",

@@ -19,7 +19,11 @@ fn lockstep(w: &Workload, steps: usize) {
         gold.step().expect("golden steps");
         match dbg.step().expect("debug steps") {
             StopReason::Halted => {
-                assert!(gold.is_halted(), "{}: debug halted early at step {n}", w.name);
+                assert!(
+                    gold.is_halted(),
+                    "{}: debug halted early at step {n}",
+                    w.name
+                );
                 break;
             }
             StopReason::Step(src) => {

@@ -48,8 +48,7 @@ fn platform_uart_bytes(level: DetailLevel) -> Vec<u8> {
     let mut bus = SocBus::new();
     bus.attach(Box::new(Uart::new(0xf000_0100)));
     bus.attach(Box::new(ScratchRam::new(0xf000_0200, 0x100)));
-    let mut p =
-        Platform::with_bus(&t, PlatformConfig::default(), bus).expect("builds");
+    let mut p = Platform::with_bus(&t, PlatformConfig::default(), bus).expect("builds");
     let stats = p.run(10_000_000).expect("halts");
     stats.uart.into_iter().map(|(_, b)| b).collect()
 }
@@ -78,7 +77,9 @@ fn io_ordering_is_preserved_under_sync_stalls() {
 #[test]
 fn uart_timestamps_are_in_generated_time() {
     let elf = assemble(DRIVER).expect("assembles");
-    let t = Translator::new(DetailLevel::Static).translate(&elf).expect("translates");
+    let t = Translator::new(DetailLevel::Static)
+        .translate(&elf)
+        .expect("translates");
     let mut bus = SocBus::new();
     bus.attach(Box::new(Uart::new(0xf000_0100)));
     bus.attach(Box::new(ScratchRam::new(0xf000_0200, 0x100)));
