@@ -18,9 +18,10 @@
 //! The stepping/inspection machinery is not VLIW-specific: it lives in
 //! [`Lockstep`], which drives *any* [`ExecutionEngine`] whose dispatch
 //! addresses can be mapped back to source addresses. `DebugSession` is
-//! the translated-image instantiation (`Lockstep<VliwSim>`); the same
-//! driver runs the golden model or future backends in lockstep, which
-//! is how the differential test suite compares engines.
+//! the translated-image instantiation (`Lockstep<Session>` over a
+//! `cabt-sim` session built by [`DebugSession::from_builder`]); the
+//! same driver runs the golden model or future backends in lockstep,
+//! which is how the differential test suite compares engines.
 
 pub mod rsp;
 
@@ -28,8 +29,9 @@ use cabt_core::regbind::{areg, dreg};
 use cabt_core::{DetailLevel, Granularity, TranslateError, Translated, Translator};
 use cabt_exec::ExecutionEngine;
 use cabt_isa::elf::ElfFile;
+use cabt_sim::{Backend, Session, SessionError, SimBuilder};
 use cabt_tricore::isa::{AReg, DReg};
-use cabt_vliw::sim::{VliwError, VliwSim};
+use cabt_vliw::sim::VliwError;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
@@ -51,6 +53,12 @@ pub enum DebugError {
     Translate(TranslateError),
     /// Target execution failed.
     Exec(VliwError),
+    /// Building or running the underlying `cabt-sim` session failed.
+    Session(SessionError),
+    /// The session builder selected a backend the debugger cannot
+    /// drive (only [`Backend::Translated`] has the dual-translation
+    /// debug pair).
+    BadBackend(Backend),
     /// The requested address is not a source instruction address.
     BadAddress(u32),
     /// The requested register name is unknown.
@@ -62,6 +70,13 @@ impl fmt::Display for DebugError {
         match self {
             DebugError::Translate(e) => write!(f, "cannot translate debuggee: {e}"),
             DebugError::Exec(e) => write!(f, "target fault: {e}"),
+            DebugError::Session(e) => write!(f, "session fault: {e}"),
+            DebugError::BadBackend(b) => {
+                write!(
+                    f,
+                    "cannot debug a `{b}` session (needs a translated backend)"
+                )
+            }
             DebugError::BadAddress(a) => write!(f, "{a:#010x} is not an instruction address"),
             DebugError::BadRegister(n) => write!(f, "unknown register `{n}`"),
         }
@@ -79,6 +94,17 @@ impl From<TranslateError> for DebugError {
 impl From<VliwError> for DebugError {
     fn from(e: VliwError) -> Self {
         DebugError::Exec(e)
+    }
+}
+
+impl From<SessionError> for DebugError {
+    fn from(e: SessionError) -> Self {
+        // Keep the historical shapes for the cases callers match on.
+        match e {
+            SessionError::Translate(t) => DebugError::Translate(t),
+            SessionError::Target(v) => DebugError::Exec(v),
+            other => DebugError::Session(other),
+        }
     }
 }
 
@@ -279,10 +305,9 @@ pub struct DebugSession {
     /// Basic-block-oriented translation (kept for inspection and for
     /// fast uninstrumented runs via [`DebugSession::block_image`]).
     bb: Translated,
-    /// Instruction-oriented translation driving the session.
-    pi: Translated,
-    /// The generic driver over the translated-image engine.
-    inner: Lockstep<VliwSim>,
+    /// The generic driver over the instruction-oriented `cabt-sim`
+    /// session that actually executes the debuggee.
+    inner: Lockstep<Session>,
     symbols: HashMap<String, u32>,
 }
 
@@ -303,25 +328,53 @@ impl DebugSession {
         Self::with_level(elf, DetailLevel::Static)
     }
 
-    /// Like [`DebugSession::new`] with an explicit detail level.
+    /// Like [`DebugSession::new`] with an explicit detail level. A thin
+    /// shim over [`DebugSession::from_builder`].
     ///
     /// # Errors
     ///
     /// Propagates translation and load failures.
     pub fn with_level(elf: &ElfFile, level: DetailLevel) -> Result<Self, DebugError> {
+        Self::from_builder(SimBuilder::elf(elf.clone()).backend(Backend::translated(level)))
+    }
+
+    /// Builds a debug session from a `cabt-sim` builder — the unified
+    /// front door. The builder must select a [`Backend::Translated`]
+    /// vehicle; the granularity is forced to
+    /// [`Granularity::PerInstruction`] (the paper's second, single-
+    /// steppable translation), and the basic-block-oriented twin is
+    /// translated alongside for inspection.
+    ///
+    /// Observers registered on the builder do not fire here: the
+    /// lockstep driver steps the engine directly and never calls the
+    /// session's observer-aware `run`. Debug-time tracing hangs off
+    /// breakpoints and [`DebugSession::step`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build failures; [`DebugError::BadBackend`] if the
+    /// builder selected a non-translated vehicle (checked *before* the
+    /// vehicle is built).
+    pub fn from_builder(builder: SimBuilder) -> Result<Self, DebugError> {
+        let Backend::Translated { level, .. } = builder.selected_backend() else {
+            return Err(DebugError::BadBackend(builder.selected_backend()));
+        };
+        let session = builder.granularity(Granularity::PerInstruction).build()?;
+        let elf = session.source_elf();
         let bb = Translator::new(level).translate(elf)?;
-        let pi = Translator::new(level)
-            .with_granularity(Granularity::PerInstruction)
-            .translate(elf)?;
-        let sim = pi.make_sim()?;
-        let src_of_tgt: HashMap<u32, u32> =
-            pi.addr_map.iter().map(|(src, tgt)| (*tgt, *src)).collect();
+        let src_of_tgt: HashMap<u32, u32> = session
+            .translated()
+            .expect("translated session carries its image")
+            .addr_map
+            .iter()
+            .map(|(src, tgt)| (*tgt, *src))
+            .collect();
         let symbols = elf
             .symbols
             .iter()
             .map(|s| (s.name.clone(), s.value))
             .collect();
-        let mut inner = Lockstep::new(sim, src_of_tgt);
+        let mut inner = Lockstep::new(session, src_of_tgt);
         // Execute the translated prologue (constant-register setup, the
         // jump to the entry block) so the session starts positioned at
         // the first *source* instruction, like gdb at a program's entry.
@@ -329,14 +382,9 @@ impl DebugSession {
             if inner.current_src().is_some() || inner.is_halted() {
                 break;
             }
-            inner.engine_mut().step_packet()?;
+            inner.engine_mut().step()?;
         }
-        Ok(DebugSession {
-            bb,
-            pi,
-            inner,
-            symbols,
-        })
+        Ok(DebugSession { bb, inner, symbols })
     }
 
     /// The basic-block-oriented image (the paper's "normal" translation).
@@ -346,12 +394,15 @@ impl DebugSession {
 
     /// The instruction-oriented image driving this session.
     pub fn instruction_image(&self) -> &Translated {
-        &self.pi
+        self.inner
+            .engine()
+            .translated()
+            .expect("translated session carries its image")
     }
 
     /// The generic lockstep driver underneath (for engine-agnostic
-    /// tooling).
-    pub fn lockstep(&mut self) -> &mut Lockstep<VliwSim> {
+    /// tooling). The engine is a full `cabt-sim` [`Session`].
+    pub fn lockstep(&mut self) -> &mut Lockstep<Session> {
         &mut self.inner
     }
 
@@ -437,7 +488,7 @@ impl DebugSession {
     ///
     /// Propagates memory faults.
     pub fn read_mem(&mut self, addr: u32, len: usize) -> Result<Vec<u8>, DebugError> {
-        self.inner.read_mem(addr, len).map_err(DebugError::Exec)
+        self.inner.read_mem(addr, len).map_err(DebugError::from)
     }
 
     /// Target cycles consumed so far (includes cycle-generation
@@ -503,6 +554,13 @@ mod tests {
 
     fn session() -> DebugSession {
         DebugSession::new(&assemble(SRC).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn non_translated_builders_are_rejected() {
+        let err = DebugSession::from_builder(SimBuilder::asm(SRC).backend(Backend::Rtl))
+            .expect_err("RTL sessions have no debug pair");
+        assert!(matches!(err, DebugError::BadBackend(Backend::Rtl)));
     }
 
     #[test]

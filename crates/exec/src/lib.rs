@@ -86,13 +86,39 @@ pub trait ExecutionEngine {
     /// Fault type raised by stepping.
     type Error: std::error::Error + 'static;
 
+    /// Resumable image of the engine's *mutable* state: registers,
+    /// memory, counters, pending pipeline state. Immutable load-time
+    /// artifacts (pre-decoded tables, elaborated processes) are shared
+    /// by reference or rebuilt identically, so a snapshot is cheap
+    /// relative to reconstruction.
+    type Snapshot: Clone;
+
+    /// Captures the engine's current mutable state.
+    ///
+    /// Scope matches [`ExecutionEngine::reset`]: the snapshot covers
+    /// the *engine*. Attached devices (bus hooks, memory-mapped
+    /// peripherals) are owned by whoever attached them and are not
+    /// captured; runs whose engine trajectory depends on device state
+    /// (e.g. stalling synchronization reads) are only reproducible
+    /// from a snapshot if the devices are restored by their owner too.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Restores state captured by [`ExecutionEngine::snapshot`] on
+    /// *this* engine (or one built from the same image). Restoring a
+    /// snapshot from a different program is not detected and yields
+    /// unspecified (but memory-safe) behaviour.
+    fn restore(&mut self, snapshot: &Self::Snapshot);
+
     /// Returns architectural state (registers, program counter, cycle
     /// and stat counters, pending pipeline state) to the
     /// post-load/reset state, and restores memory to the engine's
     /// load-time image where one was captured — so reset-then-rerun is
     /// reproducible even for programs that mutate their data sections.
     /// Engines loaded by hand without sealing an image leave memory
-    /// untouched (see the implementation's docs).
+    /// untouched (see the implementation's docs). Engines without a
+    /// bespoke reset path implement this by restoring a
+    /// [`ExecutionEngine::snapshot`] captured at construction (the RTL
+    /// core does).
     ///
     /// Scope: reset covers the *engine*. Attached devices (bus hooks,
     /// memory-mapped peripherals) are owned by whoever attached them
@@ -110,27 +136,31 @@ pub trait ExecutionEngine {
     fn step_unit(&mut self) -> Result<(), Self::Error>;
 
     /// Runs until halt or until `limit` is exhausted, whichever comes
-    /// first. The budget check happens *before* each dispatch: a
-    /// `Retirements` budget is exact, while a `Cycles` budget may be
-    /// overshot by the last dispatched unit (units cost several cycles
-    /// on most engines) — `LimitReached` means the engine is at or just
-    /// past the boundary, never more than one unit beyond it.
+    /// first. The budget check happens *before* each dispatch and
+    /// *before* the halt check, uniformly across every engine: a zero
+    /// budget, or a limit already met at entry, returns
+    /// [`StopCause::LimitReached`] without dispatching anything — even
+    /// on an engine that is already halted. A `Retirements` budget is
+    /// exact, while a `Cycles` budget may be overshot by the last
+    /// dispatched unit (units cost several cycles on most engines) —
+    /// `LimitReached` means the engine is at or just past the boundary,
+    /// never more than one unit beyond it.
     ///
     /// # Errors
     ///
     /// Propagates faults from stepping.
     fn run_until(&mut self, limit: Limit) -> Result<StopCause, Self::Error> {
         loop {
-            if self.is_halted() {
-                self.commit_arch_state();
-                return Ok(StopCause::Halted);
-            }
             let exhausted = match limit {
                 Limit::Cycles(c) => self.cycle() >= c,
                 Limit::Retirements(r) => self.engine_stats().retired >= r,
             };
             if exhausted {
                 return Ok(StopCause::LimitReached);
+            }
+            if self.is_halted() {
+                self.commit_arch_state();
+                return Ok(StopCause::Halted);
             }
             self.step_unit()?;
         }
@@ -202,6 +232,13 @@ pub fn run_epochs<E: ExecutionEngine>(
         match engine.run_until(Limit::Cycles(deadline))? {
             StopCause::Halted => return Ok(StopCause::Halted),
             StopCause::LimitReached => {
+                // `run_until` reports the budget before the halt: an
+                // engine that halted exactly on the epoch boundary is
+                // still a completed run, not an exhausted one.
+                if engine.is_halted() {
+                    engine.commit_arch_state();
+                    return Ok(StopCause::Halted);
+                }
                 if deadline >= max_cycles {
                     return Ok(StopCause::LimitReached);
                 }
@@ -233,6 +270,15 @@ mod tests {
 
     impl ExecutionEngine for Toy {
         type Error = NoFault;
+        type Snapshot = (u64, u64, [u32; 4]);
+        fn snapshot(&self) -> Self::Snapshot {
+            (self.cycles, self.units, self.regs)
+        }
+        fn restore(&mut self, &(cycles, units, regs): &Self::Snapshot) {
+            self.cycles = cycles;
+            self.units = units;
+            self.regs = regs;
+        }
         fn reset(&mut self) {
             self.cycles = 0;
             self.units = 0;
@@ -302,6 +348,59 @@ mod tests {
             Ok(StopCause::LimitReached)
         );
         assert_eq!(t.engine_stats().retired, 2);
+    }
+
+    #[test]
+    fn zero_budget_and_met_limits_never_step() {
+        // Fresh engine, zero budget: LimitReached, nothing dispatched.
+        let mut t = toy();
+        assert_eq!(t.run_until(Limit::Cycles(0)), Ok(StopCause::LimitReached));
+        assert_eq!(t.engine_stats().retired, 0);
+        assert_eq!(
+            t.run_until(Limit::Retirements(0)),
+            Ok(StopCause::LimitReached)
+        );
+        assert_eq!(t.engine_stats().retired, 0);
+
+        // Limit already met at entry: LimitReached without stepping.
+        t.run_until(Limit::Retirements(2)).unwrap();
+        let before = t.engine_stats();
+        assert_eq!(t.run_until(Limit::Cycles(3)), Ok(StopCause::LimitReached));
+        assert_eq!(t.engine_stats(), before);
+
+        // The budget check precedes the halt check: even a halted
+        // engine reports an exhausted budget as LimitReached.
+        let mut t = toy();
+        t.run_until(Limit::Cycles(u64::MAX)).unwrap();
+        assert!(t.is_halted());
+        assert_eq!(t.run_until(Limit::Cycles(0)), Ok(StopCause::LimitReached));
+        assert_eq!(
+            t.run_until(Limit::Cycles(u64::MAX)),
+            Ok(StopCause::Halted),
+            "an unexhausted budget still reports the halt"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut t = toy();
+        t.run_until(Limit::Retirements(2)).unwrap();
+        let snap = t.snapshot();
+        t.run_until(Limit::Cycles(u64::MAX)).unwrap();
+        let end = t.engine_stats();
+        t.restore(&snap);
+        assert_eq!(t.engine_stats().retired, 2);
+        t.run_until(Limit::Cycles(u64::MAX)).unwrap();
+        assert_eq!(t.engine_stats(), end, "replay from snapshot is identical");
+    }
+
+    #[test]
+    fn epoch_driver_reports_boundary_halt_as_halted() {
+        // The toy halts at exactly 15 cycles; an epoch of 5 makes the
+        // halt coincide with an epoch deadline.
+        let mut t = toy();
+        let r = run_epochs(&mut t, 15, 5, |_| {});
+        assert_eq!(r, Ok(StopCause::Halted));
     }
 
     #[test]

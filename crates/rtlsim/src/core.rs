@@ -8,9 +8,11 @@
 //! clock ticks and dozens of delta cycles — which is the point: this is
 //! the "RT level simulation on a workstation" baseline of Table 2.
 
-use crate::kernel::{DeltaOverflow, Kernel, SignalId};
+use crate::kernel::{DeltaOverflow, Kernel, KernelState, SignalId};
+use cabt_exec::{EngineStats, ExecutionEngine};
 use cabt_isa::elf::ElfFile;
 use cabt_isa::mem::Memory;
+use cabt_isa::IsaError;
 use cabt_tricore::encode::decode;
 use cabt_tricore::isa::{Cond, Instr, LdKind, StKind, RA};
 use std::cell::RefCell;
@@ -39,6 +41,8 @@ pub enum RtlError {
         /// Program counter at the fault.
         pc: u32,
     },
+    /// A testbench-side memory access failed.
+    Mem(IsaError),
     /// The instruction budget of [`RtlCore::run`] was exhausted.
     InstructionLimit,
 }
@@ -48,6 +52,7 @@ impl fmt::Display for RtlError {
         match self {
             RtlError::Delta(d) => write!(f, "{d}"),
             RtlError::Fault { pc } => write!(f, "core fault at pc {pc:#010x}"),
+            RtlError::Mem(e) => write!(f, "memory fault: {e}"),
             RtlError::InstructionLimit => write!(f, "instruction limit exceeded"),
         }
     }
@@ -61,6 +66,20 @@ impl From<DeltaOverflow> for RtlError {
     }
 }
 
+/// Resumable image of the RTL core's mutable state: the kernel's signal
+/// values and scheduling state plus the shared data memory and the
+/// retirement counter. The elaborated processes and the instruction
+/// memory are construction-time constants and stay shared with the
+/// core. This is what finally gives the RTL model a cheap
+/// [`ExecutionEngine::reset`] — restoring the post-elaboration snapshot
+/// instead of re-elaborating the whole model.
+#[derive(Debug, Clone)]
+pub struct RtlSnapshot {
+    kernel: KernelState,
+    mem: Memory,
+    instructions: u64,
+}
+
 /// The RTL-style core bound to a program image.
 pub struct RtlCore {
     kernel: Kernel,
@@ -70,6 +89,11 @@ pub struct RtlCore {
     pc: SignalId,
     instructions: u64,
     mem: Rc<RefCell<Memory>>,
+    /// Instruction memory handle (fetch closures share it); used to
+    /// decide whether the pc signal points inside the program.
+    imem: Rc<HashMap<u32, u16>>,
+    /// Post-elaboration state, restored by [`ExecutionEngine::reset`].
+    initial: RtlSnapshot,
 }
 
 impl fmt::Debug for RtlCore {
@@ -471,6 +495,11 @@ impl RtlCore {
         });
         k.make_sensitive(wb, clk);
 
+        let initial = RtlSnapshot {
+            kernel: k.save_state(),
+            mem: mem.borrow().clone(),
+            instructions: 0,
+        };
         Ok(RtlCore {
             kernel: k,
             clk,
@@ -479,6 +508,8 @@ impl RtlCore {
             pc,
             instructions: 0,
             mem,
+            imem,
+            initial,
         })
     }
 
@@ -564,6 +595,85 @@ impl RtlCore {
     /// Shared handle to the data memory (testbench access).
     pub fn memory(&self) -> Rc<RefCell<Memory>> {
         Rc::clone(&self.mem)
+    }
+}
+
+impl ExecutionEngine for RtlCore {
+    type Error = RtlError;
+    type Snapshot = RtlSnapshot;
+
+    fn snapshot(&self) -> RtlSnapshot {
+        RtlSnapshot {
+            kernel: self.kernel.save_state(),
+            mem: self.mem.borrow().clone(),
+            instructions: self.instructions,
+        }
+    }
+
+    fn restore(&mut self, snapshot: &RtlSnapshot) {
+        self.kernel.restore_state(&snapshot.kernel);
+        *self.mem.borrow_mut() = snapshot.mem.clone();
+        self.instructions = snapshot.instructions;
+    }
+
+    /// Snapshot-based reset: restores the post-elaboration state
+    /// captured at construction (signals, memory image, counters) —
+    /// the model is *not* re-elaborated.
+    fn reset(&mut self) {
+        // Disjoint field borrows: restore straight from `self.initial`
+        // without cloning the whole snapshot first.
+        self.kernel.restore_state(&self.initial.kernel);
+        *self.mem.borrow_mut() = self.initial.mem.clone();
+        self.instructions = self.initial.instructions;
+    }
+
+    fn step_unit(&mut self) -> Result<(), RtlError> {
+        self.step_instruction()
+    }
+
+    /// The RTL core's native cycle unit is the simulated clock period;
+    /// one instruction costs several (see
+    /// [`RtlCore::step_instruction`]).
+    fn cycle(&self) -> u64 {
+        self.kernel.time()
+    }
+
+    fn is_halted(&self) -> bool {
+        RtlCore::is_halted(self)
+    }
+
+    fn pc(&self) -> Option<u32> {
+        let pcv = self.kernel.value(self.pc) as u32;
+        self.imem.contains_key(&pcv).then_some(pcv)
+    }
+
+    /// Flat register space: `0..16` = `D0..D15`, `16..32` = `A0..A15`
+    /// — the same layout as the golden model.
+    fn reg_count(&self) -> usize {
+        32
+    }
+
+    fn read_reg_index(&self, index: usize) -> u32 {
+        self.kernel.value(self.regs[index]) as u32
+    }
+
+    fn write_reg_index(&mut self, index: usize, value: u32) {
+        self.kernel.poke(self.regs[index], value as u64);
+    }
+
+    fn read_mem(&mut self, addr: u32, len: usize) -> Result<Vec<u8>, RtlError> {
+        self.mem
+            .borrow_mut()
+            .read_block(addr, len)
+            .map_err(RtlError::Mem)
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            cycles: self.kernel.time(),
+            retired: self.instructions,
+            stall_cycles: 0,
+        }
     }
 }
 

@@ -37,6 +37,17 @@ impl ProcCtx<'_> {
 
 type Process = Box<dyn FnMut(&mut ProcCtx<'_>)>;
 
+/// Mutable kernel state captured by [`Kernel::save_state`]: everything
+/// a resumed simulation needs besides the (immutable) processes and
+/// sensitivity lists.
+#[derive(Debug, Clone)]
+pub struct KernelState {
+    values: Vec<u64>,
+    runnable: Vec<usize>,
+    time: u64,
+    deltas: u64,
+}
+
 /// Error raised when the delta iteration does not converge (a
 /// combinational loop in the model).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,6 +218,40 @@ impl Kernel {
     /// Simulated clock periods elapsed.
     pub fn time(&self) -> u64 {
         self.time
+    }
+
+    /// Captures the kernel's mutable state: committed signal values,
+    /// the runnable set and the time/delta counters. Processes and
+    /// sensitivity lists are elaboration-time constants and are not
+    /// captured — a state restored into the kernel that produced it
+    /// resumes the simulation exactly.
+    pub fn save_state(&self) -> KernelState {
+        let mut runnable: Vec<usize> = self.runnable.iter().copied().collect();
+        runnable.sort_unstable();
+        KernelState {
+            values: self.values.clone(),
+            runnable,
+            time: self.time,
+            deltas: self.deltas,
+        }
+    }
+
+    /// Restores state captured by [`Kernel::save_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was saved from a kernel with a different
+    /// signal count (a different elaboration).
+    pub fn restore_state(&mut self, state: &KernelState) {
+        assert_eq!(
+            state.values.len(),
+            self.values.len(),
+            "kernel state from a different elaboration"
+        );
+        self.values.clone_from(&state.values);
+        self.runnable = state.runnable.iter().copied().collect();
+        self.time = state.time;
+        self.deltas = state.deltas;
     }
 
     /// Total delta cycles executed (a measure of simulation work).

@@ -23,5 +23,5 @@
 pub mod core;
 pub mod kernel;
 
-pub use crate::core::{RtlCore, RtlError};
-pub use kernel::{Kernel, ProcId, SignalId};
+pub use crate::core::{RtlCore, RtlError, RtlSnapshot};
+pub use kernel::{Kernel, KernelState, ProcId, SignalId};

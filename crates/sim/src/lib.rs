@@ -1,0 +1,957 @@
+#![forbid(unsafe_code)]
+//! The single front door to every CABT execution vehicle.
+//!
+//! The paper's experiments compare the *same* program across four
+//! execution vehicles: the evaluation board (our golden model), the
+//! translated VLIW image on the prototyping platform, the FPGA
+//! emulation (derived from board cycles) and an RT-level simulation.
+//! Before this crate each vehicle was constructed through its own
+//! ad-hoc surface (`Simulator::new`, `Translator` + `Platform`,
+//! `RtlCore::new`, …); [`SimBuilder`] replaces them with one typed
+//! builder where the vehicle is *data*:
+//!
+//! ```
+//! use cabt_exec::Limit;
+//! use cabt_sim::{Backend, SimBuilder};
+//!
+//! let src = ".text\n_start: mov %d2, 21\n add %d2, %d2\n debug\n";
+//! for backend in [
+//!     Backend::golden(),
+//!     Backend::translated(cabt_core::DetailLevel::Static),
+//!     Backend::Rtl,
+//! ] {
+//!     let mut session = SimBuilder::asm(src).backend(backend).build()?;
+//!     session.run(Limit::Cycles(1_000_000))?;
+//!     assert_eq!(session.read_d(2), 42, "{backend}");
+//! }
+//! # Ok::<(), cabt_sim::SessionError>(())
+//! ```
+//!
+//! A [`Session`] has a uniform lifecycle — [`Session::run`],
+//! [`Session::step`], [`Session::stats`], [`Session::snapshot`],
+//! [`Session::restore`], [`Session::reset`] — and itself implements
+//! [`ExecutionEngine`], so every generic driver in the workspace (the
+//! lockstep debugger, `run_epochs`, the benchmark harnesses) drives a
+//! session exactly like a bare engine. Growing a new backend (JIT,
+//! sharded multi-core) means adding one [`Backend`] variant, not
+//! another bespoke constructor.
+//!
+//! Observers ([`SimBuilder::on_epoch`], [`SimBuilder::on_stop`]) hook
+//! tracing and statistics collection into [`Session::run`] without
+//! touching the hot loop: epoch observers fire between bounded bursts
+//! (every [`SimBuilder::epoch`] engine cycles), stop observers fire
+//! once per completed `run`.
+
+use cabt_core::{DetailLevel, Granularity, TranslateError, Translated, Translator};
+use cabt_exec::{EngineStats, ExecutionEngine, Limit, StopCause};
+use cabt_isa::elf::ElfFile;
+use cabt_platform::{Platform, PlatformConfig, PlatformStats};
+use cabt_rtlsim::{RtlCore, RtlError, RtlSnapshot};
+use cabt_tricore::asm::AsmError;
+use cabt_tricore::isa::{AReg, DReg};
+use cabt_tricore::sim::{DispatchMode, SimError, SimSnapshot, Simulator};
+use cabt_vliw::sim::{VliwDispatch, VliwError, VliwSnapshot};
+use cabt_workloads::Workload;
+use std::fmt;
+
+/// Which execution vehicle a [`Session`] runs the workload on.
+///
+/// Backends are plain data: selecting a different vehicle — or a
+/// different dispatch core or detail level of the same vehicle — is
+/// changing this value, nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The cycle-accurate interpretive golden model (the evaluation
+    /// board of the paper's experiments).
+    Golden {
+        /// Dispatch core (pre-decoded by default).
+        dispatch: DispatchMode,
+    },
+    /// The paper's vehicle: the program translated to VLIW code and
+    /// run on the prototyping platform (synchronization device, SoC
+    /// bus, default peripherals).
+    Translated {
+        /// Cycle-accuracy detail level of the translation.
+        level: DetailLevel,
+        /// Dispatch core of the VLIW engine.
+        dispatch: VliwDispatch,
+    },
+    /// The event-driven RT-level model (the slow Table 2 baseline).
+    Rtl,
+}
+
+impl Backend {
+    /// The golden model with the default (pre-decoded) dispatch core.
+    pub fn golden() -> Self {
+        Backend::Golden {
+            dispatch: DispatchMode::default(),
+        }
+    }
+
+    /// A translated session at `level` with the default dispatch core.
+    pub fn translated(level: DetailLevel) -> Self {
+        Backend::Translated {
+            level,
+            dispatch: VliwDispatch::default(),
+        }
+    }
+
+    /// Every backend at default dispatch: golden, the four translation
+    /// detail levels, RTL — the full Table 2 column set.
+    pub fn all() -> Vec<Backend> {
+        let mut v = vec![Backend::golden()];
+        v.extend(DetailLevel::ALL.map(Backend::translated));
+        v.push(Backend::Rtl);
+        v
+    }
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        Backend::golden()
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Backend::Golden { .. } => f.write_str("golden"),
+            Backend::Translated { level, .. } => write!(f, "translated:{level}"),
+            Backend::Rtl => f.write_str("rtl"),
+        }
+    }
+}
+
+/// Errors raised while building or running a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// Inline assembly source failed to assemble.
+    Asm(AsmError),
+    /// A named workload was not found in `cabt-workloads`.
+    UnknownWorkload(String),
+    /// Translation to the VLIW target failed.
+    Translate(TranslateError),
+    /// The golden model faulted (build or run).
+    Golden(SimError),
+    /// The VLIW target faulted (build or run).
+    Target(VliwError),
+    /// The RT-level model faulted (build or run).
+    Rtl(RtlError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Asm(e) => write!(f, "workload fails to assemble: {e}"),
+            SessionError::UnknownWorkload(n) => write!(f, "no workload named `{n}`"),
+            SessionError::Translate(e) => write!(f, "translation failed: {e}"),
+            SessionError::Golden(e) => write!(f, "golden model fault: {e}"),
+            SessionError::Target(e) => write!(f, "target fault: {e}"),
+            SessionError::Rtl(e) => write!(f, "RTL model fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<AsmError> for SessionError {
+    fn from(e: AsmError) -> Self {
+        SessionError::Asm(e)
+    }
+}
+
+impl From<TranslateError> for SessionError {
+    fn from(e: TranslateError) -> Self {
+        SessionError::Translate(e)
+    }
+}
+
+impl From<SimError> for SessionError {
+    fn from(e: SimError) -> Self {
+        SessionError::Golden(e)
+    }
+}
+
+impl From<VliwError> for SessionError {
+    fn from(e: VliwError) -> Self {
+        SessionError::Target(e)
+    }
+}
+
+impl From<RtlError> for SessionError {
+    fn from(e: RtlError) -> Self {
+        SessionError::Rtl(e)
+    }
+}
+
+impl From<cabt_platform::PlatformError> for SessionError {
+    fn from(e: cabt_platform::PlatformError) -> Self {
+        match e {
+            cabt_platform::PlatformError::Vliw(v) => SessionError::Target(v),
+        }
+    }
+}
+
+/// What a session runs: inline assembly, a prebuilt ELF image, or a
+/// named entry of `cabt-workloads`.
+#[derive(Debug, Clone)]
+enum SourceSpec {
+    Asm(String),
+    Elf(ElfFile),
+    Named(String),
+}
+
+/// Everything observers receive: uniform counters plus position, taken
+/// at the moment the event fires. Engine cycles are `stats.cycles`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Why the observer fired.
+    pub kind: EventKind,
+    /// Uniform engine counters.
+    pub stats: EngineStats,
+    /// Address of the next unit to dispatch, if known.
+    pub pc: Option<u32>,
+}
+
+/// Observer trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An epoch boundary inside [`Session::run`].
+    Epoch,
+    /// [`Session::run`] returned with this cause.
+    Stop(StopCause),
+}
+
+type ObserverFn = Box<dyn FnMut(&Event)>;
+
+/// Default epoch length between epoch-observer firings, in the units
+/// of the limit passed to [`Session::run`] (see [`SimBuilder::epoch`]).
+pub const DEFAULT_EPOCH: u64 = 4096;
+
+/// Builder for a [`Session`]: workload × [`Backend`] × configuration.
+///
+/// See the crate docs for the canonical loop over backends.
+pub struct SimBuilder {
+    source: SourceSpec,
+    backend: Backend,
+    platform: PlatformConfig,
+    granularity: Granularity,
+    epoch: u64,
+    on_epoch: Vec<ObserverFn>,
+    on_stop: Vec<ObserverFn>,
+}
+
+impl fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("backend", &self.backend)
+            .field("granularity", &self.granularity)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimBuilder {
+    fn with_source(source: SourceSpec) -> Self {
+        SimBuilder {
+            source,
+            backend: Backend::default(),
+            // Pure code speed by default: the synchronization device
+            // generates instantly and wait never stalls. Pass
+            // `PlatformConfig::default()` for the paper's 200/48 MHz
+            // clock ratio.
+            platform: PlatformConfig::unlimited(),
+            granularity: Granularity::default(),
+            epoch: DEFAULT_EPOCH,
+            on_epoch: Vec::new(),
+            on_stop: Vec::new(),
+        }
+    }
+
+    /// A session over inline assembly source.
+    pub fn asm(source: impl Into<String>) -> Self {
+        Self::with_source(SourceSpec::Asm(source.into()))
+    }
+
+    /// A session over a prebuilt ELF image.
+    pub fn elf(elf: ElfFile) -> Self {
+        Self::with_source(SourceSpec::Elf(elf))
+    }
+
+    /// A session over a [`Workload`] (its assembly source).
+    pub fn workload(w: &Workload) -> Self {
+        Self::with_source(SourceSpec::Asm(w.source.clone()))
+    }
+
+    /// A session over a named `cabt-workloads` entry (`"gcd"`,
+    /// `"sieve"`, …) at its default parameterization. Unknown names
+    /// surface as [`SessionError::UnknownWorkload`] at build time.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self::with_source(SourceSpec::Named(name.into()))
+    }
+
+    /// Selects the execution vehicle (golden model by default).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The currently selected backend — lets wrappers that only
+    /// support some vehicles (e.g. the debugger) validate before
+    /// paying for [`SimBuilder::build`].
+    pub fn selected_backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Platform configuration for [`Backend::Translated`] sessions
+    /// (ignored by the other backends). Defaults to
+    /// [`PlatformConfig::unlimited`].
+    pub fn platform(mut self, cfg: PlatformConfig) -> Self {
+        self.platform = cfg;
+        self
+    }
+
+    /// Cycle-generation granularity for [`Backend::Translated`]
+    /// sessions (per basic block by default; per instruction is the
+    /// debugger's single-steppable image).
+    pub fn granularity(mut self, granularity: Granularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Epoch length between epoch-observer firings inside
+    /// [`Session::run`], in the units of the limit `run` is given —
+    /// engine cycles under [`Limit::Cycles`], retirements under
+    /// [`Limit::Retirements`] (default [`DEFAULT_EPOCH`]; clamped to
+    /// ≥ 1).
+    pub fn epoch(mut self, units: u64) -> Self {
+        self.epoch = units.max(1);
+        self
+    }
+
+    /// Registers an observer fired at every epoch boundary of
+    /// [`Session::run`] — the tracing/stats-collection hook.
+    pub fn on_epoch(mut self, f: impl FnMut(&Event) + 'static) -> Self {
+        self.on_epoch.push(Box::new(f));
+        self
+    }
+
+    /// Registers an observer fired once per completed
+    /// [`Session::run`], with the final counters and stop cause.
+    pub fn on_stop(mut self, f: impl FnMut(&Event) + 'static) -> Self {
+        self.on_stop.push(Box::new(f));
+        self
+    }
+
+    /// Builds the session: resolves the workload to an ELF image and
+    /// constructs the configured vehicle around it.
+    ///
+    /// # Errors
+    ///
+    /// Assembly, lookup, translation and engine construction failures.
+    pub fn build(self) -> Result<Session, SessionError> {
+        let elf = match self.source {
+            SourceSpec::Asm(src) => cabt_tricore::asm::assemble(&src)?,
+            SourceSpec::Elf(elf) => elf,
+            SourceSpec::Named(name) => cabt_workloads::by_name(&name)
+                .ok_or(SessionError::UnknownWorkload(name))?
+                .elf()?,
+        };
+        let vehicle = match self.backend {
+            Backend::Golden { dispatch } => {
+                let mut sim = Simulator::new(&elf)?;
+                sim.set_dispatch(dispatch);
+                Vehicle::Golden(Box::new(sim))
+            }
+            Backend::Translated { level, dispatch } => {
+                let image = Translator::new(level)
+                    .with_granularity(self.granularity)
+                    .translate(&elf)?;
+                let mut platform = Platform::new(&image, self.platform)?;
+                platform.set_dispatch(dispatch);
+                Vehicle::Translated {
+                    platform: Box::new(platform),
+                    image: Box::new(image),
+                    cfg: self.platform,
+                    dispatch,
+                }
+            }
+            Backend::Rtl => Vehicle::Rtl(Box::new(RtlCore::new(&elf)?)),
+        };
+        Ok(Session {
+            vehicle,
+            elf,
+            backend: self.backend,
+            epoch: self.epoch,
+            on_epoch: self.on_epoch,
+            on_stop: self.on_stop,
+        })
+    }
+}
+
+/// The vehicle actually driven by a session. Engines are boxed: they
+/// are megabyte-scale (memory images, pre-decoded tables) and the
+/// variants would otherwise differ wildly in size.
+enum Vehicle {
+    Golden(Box<Simulator>),
+    Translated {
+        platform: Box<Platform>,
+        /// Retained so [`Session::reset`] can rebuild the whole
+        /// platform (engine *and* devices) from the same image.
+        image: Box<Translated>,
+        cfg: PlatformConfig,
+        dispatch: VliwDispatch,
+    },
+    Rtl(Box<RtlCore>),
+}
+
+impl Vehicle {
+    fn name(&self) -> &'static str {
+        match self {
+            Vehicle::Golden(_) => "golden",
+            Vehicle::Translated { .. } => "translated",
+            Vehicle::Rtl(_) => "rtl",
+        }
+    }
+}
+
+/// Snapshot of a session's engine state, restorable into the session
+/// (or another session built from the same workload and backend).
+#[derive(Clone)]
+pub struct SessionSnapshot(Snap);
+
+#[derive(Clone)]
+enum Snap {
+    Golden(Box<SimSnapshot>),
+    /// Engine state plus the synchronization device: the device's
+    /// generation queue is keyed to the target clock, so restoring the
+    /// engine (rewinding time) without it would turn later wait reads
+    /// into phantom stalls.
+    Target {
+        engine: Box<VliwSnapshot>,
+        sync: cabt_platform::SyncDevice,
+    },
+    Rtl(Box<RtlSnapshot>),
+}
+
+impl Snap {
+    fn name(&self) -> &'static str {
+        match self {
+            Snap::Golden(_) => "golden",
+            Snap::Target { .. } => "translated",
+            Snap::Rtl(_) => "rtl",
+        }
+    }
+}
+
+impl fmt::Debug for SessionSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SessionSnapshot")
+            .field(&self.0.name())
+            .finish()
+    }
+}
+
+/// A workload bound to one execution vehicle, with the uniform
+/// lifecycle `run / step / stats / snapshot / restore / reset`.
+///
+/// `Session` implements [`ExecutionEngine`], so anything that drives an
+/// engine generically — `Lockstep`, `run_epochs`, the bench harnesses —
+/// drives a session unchanged. Units and cycles are *engine-native*
+/// (source instructions and cycles on the golden model, execute packets
+/// and target cycles on the translated platform, clock periods on the
+/// RTL core); comparisons across backends go through derived quantities
+/// (checksums, generated cycles, wall-clock time) as in the paper.
+pub struct Session {
+    vehicle: Vehicle,
+    elf: ElfFile,
+    backend: Backend,
+    epoch: u64,
+    on_epoch: Vec<ObserverFn>,
+    on_stop: Vec<ObserverFn>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("backend", &self.backend)
+            .field("cycle", &self.cycle())
+            .field("halted", &self.is_halted())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// The backend this session was built with.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The source ELF image the session was built from.
+    pub fn source_elf(&self) -> &ElfFile {
+        &self.elf
+    }
+
+    /// Uniform counters (engine-native units).
+    pub fn stats(&self) -> EngineStats {
+        self.engine_stats()
+    }
+
+    /// Dispatches one engine-native unit (instruction / packet /
+    /// RTL-core instruction).
+    ///
+    /// # Errors
+    ///
+    /// Engine faults, wrapped in [`SessionError`].
+    pub fn step(&mut self) -> Result<(), SessionError> {
+        self.step_unit()
+    }
+
+    /// Runs until halt or `limit`, firing epoch observers between
+    /// bursts and stop observers at the end. Without observers this is
+    /// a single uninterrupted [`ExecutionEngine::run_until`].
+    ///
+    /// Unlike the raw trait call — where the budget check precedes the
+    /// halt check — a *completed run* wins here: a program that halts
+    /// exactly on the limit reports [`StopCause::Halted`], matching
+    /// [`cabt_exec::run_epochs`].
+    ///
+    /// # Errors
+    ///
+    /// Engine faults, wrapped in [`SessionError`].
+    pub fn run(&mut self, limit: Limit) -> Result<StopCause, SessionError> {
+        let stop = loop {
+            match self.run_until(self.next_chunk(limit))? {
+                StopCause::Halted => break StopCause::Halted,
+                StopCause::LimitReached => {
+                    if self.is_halted() {
+                        self.commit_arch_state();
+                        break StopCause::Halted;
+                    }
+                    let outer_met = match limit {
+                        Limit::Cycles(c) => self.cycle() >= c,
+                        Limit::Retirements(r) => self.engine_stats().retired >= r,
+                    };
+                    if outer_met {
+                        break StopCause::LimitReached;
+                    }
+                    self.emit_epoch();
+                }
+            }
+        };
+        let ev = self.event(EventKind::Stop(stop));
+        for f in &mut self.on_stop {
+            f(&ev);
+        }
+        Ok(stop)
+    }
+
+    /// The next epoch-bounded budget towards `limit`: the whole limit
+    /// when no epoch observer is registered, else one epoch further in
+    /// the limit's own units.
+    fn next_chunk(&self, limit: Limit) -> Limit {
+        if self.on_epoch.is_empty() {
+            return limit;
+        }
+        match limit {
+            Limit::Cycles(c) => Limit::Cycles(self.cycle().saturating_add(self.epoch).min(c)),
+            Limit::Retirements(r) => Limit::Retirements(
+                self.engine_stats()
+                    .retired
+                    .saturating_add(self.epoch)
+                    .min(r),
+            ),
+        }
+    }
+
+    fn event(&self, kind: EventKind) -> Event {
+        Event {
+            kind,
+            stats: self.engine_stats(),
+            pc: self.pc(),
+        }
+    }
+
+    fn emit_epoch(&mut self) {
+        let ev = self.event(EventKind::Epoch);
+        for f in &mut self.on_epoch {
+            f(&ev);
+        }
+    }
+
+    /// Platform counters (generated/corrected cycles, UART log) —
+    /// `Some` only for [`Backend::Translated`] sessions.
+    pub fn platform_stats(&self) -> Option<PlatformStats> {
+        match &self.vehicle {
+            Vehicle::Translated { platform, .. } => Some(platform.stats()),
+            _ => None,
+        }
+    }
+
+    /// The translated image — `Some` only for [`Backend::Translated`]
+    /// sessions. Debug tooling reads the source↔target address map
+    /// from here.
+    pub fn translated(&self) -> Option<&Translated> {
+        match &self.vehicle {
+            Vehicle::Translated { image, .. } => Some(image),
+            _ => None,
+        }
+    }
+
+    /// Reads source data register `D{i}` wherever the backend homes it
+    /// (flat index on the source-ISA engines, the register binding's
+    /// home on the translated target). This is how cross-backend
+    /// checksum comparisons read `%d2`.
+    pub fn read_d(&self, i: u8) -> u32 {
+        match &self.vehicle {
+            Vehicle::Golden(_) | Vehicle::Rtl(_) => self.read_reg_index(i as usize),
+            Vehicle::Translated { .. } => {
+                self.read_reg_index(cabt_core::regbind::dreg(DReg(i)).index())
+            }
+        }
+    }
+
+    /// Reads source address register `A{i}` wherever the backend homes
+    /// it (see [`Session::read_d`]).
+    pub fn read_a(&self, i: u8) -> u32 {
+        match &self.vehicle {
+            Vehicle::Golden(_) | Vehicle::Rtl(_) => self.read_reg_index(16 + i as usize),
+            Vehicle::Translated { .. } => {
+                self.read_reg_index(cabt_core::regbind::areg(AReg(i)).index())
+            }
+        }
+    }
+}
+
+impl ExecutionEngine for Session {
+    type Error = SessionError;
+    type Snapshot = SessionSnapshot;
+
+    fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot(match &self.vehicle {
+            Vehicle::Golden(sim) => Snap::Golden(Box::new(sim.snapshot())),
+            Vehicle::Translated { platform, .. } => Snap::Target {
+                engine: Box::new(platform.sim().snapshot()),
+                sync: platform.save_sync_device(),
+            },
+            Vehicle::Rtl(core) => Snap::Rtl(Box::new(core.snapshot())),
+        })
+    }
+
+    /// Restores a snapshot taken from a session with the same backend
+    /// kind.
+    ///
+    /// Scope: the engine, plus — on translated sessions — the
+    /// synchronization device (its generation queue is keyed to the
+    /// target clock, so it must rewind with the engine). SoC
+    /// peripherals (timer, UART) keep their state, the same scope as
+    /// [`ExecutionEngine::reset`]; replays that poll peripherals are
+    /// reproducible only in their engine trajectory if the peripherals
+    /// were untouched in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a different backend kind.
+    fn restore(&mut self, snapshot: &SessionSnapshot) {
+        match (&mut self.vehicle, &snapshot.0) {
+            (Vehicle::Golden(sim), Snap::Golden(s)) => sim.restore(s),
+            (Vehicle::Translated { platform, .. }, Snap::Target { engine, sync }) => {
+                platform.engine().restore(engine);
+                platform.restore_sync_device(sync);
+            }
+            (Vehicle::Rtl(core), Snap::Rtl(s)) => core.restore(s),
+            (vehicle, snap) => panic!(
+                "cannot restore a {} snapshot into a {} session",
+                snap.name(),
+                vehicle.name()
+            ),
+        }
+    }
+
+    /// Resets to a fully fresh run. Unlike the engine-scope trait
+    /// minimum, a translated session *owns* its platform, so reset
+    /// rebuilds the synchronization device and SoC peripherals too —
+    /// reset-then-rerun is reproducible on every backend.
+    fn reset(&mut self) {
+        match &mut self.vehicle {
+            Vehicle::Golden(sim) => sim.reset(),
+            Vehicle::Translated {
+                platform,
+                image,
+                cfg,
+                dispatch,
+            } => {
+                let mut fresh =
+                    Platform::new(image, *cfg).expect("rebuilding a platform that built once");
+                fresh.set_dispatch(*dispatch);
+                **platform = fresh;
+            }
+            Vehicle::Rtl(core) => core.reset(),
+        }
+    }
+
+    fn step_unit(&mut self) -> Result<(), SessionError> {
+        match &mut self.vehicle {
+            Vehicle::Golden(sim) => sim.step_unit().map_err(SessionError::Golden),
+            Vehicle::Translated { platform, .. } => {
+                platform.engine().step_unit().map_err(SessionError::Target)
+            }
+            Vehicle::Rtl(core) => core.step_unit().map_err(SessionError::Rtl),
+        }
+    }
+
+    fn cycle(&self) -> u64 {
+        match &self.vehicle {
+            Vehicle::Golden(sim) => sim.cycle(),
+            Vehicle::Translated { platform, .. } => platform.sim().cycle(),
+            Vehicle::Rtl(core) => core.cycle(),
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        match &self.vehicle {
+            Vehicle::Golden(sim) => sim.is_halted(),
+            Vehicle::Translated { platform, .. } => platform.sim().is_halted(),
+            Vehicle::Rtl(core) => ExecutionEngine::is_halted(core.as_ref()),
+        }
+    }
+
+    fn pc(&self) -> Option<u32> {
+        match &self.vehicle {
+            Vehicle::Golden(sim) => sim.pc(),
+            Vehicle::Translated { platform, .. } => platform.sim().pc(),
+            Vehicle::Rtl(core) => core.pc(),
+        }
+    }
+
+    fn commit_arch_state(&mut self) {
+        match &mut self.vehicle {
+            Vehicle::Golden(sim) => sim.commit_arch_state(),
+            Vehicle::Translated { platform, .. } => platform.engine().commit_arch_state(),
+            Vehicle::Rtl(core) => core.commit_arch_state(),
+        }
+    }
+
+    fn reg_count(&self) -> usize {
+        match &self.vehicle {
+            Vehicle::Golden(sim) => sim.reg_count(),
+            Vehicle::Translated { platform, .. } => platform.sim().reg_count(),
+            Vehicle::Rtl(core) => core.reg_count(),
+        }
+    }
+
+    fn read_reg_index(&self, index: usize) -> u32 {
+        match &self.vehicle {
+            Vehicle::Golden(sim) => sim.read_reg_index(index),
+            Vehicle::Translated { platform, .. } => platform.sim().read_reg_index(index),
+            Vehicle::Rtl(core) => core.read_reg_index(index),
+        }
+    }
+
+    fn write_reg_index(&mut self, index: usize, value: u32) {
+        match &mut self.vehicle {
+            Vehicle::Golden(sim) => sim.write_reg_index(index, value),
+            Vehicle::Translated { platform, .. } => {
+                platform.engine().write_reg_index(index, value);
+            }
+            Vehicle::Rtl(core) => core.write_reg_index(index, value),
+        }
+    }
+
+    fn read_mem(&mut self, addr: u32, len: usize) -> Result<Vec<u8>, SessionError> {
+        match &mut self.vehicle {
+            Vehicle::Golden(sim) => sim.read_mem(addr, len).map_err(SessionError::Golden),
+            Vehicle::Translated { platform, .. } => platform
+                .engine()
+                .read_mem(addr, len)
+                .map_err(SessionError::Target),
+            Vehicle::Rtl(core) => core.read_mem(addr, len).map_err(SessionError::Rtl),
+        }
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        match &self.vehicle {
+            Vehicle::Golden(sim) => sim.engine_stats(),
+            Vehicle::Translated { platform, .. } => platform.sim().engine_stats(),
+            Vehicle::Rtl(core) => core.engine_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    const SUM: &str = "
+        .text
+    _start:
+        mov %d0, 10
+        mov %d2, 0
+    top:
+        add %d2, %d0
+        addi %d0, %d0, -1
+        jnz %d0, top
+        debug
+    ";
+
+    #[test]
+    fn every_backend_computes_the_same_checksum() {
+        for backend in Backend::all() {
+            let mut s = SimBuilder::asm(SUM).backend(backend).build().unwrap();
+            assert_eq!(
+                s.run(Limit::Cycles(10_000_000)).unwrap(),
+                StopCause::Halted,
+                "{backend}"
+            );
+            assert_eq!(s.read_d(2), 55, "{backend}");
+            assert!(s.stats().cycles > 0, "{backend}");
+            assert!(s.stats().retired > 0, "{backend}");
+        }
+    }
+
+    #[test]
+    fn named_workloads_resolve_and_unknown_names_fail() {
+        let mut s = SimBuilder::named("gcd").build().unwrap();
+        s.run(Limit::Cycles(100_000_000)).unwrap();
+        assert_eq!(
+            s.read_d(2),
+            cabt_workloads::by_name("gcd").unwrap().expected_d2
+        );
+
+        assert!(matches!(
+            SimBuilder::named("nonesuch").build(),
+            Err(SessionError::UnknownWorkload(_))
+        ));
+    }
+
+    #[test]
+    fn reset_reproduces_the_run_on_every_backend() {
+        for backend in [
+            Backend::golden(),
+            Backend::translated(DetailLevel::Cache),
+            Backend::Rtl,
+        ] {
+            let mut s = SimBuilder::asm(SUM).backend(backend).build().unwrap();
+            s.run(Limit::Cycles(10_000_000)).unwrap();
+            let first = s.stats();
+            s.reset();
+            assert_eq!(s.cycle(), 0, "{backend}");
+            assert!(!s.is_halted(), "{backend}");
+            s.run(Limit::Cycles(10_000_000)).unwrap();
+            assert_eq!(s.stats(), first, "{backend}: reset + rerun diverged");
+        }
+    }
+
+    #[test]
+    fn translated_reset_rebuilds_the_devices() {
+        let mut s = SimBuilder::asm(SUM)
+            .backend(Backend::translated(DetailLevel::Static))
+            .build()
+            .unwrap();
+        s.run(Limit::Cycles(10_000_000)).unwrap();
+        let first = s.platform_stats().unwrap();
+        assert!(first.total_generated() > 0);
+        s.reset();
+        assert_eq!(
+            s.platform_stats().unwrap().total_generated(),
+            0,
+            "reset must rebuild the synchronization device"
+        );
+        s.run(Limit::Cycles(10_000_000)).unwrap();
+        assert_eq!(s.platform_stats().unwrap(), first);
+    }
+
+    #[test]
+    fn observers_fire_per_epoch_and_per_stop() {
+        let epochs = Rc::new(Cell::new(0u32));
+        let stops = Rc::new(Cell::new(0u32));
+        let last_stop = Rc::new(Cell::new(None::<StopCause>));
+        let (e2, s2, l2) = (Rc::clone(&epochs), Rc::clone(&stops), Rc::clone(&last_stop));
+        let mut s = SimBuilder::asm(SUM)
+            .epoch(8)
+            .on_epoch(move |ev| {
+                assert_eq!(ev.kind, EventKind::Epoch);
+                e2.set(e2.get() + 1);
+            })
+            .on_stop(move |ev| {
+                let EventKind::Stop(cause) = ev.kind else {
+                    panic!("stop observer got {:?}", ev.kind);
+                };
+                l2.set(Some(cause));
+                s2.set(s2.get() + 1);
+            })
+            .build()
+            .unwrap();
+        s.run(Limit::Cycles(1_000_000)).unwrap();
+        assert!(epochs.get() >= 2, "small epochs must fire several times");
+        assert_eq!(stops.get(), 1);
+        assert_eq!(last_stop.get(), Some(StopCause::Halted));
+    }
+
+    #[test]
+    fn run_reports_halt_on_exact_limit_boundary() {
+        // A completed run wins over an exactly-exhausted budget —
+        // `Session::run` matches `run_epochs`, not the raw
+        // budget-first `run_until`.
+        for backend in [
+            Backend::golden(),
+            Backend::translated(DetailLevel::Static),
+            Backend::Rtl,
+        ] {
+            let mut probe = SimBuilder::asm(SUM).backend(backend).build().unwrap();
+            probe.run(Limit::Cycles(u64::MAX)).unwrap();
+            let total = probe.stats();
+            for limit in [
+                Limit::Cycles(total.cycles),
+                Limit::Retirements(total.retired),
+            ] {
+                let mut s = SimBuilder::asm(SUM).backend(backend).build().unwrap();
+                assert_eq!(
+                    s.run(limit).unwrap(),
+                    StopCause::Halted,
+                    "{backend}: {limit:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        for backend in Backend::all() {
+            let mut s = SimBuilder::asm(SUM).backend(backend).build().unwrap();
+            s.run(Limit::Retirements(5)).unwrap();
+            let snap = s.snapshot();
+            s.run(Limit::Cycles(10_000_000)).unwrap();
+            let end = s.stats();
+            let d2 = s.read_d(2);
+            s.restore(&snap);
+            s.run(Limit::Cycles(10_000_000)).unwrap();
+            assert_eq!(s.stats(), end, "{backend}: replay stats diverged");
+            assert_eq!(s.read_d(2), d2, "{backend}: replay checksum diverged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot restore")]
+    fn cross_backend_restore_panics() {
+        let golden = SimBuilder::asm(SUM).build().unwrap();
+        let mut rtl = SimBuilder::asm(SUM).backend(Backend::Rtl).build().unwrap();
+        let snap = golden.snapshot();
+        rtl.restore(&snap);
+    }
+
+    #[test]
+    fn sessions_run_under_generic_drivers() {
+        // A session is itself an ExecutionEngine: drive it with the
+        // epoch driver from cabt-exec.
+        let mut s = SimBuilder::asm(SUM)
+            .backend(Backend::translated(DetailLevel::Static))
+            .build()
+            .unwrap();
+        let stop = cabt_exec::run_epochs(&mut s, 1_000_000, 64, |_| {}).unwrap();
+        assert_eq!(stop, StopCause::Halted);
+        assert_eq!(s.read_d(2), 55);
+    }
+}

@@ -215,6 +215,24 @@ impl PreInstr {
     }
 }
 
+/// Resumable image of the golden model's mutable state — everything
+/// [`ExecutionEngine::snapshot`] must capture so that
+/// `snapshot → run → restore → run` replays bit-identically: registers,
+/// data memory, pipeline timing state, cache contents, statistics and
+/// the cached dispatch index. The pre-decoded table, the address index
+/// and the timing model are load-time constants and stay shared with
+/// the engine.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    cpu: Cpu,
+    mem: Memory,
+    tstate: TimingState,
+    cache: Option<CacheSim>,
+    stats: RunStats,
+    cur: u32,
+    halted: bool,
+}
+
 /// Where execution goes after an instruction.
 #[derive(Debug, Clone, Copy)]
 enum Flow {
@@ -762,6 +780,29 @@ impl Simulator {
 
 impl ExecutionEngine for Simulator {
     type Error = SimError;
+    type Snapshot = SimSnapshot;
+
+    fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            cpu: self.cpu.clone(),
+            mem: self.mem.clone(),
+            tstate: self.tstate.clone(),
+            cache: self.cache.clone(),
+            stats: self.stats,
+            cur: self.cur,
+            halted: self.halted,
+        }
+    }
+
+    fn restore(&mut self, snapshot: &SimSnapshot) {
+        self.cpu = snapshot.cpu.clone();
+        self.mem = snapshot.mem.clone();
+        self.tstate = snapshot.tstate.clone();
+        self.cache = snapshot.cache.clone();
+        self.stats = snapshot.stats;
+        self.cur = snapshot.cur;
+        self.halted = snapshot.halted;
+    }
 
     /// Flat register space: `0..16` = `D0..D15`, `16..32` = `A0..A15`.
     fn reset(&mut self) {

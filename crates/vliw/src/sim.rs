@@ -142,6 +142,26 @@ struct PreSlot {
     delay: u32,
 }
 
+/// Resumable image of the VLIW core's mutable state — registers, data
+/// memory, fetch position, the delayed-write and branch-shadow pipeline
+/// state, and counters. The pre-decoded packet table and slot arena are
+/// load-time constants and stay shared with the engine; the attached
+/// [`TargetBus`] is owned by whoever attached it and is *not* captured
+/// (the same scope as [`ExecutionEngine::reset`]).
+#[derive(Debug, Clone)]
+pub struct VliwSnapshot {
+    regs: [u32; 64],
+    mem: Memory,
+    pc: usize,
+    cycle: u64,
+    pending_writes: Vec<(u64, Reg, u32)>,
+    next_due: u64,
+    pending_branch: Option<(i64, u32)>,
+    pending_branch_idx: u32,
+    stats: VliwStats,
+    halted: bool,
+}
+
 /// The VLIW target simulator. See the crate docs for an example.
 pub struct VliwSim {
     regs: [u32; 64],
@@ -689,6 +709,35 @@ impl VliwSim {
 
 impl ExecutionEngine for VliwSim {
     type Error = VliwError;
+    type Snapshot = VliwSnapshot;
+
+    fn snapshot(&self) -> VliwSnapshot {
+        VliwSnapshot {
+            regs: self.regs,
+            mem: self.mem.clone(),
+            pc: self.pc,
+            cycle: self.cycle,
+            pending_writes: self.pending_writes.clone(),
+            next_due: self.next_due,
+            pending_branch: self.pending_branch,
+            pending_branch_idx: self.pending_branch_idx,
+            stats: self.stats,
+            halted: self.halted,
+        }
+    }
+
+    fn restore(&mut self, snapshot: &VliwSnapshot) {
+        self.regs = snapshot.regs;
+        self.mem = snapshot.mem.clone();
+        self.pc = snapshot.pc;
+        self.cycle = snapshot.cycle;
+        self.pending_writes.clone_from(&snapshot.pending_writes);
+        self.next_due = snapshot.next_due;
+        self.pending_branch = snapshot.pending_branch;
+        self.pending_branch_idx = snapshot.pending_branch_idx;
+        self.stats = snapshot.stats;
+        self.halted = snapshot.halted;
+    }
 
     /// Flat register space: indices `0..64` are the physical registers
     /// `A0..A31`, `B0..B31` ([`Reg::index`]). Where source registers

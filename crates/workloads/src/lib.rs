@@ -529,6 +529,23 @@ pub fn table2_set() -> Vec<Workload> {
     vec![gcd(13, 0x7ab1e2), fibonacci(1150, 6), sieve(880)]
 }
 
+/// Looks a workload up by its paper name (`gcd`, `sieve`, `fir`,
+/// `ellip`, `dpcm`, `subband`, `fibonacci`), at the default Fig. 5 /
+/// Table 2 parameterization — the registry behind session builders
+/// that accept a named workload.
+pub fn by_name(name: &str) -> Option<Workload> {
+    match name {
+        "gcd" => Some(gcd(16, 0xcab7)),
+        "dpcm" => Some(dpcm(600, 0xcab7)),
+        "fir" => Some(fir(16, 300, 0xcab7)),
+        "ellip" => Some(ellip(120, 0xcab7)),
+        "sieve" => Some(sieve(400)),
+        "subband" => Some(subband(120, 0xcab7)),
+        "fibonacci" => Some(fibonacci(1150, 6)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,9 @@
 //! Debugging translated code (§3.5): dual translation, breakpoints,
 //! single-stepping, register/address translation — plus the gdb-RSP
-//! packet layer.
+//! packet layer. The debugger rides the same `cabt-sim` builder as
+//! every other consumer: [`DebugSession::from_builder`] takes a
+//! configured [`SimBuilder`] and wraps its translated session in the
+//! lockstep driver.
 //!
 //! ```sh
 //! cargo run --release --example debugging
@@ -10,8 +13,7 @@ use cabt::prelude::*;
 use cabt_debug::rsp::{frame, unframe, RspServer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let elf = assemble(
-        r#"
+    let src = r#"
         .text
     _start:
         mov  %d0, 4
@@ -21,12 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         addi %d0, %d0, -1
         jnz  %d0, fact
         debug
-    "#,
-    )?;
+    "#;
 
     // The session holds two translations: block-oriented and
     // instruction-oriented cycle generation (the paper's debug pair).
-    let mut dbg = DebugSession::new(&elf)?;
+    // Built through the unified session builder.
+    let mut dbg = DebugSession::from_builder(
+        SimBuilder::asm(src).backend(Backend::translated(DetailLevel::Static)),
+    )?;
     println!(
         "debug images: {} blocks (block-oriented), {} blocks (instruction-oriented)",
         dbg.block_image().blocks.len(),

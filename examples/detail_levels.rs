@@ -1,51 +1,54 @@
 //! Sweeps the translator's detail levels over the paper's benchmark
 //! suite and prints the speed/accuracy trade-off of §3.2 — the paper's
-//! central knob.
+//! central knob. Every run — golden reference included — goes through a
+//! `cabt-sim` session; the detail level is just part of the [`Backend`]
+//! value.
 //!
 //! ```sh
 //! cargo run --release --example detail_levels
 //! ```
 
 use cabt::prelude::*;
-use cabt_tricore::sim::Simulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
-        "{:<10} {:<16} {:>14} {:>14} {:>10}",
-        "program", "level", "target cycles", "generated", "deviation"
+        "{:<10} {:<26} {:>14} {:>14} {:>10}",
+        "program", "backend", "cycles", "generated", "deviation"
     );
     for w in cabt::workloads::fig5_set() {
-        let elf = w.elf()?;
-        let mut board = Simulator::new(&elf)?;
-        let measured = board.run(500_000_000)?;
-        assert_eq!(board.cpu.d(2), w.expected_d2);
+        let mut board = SimBuilder::workload(&w).build()?;
+        board.run(Limit::Retirements(500_000_000))?;
+        assert_eq!(board.read_d(2), w.expected_d2);
+        let measured = board.stats().cycles;
 
         for level in DetailLevel::ALL {
-            let translated = Translator::new(level).translate(&elf)?;
-            let mut platform = Platform::new(&translated, PlatformConfig::unlimited())?;
-            let stats = platform.run(5_000_000_000)?;
+            let mut session = SimBuilder::workload(&w)
+                .backend(Backend::translated(level))
+                .build()?;
+            session.run(Limit::Cycles(5_000_000_000))?;
+            assert_eq!(session.read_d(2), w.expected_d2);
+            let stats = session.platform_stats().expect("translated session");
             let dev = if level.generates_cycles() {
                 format!(
                     "{:>8.2}%",
-                    (stats.total_generated() as f64 - measured.cycles as f64).abs()
-                        / measured.cycles as f64
+                    (stats.total_generated() as f64 - measured as f64).abs() / measured as f64
                         * 100.0
                 )
             } else {
                 "      --".to_string()
             };
             println!(
-                "{:<10} {:<16} {:>14} {:>14} {:>10}",
+                "{:<10} {:<26} {:>14} {:>14} {:>10}",
                 w.name,
-                level.to_string(),
+                session.backend().to_string(),
                 stats.target_cycles,
                 stats.total_generated(),
                 dev
             );
         }
         println!(
-            "{:<10} (measured on the golden model: {} cycles)",
-            w.name, measured.cycles
+            "{:<10} (measured on the golden model: {measured} cycles)",
+            w.name
         );
         println!();
     }

@@ -1,5 +1,10 @@
-//! Quickstart: assemble a program, measure it on the golden model,
-//! translate it, and run it on the prototyping platform.
+//! Quickstart: one builder, every execution vehicle.
+//!
+//! The same program runs on each of the paper's execution vehicles —
+//! the golden model (evaluation board), the translated VLIW image at
+//! every detail level, and the RT-level simulation — selected purely by
+//! the [`Backend`] value passed to [`SimBuilder`]. No per-backend
+//! driver code.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -8,8 +13,7 @@
 use cabt::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let elf = assemble(
-        r#"
+    let src = r#"
         .text
     _start:
         mov  %d0, 10        # n
@@ -19,33 +23,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         addi %d0, %d0, -1
         jnz  %d0, top
         debug
-    "#,
-    )?;
+    "#;
 
-    // The reference: a cycle-accurate interpretive model of the source
-    // core (dual-issue pipeline, BTFN branch prediction, I-cache).
-    let mut board = Simulator::new(&elf)?;
-    let measured = board.run(10_000)?;
-    println!("golden model: sum = {}", board.cpu.d(2));
-    println!("  instructions = {}", measured.instructions);
-    println!("  cycles       = {}", measured.cycles);
+    // Reference cycle count for the deviation column: the golden model
+    // is itself just one more backend.
+    let mut board = SimBuilder::asm(src).backend(Backend::golden()).build()?;
+    board.run(Limit::Cycles(1_000_000))?;
+    let measured = board.stats().cycles;
 
-    for level in [
-        DetailLevel::Static,
-        DetailLevel::BranchPredict,
-        DetailLevel::Cache,
-    ] {
-        let translated = Translator::new(level).translate(&elf)?;
-        let mut platform = Platform::new(&translated, PlatformConfig::default())?;
-        let stats = platform.run(1_000_000)?;
-        let dev = (stats.total_generated() as f64 - measured.cycles as f64).abs()
-            / measured.cycles as f64
-            * 100.0;
+    println!(
+        "{:<26} {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "backend", "sum", "retired", "cycles", "generated", "deviation"
+    );
+    for backend in Backend::all() {
+        let mut session = SimBuilder::asm(src).backend(backend).build()?;
+        session.run(Limit::Cycles(10_000_000))?;
+        let stats = session.stats();
+        // Generated SoC cycles exist only where the paper's vehicle
+        // generates them: on the translated platform.
+        let (generated, deviation) = match session.platform_stats() {
+            Some(p) if p.total_generated() > 0 => {
+                let dev =
+                    (p.total_generated() as f64 - measured as f64).abs() / measured as f64 * 100.0;
+                (p.total_generated().to_string(), format!("{dev:.1}%"))
+            }
+            _ => ("--".into(), "--".into()),
+        };
         println!(
-            "level {level:<15} generated {:>6} SoC cycles ({dev:.1}% off), {:>6} target cycles",
-            stats.total_generated(),
-            stats.target_cycles
+            "{:<26} {:>6} {:>12} {:>12} {:>12} {:>10}",
+            backend.to_string(),
+            session.read_d(2),
+            stats.retired,
+            stats.cycles,
+            generated,
+            deviation
         );
+        assert_eq!(session.read_d(2), 55, "every vehicle computes the same sum");
     }
     Ok(())
 }

@@ -21,35 +21,44 @@
 //! | crate | role |
 //! |---|---|
 //! | [`isa`] | memory model, ELF32 reader/writer, deterministic PRNG |
-//! | [`exec`] | `ExecutionEngine` — the shared dispatch interface of every simulator |
+//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator |
 //! | [`tricore`] | source ISA, assembler, cycle-accurate golden model |
 //! | [`vliw`] | target VLIW ISA, binary container format, simulator |
 //! | [`core`] | **the translator** (the paper's contribution) |
 //! | [`platform`] | synchronization device, SoC bus, peripherals |
 //! | [`rtlsim`] | event-driven RT-level baseline simulator |
+//! | [`sim`] | **the front door**: `SimBuilder`/`Session` over every execution vehicle |
 //! | [`debug`] | generic lockstep driver, dual-translation debugger + RSP packet layer |
 //! | [`workloads`] | the paper's benchmark programs |
 //!
-//! Both simulators are **pre-decoded execution engines**: at load, the
-//! program is decoded once into a dense table whose entries carry their
-//! fall-through and branch-target *indices* (plus cached operand sets
-//! and timing records), so the hot loop is an index-chased dispatch
-//! over a flat `Vec` instead of a fetch→decode→match per step — ≥2×
-//! faster instruction/packet dispatch than the retained naive
-//! interpreters (kept behind `DispatchMode::Naive`/`VliwDispatch::Naive`
-//! and proven bit-identical by the `predecode_diff` differential
-//! suite). The platform harness, the debugger and the benchmark tables
-//! all drive engines through [`cabt_exec::ExecutionEngine`], which is
-//! where future backends (JIT, sharded multi-core) plug in.
+//! Both interpretive simulators are **pre-decoded execution engines**:
+//! at load, the program is decoded once into a dense table whose
+//! entries carry their fall-through and branch-target *indices* (plus
+//! cached operand sets and timing records), so the hot loop is an
+//! index-chased dispatch over a flat `Vec` instead of a
+//! fetch→decode→match per step — ≥2× faster instruction/packet dispatch
+//! than the retained naive interpreters (kept behind
+//! `DispatchMode::Naive`/`VliwDispatch::Naive` and proven bit-identical
+//! by the `predecode_diff` differential suite).
+//!
+//! Every vehicle — the golden model, the translated platform, *and* the
+//! RTL core — implements [`cabt_exec::ExecutionEngine`], including its
+//! trait-level snapshot/restore capability, and is constructed through
+//! one typed builder: [`cabt_sim::SimBuilder`] takes a workload (inline
+//! assembly, an ELF image, or a named `cabt-workloads` entry) and a
+//! [`cabt_sim::Backend`] value, and yields a [`cabt_sim::Session`] with
+//! the uniform lifecycle `run / step / stats / snapshot / restore /
+//! reset` plus per-epoch/per-stop observers. The platform harness, the
+//! debugger and the benchmark tables all drive sessions through the
+//! trait, which is where future backends (JIT, sharded multi-core) plug
+//! in — one more `Backend` variant, not another bespoke constructor.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use cabt::prelude::*;
 //!
-//! // 1. Assemble a source program (normally you'd load existing object code).
-//! let elf = assemble(
-//!     r#"
+//! let src = r#"
 //!     .text
 //! _start:
 //!     mov  %d0, 6
@@ -59,25 +68,33 @@
 //!     addi %d0, %d0, -1
 //!     jnz  %d0, fact
 //!     debug
-//! "#,
-//! )?;
+//! "#;
 //!
-//! // 2. Reference: the cycle-accurate golden model (the "evaluation board").
-//! let mut board = Simulator::new(&elf)?;
-//! let measured = board.run(10_000)?;
+//! // The golden model (the paper's evaluation board) is one backend...
+//! let mut board = SimBuilder::asm(src).backend(Backend::golden()).build()?;
+//! board.run(Limit::Cycles(1_000_000))?;
+//! assert_eq!(board.read_d(2), 720); // 6!
 //!
-//! // 3. Translate with full dynamic correction (branch prediction and
-//! //    instruction-cache simulation).
-//! let translated = Translator::new(DetailLevel::Cache).translate(&elf)?;
+//! // ...and the translated prototyping platform (full dynamic
+//! // correction: branch prediction + instruction-cache simulation) is
+//! // another — same builder, different `Backend` value.
+//! let mut session = SimBuilder::asm(src)
+//!     .backend(Backend::translated(DetailLevel::Cache))
+//!     .platform(PlatformConfig::default())
+//!     .build()?;
+//! session.run(Limit::Cycles(1_000_000))?;
+//! assert_eq!(session.read_d(2), 720);
 //!
-//! // 4. Run on the prototyping platform; the program clocks the SoC bus.
-//! let mut platform = Platform::new(&translated, PlatformConfig::default())?;
-//! let stats = platform.run(1_000_000)?;
-//!
-//! assert_eq!(board.cpu.d(2), 720); // 6!
-//! let dev = (stats.total_generated() as f64 - measured.cycles as f64).abs()
-//!     / measured.cycles as f64;
+//! // The translated program generated the source processor's clock
+//! // cycles for the attached SoC hardware, tracking the measured count.
+//! let generated = session.platform_stats().expect("translated").total_generated();
+//! let measured = board.stats().cycles;
+//! let dev = (generated as f64 - measured as f64).abs() / measured as f64;
 //! assert!(dev < 0.05, "generated cycles track the measured count");
+//!
+//! // Sessions snapshot and rewind, whatever the backend.
+//! let snap = session.snapshot();
+//! session.restore(&snap);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -87,6 +104,7 @@ pub use cabt_exec as exec;
 pub use cabt_isa as isa;
 pub use cabt_platform as platform;
 pub use cabt_rtlsim as rtlsim;
+pub use cabt_sim as sim;
 pub use cabt_tricore as tricore;
 pub use cabt_vliw as vliw;
 pub use cabt_workloads as workloads;
@@ -97,6 +115,7 @@ pub mod prelude {
     pub use cabt_debug::{DebugSession, StopReason};
     pub use cabt_exec::{ExecutionEngine, Limit, StopCause};
     pub use cabt_platform::{Platform, PlatformConfig, SyncRate};
+    pub use cabt_sim::{Backend, Session, SessionError, SimBuilder};
     pub use cabt_tricore::asm::assemble;
     pub use cabt_tricore::sim::Simulator;
     pub use cabt_workloads::Workload;

@@ -1,0 +1,127 @@
+//! Cross-engine regression for the uniform `run_until` contract: a
+//! zero budget, or a limit already met at entry, returns
+//! `LimitReached` without dispatching anything — on *every* backend,
+//! driven purely through the `ExecutionEngine` trait via `cabt-sim`
+//! sessions. The budget check precedes the halt check, so even a
+//! halted engine reports an exhausted budget as `LimitReached`.
+
+use cabt::prelude::*;
+use cabt_tricore::sim::DispatchMode;
+use cabt_vliw::sim::VliwDispatch;
+
+const SUM: &str = "
+    .text
+_start:
+    mov %d0, 10
+    mov %d2, 0
+top:
+    add %d2, %d0
+    addi %d0, %d0, -1
+    jnz %d0, top
+    debug
+";
+
+/// Every backend variant, including both dispatch cores of each
+/// dispatch-mode-capable engine.
+fn all_backends() -> Vec<Backend> {
+    let mut v = Vec::new();
+    for dispatch in [DispatchMode::Predecoded, DispatchMode::Naive] {
+        v.push(Backend::Golden { dispatch });
+    }
+    for level in DetailLevel::ALL {
+        for dispatch in [VliwDispatch::Predecoded, VliwDispatch::Naive] {
+            v.push(Backend::Translated { level, dispatch });
+        }
+    }
+    v.push(Backend::Rtl);
+    v
+}
+
+fn session(backend: Backend) -> Session {
+    SimBuilder::asm(SUM)
+        .backend(backend)
+        .build()
+        .expect("builds")
+}
+
+#[test]
+fn zero_budget_returns_limit_without_stepping() {
+    for backend in all_backends() {
+        let mut s = session(backend);
+        for limit in [Limit::Cycles(0), Limit::Retirements(0)] {
+            assert_eq!(
+                s.run_until(limit).unwrap(),
+                StopCause::LimitReached,
+                "{backend}: {limit:?}"
+            );
+            assert_eq!(
+                s.stats().retired,
+                0,
+                "{backend}: {limit:?} must not dispatch"
+            );
+            assert_eq!(s.cycle(), 0, "{backend}: {limit:?} must not advance time");
+        }
+    }
+}
+
+#[test]
+fn already_met_limits_return_limit_without_stepping() {
+    for backend in all_backends() {
+        let mut s = session(backend);
+        // Make some progress, then ask for less than already done.
+        assert_eq!(
+            s.run_until(Limit::Retirements(3)).unwrap(),
+            StopCause::LimitReached,
+            "{backend}"
+        );
+        let before = s.stats();
+        assert_eq!(before.retired, 3, "{backend}: retirement budgets are exact");
+        for limit in [
+            Limit::Retirements(3),
+            Limit::Retirements(1),
+            Limit::Cycles(s.cycle()),
+            Limit::Cycles(1),
+        ] {
+            assert_eq!(
+                s.run_until(limit).unwrap(),
+                StopCause::LimitReached,
+                "{backend}: {limit:?}"
+            );
+            assert_eq!(
+                s.stats(),
+                before,
+                "{backend}: {limit:?} must leave the engine untouched"
+            );
+        }
+    }
+}
+
+#[test]
+fn budget_check_precedes_halt_check() {
+    for backend in all_backends() {
+        let mut s = session(backend);
+        assert_eq!(
+            s.run_until(Limit::Cycles(u64::MAX)).unwrap(),
+            StopCause::Halted,
+            "{backend}"
+        );
+        assert!(s.is_halted(), "{backend}");
+        // Exhausted budget wins over the halt...
+        assert_eq!(
+            s.run_until(Limit::Cycles(0)).unwrap(),
+            StopCause::LimitReached,
+            "{backend}: zero budget on a halted engine"
+        );
+        assert_eq!(
+            s.run_until(Limit::Retirements(0)).unwrap(),
+            StopCause::LimitReached,
+            "{backend}: zero retirements on a halted engine"
+        );
+        // ...while an unexhausted budget still reports the halt.
+        assert_eq!(
+            s.run_until(Limit::Cycles(u64::MAX)).unwrap(),
+            StopCause::Halted,
+            "{backend}: halted engine with budget left"
+        );
+    }
+}

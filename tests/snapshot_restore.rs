@@ -1,0 +1,170 @@
+//! Differential proof of the trait-level snapshot capability:
+//! `snapshot → run N → restore → run N` must be bit-identical —
+//! registers, memory, `EngineStats`, cycle count, pc — on both
+//! pre-decoded dispatch cores (golden model and VLIW target, in both
+//! dispatch modes) and on the RTL core. The snapshot is taken
+//! mid-flight, so pending pipeline state (delayed write-backs, branch
+//! shadows, cache contents, timing state) is covered, not just
+//! architectural registers.
+
+use cabt::prelude::*;
+use cabt_isa::elf::SectionKind;
+use cabt_rtlsim::RtlCore;
+use cabt_tricore::sim::DispatchMode;
+use cabt_vliw::sim::VliwDispatch;
+
+const SRC: &str = "
+    .text
+_start:
+    movh.a %a2, hi:arr
+    lea  %a2, [%a2]lo:arr
+    mov  %d0, 6
+    mov.a %a3, %d0
+    mov  %d2, 0
+sum:
+    ld.w %d1, [%a2+]4
+    add  %d2, %d1
+    st.w [%a2]-4, %d2
+    loop %a3, sum
+    debug
+    .data
+arr: .word 3, 1, 4, 1, 5, 9
+";
+
+/// Every observable the trait exposes, plus the given memory windows.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    regs: Vec<u32>,
+    stats: cabt::exec::EngineStats,
+    cycle: u64,
+    pc: Option<u32>,
+    halted: bool,
+    mem: Vec<Vec<u8>>,
+}
+
+fn observe<E: ExecutionEngine>(e: &mut E, windows: &[(u32, usize)]) -> Observed {
+    Observed {
+        regs: (0..e.reg_count()).map(|i| e.read_reg_index(i)).collect(),
+        stats: e.engine_stats(),
+        cycle: e.cycle(),
+        pc: e.pc(),
+        halted: e.is_halted(),
+        mem: windows
+            .iter()
+            .map(|&(addr, len)| e.read_mem(addr, len).expect("readable"))
+            .collect(),
+    }
+}
+
+/// The differential core: run `k` units, snapshot, run `n` more,
+/// observe, restore, run `n` again, and demand identical observables
+/// after both replays.
+fn diff_snapshot<E: ExecutionEngine>(label: &str, e: &mut E, k: u64, n: u64, win: &[(u32, usize)]) {
+    assert_eq!(
+        e.run_until(Limit::Retirements(k)).expect("runs"),
+        StopCause::LimitReached,
+        "{label}: warm-up must not halt (pick a smaller k)"
+    );
+    let snap = e.snapshot();
+    e.run_until(Limit::Retirements(k + n)).expect("runs");
+    let first = observe(e, win);
+    e.restore(&snap);
+    assert_eq!(
+        e.engine_stats().retired,
+        k,
+        "{label}: restore must rewind the retirement counter"
+    );
+    e.run_until(Limit::Retirements(k + n)).expect("replays");
+    let second = observe(e, win);
+    assert_eq!(first, second, "{label}: replay diverged");
+
+    // And a restored engine replays all the way to the same halt.
+    e.restore(&snap);
+    e.run_until(Limit::Cycles(u64::MAX))
+        .expect("replays to halt");
+    let end1 = observe(e, win);
+    e.restore(&snap);
+    e.run_until(Limit::Cycles(u64::MAX))
+        .expect("replays to halt");
+    let end2 = observe(e, win);
+    assert_eq!(end1, end2, "{label}: halt replay diverged");
+    assert!(end1.halted, "{label}: replay must reach the halt");
+}
+
+/// Data/BSS windows of the source image (identity-mapped on every
+/// backend in this workspace).
+fn data_windows(elf: &cabt_isa::elf::ElfFile) -> Vec<(u32, usize)> {
+    elf.sections
+        .iter()
+        .filter(|s| matches!(s.kind, SectionKind::Data | SectionKind::Bss) && s.size > 0)
+        .map(|s| (s.addr, s.size as usize))
+        .collect()
+}
+
+#[test]
+fn golden_model_snapshot_is_bit_identical_in_both_dispatch_modes() {
+    let elf = assemble(SRC).unwrap();
+    let win = data_windows(&elf);
+    for mode in [DispatchMode::Predecoded, DispatchMode::Naive] {
+        let mut sim = Simulator::new(&elf).unwrap();
+        sim.set_dispatch(mode);
+        diff_snapshot(&format!("golden/{mode:?}"), &mut sim, 7, 9, &win);
+    }
+}
+
+#[test]
+fn vliw_core_snapshot_is_bit_identical_in_both_dispatch_modes() {
+    let elf = assemble(SRC).unwrap();
+    let win = data_windows(&elf);
+    for level in [DetailLevel::Static, DetailLevel::Cache] {
+        let t = Translator::new(level).translate(&elf).unwrap();
+        for mode in [VliwDispatch::Predecoded, VliwDispatch::Naive] {
+            let mut sim = t.make_sim().unwrap();
+            sim.set_dispatch(mode);
+            // Snapshot inside the program: loads in flight, branch
+            // shadows pending.
+            diff_snapshot(&format!("vliw/{level}/{mode:?}"), &mut sim, 11, 17, &win);
+        }
+    }
+}
+
+#[test]
+fn rtl_core_snapshot_is_bit_identical() {
+    let elf = assemble(SRC).unwrap();
+    let win = data_windows(&elf);
+    let mut core = RtlCore::new(&elf).unwrap();
+    diff_snapshot("rtl", &mut core, 7, 9, &win);
+}
+
+#[test]
+fn rtl_core_reset_restores_the_initial_snapshot() {
+    let elf = assemble(SRC).unwrap();
+    let win = data_windows(&elf);
+    let mut core = RtlCore::new(&elf).unwrap();
+    core.run_until(Limit::Cycles(u64::MAX)).unwrap();
+    let first = observe(&mut core, &win);
+    assert!(first.halted);
+    core.reset();
+    assert_eq!(core.cycle(), 0, "reset rewinds the clock");
+    assert_eq!(core.engine_stats().retired, 0);
+    assert!(!ExecutionEngine::is_halted(&core));
+    core.run_until(Limit::Cycles(u64::MAX)).unwrap();
+    let second = observe(&mut core, &win);
+    assert_eq!(first, second, "reset + rerun reproduces the run");
+}
+
+/// The same capability through the session layer: sessions snapshot and
+/// restore uniformly, whatever the backend.
+#[test]
+fn sessions_snapshot_uniformly_across_backends() {
+    for backend in Backend::all() {
+        let mut s = SimBuilder::asm(SRC).backend(backend).build().unwrap();
+        s.run_until(Limit::Retirements(6)).unwrap();
+        let snap = s.snapshot();
+        s.run_until(Limit::Cycles(u64::MAX)).unwrap();
+        let end = (s.stats(), s.read_d(2));
+        s.restore(&snap);
+        s.run_until(Limit::Cycles(u64::MAX)).unwrap();
+        assert_eq!((s.stats(), s.read_d(2)), end, "{backend}: replay diverged");
+    }
+}
