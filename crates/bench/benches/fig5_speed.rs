@@ -7,17 +7,22 @@
 //! Run via `cargo bench -p cabt-bench --bench fig5_speed`; the JSON
 //! lands in `BENCH_fig5.json` (override with `BENCH_FIG5_OUT`).
 
-use cabt_bench::{bench_seconds, compare_dispatch, human_time};
+use cabt_bench::{bench_seconds, compare_dispatch, human_time, sharded_throughput};
 use cabt_core::DetailLevel;
 use std::hint::black_box;
 
 fn main() {
+    // BENCH_SMOKE=1 (scripts/bench.sh --smoke): tiny budgets, one
+    // shard, no JSON overwrite — a CI keep-alive for the bench paths.
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let iters: u32 = if smoke { 1 } else { 10 };
+
     let w = cabt_workloads::gcd(4, 1);
     println!(
         "fig5_speed — host seconds per configuration run ({}):",
         w.name
     );
-    let s = bench_seconds(10, || {
+    let s = bench_seconds(iters, || {
         black_box(cabt_bench::run_golden(&w));
     });
     println!("  {:<26} {}", "golden_gcd", human_time(s));
@@ -26,7 +31,7 @@ fn main() {
         DetailLevel::Static,
         DetailLevel::Cache,
     ] {
-        let s = bench_seconds(10, || {
+        let s = bench_seconds(iters, || {
             black_box(cabt_bench::run_translated(&w, level));
         });
         println!(
@@ -40,15 +45,23 @@ fn main() {
     // Workloads are sized so each timed run lasts milliseconds — small
     // programs drown in timer noise.
     println!("\ndispatch throughput (naive vs pre-decoded):");
-    let rows = [
-        compare_dispatch(&cabt_workloads::gcd(256, 0xcab7), DetailLevel::Static, 10),
-        compare_dispatch(
-            &cabt_workloads::fir(16, 2000, 0xcab7),
+    let rows = if smoke {
+        vec![compare_dispatch(
+            &cabt_workloads::gcd(8, 0xcab7),
             DetailLevel::Static,
-            10,
-        ),
-        compare_dispatch(&cabt_workloads::sieve(2000), DetailLevel::Cache, 10),
-    ];
+            1,
+        )]
+    } else {
+        vec![
+            compare_dispatch(&cabt_workloads::gcd(256, 0xcab7), DetailLevel::Static, 10),
+            compare_dispatch(
+                &cabt_workloads::fir(16, 2000, 0xcab7),
+                DetailLevel::Static,
+                10,
+            ),
+            compare_dispatch(&cabt_workloads::sieve(2000), DetailLevel::Cache, 10),
+        ]
+    };
     for r in &rows {
         println!(
             "  {:<8} level {:<14} golden {:>7.2} -> {:>7.2} MIPS ({:.2}x)   vliw {:>7.2} -> {:>7.2} Mpkt/s ({:.2}x)",
@@ -63,12 +76,37 @@ fn main() {
         );
     }
 
+    // Sharded throughput: the producer/consumer workload on 1, 2 and 4
+    // translated shards over one shared SoC bus. Aggregate MIPS is the
+    // scheduler's headline: simulating more cores must not collapse
+    // total dispatch throughput (the epoch scheduler stays in burst
+    // mode, so the aggregate holds roughly flat while the simulated
+    // core count — and total simulated work — scales).
+    println!("\nsharded throughput (aggregate across shards, shared SoC bus):");
+    let mc = cabt_workloads::producer_consumer(160, 0xcab7);
+    let core_counts: &[u8] = if smoke { &[1] } else { &[1, 2, 4] };
+    let sharded: Vec<_> = core_counts
+        .iter()
+        .map(|&cores| sharded_throughput(&mc, cores, iters))
+        .collect();
+    for r in &sharded {
+        println!(
+            "  {:<18} cores {}  {:>9} retired/run  {:>8.2} aggregate MIPS  ({} epochs)",
+            r.workload, r.cores, r.aggregate_retired, r.aggregate_mips, r.epochs,
+        );
+    }
+
     let json = format!(
-        "{{\"bench\":\"fig5_speed\",\"rows\":[{}]}}\n",
+        "{{\"bench\":\"fig5_speed\",\"rows\":[{}],\"sharded\":[{}]}}\n",
         rows.iter()
             .map(|r| r.to_json())
             .collect::<Vec<_>>()
-            .join(",")
+            .join(","),
+        sharded
+            .iter()
+            .map(|r| r.to_json())
+            .collect::<Vec<_>>()
+            .join(","),
     );
     // Default to the workspace root (cargo bench runs with the package
     // directory as CWD).

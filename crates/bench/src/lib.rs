@@ -458,6 +458,83 @@ pub fn compare_dispatch(w: &Workload, level: DetailLevel, iters: u32) -> Dispatc
     }
 }
 
+/// Host-side throughput of one sharded configuration: `cores` shards
+/// of the translated engine on one shared SoC bus, measured as million
+/// source instructions retired per host second *summed across shards*.
+#[derive(Debug, Clone)]
+pub struct ShardedThroughput {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Shard count.
+    pub cores: u8,
+    /// Aggregate retirements across all shards, per run.
+    pub aggregate_retired: u64,
+    /// Aggregate million instructions per host second.
+    pub aggregate_mips: f64,
+    /// Arbiter epoch boundaries per run.
+    pub epochs: u64,
+}
+
+impl ShardedThroughput {
+    /// Renders one JSON object (hand-rolled; the workspace is
+    /// dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"cores\":{},",
+                "\"aggregate_retired\":{},\"aggregate_mips\":{:.3},\"epochs\":{}}}"
+            ),
+            self.workload, self.cores, self.aggregate_retired, self.aggregate_mips, self.epochs,
+        )
+    }
+}
+
+/// Measures sharded throughput: builds a `Backend::Sharded` session of
+/// `cores` translated engines over `w`, reruns it `iters` times
+/// (reset + run to halt) and reports aggregate dispatch throughput.
+/// Validates every shard's checksum — the producer/consumer handoff
+/// must still be correct under measurement.
+///
+/// # Panics
+///
+/// Panics on build/run/validation failures.
+pub fn sharded_throughput(w: &Workload, cores: u8, iters: u32) -> ShardedThroughput {
+    let mut s = SimBuilder::workload(w)
+        .backend(Backend::sharded(
+            cores,
+            Backend::translated(DetailLevel::Static),
+        ))
+        .build()
+        .expect("sharded session builds");
+    let mut retired = 0u64;
+    let mut epochs = 0u64;
+    let secs = bench_seconds_best(3, iters, || {
+        s.reset();
+        match s.run_until(Limit::Cycles(u64::MAX)) {
+            Ok(StopCause::Halted) => {}
+            other => panic!("sharded run ended with {other:?}"),
+        }
+        let stats = s.sharded_stats().expect("sharded session");
+        for i in 0..cores as usize {
+            assert_eq!(
+                s.shard(i).expect("shard").read_d(2),
+                w.expected_d2,
+                "{} checksum on core {i} of {cores}",
+                w.name
+            );
+        }
+        retired = stats.aggregate.retired;
+        epochs = stats.epochs;
+    });
+    ShardedThroughput {
+        workload: w.name,
+        cores,
+        aggregate_retired: retired,
+        aggregate_mips: retired as f64 / secs / 1e6,
+        epochs,
+    }
+}
+
 /// Formats seconds the way the paper's Table 2 does (µs/ms/s).
 pub fn human_time(seconds: f64) -> String {
     if seconds < 1e-3 {

@@ -248,6 +248,101 @@ pub fn run_epochs<E: ExecutionEngine>(
     }
 }
 
+/// The scheduling frontier of a shard set: the cycle count of the
+/// least-advanced non-halted shard (every shard has completed at least
+/// this many cycles), or the maximum cycle count when all shards have
+/// halted. Paired with whether the whole set has halted. This is the
+/// clock [`run_epochs_sharded`] budgets against, and what a sharded
+/// session reports as its own [`ExecutionEngine::cycle`].
+pub fn shard_frontier<E: ExecutionEngine>(shards: &[E]) -> (u64, bool) {
+    let mut max_all = 0u64;
+    let mut min_live: Option<u64> = None;
+    for s in shards {
+        let c = s.cycle();
+        max_all = max_all.max(c);
+        if !s.is_halted() {
+            min_live = Some(min_live.map_or(c, |m| m.min(c)));
+        }
+    }
+    (min_live.unwrap_or(max_all), min_live.is_none())
+}
+
+/// Epoch-synchronized multi-core driver: advances every shard of
+/// `shards` one epoch at a time until all of them halt or the
+/// least-advanced shard exhausts `max_cycles`.
+///
+/// Scheduling is deterministic: each round picks the frontier (the
+/// cycle count of the least-advanced non-halted shard), runs every
+/// shard that has not yet reached `frontier + epoch` up to that
+/// deadline *in shard order*, then fires `on_epoch` — the boundary at
+/// which harnesses exchange shared device state (the platform's
+/// arbiter captures the canonical SoC-bus image there). Because no
+/// shard can run ahead of the slowest by more than one epoch, shards
+/// communicating through shared devices (mailbox RAM, UART) observe
+/// each other's traffic with at most one epoch of skew, identically on
+/// every run.
+///
+/// Stop semantics mirror [`ExecutionEngine::run_until`]: the budget
+/// check precedes the halt check (a zero budget returns
+/// [`StopCause::LimitReached`] without dispatching, even on a fully
+/// halted set), `Halted` means *every* shard reached its halt, and
+/// architectural state is committed on all shards before returning
+/// `Halted`. An empty shard set reports `Halted` immediately.
+///
+/// # Errors
+///
+/// Propagates the first shard fault (remaining shards keep the state
+/// they reached inside the failing round).
+pub fn run_epochs_sharded<E: ExecutionEngine>(
+    shards: &mut [E],
+    max_cycles: u64,
+    epoch: u64,
+    mut on_epoch: impl FnMut(&mut [E]),
+) -> Result<StopCause, E::Error> {
+    let epoch = epoch.max(1);
+    if shards.is_empty() {
+        return Ok(StopCause::Halted);
+    }
+    loop {
+        let (frontier, all_halted) = shard_frontier(shards);
+        if frontier >= max_cycles {
+            return Ok(StopCause::LimitReached);
+        }
+        if all_halted {
+            for s in shards.iter_mut() {
+                s.commit_arch_state();
+            }
+            return Ok(StopCause::Halted);
+        }
+        let deadline = frontier.saturating_add(epoch).min(max_cycles);
+        for s in shards.iter_mut() {
+            if s.is_halted() || s.cycle() >= deadline {
+                continue;
+            }
+            if s.run_until(Limit::Cycles(deadline))? == StopCause::LimitReached && s.is_halted() {
+                // Halted exactly on the epoch boundary: a completed
+                // run, same as the single-engine epoch driver.
+                s.commit_arch_state();
+            }
+        }
+        on_epoch(shards);
+    }
+}
+
+/// Aggregate counters of a shard set: `retired` and `stall_cycles` sum
+/// across shards (total work done), `cycles` is the maximum shard clock
+/// (the machine has run for as long as its longest-running core).
+pub fn aggregate_stats<E: ExecutionEngine>(shards: &[E]) -> EngineStats {
+    shards.iter().fold(EngineStats::default(), |acc, s| {
+        let st = s.engine_stats();
+        EngineStats {
+            cycles: acc.cycles.max(st.cycles),
+            retired: acc.retired + st.retired,
+            stall_cycles: acc.stall_cycles + st.stall_cycles,
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +526,140 @@ mod tests {
         assert_eq!(r, Ok(StopCause::LimitReached));
         assert!(t.cycle() <= 9, "stops at the budget boundary");
         assert!(!t.is_halted());
+    }
+
+    /// A toy shard: units cost `cost` cycles each, halts after `halt_units`.
+    fn shard(cost: u64, halt_units: u64) -> Toy {
+        Toy {
+            cycles: 0,
+            units: 0,
+            regs: [cost as u32, halt_units as u32, 0, 0],
+        }
+    }
+
+    // Reinterpret Toy for shard tests: regs[0]=cost is unused by Toy's
+    // fixed 3-cycle step, so just use differently sized halt points via
+    // a wrapper engine.
+    struct ScaledToy {
+        inner: Toy,
+        cost: u64,
+        halt_units: u64,
+    }
+
+    impl ExecutionEngine for ScaledToy {
+        type Error = NoFault;
+        type Snapshot = (u64, u64, [u32; 4]);
+        fn snapshot(&self) -> Self::Snapshot {
+            self.inner.snapshot()
+        }
+        fn restore(&mut self, s: &Self::Snapshot) {
+            self.inner.restore(s);
+        }
+        fn reset(&mut self) {
+            self.inner.reset();
+        }
+        fn step_unit(&mut self) -> Result<(), NoFault> {
+            self.inner.units += 1;
+            self.inner.cycles += self.cost;
+            Ok(())
+        }
+        fn cycle(&self) -> u64 {
+            self.inner.cycles
+        }
+        fn is_halted(&self) -> bool {
+            self.inner.units >= self.halt_units
+        }
+        fn pc(&self) -> Option<u32> {
+            None
+        }
+        fn reg_count(&self) -> usize {
+            4
+        }
+        fn read_reg_index(&self, i: usize) -> u32 {
+            self.inner.regs[i]
+        }
+        fn write_reg_index(&mut self, i: usize, v: u32) {
+            self.inner.regs[i] = v;
+        }
+        fn read_mem(&mut self, _a: u32, len: usize) -> Result<Vec<u8>, NoFault> {
+            Ok(vec![0; len])
+        }
+        fn engine_stats(&self) -> EngineStats {
+            EngineStats {
+                cycles: self.inner.cycles,
+                retired: self.inner.units,
+                stall_cycles: 0,
+            }
+        }
+    }
+
+    fn scaled(cost: u64, halt_units: u64) -> ScaledToy {
+        ScaledToy {
+            inner: shard(cost, halt_units),
+            cost,
+            halt_units,
+        }
+    }
+
+    #[test]
+    fn sharded_driver_halts_when_all_shards_halt() {
+        // Unequal speeds: the slow shard defines the frontier.
+        let mut shards = vec![scaled(2, 10), scaled(7, 4)];
+        let mut boundaries = 0;
+        let r = run_epochs_sharded(&mut shards, u64::MAX, 8, |_| boundaries += 1);
+        assert_eq!(r, Ok(StopCause::Halted));
+        assert!(shards.iter().all(|s| s.is_halted()));
+        assert!(boundaries >= 2, "multiple epoch rounds: {boundaries}");
+        let agg = aggregate_stats(&shards);
+        assert_eq!(agg.retired, 14);
+        assert_eq!(agg.cycles, 28, "max shard clock (7 * 4)");
+    }
+
+    #[test]
+    fn sharded_driver_budget_precedes_halt_and_is_frontier_based() {
+        // Zero budget: LimitReached without dispatching, even halted.
+        let mut shards = vec![scaled(1, 0), scaled(1, 0)];
+        assert!(shards.iter().all(|s| s.is_halted()));
+        let r = run_epochs_sharded(&mut shards, 0, 4, |_| {});
+        assert_eq!(r, Ok(StopCause::LimitReached));
+        // With budget, a fully halted set reports Halted.
+        let r = run_epochs_sharded(&mut shards, 100, 4, |_| {});
+        assert_eq!(r, Ok(StopCause::Halted));
+
+        // The budget binds the *frontier*: the slowest live shard.
+        let mut shards = vec![scaled(1, 1000), scaled(10, 1000)];
+        let r = run_epochs_sharded(&mut shards, 50, 5, |_| {});
+        assert_eq!(r, Ok(StopCause::LimitReached));
+        let (frontier, all_halted) = shard_frontier(&shards);
+        assert!(!all_halted);
+        assert!(frontier >= 50, "frontier reached the budget: {frontier}");
+        // Lockstep: nobody ran more than one epoch past the frontier.
+        for s in &shards {
+            assert!(
+                s.cycle() < 50 + 5 + 10,
+                "shard ran ahead of the epoch window: {}",
+                s.cycle()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_driver_is_deterministic() {
+        let run = || {
+            let mut shards = vec![scaled(3, 40), scaled(5, 25), scaled(2, 60)];
+            run_epochs_sharded(&mut shards, u64::MAX, 16, |_| {}).unwrap();
+            shards.iter().map(|s| s.engine_stats()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_shard_set_is_trivially_halted() {
+        let mut shards: Vec<Toy> = Vec::new();
+        assert_eq!(
+            run_epochs_sharded(&mut shards, 100, 4, |_| {}),
+            Ok(StopCause::Halted)
+        );
     }
 
     #[test]

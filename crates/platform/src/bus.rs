@@ -6,8 +6,24 @@
 //! time-dependent behaviour (timer expiry, UART byte timestamps) is
 //! defined in emulated SoC time — which is exactly what makes device
 //! drivers validated on this platform cycle-accurate.
+//!
+//! Every peripheral is *snapshottable*: [`SocPeripheral::save_state`] /
+//! [`SocPeripheral::restore_state`] serialize the device's mutable state
+//! to bytes, and [`SocBus::save_state`] bundles the whole bus (devices
+//! plus the transaction counter) into a [`SocBusState`]. Session
+//! snapshots carry that image, so `snapshot → run → restore → run`
+//! replays device behaviour bit-identically — no double-logged UART
+//! bytes, no stale timer epochs.
+//!
+//! For multi-core sharding the bus is shared: a [`SharedSocBus`] is a
+//! cloneable handle letting N engines route their I/O windows into one
+//! device population, and a [`ShardArbiter`] tracks the epoch boundaries
+//! at which shards synchronize and exchanges the canonical device-state
+//! image between them.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// A device on the SoC bus.
 pub trait SocPeripheral {
@@ -21,10 +37,33 @@ pub trait SocPeripheral {
     fn transmit_log(&self) -> Vec<(u64, u8)> {
         Vec::new()
     }
+    /// Serializes the device's mutable state. The encoding is private to
+    /// the device — only [`SocPeripheral::restore_state`] of the same
+    /// device type needs to understand it. Stateless devices keep the
+    /// default (empty) image.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+    /// Restores state produced by [`SocPeripheral::save_state`] on the
+    /// same device type. The default pairs with the default
+    /// `save_state`: nothing to restore.
+    fn restore_state(&mut self, _state: &[u8]) {}
+}
+
+/// Serialized state of every device on a [`SocBus`] plus the bus's own
+/// transaction counter — the device half of a resumable platform image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocBusState {
+    /// Per-device state images, in attachment order.
+    devices: Vec<Vec<u8>>,
+    /// Transactions served at capture time.
+    transactions: u64,
 }
 
 /// A word-level SoC bus with positional device decoding. Unclaimed
-/// addresses read zero and ignore writes (open bus).
+/// addresses read zero and ignore writes (open bus) and are *not*
+/// counted as transactions — `transactions` counts accesses a device
+/// actually served.
 #[derive(Default)]
 pub struct SocBus {
     devices: Vec<Box<dyn SocPeripheral>>,
@@ -52,17 +91,18 @@ impl SocBus {
         self.devices.push(dev);
     }
 
-    /// Number of transactions served so far.
+    /// Number of transactions served so far (open-bus accesses are not
+    /// served and not counted).
     pub fn transactions(&self) -> u64 {
         self.transactions
     }
 
     /// Routes a read.
     pub fn read(&mut self, soc_cycle: u64, addr: u32, size: u32) -> u32 {
-        self.transactions += 1;
         for d in &mut self.devices {
             let (lo, hi) = d.range();
             if (lo..hi).contains(&addr) {
+                self.transactions += 1;
                 return d.read(soc_cycle, addr, size);
             }
         }
@@ -71,10 +111,10 @@ impl SocBus {
 
     /// Routes a write.
     pub fn write(&mut self, soc_cycle: u64, addr: u32, size: u32, value: u32) {
-        self.transactions += 1;
         for d in &mut self.devices {
             let (lo, hi) = d.range();
             if (lo..hi).contains(&addr) {
+                self.transactions += 1;
                 d.write(soc_cycle, addr, size, value);
                 return;
             }
@@ -85,6 +125,52 @@ impl SocBus {
     pub fn uart_log(&self) -> Vec<(u64, u8)> {
         self.devices.iter().flat_map(|d| d.transmit_log()).collect()
     }
+
+    /// Captures the state of every attached device plus the transaction
+    /// counter.
+    pub fn save_state(&self) -> SocBusState {
+        SocBusState {
+            devices: self.devices.iter().map(|d| d.save_state()).collect(),
+            transactions: self.transactions,
+        }
+    }
+
+    /// Restores a [`SocBus::save_state`] image into this bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image was captured from a bus with a different
+    /// device count — state is positional, so the device population
+    /// must match.
+    pub fn restore_state(&mut self, state: &SocBusState) {
+        assert_eq!(
+            state.devices.len(),
+            self.devices.len(),
+            "SocBusState captured from a bus with a different device population"
+        );
+        for (dev, img) in self.devices.iter_mut().zip(&state.devices) {
+            dev.restore_state(img);
+        }
+        self.transactions = state.transactions;
+    }
+}
+
+// --- little-endian state (de)serialization helpers ----------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("u32 field"))
+}
+
+fn get_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("u64 field"))
 }
 
 /// A free-running timer clocked by generated SoC cycles.
@@ -131,6 +217,18 @@ impl SocPeripheral for Timer {
             0xc => self.epoch = soc_cycle,
             _ => {}
         }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12);
+        put_u64(&mut out, self.epoch);
+        put_u32(&mut out, self.compare);
+        out
+    }
+
+    fn restore_state(&mut self, state: &[u8]) {
+        self.epoch = get_u64(state, 0);
+        self.compare = get_u32(state, 8);
     }
 }
 
@@ -180,9 +278,26 @@ impl SocPeripheral for Uart {
             self.log.push((soc_cycle, value as u8));
         }
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9 * self.log.len());
+        for &(ts, byte) in &self.log {
+            put_u64(&mut out, ts);
+            out.push(byte);
+        }
+        out
+    }
+
+    fn restore_state(&mut self, state: &[u8]) {
+        self.log = state
+            .chunks_exact(9)
+            .map(|c| (get_u64(c, 0), c[8]))
+            .collect();
+    }
 }
 
-/// A scratch RAM window on the SoC bus (for DMA-style tests).
+/// A scratch RAM window on the SoC bus (shared mailbox / DMA-style
+/// buffer). Byte and halfword accesses honor their byte lanes.
 #[derive(Debug, Default)]
 pub struct ScratchRam {
     base: u32,
@@ -206,12 +321,194 @@ impl SocPeripheral for ScratchRam {
         (self.base, self.base + self.size)
     }
 
-    fn read(&mut self, _soc_cycle: u64, addr: u32, _size: u32) -> u32 {
-        *self.words.get(&(addr & !3)).unwrap_or(&0)
+    fn read(&mut self, _soc_cycle: u64, addr: u32, size: u32) -> u32 {
+        let word = *self.words.get(&(addr & !3)).unwrap_or(&0);
+        match size {
+            1 => (word >> ((addr & 3) * 8)) & 0xff,
+            2 => (word >> ((addr & 2) * 8)) & 0xffff,
+            _ => word,
+        }
     }
 
-    fn write(&mut self, _soc_cycle: u64, addr: u32, _size: u32, value: u32) {
-        self.words.insert(addr & !3, value);
+    fn write(&mut self, _soc_cycle: u64, addr: u32, size: u32, value: u32) {
+        let key = addr & !3;
+        let old = *self.words.get(&key).unwrap_or(&0);
+        let new = match size {
+            1 => {
+                let sh = (addr & 3) * 8;
+                (old & !(0xff << sh)) | ((value & 0xff) << sh)
+            }
+            2 => {
+                let sh = (addr & 2) * 8;
+                (old & !(0xffff << sh)) | ((value & 0xffff) << sh)
+            }
+            _ => value,
+        };
+        self.words.insert(key, new);
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Sorted by address: HashMap iteration order must not leak into
+        // the snapshot image (replays compare state bytes for equality).
+        let mut entries: Vec<(u32, u32)> = self.words.iter().map(|(&a, &w)| (a, w)).collect();
+        entries.sort_unstable();
+        let mut out = Vec::with_capacity(8 * entries.len());
+        for (addr, word) in entries {
+            put_u32(&mut out, addr);
+            put_u32(&mut out, word);
+        }
+        out
+    }
+
+    fn restore_state(&mut self, state: &[u8]) {
+        self.words = state
+            .chunks_exact(8)
+            .map(|c| (get_u32(c, 0), get_u32(c, 4)))
+            .collect();
+    }
+}
+
+/// A cloneable handle to one [`SocBus`] — the currency for sharing a
+/// device population between execution vehicles: the golden model (via
+/// [`GoldenBridge`]), translated platforms, and the shards of a
+/// multi-core session all route into the same peripherals through
+/// clones of this handle. Accesses are serialized (the workspace's
+/// engines are single-threaded and shards interleave deterministically
+/// at epoch granularity).
+#[derive(Clone)]
+pub struct SharedSocBus(Rc<RefCell<SocBus>>);
+
+impl std::fmt::Debug for SharedSocBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SharedSocBus")
+            .field(&*self.0.borrow())
+            .finish()
+    }
+}
+
+impl SharedSocBus {
+    /// Wraps a bus into a shareable handle.
+    pub fn new(bus: SocBus) -> Self {
+        SharedSocBus(Rc::new(RefCell::new(bus)))
+    }
+
+    /// Attaches a peripheral. Attach the full device population before
+    /// capturing any [`SocBusState`] — state is positional.
+    pub fn attach(&self, dev: Box<dyn SocPeripheral>) {
+        self.0.borrow_mut().attach(dev);
+    }
+
+    /// Routes a read at SoC time `soc_cycle`.
+    pub fn read(&self, soc_cycle: u64, addr: u32, size: u32) -> u32 {
+        self.0.borrow_mut().read(soc_cycle, addr, size)
+    }
+
+    /// Routes a write at SoC time `soc_cycle`.
+    pub fn write(&self, soc_cycle: u64, addr: u32, size: u32, value: u32) {
+        self.0.borrow_mut().write(soc_cycle, addr, size, value)
+    }
+
+    /// Concatenated transmit logs of all logging peripherals.
+    pub fn uart_log(&self) -> Vec<(u64, u8)> {
+        self.0.borrow().uart_log()
+    }
+
+    /// Transactions served so far.
+    pub fn transactions(&self) -> u64 {
+        self.0.borrow().transactions()
+    }
+
+    /// Captures the bus state (see [`SocBus::save_state`]).
+    pub fn save_state(&self) -> SocBusState {
+        self.0.borrow().save_state()
+    }
+
+    /// Restores a captured bus state (see [`SocBus::restore_state`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a device-population mismatch.
+    pub fn restore_state(&self, state: &SocBusState) {
+        self.0.borrow_mut().restore_state(state)
+    }
+
+    /// True if `other` is a handle to the same underlying bus.
+    pub fn same_bus(&self, other: &SharedSocBus) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// The epoch-synchronized arbiter of a sharded run: N engines share one
+/// [`SharedSocBus`] and advance one epoch at a time, so the boundary
+/// *is* the exchange point — within an epoch every shard's traffic is
+/// serialized onto the same devices, and at the boundary the whole set
+/// agrees on one canonical device state. [`ShardArbiter::exchange_state`]
+/// materializes that image on demand (for shard migration or external
+/// checkpointing); the boundary itself only does O(1) accounting, so
+/// epoch frequency never multiplies device-serialization cost.
+#[derive(Debug)]
+pub struct ShardArbiter {
+    bus: SharedSocBus,
+    /// Transactions served up to the last epoch boundary.
+    boundary_tx: u64,
+    /// Epoch boundaries crossed.
+    epochs: u64,
+}
+
+impl ShardArbiter {
+    /// An arbiter over a shared bus, with no boundaries crossed yet.
+    pub fn new(bus: SharedSocBus) -> Self {
+        ShardArbiter {
+            bus,
+            boundary_tx: 0,
+            epochs: 0,
+        }
+    }
+
+    /// A clone of the shared-bus handle (what each shard's platform or
+    /// golden bridge attaches to).
+    pub fn bus(&self) -> SharedSocBus {
+        self.bus.clone()
+    }
+
+    /// Marks an epoch boundary and returns the number of bus
+    /// transactions served during the epoch that just ended.
+    pub fn epoch_boundary(&mut self) -> u64 {
+        let tx = self.bus.transactions();
+        let served = tx - self.boundary_tx;
+        self.boundary_tx = tx;
+        self.epochs += 1;
+        served
+    }
+
+    /// Epoch boundaries crossed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The canonical device-state image of the current epoch boundary
+    /// (`None` before the first boundary). Captured on demand — this is
+    /// what a shard handed to another host, or an external checkpoint,
+    /// would carry.
+    pub fn exchange_state(&self) -> Option<SocBusState> {
+        (self.epochs > 0).then(|| self.bus.save_state())
+    }
+
+    /// Resets the arbiter's bookkeeping (the bus itself is restored by
+    /// its owner).
+    pub fn reset(&mut self) {
+        self.boundary_tx = 0;
+        self.epochs = 0;
+    }
+
+    /// Re-synchronizes the arbiter to the bus's *current* (just
+    /// restored) state and sets the epoch counter — the restore-side
+    /// pair of [`ShardArbiter::epoch_boundary`]. Call after the bus
+    /// state has been restored, so the per-epoch transaction accounting
+    /// resumes from the restored counter.
+    pub fn resync(&mut self, epochs: u64) {
+        self.boundary_tx = self.bus.transactions();
+        self.epochs = epochs;
     }
 }
 
@@ -228,7 +525,11 @@ mod tests {
         assert_eq!(bus.read(0, 0x2004, 4), 0xabcd);
         assert_eq!(bus.read(5, 0x1000, 4), 5, "timer count");
         assert_eq!(bus.read(0, 0x9999, 4), 0, "open bus reads zero");
-        assert_eq!(bus.transactions(), 4);
+        assert_eq!(
+            bus.transactions(),
+            3,
+            "open-bus accesses are not served and not counted"
+        );
     }
 
     #[test]
@@ -258,38 +559,175 @@ mod tests {
         assert_eq!(r.read(0, 16, 4), 42);
         assert_eq!(r.read(0, 20, 4), 0);
     }
+
+    #[test]
+    fn scratch_ram_honors_byte_lanes() {
+        let mut r = ScratchRam::new(0, 64);
+        r.write(0, 8, 4, 0xaabb_ccdd);
+        // Byte store replaces one lane, not the whole word.
+        r.write(0, 9, 1, 0x11);
+        assert_eq!(r.read(0, 8, 4), 0xaabb_11dd);
+        // Halfword store replaces the upper lane pair.
+        r.write(0, 10, 2, 0x2233);
+        assert_eq!(r.read(0, 8, 4), 0x2233_11dd);
+        // Sub-word reads extract their lanes, zero-extended.
+        assert_eq!(r.read(0, 9, 1), 0x11);
+        assert_eq!(r.read(0, 11, 1), 0x22);
+        assert_eq!(r.read(0, 8, 2), 0x11dd);
+        assert_eq!(r.read(0, 10, 2), 0x2233);
+    }
+
+    #[test]
+    fn timer_state_round_trips() {
+        let mut t = Timer::new(0);
+        t.write(0, 0x4, 4, 77); // compare
+        t.write(123, 0xc, 4, 0); // epoch = 123
+        let img = t.save_state();
+        let mut fresh = Timer::new(0);
+        fresh.restore_state(&img);
+        assert_eq!(fresh.read(200, 0x0, 4), 77, "epoch restored");
+        assert_eq!(fresh.read(200, 0x4, 4), 77, "compare restored");
+        assert_eq!(fresh.save_state(), img);
+    }
+
+    #[test]
+    fn uart_state_round_trips() {
+        let mut u = Uart::new(0);
+        u.write(10, 0, 4, b'X' as u32);
+        u.write(900, 0, 4, b'Y' as u32);
+        let img = u.save_state();
+        let mut fresh = Uart::new(0);
+        fresh.restore_state(&img);
+        assert_eq!(fresh.transmitted(), u.transmitted());
+        // Restoring an earlier image truncates later transmissions —
+        // the double-log fix.
+        u.write(1000, 0, 4, b'Z' as u32);
+        u.restore_state(&img);
+        assert_eq!(u.transmitted().len(), 2);
+    }
+
+    #[test]
+    fn scratch_ram_state_is_deterministic_and_round_trips() {
+        let mut r = ScratchRam::new(0, 0x100);
+        for i in 0..16u32 {
+            r.write(0, (16 - i) * 4, 4, i * 3 + 1);
+        }
+        let img = r.save_state();
+        let mut r2 = ScratchRam::new(0, 0x100);
+        for i in (0..16u32).rev() {
+            r2.write(0, (16 - i) * 4, 4, i * 3 + 1);
+        }
+        assert_eq!(
+            r2.save_state(),
+            img,
+            "state image must not depend on insertion order"
+        );
+        let mut fresh = ScratchRam::new(0, 0x100);
+        fresh.restore_state(&img);
+        assert_eq!(fresh.read(0, 4 * 4, 4), r.read(0, 4 * 4, 4));
+        assert_eq!(fresh.save_state(), img);
+    }
+
+    #[test]
+    fn bus_state_round_trips_all_devices() {
+        let mut bus = SocBus::new();
+        bus.attach(Box::new(Timer::new(0x0)));
+        bus.attach(Box::new(Uart::new(0x100)));
+        bus.attach(Box::new(ScratchRam::new(0x200, 0x100)));
+        bus.write(5, 0x200, 4, 99);
+        bus.write(7, 0x100, 4, b'!' as u32);
+        bus.write(9, 0xc, 4, 0); // timer epoch = 9
+        let img = bus.save_state();
+
+        bus.write(20, 0x100, 4, b'?' as u32);
+        bus.write(20, 0x204, 4, 1);
+        assert_eq!(bus.uart_log().len(), 2);
+
+        bus.restore_state(&img);
+        assert_eq!(bus.uart_log(), vec![(7, b'!')]);
+        assert_eq!(bus.read(10, 0x204, 4), 0, "later write rolled back");
+        assert_eq!(bus.read(10, 0x0, 4), 1, "timer epoch restored (10 - 9)");
+        assert_eq!(img, {
+            // transactions counter restored too (the reads above advanced it)
+            let mut b2 = SocBus::new();
+            b2.attach(Box::new(Timer::new(0x0)));
+            b2.attach(Box::new(Uart::new(0x100)));
+            b2.attach(Box::new(ScratchRam::new(0x200, 0x100)));
+            b2.restore_state(&img);
+            b2.save_state()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "different device population")]
+    fn bus_state_rejects_mismatched_population() {
+        let mut a = SocBus::new();
+        a.attach(Box::new(Timer::new(0)));
+        let img = a.save_state();
+        let mut b = SocBus::new();
+        b.attach(Box::new(Timer::new(0)));
+        b.attach(Box::new(Uart::new(0x100)));
+        b.restore_state(&img);
+    }
+
+    #[test]
+    fn shared_bus_serves_multiple_handles() {
+        let bus = SharedSocBus::new(SocBus::new());
+        bus.attach(Box::new(Uart::new(0x100)));
+        let other = bus.clone();
+        bus.write(1, 0x100, 4, b'a' as u32);
+        other.write(2, 0x100, 4, b'b' as u32);
+        assert_eq!(bus.uart_log(), vec![(1, b'a'), (2, b'b')]);
+        assert!(bus.same_bus(&other));
+        assert!(!bus.same_bus(&SharedSocBus::new(SocBus::new())));
+    }
+
+    #[test]
+    fn arbiter_tracks_epoch_boundaries_and_exchange_state() {
+        let bus = SharedSocBus::new(SocBus::new());
+        bus.attach(Box::new(Uart::new(0x100)));
+        let mut arb = ShardArbiter::new(bus.clone());
+        assert_eq!(arb.epochs(), 0);
+        assert!(arb.exchange_state().is_none());
+
+        bus.write(1, 0x100, 4, b'x' as u32);
+        assert_eq!(arb.epoch_boundary(), 1, "one transaction this epoch");
+        assert_eq!(arb.epochs(), 1);
+        let canonical = arb.exchange_state().unwrap();
+        assert_eq!(canonical, bus.save_state());
+
+        assert_eq!(arb.epoch_boundary(), 0, "idle epoch");
+        arb.reset();
+        assert_eq!(arb.epochs(), 0);
+        assert!(arb.exchange_state().is_none());
+    }
 }
 
-/// Adapter that exposes a [`SocBus`] as the golden model's
+/// Adapter that exposes a [`SharedSocBus`] as the golden model's
 /// [`cabt_tricore::sim::IoDevice`], so the *same* peripherals can sit
 /// behind the reference simulator and behind the translated platform.
-/// SoC time is taken from the golden model's own cycle progression via a
-/// caller-updated handle.
+/// SoC time is the golden core's own cycle count, delivered with every
+/// access — on the golden side the core *is* the SoC clock, so timer
+/// reads and UART timestamps land in exactly the clock domain the
+/// synchronization device reproduces for translated runs.
 #[derive(Debug)]
 pub struct GoldenBridge {
-    bus: std::rc::Rc<std::cell::RefCell<SocBus>>,
-    /// Monotonic access counter used as SoC time on the golden side
-    /// (the golden core *is* the SoC clock, one access per bus cycle).
-    accesses: u64,
+    bus: SharedSocBus,
 }
 
 impl GoldenBridge {
     /// Wraps a shared bus.
-    pub fn new(bus: std::rc::Rc<std::cell::RefCell<SocBus>>) -> Self {
-        GoldenBridge { bus, accesses: 0 }
+    pub fn new(bus: SharedSocBus) -> Self {
+        GoldenBridge { bus }
     }
 }
 
 impl cabt_tricore::sim::IoDevice for GoldenBridge {
-    fn io_read(&mut self, addr: u32, size: u32) -> u32 {
-        self.accesses += 1;
-        self.bus.borrow_mut().read(self.accesses, addr, size)
+    fn io_read(&mut self, cycle: u64, addr: u32, size: u32) -> u32 {
+        self.bus.read(cycle, addr, size)
     }
 
-    fn io_write(&mut self, addr: u32, size: u32, value: u32) {
-        self.accesses += 1;
-        self.bus
-            .borrow_mut()
-            .write(self.accesses, addr, size, value);
+    fn io_write(&mut self, cycle: u64, addr: u32, size: u32, value: u32) {
+        self.bus.write(cycle, addr, size, value);
     }
 }

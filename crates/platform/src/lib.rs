@@ -47,7 +47,10 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-pub use bus::{SocBus, SocPeripheral, Timer, Uart};
+pub use bus::{
+    GoldenBridge, ScratchRam, ShardArbiter, SharedSocBus, SocBus, SocBusState, SocPeripheral,
+    Timer, Uart,
+};
 pub use sync::{SyncDevice, SyncRate};
 
 /// Start of the I/O window routed onto the SoC bus (identity-mapped from
@@ -145,10 +148,14 @@ impl PlatformStats {
 }
 
 /// The combined device window shared between the simulator's bus hook
-/// and the platform (for post-run inspection).
+/// and the platform (for post-run inspection). The SoC bus itself is a
+/// [`SharedSocBus`] handle, so the *same* device population can also be
+/// routed to other cores (shards of a multi-core session, or the golden
+/// model via [`bus::GoldenBridge`]); the synchronization device stays
+/// per-platform — each core paces its own cycle generation.
 struct PlatformBusInner {
     sync: SyncDevice,
-    soc: SocBus,
+    soc: SharedSocBus,
     handshake: u32,
     cfg: PlatformConfig,
 }
@@ -222,6 +229,17 @@ impl From<VliwError> for PlatformError {
 /// (`fn probe(e: &mut PlatformEngine)`).
 pub type PlatformEngine = VliwSim;
 
+/// The default SoC device population: timer at `0xf000_0000`, UART at
+/// `0xf000_0100`, and a 1 KiB scratch RAM (shared mailbox) at
+/// `0xf000_0200`.
+pub fn default_soc_bus() -> SocBus {
+    let mut soc = SocBus::new();
+    soc.attach(Box::new(Timer::new(IO_BASE)));
+    soc.attach(Box::new(Uart::new(IO_BASE + 0x100)));
+    soc.attach(Box::new(ScratchRam::new(IO_BASE + 0x200, 0x400)));
+    soc
+}
+
 /// The assembled rapid-prototyping platform.
 pub struct Platform {
     sim: VliwSim,
@@ -239,16 +257,13 @@ impl fmt::Debug for Platform {
 
 impl Platform {
     /// Builds the platform around a translated program with the default
-    /// peripherals (timer at `0xf000_0000`, UART at `0xf000_0100`).
+    /// peripherals (see [`default_soc_bus`]).
     ///
     /// # Errors
     ///
     /// Propagates simulator construction failures.
     pub fn new(translated: &Translated, cfg: PlatformConfig) -> Result<Self, PlatformError> {
-        let mut soc = SocBus::new();
-        soc.attach(Box::new(Timer::new(IO_BASE)));
-        soc.attach(Box::new(Uart::new(IO_BASE + 0x100)));
-        Self::with_bus(translated, cfg, soc)
+        Self::with_bus(translated, cfg, default_soc_bus())
     }
 
     /// Builds the platform with a custom SoC bus population.
@@ -260,6 +275,22 @@ impl Platform {
         translated: &Translated,
         cfg: PlatformConfig,
         soc: SocBus,
+    ) -> Result<Self, PlatformError> {
+        Self::with_shared_bus(translated, cfg, SharedSocBus::new(soc))
+    }
+
+    /// Builds the platform around an externally owned [`SharedSocBus`] —
+    /// the multi-core construction path: every shard's platform routes
+    /// its I/O window into the same device population, while keeping its
+    /// own synchronization device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn with_shared_bus(
+        translated: &Translated,
+        cfg: PlatformConfig,
+        soc: SharedSocBus,
     ) -> Result<Self, PlatformError> {
         let mut sim = translated.make_sim()?;
         let inner = Rc::new(RefCell::new(PlatformBusInner {
@@ -359,13 +390,10 @@ impl Platform {
     }
 
     /// Clones the synchronization device's state. Together with an
-    /// engine snapshot this is what a resumable image of a platform
-    /// run needs: the device's generation queue is keyed to the target
-    /// clock, so rewinding the engine without it would turn wait reads
-    /// into phantom stalls. SoC peripherals (timer, UART) are not
-    /// covered — they keep their state across engine restores, the
-    /// same scope as [`cabt_exec::ExecutionEngine::reset`] (see
-    /// [`Platform::engine`]).
+    /// engine snapshot *and* a [`Platform::save_soc_bus`] image this is
+    /// a resumable image of a platform run: the device's generation
+    /// queue is keyed to the target clock, so rewinding the engine
+    /// without it would turn wait reads into phantom stalls.
     pub fn save_sync_device(&self) -> SyncDevice {
         self.bus.borrow().sync.clone()
     }
@@ -374,6 +402,34 @@ impl Platform {
     /// [`Platform::save_sync_device`].
     pub fn restore_sync_device(&mut self, sync: &SyncDevice) {
         self.bus.borrow_mut().sync = sync.clone();
+    }
+
+    /// Captures the state of every SoC peripheral plus the bus's
+    /// transaction counter — the device half of a resumable platform
+    /// image (the other half is [`Platform::save_sync_device`] plus the
+    /// engine snapshot). Restoring it rewinds UART logs, timer epochs
+    /// and scratch-RAM contents with the engine, so a restore-replay
+    /// repeats device behaviour bit-identically instead of double
+    /// logging.
+    pub fn save_soc_bus(&self) -> SocBusState {
+        self.bus.borrow().soc.save_state()
+    }
+
+    /// Restores SoC peripheral state captured by
+    /// [`Platform::save_soc_bus`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image came from a different device population.
+    pub fn restore_soc_bus(&mut self, state: &SocBusState) {
+        self.bus.borrow().soc.restore_state(state);
+    }
+
+    /// A clone of the handle to this platform's SoC bus. With
+    /// [`Platform::with_shared_bus`] this is the *same* bus other cores
+    /// were built around.
+    pub fn soc_bus(&self) -> SharedSocBus {
+        self.bus.borrow().soc.clone()
     }
 }
 

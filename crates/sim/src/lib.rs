@@ -45,7 +45,9 @@
 use cabt_core::{DetailLevel, Granularity, TranslateError, Translated, Translator};
 use cabt_exec::{EngineStats, ExecutionEngine, Limit, StopCause};
 use cabt_isa::elf::ElfFile;
-use cabt_platform::{Platform, PlatformConfig, PlatformStats};
+use cabt_platform::{
+    GoldenBridge, Platform, PlatformConfig, PlatformStats, ShardArbiter, SharedSocBus, SocBusState,
+};
 use cabt_rtlsim::{RtlCore, RtlError, RtlSnapshot};
 use cabt_tricore::asm::AsmError;
 use cabt_tricore::isa::{AReg, DReg};
@@ -78,6 +80,58 @@ pub enum Backend {
     },
     /// The event-driven RT-level model (the slow Table 2 baseline).
     Rtl,
+    /// A multi-core shard set: `cores` copies of the per-shard vehicle
+    /// `backend`, all routing their I/O windows into **one** shared SoC
+    /// bus behind an epoch-synchronized arbiter. The shards advance one
+    /// epoch at a time under `cabt_exec::run_epochs_sharded` and
+    /// exchange device state at every epoch boundary, so runs — and
+    /// snapshot-restore replays — are deterministic. Each shard is
+    /// seeded with its core id in source register `%d15` (shard 0 keeps
+    /// the conventional single-core role), which is how SPMD workloads
+    /// like `producer_consumer` pick their role.
+    Sharded {
+        /// Number of shards (≥ 1, validated at build time).
+        cores: u8,
+        /// The vehicle every shard runs.
+        backend: ShardBackend,
+    },
+}
+
+/// The per-shard vehicle of [`Backend::Sharded`]: any single-core
+/// backend (sharding does not nest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardBackend {
+    /// Golden-model shards, bridged onto the shared bus.
+    Golden {
+        /// Dispatch core (pre-decoded by default).
+        dispatch: DispatchMode,
+    },
+    /// Translated shards, each with its own synchronization device.
+    Translated {
+        /// Cycle-accuracy detail level of the translation.
+        level: DetailLevel,
+        /// Dispatch core of the VLIW engine.
+        dispatch: VliwDispatch,
+    },
+    /// RT-level shards (no I/O window — they compute but do not touch
+    /// the shared bus).
+    Rtl,
+}
+
+impl From<ShardBackend> for Backend {
+    fn from(s: ShardBackend) -> Backend {
+        match s {
+            ShardBackend::Golden { dispatch } => Backend::Golden { dispatch },
+            ShardBackend::Translated { level, dispatch } => Backend::Translated { level, dispatch },
+            ShardBackend::Rtl => Backend::Rtl,
+        }
+    }
+}
+
+impl fmt::Display for ShardBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Backend::from(*self).fmt(f)
+    }
 }
 
 impl Backend {
@@ -96,8 +150,26 @@ impl Backend {
         }
     }
 
-    /// Every backend at default dispatch: golden, the four translation
-    /// detail levels, RTL — the full Table 2 column set.
+    /// A sharded multi-core session: `cores` shards of `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is itself [`Backend::Sharded`] — sharding does
+    /// not nest.
+    pub fn sharded(cores: u8, base: Backend) -> Self {
+        let backend = match base {
+            Backend::Golden { dispatch } => ShardBackend::Golden { dispatch },
+            Backend::Translated { level, dispatch } => ShardBackend::Translated { level, dispatch },
+            Backend::Rtl => ShardBackend::Rtl,
+            Backend::Sharded { .. } => panic!("sharded backends do not nest"),
+        };
+        Backend::Sharded { cores, backend }
+    }
+
+    /// Every single-core backend at default dispatch: golden, the four
+    /// translation detail levels, RTL — the full Table 2 column set.
+    /// Sharded configurations are spelled explicitly via
+    /// [`Backend::sharded`].
     pub fn all() -> Vec<Backend> {
         let mut v = vec![Backend::golden()];
         v.extend(DetailLevel::ALL.map(Backend::translated));
@@ -118,6 +190,7 @@ impl fmt::Display for Backend {
             Backend::Golden { .. } => f.write_str("golden"),
             Backend::Translated { level, .. } => write!(f, "translated:{level}"),
             Backend::Rtl => f.write_str("rtl"),
+            Backend::Sharded { cores, backend } => write!(f, "sharded-{cores}x:{backend}"),
         }
     }
 }
@@ -137,6 +210,8 @@ pub enum SessionError {
     Target(VliwError),
     /// The RT-level model faulted (build or run).
     Rtl(RtlError),
+    /// A sharded backend was configured invalidly (e.g. zero cores).
+    ShardConfig(String),
 }
 
 impl fmt::Display for SessionError {
@@ -148,6 +223,7 @@ impl fmt::Display for SessionError {
             SessionError::Golden(e) => write!(f, "golden model fault: {e}"),
             SessionError::Target(e) => write!(f, "target fault: {e}"),
             SessionError::Rtl(e) => write!(f, "RTL model fault: {e}"),
+            SessionError::ShardConfig(msg) => write!(f, "invalid shard configuration: {msg}"),
         }
     }
 }
@@ -237,6 +313,7 @@ pub struct SimBuilder {
     platform: PlatformConfig,
     granularity: Granularity,
     epoch: u64,
+    soc_bus: Option<SharedSocBus>,
     on_epoch: Vec<ObserverFn>,
     on_stop: Vec<ObserverFn>,
 }
@@ -263,6 +340,7 @@ impl SimBuilder {
             platform: PlatformConfig::unlimited(),
             granularity: Granularity::default(),
             epoch: DEFAULT_EPOCH,
+            soc_bus: None,
             on_epoch: Vec::new(),
             on_stop: Vec::new(),
         }
@@ -319,6 +397,24 @@ impl SimBuilder {
         self
     }
 
+    /// Routes the session's I/O window into an externally owned
+    /// [`SharedSocBus`] instead of the platform's default peripherals —
+    /// how several sessions (or a session and hand-built engines) share
+    /// one device population. Honored by [`Backend::Translated`]
+    /// (platform bus) and [`Backend::Golden`] (attached via
+    /// [`cabt_platform::GoldenBridge`]); ignored by [`Backend::Rtl`],
+    /// which has no I/O window. [`Backend::Sharded`] sessions build
+    /// their own shared bus and reject an external one.
+    ///
+    /// The bus is *owned by the caller*: [`Session::reset`] resets the
+    /// engine (and, for translated sessions, rebuilds the platform
+    /// around the same bus) but leaves the bus state alone, and session
+    /// snapshots still capture/restore its device state.
+    pub fn soc_bus(mut self, bus: SharedSocBus) -> Self {
+        self.soc_bus = Some(bus);
+        self
+    }
+
     /// Epoch length between epoch-observer firings inside
     /// [`Session::run`], in the units of the limit `run` is given —
     /// engine cycles under [`Limit::Cycles`], retirements under
@@ -357,27 +453,13 @@ impl SimBuilder {
                 .ok_or(SessionError::UnknownWorkload(name))?
                 .elf()?,
         };
-        let vehicle = match self.backend {
-            Backend::Golden { dispatch } => {
-                let mut sim = Simulator::new(&elf)?;
-                sim.set_dispatch(dispatch);
-                Vehicle::Golden(Box::new(sim))
-            }
-            Backend::Translated { level, dispatch } => {
-                let image = Translator::new(level)
-                    .with_granularity(self.granularity)
-                    .translate(&elf)?;
-                let mut platform = Platform::new(&image, self.platform)?;
-                platform.set_dispatch(dispatch);
-                Vehicle::Translated {
-                    platform: Box::new(platform),
-                    image: Box::new(image),
-                    cfg: self.platform,
-                    dispatch,
-                }
-            }
-            Backend::Rtl => Vehicle::Rtl(Box::new(RtlCore::new(&elf)?)),
-        };
+        let vehicle = Self::build_vehicle(
+            &elf,
+            self.backend,
+            self.platform,
+            self.granularity,
+            self.soc_bus,
+        )?;
         Ok(Session {
             vehicle,
             elf,
@@ -387,13 +469,78 @@ impl SimBuilder {
             on_stop: self.on_stop,
         })
     }
+
+    /// Constructs the vehicle for `backend` around an assembled image.
+    fn build_vehicle(
+        elf: &ElfFile,
+        backend: Backend,
+        platform_cfg: PlatformConfig,
+        granularity: Granularity,
+        soc_bus: Option<SharedSocBus>,
+    ) -> Result<Vehicle, SessionError> {
+        Ok(match backend {
+            Backend::Golden { dispatch } => {
+                let mut sim = Simulator::new(elf)?;
+                sim.set_dispatch(dispatch);
+                if let Some(bus) = &soc_bus {
+                    sim.set_io_device(Box::new(GoldenBridge::new(bus.clone())));
+                }
+                Vehicle::Golden {
+                    sim: Box::new(sim),
+                    bus: soc_bus,
+                }
+            }
+            Backend::Translated { level, dispatch } => {
+                let image = Translator::new(level)
+                    .with_granularity(granularity)
+                    .translate(elf)?;
+                let mut platform = match &soc_bus {
+                    Some(bus) => Platform::with_shared_bus(&image, platform_cfg, bus.clone())?,
+                    None => Platform::new(&image, platform_cfg)?,
+                };
+                platform.set_dispatch(dispatch);
+                Vehicle::Translated {
+                    platform: Box::new(platform),
+                    image: Box::new(image),
+                    cfg: platform_cfg,
+                    dispatch,
+                    shared: soc_bus,
+                }
+            }
+            Backend::Rtl => Vehicle::Rtl(Box::new(RtlCore::new(elf)?)),
+            Backend::Sharded { cores, backend } => {
+                if cores == 0 {
+                    return Err(SessionError::ShardConfig(
+                        "a sharded backend needs at least one core".into(),
+                    ));
+                }
+                if soc_bus.is_some() {
+                    return Err(SessionError::ShardConfig(
+                        "sharded sessions own their shared bus; `soc_bus` is not accepted".into(),
+                    ));
+                }
+                Vehicle::Sharded(Box::new(ShardSet::build(
+                    elf,
+                    cores,
+                    backend,
+                    platform_cfg,
+                    granularity,
+                )?))
+            }
+        })
+    }
 }
 
 /// The vehicle actually driven by a session. Engines are boxed: they
 /// are megabyte-scale (memory images, pre-decoded tables) and the
 /// variants would otherwise differ wildly in size.
 enum Vehicle {
-    Golden(Box<Simulator>),
+    Golden {
+        sim: Box<Simulator>,
+        /// The shared bus the simulator's I/O window is bridged onto,
+        /// when one was attached — snapshots capture its device state.
+        bus: Option<SharedSocBus>,
+    },
     Translated {
         platform: Box<Platform>,
         /// Retained so [`Session::reset`] can rebuild the whole
@@ -401,24 +548,48 @@ enum Vehicle {
         image: Box<Translated>,
         cfg: PlatformConfig,
         dispatch: VliwDispatch,
+        /// Externally owned bus the platform was built around, if any:
+        /// reset reattaches it instead of minting fresh devices.
+        shared: Option<SharedSocBus>,
     },
     Rtl(Box<RtlCore>),
+    Sharded(Box<ShardSet>),
 }
 
 impl Vehicle {
     fn name(&self) -> &'static str {
         match self {
-            Vehicle::Golden(_) => "golden",
+            Vehicle::Golden { .. } => "golden",
             Vehicle::Translated { .. } => "translated",
             Vehicle::Rtl(_) => "rtl",
+            Vehicle::Sharded(_) => "sharded",
+        }
+    }
+
+    /// The SoC bus whose device state belongs in this vehicle's
+    /// snapshot, if it has one.
+    fn device_bus(&self) -> Option<SharedSocBus> {
+        match self {
+            Vehicle::Golden { bus, .. } => bus.clone(),
+            Vehicle::Translated { platform, .. } => Some(platform.soc_bus()),
+            Vehicle::Rtl(_) => None,
+            Vehicle::Sharded(set) => Some(set.arbiter.bus()),
         }
     }
 }
 
-/// Snapshot of a session's engine state, restorable into the session
-/// (or another session built from the same workload and backend).
+/// Snapshot of a session's engine state — plus, where the session has
+/// SoC peripherals, the device state of its bus (UART logs, timer
+/// epochs, scratch-RAM words, the transaction counter), so a
+/// restore-replay repeats device behaviour bit-identically instead of
+/// double-logging. Restorable into the session (or another session
+/// built from the same workload and backend).
 #[derive(Clone)]
-pub struct SessionSnapshot(Snap);
+pub struct SessionSnapshot {
+    snap: Snap,
+    /// SoC-bus device state at capture time, for vehicles with a bus.
+    devices: Option<SocBusState>,
+}
 
 #[derive(Clone)]
 enum Snap {
@@ -432,6 +603,12 @@ enum Snap {
         sync: cabt_platform::SyncDevice,
     },
     Rtl(Box<RtlSnapshot>),
+    /// Per-shard session snapshots (in shard order) plus the arbiter's
+    /// epoch counter; the shared bus state lives in `devices`.
+    Sharded {
+        shards: Vec<SessionSnapshot>,
+        epochs: u64,
+    },
 }
 
 impl Snap {
@@ -440,20 +617,196 @@ impl Snap {
             Snap::Golden(_) => "golden",
             Snap::Target { .. } => "translated",
             Snap::Rtl(_) => "rtl",
+            Snap::Sharded { .. } => "sharded",
         }
     }
 }
 
 impl fmt::Debug for SessionSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_tuple("SessionSnapshot")
-            .field(&self.0.name())
+        f.debug_struct("SessionSnapshot")
+            .field("vehicle", &self.snap.name())
+            .field("devices", &self.devices.is_some())
             .finish()
     }
 }
 
-/// A workload bound to one execution vehicle, with the uniform
-/// lifecycle `run / step / stats / snapshot / restore / reset`.
+/// Scheduling epoch (in target cycles) used by sharded sessions when
+/// the platform configuration does not bound one (unlimited generation
+/// rate, or non-platform shards). Shards must interleave at *some*
+/// finite granularity or a polling shard scheduled first could spin
+/// forever waiting for traffic from a shard that never gets to run.
+const SHARD_EPOCH_CYCLES: u64 = 4096;
+
+/// Per-shard and aggregate statistics of a [`Backend::Sharded`]
+/// session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Uniform counters of each shard, in shard order.
+    pub per_shard: Vec<EngineStats>,
+    /// Aggregate: `retired`/`stall_cycles` summed, `cycles` the maximum
+    /// shard clock.
+    pub aggregate: EngineStats,
+    /// Transactions served by the shared SoC bus.
+    pub bus_transactions: u64,
+    /// Epoch boundaries the arbiter has crossed.
+    pub epochs: u64,
+    /// Merged transmit log of the shared bus's logging peripherals.
+    pub uart: Vec<(u64, u8)>,
+}
+
+/// N shard sessions around one shared SoC bus and its arbiter.
+struct ShardSet {
+    shards: Vec<Session>,
+    arbiter: ShardArbiter,
+    /// Target cycles per scheduling epoch.
+    epoch: u64,
+    /// Device state of the freshly built bus — what reset restores.
+    initial_bus: SocBusState,
+}
+
+impl ShardSet {
+    fn build(
+        elf: &ElfFile,
+        cores: u8,
+        backend: ShardBackend,
+        platform_cfg: PlatformConfig,
+        granularity: Granularity,
+    ) -> Result<ShardSet, SessionError> {
+        let bus = SharedSocBus::new(cabt_platform::default_soc_bus());
+        let initial_bus = bus.save_state();
+        let arbiter = ShardArbiter::new(bus.clone());
+        // One SyncRate epoch of target cycles when the configuration
+        // bounds one, else the fallback granularity.
+        let epoch = match backend {
+            ShardBackend::Translated { .. } => {
+                let e = platform_cfg.epoch_target_cycles();
+                if e == u64::MAX {
+                    SHARD_EPOCH_CYCLES
+                } else {
+                    e
+                }
+            }
+            _ => SHARD_EPOCH_CYCLES,
+        };
+        let mut shards = Vec::with_capacity(cores as usize);
+        for id in 0..cores {
+            let vehicle = SimBuilder::build_vehicle(
+                elf,
+                backend.into(),
+                platform_cfg,
+                granularity,
+                // RTL shards have no I/O window; the builder ignores
+                // the bus for them.
+                match backend {
+                    ShardBackend::Rtl => None,
+                    _ => Some(bus.clone()),
+                },
+            )?;
+            let mut shard = Session {
+                vehicle,
+                elf: elf.clone(),
+                backend: backend.into(),
+                epoch: DEFAULT_EPOCH,
+                on_epoch: Vec::new(),
+                on_stop: Vec::new(),
+            };
+            shard.write_d(15, id as u32);
+            shards.push(shard);
+        }
+        Ok(ShardSet {
+            shards,
+            arbiter,
+            epoch,
+            initial_bus,
+        })
+    }
+
+    /// Re-seeds every shard's core id (source register `%d15`).
+    fn seed_core_ids(&mut self) {
+        for (id, shard) in self.shards.iter_mut().enumerate() {
+            shard.write_d(15, id as u32);
+        }
+    }
+
+    /// The scheduling clock: see [`cabt_exec::shard_frontier`].
+    fn frontier(&self) -> u64 {
+        cabt_exec::shard_frontier(&self.shards).0
+    }
+
+    /// The shard the interleaved single-step path dispatches next: the
+    /// least-advanced non-halted shard (ties to the lowest index).
+    fn next_shard(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_halted())
+            .min_by_key(|(i, s)| (s.cycle(), *i))
+            .map(|(i, _)| i)
+    }
+
+    fn run_until(&mut self, limit: Limit) -> Result<StopCause, SessionError> {
+        let ShardSet {
+            shards,
+            arbiter,
+            epoch,
+            ..
+        } = self;
+        match limit {
+            Limit::Cycles(c) => cabt_exec::run_epochs_sharded(shards, c, *epoch, |_| {
+                arbiter.epoch_boundary();
+            }),
+            Limit::Retirements(r) => {
+                // Epoch rounds against an aggregate retirement budget.
+                // Cycle deadlines shrink as the budget drains (a shard
+                // retires at most one unit per cycle), so the final
+                // rounds advance one unit per shard and the aggregate
+                // overshoots by fewer than `cores` units.
+                loop {
+                    let retired: u64 = shards.iter().map(|s| s.engine_stats().retired).sum();
+                    if retired >= r {
+                        return Ok(StopCause::LimitReached);
+                    }
+                    let (frontier, all_halted) = cabt_exec::shard_frontier(shards.as_slice());
+                    if all_halted {
+                        for s in shards.iter_mut() {
+                            s.commit_arch_state();
+                        }
+                        return Ok(StopCause::Halted);
+                    }
+                    let room = ((r - retired) / shards.len() as u64).clamp(1, *epoch);
+                    let deadline = frontier.saturating_add(room);
+                    for s in shards.iter_mut() {
+                        if !s.is_halted() && s.cycle() < deadline {
+                            s.run_until(Limit::Cycles(deadline))?;
+                        }
+                    }
+                    arbiter.epoch_boundary();
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> ShardedStats {
+        let per_shard: Vec<EngineStats> = self.shards.iter().map(|s| s.engine_stats()).collect();
+        ShardedStats {
+            aggregate: cabt_exec::aggregate_stats(&self.shards),
+            per_shard,
+            bus_transactions: self.arbiter.bus().transactions(),
+            epochs: self.arbiter.epochs(),
+            uart: self.arbiter.bus().uart_log(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.shards {
+            s.reset();
+        }
+        self.arbiter.bus().restore_state(&self.initial_bus);
+        self.arbiter.reset();
+        self.seed_core_ids();
+    }
+}
 ///
 /// `Session` implements [`ExecutionEngine`], so anything that drives an
 /// engine generically — `Lockstep`, `run_epochs`, the bench harnesses —
@@ -580,10 +933,40 @@ impl Session {
     }
 
     /// Platform counters (generated/corrected cycles, UART log) —
-    /// `Some` only for [`Backend::Translated`] sessions.
+    /// `Some` only for [`Backend::Translated`] sessions. Sharded
+    /// sessions report through [`Session::sharded_stats`] (per-shard
+    /// platform counters via [`Session::shard`]).
     pub fn platform_stats(&self) -> Option<PlatformStats> {
         match &self.vehicle {
             Vehicle::Translated { platform, .. } => Some(platform.stats()),
+            _ => None,
+        }
+    }
+
+    /// Per-shard and aggregate counters plus the merged UART log —
+    /// `Some` only for [`Backend::Sharded`] sessions.
+    pub fn sharded_stats(&self) -> Option<ShardedStats> {
+        match &self.vehicle {
+            Vehicle::Sharded(set) => Some(set.stats()),
+            _ => None,
+        }
+    }
+
+    /// Number of shards (1 for every single-core backend).
+    pub fn shard_count(&self) -> usize {
+        match &self.vehicle {
+            Vehicle::Sharded(set) => set.shards.len(),
+            _ => 1,
+        }
+    }
+
+    /// The `i`th shard of a sharded session, as a full [`Session`] —
+    /// architectural inspection of individual cores
+    /// (`session.shard(2).unwrap().read_d(2)`). `None` for single-core
+    /// backends or out-of-range indices.
+    pub fn shard(&self, i: usize) -> Option<&Session> {
+        match &self.vehicle {
+            Vehicle::Sharded(set) => set.shards.get(i),
             _ => None,
         }
     }
@@ -600,14 +983,16 @@ impl Session {
 
     /// Reads source data register `D{i}` wherever the backend homes it
     /// (flat index on the source-ISA engines, the register binding's
-    /// home on the translated target). This is how cross-backend
+    /// home on the translated target, shard 0 on sharded sessions —
+    /// other shards via [`Session::shard`]). This is how cross-backend
     /// checksum comparisons read `%d2`.
     pub fn read_d(&self, i: u8) -> u32 {
         match &self.vehicle {
-            Vehicle::Golden(_) | Vehicle::Rtl(_) => self.read_reg_index(i as usize),
+            Vehicle::Golden { .. } | Vehicle::Rtl(_) => self.read_reg_index(i as usize),
             Vehicle::Translated { .. } => {
                 self.read_reg_index(cabt_core::regbind::dreg(DReg(i)).index())
             }
+            Vehicle::Sharded(set) => set.shards[0].read_d(i),
         }
     }
 
@@ -615,10 +1000,61 @@ impl Session {
     /// it (see [`Session::read_d`]).
     pub fn read_a(&self, i: u8) -> u32 {
         match &self.vehicle {
-            Vehicle::Golden(_) | Vehicle::Rtl(_) => self.read_reg_index(16 + i as usize),
+            Vehicle::Golden { .. } | Vehicle::Rtl(_) => self.read_reg_index(16 + i as usize),
             Vehicle::Translated { .. } => {
                 self.read_reg_index(cabt_core::regbind::areg(AReg(i)).index())
             }
+            Vehicle::Sharded(set) => set.shards[0].read_a(i),
+        }
+    }
+
+    /// Writes source data register `D{i}` wherever the backend homes it
+    /// (the write mirror of [`Session::read_d`]; shard 0 on sharded
+    /// sessions). This is how boot arguments — e.g. the core id a
+    /// sharded build seeds into `%d15` — reach the program.
+    pub fn write_d(&mut self, i: u8, value: u32) {
+        let index = match &self.vehicle {
+            Vehicle::Golden { .. } | Vehicle::Rtl(_) => i as usize,
+            Vehicle::Translated { .. } => cabt_core::regbind::dreg(DReg(i)).index(),
+            Vehicle::Sharded(_) => {
+                if let Vehicle::Sharded(set) = &mut self.vehicle {
+                    set.shards[0].write_d(i, value);
+                }
+                return;
+            }
+        };
+        self.write_reg_index(index, value);
+    }
+
+    /// Snapshot core: `with_devices` controls whether the vehicle's
+    /// SoC-bus state rides along. Sharded sessions pass `false` to
+    /// their shards — every shard shares *one* bus, so the set captures
+    /// a single canonical device image at the top level instead of
+    /// `cores` redundant copies.
+    fn snapshot_with_devices(&self, with_devices: bool) -> SessionSnapshot {
+        let snap = match &self.vehicle {
+            Vehicle::Golden { sim, .. } => Snap::Golden(Box::new(sim.snapshot())),
+            Vehicle::Translated { platform, .. } => Snap::Target {
+                engine: Box::new(platform.sim().snapshot()),
+                sync: platform.save_sync_device(),
+            },
+            Vehicle::Rtl(core) => Snap::Rtl(Box::new(core.snapshot())),
+            Vehicle::Sharded(set) => Snap::Sharded {
+                shards: set
+                    .shards
+                    .iter()
+                    .map(|s| s.snapshot_with_devices(false))
+                    .collect(),
+                epochs: set.arbiter.epochs(),
+            },
+        };
+        SessionSnapshot {
+            snap,
+            devices: if with_devices {
+                self.vehicle.device_bus().map(|b| b.save_state())
+            } else {
+                None
+            },
         }
     }
 }
@@ -628,14 +1064,7 @@ impl ExecutionEngine for Session {
     type Snapshot = SessionSnapshot;
 
     fn snapshot(&self) -> SessionSnapshot {
-        SessionSnapshot(match &self.vehicle {
-            Vehicle::Golden(sim) => Snap::Golden(Box::new(sim.snapshot())),
-            Vehicle::Translated { platform, .. } => Snap::Target {
-                engine: Box::new(platform.sim().snapshot()),
-                sync: platform.save_sync_device(),
-            },
-            Vehicle::Rtl(core) => Snap::Rtl(Box::new(core.snapshot())),
-        })
+        self.snapshot_with_devices(true)
     }
 
     /// Restores a snapshot taken from a session with the same backend
@@ -643,137 +1072,241 @@ impl ExecutionEngine for Session {
     ///
     /// Scope: the engine, plus — on translated sessions — the
     /// synchronization device (its generation queue is keyed to the
-    /// target clock, so it must rewind with the engine). SoC
-    /// peripherals (timer, UART) keep their state, the same scope as
-    /// [`ExecutionEngine::reset`]; replays that poll peripherals are
-    /// reproducible only in their engine trajectory if the peripherals
-    /// were untouched in between.
+    /// target clock, so it must rewind with the engine), plus the SoC
+    /// peripherals of any bus the session holds (UART logs, timer
+    /// epochs, scratch-RAM contents and the transaction counter rewind
+    /// with the engine, so restore-replays repeat device behaviour
+    /// bit-identically). Sharded sessions restore every shard and the
+    /// shared bus.
     ///
     /// # Panics
     ///
     /// Panics if the snapshot came from a different backend kind.
     fn restore(&mut self, snapshot: &SessionSnapshot) {
-        match (&mut self.vehicle, &snapshot.0) {
-            (Vehicle::Golden(sim), Snap::Golden(s)) => sim.restore(s),
+        match (&mut self.vehicle, &snapshot.snap) {
+            (Vehicle::Golden { sim, .. }, Snap::Golden(s)) => sim.restore(s),
             (Vehicle::Translated { platform, .. }, Snap::Target { engine, sync }) => {
                 platform.engine().restore(engine);
                 platform.restore_sync_device(sync);
             }
             (Vehicle::Rtl(core), Snap::Rtl(s)) => core.restore(s),
+            (Vehicle::Sharded(set), Snap::Sharded { shards, .. }) => {
+                assert_eq!(
+                    set.shards.len(),
+                    shards.len(),
+                    "cannot restore a {}-shard snapshot into a {}-shard session",
+                    shards.len(),
+                    set.shards.len()
+                );
+                for (shard, snap) in set.shards.iter_mut().zip(shards) {
+                    shard.restore(snap);
+                }
+            }
             (vehicle, snap) => panic!(
                 "cannot restore a {} snapshot into a {} session",
                 snap.name(),
                 vehicle.name()
             ),
         }
+        // Device state: the single canonical image (shard sub-snapshots
+        // carry none — the bus is shared and captured once at this
+        // level).
+        if let (Some(devices), Some(bus)) = (&snapshot.devices, self.vehicle.device_bus()) {
+            bus.restore_state(devices);
+        }
+        // The arbiter's per-epoch accounting must resume from the
+        // restored transaction counter, so re-sync it after the bus.
+        if let Vehicle::Sharded(set) = &mut self.vehicle {
+            if let Snap::Sharded { epochs, .. } = &snapshot.snap {
+                set.arbiter.resync(*epochs);
+            }
+        }
     }
 
     /// Resets to a fully fresh run. Unlike the engine-scope trait
     /// minimum, a translated session *owns* its platform, so reset
     /// rebuilds the synchronization device and SoC peripherals too —
-    /// reset-then-rerun is reproducible on every backend.
+    /// reset-then-rerun is reproducible on every backend. Sessions
+    /// built around an externally owned bus ([`SimBuilder::soc_bus`])
+    /// leave that bus's state to its owner; sharded sessions own their
+    /// shared bus and restore it to its freshly built state (and
+    /// re-seed shard core ids).
     fn reset(&mut self) {
         match &mut self.vehicle {
-            Vehicle::Golden(sim) => sim.reset(),
+            Vehicle::Golden { sim, .. } => sim.reset(),
             Vehicle::Translated {
                 platform,
                 image,
                 cfg,
                 dispatch,
+                shared,
             } => {
-                let mut fresh =
-                    Platform::new(image, *cfg).expect("rebuilding a platform that built once");
+                let mut fresh = match shared {
+                    Some(bus) => Platform::with_shared_bus(image, *cfg, bus.clone()),
+                    None => Platform::new(image, *cfg),
+                }
+                .expect("rebuilding a platform that built once");
                 fresh.set_dispatch(*dispatch);
                 **platform = fresh;
             }
             Vehicle::Rtl(core) => core.reset(),
+            Vehicle::Sharded(set) => set.reset(),
+        }
+    }
+
+    /// See the trait contract — identical across backends. On sharded
+    /// sessions the budget binds the *frontier* clock (the
+    /// least-advanced live shard) and execution advances in
+    /// epoch-synchronized rounds via [`cabt_exec::run_epochs_sharded`];
+    /// aggregate `Retirements` budgets may overshoot by fewer than
+    /// `cores` units (shards advance in lockstep).
+    fn run_until(&mut self, limit: Limit) -> Result<StopCause, SessionError> {
+        match &mut self.vehicle {
+            // Both ShardSet paths check the budget before the halt on
+            // their first iteration, preserving the uniform entry
+            // semantics (an exhausted budget dispatches nothing).
+            Vehicle::Sharded(set) => set.run_until(limit),
+            _ => {
+                // Default trait loop, spelled out because the match arm
+                // above overrides it for one vehicle only.
+                loop {
+                    let exhausted = match limit {
+                        Limit::Cycles(c) => self.cycle() >= c,
+                        Limit::Retirements(r) => self.engine_stats().retired >= r,
+                    };
+                    if exhausted {
+                        return Ok(StopCause::LimitReached);
+                    }
+                    if self.is_halted() {
+                        self.commit_arch_state();
+                        return Ok(StopCause::Halted);
+                    }
+                    self.step_unit()?;
+                }
+            }
         }
     }
 
     fn step_unit(&mut self) -> Result<(), SessionError> {
         match &mut self.vehicle {
-            Vehicle::Golden(sim) => sim.step_unit().map_err(SessionError::Golden),
+            Vehicle::Golden { sim, .. } => sim.step_unit().map_err(SessionError::Golden),
             Vehicle::Translated { platform, .. } => {
                 platform.engine().step_unit().map_err(SessionError::Target)
             }
             Vehicle::Rtl(core) => core.step_unit().map_err(SessionError::Rtl),
+            // Interleaved single-step: dispatch one unit on the
+            // least-advanced live shard (a no-op once all have halted).
+            Vehicle::Sharded(set) => match set.next_shard() {
+                Some(i) => set.shards[i].step_unit(),
+                None => Ok(()),
+            },
         }
     }
 
     fn cycle(&self) -> u64 {
         match &self.vehicle {
-            Vehicle::Golden(sim) => sim.cycle(),
+            Vehicle::Golden { sim, .. } => sim.cycle(),
             Vehicle::Translated { platform, .. } => platform.sim().cycle(),
             Vehicle::Rtl(core) => core.cycle(),
+            Vehicle::Sharded(set) => set.frontier(),
         }
     }
 
     fn is_halted(&self) -> bool {
         match &self.vehicle {
-            Vehicle::Golden(sim) => sim.is_halted(),
+            Vehicle::Golden { sim, .. } => sim.is_halted(),
             Vehicle::Translated { platform, .. } => platform.sim().is_halted(),
             Vehicle::Rtl(core) => ExecutionEngine::is_halted(core.as_ref()),
+            Vehicle::Sharded(set) => set.shards.iter().all(|s| s.is_halted()),
         }
     }
 
     fn pc(&self) -> Option<u32> {
         match &self.vehicle {
-            Vehicle::Golden(sim) => sim.pc(),
+            Vehicle::Golden { sim, .. } => sim.pc(),
             Vehicle::Translated { platform, .. } => platform.sim().pc(),
             Vehicle::Rtl(core) => core.pc(),
+            Vehicle::Sharded(set) => set.next_shard().and_then(|i| set.shards[i].pc()),
         }
     }
 
     fn commit_arch_state(&mut self) {
         match &mut self.vehicle {
-            Vehicle::Golden(sim) => sim.commit_arch_state(),
+            Vehicle::Golden { sim, .. } => sim.commit_arch_state(),
             Vehicle::Translated { platform, .. } => platform.engine().commit_arch_state(),
             Vehicle::Rtl(core) => core.commit_arch_state(),
+            Vehicle::Sharded(set) => {
+                for s in &mut set.shards {
+                    s.commit_arch_state();
+                }
+            }
         }
     }
 
+    /// Flat register space. Sharded sessions concatenate their shards:
+    /// shard `i` occupies indices `i * per_shard ..` where `per_shard`
+    /// is one shard's `reg_count` — debuggers address every core
+    /// through one index space.
     fn reg_count(&self) -> usize {
         match &self.vehicle {
-            Vehicle::Golden(sim) => sim.reg_count(),
+            Vehicle::Golden { sim, .. } => sim.reg_count(),
             Vehicle::Translated { platform, .. } => platform.sim().reg_count(),
             Vehicle::Rtl(core) => core.reg_count(),
+            Vehicle::Sharded(set) => set.shards.len() * set.shards[0].reg_count(),
         }
     }
 
     fn read_reg_index(&self, index: usize) -> u32 {
         match &self.vehicle {
-            Vehicle::Golden(sim) => sim.read_reg_index(index),
+            Vehicle::Golden { sim, .. } => sim.read_reg_index(index),
             Vehicle::Translated { platform, .. } => platform.sim().read_reg_index(index),
             Vehicle::Rtl(core) => core.read_reg_index(index),
+            Vehicle::Sharded(set) => {
+                let per = set.shards[0].reg_count();
+                set.shards[index / per].read_reg_index(index % per)
+            }
         }
     }
 
     fn write_reg_index(&mut self, index: usize, value: u32) {
         match &mut self.vehicle {
-            Vehicle::Golden(sim) => sim.write_reg_index(index, value),
+            Vehicle::Golden { sim, .. } => sim.write_reg_index(index, value),
             Vehicle::Translated { platform, .. } => {
                 platform.engine().write_reg_index(index, value);
             }
             Vehicle::Rtl(core) => core.write_reg_index(index, value),
+            Vehicle::Sharded(set) => {
+                let per = set.shards[0].reg_count();
+                set.shards[index / per].write_reg_index(index % per, value);
+            }
         }
     }
 
+    /// Engine memory. Shards run private copies of the image, so on
+    /// sharded sessions this reads shard 0 (per-shard memory via
+    /// [`Session::shard`] — note `read_mem` needs `&mut`, so inspect
+    /// shards through their registers or clone the session's snapshot).
     fn read_mem(&mut self, addr: u32, len: usize) -> Result<Vec<u8>, SessionError> {
         match &mut self.vehicle {
-            Vehicle::Golden(sim) => sim.read_mem(addr, len).map_err(SessionError::Golden),
+            Vehicle::Golden { sim, .. } => sim.read_mem(addr, len).map_err(SessionError::Golden),
             Vehicle::Translated { platform, .. } => platform
                 .engine()
                 .read_mem(addr, len)
                 .map_err(SessionError::Target),
             Vehicle::Rtl(core) => core.read_mem(addr, len).map_err(SessionError::Rtl),
+            Vehicle::Sharded(set) => set.shards[0].read_mem(addr, len),
         }
     }
 
+    /// Uniform counters. Sharded sessions aggregate: `retired` and
+    /// `stall_cycles` sum across shards, `cycles` is the maximum shard
+    /// clock (see [`cabt_exec::aggregate_stats`]).
     fn engine_stats(&self) -> EngineStats {
         match &self.vehicle {
-            Vehicle::Golden(sim) => sim.engine_stats(),
+            Vehicle::Golden { sim, .. } => sim.engine_stats(),
             Vehicle::Translated { platform, .. } => platform.sim().engine_stats(),
             Vehicle::Rtl(core) => core.engine_stats(),
+            Vehicle::Sharded(set) => cabt_exec::aggregate_stats(&set.shards),
         }
     }
 }

@@ -48,12 +48,17 @@ pub const IO_END: u32 = 0xf010_0000;
 ///
 /// The golden model routes loads/stores inside `IO_BASE..IO_END` to this
 /// trait so the SoC-peripheral experiments can run the same program on
-/// the reference model and on the translated platform.
+/// the reference model and on the translated platform. Every access
+/// carries `cycle`, the core's cycle count at the access, so
+/// time-dependent devices (timers, UART timestamps) observe the *same*
+/// clock the golden model is measured in — on the golden side the core
+/// is the SoC clock.
 pub trait IoDevice {
-    /// Handles a load of `size` bytes (1, 2 or 4) from `addr`.
-    fn io_read(&mut self, addr: u32, size: u32) -> u32;
-    /// Handles a store of `size` bytes to `addr`.
-    fn io_write(&mut self, addr: u32, size: u32, value: u32);
+    /// Handles a load of `size` bytes (1, 2 or 4) from `addr` at core
+    /// time `cycle`.
+    fn io_read(&mut self, cycle: u64, addr: u32, size: u32) -> u32;
+    /// Handles a store of `size` bytes to `addr` at core time `cycle`.
+    fn io_write(&mut self, cycle: u64, addr: u32, size: u32, value: u32);
 }
 
 /// Errors raised while simulating.
@@ -745,7 +750,8 @@ impl Simulator {
                     LdKind::H | LdKind::Hu => 2,
                     LdKind::W => 4,
                 };
-                return Ok(dev.io_read(addr, size));
+                let now = self.tstate.cycles();
+                return Ok(dev.io_read(now, addr, size));
             }
         }
         Ok(match kind {
@@ -765,7 +771,8 @@ impl Simulator {
                     StKind::H => 2,
                     StKind::W => 4,
                 };
-                dev.io_write(addr, size, value);
+                let now = self.tstate.cycles();
+                dev.io_write(now, addr, size, value);
                 return Ok(());
             }
         }
@@ -1016,10 +1023,10 @@ mod tests {
     fn io_device_sees_accesses() {
         struct Probe(Vec<(u32, u32)>);
         impl IoDevice for Probe {
-            fn io_read(&mut self, _addr: u32, _size: u32) -> u32 {
+            fn io_read(&mut self, _cycle: u64, _addr: u32, _size: u32) -> u32 {
                 0x55
             }
-            fn io_write(&mut self, addr: u32, _size: u32, value: u32) {
+            fn io_write(&mut self, _cycle: u64, addr: u32, _size: u32, value: u32) {
                 self.0.push((addr, value));
             }
         }

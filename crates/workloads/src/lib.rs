@@ -511,6 +511,96 @@ outer:
     }
 }
 
+/// `producer_consumer` — the multi-core SPMD workload: every core runs
+/// this same image and picks its role from the core id the sharded
+/// session seeds into `%d15` (0 on single-core sessions).
+///
+/// Core 0 (the producer) copies `words` seeded values from its private
+/// `.data` into the shared scratch RAM on the SoC bus (`0xf000_0204`
+/// on), accumulating the checksum in `%d2` as it goes, then publishes
+/// the element count through the mailbox flag word at `0xf000_0200` and
+/// transmits the checksum's low byte on the UART. Every other core (a
+/// consumer) polls the flag, sums the published words from the shared
+/// RAM into `%d2`, and transmits the same checksum byte — so *all*
+/// cores must halt with `expected_d2`, and a `cores`-way run leaves
+/// `cores` copies of the byte in the merged UART log.
+///
+/// The data handoff crosses the shared bus, so the workload exercises
+/// exactly what the sharded backend must get right: deterministic
+/// epoch-interleaved bus traffic and mailbox synchronization between
+/// shards.
+///
+/// # Panics
+///
+/// Panics unless `1 <= words <= 192` (the shared scratch RAM holds
+/// 1 KiB).
+pub fn producer_consumer(words: usize, seed: u64) -> Workload {
+    assert!(
+        (1..=192).contains(&words),
+        "words out of the shared scratch RAM's range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<u32> = (0..words)
+        .map(|_| rng.random_range(0..100_000u32))
+        .collect();
+    let expected: u32 = values.iter().fold(0u32, |a, &v| a.wrapping_add(v));
+
+    let source = format!(
+        "
+    .text
+_start:
+    movh.a %a3, 0xf000
+    lea    %a3, [%a3]0x100      # uart data register
+    movh.a %a4, 0xf000
+    lea    %a4, [%a4]0x200      # mailbox flag word
+    jnz    %d15, consumer       # %d15 = core id (seeded by the builder)
+
+    # -- core 0: produce ------------------------------------------------
+    movh.a %a5, hi:vals
+    lea    %a5, [%a5]lo:vals
+    mov.aa %a6, %a4
+    lea    %a6, [%a6]4          # shared buffer starts after the flag
+    mov    %d5, {words}
+    mov    %d2, 0
+copy:
+    ld.w   %d1, [%a5+]4
+    st.w   [%a6+]4, %d1
+    add    %d2, %d1
+    addi   %d5, %d5, -1
+    jnz    %d5, copy
+    mov    %d1, {words}
+    st.w   [%a4]0, %d1          # publish the element count
+    st.w   [%a3]0, %d2          # transmit checksum (low byte)
+    debug
+
+    # -- other cores: consume -------------------------------------------
+consumer:
+poll:
+    ld.w   %d0, [%a4]0
+    jz     %d0, poll
+    mov    %d5, %d0
+    mov.aa %a6, %a4
+    lea    %a6, [%a6]4
+    mov    %d2, 0
+sum:
+    ld.w   %d1, [%a6+]4
+    add    %d2, %d1
+    addi   %d5, %d5, -1
+    jnz    %d5, sum
+    st.w   [%a3]0, %d2          # transmit the same checksum
+    debug
+    .data
+{vals}",
+        words = words,
+        vals = data_words("vals", &values)
+    );
+    Workload {
+        name: "producer_consumer",
+        source,
+        expected_d2: expected,
+    }
+}
+
 /// The six Fig. 5 / Fig. 6 programs with their default parameters.
 pub fn fig5_set() -> Vec<Workload> {
     vec![
@@ -542,6 +632,7 @@ pub fn by_name(name: &str) -> Option<Workload> {
         "sieve" => Some(sieve(400)),
         "subband" => Some(subband(120, 0xcab7)),
         "fibonacci" => Some(fibonacci(1150, 6)),
+        "producer_consumer" => Some(producer_consumer(64, 0xcab7)),
         _ => None,
     }
 }
@@ -607,6 +698,28 @@ mod tests {
     #[test]
     fn subband_matches_reference() {
         check(&subband(16, 5));
+    }
+
+    #[test]
+    fn producer_consumer_matches_reference_on_a_single_core() {
+        // The workload talks to the SoC bus, so the plain `check`
+        // harness (no I/O device) cannot run it; bridge the golden
+        // model onto a bus with the platform's default peripherals.
+        // Core id defaults to 0 (uninitialized %d15): the producer
+        // role, which is the complete single-core program.
+        use cabt_platform::{default_soc_bus, GoldenBridge, SharedSocBus};
+        let w = producer_consumer(48, 0xfeed);
+        let elf = w.elf().expect("assembles");
+        let bus = SharedSocBus::new(default_soc_bus());
+        let mut sim = Simulator::new(&elf).expect("loads");
+        sim.set_io_device(Box::new(GoldenBridge::new(bus.clone())));
+        sim.run(10_000_000).expect("halts");
+        assert_eq!(sim.cpu.d(2), w.expected_d2, "producer checksum");
+        let log = bus.uart_log();
+        assert_eq!(log.len(), 1, "one checksum byte transmitted");
+        assert_eq!(log[0].1, (w.expected_d2 & 0xff) as u8);
+        // The shared buffer holds the published words behind the flag.
+        assert_eq!(bus.read(0, 0xf000_0200, 4), 48, "flag = element count");
     }
 
     #[test]

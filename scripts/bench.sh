@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
 # Runs the fig5_speed benchmark (host throughput of every simulator
-# configuration plus the naive-vs-pre-decoded dispatch comparison) and
-# leaves the machine-readable result in BENCH_fig5.json at the repo
-# root, so the performance trajectory accumulates run over run.
+# configuration, the naive-vs-pre-decoded dispatch comparison, and the
+# sharded multi-core throughput scaling 1->2->4 cores) and leaves the
+# machine-readable result in BENCH_fig5.json at the repo root, so the
+# performance trajectory accumulates run over run.
+#
+# `bench.sh --smoke` runs a tiny-budget single-shard pass instead (CI
+# keep-alive for the bench paths) and does NOT touch BENCH_fig5.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export BENCH_FIG5_OUT="$PWD/BENCH_fig5.json"
+if [[ "${1:-}" == "--smoke" ]]; then
+  export BENCH_SMOKE=1
+  BENCH_FIG5_OUT="$(mktemp -t BENCH_fig5_smoke.XXXXXX)"
+  export BENCH_FIG5_OUT
+fi
+
 cargo bench -p cabt-bench --bench fig5_speed
 
 echo
-echo "== BENCH_fig5.json =="
+echo "== $BENCH_FIG5_OUT =="
 cat "$BENCH_FIG5_OUT"

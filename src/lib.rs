@@ -21,15 +21,15 @@
 //! | crate | role |
 //! |---|---|
 //! | [`isa`] | memory model, ELF32 reader/writer, deterministic PRNG |
-//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator |
+//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator; single-core and sharded multi-core epoch drivers |
 //! | [`tricore`] | source ISA, assembler, cycle-accurate golden model |
 //! | [`vliw`] | target VLIW ISA, binary container format, simulator |
 //! | [`core`] | **the translator** (the paper's contribution) |
-//! | [`platform`] | synchronization device, SoC bus, peripherals |
+//! | [`platform`] | synchronization device, snapshottable SoC bus + peripherals, shared-bus shard arbiter |
 //! | [`rtlsim`] | event-driven RT-level baseline simulator |
-//! | [`sim`] | **the front door**: `SimBuilder`/`Session` over every execution vehicle |
+//! | [`sim`] | **the front door**: `SimBuilder`/`Session` over every execution vehicle, single-core or sharded |
 //! | [`debug`] | generic lockstep driver, dual-translation debugger + RSP packet layer |
-//! | [`workloads`] | the paper's benchmark programs |
+//! | [`workloads`] | the paper's benchmark programs (plus the multi-core `producer_consumer`) |
 //!
 //! Both interpretive simulators are **pre-decoded execution engines**:
 //! at load, the program is decoded once into a dense table whose
@@ -50,8 +50,34 @@
 //! the uniform lifecycle `run / step / stats / snapshot / restore /
 //! reset` plus per-epoch/per-stop observers. The platform harness, the
 //! debugger and the benchmark tables all drive sessions through the
-//! trait, which is where future backends (JIT, sharded multi-core) plug
-//! in — one more `Backend` variant, not another bespoke constructor.
+//! trait, which is where new backends plug in — one more `Backend`
+//! variant, not another bespoke constructor.
+//!
+//! Snapshots are *platform-complete*: session snapshots capture the
+//! engine, the synchronization device **and** every SoC peripheral
+//! (UART logs, timer epochs, scratch-RAM contents), so
+//! `snapshot → run → restore → run` replays device behaviour
+//! bit-identically. That state capture is what powers the multi-core
+//! backend: `Backend::Sharded { cores, backend }` builds N engines
+//! around **one** shared SoC bus behind an epoch-synchronized arbiter
+//! and drives them in deterministic lockstep epochs
+//! ([`cabt_exec::run_epochs_sharded`]) — same session lifecycle, merged
+//! UART logs, per-shard plus aggregate statistics:
+//!
+//! ```
+//! use cabt::prelude::*;
+//!
+//! let w = cabt::workloads::by_name("producer_consumer").unwrap();
+//! let mut mc = SimBuilder::workload(&w)
+//!     .backend(Backend::sharded(2, Backend::translated(DetailLevel::Static)))
+//!     .build()?;
+//! mc.run(Limit::Cycles(50_000_000))?;
+//! // Core 0 produced into the shared scratch RAM; core 1 consumed and
+//! // computed the same checksum.
+//! assert_eq!(mc.shard(1).unwrap().read_d(2), w.expected_d2);
+//! assert_eq!(mc.sharded_stats().unwrap().uart.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! # Quickstart
 //!

@@ -4,9 +4,7 @@
 //! on the prototyping platform.
 
 use cabt::prelude::*;
-use cabt_platform::bus::{GoldenBridge, ScratchRam, SocBus, Uart};
-use std::cell::RefCell;
-use std::rc::Rc;
+use cabt_platform::bus::{GoldenBridge, ScratchRam, SharedSocBus, SocBus, Uart};
 
 const DRIVER: &str = "
     .text
@@ -31,15 +29,13 @@ loop:
 
 fn golden_uart_bytes() -> Vec<u8> {
     let elf = assemble(DRIVER).expect("assembles");
-    let mut bus = SocBus::new();
+    let bus = SharedSocBus::new(SocBus::new());
     bus.attach(Box::new(Uart::new(0xf000_0100)));
     bus.attach(Box::new(ScratchRam::new(0xf000_0200, 0x100)));
-    let bus = Rc::new(RefCell::new(bus));
     let mut sim = Simulator::new(&elf).expect("loads");
-    sim.set_io_device(Box::new(GoldenBridge::new(Rc::clone(&bus))));
+    sim.set_io_device(Box::new(GoldenBridge::new(bus.clone())));
     sim.run(100_000).expect("halts");
-    let log = bus.borrow().uart_log();
-    log.into_iter().map(|(_, b)| b).collect()
+    bus.uart_log().into_iter().map(|(_, b)| b).collect()
 }
 
 fn platform_uart_bytes(level: DetailLevel) -> Vec<u8> {

@@ -153,6 +153,122 @@ fn rtl_core_reset_restores_the_initial_snapshot() {
     assert_eq!(first, second, "reset + rerun reproduces the run");
 }
 
+/// A timer+UART driver: three rounds of delay-spin, timer read,
+/// transmit, timer-epoch reset — every peripheral the default bus has
+/// state in gets touched repeatedly.
+const TIMER_UART_SRC: &str = "
+    .text
+_start:
+    movh.a %a2, 0xf000          # timer at the I/O base
+    movh.a %a3, 0xf000
+    lea    %a3, [%a3]0x100      # uart
+    mov    %d6, 3
+round:
+    mov    %d0, 40
+spin:
+    addi   %d0, %d0, -1
+    jnz    %d0, spin
+    ld.w   %d1, [%a2]0          # timer count since last epoch reset
+    st.w   [%a3]0, %d1          # transmit its low byte (timestamped)
+    st.w   [%a2]12, %d0         # reset the timer epoch
+    addi   %d6, %d6, -1
+    jnz    %d6, round
+    debug
+";
+
+/// Session snapshots carry the SoC peripherals: a restore-replay of a
+/// device-driving program repeats the *device* behaviour bit-identically
+/// — same UART log length, same byte values, same SoC-cycle timestamps,
+/// same timer reads. Before the peripheral state hook, the replay
+/// double-logged every UART byte and read timer counts against a stale
+/// epoch.
+#[test]
+fn peripheral_state_replays_bit_identically() {
+    for backend in [
+        Backend::translated(DetailLevel::Static),
+        Backend::translated(DetailLevel::Cache),
+    ] {
+        let mut s = SimBuilder::asm(TIMER_UART_SRC)
+            .backend(backend)
+            .platform(PlatformConfig::default())
+            .build()
+            .unwrap();
+        // Into the middle of round two: one byte logged, one epoch reset
+        // behind us.
+        s.run_until(Limit::Retirements(150)).unwrap();
+        let snap = s.snapshot();
+        s.run_until(Limit::Cycles(u64::MAX)).unwrap();
+        let first = s.platform_stats().unwrap();
+        assert_eq!(first.uart.len(), 3, "{backend}: three rounds transmit");
+
+        s.restore(&snap);
+        let mid = s.platform_stats().unwrap();
+        assert!(
+            mid.uart.len() < 3,
+            "{backend}: restore must rewind the UART log, got {:?}",
+            mid.uart
+        );
+        s.run_until(Limit::Cycles(u64::MAX)).unwrap();
+        let second = s.platform_stats().unwrap();
+        assert_eq!(
+            first, second,
+            "{backend}: peripheral replay diverged (UART bytes/timestamps or timer state)"
+        );
+        assert_eq!(s.stats(), {
+            s.restore(&snap);
+            s.run_until(Limit::Cycles(u64::MAX)).unwrap();
+            s.stats()
+        });
+    }
+}
+
+/// The golden bridge clocks peripherals with the golden core's *cycle
+/// count*, not a per-access counter — so a timer read after a delay
+/// loop sees (approximately) the same SoC time on the golden model as
+/// on the translated platform, whose peripherals are clocked by the
+/// generated-cycle count reproducing that same source clock.
+#[test]
+fn golden_and_translated_timers_agree() {
+    const TIMER_READ_SRC: &str = "
+        .text
+    _start:
+        movh.a %a2, 0xf000
+        mov    %d0, 300
+    spin:
+        addi   %d0, %d0, -1
+        jnz    %d0, spin
+        ld.w   %d3, [%a2]0
+        debug
+    ";
+    let bus = cabt_platform::SharedSocBus::new(cabt_platform::default_soc_bus());
+    let mut golden = SimBuilder::asm(TIMER_READ_SRC)
+        .soc_bus(bus)
+        .build()
+        .unwrap();
+    golden.run_until(Limit::Cycles(u64::MAX)).unwrap();
+    let g = golden.read_d(3);
+    assert!(
+        g > 300,
+        "golden timer must see the delay loop's cycles, not an access count: {g}"
+    );
+
+    let mut translated = SimBuilder::asm(TIMER_READ_SRC)
+        .backend(Backend::translated(DetailLevel::Cache))
+        .platform(PlatformConfig::default())
+        .build()
+        .unwrap();
+    translated.run_until(Limit::Cycles(u64::MAX)).unwrap();
+    let t = translated.read_d(3);
+    assert!(t > 300, "translated timer sees generated SoC time: {t}");
+
+    let dev = (g as f64 - t as f64).abs() / g as f64;
+    assert!(
+        dev < 0.2,
+        "timer parity: golden read {g}, translated read {t} ({:.1}% apart)",
+        dev * 100.0
+    );
+}
+
 /// The same capability through the session layer: sessions snapshot and
 /// restore uniformly, whatever the backend.
 #[test]
