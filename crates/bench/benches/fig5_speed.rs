@@ -9,6 +9,7 @@
 
 use cabt_bench::{bench_seconds, compare_dispatch, human_time, sharded_throughput};
 use cabt_core::DetailLevel;
+use cabt_sim::ShardSchedule;
 use std::hint::black_box;
 
 fn main() {
@@ -77,23 +78,31 @@ fn main() {
     }
 
     // Sharded throughput: the producer/consumer workload on 1, 2 and 4
-    // translated shards over one shared SoC bus. Aggregate MIPS is the
-    // scheduler's headline: simulating more cores must not collapse
-    // total dispatch throughput (the epoch scheduler stays in burst
-    // mode, so the aggregate holds roughly flat while the simulated
-    // core count — and total simulated work — scales).
-    println!("\nsharded throughput (aggregate across shards, shared SoC bus):");
+    // translated shards, paired rows per core count — the sequential
+    // round-robin scheduler versus the thread-parallel scheduler (one
+    // worker thread per shard per epoch round). Both simulate the
+    // *same* bit-identical run; the parallel rows are the headline of
+    // thread-parallel shard execution: aggregate MIPS scales with host
+    // cores instead of holding flat.
+    println!("\nsharded throughput (aggregate across shards, sequential vs parallel):");
     let mc = cabt_workloads::producer_consumer(160, 0xcab7);
     let core_counts: &[u8] = if smoke { &[1] } else { &[1, 2, 4] };
-    let sharded: Vec<_> = core_counts
-        .iter()
-        .map(|&cores| sharded_throughput(&mc, cores, iters))
-        .collect();
-    for r in &sharded {
+    let mut sharded = Vec::new();
+    for &cores in core_counts {
+        let seq = sharded_throughput(&mc, cores, iters, ShardSchedule::Sequential);
+        let par = sharded_throughput(&mc, cores, iters, ShardSchedule::Parallel);
+        let speedup = par.aggregate_mips / seq.aggregate_mips;
         println!(
-            "  {:<18} cores {}  {:>9} retired/run  {:>8.2} aggregate MIPS  ({} epochs)",
-            r.workload, r.cores, r.aggregate_retired, r.aggregate_mips, r.epochs,
+            "  {:<18} cores {}  {:>9} retired/run  seq {:>8.2} MIPS  par {:>8.2} MIPS  ({:.2}x, {} epochs)",
+            seq.workload, cores, seq.aggregate_retired, seq.aggregate_mips, par.aggregate_mips,
+            speedup, seq.epochs,
         );
+        assert_eq!(
+            seq.aggregate_retired, par.aggregate_retired,
+            "schedulers must simulate the identical run"
+        );
+        sharded.push(seq);
+        sharded.push(par);
     }
 
     let json = format!(

@@ -18,7 +18,7 @@
 
 use cabt_core::DetailLevel;
 use cabt_exec::{EngineStats, ExecutionEngine, Limit, StopCause};
-use cabt_sim::{Backend, Session, SimBuilder};
+use cabt_sim::{Backend, Session, ShardSchedule, SimBuilder};
 use cabt_tricore::sim::DispatchMode;
 use cabt_vliw::sim::VliwDispatch;
 use cabt_workloads::Workload;
@@ -458,15 +458,25 @@ pub fn compare_dispatch(w: &Workload, level: DetailLevel, iters: u32) -> Dispatc
     }
 }
 
+/// Scheduling epoch (target cycles) used by the sharded throughput
+/// measurement: large enough to amortize the barrier exchange and the
+/// parallel scheduler's per-round worker spawns, identical for both
+/// schedules so the sequential and parallel rows simulate the *same*
+/// run (`tests/parallel_determinism.rs` proves bit-identity).
+pub const SHARDED_BENCH_EPOCH: u64 = 65_536;
+
 /// Host-side throughput of one sharded configuration: `cores` shards
-/// of the translated engine on one shared SoC bus, measured as million
-/// source instructions retired per host second *summed across shards*.
+/// of the translated engine, measured as million source instructions
+/// retired per host second *summed across shards*, under one
+/// [`ShardSchedule`].
 #[derive(Debug, Clone)]
 pub struct ShardedThroughput {
     /// Workload name.
     pub workload: &'static str,
-    /// Shard count.
+    /// Shard count (= worker threads under the parallel schedule).
     pub cores: u8,
+    /// Host schedule of the epoch rounds.
+    pub schedule: ShardSchedule,
     /// Aggregate retirements across all shards, per run.
     pub aggregate_retired: u64,
     /// Aggregate million instructions per host second.
@@ -476,34 +486,54 @@ pub struct ShardedThroughput {
 }
 
 impl ShardedThroughput {
+    /// JSON tag of the schedule.
+    fn schedule_tag(&self) -> &'static str {
+        match self.schedule {
+            ShardSchedule::Sequential => "sequential",
+            ShardSchedule::Parallel => "parallel",
+        }
+    }
+
     /// Renders one JSON object (hand-rolled; the workspace is
     /// dependency-free).
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"workload\":\"{}\",\"cores\":{},",
+                "{{\"workload\":\"{}\",\"cores\":{},\"schedule\":\"{}\",",
                 "\"aggregate_retired\":{},\"aggregate_mips\":{:.3},\"epochs\":{}}}"
             ),
-            self.workload, self.cores, self.aggregate_retired, self.aggregate_mips, self.epochs,
+            self.workload,
+            self.cores,
+            self.schedule_tag(),
+            self.aggregate_retired,
+            self.aggregate_mips,
+            self.epochs,
         )
     }
 }
 
 /// Measures sharded throughput: builds a `Backend::Sharded` session of
-/// `cores` translated engines over `w`, reruns it `iters` times
-/// (reset + run to halt) and reports aggregate dispatch throughput.
-/// Validates every shard's checksum — the producer/consumer handoff
-/// must still be correct under measurement.
+/// `cores` translated engines over `w` under `schedule`, reruns it
+/// `iters` times (reset + run to halt) and reports aggregate dispatch
+/// throughput. Validates every shard's checksum — the
+/// producer/consumer handoff must still be correct under measurement.
 ///
 /// # Panics
 ///
 /// Panics on build/run/validation failures.
-pub fn sharded_throughput(w: &Workload, cores: u8, iters: u32) -> ShardedThroughput {
+pub fn sharded_throughput(
+    w: &Workload,
+    cores: u8,
+    iters: u32,
+    schedule: ShardSchedule,
+) -> ShardedThroughput {
     let mut s = SimBuilder::workload(w)
-        .backend(Backend::sharded(
+        .backend(Backend::sharded_with_schedule(
             cores,
             Backend::translated(DetailLevel::Static),
+            schedule,
         ))
+        .shard_epoch(SHARDED_BENCH_EPOCH)
         .build()
         .expect("sharded session builds");
     let mut retired = 0u64;
@@ -529,6 +559,7 @@ pub fn sharded_throughput(w: &Workload, cores: u8, iters: u32) -> ShardedThrough
     ShardedThroughput {
         workload: w.name,
         cores,
+        schedule,
         aggregate_retired: retired,
         aggregate_mips: retired as f64 / secs / 1e6,
         epochs,

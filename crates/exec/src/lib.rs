@@ -297,7 +297,50 @@ pub fn run_epochs_sharded<E: ExecutionEngine>(
     shards: &mut [E],
     max_cycles: u64,
     epoch: u64,
+    on_epoch: impl FnMut(&mut [E]),
+) -> Result<StopCause, E::Error> {
+    run_epochs_rounds(shards, max_cycles, epoch, on_epoch, |shards, deadline| {
+        run_shard_round_sequential(shards, deadline)
+    })
+}
+
+/// Runs one epoch round in shard order on the calling thread: every
+/// live shard below `deadline` executes `run_until(Cycles(deadline))`,
+/// and a shard that halts exactly on the deadline gets its
+/// architectural state committed inside the round (a completed run,
+/// same as the single-engine epoch driver).
+///
+/// # Errors
+///
+/// Propagates the first shard fault; later shards of the round are not
+/// run.
+pub fn run_shard_round_sequential<E: ExecutionEngine>(
+    shards: &mut [E],
+    deadline: u64,
+) -> Result<(), E::Error> {
+    for s in shards.iter_mut() {
+        if s.is_halted() || s.cycle() >= deadline {
+            continue;
+        }
+        if s.run_until(Limit::Cycles(deadline))? == StopCause::LimitReached && s.is_halted() {
+            s.commit_arch_state();
+        }
+    }
+    Ok(())
+}
+
+/// The one epoch schedule both sharded drivers share: frontier, budget
+/// and halt checks, deadline computation and `on_epoch` placement live
+/// here *exactly once* — the drivers differ only in the `round`
+/// callback that advances the shards to each deadline. This is what
+/// makes the sequential/parallel bit-identity claim structural rather
+/// than a matter of keeping two loops in sync.
+fn run_epochs_rounds<E: ExecutionEngine>(
+    shards: &mut [E],
+    max_cycles: u64,
+    epoch: u64,
     mut on_epoch: impl FnMut(&mut [E]),
+    mut round: impl FnMut(&mut [E], u64) -> Result<(), E::Error>,
 ) -> Result<StopCause, E::Error> {
     let epoch = epoch.max(1);
     if shards.is_empty() {
@@ -315,17 +358,105 @@ pub fn run_epochs_sharded<E: ExecutionEngine>(
             return Ok(StopCause::Halted);
         }
         let deadline = frontier.saturating_add(epoch).min(max_cycles);
+        round(shards, deadline)?;
+        on_epoch(shards);
+    }
+}
+
+/// Thread-parallel twin of [`run_epochs_sharded`]: literally the same
+/// epoch schedule (both drivers delegate to one shared loop — frontier
+/// computation, deadlines, halt/budget semantics and `on_epoch`
+/// boundaries exist once), but every round runs its shards
+/// concurrently, one scoped worker thread per live shard.
+///
+/// Bit-identity with the sequential driver is a *property of the
+/// shards*, guaranteed whenever shards touch no shared mutable state
+/// inside an epoch (the sharded session satisfies this by giving every
+/// shard a private device-state clone and reconciling at the
+/// `on_epoch` barrier — see `cabt-platform`'s `ShardArbiter`). Under
+/// that isolation the round's result is a pure function of the shard
+/// states at its start, so the host interleaving cannot be observed
+/// and sequential and parallel runs produce bit-identical shard
+/// states, cycle counts and device images.
+///
+/// # Errors
+///
+/// Propagates the fault of the lowest-numbered faulting shard
+/// (deterministic whatever thread finished first). Unlike the
+/// sequential driver — which stops mid-round at the first fault —
+/// every shard of the faulting round has already run to its deadline.
+pub fn run_epochs_parallel<E>(
+    shards: &mut [E],
+    max_cycles: u64,
+    epoch: u64,
+    on_epoch: impl FnMut(&mut [E]),
+) -> Result<StopCause, E::Error>
+where
+    E: ExecutionEngine + Send,
+    E::Error: Send,
+{
+    run_epochs_rounds(shards, max_cycles, epoch, on_epoch, |shards, deadline| {
+        run_shard_round_parallel(shards, deadline, true)
+    })
+}
+
+/// Runs one epoch round concurrently: every live shard below `deadline`
+/// gets a scoped worker thread executing `run_until(Cycles(deadline))`.
+/// With `commit_boundary_halts`, a shard that halts exactly on the
+/// deadline gets its architectural state committed inside the round —
+/// matching [`run_epochs_sharded`]'s per-round behaviour. Drivers with
+/// their own commit discipline (e.g. retirement-budgeted rounds that
+/// commit only once the whole set halts) pass `false`.
+///
+/// # Errors
+///
+/// Propagates the fault of the lowest-numbered faulting shard.
+pub fn run_shard_round_parallel<E>(
+    shards: &mut [E],
+    deadline: u64,
+    commit_boundary_halts: bool,
+) -> Result<(), E::Error>
+where
+    E: ExecutionEngine + Send,
+    E::Error: Send,
+{
+    let mut first_err: Option<E::Error> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
         for s in shards.iter_mut() {
             if s.is_halted() || s.cycle() >= deadline {
                 continue;
             }
-            if s.run_until(Limit::Cycles(deadline))? == StopCause::LimitReached && s.is_halted() {
-                // Halted exactly on the epoch boundary: a completed
-                // run, same as the single-engine epoch driver.
-                s.commit_arch_state();
+            handles.push(
+                scope.spawn(move || match s.run_until(Limit::Cycles(deadline)) {
+                    Ok(StopCause::LimitReached) if commit_boundary_halts && s.is_halted() => {
+                        // Halted exactly on the epoch boundary: a completed
+                        // run, same as the single-engine epoch driver.
+                        s.commit_arch_state();
+                        Ok(())
+                    }
+                    Ok(_) => Ok(()),
+                    Err(e) => Err(e),
+                }),
+            );
+        }
+        // Joined in spawn (= shard) order, so the reported fault is the
+        // lowest-numbered faulting shard regardless of thread timing.
+        for h in handles {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
             }
         }
-        on_epoch(shards);
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -658,6 +789,45 @@ mod tests {
         let mut shards: Vec<Toy> = Vec::new();
         assert_eq!(
             run_epochs_sharded(&mut shards, 100, 4, |_| {}),
+            Ok(StopCause::Halted)
+        );
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential_bit_for_bit() {
+        // Isolated shards (no shared state): the parallel schedule must
+        // reproduce the sequential one exactly — stats, boundary count,
+        // stop cause — on halting and budget-bound runs alike.
+        for budget in [u64::MAX, 50, 0] {
+            let build = || vec![scaled(3, 40), scaled(5, 25), scaled(2, 60), scaled(7, 13)];
+            let mut seq = build();
+            let mut seq_bounds = 0u32;
+            let rs = run_epochs_sharded(&mut seq, budget, 16, |_| seq_bounds += 1).unwrap();
+            let mut par = build();
+            let mut par_bounds = 0u32;
+            let rp = run_epochs_parallel(&mut par, budget, 16, |_| par_bounds += 1).unwrap();
+            assert_eq!(rs, rp, "budget {budget}: stop cause");
+            assert_eq!(seq_bounds, par_bounds, "budget {budget}: epoch boundaries");
+            let stats = |v: &[ScaledToy]| v.iter().map(|s| s.engine_stats()).collect::<Vec<_>>();
+            assert_eq!(stats(&seq), stats(&par), "budget {budget}: shard stats");
+        }
+    }
+
+    #[test]
+    fn parallel_driver_entry_semantics_match_the_trait() {
+        // Zero budget: LimitReached without dispatching, even halted.
+        let mut shards = vec![scaled(1, 0), scaled(1, 0)];
+        assert_eq!(
+            run_epochs_parallel(&mut shards, 0, 4, |_| {}),
+            Ok(StopCause::LimitReached)
+        );
+        assert_eq!(
+            run_epochs_parallel(&mut shards, 100, 4, |_| {}),
+            Ok(StopCause::Halted)
+        );
+        let mut empty: Vec<Toy> = Vec::new();
+        assert_eq!(
+            run_epochs_parallel(&mut empty, 100, 4, |_| {}),
             Ok(StopCause::Halted)
         );
     }

@@ -43,9 +43,8 @@ use cabt_core::translate::SYNC_DEVICE_BASE;
 use cabt_core::Translated;
 use cabt_exec::{run_epochs, StopCause};
 use cabt_vliw::sim::{TargetBus, VliwError, VliwSim};
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 pub use bus::{
     GoldenBridge, ScratchRam, ShardArbiter, SharedSocBus, SocBus, SocBusState, SocPeripheral,
@@ -149,10 +148,12 @@ impl PlatformStats {
 
 /// The combined device window shared between the simulator's bus hook
 /// and the platform (for post-run inspection). The SoC bus itself is a
-/// [`SharedSocBus`] handle, so the *same* device population can also be
-/// routed to other cores (shards of a multi-core session, or the golden
-/// model via [`bus::GoldenBridge`]); the synchronization device stays
-/// per-platform — each core paces its own cycle generation.
+/// [`SharedSocBus`] handle, so the *same* device population can also
+/// be shared with other vehicles (e.g. the golden model via
+/// [`bus::GoldenBridge`]); shards of a multi-core session instead get
+/// *private* bus clones reconciled by the [`ShardArbiter`] at epoch
+/// barriers. The synchronization device stays per-platform — each core
+/// paces its own cycle generation.
 struct PlatformBusInner {
     sync: SyncDevice,
     soc: SharedSocBus,
@@ -160,7 +161,7 @@ struct PlatformBusInner {
     cfg: PlatformConfig,
 }
 
-struct PlatformBusHandle(Rc<RefCell<PlatformBusInner>>);
+struct PlatformBusHandle(Arc<Mutex<PlatformBusInner>>);
 
 impl TargetBus for PlatformBusHandle {
     fn covers(&self, addr: u32) -> bool {
@@ -169,7 +170,7 @@ impl TargetBus for PlatformBusHandle {
     }
 
     fn bus_read(&mut self, cycle: u64, addr: u32, size: u32) -> (u32, u64) {
-        let mut b = self.0.borrow_mut();
+        let mut b = self.0.lock().expect("platform bus lock");
         if (SYNC_DEVICE_BASE..SYNC_DEVICE_BASE + 16).contains(&addr) {
             return match addr - SYNC_DEVICE_BASE {
                 4 => (0, b.sync.wait(cycle)),
@@ -185,7 +186,7 @@ impl TargetBus for PlatformBusHandle {
     }
 
     fn bus_write(&mut self, cycle: u64, addr: u32, size: u32, value: u32) -> u64 {
-        let mut b = self.0.borrow_mut();
+        let mut b = self.0.lock().expect("platform bus lock");
         if (SYNC_DEVICE_BASE..SYNC_DEVICE_BASE + 16).contains(&addr) {
             match addr - SYNC_DEVICE_BASE {
                 0 => b.sync.start(cycle, value),
@@ -243,7 +244,7 @@ pub fn default_soc_bus() -> SocBus {
 /// The assembled rapid-prototyping platform.
 pub struct Platform {
     sim: VliwSim,
-    bus: Rc<RefCell<PlatformBusInner>>,
+    bus: Arc<Mutex<PlatformBusInner>>,
     cfg: PlatformConfig,
 }
 
@@ -293,13 +294,13 @@ impl Platform {
         soc: SharedSocBus,
     ) -> Result<Self, PlatformError> {
         let mut sim = translated.make_sim()?;
-        let inner = Rc::new(RefCell::new(PlatformBusInner {
+        let inner = Arc::new(Mutex::new(PlatformBusInner {
             sync: SyncDevice::new(cfg.rate),
             soc,
             handshake: cfg.bus_handshake,
             cfg,
         }));
-        sim.set_bus(Box::new(PlatformBusHandle(Rc::clone(&inner))));
+        sim.set_bus(Box::new(PlatformBusHandle(Arc::clone(&inner))));
         Ok(Platform {
             sim,
             bus: inner,
@@ -322,13 +323,13 @@ impl Platform {
     /// exhaustion.
     pub fn run(&mut self, max_cycles: u64) -> Result<PlatformStats, PlatformError> {
         let epoch = self.cfg.epoch_target_cycles();
-        let bus = Rc::clone(&self.bus);
+        let bus = Arc::clone(&self.bus);
         let stop = run_epochs(&mut self.sim, max_cycles, epoch, |_engine| {
             // Epoch boundary: observe generation progress once per
             // burst. Peripherals are clocked lazily by `soc_time()` on
             // access, so observing the counter is all the bookkeeping
             // this epoch needs today.
-            let _generated_so_far = bus.borrow().sync.soc_time();
+            let _generated_so_far = bus.lock().expect("platform bus lock").sync.soc_time();
         })?;
         if stop == StopCause::LimitReached {
             return Err(PlatformError::Vliw(VliwError::CycleLimit));
@@ -347,7 +348,7 @@ impl Platform {
     /// Snapshot of the run counters (engine + shared devices).
     fn collect_stats(&self) -> PlatformStats {
         let vstats = self.sim.stats();
-        let bus = self.bus.borrow();
+        let bus = self.bus.lock().expect("platform bus lock");
         PlatformStats {
             target_cycles: vstats.cycles,
             generated_cycles: bus.sync.generated(),
@@ -395,13 +396,13 @@ impl Platform {
     /// queue is keyed to the target clock, so rewinding the engine
     /// without it would turn wait reads into phantom stalls.
     pub fn save_sync_device(&self) -> SyncDevice {
-        self.bus.borrow().sync.clone()
+        self.bus.lock().expect("platform bus lock").sync.clone()
     }
 
     /// Restores synchronization-device state captured by
     /// [`Platform::save_sync_device`].
     pub fn restore_sync_device(&mut self, sync: &SyncDevice) {
-        self.bus.borrow_mut().sync = sync.clone();
+        self.bus.lock().expect("platform bus lock").sync = sync.clone();
     }
 
     /// Captures the state of every SoC peripheral plus the bus's
@@ -412,7 +413,7 @@ impl Platform {
     /// repeats device behaviour bit-identically instead of double
     /// logging.
     pub fn save_soc_bus(&self) -> SocBusState {
-        self.bus.borrow().soc.save_state()
+        self.bus.lock().expect("platform bus lock").soc.save_state()
     }
 
     /// Restores SoC peripheral state captured by
@@ -422,14 +423,18 @@ impl Platform {
     ///
     /// Panics if the image came from a different device population.
     pub fn restore_soc_bus(&mut self, state: &SocBusState) {
-        self.bus.borrow().soc.restore_state(state);
+        self.bus
+            .lock()
+            .expect("platform bus lock")
+            .soc
+            .restore_state(state);
     }
 
     /// A clone of the handle to this platform's SoC bus. With
     /// [`Platform::with_shared_bus`] this is the *same* bus other cores
     /// were built around.
     pub fn soc_bus(&self) -> SharedSocBus {
-        self.bus.borrow().soc.clone()
+        self.bus.lock().expect("platform bus lock").soc.clone()
     }
 }
 

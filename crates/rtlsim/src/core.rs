@@ -15,10 +15,9 @@ use cabt_isa::mem::Memory;
 use cabt_isa::IsaError;
 use cabt_tricore::encode::decode;
 use cabt_tricore::isa::{Cond, Instr, LdKind, StKind, RA};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const ST_FETCH: u64 = 0;
 const ST_EXEC: u64 = 1;
@@ -88,10 +87,10 @@ pub struct RtlCore {
     regs: Vec<SignalId>,
     pc: SignalId,
     instructions: u64,
-    mem: Rc<RefCell<Memory>>,
+    mem: Arc<Mutex<Memory>>,
     /// Instruction memory handle (fetch closures share it); used to
     /// decide whether the pc signal points inside the program.
-    imem: Rc<HashMap<u32, u16>>,
+    imem: Arc<HashMap<u32, u16>>,
     /// Post-elaboration state, restored by [`ExecutionEngine::reset`].
     initial: RtlSnapshot,
 }
@@ -116,7 +115,7 @@ impl RtlCore {
         let mut data_mem = Memory::new();
         elf.load_into(&mut data_mem)
             .map_err(|_| RtlError::Fault { pc: elf.entry })?;
-        let mem = Rc::new(RefCell::new(data_mem));
+        let mem = Arc::new(Mutex::new(data_mem));
 
         // Instruction memory: halfwords keyed by address.
         let mut imem: HashMap<u32, u16> = HashMap::new();
@@ -129,7 +128,7 @@ impl RtlCore {
                 }
             }
         }
-        let imem = Rc::new(imem);
+        let imem = Arc::new(imem);
 
         let mut k = Kernel::new();
         let clk = k.signal(0);
@@ -155,7 +154,7 @@ impl RtlCore {
         k.poke(regs[26], 0xd003_0000);
 
         // ---- FETCH ----
-        let imem_f = Rc::clone(&imem);
+        let imem_f = Arc::clone(&imem);
         let fetch = k.process(move |ctx| {
             if ctx.get(clk) != 1 || ctx.get(state) != ST_FETCH {
                 return;
@@ -427,14 +426,14 @@ impl RtlCore {
         k.make_sensitive(exec, clk);
 
         // ---- MEM ----
-        let mem_m = Rc::clone(&mem);
+        let mem_m = Arc::clone(&mem);
         let memstage = k.process(move |ctx| {
             if ctx.get(clk) != 1 || ctx.get(state) != ST_MEM {
                 return;
             }
             let addr = ctx.get(mem_addr) as u32;
             let kind = ctx.get(mem_kind);
-            let mut m = mem_m.borrow_mut();
+            let mut m = mem_m.lock().expect("rtl memory lock");
             match ctx.get(mem_op) {
                 MEM_LD => {
                     let v = match kind {
@@ -497,7 +496,7 @@ impl RtlCore {
 
         let initial = RtlSnapshot {
             kernel: k.save_state(),
-            mem: mem.borrow().clone(),
+            mem: mem.lock().expect("rtl memory lock").clone(),
             instructions: 0,
         };
         Ok(RtlCore {
@@ -593,8 +592,8 @@ impl RtlCore {
     }
 
     /// Shared handle to the data memory (testbench access).
-    pub fn memory(&self) -> Rc<RefCell<Memory>> {
-        Rc::clone(&self.mem)
+    pub fn memory(&self) -> Arc<Mutex<Memory>> {
+        Arc::clone(&self.mem)
     }
 }
 
@@ -605,14 +604,14 @@ impl ExecutionEngine for RtlCore {
     fn snapshot(&self) -> RtlSnapshot {
         RtlSnapshot {
             kernel: self.kernel.save_state(),
-            mem: self.mem.borrow().clone(),
+            mem: self.mem.lock().expect("rtl memory lock").clone(),
             instructions: self.instructions,
         }
     }
 
     fn restore(&mut self, snapshot: &RtlSnapshot) {
         self.kernel.restore_state(&snapshot.kernel);
-        *self.mem.borrow_mut() = snapshot.mem.clone();
+        *self.mem.lock().expect("rtl memory lock") = snapshot.mem.clone();
         self.instructions = snapshot.instructions;
     }
 
@@ -623,7 +622,7 @@ impl ExecutionEngine for RtlCore {
         // Disjoint field borrows: restore straight from `self.initial`
         // without cloning the whole snapshot first.
         self.kernel.restore_state(&self.initial.kernel);
-        *self.mem.borrow_mut() = self.initial.mem.clone();
+        *self.mem.lock().expect("rtl memory lock") = self.initial.mem.clone();
         self.instructions = self.initial.instructions;
     }
 
@@ -663,7 +662,8 @@ impl ExecutionEngine for RtlCore {
 
     fn read_mem(&mut self, addr: u32, len: usize) -> Result<Vec<u8>, RtlError> {
         self.mem
-            .borrow_mut()
+            .lock()
+            .expect("rtl memory lock")
             .read_block(addr, len)
             .map_err(RtlError::Mem)
     }

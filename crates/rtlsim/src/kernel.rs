@@ -35,7 +35,7 @@ impl ProcCtx<'_> {
     }
 }
 
-type Process = Box<dyn FnMut(&mut ProcCtx<'_>)>;
+type Process = Box<dyn FnMut(&mut ProcCtx<'_>) + Send>;
 
 /// Mutable kernel state captured by [`Kernel::save_state`]: everything
 /// a resumed simulation needs besides the (immutable) processes and
@@ -129,7 +129,7 @@ impl Kernel {
 
     /// Registers a process. It does not run until a signal in its
     /// sensitivity list changes (or [`Kernel::schedule`] is called).
-    pub fn process(&mut self, f: impl FnMut(&mut ProcCtx<'_>) + 'static) -> ProcId {
+    pub fn process(&mut self, f: impl FnMut(&mut ProcCtx<'_>) + Send + 'static) -> ProcId {
         self.procs.push(Some(Box::new(f)));
         ProcId(self.procs.len() - 1)
     }
@@ -263,8 +263,8 @@ impl Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
-    use std::rc::Rc;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn combinational_chain_settles() {
@@ -293,16 +293,18 @@ mod tests {
     fn no_wakeup_without_change() {
         let mut k = Kernel::new();
         let a = k.signal(7);
-        let count = Rc::new(Cell::new(0u32));
-        let c2 = Rc::clone(&count);
-        let p = k.process(move |_| c2.set(c2.get() + 1));
+        let count = Arc::new(AtomicU32::new(0));
+        let c2 = Arc::clone(&count);
+        let p = k.process(move |_| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
         k.make_sensitive(p, a);
         k.poke(a, 7); // same value: no wake
         k.settle().unwrap();
-        assert_eq!(count.get(), 0);
+        assert_eq!(count.load(Ordering::Relaxed), 0);
         k.poke(a, 8);
         k.settle().unwrap();
-        assert_eq!(count.get(), 1);
+        assert_eq!(count.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -361,13 +363,15 @@ mod tests {
     #[test]
     fn schedule_runs_once() {
         let mut k = Kernel::new();
-        let count = Rc::new(Cell::new(0u32));
-        let c2 = Rc::clone(&count);
-        let p = k.process(move |_| c2.set(c2.get() + 1));
+        let count = Arc::new(AtomicU32::new(0));
+        let c2 = Arc::clone(&count);
+        let p = k.process(move |_| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
         k.schedule(p);
         k.settle().unwrap();
-        assert_eq!(count.get(), 1);
+        assert_eq!(count.load(Ordering::Relaxed), 1);
         k.settle().unwrap();
-        assert_eq!(count.get(), 1, "not rescheduled");
+        assert_eq!(count.load(Ordering::Relaxed), 1, "not rescheduled");
     }
 }

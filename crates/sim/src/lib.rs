@@ -81,20 +81,45 @@ pub enum Backend {
     /// The event-driven RT-level model (the slow Table 2 baseline).
     Rtl,
     /// A multi-core shard set: `cores` copies of the per-shard vehicle
-    /// `backend`, all routing their I/O windows into **one** shared SoC
-    /// bus behind an epoch-synchronized arbiter. The shards advance one
-    /// epoch at a time under `cabt_exec::run_epochs_sharded` and
-    /// exchange device state at every epoch boundary, so runs — and
-    /// snapshot-restore replays — are deterministic. Each shard is
-    /// seeded with its core id in source register `%d15` (shard 0 keeps
-    /// the conventional single-core role), which is how SPMD workloads
-    /// like `producer_consumer` pick their role.
+    /// `backend`, each owning a *private* clone of the shared SoC
+    /// device population (timer, UART, scratch-RAM mailbox). The shards
+    /// advance one `SyncRate` epoch at a time and exchange
+    /// `SocBusState` images at every epoch barrier, where the
+    /// `ShardArbiter` merges them in fixed shard order into one
+    /// canonical image broadcast back to every shard — so runs, and
+    /// snapshot-restore replays, are deterministic and *schedule
+    /// independent*: the sequential round-robin scheduler and the
+    /// thread-parallel scheduler ([`ShardSchedule`]) produce
+    /// bit-identical state. Each shard is seeded with its core id in
+    /// source register `%d15` (shard 0 keeps the conventional
+    /// single-core role), which is how SPMD workloads like
+    /// `producer_consumer` pick their role.
     Sharded {
         /// Number of shards (≥ 1, validated at build time).
         cores: u8,
         /// The vehicle every shard runs.
         backend: ShardBackend,
+        /// How epoch rounds map onto host threads.
+        schedule: ShardSchedule,
     },
+}
+
+/// How a sharded session's epoch rounds execute on the host.
+///
+/// Both schedules run the *same* deterministic protocol — identical
+/// epoch deadlines, identical barrier exchanges — and therefore
+/// produce bit-identical simulations; they differ only in wall-clock
+/// scaling. `tests/parallel_determinism.rs` pins the equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardSchedule {
+    /// One host thread runs every shard round-robin
+    /// (`cabt_exec::run_epochs_sharded`).
+    #[default]
+    Sequential,
+    /// One worker thread per live shard per round
+    /// (`cabt_exec::run_epochs_parallel`): aggregate throughput scales
+    /// with host cores, not just simulated ones.
+    Parallel,
 }
 
 /// The per-shard vehicle of [`Backend::Sharded`]: any single-core
@@ -150,20 +175,46 @@ impl Backend {
         }
     }
 
-    /// A sharded multi-core session: `cores` shards of `base`.
+    /// A sharded multi-core session: `cores` shards of `base`, run by
+    /// the sequential round-robin scheduler.
     ///
     /// # Panics
     ///
     /// Panics if `base` is itself [`Backend::Sharded`] — sharding does
     /// not nest.
     pub fn sharded(cores: u8, base: Backend) -> Self {
+        Self::sharded_with_schedule(cores, base, ShardSchedule::Sequential)
+    }
+
+    /// A sharded multi-core session run by the thread-parallel
+    /// scheduler: one worker thread per shard per epoch round,
+    /// bit-identical to [`Backend::sharded`] but scaling with host
+    /// cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is itself [`Backend::Sharded`].
+    pub fn sharded_parallel(cores: u8, base: Backend) -> Self {
+        Self::sharded_with_schedule(cores, base, ShardSchedule::Parallel)
+    }
+
+    /// A sharded multi-core session with an explicit [`ShardSchedule`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is itself [`Backend::Sharded`].
+    pub fn sharded_with_schedule(cores: u8, base: Backend, schedule: ShardSchedule) -> Self {
         let backend = match base {
             Backend::Golden { dispatch } => ShardBackend::Golden { dispatch },
             Backend::Translated { level, dispatch } => ShardBackend::Translated { level, dispatch },
             Backend::Rtl => ShardBackend::Rtl,
             Backend::Sharded { .. } => panic!("sharded backends do not nest"),
         };
-        Backend::Sharded { cores, backend }
+        Backend::Sharded {
+            cores,
+            backend,
+            schedule,
+        }
     }
 
     /// Every single-core backend at default dispatch: golden, the four
@@ -190,7 +241,14 @@ impl fmt::Display for Backend {
             Backend::Golden { .. } => f.write_str("golden"),
             Backend::Translated { level, .. } => write!(f, "translated:{level}"),
             Backend::Rtl => f.write_str("rtl"),
-            Backend::Sharded { cores, backend } => write!(f, "sharded-{cores}x:{backend}"),
+            Backend::Sharded {
+                cores,
+                backend,
+                schedule,
+            } => match schedule {
+                ShardSchedule::Sequential => write!(f, "sharded-{cores}x:{backend}"),
+                ShardSchedule::Parallel => write!(f, "sharded-{cores}x-par:{backend}"),
+            },
         }
     }
 }
@@ -298,7 +356,10 @@ pub enum EventKind {
     Stop(StopCause),
 }
 
-type ObserverFn = Box<dyn FnMut(&Event)>;
+// Observers are `Send` so whole sessions are: a shard of a parallel
+// sharded session runs on a worker thread, and `Session` itself is the
+// shard type.
+type ObserverFn = Box<dyn FnMut(&Event) + Send>;
 
 /// Default epoch length between epoch-observer firings, in the units
 /// of the limit passed to [`Session::run`] (see [`SimBuilder::epoch`]).
@@ -313,6 +374,7 @@ pub struct SimBuilder {
     platform: PlatformConfig,
     granularity: Granularity,
     epoch: u64,
+    shard_epoch: Option<u64>,
     soc_bus: Option<SharedSocBus>,
     on_epoch: Vec<ObserverFn>,
     on_stop: Vec<ObserverFn>,
@@ -340,6 +402,7 @@ impl SimBuilder {
             platform: PlatformConfig::unlimited(),
             granularity: Granularity::default(),
             epoch: DEFAULT_EPOCH,
+            shard_epoch: None,
             soc_bus: None,
             on_epoch: Vec::new(),
             on_stop: Vec::new(),
@@ -425,16 +488,29 @@ impl SimBuilder {
         self
     }
 
+    /// Scheduling epoch of [`Backend::Sharded`] sessions, in target
+    /// cycles: shards run concurrently (or round-robin) for this many
+    /// cycles between device-state exchange barriers. Defaults to one
+    /// `SyncRate` generation epoch where the platform configuration
+    /// bounds one, else a fixed fallback. Larger epochs amortize
+    /// barrier cost (better parallel scaling); smaller epochs tighten
+    /// cross-shard visibility latency. Ignored by single-core
+    /// backends. Clamped to ≥ 1.
+    pub fn shard_epoch(mut self, target_cycles: u64) -> Self {
+        self.shard_epoch = Some(target_cycles.max(1));
+        self
+    }
+
     /// Registers an observer fired at every epoch boundary of
     /// [`Session::run`] — the tracing/stats-collection hook.
-    pub fn on_epoch(mut self, f: impl FnMut(&Event) + 'static) -> Self {
+    pub fn on_epoch(mut self, f: impl FnMut(&Event) + Send + 'static) -> Self {
         self.on_epoch.push(Box::new(f));
         self
     }
 
     /// Registers an observer fired once per completed
     /// [`Session::run`], with the final counters and stop cause.
-    pub fn on_stop(mut self, f: impl FnMut(&Event) + 'static) -> Self {
+    pub fn on_stop(mut self, f: impl FnMut(&Event) + Send + 'static) -> Self {
         self.on_stop.push(Box::new(f));
         self
     }
@@ -459,6 +535,7 @@ impl SimBuilder {
             self.platform,
             self.granularity,
             self.soc_bus,
+            self.shard_epoch,
         )?;
         Ok(Session {
             vehicle,
@@ -477,6 +554,7 @@ impl SimBuilder {
         platform_cfg: PlatformConfig,
         granularity: Granularity,
         soc_bus: Option<SharedSocBus>,
+        shard_epoch: Option<u64>,
     ) -> Result<Vehicle, SessionError> {
         Ok(match backend {
             Backend::Golden { dispatch } => {
@@ -508,7 +586,11 @@ impl SimBuilder {
                 }
             }
             Backend::Rtl => Vehicle::Rtl(Box::new(RtlCore::new(elf)?)),
-            Backend::Sharded { cores, backend } => {
+            Backend::Sharded {
+                cores,
+                backend,
+                schedule,
+            } => {
                 if cores == 0 {
                     return Err(SessionError::ShardConfig(
                         "a sharded backend needs at least one core".into(),
@@ -516,15 +598,18 @@ impl SimBuilder {
                 }
                 if soc_bus.is_some() {
                     return Err(SessionError::ShardConfig(
-                        "sharded sessions own their shared bus; `soc_bus` is not accepted".into(),
+                        "sharded sessions own their device fabric; `soc_bus` is not accepted"
+                            .into(),
                     ));
                 }
                 Vehicle::Sharded(Box::new(ShardSet::build(
                     elf,
                     cores,
                     backend,
+                    schedule,
                     platform_cfg,
                     granularity,
+                    shard_epoch,
                 )?))
             }
         })
@@ -567,13 +652,14 @@ impl Vehicle {
     }
 
     /// The SoC bus whose device state belongs in this vehicle's
-    /// snapshot, if it has one.
+    /// snapshot, if it has one. Sharded vehicles have no *single* live
+    /// bus — every shard owns a private one and the arbiter holds the
+    /// canonical image — so they snapshot through their own path.
     fn device_bus(&self) -> Option<SharedSocBus> {
         match self {
             Vehicle::Golden { bus, .. } => bus.clone(),
             Vehicle::Translated { platform, .. } => Some(platform.soc_bus()),
-            Vehicle::Rtl(_) => None,
-            Vehicle::Sharded(set) => Some(set.arbiter.bus()),
+            Vehicle::Rtl(_) | Vehicle::Sharded(_) => None,
         }
     }
 }
@@ -603,11 +689,15 @@ enum Snap {
         sync: cabt_platform::SyncDevice,
     },
     Rtl(Box<RtlSnapshot>),
-    /// Per-shard session snapshots (in shard order) plus the arbiter's
-    /// epoch counter; the shared bus state lives in `devices`.
+    /// Per-shard session snapshots (in shard order, each carrying its
+    /// private — possibly mid-epoch — bus image) plus the arbiter's
+    /// epoch counter and the single-step path's armed barrier, so a
+    /// stepped replay exchanges at the same frontier as the donor
+    /// session; the canonical barrier image lives in `devices`.
     Sharded {
         shards: Vec<SessionSnapshot>,
         epochs: u64,
+        step_exchange_at: u64,
     },
 }
 
@@ -638,6 +728,13 @@ impl fmt::Debug for SessionSnapshot {
 /// forever waiting for traffic from a shard that never gets to run.
 const SHARD_EPOCH_CYCLES: u64 = 4096;
 
+/// Minimum round length (target cycles) worth paying a worker-thread
+/// spawn per shard for: retirement-budgeted rounds whose cycle room
+/// has drained below this run on the calling thread instead — rounds
+/// are schedule-independent, so the result is bit-identical either
+/// way.
+const PARALLEL_MIN_ROUND_CYCLES: u64 = 256;
+
 /// Per-shard and aggregate statistics of a [`Backend::Sharded`]
 /// session.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -655,14 +752,21 @@ pub struct ShardedStats {
     pub uart: Vec<(u64, u8)>,
 }
 
-/// N shard sessions around one shared SoC bus and its arbiter.
+/// N shard sessions, each around a *private* clone of the SoC device
+/// population, reconciled by the epoch-barrier arbiter.
 struct ShardSet {
     shards: Vec<Session>,
     arbiter: ShardArbiter,
     /// Target cycles per scheduling epoch.
     epoch: u64,
-    /// Device state of the freshly built bus — what reset restores.
+    /// Host schedule of the epoch rounds (bit-identical either way).
+    schedule: ShardSchedule,
+    /// Device state of the freshly built fabric — what reset restores.
     initial_bus: SocBusState,
+    /// Frontier cycle at which the interleaved single-step path runs
+    /// its next barrier exchange (the run drivers exchange per round on
+    /// their own and re-arm this afterwards).
+    step_exchange_at: u64,
 }
 
 impl ShardSet {
@@ -670,15 +774,22 @@ impl ShardSet {
         elf: &ElfFile,
         cores: u8,
         backend: ShardBackend,
+        schedule: ShardSchedule,
         platform_cfg: PlatformConfig,
         granularity: Granularity,
+        shard_epoch: Option<u64>,
     ) -> Result<ShardSet, SessionError> {
-        let bus = SharedSocBus::new(cabt_platform::default_soc_bus());
-        let initial_bus = bus.save_state();
-        let arbiter = ShardArbiter::new(bus.clone());
+        // One private device population per shard, plus the arbiter's
+        // canonical mirror — all born in the same (default) state.
+        let buses: Vec<SharedSocBus> = (0..cores)
+            .map(|_| SharedSocBus::new(cabt_platform::default_soc_bus()))
+            .collect();
+        let initial_bus = buses[0].save_state();
+        let arbiter = ShardArbiter::new(cabt_platform::default_soc_bus(), buses.clone());
         // One SyncRate epoch of target cycles when the configuration
-        // bounds one, else the fallback granularity.
-        let epoch = match backend {
+        // bounds one, else the fallback granularity; an explicit
+        // builder override wins.
+        let epoch = shard_epoch.unwrap_or(match backend {
             ShardBackend::Translated { .. } => {
                 let e = platform_cfg.epoch_target_cycles();
                 if e == u64::MAX {
@@ -688,7 +799,7 @@ impl ShardSet {
                 }
             }
             _ => SHARD_EPOCH_CYCLES,
-        };
+        });
         let mut shards = Vec::with_capacity(cores as usize);
         for id in 0..cores {
             let vehicle = SimBuilder::build_vehicle(
@@ -700,8 +811,9 @@ impl ShardSet {
                 // the bus for them.
                 match backend {
                     ShardBackend::Rtl => None,
-                    _ => Some(bus.clone()),
+                    _ => Some(buses[id as usize].clone()),
                 },
+                None,
             )?;
             let mut shard = Session {
                 vehicle,
@@ -718,7 +830,9 @@ impl ShardSet {
             shards,
             arbiter,
             epoch,
+            schedule,
             initial_bus,
+            step_exchange_at: epoch,
         })
     }
 
@@ -750,40 +864,80 @@ impl ShardSet {
             shards,
             arbiter,
             epoch,
+            schedule,
             ..
         } = self;
-        match limit {
-            Limit::Cycles(c) => cabt_exec::run_epochs_sharded(shards, c, *epoch, |_| {
-                arbiter.epoch_boundary();
-            }),
+        let result = match limit {
+            Limit::Cycles(c) => match schedule {
+                ShardSchedule::Sequential => {
+                    cabt_exec::run_epochs_sharded(shards, c, *epoch, |_| {
+                        arbiter.exchange();
+                    })
+                }
+                ShardSchedule::Parallel => {
+                    cabt_exec::run_epochs_parallel(shards, c, *epoch, |_| {
+                        arbiter.exchange();
+                    })
+                }
+            },
             Limit::Retirements(r) => {
                 // Epoch rounds against an aggregate retirement budget.
                 // Cycle deadlines shrink as the budget drains (a shard
                 // retires at most one unit per cycle), so the final
                 // rounds advance one unit per shard and the aggregate
-                // overshoots by fewer than `cores` units.
+                // overshoots by fewer than `cores` units. The round body
+                // is identical under both schedules (no boundary-halt
+                // commit inside the round — the all-halted branch
+                // commits), so sequential and parallel stay
+                // bit-identical here too.
                 loop {
                     let retired: u64 = shards.iter().map(|s| s.engine_stats().retired).sum();
                     if retired >= r {
-                        return Ok(StopCause::LimitReached);
+                        break Ok(StopCause::LimitReached);
                     }
                     let (frontier, all_halted) = cabt_exec::shard_frontier(shards.as_slice());
                     if all_halted {
                         for s in shards.iter_mut() {
                             s.commit_arch_state();
                         }
-                        return Ok(StopCause::Halted);
+                        break Ok(StopCause::Halted);
                     }
                     let room = ((r - retired) / shards.len() as u64).clamp(1, *epoch);
                     let deadline = frontier.saturating_add(room);
-                    for s in shards.iter_mut() {
-                        if !s.is_halted() && s.cycle() < deadline {
-                            s.run_until(Limit::Cycles(deadline))?;
+                    // Tiny endgame rounds (the budget drained to a few
+                    // cycles of room) are not worth a worker spawn per
+                    // shard: rounds are schedule-independent, so the
+                    // sequential body is observably identical.
+                    let parallel_worthwhile = room >= PARALLEL_MIN_ROUND_CYCLES;
+                    match schedule {
+                        ShardSchedule::Parallel if parallel_worthwhile => {
+                            cabt_exec::run_shard_round_parallel(shards, deadline, false)?;
+                        }
+                        _ => {
+                            for s in shards.iter_mut() {
+                                if !s.is_halted() && s.cycle() < deadline {
+                                    s.run_until(Limit::Cycles(deadline))?;
+                                }
+                            }
                         }
                     }
-                    arbiter.epoch_boundary();
+                    arbiter.exchange();
                 }
             }
+        };
+        // Re-arm the single-step path's barrier bookkeeping from
+        // wherever the run left the frontier.
+        self.step_exchange_at = self.frontier().saturating_add(self.epoch);
+        result
+    }
+
+    /// Barrier check of the interleaved single-step path: once the
+    /// frontier crosses the armed boundary, exchange device state so
+    /// stepped shards keep seeing each other's (epoch-delayed) traffic.
+    fn step_exchange_if_due(&mut self) {
+        if self.frontier() >= self.step_exchange_at {
+            self.arbiter.exchange();
+            self.step_exchange_at = self.frontier().saturating_add(self.epoch);
         }
     }
 
@@ -792,9 +946,9 @@ impl ShardSet {
         ShardedStats {
             aggregate: cabt_exec::aggregate_stats(&self.shards),
             per_shard,
-            bus_transactions: self.arbiter.bus().transactions(),
+            bus_transactions: self.arbiter.transactions(),
             epochs: self.arbiter.epochs(),
-            uart: self.arbiter.bus().uart_log(),
+            uart: self.arbiter.uart_log(),
         }
     }
 
@@ -802,9 +956,9 @@ impl ShardSet {
         for s in &mut self.shards {
             s.reset();
         }
-        self.arbiter.bus().restore_state(&self.initial_bus);
-        self.arbiter.reset();
+        self.arbiter.reset(&self.initial_bus);
         self.seed_core_ids();
+        self.step_exchange_at = self.epoch;
     }
 }
 ///
@@ -971,6 +1125,19 @@ impl Session {
         }
     }
 
+    /// Mutable access to the `i`th shard — for inspection paths that
+    /// need `&mut` (notably [`ExecutionEngine::read_mem`], which every
+    /// engine exposes mutably) and for fault injection in tests.
+    /// Stepping or mutating a shard directly bypasses the epoch
+    /// barrier, so a differential harness should only *read* through
+    /// this. `None` for single-core backends or out-of-range indices.
+    pub fn shard_mut(&mut self, i: usize) -> Option<&mut Session> {
+        match &mut self.vehicle {
+            Vehicle::Sharded(set) => set.shards.get_mut(i),
+            _ => None,
+        }
+    }
+
     /// The translated image — `Some` only for [`Backend::Translated`]
     /// sessions. Debug tooling reads the source↔target address map
     /// from here.
@@ -1026,12 +1193,12 @@ impl Session {
         self.write_reg_index(index, value);
     }
 
-    /// Snapshot core: `with_devices` controls whether the vehicle's
-    /// SoC-bus state rides along. Sharded sessions pass `false` to
-    /// their shards — every shard shares *one* bus, so the set captures
-    /// a single canonical device image at the top level instead of
-    /// `cores` redundant copies.
-    fn snapshot_with_devices(&self, with_devices: bool) -> SessionSnapshot {
+    /// Snapshot core. Single-core vehicles capture their bus's device
+    /// state in `devices`; sharded sessions capture every shard's
+    /// *private* (possibly mid-epoch) bus image inside the per-shard
+    /// sub-snapshots, and carry the arbiter's canonical barrier image —
+    /// the merge base of the next exchange — in `devices`.
+    fn snapshot_with_devices(&self) -> SessionSnapshot {
         let snap = match &self.vehicle {
             Vehicle::Golden { sim, .. } => Snap::Golden(Box::new(sim.snapshot())),
             Vehicle::Translated { platform, .. } => Snap::Target {
@@ -1043,19 +1210,40 @@ impl Session {
                 shards: set
                     .shards
                     .iter()
-                    .map(|s| s.snapshot_with_devices(false))
+                    .map(|s| s.snapshot_with_devices())
                     .collect(),
                 epochs: set.arbiter.epochs(),
+                step_exchange_at: set.step_exchange_at,
             },
         };
         SessionSnapshot {
             snap,
-            devices: if with_devices {
-                self.vehicle.device_bus().map(|b| b.save_state())
-            } else {
-                None
+            devices: match &self.vehicle {
+                Vehicle::Sharded(set) => Some(set.arbiter.canonical_state()),
+                vehicle => vehicle.device_bus().map(|b| b.save_state()),
             },
         }
+    }
+
+    /// The device state of the session's SoC bus, if it has one —
+    /// single-core vehicles report their bus, sharded sessions the
+    /// arbiter's canonical barrier image. What cross-schedule
+    /// differential tests compare.
+    pub fn soc_bus_state(&self) -> Option<SocBusState> {
+        match &self.vehicle {
+            Vehicle::Sharded(set) => Some(set.arbiter.canonical_state()),
+            vehicle => vehicle.device_bus().map(|b| b.save_state()),
+        }
+    }
+
+    /// A handle to the session's live SoC bus, if it has one. `None`
+    /// for RTL sessions (no I/O window), golden sessions without an
+    /// attached bus, and sharded sessions — a shard set has no *single*
+    /// live bus; inspect per-shard handles through [`Session::shard`],
+    /// which is how the determinism harness asserts shards never alias
+    /// one bus.
+    pub fn soc_bus_handle(&self) -> Option<SharedSocBus> {
+        self.vehicle.device_bus()
     }
 }
 
@@ -1064,7 +1252,7 @@ impl ExecutionEngine for Session {
     type Snapshot = SessionSnapshot;
 
     fn snapshot(&self) -> SessionSnapshot {
-        self.snapshot_with_devices(true)
+        self.snapshot_with_devices()
     }
 
     /// Restores a snapshot taken from a session with the same backend
@@ -1108,17 +1296,30 @@ impl ExecutionEngine for Session {
                 vehicle.name()
             ),
         }
-        // Device state: the single canonical image (shard sub-snapshots
-        // carry none — the bus is shared and captured once at this
-        // level).
-        if let (Some(devices), Some(bus)) = (&snapshot.devices, self.vehicle.device_bus()) {
-            bus.restore_state(devices);
-        }
-        // The arbiter's per-epoch accounting must resume from the
-        // restored transaction counter, so re-sync it after the bus.
-        if let Vehicle::Sharded(set) = &mut self.vehicle {
-            if let Snap::Sharded { epochs, .. } = &snapshot.snap {
-                set.arbiter.resync(*epochs);
+        // Device state. Single-core vehicles restore their live bus;
+        // sharded sessions already restored every shard's private bus
+        // through the per-shard sub-snapshots above, so the top-level
+        // image re-seats the arbiter's canonical merge base (and epoch
+        // counter) instead.
+        match &mut self.vehicle {
+            Vehicle::Sharded(set) => {
+                if let (
+                    Some(devices),
+                    Snap::Sharded {
+                        epochs,
+                        step_exchange_at,
+                        ..
+                    },
+                ) = (&snapshot.devices, &snapshot.snap)
+                {
+                    set.arbiter.restore_canonical(devices, *epochs);
+                    set.step_exchange_at = *step_exchange_at;
+                }
+            }
+            vehicle => {
+                if let (Some(devices), Some(bus)) = (&snapshot.devices, vehicle.device_bus()) {
+                    bus.restore_state(devices);
+                }
             }
         }
     }
@@ -1195,9 +1396,15 @@ impl ExecutionEngine for Session {
             }
             Vehicle::Rtl(core) => core.step_unit().map_err(SessionError::Rtl),
             // Interleaved single-step: dispatch one unit on the
-            // least-advanced live shard (a no-op once all have halted).
+            // least-advanced live shard (a no-op once all have halted),
+            // exchanging device state whenever the frontier crosses an
+            // epoch boundary so polling shards keep making progress.
             Vehicle::Sharded(set) => match set.next_shard() {
-                Some(i) => set.shards[i].step_unit(),
+                Some(i) => {
+                    set.shards[i].step_unit()?;
+                    set.step_exchange_if_due();
+                    Ok(())
+                }
                 None => Ok(()),
             },
         }
@@ -1314,8 +1521,8 @@ impl ExecutionEngine for Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
-    use std::rc::Rc;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::{Arc, Mutex};
 
     const SUM: &str = "
         .text
@@ -1398,29 +1605,36 @@ mod tests {
 
     #[test]
     fn observers_fire_per_epoch_and_per_stop() {
-        let epochs = Rc::new(Cell::new(0u32));
-        let stops = Rc::new(Cell::new(0u32));
-        let last_stop = Rc::new(Cell::new(None::<StopCause>));
-        let (e2, s2, l2) = (Rc::clone(&epochs), Rc::clone(&stops), Rc::clone(&last_stop));
+        let epochs = Arc::new(AtomicU32::new(0));
+        let stops = Arc::new(AtomicU32::new(0));
+        let last_stop = Arc::new(Mutex::new(None::<StopCause>));
+        let (e2, s2, l2) = (
+            Arc::clone(&epochs),
+            Arc::clone(&stops),
+            Arc::clone(&last_stop),
+        );
         let mut s = SimBuilder::asm(SUM)
             .epoch(8)
             .on_epoch(move |ev| {
                 assert_eq!(ev.kind, EventKind::Epoch);
-                e2.set(e2.get() + 1);
+                e2.fetch_add(1, Ordering::Relaxed);
             })
             .on_stop(move |ev| {
                 let EventKind::Stop(cause) = ev.kind else {
                     panic!("stop observer got {:?}", ev.kind);
                 };
-                l2.set(Some(cause));
-                s2.set(s2.get() + 1);
+                *l2.lock().unwrap() = Some(cause);
+                s2.fetch_add(1, Ordering::Relaxed);
             })
             .build()
             .unwrap();
         s.run(Limit::Cycles(1_000_000)).unwrap();
-        assert!(epochs.get() >= 2, "small epochs must fire several times");
-        assert_eq!(stops.get(), 1);
-        assert_eq!(last_stop.get(), Some(StopCause::Halted));
+        assert!(
+            epochs.load(Ordering::Relaxed) >= 2,
+            "small epochs must fire several times"
+        );
+        assert_eq!(stops.load(Ordering::Relaxed), 1);
+        assert_eq!(*last_stop.lock().unwrap(), Some(StopCause::Halted));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub const IO_END: u32 = 0xf010_0000;
 /// time-dependent devices (timers, UART timestamps) observe the *same*
 /// clock the golden model is measured in — on the golden side the core
 /// is the SoC clock.
-pub trait IoDevice {
+pub trait IoDevice: Send {
     /// Handles a load of `size` bytes (1, 2 or 4) from `addr` at core
     /// time `cycle`.
     fn io_read(&mut self, cycle: u64, addr: u32, size: u32) -> u32;

@@ -37,7 +37,7 @@ use std::fmt;
 /// Reads return the value *and* the number of stall cycles the access
 /// costs; writes return stall cycles. The platform implements its
 /// synchronization device and SoC-bus adapter behind this trait.
-pub trait TargetBus {
+pub trait TargetBus: Send {
     /// True if `addr` belongs to this device region.
     fn covers(&self, addr: u32) -> bool;
     /// Handles a load of `size` bytes; returns `(value, stall_cycles)`.

@@ -525,10 +525,12 @@ outer:
 /// cores must halt with `expected_d2`, and a `cores`-way run leaves
 /// `cores` copies of the byte in the merged UART log.
 ///
-/// The data handoff crosses the shared bus, so the workload exercises
-/// exactly what the sharded backend must get right: deterministic
-/// epoch-interleaved bus traffic and mailbox synchronization between
-/// shards.
+/// The data handoff crosses the shared device state, so the workload
+/// exercises exactly what the sharded backend must get right:
+/// deterministic epoch-barrier exchange of the mailbox RAM (consumers
+/// see the producer's publish after the next barrier, identically
+/// under the sequential and the thread-parallel scheduler) and a
+/// deterministic merged UART log.
 ///
 /// # Panics
 ///

@@ -1,17 +1,22 @@
-//! Multi-core sharding: N cores, one shared SoC bus, one session.
+//! Multi-core sharding: N cores, private device clones reconciled at
+//! epoch barriers, one session — under BOTH shard schedulers.
 //!
-//! `Backend::Sharded` builds N copies of any single-core vehicle around
-//! a single shared bus (timer, UART, scratch-RAM mailbox) behind an
-//! epoch-synchronized arbiter, and the session drives them in lockstep
-//! epochs via `cabt_exec::run_epochs_sharded`. The bundled
-//! `producer_consumer` workload is SPMD: every core runs the same
-//! image and picks its role from the core id seeded into `%d15` —
-//! core 0 publishes data through the shared scratch RAM, every other
-//! core polls the mailbox, checksums the data and transmits the result
-//! on the shared UART.
+//! `Backend::Sharded` builds N copies of any single-core vehicle, each
+//! around a *private* clone of the SoC device population (timer, UART,
+//! scratch-RAM mailbox). Shards run one epoch at a time; at every
+//! barrier the `ShardArbiter` merges the per-shard `SocBusState`
+//! images in fixed shard order into a canonical image broadcast back
+//! to every shard. Because shards never touch each other's state
+//! inside an epoch, the sequential round-robin scheduler and the
+//! thread-parallel scheduler (one worker thread per shard per round)
+//! produce **bit-identical** runs — this example proves it end to end,
+//! then proves snapshot → restore → rerun replays bit-identically too.
 //!
-//! The run is deterministic: snapshot → run → restore → run replays
-//! bit-identically, merged UART log included.
+//! The bundled `producer_consumer` workload is SPMD: every core runs
+//! the same image and picks its role from the core id seeded into
+//! `%d15` — core 0 publishes data through the shared scratch RAM,
+//! every other core polls the mailbox, checksums the data and
+//! transmits the result on the shared UART.
 //!
 //! ```sh
 //! cargo run --release --example multicore
@@ -23,12 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = cabt_workloads::by_name("producer_consumer").expect("bundled workload");
 
     for cores in [2u8, 4] {
-        let mut session = SimBuilder::workload(&workload)
-            .backend(Backend::sharded(
-                cores,
-                Backend::translated(DetailLevel::Static),
-            ))
-            .build()?;
+        let build = |schedule: ShardSchedule| {
+            SimBuilder::workload(&workload)
+                .backend(Backend::sharded_with_schedule(
+                    cores,
+                    Backend::translated(DetailLevel::Static),
+                    schedule,
+                ))
+                .build()
+        };
+
+        // Run the same workload under both schedulers.
+        let mut session = build(ShardSchedule::Sequential)?;
 
         // Snapshot mid-handoff, finish, then prove the replay.
         session.run_until(Limit::Cycles(500))?;
@@ -36,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         session.run(Limit::Cycles(50_000_000))?;
         let stats = session.sharded_stats().expect("sharded session");
 
-        println!("{cores} cores on one shared SoC bus:");
+        println!("{cores} cores, sequential scheduler:");
         for (i, per) in stats.per_shard.iter().enumerate() {
             let role = if i == 0 { "producer" } else { "consumer" };
             println!(
@@ -64,15 +75,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "core {i} checksum"
             );
         }
-        // ...and the rewound session must replay bit-identically.
-        session.restore(&snap);
-        session.run(Limit::Cycles(50_000_000))?;
+
+        // ...the THREAD-PARALLEL scheduler must reproduce the run
+        // bit-identically (one worker thread per shard per epoch
+        // round, same barrier exchanges). Epoch barriers land where
+        // the run calls put them, so the parallel session is driven
+        // through the *same* call sequence.
+        let mut parallel = build(ShardSchedule::Parallel)?;
+        parallel.run_until(Limit::Cycles(500))?;
+        parallel.run(Limit::Cycles(50_000_000))?;
+        let pstats = parallel.sharded_stats().expect("sharded");
         assert_eq!(
-            session.sharded_stats().expect("sharded"),
-            stats,
-            "restore-replay must be bit-identical"
+            pstats, stats,
+            "parallel scheduler must be bit-identical to sequential"
         );
-        println!("  snapshot -> restore -> rerun: bit-identical\n");
+        for i in 0..cores as usize {
+            assert_eq!(
+                parallel.shard(i).expect("shard").read_d(2),
+                session.shard(i).expect("shard").read_d(2),
+                "core {i}: parallel checksum"
+            );
+        }
+        println!("  parallel scheduler ({cores} worker threads): bit-identical");
+
+        // ...and a snapshot captured under one scheduler replays
+        // bit-identically under the other: snapshots pin simulation
+        // state, not the host schedule.
+        parallel.restore(&snap);
+        parallel.run(Limit::Cycles(50_000_000))?;
+        assert_eq!(
+            parallel.sharded_stats().expect("sharded"),
+            stats,
+            "restore-replay across schedulers must be bit-identical"
+        );
+        println!("  snapshot (sequential) -> restore -> parallel rerun: bit-identical\n");
     }
     Ok(())
 }

@@ -21,11 +21,11 @@
 //! | crate | role |
 //! |---|---|
 //! | [`isa`] | memory model, ELF32 reader/writer, deterministic PRNG |
-//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator; single-core and sharded multi-core epoch drivers |
+//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator; single-core, sharded sequential and thread-parallel epoch drivers |
 //! | [`tricore`] | source ISA, assembler, cycle-accurate golden model |
 //! | [`vliw`] | target VLIW ISA, binary container format, simulator |
 //! | [`core`] | **the translator** (the paper's contribution) |
-//! | [`platform`] | synchronization device, snapshottable SoC bus + peripherals, shared-bus shard arbiter |
+//! | [`platform`] | synchronization device, snapshottable (and `Send`) SoC bus + peripherals, epoch-barrier shard arbiter with deterministic state merge |
 //! | [`rtlsim`] | event-driven RT-level baseline simulator |
 //! | [`sim`] | **the front door**: `SimBuilder`/`Session` over every execution vehicle, single-core or sharded |
 //! | [`debug`] | generic lockstep driver, dual-translation debugger + RSP packet layer |
@@ -58,11 +58,18 @@
 //! (UART logs, timer epochs, scratch-RAM contents), so
 //! `snapshot → run → restore → run` replays device behaviour
 //! bit-identically. That state capture is what powers the multi-core
-//! backend: `Backend::Sharded { cores, backend }` builds N engines
-//! around **one** shared SoC bus behind an epoch-synchronized arbiter
-//! and drives them in deterministic lockstep epochs
-//! ([`cabt_exec::run_epochs_sharded`]) — same session lifecycle, merged
-//! UART logs, per-shard plus aggregate statistics:
+//! backend: `Backend::Sharded` builds N engines, each with a *private*
+//! clone of the SoC device population; shards run one epoch at a time
+//! and exchange `SocBusState` images at every epoch barrier, where the
+//! `ShardArbiter` merges them in fixed shard order into one canonical
+//! image. Because shards are isolated inside an epoch, the run is
+//! *schedule independent*: the sequential round-robin scheduler
+//! ([`cabt_exec::run_epochs_sharded`]) and the thread-parallel
+//! scheduler ([`cabt_exec::run_epochs_parallel`], one worker thread
+//! per shard, aggregate throughput scaling with host cores) produce
+//! bit-identical runs — same session lifecycle, merged UART logs,
+//! per-shard plus aggregate statistics, pinned by
+//! `tests/parallel_determinism.rs`:
 //!
 //! ```
 //! use cabt::prelude::*;
@@ -76,6 +83,13 @@
 //! // computed the same checksum.
 //! assert_eq!(mc.shard(1).unwrap().read_d(2), w.expected_d2);
 //! assert_eq!(mc.sharded_stats().unwrap().uart.len(), 2);
+//!
+//! // The thread-parallel scheduler simulates the identical run.
+//! let mut par = SimBuilder::workload(&w)
+//!     .backend(Backend::sharded_parallel(2, Backend::translated(DetailLevel::Static)))
+//!     .build()?;
+//! par.run(Limit::Cycles(50_000_000))?;
+//! assert_eq!(par.sharded_stats(), mc.sharded_stats());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -141,7 +155,7 @@ pub mod prelude {
     pub use cabt_debug::{DebugSession, StopReason};
     pub use cabt_exec::{ExecutionEngine, Limit, StopCause};
     pub use cabt_platform::{Platform, PlatformConfig, SyncRate};
-    pub use cabt_sim::{Backend, Session, SessionError, SimBuilder};
+    pub use cabt_sim::{Backend, Session, SessionError, ShardSchedule, SimBuilder};
     pub use cabt_tricore::asm::assemble;
     pub use cabt_tricore::sim::Simulator;
     pub use cabt_workloads::Workload;

@@ -1,0 +1,390 @@
+//! The determinism contract of thread-parallel shard execution:
+//! `ShardSchedule::Parallel` (one worker thread per shard per epoch
+//! round, `cabt_exec::run_epochs_parallel`) must be **bit-identical**
+//! to `ShardSchedule::Sequential` (round-robin,
+//! `cabt_exec::run_epochs_sharded`) — per-shard registers, per-shard
+//! data memory, cycle counts, `EngineStats`, the merged UART log, the
+//! canonical SoC device state, and the stop cause all have to match,
+//! whatever the host's thread scheduling did.
+//!
+//! The property holds by construction — within an epoch every shard
+//! touches only its own engine and its *private* clone of the device
+//! population, and the `ShardArbiter`'s barrier merge is a pure
+//! function of the per-shard states folded in fixed shard order — and
+//! this suite is the proof: the SPMD mailbox workload, every bundled
+//! workload, every base backend, and PRNG-randomized SPMD programs
+//! (any divergence prints the seed for replay), at N = 2/4/8.
+
+use cabt::prelude::*;
+use cabt_isa::elf::SectionKind;
+use cabt_isa::rng::Pcg32;
+use cabt_sim::ShardedStats;
+use std::fmt::Write as _;
+
+const BUDGET: Limit = Limit::Cycles(100_000_000);
+
+/// Everything observable about a sharded session, per shard and
+/// merged.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    stop: Option<StopCause>,
+    /// Full flat register file of every shard, in shard order.
+    regs: Vec<Vec<u32>>,
+    /// Data/BSS windows of every shard's private memory.
+    mem: Vec<Vec<Vec<u8>>>,
+    /// Per-shard cycle counters (also inside stats, but spelled out so
+    /// a divergence names the clock directly).
+    cycles: Vec<u64>,
+    /// Per-shard + aggregate counters, bus transactions, epoch count,
+    /// merged UART log.
+    stats: ShardedStats,
+    /// Canonical SoC device state (`None` only for busless sessions).
+    devices: Option<cabt_platform::SocBusState>,
+    halted: bool,
+}
+
+/// Data/BSS windows of the source image (identity-mapped on every
+/// backend in this workspace).
+fn data_windows(elf: &cabt_isa::elf::ElfFile) -> Vec<(u32, usize)> {
+    elf.sections
+        .iter()
+        .filter(|s| matches!(s.kind, SectionKind::Data | SectionKind::Bss) && s.size > 0)
+        .map(|s| (s.addr, s.size as usize))
+        .collect()
+}
+
+fn observe(s: &mut Session, stop: Option<StopCause>) -> Observed {
+    let windows = data_windows(s.source_elf());
+    let n = s.shard_count();
+    let mut regs = Vec::with_capacity(n);
+    let mut mem = Vec::with_capacity(n);
+    let mut cycles = Vec::with_capacity(n);
+    for i in 0..n {
+        let shard = s.shard_mut(i).expect("sharded session");
+        regs.push(
+            (0..shard.reg_count())
+                .map(|r| shard.read_reg_index(r))
+                .collect(),
+        );
+        mem.push(
+            windows
+                .iter()
+                .map(|&(addr, len)| shard.read_mem(addr, len).expect("readable window"))
+                .collect(),
+        );
+        cycles.push(shard.cycle());
+    }
+    Observed {
+        stop,
+        regs,
+        mem,
+        cycles,
+        stats: s.sharded_stats().expect("sharded session"),
+        devices: s.soc_bus_state(),
+        halted: s.is_halted(),
+    }
+}
+
+fn build(source: &Workload, cores: u8, base: Backend, schedule: ShardSchedule) -> Session {
+    SimBuilder::workload(source)
+        .backend(Backend::sharded_with_schedule(cores, base, schedule))
+        .build()
+        .expect("sharded session builds")
+}
+
+/// The differential core: run the same workload under both schedules
+/// and demand identical observables.
+fn assert_schedules_agree(label: &str, w: &Workload, cores: u8, base: Backend, limit: Limit) {
+    let drive = |schedule: ShardSchedule| {
+        let mut s = build(w, cores, base, schedule);
+        let stop = s.run_until(limit).expect("runs");
+        observe(&mut s, Some(stop))
+    };
+    let seq = drive(ShardSchedule::Sequential);
+    let par = drive(ShardSchedule::Parallel);
+    assert_eq!(
+        seq, par,
+        "{label}: {cores}x{base} parallel run diverged from sequential"
+    );
+}
+
+#[test]
+fn producer_consumer_is_schedule_independent_at_2_4_8_shards() {
+    let w = cabt_workloads::by_name("producer_consumer").unwrap();
+    for cores in [2u8, 4, 8] {
+        for base in [
+            Backend::golden(),
+            Backend::translated(DetailLevel::Static),
+            Backend::translated(DetailLevel::Cache),
+        ] {
+            assert_schedules_agree("producer_consumer", &w, cores, base, BUDGET);
+            // And the parallel run is *correct*, not just consistent.
+            let mut s = build(&w, cores, base, ShardSchedule::Parallel);
+            assert_eq!(s.run_until(BUDGET).unwrap(), StopCause::Halted);
+            for i in 0..cores as usize {
+                assert_eq!(
+                    s.shard(i).unwrap().read_d(2),
+                    w.expected_d2,
+                    "{cores}x{base} core {i}: parallel mailbox handoff"
+                );
+            }
+            assert_eq!(
+                s.sharded_stats().unwrap().uart.len(),
+                cores as usize,
+                "{cores}x{base}: merged UART log under the parallel scheduler"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_bundled_workloads_are_schedule_independent() {
+    let mut ws = cabt_workloads::fig5_set();
+    ws.extend(cabt_workloads::table2_set());
+    ws.push(cabt_workloads::by_name("producer_consumer").unwrap());
+    for w in &ws {
+        assert_schedules_agree(
+            w.name,
+            w,
+            2,
+            Backend::translated(DetailLevel::Static),
+            BUDGET,
+        );
+        assert_schedules_agree(w.name, w, 4, Backend::golden(), BUDGET);
+    }
+}
+
+#[test]
+fn every_base_backend_runs_parallel_shards() {
+    // RTL shards have no I/O window, so the cross-backend sweep uses a
+    // pure-compute program (as `tests/sharded.rs` does).
+    let sum = Workload {
+        name: "sum10",
+        source: "
+            .text
+        _start:
+            mov %d0, 10
+            mov %d2, 0
+        top:
+            add %d2, %d0
+            addi %d0, %d0, -1
+            jnz %d0, top
+            debug
+        "
+        .into(),
+        expected_d2: 55,
+    };
+    for base in Backend::all() {
+        assert_schedules_agree("sum10", &sum, 3, base, BUDGET);
+        let mut s = build(&sum, 3, base, ShardSchedule::Parallel);
+        assert_eq!(s.run_until(BUDGET).unwrap(), StopCause::Halted, "{base}");
+        for i in 0..3 {
+            assert_eq!(s.shard(i).unwrap().read_d(2), 55, "{base} shard {i}");
+        }
+    }
+}
+
+#[test]
+fn partial_runs_and_retirement_budgets_are_schedule_independent() {
+    // Mid-flight equivalence: the schedulers must agree not only at
+    // halt but at every budget boundary, under both budget kinds.
+    let w = cabt_workloads::by_name("producer_consumer").unwrap();
+    for base in [Backend::golden(), Backend::translated(DetailLevel::Static)] {
+        for limit in [
+            Limit::Cycles(500),
+            Limit::Cycles(10_000),
+            Limit::Retirements(37),
+            Limit::Retirements(5_000),
+        ] {
+            assert_schedules_agree("partial producer_consumer", &w, 4, base, limit);
+        }
+    }
+}
+
+/// PRNG-driven SPMD stress: randomized programs (the `predecode_diff`
+/// generator shape: seeded ALU soup, a counted loop with a call) that
+/// also hit the shared bus — every core publishes its checksum to a
+/// per-core scratch-RAM slot, slams one *contended* word (merge
+/// tie-break must be deterministic), and transmits on the UART. Any
+/// divergence prints the seed for replay.
+fn random_spmd_program(seed: u64) -> String {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let mut src = String::from(".text\n_start:\n");
+    for _ in 0..rng.random_range(1..12) {
+        let d = rng.random_range(0..8);
+        let s = rng.random_range(0..8);
+        match rng.below(4) {
+            0 => {
+                let _ = writeln!(
+                    src,
+                    "    mov %d{d}, {}",
+                    rng.random_range(0..128) as i32 - 64
+                );
+            }
+            1 => {
+                let _ = writeln!(src, "    add %d{d}, %d{d}, %d{s}");
+            }
+            2 => {
+                let _ = writeln!(src, "    mul %d{d}, %d{d}, %d{s}");
+            }
+            _ => {
+                let _ = writeln!(
+                    src,
+                    "    xor %d{d}, %d{s}, {}",
+                    rng.random_range(0..256) as i32 - 128
+                );
+            }
+        }
+    }
+    // Fold the core id in so shards genuinely diverge (SPMD), then a
+    // counted loop with a call, as in the predecode generator.
+    src.push_str("    add %d2, %d2, %d15\n");
+    let n = rng.random_range(1..9);
+    let _ = writeln!(src, "    mov %d9, {n}");
+    src.push_str("loop_top:\n    call leaf\n    addi %d9, %d9, -1\n    jnz %d9, loop_top\n");
+    // Publish: per-core scratch slot (0xf000_0210 + 4*core), one
+    // contended word (0xf000_0280), one UART byte.
+    src.push_str(
+        "    movh   %d7, 0xf000
+    addi   %d7, %d7, 0x210
+    mov    %d6, 4
+    mul    %d6, %d6, %d15
+    add    %d7, %d7, %d6
+    mov.a  %a4, %d7
+    st.w   [%a4]0, %d2
+    movh.a %a5, 0xf000
+    lea    %a5, [%a5]0x280
+    st.w   [%a5]0, %d2
+    movh.a %a3, 0xf000
+    lea    %a3, [%a3]0x100
+    st.w   [%a3]0, %d2
+    debug
+leaf:
+    addi %d10, %d10, 3
+    ret
+",
+    );
+    src
+}
+
+#[test]
+fn randomized_spmd_programs_are_schedule_independent() {
+    for case in 0..12u64 {
+        let seed = 0x5eed_0000 + case;
+        let src = random_spmd_program(seed);
+        for cores in [2u8, 4] {
+            for base in [Backend::golden(), Backend::translated(DetailLevel::Static)] {
+                let drive = |schedule: ShardSchedule| {
+                    let mut s = SimBuilder::asm(src.clone())
+                        .backend(Backend::sharded_with_schedule(cores, base, schedule))
+                        .build()
+                        .unwrap_or_else(|e| panic!("seed {seed:#x}: fails to build: {e}"));
+                    let stop = s
+                        .run_until(BUDGET)
+                        .unwrap_or_else(|e| panic!("seed {seed:#x}: faulted: {e}"));
+                    observe(&mut s, Some(stop))
+                };
+                let seq = drive(ShardSchedule::Sequential);
+                let par = drive(ShardSchedule::Parallel);
+                assert_eq!(
+                    seq, par,
+                    "seed {seed:#x} ({cores}x{base}): parallel diverged — replay with \
+                     random_spmd_program({seed:#x})"
+                );
+                assert!(seq.halted, "seed {seed:#x}: program must halt");
+                assert_eq!(
+                    seq.stats.uart.len(),
+                    cores as usize,
+                    "seed {seed:#x}: every core transmits once"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_deterministic() {
+    // Not just parallel == sequential: parallel == parallel, run after
+    // run and after an in-session reset, whatever the thread timing.
+    let w = cabt_workloads::by_name("producer_consumer").unwrap();
+    let drive = || {
+        let mut s = build(
+            &w,
+            4,
+            Backend::translated(DetailLevel::Static),
+            ShardSchedule::Parallel,
+        );
+        let stop = s.run_until(BUDGET).expect("runs");
+        observe(&mut s, Some(stop))
+    };
+    let a = drive();
+    let b = drive();
+    assert_eq!(a, b, "independent parallel runs diverged");
+
+    let mut s = build(
+        &w,
+        4,
+        Backend::translated(DetailLevel::Static),
+        ShardSchedule::Parallel,
+    );
+    s.run_until(BUDGET).expect("runs");
+    s.reset();
+    assert_eq!(s.cycle(), 0);
+    let stop = s.run_until(BUDGET).expect("reruns");
+    assert_eq!(
+        observe(&mut s, Some(stop)),
+        a,
+        "parallel reset + rerun diverged"
+    );
+}
+
+/// The compile-time half of the Send-cleanliness satellite: every type
+/// that crosses (or could cross) a worker-thread boundary in a parallel
+/// sharded run must be `Send`, and the bus handle additionally `Sync`.
+/// A regression — say an `Rc` sneaking back into an engine — fails this
+/// test at compile time.
+#[test]
+fn parallel_shard_types_are_send_clean() {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    assert_send::<Session>();
+    assert_send::<cabt_sim::SessionSnapshot>();
+    assert_send::<cabt_platform::SocBus>();
+    assert_send::<cabt_platform::SocBusState>();
+    assert_send::<cabt_platform::SharedSocBus>();
+    assert_sync::<cabt_platform::SharedSocBus>();
+    assert_send::<cabt_platform::ShardArbiter>();
+    assert_send::<Box<dyn cabt_platform::SocPeripheral>>();
+    assert_send::<Simulator>();
+    assert_send::<cabt::rtlsim::RtlCore>();
+    assert_send::<Platform>();
+}
+
+/// Private buses are the isolation the determinism proof rests on: no
+/// two shards of a session may alias one underlying `SocBus`.
+#[test]
+fn shard_buses_are_private_to_each_shard() {
+    let w = cabt_workloads::by_name("producer_consumer").unwrap();
+    let s = build(
+        &w,
+        4,
+        Backend::translated(DetailLevel::Static),
+        ShardSchedule::Parallel,
+    );
+    let handles: Vec<cabt_platform::SharedSocBus> = (0..4)
+        .map(|i| {
+            s.shard(i)
+                .unwrap()
+                .soc_bus_handle()
+                .expect("translated shards carry a bus")
+        })
+        .collect();
+    for (i, a) in handles.iter().enumerate() {
+        for (j, b) in handles.iter().enumerate().skip(i + 1) {
+            assert!(
+                !a.same_bus(b),
+                "shards {i} and {j} alias one bus — cross-thread aliasing"
+            );
+        }
+    }
+}

@@ -194,6 +194,7 @@ fn shard_config_is_validated() {
         .backend(Backend::Sharded {
             cores: 0,
             backend: cabt_sim::ShardBackend::Rtl,
+            schedule: cabt_sim::ShardSchedule::default(),
         })
         .build()
         .unwrap_err();

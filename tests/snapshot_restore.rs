@@ -269,6 +269,60 @@ fn golden_and_translated_timers_agree() {
     );
 }
 
+/// Snapshots are *schedule-independent*: an image captured mid-flight
+/// in a thread-parallel sharded session restores into a sequential
+/// session (and vice versa), and both replay to bit-identical state —
+/// per-shard checksums, aggregate stats, merged UART log. A snapshot
+/// pins simulation state, not the host schedule that produced it.
+#[test]
+fn sharded_snapshots_are_schedule_independent() {
+    let w = cabt_workloads::by_name("producer_consumer").unwrap();
+    for cores in [2u8, 4] {
+        let build = |schedule: ShardSchedule| {
+            SimBuilder::workload(&w)
+                .backend(Backend::sharded_with_schedule(
+                    cores,
+                    Backend::translated(DetailLevel::Static),
+                    schedule,
+                ))
+                .build()
+                .unwrap()
+        };
+        // Run k epochs under the PARALLEL scheduler, snapshot
+        // mid-handoff, finish parallel.
+        let mut par = build(ShardSchedule::Parallel);
+        par.run_until(Limit::Cycles(500)).unwrap();
+        let snap = par.snapshot();
+        par.run_until(Limit::Cycles(50_000_000)).unwrap();
+        let end_par = par.sharded_stats().unwrap();
+        let d2_par: Vec<u32> = (0..cores as usize)
+            .map(|i| par.shard(i).unwrap().read_d(2))
+            .collect();
+
+        // Restore that image into a SEQUENTIAL session and replay.
+        let mut seq = build(ShardSchedule::Sequential);
+        seq.restore(&snap);
+        assert!(seq.cycle() > 0, "restore lands mid-flight, not at reset");
+        seq.run_until(Limit::Cycles(50_000_000)).unwrap();
+        assert_eq!(
+            seq.sharded_stats().unwrap(),
+            end_par,
+            "{cores} cores: sequential replay of a parallel snapshot diverged"
+        );
+        let d2_seq: Vec<u32> = (0..cores as usize)
+            .map(|i| seq.shard(i).unwrap().read_d(2))
+            .collect();
+        assert_eq!(d2_seq, d2_par, "{cores} cores: replay checksums diverged");
+
+        // And back the other way: the same image replays identically
+        // under the parallel scheduler too.
+        let mut par2 = build(ShardSchedule::Parallel);
+        par2.restore(&snap);
+        par2.run_until(Limit::Cycles(50_000_000)).unwrap();
+        assert_eq!(par2.sharded_stats().unwrap(), end_par, "{cores} cores");
+    }
+}
+
 /// The same capability through the session layer: sessions snapshot and
 /// restore uniformly, whatever the backend.
 #[test]
