@@ -42,10 +42,11 @@ fn main() {
         );
     }
 
-    // Dispatch-core comparison: the decode-once refactor's headline.
-    // Workloads are sized so each timed run lasts milliseconds — small
-    // programs drown in timer noise.
-    println!("\ndispatch throughput (naive vs pre-decoded):");
+    // Dispatch-core comparison: the decode-once and block-compilation
+    // refactors' headline (naive seed vs pre-decoded table vs fused
+    // closure blocks). Workloads are sized so each timed run lasts
+    // milliseconds — small programs drown in timer noise.
+    println!("\ndispatch throughput (naive vs pre-decoded vs compiled):");
     let rows = if smoke {
         vec![compare_dispatch(
             &cabt_workloads::gcd(8, 0xcab7),
@@ -65,15 +66,19 @@ fn main() {
     };
     for r in &rows {
         println!(
-            "  {:<8} level {:<14} golden {:>7.2} -> {:>7.2} MIPS ({:.2}x)   vliw {:>7.2} -> {:>7.2} Mpkt/s ({:.2}x)",
+            "  {:<8} level {:<14} golden {:>7.2} -> {:>7.2} -> {:>7.2} MIPS ({:.2}x pre, {:.2}x compiled)   vliw {:>7.2} -> {:>7.2} -> {:>7.2} Mpkt/s ({:.2}x pre, {:.2}x compiled)",
             r.workload,
             r.level.to_string(),
             r.golden_naive_mips,
             r.golden_predecoded_mips,
+            r.golden_compiled_mips,
             r.golden_speedup(),
+            r.golden_compiled_speedup(),
             r.vliw_naive_mpps,
             r.vliw_predecoded_mpps,
+            r.vliw_compiled_mpps,
             r.vliw_speedup(),
+            r.vliw_compiled_speedup(),
         );
     }
 

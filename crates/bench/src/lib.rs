@@ -347,10 +347,10 @@ pub fn bench_seconds_best(repeats: u32, iters: u32, mut f: impl FnMut()) -> f64 
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Host-side dispatch throughput of the naive versus pre-decoded
-/// engine cores on one workload — the headline measurement of the
-/// decode-once refactor, emitted to `BENCH_fig5.json` by the
-/// `fig5_speed` bench.
+/// Host-side dispatch throughput of the naive, pre-decoded and
+/// block-/closure-compiled engine cores on one workload — the headline
+/// measurement of the decode-once and block-compilation refactors,
+/// emitted to `BENCH_fig5.json` by the `fig5_speed` bench.
 #[derive(Debug, Clone)]
 pub struct DispatchComparison {
     /// Workload name.
@@ -362,11 +362,15 @@ pub struct DispatchComparison {
     pub golden_naive_mips: f64,
     /// Golden model, pre-decoded core.
     pub golden_predecoded_mips: f64,
+    /// Golden model, block-compiled closure core.
+    pub golden_compiled_mips: f64,
     /// Translated image on the platform, naive VLIW core: million
     /// execute packets dispatched per host second.
     pub vliw_naive_mpps: f64,
     /// Translated image, pre-decoded VLIW core.
     pub vliw_predecoded_mpps: f64,
+    /// Translated image, closure-compiled VLIW core.
+    pub vliw_compiled_mpps: f64,
 }
 
 impl DispatchComparison {
@@ -375,9 +379,21 @@ impl DispatchComparison {
         self.golden_predecoded_mips / self.golden_naive_mips
     }
 
+    /// Block-compiled over *pre-decoded* speedup of the golden model —
+    /// the block-compilation headline (compiled vs. the already-fast
+    /// interpreter, not vs. the naive seed).
+    pub fn golden_compiled_speedup(&self) -> f64 {
+        self.golden_compiled_mips / self.golden_predecoded_mips
+    }
+
     /// Pre-decoded over naive packet-dispatch speedup of the VLIW core.
     pub fn vliw_speedup(&self) -> f64 {
         self.vliw_predecoded_mpps / self.vliw_naive_mpps
+    }
+
+    /// Closure-compiled over pre-decoded packet-dispatch speedup.
+    pub fn vliw_compiled_speedup(&self) -> f64 {
+        self.vliw_compiled_mpps / self.vliw_predecoded_mpps
     }
 
     /// Renders one JSON object (hand-rolled; the workspace is
@@ -387,25 +403,31 @@ impl DispatchComparison {
             concat!(
                 "{{\"workload\":\"{}\",\"level\":\"{}\",",
                 "\"golden_naive_mips\":{:.3},\"golden_predecoded_mips\":{:.3},",
-                "\"golden_speedup\":{:.3},",
+                "\"golden_compiled_mips\":{:.3},",
+                "\"golden_speedup\":{:.3},\"golden_compiled_speedup\":{:.3},",
                 "\"vliw_naive_mpps\":{:.3},\"vliw_predecoded_mpps\":{:.3},",
-                "\"vliw_speedup\":{:.3}}}"
+                "\"vliw_compiled_mpps\":{:.3},",
+                "\"vliw_speedup\":{:.3},\"vliw_compiled_speedup\":{:.3}}}"
             ),
             self.workload,
             self.level,
             self.golden_naive_mips,
             self.golden_predecoded_mips,
+            self.golden_compiled_mips,
             self.golden_speedup(),
+            self.golden_compiled_speedup(),
             self.vliw_naive_mpps,
             self.vliw_predecoded_mpps,
+            self.vliw_compiled_mpps,
             self.vliw_speedup(),
+            self.vliw_compiled_speedup(),
         )
     }
 }
 
-/// Measures naive vs. pre-decoded dispatch throughput on `w`: the
-/// golden model interpreting source code, and the translated image
-/// (at `level`) dispatching execute packets on the platform.
+/// Measures naive vs. pre-decoded vs. compiled dispatch throughput on
+/// `w`: the golden model interpreting source code, and the translated
+/// image (at `level`) dispatching execute packets on the platform.
 ///
 /// # Panics
 ///
@@ -447,6 +469,9 @@ pub fn compare_dispatch(w: &Workload, level: DetailLevel, iters: u32) -> Dispatc
         golden_predecoded_mips: throughput(Backend::Golden {
             dispatch: DispatchMode::Predecoded,
         }),
+        golden_compiled_mips: throughput(Backend::Golden {
+            dispatch: DispatchMode::Compiled,
+        }),
         vliw_naive_mpps: throughput(Backend::Translated {
             level,
             dispatch: VliwDispatch::Naive,
@@ -454,6 +479,10 @@ pub fn compare_dispatch(w: &Workload, level: DetailLevel, iters: u32) -> Dispatc
         vliw_predecoded_mpps: throughput(Backend::Translated {
             level,
             dispatch: VliwDispatch::Predecoded,
+        }),
+        vliw_compiled_mpps: throughput(Backend::Translated {
+            level,
+            dispatch: VliwDispatch::Compiled,
         }),
     }
 }

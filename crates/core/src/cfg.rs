@@ -3,12 +3,17 @@
 //!
 //! The object code is decoded into a list of intermediate instructions
 //! (each carrying its original address), then partitioned into basic
-//! blocks: leaders are the program entry, every direct branch target,
-//! every instruction following a control transfer, and every symbol of
-//! type `Func` in the ELF symbol table (so that indirectly reached
-//! routines are block-aligned).
+//! blocks through the workspace-wide block layer
+//! ([`cabt_exec::blocks::BlockMap`]) — the same partition algorithm
+//! the block-compiled execution engines run over their pre-decoded
+//! tables, so the translator and the simulators agree on block
+//! structure by construction. Leaders are the program entry, every
+//! direct branch target, every instruction following a control
+//! transfer, and every symbol of type `Func` in the ELF symbol table
+//! (so that indirectly reached routines are block-aligned).
 
 use crate::{Granularity, TranslateError};
+use cabt_exec::blocks::{BlockMap, UnitFlow};
 use cabt_isa::elf::{ElfFile, SectionKind, SymbolKind};
 use cabt_tricore::encode::decode_section;
 use cabt_tricore::isa::Instr;
@@ -89,60 +94,78 @@ impl Cfg {
         }
         program.sort_by_key(|i| i.addr);
 
-        let addrs: BTreeSet<u32> = program.iter().map(|i| i.addr).collect();
-        let mut leaders: BTreeSet<u32> = BTreeSet::new();
-        leaders.insert(elf.entry);
-
+        // Validate every direct branch before partitioning: targets must
+        // land on decoded instructions.
+        let index_of: BTreeMap<u32, u32> = program
+            .iter()
+            .enumerate()
+            .map(|(i, ir)| (ir.addr, i as u32))
+            .collect();
         for ir in &program {
-            if granularity == Granularity::PerInstruction {
-                leaders.insert(ir.addr);
-            }
             if ir.instr.is_control() {
                 if let Some(t) = ir.instr.target(ir.addr) {
-                    if !addrs.contains(&t) {
+                    if !index_of.contains_key(&t) {
                         return Err(TranslateError::BadBranchTarget {
                             from: ir.addr,
                             to: t,
                         });
                     }
-                    leaders.insert(t);
                 }
-                // The instruction after any control transfer starts a block.
-                leaders.insert(ir.addr + ir.instr.size());
             }
+        }
+
+        // Describe each instruction's control-flow role (the shared
+        // `Instr::unit_flow` classifier — the same one the
+        // block-compiled engine uses) and hand the partition to the
+        // shared block layer.
+        let units: Vec<UnitFlow> = program
+            .iter()
+            .map(|ir| {
+                let target = ir
+                    .instr
+                    .target(ir.addr)
+                    .and_then(|t| index_of.get(&t).copied());
+                ir.instr.unit_flow(target)
+            })
+            .collect();
+        let contiguous =
+            |i: usize| match (program.get(i), program.get(i + 1)) {
+                (Some(a), Some(b)) => a.addr + a.instr.size() == b.addr,
+                _ => false,
+            };
+        let mut entries: BTreeSet<u32> = BTreeSet::new();
+        if let Some(&e) = index_of.get(&elf.entry) {
+            entries.insert(e);
         }
         for sym in &elf.symbols {
-            if sym.kind == SymbolKind::Func && addrs.contains(&sym.value) {
-                leaders.insert(sym.value);
+            if sym.kind == SymbolKind::Func {
+                if let Some(&i) = index_of.get(&sym.value) {
+                    entries.insert(i);
+                }
             }
         }
+        let map = BlockMap::build(
+            &units,
+            contiguous,
+            entries,
+            granularity == Granularity::PerInstruction,
+        );
 
-        let mut blocks: Vec<Block> = Vec::new();
+        let mut blocks: Vec<Block> = Vec::with_capacity(map.len());
         let mut block_of_addr = BTreeMap::new();
-        let mut current: Vec<IrInstr> = Vec::new();
-        let flush = |current: &mut Vec<IrInstr>, blocks: &mut Vec<Block>| {
-            if let (Some(first), Some(last)) = (current.first(), current.last()) {
-                blocks.push(Block {
-                    id: blocks.len(),
-                    start: first.addr,
-                    end: last.addr + last.instr.size(),
-                    instrs: std::mem::take(current),
-                });
-            }
-        };
-        for ir in &program {
-            if leaders.contains(&ir.addr) {
-                flush(&mut current, &mut blocks);
-            }
-            current.push(*ir);
-            if ir.instr.is_control() {
-                flush(&mut current, &mut blocks);
-            }
-        }
-        flush(&mut current, &mut blocks);
-
-        for b in &blocks {
-            block_of_addr.insert(b.start, b.id);
+        for span in &map.blocks {
+            let instrs: Vec<IrInstr> =
+                program[span.first as usize..span.end() as usize].to_vec();
+            let first = instrs.first().expect("blocks are non-empty");
+            let last = instrs.last().expect("blocks are non-empty");
+            let id = blocks.len();
+            block_of_addr.insert(first.addr, id);
+            blocks.push(Block {
+                id,
+                start: first.addr,
+                end: last.addr + last.instr.size(),
+                instrs,
+            });
         }
         Ok(Cfg {
             blocks,

@@ -76,6 +76,29 @@ pub trait SocPeripheral: Send {
             .map(|img| img.to_vec())
             .unwrap_or_else(|| base.to_vec())
     }
+
+    /// Barrier-delta support (opt-in). A device whose mutable state is
+    /// an append-only log can exchange *only the per-epoch suffix* at
+    /// each barrier instead of serializing its full history:
+    /// [`SocPeripheral::barrier_delta`] returns the bytes appended
+    /// since the last barrier (`None` = no delta support, use the full
+    /// `save_state`/`merge_state`/`restore_state` path), and
+    /// [`SocPeripheral::apply_barrier`] replaces that unexchanged
+    /// suffix with the canonical merged suffix — the concatenation of
+    /// every shard's delta in shard order, which is the delta contract
+    /// (devices needing a different merge don't opt in). This is what
+    /// makes the [`ShardArbiter`] barrier O(epoch traffic) instead of
+    /// O(accumulated history) for logging devices like the [`Uart`].
+    fn barrier_delta(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Applies the canonical merged suffix of one barrier (see
+    /// [`SocPeripheral::barrier_delta`]). Only called on devices that
+    /// returned `Some` from `barrier_delta`.
+    fn apply_barrier(&mut self, merged: &[u8]) {
+        let _ = merged;
+    }
 }
 
 /// Serialized state of every device on a [`SocBus`] plus the bus's own
@@ -240,6 +263,44 @@ impl SocBus {
             transactions,
         }
     }
+
+    // --- device-granular accessors for the barrier exchange ------------
+
+    /// Number of attached devices.
+    fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if device `i` opts into the barrier-delta exchange.
+    fn device_supports_delta(&self, i: usize) -> bool {
+        self.devices[i].barrier_delta().is_some()
+    }
+
+    fn device_delta(&self, i: usize) -> Vec<u8> {
+        self.devices[i]
+            .barrier_delta()
+            .expect("delta support checked against the same device population")
+    }
+
+    fn device_apply_barrier(&mut self, i: usize, merged: &[u8]) {
+        self.devices[i].apply_barrier(merged);
+    }
+
+    fn device_state(&self, i: usize) -> Vec<u8> {
+        self.devices[i].save_state()
+    }
+
+    fn device_restore(&mut self, i: usize, state: &[u8]) {
+        self.devices[i].restore_state(state);
+    }
+
+    fn device_merge(&self, i: usize, base: &[u8], shards: &[&[u8]]) -> Vec<u8> {
+        self.devices[i].merge_state(base, shards)
+    }
+
+    fn set_transactions(&mut self, transactions: u64) {
+        self.transactions = transactions;
+    }
 }
 
 // --- little-endian state (de)serialization helpers ----------------------
@@ -323,10 +384,20 @@ impl SocPeripheral for Timer {
 ///
 /// Register map: `0x0` data (write to transmit), `0x4` status (reads 1 —
 /// always ready).
+///
+/// The log is append-only, so in a sharded run the UART opts into the
+/// barrier-delta exchange: each epoch barrier moves only the bytes
+/// transmitted *during that epoch* (`exchanged` marks the canonical
+/// prefix), keeping barrier cost independent of how long the run — and
+/// the accumulated log — has grown.
 #[derive(Debug, Default)]
 pub struct Uart {
     base: u32,
     log: Vec<(u64, u8)>,
+    /// Entries already reconciled through a barrier (the canonical
+    /// prefix length). Part of the saved state, so snapshot restores
+    /// re-seat the delta mark along with the log.
+    exchanged: usize,
 }
 
 impl Uart {
@@ -335,12 +406,24 @@ impl Uart {
         Uart {
             base,
             log: Vec::new(),
+            exchanged: 0,
         }
     }
 
     /// Bytes transmitted so far.
     pub fn transmitted(&self) -> &[(u64, u8)] {
         &self.log
+    }
+
+    fn encode_entries(entries: &[(u64, u8)], out: &mut Vec<u8>) {
+        for &(ts, byte) in entries {
+            put_u64(out, ts);
+            out.push(byte);
+        }
+    }
+
+    fn decode_entries(bytes: &[u8]) -> impl Iterator<Item = (u64, u8)> + '_ {
+        bytes.chunks_exact(9).map(|c| (get_u64(c, 0), c[8]))
     }
 }
 
@@ -366,31 +449,48 @@ impl SocPeripheral for Uart {
         }
     }
 
+    /// State image: an 8-byte exchanged-prefix header, then the log
+    /// entries (9 bytes each).
     fn save_state(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(9 * self.log.len());
-        for &(ts, byte) in &self.log {
-            put_u64(&mut out, ts);
-            out.push(byte);
-        }
+        let mut out = Vec::with_capacity(8 + 9 * self.log.len());
+        put_u64(&mut out, self.exchanged as u64);
+        Self::encode_entries(&self.log, &mut out);
         out
     }
 
     fn restore_state(&mut self, state: &[u8]) {
-        self.log = state
-            .chunks_exact(9)
-            .map(|c| (get_u64(c, 0), c[8]))
-            .collect();
+        self.exchanged = get_u64(state, 0) as usize;
+        self.log = Self::decode_entries(&state[8..]).collect();
     }
 
     /// The log is append-only within an epoch, so every shard image is
     /// the canonical prefix plus that shard's new bytes; the merge
-    /// concatenates the suffixes in shard order.
+    /// concatenates the suffixes in shard order. (Full-state fallback —
+    /// the arbiter normally reconciles the UART through the O(epoch)
+    /// barrier-delta path instead.)
     fn merge_state(&self, base: &[u8], shards: &[&[u8]]) -> Vec<u8> {
         let mut out = base.to_vec();
         for img in shards {
             out.extend_from_slice(&img[base.len()..]);
         }
+        // The merged image is canonical through its full length.
+        let entries = (out.len() - 8) / 9;
+        out[..8].copy_from_slice(&(entries as u64).to_le_bytes());
         out
+    }
+
+    /// O(epoch) barrier exchange: only the entries past the canonical
+    /// prefix travel.
+    fn barrier_delta(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(9 * (self.log.len() - self.exchanged));
+        Self::encode_entries(&self.log[self.exchanged..], &mut out);
+        Some(out)
+    }
+
+    fn apply_barrier(&mut self, merged: &[u8]) {
+        self.log.truncate(self.exchanged);
+        self.log.extend(Self::decode_entries(merged));
+        self.exchanged = self.log.len();
     }
 }
 
@@ -574,6 +674,28 @@ impl SharedSocBus {
     pub fn same_bus(&self, other: &SharedSocBus) -> bool {
         Arc::ptr_eq(&self.0, &other.0)
     }
+
+    // --- device-granular barrier plumbing (arbiter-internal) -----------
+
+    fn device_delta(&self, i: usize) -> Vec<u8> {
+        self.lock().device_delta(i)
+    }
+
+    fn device_apply_barrier(&self, i: usize, merged: &[u8]) {
+        self.lock().device_apply_barrier(i, merged)
+    }
+
+    fn device_state(&self, i: usize) -> Vec<u8> {
+        self.lock().device_state(i)
+    }
+
+    fn device_restore(&self, i: usize, state: &[u8]) {
+        self.lock().device_restore(i, state)
+    }
+
+    fn set_transactions(&self, transactions: u64) {
+        self.lock().set_transactions(transactions)
+    }
 }
 
 /// The epoch-barrier arbiter of a sharded run. Every shard owns a
@@ -613,9 +735,16 @@ impl ShardArbiter {
     ///
     /// Panics if two shard slots alias the same underlying bus —
     /// aliasing would let one shard's mid-epoch traffic leak into
-    /// another's, making runs schedule-dependent.
+    /// another's, making runs schedule-dependent — or if a shard bus
+    /// carries a different device count than the mirror (state
+    /// exchange is positional, so the populations must match).
     pub fn new(mirror: SocBus, buses: Vec<SharedSocBus>) -> Self {
         for (i, a) in buses.iter().enumerate() {
+            assert_eq!(
+                a.lock().device_count(),
+                mirror.device_count(),
+                "shard bus {i} carries a different device population than the mirror"
+            );
             for b in &buses[i + 1..] {
                 assert!(
                     !a.same_bus(b),
@@ -640,19 +769,57 @@ impl ShardArbiter {
         self.buses.len()
     }
 
-    /// Runs the epoch barrier: captures every shard's bus state, merges
-    /// the images in shard order over the canonical state of the
-    /// previous boundary, broadcasts the merged image back into every
-    /// shard bus (and the mirror), and returns the number of bus
-    /// transactions served during the epoch that just ended.
+    /// Runs the epoch barrier: reconciles every device across the
+    /// shard buses and the canonical mirror, then returns the number
+    /// of bus transactions served during the epoch that just ended.
+    ///
+    /// Devices are exchanged one of two ways:
+    ///
+    /// * **delta path** ([`SocPeripheral::barrier_delta`]) — append-only
+    ///   devices (the [`Uart`]) ship only the suffix logged since the
+    ///   previous barrier; the canonical suffix is the concatenation in
+    ///   shard order, applied everywhere. Cost is O(epoch traffic),
+    ///   independent of accumulated history — a long run's barrier does
+    ///   not slow down as the log grows.
+    /// * **full-state path** — everything else goes through
+    ///   `save_state` → [`SocPeripheral::merge_state`] (in shard order,
+    ///   over the canonical base) → `restore_state`, as before.
+    ///
+    /// Both paths produce the same canonical image the all-full-state
+    /// exchange produced; the delta path is purely a cost change.
     pub fn exchange(&mut self) -> u64 {
-        let base = self.mirror.save_state();
-        let states: Vec<SocBusState> = self.buses.iter().map(|b| b.save_state()).collect();
-        let merged = self.mirror.merge_states(&base, &states);
-        let served = merged.transactions() - base.transactions();
-        self.mirror.restore_state(&merged);
+        let base_transactions = self.mirror.transactions();
+        let served: u64 = self
+            .buses
+            .iter()
+            .map(|b| b.transactions() - base_transactions)
+            .sum();
+        for i in 0..self.mirror.device_count() {
+            if self.mirror.device_supports_delta(i) {
+                // O(epoch): move only the per-epoch suffixes, in shard
+                // order (the delta-merge contract).
+                let mut merged = Vec::new();
+                for bus in &self.buses {
+                    merged.extend_from_slice(&bus.device_delta(i));
+                }
+                self.mirror.device_apply_barrier(i, &merged);
+                for bus in &self.buses {
+                    bus.device_apply_barrier(i, &merged);
+                }
+            } else {
+                let base = self.mirror.device_state(i);
+                let imgs: Vec<Vec<u8>> = self.buses.iter().map(|b| b.device_state(i)).collect();
+                let refs: Vec<&[u8]> = imgs.iter().map(|v| v.as_slice()).collect();
+                let merged = self.mirror.device_merge(i, &base, &refs);
+                self.mirror.device_restore(i, &merged);
+                for bus in &self.buses {
+                    bus.device_restore(i, &merged);
+                }
+            }
+        }
+        self.mirror.set_transactions(base_transactions + served);
         for bus in &self.buses {
-            bus.restore_state(&merged);
+            bus.set_transactions(base_transactions + served);
         }
         self.epochs += 1;
         served
@@ -950,6 +1117,62 @@ mod tests {
         arb.exchange();
         let bytes: Vec<u8> = arb.uart_log().iter().map(|&(_, b)| b).collect();
         assert_eq!(bytes, b"AB", "shard 0's byte merges first");
+    }
+
+    #[test]
+    fn uart_barrier_delta_is_the_epoch_suffix_only() {
+        let mut u = Uart::new(0);
+        u.write(1, 0, 4, b'a' as u32);
+        u.write(2, 0, 4, b'b' as u32);
+        let d = u.barrier_delta().expect("uart supports deltas");
+        assert_eq!(d.len(), 18, "two unexchanged entries");
+        u.apply_barrier(&d);
+        assert_eq!(
+            u.barrier_delta().unwrap().len(),
+            0,
+            "after the barrier nothing is pending"
+        );
+        // Only traffic of the new epoch travels, however long the log.
+        u.write(3, 0, 4, b'c' as u32);
+        assert_eq!(u.barrier_delta().unwrap().len(), 9);
+        assert_eq!(u.transmitted().len(), 3, "history intact");
+
+        // The exchanged mark survives a save/restore round trip.
+        let img = u.save_state();
+        let mut fresh = Uart::new(0);
+        fresh.restore_state(&img);
+        assert_eq!(fresh.barrier_delta().unwrap().len(), 9);
+        assert_eq!(fresh.transmitted(), u.transmitted());
+    }
+
+    #[test]
+    fn delta_exchange_accumulates_canonically_over_many_epochs() {
+        // Multi-epoch run: every epoch's bytes merge in shard order
+        // behind the history, no byte is duplicated or dropped, and
+        // the canonical image matches every shard's image at each
+        // barrier — the behaviour the full-state exchange had, now at
+        // O(epoch) cost.
+        let shard0 = SharedSocBus::new(arbiter_population());
+        let shard1 = SharedSocBus::new(arbiter_population());
+        let mut arb = ShardArbiter::new(arbiter_population(), vec![shard0.clone(), shard1.clone()]);
+        let mut expected: Vec<u8> = Vec::new();
+        for epoch in 0..5u8 {
+            let a = b'a' + 2 * epoch;
+            let b = a + 1;
+            shard1.write(10 + epoch as u64, 0x100, 4, b as u32);
+            shard0.write(20 + epoch as u64, 0x100, 4, a as u32);
+            expected.push(a); // shard order, whatever the write order
+            expected.push(b);
+            arb.exchange();
+            let bytes: Vec<u8> = arb.uart_log().iter().map(|&(_, x)| x).collect();
+            assert_eq!(bytes, expected, "epoch {epoch}: merged log");
+            assert_eq!(
+                arb.canonical_state(),
+                shard0.save_state(),
+                "epoch {epoch}: broadcast state"
+            );
+            assert_eq!(shard0.save_state(), shard1.save_state());
+        }
     }
 
     #[test]

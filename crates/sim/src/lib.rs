@@ -15,11 +15,9 @@
 //! use cabt_sim::{Backend, SimBuilder};
 //!
 //! let src = ".text\n_start: mov %d2, 21\n add %d2, %d2\n debug\n";
-//! for backend in [
-//!     Backend::golden(),
-//!     Backend::translated(cabt_core::DetailLevel::Static),
-//!     Backend::Rtl,
-//! ] {
+//! // Every production vehicle — golden and translated on both the
+//! // pre-decoded and the block-compiled dispatch cores, plus RTL.
+//! for backend in Backend::all() {
 //!     let mut session = SimBuilder::asm(src).backend(backend).build()?;
 //!     session.run(Limit::Cycles(1_000_000))?;
 //!     assert_eq!(session.read_d(2), 42, "{backend}");
@@ -175,6 +173,26 @@ impl Backend {
         }
     }
 
+    /// The golden model on the block-compiled dispatch core: basic
+    /// blocks fused into closure runs at load, dispatched
+    /// block-at-a-time (block boundaries are the only stop points —
+    /// see [`DispatchMode::Compiled`]).
+    pub fn golden_compiled() -> Self {
+        Backend::Golden {
+            dispatch: DispatchMode::Compiled,
+        }
+    }
+
+    /// A translated session at `level` on the closure-compiled VLIW
+    /// core (packet-granular, like the pre-decoded core — see
+    /// [`VliwDispatch::Compiled`]).
+    pub fn translated_compiled(level: DetailLevel) -> Self {
+        Backend::Translated {
+            level,
+            dispatch: VliwDispatch::Compiled,
+        }
+    }
+
     /// A sharded multi-core session: `cores` shards of `base`, run by
     /// the sequential round-robin scheduler.
     ///
@@ -217,13 +235,17 @@ impl Backend {
         }
     }
 
-    /// Every single-core backend at default dispatch: golden, the four
-    /// translation detail levels, RTL — the full Table 2 column set.
-    /// Sharded configurations are spelled explicitly via
-    /// [`Backend::sharded`].
+    /// Every single-core backend generic drivers should sweep: golden
+    /// and the four translation detail levels on both production
+    /// dispatch cores (pre-decoded and block-/closure-compiled), plus
+    /// RTL — the full Table 2 column set. The retained naive
+    /// interpreters are differential references, not production
+    /// backends, and are spelled explicitly where needed; sharded
+    /// configurations via [`Backend::sharded`].
     pub fn all() -> Vec<Backend> {
-        let mut v = vec![Backend::golden()];
+        let mut v = vec![Backend::golden(), Backend::golden_compiled()];
         v.extend(DetailLevel::ALL.map(Backend::translated));
+        v.extend(DetailLevel::ALL.map(Backend::translated_compiled));
         v.push(Backend::Rtl);
         v
     }
@@ -238,8 +260,16 @@ impl Default for Backend {
 impl fmt::Display for Backend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Backend::Golden { .. } => f.write_str("golden"),
-            Backend::Translated { level, .. } => write!(f, "translated:{level}"),
+            Backend::Golden { dispatch } => match dispatch {
+                DispatchMode::Predecoded => f.write_str("golden"),
+                DispatchMode::Compiled => f.write_str("golden:compiled"),
+                DispatchMode::Naive => f.write_str("golden:naive"),
+            },
+            Backend::Translated { level, dispatch } => match dispatch {
+                VliwDispatch::Predecoded => write!(f, "translated:{level}"),
+                VliwDispatch::Compiled => write!(f, "translated:{level}:compiled"),
+                VliwDispatch::Naive => write!(f, "translated:{level}:naive"),
+            },
             Backend::Rtl => f.write_str("rtl"),
             Backend::Sharded {
                 cores,
@@ -1548,6 +1578,58 @@ mod tests {
             assert_eq!(s.read_d(2), 55, "{backend}");
             assert!(s.stats().cycles > 0, "{backend}");
             assert!(s.stats().retired > 0, "{backend}");
+        }
+    }
+
+    /// `Backend::all()` is the enumeration every generic driver
+    /// (Table 2, the uniform test sweeps, shard bases) iterates; a new
+    /// dispatch core or vehicle that is not represented there silently
+    /// drops out of all of them. This pins the coverage.
+    #[test]
+    fn backend_all_covers_every_variant_and_round_trips_through_sharding() {
+        let all = Backend::all();
+        // Vehicle coverage.
+        assert!(all.iter().any(|b| matches!(b, Backend::Golden { .. })));
+        assert!(all.iter().any(|b| matches!(b, Backend::Translated { .. })));
+        assert!(all.iter().any(|b| matches!(b, Backend::Rtl)));
+        // Both production dispatch cores of each dispatch-capable
+        // vehicle (the naive interpreters are differential references,
+        // deliberately absent).
+        for dispatch in [DispatchMode::Predecoded, DispatchMode::Compiled] {
+            assert!(
+                all.contains(&Backend::Golden { dispatch }),
+                "golden {dispatch:?} missing from Backend::all()"
+            );
+        }
+        for level in DetailLevel::ALL {
+            for dispatch in [VliwDispatch::Predecoded, VliwDispatch::Compiled] {
+                assert!(
+                    all.contains(&Backend::Translated { level, dispatch }),
+                    "translated {level}/{dispatch:?} missing from Backend::all()"
+                );
+            }
+        }
+        assert!(
+            !all.iter().any(|b| matches!(
+                b,
+                Backend::Golden {
+                    dispatch: DispatchMode::Naive
+                } | Backend::Translated {
+                    dispatch: VliwDispatch::Naive,
+                    ..
+                }
+            )),
+            "naive reference interpreters are not production backends"
+        );
+        // Every entry round-trips through the ShardBackend conversion,
+        // dispatch core included — which is what makes sharded compiled
+        // sessions come for free.
+        for b in all {
+            let sharded = Backend::sharded(2, b);
+            let Backend::Sharded { backend, .. } = sharded else {
+                panic!("sharded() must build a sharded backend");
+            };
+            assert_eq!(Backend::from(backend), b, "{b}: shard round-trip");
         }
     }
 

@@ -316,6 +316,42 @@ impl CacheSim {
         self.misses
     }
 
+    /// Accounts a repeated access to the line accessed immediately
+    /// before: a guaranteed hit on the most-recently-used way, whose
+    /// LRU re-touch is a no-op (`touch` is idempotent for the MRU
+    /// way), so only the hit counter moves — exactly the effect
+    /// [`CacheSim::access`] on that line would have. The compiled
+    /// dispatch core calls this for fetch runs it proved same-line at
+    /// closure-build time, skipping the tag search.
+    pub fn repeat_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// [`CacheSim::access`] with the most-recently-used way probed
+    /// first — the compiled core's lead-access path. A hit on the MRU
+    /// way leaves the LRU ranks exactly as a full access would
+    /// (`touch` is idempotent there), so only the hit counter moves;
+    /// any other outcome falls back to the full search. Effects are
+    /// bit-identical to `access`.
+    #[inline]
+    pub fn access_mru_first(&mut self, addr: u32) -> bool {
+        let set = self.cfg.set_of(addr);
+        let base = (set * self.cfg.ways) as usize;
+        let ways = self.cfg.ways as usize;
+        let mut mru = 0usize;
+        for w in 0..ways {
+            if self.lru[base + w] == 0 {
+                mru = w;
+                break;
+            }
+        }
+        if self.tags[base + mru] == (self.cfg.tag_of(addr) as u64 | VALID) {
+            self.hits += 1;
+            return true;
+        }
+        self.access(addr)
+    }
+
     /// Accesses the line containing `addr`. Returns `true` on hit.
     /// Misses fill the LRU way; both outcomes update LRU ranks.
     pub fn access(&mut self, addr: u32) -> bool {
@@ -543,6 +579,37 @@ impl TimingModel {
         reads: &[u8],
         writes: &[u8],
     ) -> StepInfo {
+        match p.class {
+            IssueClass::Ip => self.step_pre_class::<false, false>(st, p, taken, reads, writes),
+            IssueClass::Ls => self.step_pre_class::<true, false>(st, p, taken, reads, writes),
+            IssueClass::Br => self.step_pre_class::<false, true>(st, p, taken, reads, writes),
+        }
+    }
+
+    /// [`TimingModel::step_pre`] with the issue class pinned at compile
+    /// time (`IS_LS`/`IS_BR`; both false = integer pipe), so the class
+    /// dispatch folds away when this inlines into a compiled-block
+    /// closure that captured the class at build time. This *is* the
+    /// one timing body — `step_pre` is the runtime-dispatch wrapper —
+    /// so the cores cannot drift. `p.class` must match the flags.
+    #[inline(always)]
+    pub fn step_pre_class<const IS_LS: bool, const IS_BR: bool>(
+        &self,
+        st: &mut TimingState,
+        p: &PreTiming,
+        taken: Option<bool>,
+        reads: &[u8],
+        writes: &[u8],
+    ) -> StepInfo {
+        debug_assert_eq!(
+            p.class,
+            match (IS_LS, IS_BR) {
+                (false, false) => IssueClass::Ip,
+                (true, false) => IssueClass::Ls,
+                (false, true) => IssueClass::Br,
+                (true, true) => unreachable!("a unit has one issue class"),
+            }
+        );
         // Earliest cycle all operands are ready.
         let mut operands_ready = 0u64;
         for &r in reads {
@@ -556,7 +623,7 @@ impl TimingModel {
         }
 
         // Try to pair into an open integer slot.
-        if p.class == IssueClass::Ls {
+        if IS_LS {
             if let Some(slot) = &st.pair {
                 let conflicts = reads
                     .iter()
@@ -578,36 +645,33 @@ impl TimingModel {
 
         let issue = st.next.max(operands_ready);
 
-        match p.class {
-            IssueClass::Br => {
-                let cost = match taken {
-                    Some(true) => p.cost_taken,
-                    Some(false) => p.cost_not_taken,
-                    None => p.control_min,
-                };
-                st.next = issue + cost.max(1) as u64;
-                st.pair = None;
-                // Link-register writes become ready immediately after issue.
-                for &w in writes {
-                    st.ready[w as usize] = issue + 1;
-                    st.mac_ready[w as usize] = issue + 1;
-                }
+        if IS_BR {
+            let cost = match taken {
+                Some(true) => p.cost_taken,
+                Some(false) => p.cost_not_taken,
+                None => p.control_min,
+            };
+            st.next = issue + cost.max(1) as u64;
+            st.pair = None;
+            // Link-register writes become ready immediately after issue.
+            for &w in writes {
+                st.ready[w as usize] = issue + 1;
+                st.mac_ready[w as usize] = issue + 1;
             }
-            IssueClass::Ip | IssueClass::Ls => {
-                st.next = issue + p.occupancy as u64;
-                st.pair = if p.class == IssueClass::Ip {
-                    let mut w = [0u8; 2];
-                    w[..writes.len()].copy_from_slice(writes);
-                    Some(PairSlot {
-                        cycle: issue,
-                        writes: w,
-                        nwrites: writes.len() as u8,
-                    })
-                } else {
-                    None
-                };
-                self.retire_pre(st, p, issue, writes);
-            }
+        } else {
+            st.next = issue + p.occupancy as u64;
+            st.pair = if !IS_LS {
+                let mut w = [0u8; 2];
+                w[..writes.len()].copy_from_slice(writes);
+                Some(PairSlot {
+                    cycle: issue,
+                    writes: w,
+                    nwrites: writes.len() as u8,
+                })
+            } else {
+                None
+            };
+            self.retire_pre(st, p, issue, writes);
         }
 
         StepInfo {

@@ -1,0 +1,574 @@
+//! The closure-compiled dispatch core of the golden model — the
+//! paper's compiled-simulation thesis applied to our own interpreter.
+//!
+//! At load time every basic block of the pre-decoded table is *fused*
+//! into a run of specialized closures: each instruction's operands,
+//! I-cache line span, timing record and operand sets are captured as
+//! constants, so executing an instruction is one indirect call into a
+//! body with no decode match, no table-entry copy and no per-step
+//! dispatch-cache maintenance. Block structure comes from the shared
+//! [`cabt_exec::blocks::BlockMap`] (the same partition the translator's
+//! CFG uses); dispatch is *block-threaded*: a step enters a block,
+//! runs its straight-line ops to the terminator, and the terminator
+//! returns where control goes — the successor indices are chased
+//! through the flat block table exactly like the pre-decoded core
+//! chases instruction indices.
+//!
+//! Bit-identity with the pre-decoded core is a design constraint, not
+//! an accident: every closure performs the *same sequence* of cache
+//! accesses, timing-model calls (`step_pre` is stateful — pairing,
+//! operand scoreboards — and must run per instruction) and statistic
+//! updates the pre-decoded step performs, and memory faults unwind
+//! with the program counter parked on the faulting instruction. What
+//! the compiler exploits is what is *statically known per block*:
+//!
+//! * the retirement counter (`RunStats::instructions`) is added once
+//!   per block exit (reconstructed on the fault path), and `run_until`
+//!   budget checks happen per *block* — block boundaries are the only
+//!   stop points of this core (documented on
+//!   [`DispatchMode::Compiled`](crate::sim::DispatchMode));
+//! * fetch line *runs* are proved at build time: an op whose first
+//!   line is the line the previous op just touched takes the
+//!   guaranteed-hit path ([`CacheSim::repeat_hit`]), and lead accesses
+//!   probe the MRU way first ([`CacheSim::access_mru_first`]) — both
+//!   counter- and LRU-identical to the full search;
+//! * each instruction's issue class is pinned as a const generic, so
+//!   the timing model's class dispatch folds away inside the closure
+//!   ([`TimingModel::step_pre_class`]).
+//!
+//! Mid-block entries (an indirect jump computed into the middle of a
+//! block, or a debugger-forced pc) fall back to the pre-decoded
+//! interpreter until dispatch lands back on a block leader, since the
+//! fused prologues assume in-order execution from the leader.
+
+use crate::arch::{CacheConfig, CacheSim, IssueClass, PreTiming, TimingModel, TimingState};
+use crate::isa::{Instr, LdKind, StKind, RA};
+use crate::sim::{route_load, route_store, Cpu, IoDevice, PreInstr, RunExitKind, RunStats, SimError, NO_IDX};
+use cabt_exec::blocks::{BlockMap, UnitFlow};
+use cabt_isa::mem::Memory;
+
+/// Where control goes after an op closure.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Ctl {
+    /// Straight-line op inside the block: continue with the next op.
+    Next,
+    /// Block exit through the fall-through edge.
+    Fall,
+    /// Block exit through the direct-target edge.
+    Taken,
+    /// Block exit to a computed address.
+    Indirect(u32),
+}
+
+/// The mutable half of the simulator an op closure executes against —
+/// a reborrow of the engine's own fields, split so the closure table
+/// (borrowed shared) and the state (borrowed mutably) never alias.
+pub(crate) struct Hot<'a> {
+    pub cpu: &'a mut Cpu,
+    pub mem: &'a mut Memory,
+    pub io: &'a mut Option<Box<dyn IoDevice>>,
+    pub tstate: &'a mut TimingState,
+    pub cache: &'a mut Option<CacheSim>,
+    pub cache_cfg: CacheConfig,
+    pub model: &'a TimingModel,
+    pub stats: &'a mut RunStats,
+    pub halted: &'a mut bool,
+}
+
+impl Hot<'_> {
+    /// Instruction-cache accounting over a line span of *lead*
+    /// accesses (full tag search per line) — byte-for-byte the
+    /// pre-decoded core's fetch prologue.
+    #[inline]
+    fn icache(&mut self, line_first: u32, line_last: u32) {
+        if let Some(cache) = self.cache.as_mut() {
+            let mut line = line_first;
+            loop {
+                self.stats.icache_accesses += 1;
+                if !cache.access_mru_first(line) {
+                    self.stats.icache_misses += 1;
+                    self.stats.stall_cycles += self.cache_cfg.miss_penalty as u64;
+                    self.tstate.stall(self.cache_cfg.miss_penalty as u64);
+                }
+                if line == line_last {
+                    break;
+                }
+                line += self.cache_cfg.line_bytes;
+            }
+        }
+    }
+
+    /// Per-op fetch accounting with the block compiler's static
+    /// line-run knowledge: when the op's first line is the line the
+    /// previous op in the block just touched (`m.first_repeat`,
+    /// proved at closure-build time), that access is a guaranteed
+    /// MRU hit — only the counters move ([`CacheSim::repeat_hit`]) —
+    /// and any further lines of the span get full lead accesses.
+    /// Valid because block execution always enters at offset 0 and
+    /// runs the ops in order within one dispatch.
+    #[inline]
+    fn icache_op(&mut self, m: &Meta) {
+        if self.cache.is_none() {
+            return;
+        }
+        if m.first_repeat {
+            self.stats.icache_accesses += 1;
+            if let Some(cache) = self.cache.as_mut() {
+                cache.repeat_hit();
+            }
+            if m.line_last != m.line_first {
+                self.icache(m.line_first + self.cache_cfg.line_bytes, m.line_last);
+            }
+        } else {
+            self.icache(m.line_first, m.line_last);
+        }
+    }
+
+    #[inline]
+    fn load(&mut self, addr: u32, kind: LdKind) -> Result<u32, SimError> {
+        route_load(self.mem, self.io, self.tstate, addr, kind)
+    }
+
+    #[inline]
+    fn store(&mut self, addr: u32, kind: StKind, value: u32) -> Result<(), SimError> {
+        route_store(self.mem, self.io, self.tstate, addr, kind, value)
+    }
+
+    /// Effective address with optional post-increment (mirrors
+    /// `Simulator::ea`; `off` is the sign-extended offset).
+    #[inline]
+    fn ea(&mut self, base: u8, off: u32, postinc: bool) -> u32 {
+        let b = self.cpu.a(base);
+        if postinc {
+            self.cpu.set_a(base, b.wrapping_add(off));
+            b
+        } else {
+            b.wrapping_add(off)
+        }
+    }
+}
+
+/// One fused instruction: fetch accounting + semantics + timing in a
+/// single specialized body behind one indirect call.
+pub(crate) type OpFn = Box<dyn Fn(&mut Hot<'_>) -> Result<Ctl, SimError> + Send>;
+
+/// One compiled basic block: its op run plus the terminator's resolved
+/// exits (instruction-table indices, like the pre-decoded entries, so
+/// the dispatch-cache `cur` keeps working unchanged).
+pub(crate) struct CompiledBlock {
+    pub ops: Box<[OpFn]>,
+    /// Source pc of each op — the fault path parks `cpu.pc` here.
+    pub pcs: Box<[u32]>,
+    /// Instruction-table index of the first op.
+    pub first: u32,
+    /// Architectural fall-through exit (pc past the terminator).
+    pub fall_pc: u32,
+    /// Table index of the fall-through exit (`NO_IDX` off-image).
+    pub fall_unit: u32,
+    /// Direct-target exit.
+    pub target_pc: u32,
+    /// Table index of the direct-target exit.
+    pub taken_unit: u32,
+    /// The terminating instruction (what a completed step reports).
+    pub term: Instr,
+}
+
+/// The compiled program: the shared block partition plus one fused
+/// closure run per block, parallel to `map.blocks`.
+pub(crate) struct CompiledProgram {
+    pub map: BlockMap,
+    pub blocks: Vec<CompiledBlock>,
+}
+
+/// The control-flow role the block builder needs, derived from a
+/// pre-decoded entry — the shared [`Instr::unit_flow`] classifier, so
+/// the engine's partition matches the translator's by construction.
+fn flow_of(pi: &PreInstr) -> UnitFlow {
+    pi.instr.unit_flow((pi.target != NO_IDX).then_some(pi.target))
+}
+
+/// Compiles the whole pre-decoded table into fused blocks. `entry` is
+/// the table index of the program entry (an extra block leader).
+pub(crate) fn compile(table: &[PreInstr], entry: u32) -> CompiledProgram {
+    let units: Vec<UnitFlow> = table.iter().map(flow_of).collect();
+    let contiguous = |i: usize| table[i].fall == i as u32 + 1;
+    let entries = (entry != NO_IDX).then_some(entry);
+    let map = BlockMap::build(&units, contiguous, entries, false);
+    let blocks = map
+        .blocks
+        .iter()
+        .map(|span| {
+            let last = span.last();
+            // Static line-run analysis: an op whose first fetch line is
+            // the line the previous op in the block ended on repeats a
+            // just-touched line — a guaranteed hit, proved here once
+            // instead of searched for at every execution.
+            let mut prev_line: Option<u32> = None;
+            let ops: Box<[OpFn]> = (span.first..span.end())
+                .map(|u| {
+                    let pi = &table[u as usize];
+                    let first_repeat = prev_line == Some(pi.line_first);
+                    prev_line = Some(pi.line_last);
+                    compile_op(pi, u == last, first_repeat)
+                })
+                .collect();
+            let pcs: Box<[u32]> = (span.first..span.end())
+                .map(|u| table[u as usize].pc)
+                .collect();
+            let t = &table[last as usize];
+            CompiledBlock {
+                ops,
+                pcs,
+                first: span.first,
+                fall_pc: t.fall_pc,
+                fall_unit: t.fall,
+                target_pc: t.target_pc,
+                taken_unit: t.target,
+                term: t.instr,
+            }
+        })
+        .collect();
+    CompiledProgram { map, blocks }
+}
+
+/// Everything the fused prologue/epilogue needs, captured by value.
+#[derive(Clone, Copy)]
+struct Meta {
+    line_first: u32,
+    line_last: u32,
+    /// The op's first line repeats the previous op's last line (static
+    /// line-run analysis — see [`Hot::icache_op`]).
+    first_repeat: bool,
+    timing: PreTiming,
+    reads: [u8; 3],
+    nreads: u8,
+    writes: [u8; 2],
+    nwrites: u8,
+}
+
+impl Meta {
+    fn of(pi: &PreInstr, first_repeat: bool) -> Meta {
+        Meta {
+            line_first: pi.line_first,
+            line_last: pi.line_last,
+            first_repeat,
+            timing: pi.timing,
+            reads: pi.reads,
+            nreads: pi.nreads,
+            writes: pi.writes,
+            nwrites: pi.nwrites,
+        }
+    }
+}
+
+/// Dispatches a fuse constructor to the const-class-specialized
+/// monomorphization (the instruction's issue class is a build-time
+/// constant, so the timing model's class branches fold away inside
+/// the closure).
+macro_rules! by_class {
+    ($ctor:ident, $m:expr, $($arg:expr),+) => {
+        match $m.timing.class {
+            IssueClass::Ip => $ctor::<false, false, _>($m, $($arg),+),
+            IssueClass::Ls => $ctor::<true, false, _>($m, $($arg),+),
+            IssueClass::Br => $ctor::<false, true, _>($m, $($arg),+),
+        }
+    };
+}
+
+/// Fuses a non-conditional op: fetch accounting, the specialized body,
+/// the timing-model step (dyn-taken `Some(true)`, as the pre-decoded
+/// core passes for non-conditionals), then the fixed exit.
+fn fuse<F>(m: Meta, exit: Ctl, body: F) -> OpFn
+where
+    F: Fn(&mut Hot<'_>) -> Result<(), SimError> + Send + 'static,
+{
+    by_class!(fuse_class, m, exit, body)
+}
+
+fn fuse_class<const IS_LS: bool, const IS_BR: bool, F>(m: Meta, exit: Ctl, body: F) -> OpFn
+where
+    F: Fn(&mut Hot<'_>) -> Result<(), SimError> + Send + 'static,
+{
+    Box::new(move |h| {
+        h.icache_op(&m);
+        body(h)?;
+        h.model.step_pre_class::<IS_LS, IS_BR>(
+            h.tstate,
+            &m.timing,
+            Some(true),
+            &m.reads[..m.nreads as usize],
+            &m.writes[..m.nwrites as usize],
+        );
+        Ok(exit)
+    })
+}
+
+/// Fuses a conditional terminator: the body reports the dynamic
+/// direction, which feeds the timing model and the branch statistics —
+/// the compiled form of `finish_step`.
+fn fuse_cond<F>(m: Meta, body: F) -> OpFn
+where
+    F: Fn(&mut Hot<'_>) -> bool + Send + 'static,
+{
+    by_class!(fuse_cond_class, m, body)
+}
+
+fn fuse_cond_class<const IS_LS: bool, const IS_BR: bool, F>(m: Meta, body: F) -> OpFn
+where
+    F: Fn(&mut Hot<'_>) -> bool + Send + 'static,
+{
+    Box::new(move |h| {
+        h.icache_op(&m);
+        let t = body(h);
+        h.model.step_pre_class::<IS_LS, IS_BR>(
+            h.tstate,
+            &m.timing,
+            Some(t),
+            &m.reads[..m.nreads as usize],
+            &m.writes[..m.nwrites as usize],
+        );
+        h.stats.cond_branches += 1;
+        if t {
+            h.stats.taken += 1;
+        }
+        if m.timing.predicts_taken != Some(t) {
+            h.stats.mispredicted += 1;
+        }
+        Ok(if t { Ctl::Taken } else { Ctl::Fall })
+    })
+}
+
+/// Fuses an indirect terminator: the body computes the destination.
+fn fuse_indirect<F>(m: Meta, body: F) -> OpFn
+where
+    F: Fn(&mut Hot<'_>) -> u32 + Send + 'static,
+{
+    by_class!(fuse_indirect_class, m, body)
+}
+
+fn fuse_indirect_class<const IS_LS: bool, const IS_BR: bool, F>(m: Meta, body: F) -> OpFn
+where
+    F: Fn(&mut Hot<'_>) -> u32 + Send + 'static,
+{
+    Box::new(move |h| {
+        h.icache_op(&m);
+        let a = body(h);
+        h.model.step_pre_class::<IS_LS, IS_BR>(
+            h.tstate,
+            &m.timing,
+            Some(true),
+            &m.reads[..m.nreads as usize],
+            &m.writes[..m.nwrites as usize],
+        );
+        Ok(Ctl::Indirect(a))
+    })
+}
+
+/// Compiles one instruction into its fused closure. `terminator` marks
+/// the block's last op — straight-line ops inside the block continue
+/// with [`Ctl::Next`], the same op in terminator position exits with
+/// [`Ctl::Fall`]. `first_repeat` is the static line-run fact for the
+/// fetch prologue.
+fn compile_op(pi: &PreInstr, terminator: bool, first_repeat: bool) -> OpFn {
+    let m = Meta::of(pi, first_repeat);
+    // Exit of a non-control op, decided by block position.
+    let next = if terminator { Ctl::Fall } else { Ctl::Next };
+    let fall_pc = pi.fall_pc;
+    match pi.instr {
+        Instr::Nop16 | Instr::Nop => fuse(m, next, |_| Ok(())),
+        Instr::Debug16 => fuse(m, Ctl::Fall, |h| {
+            *h.halted = true;
+            h.stats.exit = Some(RunExitKind::Halted);
+            Ok(())
+        }),
+        Instr::Ret16 => fuse_indirect(m, |h| h.cpu.a(RA.0)),
+        Instr::Mov16 { d, imm7 } => {
+            let v = imm7 as i32 as u32;
+            fuse(m, next, move |h| {
+                h.cpu.set_d(d.0, v);
+                Ok(())
+            })
+        }
+        Instr::MovRR16 { d, s } => fuse(m, next, move |h| {
+            h.cpu.set_d(d.0, h.cpu.d(s.0));
+            Ok(())
+        }),
+        Instr::Add16 { d, s } => fuse(m, next, move |h| {
+            h.cpu.set_d(d.0, h.cpu.d(d.0).wrapping_add(h.cpu.d(s.0)));
+            Ok(())
+        }),
+        Instr::Sub16 { d, s } => fuse(m, next, move |h| {
+            h.cpu.set_d(d.0, h.cpu.d(d.0).wrapping_sub(h.cpu.d(s.0)));
+            Ok(())
+        }),
+        Instr::LdW16 { d, a } => fuse(m, next, move |h| {
+            let addr = h.cpu.a(a.0);
+            let v = h.load(addr, LdKind::W)?;
+            h.cpu.set_d(d.0, v);
+            Ok(())
+        }),
+        Instr::StW16 { a, s } => fuse(m, next, move |h| {
+            let addr = h.cpu.a(a.0);
+            h.store(addr, StKind::W, h.cpu.d(s.0))
+        }),
+        Instr::Mov { d, imm16 } => {
+            let v = imm16 as i32 as u32;
+            fuse(m, next, move |h| {
+                h.cpu.set_d(d.0, v);
+                Ok(())
+            })
+        }
+        Instr::Movh { d, imm16 } => {
+            let v = (imm16 as u32) << 16;
+            fuse(m, next, move |h| {
+                h.cpu.set_d(d.0, v);
+                Ok(())
+            })
+        }
+        Instr::MovhA { a, imm16 } => {
+            let v = (imm16 as u32) << 16;
+            fuse(m, next, move |h| {
+                h.cpu.set_a(a.0, v);
+                Ok(())
+            })
+        }
+        Instr::Addi { d, s, imm16 } => {
+            let v = imm16 as i32 as u32;
+            fuse(m, next, move |h| {
+                h.cpu.set_d(d.0, h.cpu.d(s.0).wrapping_add(v));
+                Ok(())
+            })
+        }
+        Instr::Addih { d, s, imm16 } => {
+            let v = (imm16 as u32) << 16;
+            fuse(m, next, move |h| {
+                h.cpu.set_d(d.0, h.cpu.d(s.0).wrapping_add(v));
+                Ok(())
+            })
+        }
+        Instr::MovRR { d, s } => fuse(m, next, move |h| {
+            h.cpu.set_d(d.0, h.cpu.d(s.0));
+            Ok(())
+        }),
+        Instr::MovA { a, s } => fuse(m, next, move |h| {
+            h.cpu.set_a(a.0, h.cpu.d(s.0));
+            Ok(())
+        }),
+        Instr::MovD { d, a } => fuse(m, next, move |h| {
+            h.cpu.set_d(d.0, h.cpu.a(a.0));
+            Ok(())
+        }),
+        Instr::MovAA { a, s } => fuse(m, next, move |h| {
+            h.cpu.set_a(a.0, h.cpu.a(s.0));
+            Ok(())
+        }),
+        Instr::Lea { a, base, off16 } => {
+            let off = off16 as i32 as u32;
+            fuse(m, next, move |h| {
+                h.cpu.set_a(a.0, h.cpu.a(base.0).wrapping_add(off));
+                Ok(())
+            })
+        }
+        Instr::Bin { op, d, s1, s2 } => fuse(m, next, move |h| {
+            h.cpu.set_d(d.0, op.apply(h.cpu.d(s1.0), h.cpu.d(s2.0)));
+            Ok(())
+        }),
+        Instr::BinI { op, d, s1, imm9 } => {
+            let v = imm9 as i32 as u32;
+            fuse(m, next, move |h| {
+                h.cpu.set_d(d.0, op.apply(h.cpu.d(s1.0), v));
+                Ok(())
+            })
+        }
+        Instr::Madd { d, acc, s1, s2 } => fuse(m, next, move |h| {
+            let v = h
+                .cpu
+                .d(acc.0)
+                .wrapping_add(h.cpu.d(s1.0).wrapping_mul(h.cpu.d(s2.0)));
+            h.cpu.set_d(d.0, v);
+            Ok(())
+        }),
+        Instr::Msub { d, acc, s1, s2 } => fuse(m, next, move |h| {
+            let v = h
+                .cpu
+                .d(acc.0)
+                .wrapping_sub(h.cpu.d(s1.0).wrapping_mul(h.cpu.d(s2.0)));
+            h.cpu.set_d(d.0, v);
+            Ok(())
+        }),
+        Instr::Ld {
+            kind,
+            d,
+            base,
+            off10,
+            postinc,
+        } => {
+            let off = off10 as i32 as u32;
+            fuse(m, next, move |h| {
+                let addr = h.ea(base.0, off, postinc);
+                let v = h.load(addr, kind)?;
+                h.cpu.set_d(d.0, v);
+                Ok(())
+            })
+        }
+        Instr::LdA {
+            a,
+            base,
+            off10,
+            postinc,
+        } => {
+            let off = off10 as i32 as u32;
+            fuse(m, next, move |h| {
+                let addr = h.ea(base.0, off, postinc);
+                let v = h.load(addr, LdKind::W)?;
+                h.cpu.set_a(a.0, v);
+                Ok(())
+            })
+        }
+        Instr::St {
+            kind,
+            s,
+            base,
+            off10,
+            postinc,
+        } => {
+            let off = off10 as i32 as u32;
+            fuse(m, next, move |h| {
+                let addr = h.ea(base.0, off, postinc);
+                h.store(addr, kind, h.cpu.d(s.0))
+            })
+        }
+        Instr::StA {
+            s,
+            base,
+            off10,
+            postinc,
+        } => {
+            let off = off10 as i32 as u32;
+            fuse(m, next, move |h| {
+                let addr = h.ea(base.0, off, postinc);
+                h.store(addr, StKind::W, h.cpu.a(s.0))
+            })
+        }
+        Instr::J { .. } => fuse(m, Ctl::Taken, |_| Ok(())),
+        Instr::Jl { .. } => fuse(m, Ctl::Taken, move |h| {
+            h.cpu.set_a(RA.0, fall_pc);
+            Ok(())
+        }),
+        Instr::Ji { a } => fuse_indirect(m, move |h| h.cpu.a(a.0)),
+        Instr::Jli { a } => fuse_indirect(m, move |h| {
+            let t = h.cpu.a(a.0);
+            h.cpu.set_a(RA.0, fall_pc);
+            t
+        }),
+        Instr::Jcond { cond, s1, s2, .. } => {
+            fuse_cond(m, move |h| cond.eval(h.cpu.d(s1.0), h.cpu.d(s2.0)))
+        }
+        Instr::JcondZ { cond, s1, .. } => fuse_cond(m, move |h| cond.eval(h.cpu.d(s1.0), 0)),
+        Instr::Loop { a, .. } => fuse_cond(m, move |h| {
+            let v = h.cpu.a(a.0).wrapping_sub(1);
+            h.cpu.set_a(a.0, v);
+            v != 0
+        }),
+    }
+}

@@ -407,6 +407,25 @@ impl Instr {
         )
     }
 
+    /// Control-flow role of this instruction for the shared block
+    /// layer — the ONE classifier both the translator's CFG and the
+    /// block-compiled engine partition with, so their block structures
+    /// cannot drift. `target` is the caller-resolved unit index of the
+    /// direct target (`None` when the destination is outside the
+    /// decoded table); it is only read for direct transfers.
+    pub fn unit_flow(&self, target: Option<u32>) -> cabt_exec::blocks::UnitFlow {
+        use cabt_exec::blocks::UnitFlow;
+        match self {
+            Instr::Debug16 => UnitFlow::Halt,
+            Instr::J { .. } | Instr::Jl { .. } => UnitFlow::Jump { target },
+            Instr::Jcond { .. } | Instr::JcondZ { .. } | Instr::Loop { .. } => {
+                UnitFlow::Branch { target }
+            }
+            Instr::Ret16 | Instr::Ji { .. } | Instr::Jli { .. } => UnitFlow::Indirect,
+            _ => UnitFlow::Straight,
+        }
+    }
+
     /// Branch target for direct control transfers, given the address of
     /// this instruction. `None` for indirect jumps and non-branches.
     pub fn target(&self, pc: u32) -> Option<u32> {

@@ -50,6 +50,7 @@
 
 pub mod arch;
 pub mod asm;
+pub(crate) mod compiled;
 pub mod encode;
 pub mod isa;
 pub mod sim;

@@ -13,7 +13,7 @@
 //!
 //! # Dispatch modes
 //!
-//! The simulator has two dispatch cores selected by [`DispatchMode`]:
+//! The simulator has three dispatch cores selected by [`DispatchMode`]:
 //!
 //! * [`DispatchMode::Predecoded`] (the default) decodes the whole
 //!   `.text` image once at load into a dense table. Each entry carries
@@ -21,15 +21,25 @@
 //!   *table indices*, the cache lines its fetch touches, and its
 //!   read/write register sets — so the hot loop chases indices through
 //!   a flat `Vec` and never hashes an address or allocates.
+//! * [`DispatchMode::Compiled`] goes the paper's final step: every
+//!   basic block of that table (partitioned by the shared
+//!   [`cabt_exec::blocks::BlockMap`]) is fused at load into a run of
+//!   specialized closures, and dispatch is block-threaded — one
+//!   [`ExecutionEngine::step_unit`] executes a whole block and chases
+//!   the successor block id. Bit-identical to the pre-decoded core at
+//!   every block boundary; block boundaries are the *only* stop
+//!   points (budgeted runs overshoot into the current block's end).
 //! * [`DispatchMode::Naive`] is the retained seed interpreter: an
 //!   address-keyed map looked up on every step, with per-step line and
 //!   operand-set computation. It exists as the reference for the
-//!   differential tests proving the pre-decoded core bit-identical.
+//!   differential tests proving the other cores bit-identical.
 //!
-//! Both modes produce exactly the same architectural state, cycle
-//! counts, statistics and fault behaviour.
+//! All modes produce exactly the same architectural state, cycle
+//! counts, statistics and fault behaviour (the compiled core observed
+//! at block boundaries).
 
 use crate::arch::{ArchDesc, CacheConfig, CacheSim, PreTiming, TimingModel, TimingState};
+use crate::compiled::{self, CompiledProgram, Ctl, Hot};
 use crate::encode::decode_section;
 use crate::isa::{AReg, Instr, LdKind, StKind, RA};
 use cabt_exec::{EngineStats, ExecutionEngine};
@@ -175,39 +185,49 @@ pub enum DispatchMode {
     /// Decode-once table dispatch (index-chased hot loop).
     #[default]
     Predecoded,
+    /// Block-compiled dispatch: every basic block fused into one run of
+    /// specialized closures at load, executed block-at-a-time. One
+    /// [`Simulator::step`] (and one [`ExecutionEngine::step_unit`])
+    /// dispatches a *whole basic block*, so block boundaries are the
+    /// only stop points: `run_until` budgets are checked between
+    /// blocks and may overshoot into the end of the current block, and
+    /// snapshots always land on block boundaries. Architectural state,
+    /// cycle counts, statistics and fault behaviour are bit-identical
+    /// to [`DispatchMode::Predecoded`] at every boundary.
+    Compiled,
     /// The retained seed interpreter: address-map fetch on every step.
     Naive,
 }
 
 /// Sentinel for "no table entry".
-const NO_IDX: u32 = u32::MAX;
+pub(crate) const NO_IDX: u32 = u32::MAX;
 
 /// One pre-decoded instruction: the decoded form plus everything the
 /// hot loop would otherwise recompute per step.
 #[derive(Debug, Clone, Copy)]
-struct PreInstr {
-    instr: Instr,
+pub(crate) struct PreInstr {
+    pub(crate) instr: Instr,
     /// Source address of this instruction.
-    pc: u32,
+    pub(crate) pc: u32,
     /// Address of the next sequential instruction.
-    fall_pc: u32,
+    pub(crate) fall_pc: u32,
     /// Table index of the next sequential instruction (`NO_IDX` if it
     /// leaves the decoded image).
-    fall: u32,
+    pub(crate) fall: u32,
     /// Direct branch target address (0 when the instruction has none).
-    target_pc: u32,
+    pub(crate) target_pc: u32,
     /// Table index of the direct branch target.
-    target: u32,
+    pub(crate) target: u32,
     /// First and last I-cache lines the fetch touches.
-    line_first: u32,
-    line_last: u32,
+    pub(crate) line_first: u32,
+    pub(crate) line_last: u32,
     /// Cached operand sets for the timing model (max 3 reads, 2 writes).
-    reads: [u8; 3],
-    nreads: u8,
-    writes: [u8; 2],
-    nwrites: u8,
+    pub(crate) reads: [u8; 3],
+    pub(crate) nreads: u8,
+    pub(crate) writes: [u8; 2],
+    pub(crate) nwrites: u8,
     /// Cached per-instruction timing record.
-    timing: PreTiming,
+    pub(crate) timing: PreTiming,
 }
 
 impl PreInstr {
@@ -283,6 +303,11 @@ pub struct Simulator {
     table: Vec<PreInstr>,
     /// Address → table index (entry points, indirect jumps).
     index_of: HashMap<u32, u32>,
+    /// Block-compiled closure table (built by
+    /// [`Simulator::set_dispatch`] on first selection of
+    /// [`DispatchMode::Compiled`]; a load-time constant afterwards,
+    /// shared by snapshots like the pre-decoded table).
+    compiled: Option<CompiledProgram>,
     /// Cached table index of `cpu.pc` (`NO_IDX` forces a map lookup).
     cur: u32,
     mode: DispatchMode,
@@ -387,6 +412,7 @@ impl Simulator {
             tstate: TimingState::new(),
             table,
             index_of,
+            compiled: None,
             cur,
             mode: DispatchMode::default(),
             entry: elf.entry,
@@ -402,9 +428,16 @@ impl Simulator {
         self.cache = None;
     }
 
-    /// Selects the dispatch core (pre-decoded by default).
+    /// Selects the dispatch core (pre-decoded by default). Selecting
+    /// [`DispatchMode::Compiled`] for the first time fuses the whole
+    /// pre-decoded table into per-block closure runs (a one-off
+    /// load-time cost, like the pre-decode pass itself).
     pub fn set_dispatch(&mut self, mode: DispatchMode) {
         self.mode = mode;
+        if mode == DispatchMode::Compiled && self.compiled.is_none() {
+            let entry = self.index_of.get(&self.entry).copied().unwrap_or(NO_IDX);
+            self.compiled = Some(compiled::compile(&self.table, entry));
+        }
     }
 
     /// The dispatch core in use.
@@ -450,7 +483,10 @@ impl Simulator {
         Ok(self.stats())
     }
 
-    /// Executes a single instruction, returning it.
+    /// Executes a single dispatch unit, returning the last instruction
+    /// it retired: one instruction on the interpretive cores, one whole
+    /// basic block (reporting its terminator) under
+    /// [`DispatchMode::Compiled`].
     ///
     /// # Errors
     ///
@@ -459,8 +495,100 @@ impl Simulator {
     pub fn step(&mut self) -> Result<Instr, SimError> {
         match self.mode {
             DispatchMode::Predecoded => self.step_predecoded(),
+            DispatchMode::Compiled => self.step_compiled(),
             DispatchMode::Naive => self.step_naive(),
         }
+    }
+
+    /// The block-compiled hot loop: resolve the current block once,
+    /// run its fused closures to the terminator, follow the exit edge.
+    /// Per-instruction work inside the closures mirrors the
+    /// pre-decoded step exactly (cache accounting, semantics, the
+    /// stateful timing model, branch statistics); only the retirement
+    /// counter is batched per block — and reconstructed on the fault
+    /// path, where `cpu.pc` parks on the faulting instruction just as
+    /// the interpretive cores leave it.
+    fn step_compiled(&mut self) -> Result<Instr, SimError> {
+        if self.compiled.is_none() {
+            // Defensive: `set_dispatch` builds the table; keep the
+            // invariant even if the mode was forced some other way.
+            let entry = self.index_of.get(&self.entry).copied().unwrap_or(NO_IDX);
+            self.compiled = Some(compiled::compile(&self.table, entry));
+        }
+        let pc = self.cpu.pc;
+        let cur = if self.cur != NO_IDX && self.table[self.cur as usize].pc == pc {
+            self.cur
+        } else {
+            *self.index_of.get(&pc).ok_or(SimError::PcInvalid { pc })?
+        };
+        // Mid-block entry (an indirect jump computed into the middle of
+        // a block, or a debugger-forced pc): the fused closures assume
+        // in-order execution from the block leader (their fetch
+        // prologue bakes in the block's line runs), so interpret
+        // instruction-by-instruction until dispatch lands back on a
+        // block leader. Rare by construction — every direct target and
+        // post-control instruction *is* a leader.
+        let off = {
+            let prog = self.compiled.as_ref().expect("compiled table built above");
+            prog.map.location(cur).offset
+        };
+        if off != 0 {
+            self.cur = cur;
+            return self.step_predecoded();
+        }
+        let Simulator {
+            compiled,
+            cpu,
+            mem,
+            io,
+            tstate,
+            cache,
+            cache_cfg,
+            model,
+            stats,
+            halted,
+            cur: cur_field,
+            index_of,
+            ..
+        } = self;
+        let prog = compiled.as_ref().expect("compiled table built above");
+        let blk = &prog.blocks[prog.map.location(cur).block as usize];
+        let mut hot = Hot {
+            cpu: &mut *cpu,
+            mem: &mut *mem,
+            io: &mut *io,
+            tstate: &mut *tstate,
+            cache: &mut *cache,
+            cache_cfg: *cache_cfg,
+            model,
+            stats: &mut *stats,
+            halted: &mut *halted,
+        };
+        let mut i = 0usize;
+        let exit = loop {
+            match (blk.ops[i])(&mut hot) {
+                Ok(Ctl::Next) => i += 1,
+                Ok(ctl) => break ctl,
+                Err(e) => {
+                    // The faulting instruction does not retire; the ops
+                    // before it already did everything but the batched
+                    // count.
+                    stats.instructions += i as u64;
+                    cpu.pc = blk.pcs[i];
+                    *cur_field = blk.first + i as u32;
+                    return Err(e);
+                }
+            }
+        };
+        stats.instructions += (i + 1) as u64;
+        let (next_pc, next_idx) = match exit {
+            Ctl::Next | Ctl::Fall => (blk.fall_pc, blk.fall_unit),
+            Ctl::Taken => (blk.target_pc, blk.taken_unit),
+            Ctl::Indirect(a) => (a, index_of.get(&a).copied().unwrap_or(NO_IDX)),
+        };
+        cpu.pc = next_pc;
+        *cur_field = next_idx;
+        Ok(blk.term)
     }
 
     /// The pre-decoded hot loop: index-chased dispatch over the flat
@@ -743,46 +871,71 @@ impl Simulator {
     }
 
     fn load(&mut self, addr: u32, kind: LdKind) -> Result<u32, SimError> {
-        if (IO_BASE..IO_END).contains(&addr) {
-            if let Some(dev) = &mut self.io {
-                let size = match kind {
-                    LdKind::B | LdKind::Bu => 1,
-                    LdKind::H | LdKind::Hu => 2,
-                    LdKind::W => 4,
-                };
-                let now = self.tstate.cycles();
-                return Ok(dev.io_read(now, addr, size));
-            }
-        }
-        Ok(match kind {
-            LdKind::B => self.mem.read_u8(addr)? as i8 as i32 as u32,
-            LdKind::Bu => self.mem.read_u8(addr)? as u32,
-            LdKind::H => self.mem.read_u16(addr)? as i16 as i32 as u32,
-            LdKind::Hu => self.mem.read_u16(addr)? as u32,
-            LdKind::W => self.mem.read_u32(addr)?,
-        })
+        route_load(&mut self.mem, &mut self.io, &self.tstate, addr, kind)
     }
 
     fn store(&mut self, addr: u32, kind: StKind, value: u32) -> Result<(), SimError> {
-        if (IO_BASE..IO_END).contains(&addr) {
-            if let Some(dev) = &mut self.io {
-                let size = match kind {
-                    StKind::B => 1,
-                    StKind::H => 2,
-                    StKind::W => 4,
-                };
-                let now = self.tstate.cycles();
-                dev.io_write(now, addr, size, value);
-                return Ok(());
-            }
-        }
-        match kind {
-            StKind::B => self.mem.write_u8(addr, value as u8)?,
-            StKind::H => self.mem.write_u16(addr, value as u16)?,
-            StKind::W => self.mem.write_u32(addr, value)?,
-        }
-        Ok(())
+        route_store(&mut self.mem, &mut self.io, &self.tstate, addr, kind, value)
     }
+}
+
+/// Routes a data load to memory or the I/O window — the one load path
+/// shared by every dispatch core (the compiled closures call it
+/// directly, so routing semantics cannot drift between modes).
+pub(crate) fn route_load(
+    mem: &mut Memory,
+    io: &mut Option<Box<dyn IoDevice>>,
+    tstate: &TimingState,
+    addr: u32,
+    kind: LdKind,
+) -> Result<u32, SimError> {
+    if (IO_BASE..IO_END).contains(&addr) {
+        if let Some(dev) = io {
+            let size = match kind {
+                LdKind::B | LdKind::Bu => 1,
+                LdKind::H | LdKind::Hu => 2,
+                LdKind::W => 4,
+            };
+            let now = tstate.cycles();
+            return Ok(dev.io_read(now, addr, size));
+        }
+    }
+    Ok(match kind {
+        LdKind::B => mem.read_u8(addr)? as i8 as i32 as u32,
+        LdKind::Bu => mem.read_u8(addr)? as u32,
+        LdKind::H => mem.read_u16(addr)? as i16 as i32 as u32,
+        LdKind::Hu => mem.read_u16(addr)? as u32,
+        LdKind::W => mem.read_u32(addr)?,
+    })
+}
+
+/// Store twin of [`route_load`].
+pub(crate) fn route_store(
+    mem: &mut Memory,
+    io: &mut Option<Box<dyn IoDevice>>,
+    tstate: &TimingState,
+    addr: u32,
+    kind: StKind,
+    value: u32,
+) -> Result<(), SimError> {
+    if (IO_BASE..IO_END).contains(&addr) {
+        if let Some(dev) = io {
+            let size = match kind {
+                StKind::B => 1,
+                StKind::H => 2,
+                StKind::W => 4,
+            };
+            let now = tstate.cycles();
+            dev.io_write(now, addr, size, value);
+            return Ok(());
+        }
+    }
+    match kind {
+        StKind::B => mem.write_u8(addr, value as u8)?,
+        StKind::H => mem.write_u16(addr, value as u16)?,
+        StKind::W => mem.write_u32(addr, value)?,
+    }
+    Ok(())
 }
 
 impl ExecutionEngine for Simulator {
@@ -1084,21 +1237,27 @@ mod tests {
     }
 
     /// Every observable — registers, stats, cycles, fault shape — must
-    /// be identical between the two dispatch cores.
+    /// be identical across all three dispatch cores at the halt.
     fn diff_modes(src: &str) {
         let elf = assemble(src).expect("assembles");
         let mut fast = Simulator::new(&elf).expect("loads");
-        let mut naive = Simulator::new(&elf).expect("loads");
-        naive.set_dispatch(DispatchMode::Naive);
+        let run_as = |mode: DispatchMode| {
+            let mut sim = Simulator::new(&elf).expect("loads");
+            sim.set_dispatch(mode);
+            let r = sim.run(1_000_000);
+            (r, sim)
+        };
         let rf = fast.run(1_000_000);
-        let rn = naive.run(1_000_000);
-        assert_eq!(rf, rn, "run results diverge");
-        assert_eq!(fast.stats(), naive.stats(), "stats diverge");
-        for i in 0..16 {
-            assert_eq!(fast.cpu.d(i), naive.cpu.d(i), "d{i}");
-            assert_eq!(fast.cpu.a(i), naive.cpu.a(i), "a{i}");
+        for mode in [DispatchMode::Naive, DispatchMode::Compiled] {
+            let (rm, sim) = run_as(mode);
+            assert_eq!(rf, rm, "{mode:?}: run results diverge");
+            assert_eq!(fast.stats(), sim.stats(), "{mode:?}: stats diverge");
+            for i in 0..16 {
+                assert_eq!(fast.cpu.d(i), sim.cpu.d(i), "{mode:?}: d{i}");
+                assert_eq!(fast.cpu.a(i), sim.cpu.a(i), "{mode:?}: a{i}");
+            }
+            assert_eq!(fast.cpu.pc, sim.cpu.pc, "{mode:?}: pc");
         }
-        assert_eq!(fast.cpu.pc, naive.cpu.pc);
     }
 
     #[test]
@@ -1122,9 +1281,91 @@ mod tests {
     }
 
     #[test]
+    fn compiled_blocks_retire_and_fault_like_the_interpreter() {
+        // Block granularity: one step retires the whole entry block.
+        let elf = assemble(".text\n_start: mov %d1, 1\nmov %d2, 2\nmov %d3, 3\ndebug\n").unwrap();
+        let mut sim = Simulator::new(&elf).unwrap();
+        sim.set_dispatch(DispatchMode::Compiled);
+        let term = sim.step().unwrap();
+        assert!(matches!(term, Instr::Debug16), "step reports the terminator");
+        assert_eq!(sim.stats().instructions, 4, "whole block retired");
+        assert!(sim.is_halted());
+
+        // A memory fault mid-block parks pc on the faulting instruction
+        // and counts only the completed prefix — like the interpreter.
+        // Misaligned word load faults mid-block.
+        let elf = assemble(
+            ".text\n_start: mov %d1, 7\nmovh.a %a2, 0x4000\nld.w %d3, [%a2]1\nmov %d4, 9\ndebug\n",
+        )
+        .unwrap();
+        let run = |mode: DispatchMode| {
+            let mut sim = Simulator::new(&elf).unwrap();
+            sim.set_dispatch(mode);
+            let err = loop {
+                match sim.step() {
+                    Ok(_) => {}
+                    Err(e) => break e,
+                }
+            };
+            (err, sim.cpu.pc, sim.stats())
+        };
+        let (ep, pp, sp) = run(DispatchMode::Predecoded);
+        let (ec, pc, sc) = run(DispatchMode::Compiled);
+        assert_eq!(ep, ec, "fault kind");
+        assert_eq!(pp, pc, "fault pc");
+        assert_eq!(sp, sc, "stats at the fault");
+        assert!(matches!(ep, SimError::Mem(_)));
+    }
+
+    #[test]
+    fn compiled_enters_blocks_mid_way_after_indirect_jumps() {
+        // `ji` computed to land in the *middle* of the body block: the
+        // compiled core must enter at the offset, not the leader.
+        let src = "
+            .text
+        _start:
+            movh.a %a2, hi:mid
+            lea  %a2, [%a2]lo:mid
+            ji   %a2
+        body:
+            mov %d1, 1
+        mid:
+            mov %d2, 2
+            mov %d3, 3
+            debug
+        ";
+        // `mid` is a symbol, which makes it a leader on the translator's
+        // CFG — but the engine's block map only splits at control flow,
+        // so force a mid-block landing by computing the address.
+        let elf = assemble(src).unwrap();
+        for mode in [DispatchMode::Predecoded, DispatchMode::Compiled] {
+            let mut sim = Simulator::new(&elf).unwrap();
+            sim.set_dispatch(mode);
+            sim.run(100).unwrap();
+            assert_eq!(sim.cpu.d(1), 0, "{mode:?}: skipped prefix must not run");
+            assert_eq!(sim.cpu.d(2), 2, "{mode:?}");
+            assert_eq!(sim.cpu.d(3), 3, "{mode:?}");
+        }
+        let stats = |mode: DispatchMode| {
+            let mut sim = Simulator::new(&elf).unwrap();
+            sim.set_dispatch(mode);
+            sim.run(100).unwrap();
+            sim.stats()
+        };
+        assert_eq!(
+            stats(DispatchMode::Predecoded),
+            stats(DispatchMode::Compiled)
+        );
+    }
+
+    #[test]
     fn naive_mode_faults_identically() {
         let elf = assemble(".text\n_start: ji %a0\n").unwrap();
-        for mode in [DispatchMode::Predecoded, DispatchMode::Naive] {
+        for mode in [
+            DispatchMode::Predecoded,
+            DispatchMode::Compiled,
+            DispatchMode::Naive,
+        ] {
             let mut sim = Simulator::new(&elf).unwrap();
             sim.set_dispatch(mode);
             sim.cpu.set_a(0, 0x1234_0000);

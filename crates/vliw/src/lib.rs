@@ -44,6 +44,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub(crate) mod compiled;
 pub mod encode;
 pub mod isa;
 pub mod sim;

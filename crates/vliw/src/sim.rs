@@ -10,8 +10,8 @@
 //!
 //! # Dispatch modes
 //!
-//! Like the golden model, the VLIW core has two dispatch paths selected
-//! by [`VliwDispatch`]:
+//! Like the golden model, the VLIW core has three dispatch paths
+//! selected by [`VliwDispatch`]:
 //!
 //! * [`VliwDispatch::Predecoded`] (default) flattens the packet list
 //!   once at load into a slot arena with precomputed slot addresses,
@@ -19,13 +19,24 @@
 //!   loop dispatches by index, copies `Copy` slots out of the arena and
 //!   reuses one staging buffer — no per-packet clone, no linear scans,
 //!   no address hashing on the fall-through path.
+//! * [`VliwDispatch::Compiled`] fuses every execute packet into a run
+//!   of specialized slot closures at load (operands, predication
+//!   guards, staged-write latencies and branch destinations captured
+//!   as constants), organized by the shared
+//!   [`cabt_exec::blocks::BlockMap`] partition. Dispatch stays
+//!   packet-granular — branch shadows retire between any two packets,
+//!   and the debugger's single-step contract needs packet boundaries —
+//!   so this core is bit-identical to the pre-decoded one at *every*
+//!   packet.
 //! * [`VliwDispatch::Naive`] is the retained seed interpreter (clone
 //!   the packet, scan for slot positions, hash branch targets), kept as
 //!   the reference half of the differential tests.
 //!
-//! Both paths are cycle- and state-identical.
+//! All paths are cycle- and state-identical.
 
+use crate::compiled::{self, CompiledProgram, VHot};
 use crate::isa::{Op, Packet, Reg, Slot, Width};
+use cabt_exec::blocks::BlockMap;
 use cabt_exec::{EngineStats, ExecutionEngine};
 use cabt_isa::mem::Memory;
 use cabt_isa::IsaError;
@@ -112,34 +123,39 @@ pub enum VliwDispatch {
     /// Decode-once flattened-arena dispatch.
     #[default]
     Predecoded,
+    /// Closure-compiled dispatch: packets fused into specialized slot
+    /// closures at load, still dispatched one packet per step (see the
+    /// crate docs — bit-identical to the pre-decoded core at every
+    /// packet).
+    Compiled,
     /// The retained seed interpreter (per-packet clone and scans).
     Naive,
 }
 
 /// Sentinel for "no packet index".
-const NO_IDX: u32 = u32::MAX;
+pub(crate) const NO_IDX: u32 = u32::MAX;
 
 /// Pre-decoded per-packet record: issue cost plus the slice of the slot
 /// arena this packet owns.
 #[derive(Debug, Clone, Copy)]
-struct PrePacket {
-    issue: u32,
-    first_slot: u32,
-    nslots: u32,
+pub(crate) struct PrePacket {
+    pub(crate) issue: u32,
+    pub(crate) first_slot: u32,
+    pub(crate) nslots: u32,
 }
 
 /// Pre-decoded slot: the (Copy) slot plus its address and, for static
 /// branches, the resolved destination packet index.
 #[derive(Debug, Clone, Copy)]
-struct PreSlot {
-    slot: Slot,
+pub(crate) struct PreSlot {
+    pub(crate) slot: Slot,
     /// Target-space address of this slot (packet base + 8·position).
-    slot_addr: u32,
+    pub(crate) slot_addr: u32,
     /// Destination packet index for `B` (NO_IDX when unresolved or not
     /// a static branch).
-    b_idx: u32,
+    pub(crate) b_idx: u32,
     /// Cached [`Op::delay_slots`] of the slot's operation.
-    delay: u32,
+    pub(crate) delay: u32,
 }
 
 /// Resumable image of the VLIW core's mutable state — registers, data
@@ -177,6 +193,9 @@ pub struct VliwSim {
     pre: Vec<PrePacket>,
     /// Flattened slot arena for the pre-decoded path.
     pre_slots: Vec<PreSlot>,
+    /// Closure-compiled packet table (built on first selection of
+    /// [`VliwDispatch::Compiled`]; a load-time constant afterwards).
+    compiled: Option<CompiledProgram>,
     pc: usize,
     cycle: u64,
     pending_writes: Vec<(u64, Reg, u32)>,
@@ -258,6 +277,7 @@ impl VliwSim {
             index,
             pre,
             pre_slots,
+            compiled: None,
             pc: 0,
             cycle: 0,
             pending_writes: Vec::new(),
@@ -290,14 +310,31 @@ impl VliwSim {
         self.bus.take()
     }
 
-    /// Selects the dispatch core (pre-decoded by default).
+    /// Selects the dispatch core (pre-decoded by default). Selecting
+    /// [`VliwDispatch::Compiled`] for the first time fuses the packet
+    /// table into specialized slot closures (a one-off load-time cost,
+    /// like the pre-decode flattening itself).
     pub fn set_dispatch(&mut self, mode: VliwDispatch) {
         self.mode = mode;
+        if mode == VliwDispatch::Compiled && self.compiled.is_none() {
+            self.compiled = Some(compiled::compile(&self.pre, &self.pre_slots));
+        }
     }
 
     /// The dispatch core in use.
     pub fn dispatch(&self) -> VliwDispatch {
         self.mode
+    }
+
+    /// The basic-block partition of the packet table (leaders at branch
+    /// destinations and after branch packets) — the shared
+    /// [`cabt_exec::blocks::BlockMap`] view the compiled core is built
+    /// over. Builds the compiled table on first use.
+    pub fn block_map(&mut self) -> &BlockMap {
+        if self.compiled.is_none() {
+            self.compiled = Some(compiled::compile(&self.pre, &self.pre_slots));
+        }
+        &self.compiled.as_ref().expect("compiled above").map
     }
 
     /// Reads a register as the architecture would see it *now*
@@ -403,8 +440,84 @@ impl VliwSim {
     pub fn step_packet(&mut self) -> Result<(), VliwError> {
         match self.mode {
             VliwDispatch::Predecoded => self.step_packet_predecoded(),
+            VliwDispatch::Compiled => self.step_packet_compiled(),
             VliwDispatch::Naive => self.step_packet_naive(),
         }
+    }
+
+    /// The closure-compiled hot loop: the same prologue/epilogue as the
+    /// pre-decoded core, with the slot walk replaced by the packet's
+    /// fused closure run.
+    fn step_packet_compiled(&mut self) -> Result<(), VliwError> {
+        if self.compiled.is_none() {
+            // Defensive: `set_dispatch` builds the table.
+            self.compiled = Some(compiled::compile(&self.pre, &self.pre_slots));
+        }
+        if self.cycle >= self.next_due {
+            if self.pending_writes.len() == 1 {
+                // Overwhelmingly common case: one staged result, due now.
+                let (_, r, v) = self.pending_writes.pop().expect("len checked");
+                self.regs[r.index()] = v;
+                self.next_due = u64::MAX;
+            } else {
+                self.commit_due_writes();
+            }
+        }
+        self.redirect_if_due()?;
+
+        let pcv = self.pc;
+        if pcv >= self.pre.len() {
+            return Err(self.off_end_error());
+        }
+
+        let mut stall = 0u64;
+        let mut writes = std::mem::take(&mut self.scratch);
+        let mut branch: Option<(u32, u32)> = None;
+        let issue;
+        let result = {
+            let VliwSim {
+                compiled,
+                regs,
+                mem,
+                bus,
+                cycle,
+                halted,
+                stats,
+                ..
+            } = self;
+            let cp = &compiled.as_ref().expect("compiled table built above").packets[pcv];
+            issue = cp.issue;
+            let mut hot = VHot {
+                regs,
+                mem,
+                bus,
+                cycle: *cycle,
+                halted,
+                slots: &mut stats.slots,
+            };
+            let mut result = Ok(());
+            for slot in cp.slots.iter() {
+                if let Err(e) = slot(&mut hot, &mut writes, &mut stall, &mut branch) {
+                    result = Err(e);
+                    break;
+                }
+            }
+            result
+        };
+        if let Err(e) = result {
+            writes.clear();
+            self.scratch = writes;
+            return Err(e);
+        }
+
+        // End of packet: stage results (visible from the next cycle on).
+        for &(c, _, _) in &writes {
+            self.next_due = self.next_due.min(c);
+        }
+        self.pending_writes.append(&mut writes);
+        self.scratch = writes;
+
+        self.finish_packet(branch, issue, stall)
     }
 
     /// Redirects fetch if the pending branch's shadow has expired.
@@ -675,36 +788,64 @@ impl VliwSim {
         unsigned: bool,
         stall: &mut u64,
     ) -> Result<u32, VliwError> {
-        if let Some(bus) = &mut self.bus {
-            if bus.covers(addr) {
-                let (v, s) = bus.bus_read(self.cycle, addr, w.bytes());
-                *stall += s;
-                return Ok(v);
-            }
-        }
-        Ok(match (w, unsigned) {
-            (Width::B, false) => self.mem.read_u8(addr)? as i8 as i32 as u32,
-            (Width::B, true) => self.mem.read_u8(addr)? as u32,
-            (Width::H, false) => self.mem.read_u16(addr)? as i16 as i32 as u32,
-            (Width::H, true) => self.mem.read_u16(addr)? as u32,
-            (Width::W, _) => self.mem.read_u32(addr)?,
-        })
+        route_load(&mut self.mem, &mut self.bus, self.cycle, addr, w, unsigned, stall)
     }
 
     fn store(&mut self, addr: u32, w: Width, v: u32, stall: &mut u64) -> Result<(), VliwError> {
-        if let Some(bus) = &mut self.bus {
-            if bus.covers(addr) {
-                *stall += bus.bus_write(self.cycle, addr, w.bytes(), v);
-                return Ok(());
-            }
-        }
-        match w {
-            Width::B => self.mem.write_u8(addr, v as u8)?,
-            Width::H => self.mem.write_u16(addr, v as u16)?,
-            Width::W => self.mem.write_u32(addr, v)?,
-        }
-        Ok(())
+        route_store(&mut self.mem, &mut self.bus, self.cycle, addr, w, v, stall)
     }
+}
+
+/// Routes a data load to memory or the device bus — the one load path
+/// shared by every dispatch core (the compiled slot closures call it
+/// directly, so routing semantics cannot drift between modes).
+pub(crate) fn route_load(
+    mem: &mut Memory,
+    bus: &mut Option<Box<dyn TargetBus>>,
+    cycle: u64,
+    addr: u32,
+    w: Width,
+    unsigned: bool,
+    stall: &mut u64,
+) -> Result<u32, VliwError> {
+    if let Some(bus) = bus {
+        if bus.covers(addr) {
+            let (v, s) = bus.bus_read(cycle, addr, w.bytes());
+            *stall += s;
+            return Ok(v);
+        }
+    }
+    Ok(match (w, unsigned) {
+        (Width::B, false) => mem.read_u8(addr)? as i8 as i32 as u32,
+        (Width::B, true) => mem.read_u8(addr)? as u32,
+        (Width::H, false) => mem.read_u16(addr)? as i16 as i32 as u32,
+        (Width::H, true) => mem.read_u16(addr)? as u32,
+        (Width::W, _) => mem.read_u32(addr)?,
+    })
+}
+
+/// Store twin of [`route_load`].
+pub(crate) fn route_store(
+    mem: &mut Memory,
+    bus: &mut Option<Box<dyn TargetBus>>,
+    cycle: u64,
+    addr: u32,
+    w: Width,
+    v: u32,
+    stall: &mut u64,
+) -> Result<(), VliwError> {
+    if let Some(bus) = bus {
+        if bus.covers(addr) {
+            *stall += bus.bus_write(cycle, addr, w.bytes(), v);
+            return Ok(());
+        }
+    }
+    match w {
+        Width::B => mem.write_u8(addr, v as u8)?,
+        Width::H => mem.write_u16(addr, v as u16)?,
+        Width::W => mem.write_u32(addr, v)?,
+    }
+    Ok(())
 }
 
 impl ExecutionEngine for VliwSim {
@@ -1429,16 +1570,70 @@ mod tests {
             prog
         };
         let mut fast = VliwSim::new(build()).unwrap();
-        let mut naive = VliwSim::new(build()).unwrap();
-        naive.set_dispatch(VliwDispatch::Naive);
         let rf = fast.run(10_000).unwrap();
-        let rn = naive.run(10_000).unwrap();
-        assert_eq!(rf, rn, "stats diverge");
-        for i in 0..64u8 {
-            let r = Reg::from_index(i);
-            assert_eq!(fast.reg(r), naive.reg(r), "{r} diverged");
+        for mode in [VliwDispatch::Naive, VliwDispatch::Compiled] {
+            let mut other = VliwSim::new(build()).unwrap();
+            other.set_dispatch(mode);
+            let ro = other.run(10_000).unwrap();
+            assert_eq!(rf, ro, "{mode:?}: stats diverge");
+            for i in 0..64u8 {
+                let r = Reg::from_index(i);
+                assert_eq!(fast.reg(r), other.reg(r), "{mode:?}: {r} diverged");
+            }
+            assert_eq!(fast.cycle(), other.cycle(), "{mode:?}");
         }
-        assert_eq!(fast.cycle(), naive.cycle());
+    }
+
+    #[test]
+    fn block_map_partitions_at_branches_and_targets() {
+        // 0: mvk, 1: B -> 3, 2: mv (shadow, leads the next block),
+        // 3: halt (branch target, leads its own block).
+        let mut prog = program(vec![
+            vec![Slot::new(
+                Unit::S1,
+                Op::Mvk {
+                    d: Reg::a(1),
+                    imm16: 1,
+                },
+            )],
+            vec![Slot::new(Unit::S1, Op::B { disp21: 0 })], // patched below
+            vec![Slot::new(
+                Unit::L1,
+                Op::Mv {
+                    d: Reg::a(2),
+                    s: Reg::a(1),
+                },
+            )],
+            halt(),
+        ]);
+        let from = prog[1].addr;
+        let to = prog[3].addr;
+        prog[1] = {
+            let mut p = Packet::at(from);
+            p.push(Slot::new(
+                Unit::S1,
+                Op::B {
+                    disp21: ((to - from) / 4) as i32,
+                },
+            ))
+            .unwrap();
+            p
+        };
+        let mut sim = VliwSim::new(prog).unwrap();
+        let map = sim.block_map().clone();
+        // Blocks: [0,1] (ends at the branch packet), [2] (post-branch
+        // leader), [3] (branch target).
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.location(0).block, 0);
+        assert_eq!(map.location(1), cabt_exec::blocks::UnitLoc { block: 0, offset: 1 });
+        assert_eq!(map.location(2).block, 1);
+        assert_eq!(map.location(3).block, 2);
+        assert_eq!(map.blocks[0].taken, 2, "branch edge resolves to the target block");
+        assert_eq!(map.blocks[0].fall, 1, "branch shadows fall through");
+        // The map is the compiled core's view: the same sim still runs.
+        sim.set_dispatch(VliwDispatch::Compiled);
+        sim.run(100).unwrap();
+        assert!(sim.is_halted());
     }
 
     #[test]

@@ -21,25 +21,34 @@
 //! | crate | role |
 //! |---|---|
 //! | [`isa`] | memory model, ELF32 reader/writer, deterministic PRNG |
-//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator; single-core, sharded sequential and thread-parallel epoch drivers |
-//! | [`tricore`] | source ISA, assembler, cycle-accurate golden model |
-//! | [`vliw`] | target VLIW ISA, binary container format, simulator |
-//! | [`core`] | **the translator** (the paper's contribution) |
-//! | [`platform`] | synchronization device, snapshottable (and `Send`) SoC bus + peripherals, epoch-barrier shard arbiter with deterministic state merge |
+//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator; the shared basic-block layer (`exec::blocks`); single-core, sharded sequential and thread-parallel epoch drivers |
+//! | [`tricore`] | source ISA, assembler, cycle-accurate golden model (pre-decoded + block-compiled dispatch cores) |
+//! | [`vliw`] | target VLIW ISA, binary container format, simulator (pre-decoded + closure-compiled dispatch cores) |
+//! | [`core`] | **the translator** (the paper's contribution) — its CFG is a view over the shared block layer |
+//! | [`platform`] | synchronization device, snapshottable (and `Send`) SoC bus + peripherals, epoch-barrier shard arbiter with deterministic state merge and O(epoch) delta exchange for append-only devices |
 //! | [`rtlsim`] | event-driven RT-level baseline simulator |
 //! | [`sim`] | **the front door**: `SimBuilder`/`Session` over every execution vehicle, single-core or sharded |
 //! | [`debug`] | generic lockstep driver, dual-translation debugger + RSP packet layer |
 //! | [`workloads`] | the paper's benchmark programs (plus the multi-core `producer_consumer`) |
 //!
-//! Both interpretive simulators are **pre-decoded execution engines**:
-//! at load, the program is decoded once into a dense table whose
-//! entries carry their fall-through and branch-target *indices* (plus
-//! cached operand sets and timing records), so the hot loop is an
-//! index-chased dispatch over a flat `Vec` instead of a
-//! fetch→decode→match per step — ≥2× faster instruction/packet dispatch
-//! than the retained naive interpreters (kept behind
-//! `DispatchMode::Naive`/`VliwDispatch::Naive` and proven bit-identical
-//! by the `predecode_diff` differential suite).
+//! Execution comes in three dispatch tiers, all bit-identical and all
+//! selected as plain `Backend` data. The retained naive interpreters
+//! (`DispatchMode::Naive`/`VliwDispatch::Naive`) re-fetch through an
+//! address map per step and exist as differential references. The
+//! **pre-decoded engines** decode the whole image once at load into
+//! dense tables whose entries carry fall-through and branch-target
+//! *indices* plus cached operand sets and timing records — an
+//! index-chased dispatch ≥2× faster than the naive cores
+//! (`predecode_diff` proves bit-identity). The **block-compiled
+//! engines** (`DispatchMode::Compiled`/`VliwDispatch::Compiled`) go
+//! the paper's final step: the shared basic-block layer
+//! ([`cabt_exec::blocks`]) partitions the dispatch tables — the same
+//! partition the translator's CFG is built over — and every block is
+//! fused at load into a run of specialized closures (operands, fetch
+//! line runs and timing classes captured as constants), dispatched
+//! block-at-a-time on the golden model for another ~1.5–2×
+//! over the pre-decoded core (`BENCH_fig5.json`), bit-identical at
+//! every block boundary (`tests/compiled_diff.rs`).
 //!
 //! Every vehicle — the golden model, the translated platform, *and* the
 //! RTL core — implements [`cabt_exec::ExecutionEngine`], including its
@@ -109,6 +118,15 @@
 //!     jnz  %d0, fact
 //!     debug
 //! "#;
+//!
+//! // Every production vehicle answers the same way — golden and
+//! // translated on both the pre-decoded and the block-compiled
+//! // dispatch cores, plus the RTL baseline:
+//! for backend in Backend::all() {
+//!     let mut s = SimBuilder::asm(src).backend(backend).build()?;
+//!     s.run(Limit::Cycles(1_000_000))?;
+//!     assert_eq!(s.read_d(2), 720, "{backend}"); // 6!
+//! }
 //!
 //! // The golden model (the paper's evaluation board) is one backend...
 //! let mut board = SimBuilder::asm(src).backend(Backend::golden()).build()?;

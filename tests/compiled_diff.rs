@@ -1,0 +1,300 @@
+//! Differential proof that the block-/closure-compiled dispatch cores
+//! are bit-identical to the pre-decoded engines — the acceptance gate
+//! of the block-compiled execution layer.
+//!
+//! The golden model's compiled core dispatches whole basic blocks, so
+//! it is compared at block boundaries (and at the halt); the VLIW
+//! compiled core stays packet-granular and is compared after every
+//! packet. Both are swept over every bundled workload, PRNG-randomized
+//! programs, and the fault paths (mid-block memory faults, indirect
+//! jumps out of the image).
+
+use cabt::prelude::*;
+use cabt_exec::ExecutionEngine;
+use cabt_isa::elf::SectionKind;
+use cabt_isa::rng::Pcg32;
+use cabt_tricore::sim::{DispatchMode, SimError, Simulator};
+use cabt_vliw::sim::VliwDispatch;
+use std::fmt::Write as _;
+
+/// All bundled workloads (the Fig. 5 set plus the Table 2 set).
+fn all_workloads() -> Vec<Workload> {
+    let mut ws = cabt::workloads::fig5_set();
+    ws.extend(cabt::workloads::table2_set());
+    ws
+}
+
+/// Asserts every observable of two golden-model runs is equal.
+fn assert_tricore_equal(name: &str, a: &mut Simulator, b: &mut Simulator) {
+    assert_eq!(a.stats(), b.stats(), "{name}: stats diverged");
+    assert_eq!(a.is_halted(), b.is_halted(), "{name}: halt flag");
+    assert_eq!(a.cpu.pc, b.cpu.pc, "{name}: pc");
+    for i in 0..16 {
+        assert_eq!(a.cpu.d(i), b.cpu.d(i), "{name}: d{i}");
+        assert_eq!(a.cpu.a(i), b.cpu.a(i), "{name}: a{i}");
+    }
+}
+
+fn assert_memory_equal(
+    name: &str,
+    elf: &cabt_isa::elf::ElfFile,
+    a: &mut Simulator,
+    b: &mut Simulator,
+) {
+    for s in &elf.sections {
+        if matches!(s.kind, SectionKind::Data | SectionKind::Bss) && s.size > 0 {
+            let ma = a.read_mem(s.addr, s.size as usize).expect("readable");
+            let mb = b.read_mem(s.addr, s.size as usize).expect("readable");
+            assert_eq!(ma, mb, "{name}: section {} contents diverged", s.name);
+        }
+    }
+}
+
+#[test]
+fn tricore_compiled_is_bit_identical_on_all_workloads() {
+    for w in all_workloads() {
+        let elf = w.elf().expect("assembles");
+        let mut pre = Simulator::new(&elf).expect("loads");
+        let mut comp = Simulator::new(&elf).expect("loads");
+        comp.set_dispatch(DispatchMode::Compiled);
+        let rp = pre.run(500_000_000).expect("halts");
+        let rc = comp.run(500_000_000).expect("halts");
+        assert_eq!(rp, rc, "{}: final stats", w.name);
+        assert_eq!(comp.cpu.d(2), w.expected_d2, "{}: checksum", w.name);
+        assert_tricore_equal(w.name, &mut pre, &mut comp);
+        assert_memory_equal(w.name, &elf, &mut pre, &mut comp);
+    }
+}
+
+/// Block-boundary lockstep: step the compiled core one *block*, run the
+/// pre-decoded core to the same retirement count, and demand identical
+/// state at every boundary — a divergence is pinned to the block that
+/// introduced it.
+#[test]
+fn tricore_compiled_agrees_at_every_block_boundary() {
+    for w in [cabt::workloads::gcd(6, 11), cabt::workloads::sieve(60)] {
+        let elf = w.elf().expect("assembles");
+        let mut pre = Simulator::new(&elf).expect("loads");
+        let mut comp = Simulator::new(&elf).expect("loads");
+        comp.set_dispatch(DispatchMode::Compiled);
+        let mut blocks = 0u64;
+        while !comp.is_halted() && blocks < 20_000 {
+            comp.step().expect("compiled steps");
+            let boundary = comp.stats().instructions;
+            while pre.stats().instructions < boundary {
+                pre.step().expect("predecoded steps");
+            }
+            assert_tricore_equal(
+                &format!("{} block {blocks}", w.name),
+                &mut pre,
+                &mut comp,
+            );
+            blocks += 1;
+        }
+        assert!(comp.is_halted(), "{}: did not halt in bounds", w.name);
+        assert!(pre.is_halted());
+    }
+}
+
+#[test]
+fn vliw_compiled_is_packet_lockstep_identical_on_all_workloads() {
+    for w in all_workloads() {
+        let elf = w.elf().expect("assembles");
+        for level in [DetailLevel::Static, DetailLevel::Cache] {
+            let t = Translator::new(level).translate(&elf).expect("translates");
+            let run = |mode: VliwDispatch| {
+                let mut p = Platform::new(&t, PlatformConfig::unlimited()).expect("builds");
+                p.set_dispatch(mode);
+                let stats = p.run(5_000_000_000).expect("halts");
+                let regs: Vec<u32> = (0..64).map(|i| p.sim().read_reg_index(i)).collect();
+                (stats, regs, p.sim().stats())
+            };
+            let (sp, rp, vp) = run(VliwDispatch::Predecoded);
+            let (sc, rc, vc) = run(VliwDispatch::Compiled);
+            assert_eq!(sp, sc, "{} level {level}: platform stats diverged", w.name);
+            assert_eq!(vp, vc, "{} level {level}: engine stats diverged", w.name);
+            assert_eq!(rp, rc, "{} level {level}: register file diverged", w.name);
+        }
+    }
+}
+
+/// The VLIW compiled core keeps packet granularity, so the comparison
+/// can be made after *every* packet, pending pipeline state included.
+#[test]
+fn vliw_compiled_agrees_after_every_packet() {
+    let w = cabt::workloads::gcd(6, 11);
+    let elf = w.elf().expect("assembles");
+    let t = Translator::new(DetailLevel::Static)
+        .translate(&elf)
+        .expect("translates");
+    let mut pre = t.make_sim().expect("builds");
+    let mut comp = t.make_sim().expect("builds");
+    comp.set_dispatch(VliwDispatch::Compiled);
+    let mut packets = 0u64;
+    while !pre.is_halted() && packets < 50_000 {
+        pre.step_packet().expect("predecoded steps");
+        comp.step_packet().expect("compiled steps");
+        assert_eq!(pre.cycle(), comp.cycle(), "cycle at packet {packets}");
+        assert_eq!(pre.pc_addr(), comp.pc_addr(), "pc at packet {packets}");
+        for i in 0..64 {
+            assert_eq!(
+                pre.read_reg_index(i),
+                comp.read_reg_index(i),
+                "reg {i} at packet {packets}"
+            );
+        }
+        packets += 1;
+    }
+    assert!(pre.is_halted(), "did not halt in bounds");
+    assert!(comp.is_halted());
+}
+
+#[test]
+fn random_programs_agree_in_compiled_mode() {
+    let mut rng = Pcg32::seed_from_u64(0xb10c);
+    for case in 0..40 {
+        let mut src = String::from(".text\n_start:\n");
+        for _ in 0..rng.random_range(1..12) {
+            let d = rng.random_range(0..8);
+            let s = rng.random_range(0..8);
+            match rng.below(4) {
+                0 => {
+                    let _ = writeln!(
+                        src,
+                        "    mov %d{d}, {}",
+                        rng.random_range(0..128) as i32 - 64
+                    );
+                }
+                1 => {
+                    let _ = writeln!(src, "    add %d{d}, %d{d}, %d{s}");
+                }
+                2 => {
+                    let _ = writeln!(src, "    mul %d{d}, %d{d}, %d{s}");
+                }
+                _ => {
+                    let _ = writeln!(
+                        src,
+                        "    xor %d{d}, %d{s}, {}",
+                        rng.random_range(0..256) as i32 - 128
+                    );
+                }
+            }
+        }
+        let n = rng.random_range(1..9);
+        let _ = writeln!(src, "    mov %d9, {n}");
+        src.push_str(
+            "loop_top:\n    call leaf\n    addi %d9, %d9, -1\n    jnz %d9, loop_top\n    debug\n",
+        );
+        src.push_str("leaf:\n    addi %d10, %d10, 3\n    ret\n");
+
+        let elf = cabt_tricore::asm::assemble(&src).expect("assembles");
+        let mut pre = Simulator::new(&elf).expect("loads");
+        let mut comp = Simulator::new(&elf).expect("loads");
+        comp.set_dispatch(DispatchMode::Compiled);
+        let rp = pre.run(100_000).expect("halts");
+        let rc = comp.run(100_000).expect("halts");
+        assert_eq!(rp, rc, "case {case}: stats diverged");
+        assert_tricore_equal(&format!("case {case}"), &mut pre, &mut comp);
+    }
+}
+
+#[test]
+fn fault_behaviour_matches_the_interpreter() {
+    // Indirect jump to nowhere: same error, same state, same step where
+    // it surfaces (block boundaries coincide here — the `ji` ends its
+    // block).
+    let elf = cabt_tricore::asm::assemble(".text\n_start: mov %d1, 2\nji %a5\n").unwrap();
+    let run = |mode: DispatchMode| {
+        let mut sim = Simulator::new(&elf).unwrap();
+        sim.set_dispatch(mode);
+        sim.cpu.set_a(5, 0xbad0_0000);
+        let err = loop {
+            match sim.step() {
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        (err, sim.cpu.pc, sim.stats())
+    };
+    let (ep, pp, sp) = run(DispatchMode::Predecoded);
+    let (ec, pc, sc) = run(DispatchMode::Compiled);
+    assert_eq!(ep, ec);
+    assert_eq!(pp, pc);
+    assert_eq!(sp, sc);
+    assert!(matches!(ep, SimError::PcInvalid { pc: 0xbad0_0000 }));
+
+    // Mid-block memory fault: pc parks on the faulting instruction,
+    // the completed prefix retired, the faulting op did not.
+    let elf = cabt_tricore::asm::assemble(
+        ".text\n_start: mov %d1, 1\nmovh.a %a2, 0x4000\nld.w %d3, [%a2]2\nmov %d4, 4\ndebug\n",
+    )
+    .unwrap();
+    let run = |mode: DispatchMode| {
+        let mut sim = Simulator::new(&elf).unwrap();
+        sim.set_dispatch(mode);
+        let err = loop {
+            match sim.step() {
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        (err, sim.cpu.pc, sim.cpu.d(1), sim.cpu.d(4), sim.stats())
+    };
+    assert_eq!(run(DispatchMode::Predecoded), run(DispatchMode::Compiled));
+}
+
+#[test]
+fn engine_trait_reports_identical_counters() {
+    let w = cabt::workloads::fir(8, 64, 5);
+    let elf = w.elf().expect("assembles");
+    let collect = |mode: DispatchMode| {
+        let mut sim = Simulator::new(&elf).expect("loads");
+        sim.set_dispatch(mode);
+        sim.run(10_000_000).expect("halts");
+        sim.engine_stats()
+    };
+    assert_eq!(
+        collect(DispatchMode::Predecoded),
+        collect(DispatchMode::Compiled)
+    );
+}
+
+/// The compiled backends drive through `cabt-sim` sessions like any
+/// other: same checksums, same counters as their pre-decoded twins at
+/// the halt.
+#[test]
+fn compiled_sessions_match_predecoded_sessions() {
+    for w in all_workloads() {
+        let pairs: [(Backend, Backend); 2] = [
+            (Backend::golden(), Backend::golden_compiled()),
+            (
+                Backend::translated(DetailLevel::Static),
+                Backend::translated_compiled(DetailLevel::Static),
+            ),
+        ];
+        for (pre, comp) in pairs {
+            let drive = |backend: Backend| {
+                let mut s = SimBuilder::workload(&w).backend(backend).build().unwrap();
+                s.run(Limit::Cycles(u64::MAX)).unwrap();
+                (s.stats(), s.read_d(2))
+            };
+            assert_eq!(drive(pre), drive(comp), "{}: {pre} vs {comp}", w.name);
+        }
+    }
+}
+
+/// Reset and rerun reproduces the compiled run exactly (the compiled
+/// table is a load-time constant; reset touches only mutable state).
+#[test]
+fn compiled_reset_reproduces_the_run() {
+    let w = cabt::workloads::sieve(200);
+    let elf = w.elf().expect("assembles");
+    let mut sim = Simulator::new(&elf).expect("loads");
+    sim.set_dispatch(DispatchMode::Compiled);
+    sim.run(10_000_000).expect("halts");
+    let first = sim.stats();
+    assert_eq!(sim.cpu.d(2), w.expected_d2);
+    sim.reset();
+    sim.run(10_000_000).expect("halts again");
+    assert_eq!(sim.stats(), first, "compiled rerun after reset diverged");
+}

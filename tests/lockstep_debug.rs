@@ -9,8 +9,13 @@ use cabt_tricore::sim::Simulator;
 
 fn lockstep(w: &Workload, steps: usize) {
     let elf = w.elf().expect("assembles");
+    let dbg = DebugSession::new(&elf).expect("session builds");
+    lockstep_against(w, steps, dbg);
+}
+
+fn lockstep_against(w: &Workload, steps: usize, mut dbg: DebugSession) {
+    let elf = w.elf().expect("assembles");
     let mut gold = Simulator::new(&elf).expect("golden loads");
-    let mut dbg = DebugSession::new(&elf).expect("session builds");
 
     for n in 0..steps {
         if gold.is_halted() {
@@ -86,4 +91,39 @@ fn sieve_lockstep() {
 #[test]
 fn fibonacci_lockstep() {
     lockstep(&cabt::workloads::fibonacci(3, 10), 300);
+}
+
+/// The lockstep debugger drives the closure-compiled VLIW core
+/// unchanged: compiled dispatch stays packet-granular, so the
+/// per-instruction translation still stops at every source address.
+#[test]
+fn lockstep_drives_the_compiled_vliw_core() {
+    for w in [cabt::workloads::gcd(4, 21), cabt::workloads::sieve(40)] {
+        let elf = w.elf().expect("assembles");
+        let dbg = DebugSession::from_builder(
+            SimBuilder::elf(elf).backend(Backend::translated_compiled(DetailLevel::Static)),
+        )
+        .expect("compiled debug session builds");
+        lockstep_against(&w, 500, dbg);
+    }
+}
+
+/// Breakpoints hit at the same source addresses on the compiled core.
+#[test]
+fn breakpoints_work_on_the_compiled_core() {
+    let elf = assemble(
+        ".text\n_start: mov %d1, 1\nmid: mov %d2, 2\n add %d2, %d1\n debug\n",
+    )
+    .expect("assembles");
+    let mid = elf.symbol("mid").expect("symbol").value;
+    let mut dbg = DebugSession::from_builder(
+        SimBuilder::elf(elf).backend(Backend::translated_compiled(DetailLevel::Static)),
+    )
+    .expect("builds");
+    dbg.set_breakpoint(mid).expect("source address");
+    assert_eq!(dbg.cont().expect("runs"), StopReason::Breakpoint(mid));
+    assert_eq!(dbg.read_reg("d1").expect("readable"), 1);
+    dbg.step().expect("steps");
+    assert_eq!(dbg.read_reg("d2").expect("readable"), 2);
+    assert_eq!(dbg.cont().expect("runs"), StopReason::Halted);
 }

@@ -114,7 +114,9 @@ fn producer_consumer_is_schedule_independent_at_2_4_8_shards() {
     for cores in [2u8, 4, 8] {
         for base in [
             Backend::golden(),
+            Backend::golden_compiled(),
             Backend::translated(DetailLevel::Static),
+            Backend::translated_compiled(DetailLevel::Static),
             Backend::translated(DetailLevel::Cache),
         ] {
             assert_schedules_agree("producer_consumer", &w, cores, base, BUDGET);
@@ -189,7 +191,11 @@ fn partial_runs_and_retirement_budgets_are_schedule_independent() {
     // Mid-flight equivalence: the schedulers must agree not only at
     // halt but at every budget boundary, under both budget kinds.
     let w = cabt_workloads::by_name("producer_consumer").unwrap();
-    for base in [Backend::golden(), Backend::translated(DetailLevel::Static)] {
+    for base in [
+        Backend::golden(),
+        Backend::golden_compiled(),
+        Backend::translated(DetailLevel::Static),
+    ] {
         for limit in [
             Limit::Cycles(500),
             Limit::Cycles(10_000),
@@ -273,7 +279,12 @@ fn randomized_spmd_programs_are_schedule_independent() {
         let seed = 0x5eed_0000 + case;
         let src = random_spmd_program(seed);
         for cores in [2u8, 4] {
-            for base in [Backend::golden(), Backend::translated(DetailLevel::Static)] {
+            for base in [
+                Backend::golden(),
+                Backend::golden_compiled(),
+                Backend::translated(DetailLevel::Static),
+                Backend::translated_compiled(DetailLevel::Static),
+            ] {
                 let drive = |schedule: ShardSchedule| {
                     let mut s = SimBuilder::asm(src.clone())
                         .backend(Backend::sharded_with_schedule(cores, base, schedule))

@@ -21,20 +21,42 @@ top:
     debug
 ";
 
-/// Every backend variant, including both dispatch cores of each
-/// dispatch-mode-capable engine.
+/// Every backend variant, including every dispatch core of each
+/// dispatch-mode-capable engine (the naive references too).
 fn all_backends() -> Vec<Backend> {
     let mut v = Vec::new();
-    for dispatch in [DispatchMode::Predecoded, DispatchMode::Naive] {
+    for dispatch in [
+        DispatchMode::Predecoded,
+        DispatchMode::Compiled,
+        DispatchMode::Naive,
+    ] {
         v.push(Backend::Golden { dispatch });
     }
     for level in DetailLevel::ALL {
-        for dispatch in [VliwDispatch::Predecoded, VliwDispatch::Naive] {
+        for dispatch in [
+            VliwDispatch::Predecoded,
+            VliwDispatch::Compiled,
+            VliwDispatch::Naive,
+        ] {
             v.push(Backend::Translated { level, dispatch });
         }
     }
     v.push(Backend::Rtl);
     v
+}
+
+/// True for engines whose dispatch unit is a whole basic block: their
+/// budget checks happen between blocks, so an unmet budget may be
+/// overshot into the end of the current block (documented on
+/// `DispatchMode::Compiled`). Every *met-at-entry* semantic below is
+/// identical regardless.
+fn block_granular(backend: Backend) -> bool {
+    matches!(
+        backend,
+        Backend::Golden {
+            dispatch: DispatchMode::Compiled
+        }
+    )
 }
 
 fn session(backend: Backend) -> Session {
@@ -75,7 +97,14 @@ fn already_met_limits_return_limit_without_stepping() {
             "{backend}"
         );
         let before = s.stats();
-        assert_eq!(before.retired, 3, "{backend}: retirement budgets are exact");
+        if block_granular(backend) {
+            assert!(
+                before.retired >= 3,
+                "{backend}: block-granular budgets stop at the next boundary"
+            );
+        } else {
+            assert_eq!(before.retired, 3, "{backend}: retirement budgets are exact");
+        }
         for limit in [
             Limit::Retirements(3),
             Limit::Retirements(1),

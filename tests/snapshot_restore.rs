@@ -65,13 +65,19 @@ fn diff_snapshot<E: ExecutionEngine>(label: &str, e: &mut E, k: u64, n: u64, win
         StopCause::LimitReached,
         "{label}: warm-up must not halt (pick a smaller k)"
     );
+    // Block-granular engines (the golden compiled core) may overshoot a
+    // retirement budget into the end of the current block; the snapshot
+    // contract is about rewinding to wherever the warm-up *actually*
+    // stopped.
+    let at = e.engine_stats().retired;
+    assert!(at >= k, "{label}: warm-up fell short of its budget");
     let snap = e.snapshot();
     e.run_until(Limit::Retirements(k + n)).expect("runs");
     let first = observe(e, win);
     e.restore(&snap);
     assert_eq!(
         e.engine_stats().retired,
-        k,
+        at,
         "{label}: restore must rewind the retirement counter"
     );
     e.run_until(Limit::Retirements(k + n)).expect("replays");
@@ -102,10 +108,14 @@ fn data_windows(elf: &cabt_isa::elf::ElfFile) -> Vec<(u32, usize)> {
 }
 
 #[test]
-fn golden_model_snapshot_is_bit_identical_in_both_dispatch_modes() {
+fn golden_model_snapshot_is_bit_identical_in_every_dispatch_mode() {
     let elf = assemble(SRC).unwrap();
     let win = data_windows(&elf);
-    for mode in [DispatchMode::Predecoded, DispatchMode::Naive] {
+    for mode in [
+        DispatchMode::Predecoded,
+        DispatchMode::Compiled,
+        DispatchMode::Naive,
+    ] {
         let mut sim = Simulator::new(&elf).unwrap();
         sim.set_dispatch(mode);
         diff_snapshot(&format!("golden/{mode:?}"), &mut sim, 7, 9, &win);
@@ -118,7 +128,11 @@ fn vliw_core_snapshot_is_bit_identical_in_both_dispatch_modes() {
     let win = data_windows(&elf);
     for level in [DetailLevel::Static, DetailLevel::Cache] {
         let t = Translator::new(level).translate(&elf).unwrap();
-        for mode in [VliwDispatch::Predecoded, VliwDispatch::Naive] {
+        for mode in [
+            VliwDispatch::Predecoded,
+            VliwDispatch::Compiled,
+            VliwDispatch::Naive,
+        ] {
             let mut sim = t.make_sim().unwrap();
             sim.set_dispatch(mode);
             // Snapshot inside the program: loads in flight, branch
