@@ -9,6 +9,7 @@
 
 use cabt_bench::{bench_seconds, compare_dispatch, human_time, sharded_throughput};
 use cabt_core::DetailLevel;
+use cabt_exec::trace::TraceConfig;
 use cabt_sim::ShardSchedule;
 use std::hint::black_box;
 
@@ -42,43 +43,91 @@ fn main() {
         );
     }
 
-    // Dispatch-core comparison: the decode-once and block-compilation
-    // refactors' headline (naive seed vs pre-decoded table vs fused
-    // closure blocks). Workloads are sized so each timed run lasts
-    // milliseconds — small programs drown in timer noise.
-    println!("\ndispatch throughput (naive vs pre-decoded vs compiled):");
+    // Dispatch-core comparison: the decode-once, block-compilation and
+    // trace-tier refactors' headline (naive seed vs pre-decoded table
+    // vs fused closure blocks vs profile-guided superblock traces).
+    // Workloads are sized so each timed run lasts milliseconds — small
+    // programs drown in timer noise. Smoke runs shrink the workloads
+    // but keep all three so the trace tier is exercised everywhere; an
+    // eager config makes traces form inside the tiny budgets.
+    println!("\ndispatch throughput (naive vs pre-decoded vs compiled vs trace):");
     let rows = if smoke {
-        vec![compare_dispatch(
-            &cabt_workloads::gcd(8, 0xcab7),
-            DetailLevel::Static,
-            1,
-        )]
-    } else {
+        let eager = TraceConfig {
+            warmup: 1_000_000,
+            hot_threshold: 4,
+            ..TraceConfig::default()
+        };
         vec![
-            compare_dispatch(&cabt_workloads::gcd(256, 0xcab7), DetailLevel::Static, 10),
+            compare_dispatch(
+                &cabt_workloads::gcd(8, 0xcab7),
+                DetailLevel::Static,
+                1,
+                eager,
+            ),
+            compare_dispatch(
+                &cabt_workloads::fir(8, 64, 0xcab7),
+                DetailLevel::Static,
+                1,
+                eager,
+            ),
+            compare_dispatch(&cabt_workloads::sieve(200), DetailLevel::Cache, 1, eager),
+        ]
+    } else {
+        let cfg = TraceConfig::default();
+        vec![
+            compare_dispatch(
+                &cabt_workloads::gcd(256, 0xcab7),
+                DetailLevel::Static,
+                10,
+                cfg,
+            ),
             compare_dispatch(
                 &cabt_workloads::fir(16, 2000, 0xcab7),
                 DetailLevel::Static,
                 10,
+                cfg,
             ),
-            compare_dispatch(&cabt_workloads::sieve(2000), DetailLevel::Cache, 10),
+            compare_dispatch(&cabt_workloads::sieve(2000), DetailLevel::Cache, 10, cfg),
         ]
     };
     for r in &rows {
         println!(
-            "  {:<8} level {:<14} golden {:>7.2} -> {:>7.2} -> {:>7.2} MIPS ({:.2}x pre, {:.2}x compiled)   vliw {:>7.2} -> {:>7.2} -> {:>7.2} Mpkt/s ({:.2}x pre, {:.2}x compiled)",
+            "  {:<8} level {:<14} golden {:>7.2} -> {:>7.2} -> {:>7.2} -> {:>7.2} MIPS ({:.2}x pre, {:.2}x compiled, {:.2}x trace)   vliw {:>7.2} -> {:>7.2} -> {:>7.2} -> {:>7.2} Mpkt/s ({:.2}x pre, {:.2}x compiled, {:.2}x trace)",
             r.workload,
             r.level.to_string(),
             r.golden_naive_mips,
             r.golden_predecoded_mips,
             r.golden_compiled_mips,
+            r.golden_trace_mips,
             r.golden_speedup(),
             r.golden_compiled_speedup(),
+            r.golden_trace_speedup(),
             r.vliw_naive_mpps,
             r.vliw_predecoded_mpps,
             r.vliw_compiled_mpps,
+            r.vliw_trace_mpps,
             r.vliw_speedup(),
             r.vliw_compiled_speedup(),
+            r.vliw_trace_speedup(),
+        );
+        println!(
+            "  {:<8}   trace stats: golden {} traces, {:.1} blocks/trace, {:.0}% retired in traces   vliw {} traces, {:.1} blocks/trace, {:.0}% retired in traces",
+            "",
+            r.golden_trace.traces,
+            r.golden_trace.avg_blocks,
+            r.golden_trace.retired_in_traces * 100.0,
+            r.vliw_trace.traces,
+            r.vliw_trace.avg_blocks,
+            r.vliw_trace.retired_in_traces * 100.0,
+        );
+        // The trace tier must actually engage on every measured
+        // workload — a formation regression fails the bench (and the
+        // CI smoke run) rather than silently benchmarking block
+        // dispatch twice.
+        assert!(
+            r.golden_trace.traces > 0 && r.vliw_trace.traces > 0,
+            "{}: trace tier formed no traces",
+            r.workload
         );
     }
 

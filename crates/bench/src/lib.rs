@@ -17,6 +17,7 @@
 //! emitted to `BENCH_fig5.json` by `scripts/bench.sh`.
 
 use cabt_core::DetailLevel;
+use cabt_exec::trace::{TraceConfig, TraceStats};
 use cabt_exec::{EngineStats, ExecutionEngine, Limit, StopCause};
 use cabt_sim::{Backend, Session, ShardSchedule, SimBuilder};
 use cabt_tricore::sim::DispatchMode;
@@ -347,10 +348,48 @@ pub fn bench_seconds_best(repeats: u32, iters: u32, mut f: impl FnMut()) -> f64 
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Host-side dispatch throughput of the naive, pre-decoded and
-/// block-/closure-compiled engine cores on one workload — the headline
-/// measurement of the decode-once and block-compilation refactors,
-/// emitted to `BENCH_fig5.json` by the `fig5_speed` bench.
+/// Trace-tier coverage of one measured trace-dispatch run: how many
+/// superblocks formed, their mean length in blocks, and the share of
+/// all retirement that happened inside fused traces.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCoverage {
+    /// Superblocks formed over the run.
+    pub traces: u64,
+    /// Mean blocks per formed trace.
+    pub avg_blocks: f64,
+    /// Fraction of retired units (instructions/packets) dispatched
+    /// inside fused traces, `0..=1`.
+    pub retired_in_traces: f64,
+}
+
+impl TraceCoverage {
+    fn from_stats(ts: TraceStats, retired: u64) -> TraceCoverage {
+        TraceCoverage {
+            traces: ts.traces,
+            avg_blocks: ts.avg_blocks(),
+            retired_in_traces: if retired == 0 {
+                0.0
+            } else {
+                ts.trace_retired as f64 / retired as f64
+            },
+        }
+    }
+
+    /// Renders one JSON object (hand-rolled; the workspace is
+    /// dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"traces\":{},\"avg_blocks\":{:.2},\"retired_in_traces\":{:.3}}}",
+            self.traces, self.avg_blocks, self.retired_in_traces
+        )
+    }
+}
+
+/// Host-side dispatch throughput of the naive, pre-decoded,
+/// block-/closure-compiled and profile-guided trace engine cores on one
+/// workload — the headline measurement of the decode-once, block-
+/// compilation and trace-tier refactors, emitted to `BENCH_fig5.json`
+/// by the `fig5_speed` bench.
 #[derive(Debug, Clone)]
 pub struct DispatchComparison {
     /// Workload name.
@@ -364,6 +403,8 @@ pub struct DispatchComparison {
     pub golden_predecoded_mips: f64,
     /// Golden model, block-compiled closure core.
     pub golden_compiled_mips: f64,
+    /// Golden model, profile-guided trace core.
+    pub golden_trace_mips: f64,
     /// Translated image on the platform, naive VLIW core: million
     /// execute packets dispatched per host second.
     pub vliw_naive_mpps: f64,
@@ -371,6 +412,12 @@ pub struct DispatchComparison {
     pub vliw_predecoded_mpps: f64,
     /// Translated image, closure-compiled VLIW core.
     pub vliw_compiled_mpps: f64,
+    /// Translated image, trace-tier VLIW core.
+    pub vliw_trace_mpps: f64,
+    /// Trace coverage of the golden trace run.
+    pub golden_trace: TraceCoverage,
+    /// Trace coverage of the VLIW trace run.
+    pub vliw_trace: TraceCoverage,
 }
 
 impl DispatchComparison {
@@ -396,6 +443,28 @@ impl DispatchComparison {
         self.vliw_compiled_mpps / self.vliw_predecoded_mpps
     }
 
+    /// Trace tier over *pre-decoded* speedup of the golden model — the
+    /// trace-tier headline.
+    pub fn golden_trace_speedup(&self) -> f64 {
+        self.golden_trace_mips / self.golden_predecoded_mips
+    }
+
+    /// Trace tier over block-compiled speedup of the golden model.
+    pub fn golden_trace_over_compiled(&self) -> f64 {
+        self.golden_trace_mips / self.golden_compiled_mips
+    }
+
+    /// Trace tier over pre-decoded packet-dispatch speedup of the VLIW
+    /// core.
+    pub fn vliw_trace_speedup(&self) -> f64 {
+        self.vliw_trace_mpps / self.vliw_predecoded_mpps
+    }
+
+    /// Trace tier over closure-compiled packet-dispatch speedup.
+    pub fn vliw_trace_over_compiled(&self) -> f64 {
+        self.vliw_trace_mpps / self.vliw_compiled_mpps
+    }
+
     /// Renders one JSON object (hand-rolled; the workspace is
     /// dependency-free).
     pub fn to_json(&self) -> String {
@@ -403,36 +472,55 @@ impl DispatchComparison {
             concat!(
                 "{{\"workload\":\"{}\",\"level\":\"{}\",",
                 "\"golden_naive_mips\":{:.3},\"golden_predecoded_mips\":{:.3},",
-                "\"golden_compiled_mips\":{:.3},",
+                "\"golden_compiled_mips\":{:.3},\"golden_trace_mips\":{:.3},",
                 "\"golden_speedup\":{:.3},\"golden_compiled_speedup\":{:.3},",
+                "\"golden_trace_speedup\":{:.3},\"golden_trace_over_compiled\":{:.3},",
                 "\"vliw_naive_mpps\":{:.3},\"vliw_predecoded_mpps\":{:.3},",
-                "\"vliw_compiled_mpps\":{:.3},",
-                "\"vliw_speedup\":{:.3},\"vliw_compiled_speedup\":{:.3}}}"
+                "\"vliw_compiled_mpps\":{:.3},\"vliw_trace_mpps\":{:.3},",
+                "\"vliw_speedup\":{:.3},\"vliw_compiled_speedup\":{:.3},",
+                "\"vliw_trace_speedup\":{:.3},\"vliw_trace_over_compiled\":{:.3},",
+                "\"golden_trace_stats\":{},\"vliw_trace_stats\":{}}}"
             ),
             self.workload,
             self.level,
             self.golden_naive_mips,
             self.golden_predecoded_mips,
             self.golden_compiled_mips,
+            self.golden_trace_mips,
             self.golden_speedup(),
             self.golden_compiled_speedup(),
+            self.golden_trace_speedup(),
+            self.golden_trace_over_compiled(),
             self.vliw_naive_mpps,
             self.vliw_predecoded_mpps,
             self.vliw_compiled_mpps,
+            self.vliw_trace_mpps,
             self.vliw_speedup(),
             self.vliw_compiled_speedup(),
+            self.vliw_trace_speedup(),
+            self.vliw_trace_over_compiled(),
+            self.golden_trace.to_json(),
+            self.vliw_trace.to_json(),
         )
     }
 }
 
-/// Measures naive vs. pre-decoded vs. compiled dispatch throughput on
-/// `w`: the golden model interpreting source code, and the translated
-/// image (at `level`) dispatching execute packets on the platform.
+/// Measures naive vs. pre-decoded vs. compiled vs. trace dispatch
+/// throughput on `w`: the golden model interpreting source code, and
+/// the translated image (at `level`) dispatching execute packets on the
+/// platform. The trace rows run under `trace_cfg` (each timed run
+/// starts from a cold profile — reset rebuilds the tier — so warm-up
+/// and formation cost are inside the measurement).
 ///
 /// # Panics
 ///
 /// Panics on assembly/translation/run failures.
-pub fn compare_dispatch(w: &Workload, level: DetailLevel, iters: u32) -> DispatchComparison {
+pub fn compare_dispatch(
+    w: &Workload,
+    level: DetailLevel,
+    iters: u32,
+    trace_cfg: TraceConfig,
+) -> DispatchComparison {
     // Both halves share one shape: build the session once (ELF load,
     // translation and pre-decode tables are not timed), then reset and
     // re-run per iteration. For the translated backend a session reset
@@ -440,9 +528,10 @@ pub fn compare_dispatch(w: &Workload, level: DetailLevel, iters: u32) -> Dispatc
     // fresh each run; that construction cost is identical in both
     // dispatch modes and only dilutes the measured ratio —
     // conservatively.
-    let throughput = |backend: Backend| {
+    let measure = |backend: Backend| {
         let mut s = SimBuilder::workload(w)
             .backend(backend)
+            .trace_config(trace_cfg)
             .build()
             .expect("session builds");
         let mut retired = 0u64;
@@ -457,33 +546,58 @@ pub fn compare_dispatch(w: &Workload, level: DetailLevel, iters: u32) -> Dispatc
             );
             retired = stats.retired;
         });
-        retired as f64 / secs / 1e6
+        // Coverage of the last timed run (every run is identical).
+        let coverage = s
+            .trace_stats()
+            .map(|ts| TraceCoverage::from_stats(ts, retired));
+        (retired as f64 / secs / 1e6, coverage)
     };
+    let throughput = |backend: Backend| measure(backend).0;
 
+    // Measure in tier order (the order the results are read in), so
+    // every tier's predecessor has already warmed the clock and host
+    // caches by the time it runs.
+    let golden_naive_mips = throughput(Backend::Golden {
+        dispatch: DispatchMode::Naive,
+    });
+    let golden_predecoded_mips = throughput(Backend::Golden {
+        dispatch: DispatchMode::Predecoded,
+    });
+    let golden_compiled_mips = throughput(Backend::Golden {
+        dispatch: DispatchMode::Compiled,
+    });
+    let (golden_trace_mips, golden_trace) = measure(Backend::Golden {
+        dispatch: DispatchMode::Trace,
+    });
+    let vliw_naive_mpps = throughput(Backend::Translated {
+        level,
+        dispatch: VliwDispatch::Naive,
+    });
+    let vliw_predecoded_mpps = throughput(Backend::Translated {
+        level,
+        dispatch: VliwDispatch::Predecoded,
+    });
+    let vliw_compiled_mpps = throughput(Backend::Translated {
+        level,
+        dispatch: VliwDispatch::Compiled,
+    });
+    let (vliw_trace_mpps, vliw_trace) = measure(Backend::Translated {
+        level,
+        dispatch: VliwDispatch::Trace,
+    });
     DispatchComparison {
         workload: w.name,
         level,
-        golden_naive_mips: throughput(Backend::Golden {
-            dispatch: DispatchMode::Naive,
-        }),
-        golden_predecoded_mips: throughput(Backend::Golden {
-            dispatch: DispatchMode::Predecoded,
-        }),
-        golden_compiled_mips: throughput(Backend::Golden {
-            dispatch: DispatchMode::Compiled,
-        }),
-        vliw_naive_mpps: throughput(Backend::Translated {
-            level,
-            dispatch: VliwDispatch::Naive,
-        }),
-        vliw_predecoded_mpps: throughput(Backend::Translated {
-            level,
-            dispatch: VliwDispatch::Predecoded,
-        }),
-        vliw_compiled_mpps: throughput(Backend::Translated {
-            level,
-            dispatch: VliwDispatch::Compiled,
-        }),
+        golden_naive_mips,
+        golden_predecoded_mips,
+        golden_compiled_mips,
+        golden_trace_mips,
+        vliw_naive_mpps,
+        vliw_predecoded_mpps,
+        vliw_compiled_mpps,
+        vliw_trace_mpps,
+        golden_trace: golden_trace.expect("trace stats on the golden trace backend"),
+        vliw_trace: vliw_trace.expect("trace stats on the VLIW trace backend"),
     }
 }
 

@@ -128,11 +128,10 @@ impl Cfg {
                 ir.instr.unit_flow(target)
             })
             .collect();
-        let contiguous =
-            |i: usize| match (program.get(i), program.get(i + 1)) {
-                (Some(a), Some(b)) => a.addr + a.instr.size() == b.addr,
-                _ => false,
-            };
+        let contiguous = |i: usize| match (program.get(i), program.get(i + 1)) {
+            (Some(a), Some(b)) => a.addr + a.instr.size() == b.addr,
+            _ => false,
+        };
         let mut entries: BTreeSet<u32> = BTreeSet::new();
         if let Some(&e) = index_of.get(&elf.entry) {
             entries.insert(e);
@@ -154,8 +153,7 @@ impl Cfg {
         let mut blocks: Vec<Block> = Vec::with_capacity(map.len());
         let mut block_of_addr = BTreeMap::new();
         for span in &map.blocks {
-            let instrs: Vec<IrInstr> =
-                program[span.first as usize..span.end() as usize].to_vec();
+            let instrs: Vec<IrInstr> = program[span.first as usize..span.end() as usize].to_vec();
             let first = instrs.first().expect("blocks are non-empty");
             let last = instrs.last().expect("blocks are non-empty");
             let id = blocks.len();

@@ -356,10 +356,20 @@ impl DebugSession {
     /// builder selected a non-translated vehicle (checked *before* the
     /// vehicle is built).
     pub fn from_builder(builder: SimBuilder) -> Result<Self, DebugError> {
-        let Backend::Translated { level, .. } = builder.selected_backend() else {
+        let Backend::Translated { level, dispatch } = builder.selected_backend() else {
             return Err(DebugError::BadBackend(builder.selected_backend()));
         };
-        let session = builder.granularity(Granularity::PerInstruction).build()?;
+        // The lockstep contract is one source instruction per boundary,
+        // so the trace tier (whole fused packet runs per step) is
+        // downgraded to its packet-granular compiled core; other
+        // dispatch modes pass through unchanged.
+        let session = builder
+            .backend(Backend::Translated {
+                level,
+                dispatch: dispatch.debug_downgrade(),
+            })
+            .granularity(Granularity::PerInstruction)
+            .build()?;
         let elf = session.source_elf();
         let bb = Translator::new(level).translate(elf)?;
         let src_of_tgt: HashMap<u32, u32> = session
@@ -561,6 +571,30 @@ mod tests {
         let err = DebugSession::from_builder(SimBuilder::asm(SRC).backend(Backend::Rtl))
             .expect_err("RTL sessions have no debug pair");
         assert!(matches!(err, DebugError::BadBackend(Backend::Rtl)));
+    }
+
+    #[test]
+    fn trace_backends_downgrade_to_packet_stepping() {
+        // A trace-tier builder is accepted, but the lockstep session
+        // runs on the packet-granular compiled core — single-stepping
+        // still stops at every source instruction.
+        use cabt_core::DetailLevel;
+        let mut dbg = DebugSession::from_builder(
+            SimBuilder::asm(SRC).backend(Backend::translated_trace(DetailLevel::Static)),
+        )
+        .unwrap();
+        assert_eq!(
+            dbg.lockstep().engine().backend(),
+            Backend::Translated {
+                level: DetailLevel::Static,
+                dispatch: cabt_vliw::sim::VliwDispatch::Compiled,
+            },
+            "debugger must downgrade Trace to Compiled"
+        );
+        dbg.step().unwrap();
+        assert_eq!(dbg.read_reg("d0").unwrap(), 3);
+        while !matches!(dbg.cont().unwrap(), StopReason::Halted) {}
+        assert_eq!(dbg.read_reg("d2").unwrap(), 6);
     }
 
     #[test]

@@ -258,7 +258,13 @@ mod tests {
         assert_eq!(m.len(), 1);
         assert_eq!(m.blocks[0].len, 3);
         assert_eq!(m.blocks[0].fall, NO_BLOCK, "halt at end of table");
-        assert_eq!(m.location(2), UnitLoc { block: 0, offset: 2 });
+        assert_eq!(
+            m.location(2),
+            UnitLoc {
+                block: 0,
+                offset: 2
+            }
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! block spans and fall-through/taken block edges.
 
 pub mod blocks;
+pub mod trace;
 
 use std::fmt;
 
@@ -213,6 +214,74 @@ pub trait ExecutionEngine {
 
     /// Uniform counters.
     fn engine_stats(&self) -> EngineStats;
+}
+
+/// Seed-reproducible rolling hash of execution effects — the 8-byte
+/// *execution fingerprint* the long randomized differential suites
+/// compare instead of full state dumps (one full-state check stays as
+/// the anchor; every other comparison shrinks to a digest that still
+/// pins every mixed-in observable).
+///
+/// FNV-1a over the mixed words, with each value serialized
+/// little-endian: dependency-free, byte-order stable across hosts, and
+/// order-sensitive (mixing the same values in a different order yields
+/// a different digest — register files are positional).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint(u64);
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// The FNV-1a 64-bit offset basis.
+    pub fn new() -> Fingerprint {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Mixes raw bytes.
+    pub fn mix_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Mixes one 32-bit word.
+    pub fn mix_u32(&mut self, v: u32) {
+        self.mix_bytes(&v.to_le_bytes());
+    }
+
+    /// Mixes one 64-bit word.
+    pub fn mix_u64(&mut self, v: u64) {
+        self.mix_bytes(&v.to_le_bytes());
+    }
+
+    /// The accumulated digest.
+    pub fn digest(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Digest of an engine's architecturally visible trajectory: counters,
+/// the full flat register file, the program counter and the halt flag.
+/// Memory is not walked here (engines read it mutably and tests care
+/// about specific windows) — mix the windows of interest with
+/// [`Fingerprint::mix_bytes`] on top of this digest's parts if needed.
+pub fn fingerprint_engine<E: ExecutionEngine>(engine: &E) -> u64 {
+    let mut fp = Fingerprint::new();
+    let s = engine.engine_stats();
+    fp.mix_u64(s.cycles);
+    fp.mix_u64(s.retired);
+    fp.mix_u64(s.stall_cycles);
+    for i in 0..engine.reg_count() {
+        fp.mix_u32(engine.read_reg_index(i));
+    }
+    fp.mix_u32(engine.pc().unwrap_or(u32::MAX));
+    fp.mix_u64(u64::from(engine.is_halted()));
+    fp.digest()
 }
 
 /// Generic epoch-batched driver: runs `engine` to halt within a total
@@ -559,6 +628,31 @@ mod tests {
             units: 0,
             regs: [0; 4],
         }
+    }
+
+    #[test]
+    fn fingerprints_are_reproducible_and_state_sensitive() {
+        let mut a = toy();
+        let mut b = toy();
+        a.run_until(Limit::Retirements(3)).unwrap();
+        b.run_until(Limit::Retirements(3)).unwrap();
+        assert_eq!(fingerprint_engine(&a), fingerprint_engine(&b));
+
+        // One more retirement, one register poke, each move the digest.
+        b.step_unit().unwrap();
+        assert_ne!(fingerprint_engine(&a), fingerprint_engine(&b));
+        let base = fingerprint_engine(&a);
+        a.write_reg_index(3, 1);
+        assert_ne!(fingerprint_engine(&a), base);
+
+        // Mixing is order-sensitive (positional register files).
+        let mut x = Fingerprint::new();
+        x.mix_u32(1);
+        x.mix_u32(2);
+        let mut y = Fingerprint::new();
+        y.mix_u32(2);
+        y.mix_u32(1);
+        assert_ne!(x.digest(), y.digest());
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Profile-guided superblock (trace) selection over the shared block
+//! layer — the substrate of the trace-compiled dispatch tier.
+//!
+//! The paper's progression is "compile ever-larger units": instructions
+//! (pre-decode), basic blocks (the compiled cores), and finally *hot
+//! paths* spanning several blocks. This module hosts the engine-neutral
+//! half of that last step, mirroring [`blocks`](crate::blocks): the
+//! per-block profile counters an engine collects during its warm-up
+//! window ([`TraceProfile`]), the greedy hottest-successor selection
+//! that grows a superblock from a hot head block ([`grow`]), and the
+//! formation/coverage counters the bench harness reports
+//! ([`TraceStats`]). What a *formed* trace looks like — fused closure
+//! runs on the golden model, a packet-run window on the VLIW core — is
+//! engine-specific and lives with each compiled core.
+//!
+//! The tier is profile-guided but still deterministic: counters advance
+//! only with the engine's own (deterministic) execution, so the same
+//! program forms the same traces in the same order on every run — a
+//! requirement for the bit-identity and schedule-independence suites,
+//! which compare trace-tier runs against pre-decoded runs observable by
+//! observable.
+
+use crate::blocks::{BlockMap, NO_BLOCK};
+
+/// Knobs of the profile-guided trace tier. Engines expose these through
+/// their session builder; the defaults suit the bundled workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Length of the warm-up window, counted in *profiled block
+    /// dispatches*. While the window is open the engine counts block
+    /// executions and exit edges and may form traces; once it closes,
+    /// profiling stops (already-formed traces keep dispatching).
+    pub warmup: u64,
+    /// Execution count at which a block becomes a trace head: the
+    /// engine grows a superblock the moment a block's counter *reaches*
+    /// this value (so each head is attempted exactly once).
+    pub hot_threshold: u32,
+    /// Maximum number of blocks fused into one trace (the length cap).
+    pub max_blocks: u32,
+    /// Whether [`grow`] may follow taken edges. The golden model does;
+    /// the VLIW core must not — its branch shadows redirect *mid*-block,
+    /// so only fall chains are sequential packet runs there.
+    pub follow_taken: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            warmup: 200_000,
+            hot_threshold: 64,
+            max_blocks: 16,
+            follow_taken: true,
+        }
+    }
+}
+
+/// Per-block execution and exit-edge counters, collected by compiled
+/// dispatch while the warm-up window is open. A few words per block:
+/// how often the block dispatched, and how often its fall/taken exit
+/// was the edge control actually left through.
+#[derive(Debug, Clone)]
+pub struct TraceProfile {
+    /// Remaining profiled block dispatches in the warm-up window.
+    pub warmup_left: u64,
+    /// Per-block dispatch counts.
+    pub exec: Vec<u32>,
+    /// Per-block fall-edge exit counts.
+    pub fall: Vec<u32>,
+    /// Per-block taken-edge exit counts.
+    pub taken: Vec<u32>,
+}
+
+impl TraceProfile {
+    /// A fresh profile over `blocks` basic blocks.
+    pub fn new(blocks: usize, cfg: &TraceConfig) -> TraceProfile {
+        TraceProfile {
+            warmup_left: cfg.warmup,
+            exec: vec![0; blocks],
+            fall: vec![0; blocks],
+            taken: vec![0; blocks],
+        }
+    }
+
+    /// True while the warm-up window is open (counters still advance).
+    #[inline]
+    pub fn warm(&self) -> bool {
+        self.warmup_left > 0
+    }
+
+    /// Records one dispatch of `block` and burns one warm-up slot.
+    /// Returns true exactly when the block's counter *reaches*
+    /// `hot_threshold` — the caller's cue to try growing a trace.
+    #[inline]
+    pub fn record_exec(&mut self, block: u32, hot_threshold: u32) -> bool {
+        self.warmup_left -= 1;
+        let c = &mut self.exec[block as usize];
+        *c = c.saturating_add(1);
+        *c == hot_threshold
+    }
+
+    /// Records a fall-edge exit of `block`.
+    #[inline]
+    pub fn record_fall(&mut self, block: u32) {
+        let c = &mut self.fall[block as usize];
+        *c = c.saturating_add(1);
+    }
+
+    /// Records a taken-edge exit of `block`.
+    #[inline]
+    pub fn record_taken(&mut self, block: u32) {
+        let c = &mut self.taken[block as usize];
+        *c = c.saturating_add(1);
+    }
+}
+
+/// A selected superblock: the block chain in execution order, the edge
+/// each seam expects control to leave through, and whether the chain's
+/// final edge loops back to the head (a loop trace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TracePlan {
+    /// Block ids in execution order (`blocks[0]` is the hot head).
+    pub blocks: Vec<u32>,
+    /// For each seam `i` (between `blocks[i]` and `blocks[i + 1]`):
+    /// true when the seam is the taken edge, false for the fall edge.
+    /// Length is `blocks.len() - 1`.
+    pub via_taken: Vec<bool>,
+    /// True when the last block's hottest edge returns to the head —
+    /// the executor may iterate the trace without leaving it.
+    pub loop_back: bool,
+    /// Which edge closes the loop (meaningful only with `loop_back`).
+    pub loop_via_taken: bool,
+}
+
+/// Greedily grows a superblock from hot head block `head` along the
+/// hottest recorded fall/taken chain. Growth stops at cold edges (the
+/// chosen edge must carry at least half the successor block's recorded
+/// exits and have fired at all), at indirect terminators and table
+/// exits (no successor edge), at blocks already in the trace, and at
+/// the [`TraceConfig::max_blocks`] cap. An edge back to the head is
+/// detected as a *loop trace* instead of a stop.
+///
+/// Returns `None` when no useful trace exists (a single block with no
+/// loop edge gains nothing over plain block dispatch).
+pub fn grow(
+    map: &BlockMap,
+    profile: &TraceProfile,
+    head: u32,
+    cfg: &TraceConfig,
+) -> Option<TracePlan> {
+    let mut blocks = vec![head];
+    let mut via_taken = Vec::new();
+    let mut loop_back = false;
+    let mut loop_via_taken = false;
+    let mut cur = head;
+    while (blocks.len() as u32) < cfg.max_blocks {
+        let span = &map.blocks[cur as usize];
+        let exec = profile.exec[cur as usize];
+        let fall_n = profile.fall[cur as usize];
+        let taken_n = profile.taken[cur as usize];
+        // Hottest recorded exit edge (ties go to the fall edge — the
+        // cheaper continuation on every engine).
+        let (next, thru_taken, hits) = if cfg.follow_taken && taken_n > fall_n {
+            (span.taken, true, taken_n)
+        } else {
+            (span.fall, false, fall_n)
+        };
+        // Cold edge: never seen, or dominated by the block's other
+        // exits — the trace would mispredict more than it fuses.
+        if next == NO_BLOCK || hits == 0 || u64::from(hits) * 2 < u64::from(exec) {
+            break;
+        }
+        if next == head {
+            loop_back = true;
+            loop_via_taken = thru_taken;
+            break;
+        }
+        if blocks.contains(&next) {
+            break;
+        }
+        via_taken.push(thru_taken);
+        blocks.push(next);
+        cur = next;
+    }
+    if blocks.len() < 2 && !loop_back {
+        return None;
+    }
+    Some(TracePlan {
+        blocks,
+        via_taken,
+        loop_back,
+        loop_via_taken,
+    })
+}
+
+/// Formation and coverage counters of one engine's trace tier. Kept
+/// *outside* the engine's architectural statistics on purpose: those
+/// are compared bit-for-bit across dispatch tiers by the differential
+/// suites, while these describe the tier itself (reported by the bench
+/// harness into `BENCH_fig5.json`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Traces formed.
+    pub traces: u64,
+    /// Total blocks across all formed traces.
+    pub trace_blocks: u64,
+    /// Units (instructions or packets) retired inside fused trace
+    /// dispatch.
+    pub trace_retired: u64,
+}
+
+impl TraceStats {
+    /// Mean blocks per formed trace (0 when none formed).
+    pub fn avg_blocks(&self) -> f64 {
+        if self.traces == 0 {
+            0.0
+        } else {
+            self.trace_blocks as f64 / self.traces as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::UnitFlow;
+
+    fn cfg() -> TraceConfig {
+        TraceConfig {
+            warmup: 1_000,
+            hot_threshold: 4,
+            max_blocks: 8,
+            follow_taken: true,
+        }
+    }
+
+    /// 0: straight, 1: straight, 2: branch -> 1, 3: halt.
+    /// Blocks: [0], [1,2] (self-loop via taken), [3].
+    fn loopy_map() -> BlockMap {
+        let units = vec![
+            UnitFlow::Straight,
+            UnitFlow::Straight,
+            UnitFlow::Branch { target: Some(1) },
+            UnitFlow::Halt,
+        ];
+        BlockMap::build(&units, |_| true, [0u32], false)
+    }
+
+    #[test]
+    fn threshold_crossing_fires_exactly_once() {
+        let cfg = cfg();
+        let mut p = TraceProfile::new(3, &cfg);
+        let mut fired = 0;
+        for _ in 0..10 {
+            if p.record_exec(1, cfg.hot_threshold) {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1);
+        assert_eq!(p.warmup_left, cfg.warmup - 10);
+    }
+
+    #[test]
+    fn single_block_loop_grows_a_loop_trace() {
+        let cfg = cfg();
+        let map = loopy_map();
+        let mut p = TraceProfile::new(map.len(), &cfg);
+        for _ in 0..8 {
+            p.record_exec(1, cfg.hot_threshold);
+            p.record_taken(1);
+        }
+        let plan = grow(&map, &p, 1, &cfg).expect("loop trace forms");
+        assert_eq!(plan.blocks, vec![1]);
+        assert!(plan.loop_back);
+        assert!(plan.loop_via_taken);
+    }
+
+    #[test]
+    fn fall_chain_grows_until_cold_edge() {
+        // 0: straight, 1: branch->3, 2: straight, 3: halt.
+        // Blocks: [0,1], [2], [3]; block 0 falls to 1 rarely.
+        let units = vec![
+            UnitFlow::Straight,
+            UnitFlow::Branch { target: Some(3) },
+            UnitFlow::Straight,
+            UnitFlow::Halt,
+        ];
+        let map = BlockMap::build(&units, |_| true, [0u32], false);
+        let cfg = cfg();
+        let mut p = TraceProfile::new(map.len(), &cfg);
+        for _ in 0..8 {
+            p.record_exec(0, cfg.hot_threshold);
+            p.record_taken(0); // hot edge: taken to block [3]
+        }
+        p.record_fall(0); // cold fall into [2]
+        let plan = grow(&map, &p, 0, &cfg).expect("grows along taken edge");
+        assert_eq!(plan.blocks, vec![0, map.location(3).block]);
+        assert_eq!(plan.via_taken, vec![true]);
+        assert!(!plan.loop_back);
+        // The halt block's exits were never recorded: growth stops.
+        assert_eq!(plan.blocks.len(), 2);
+    }
+
+    #[test]
+    fn follow_taken_false_sticks_to_fall_edges() {
+        let map = loopy_map();
+        let mut cfg = cfg();
+        cfg.follow_taken = false;
+        let mut p = TraceProfile::new(map.len(), &cfg);
+        for _ in 0..8 {
+            p.record_exec(1, cfg.hot_threshold);
+            p.record_taken(1);
+        }
+        // The only hot edge is the taken self-loop; with fall-only
+        // growth there is no trace worth forming.
+        assert_eq!(grow(&map, &p, 1, &cfg), None);
+    }
+
+    #[test]
+    fn cold_and_unseen_edges_stop_growth() {
+        let map = loopy_map();
+        let cfg = cfg();
+        let mut p = TraceProfile::new(map.len(), &cfg);
+        // Block 0 executed often but its fall edge fired once out of
+        // eight exits — dominated, so no trace.
+        for _ in 0..8 {
+            p.record_exec(0, cfg.hot_threshold);
+        }
+        p.record_fall(0);
+        assert_eq!(grow(&map, &p, 0, &cfg), None);
+    }
+
+    #[test]
+    fn length_cap_bounds_the_chain() {
+        // A long straight chain of single-unit blocks (split_all).
+        let mut units = vec![UnitFlow::Straight; 32];
+        units[31] = UnitFlow::Halt;
+        let map = BlockMap::build(&units, |_| true, [0u32], true);
+        let cfg = cfg();
+        let mut p = TraceProfile::new(map.len(), &cfg);
+        for b in 0..32u32 {
+            for _ in 0..8 {
+                p.record_exec(b, cfg.hot_threshold);
+                p.record_fall(b);
+            }
+        }
+        let plan = grow(&map, &p, 0, &cfg).expect("chain forms");
+        assert_eq!(plan.blocks.len(), cfg.max_blocks as usize);
+        assert!(!plan.loop_back);
+    }
+
+    #[test]
+    fn trace_stats_average() {
+        let mut s = TraceStats::default();
+        assert_eq!(s.avg_blocks(), 0.0);
+        s.traces = 2;
+        s.trace_blocks = 7;
+        assert!((s.avg_blocks() - 3.5).abs() < 1e-12);
+    }
+}

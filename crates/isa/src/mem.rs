@@ -12,10 +12,40 @@
 
 use crate::{Addr, IsaError, Word};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const OFFSET_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// Multiplicative hasher for page numbers. Every data access of every
+/// simulator funnels through the page table, and the default SipHash
+/// is built for untrusted keys, not for a hot loop hashing the same
+/// handful of small integers; one odd-constant multiply (Fibonacci
+/// hashing) spreads sequential page numbers well enough for a table
+/// this small and costs a cycle.
+#[derive(Debug, Clone, Copy, Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u32 page keys).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.0 = u64::from(v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
 
 /// A sparse, paged, little-endian memory.
 ///
@@ -32,7 +62,17 @@ const OFFSET_MASK: u32 = (PAGE_SIZE as u32) - 1;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    /// Page number → index into `frames`. Pages are never freed, so
+    /// frame indices are stable and the one-entry cache below stays
+    /// valid across mutation.
+    table: HashMap<u32, u32, BuildHasherDefault<PageHasher>>,
+    /// Page frames, owned flat so a cached index resolves without
+    /// touching the hash table.
+    frames: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// Last page number and frame index resolved — consecutive
+    /// accesses overwhelmingly hit the same page (array walks, stack
+    /// frames), making most accesses hash-free.
+    last: Option<(u32, u32)>,
     fault_on_unmapped: bool,
     reads: u64,
     writes: u64,
@@ -96,15 +136,33 @@ impl Memory {
     }
 
     #[inline]
-    fn page_of(&self, addr: Addr) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+    fn frame_of(&mut self, addr: Addr) -> Option<u32> {
+        let key = addr >> PAGE_SHIFT;
+        if let Some((k, i)) = self.last {
+            if k == key {
+                return Some(i);
+            }
+        }
+        let i = *self.table.get(&key)?;
+        self.last = Some((key, i));
+        Some(i)
     }
 
     #[inline]
     fn page_mut(&mut self, addr: Addr) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        let key = addr >> PAGE_SHIFT;
+        let i = match self.last {
+            Some((k, i)) if k == key => i,
+            _ => {
+                let i = *self.table.entry(key).or_insert_with(|| {
+                    self.frames.push(Box::new([0u8; PAGE_SIZE]));
+                    (self.frames.len() - 1) as u32
+                });
+                self.last = Some((key, i));
+                i
+            }
+        };
+        &mut self.frames[i as usize]
     }
 
     #[inline]
@@ -120,8 +178,8 @@ impl Memory {
     /// faulting is enabled.
     pub fn read_u8(&mut self, addr: Addr) -> Result<u8, IsaError> {
         self.reads += 1;
-        match self.page_of(addr) {
-            Some(page) => Ok(page[(addr & OFFSET_MASK) as usize]),
+        match self.frame_of(addr) {
+            Some(i) => Ok(self.frames[i as usize][(addr & OFFSET_MASK) as usize]),
             None if self.fault_on_unmapped => Err(IsaError::Unmapped { addr }),
             None => Ok(0),
         }
@@ -150,8 +208,11 @@ impl Memory {
         }
         self.reads += 2;
         let off = (addr & OFFSET_MASK) as usize;
-        match self.page_of(addr) {
-            Some(page) => Ok(u16::from_le_bytes([page[off], page[off + 1]])),
+        match self.frame_of(addr) {
+            Some(i) => {
+                let page = &self.frames[i as usize];
+                Ok(u16::from_le_bytes([page[off], page[off + 1]]))
+            }
             None if self.fault_on_unmapped => Err(IsaError::Unmapped { addr }),
             None => Ok(0),
         }
@@ -185,9 +246,9 @@ impl Memory {
         }
         self.reads += 4;
         let off = (addr & OFFSET_MASK) as usize;
-        match self.page_of(addr) {
-            Some(page) => Ok(u32::from_le_bytes(
-                page[off..off + 4]
+        match self.frame_of(addr) {
+            Some(i) => Ok(u32::from_le_bytes(
+                self.frames[i as usize][off..off + 4]
                     .try_into()
                     .expect("aligned word inside page"),
             )),
@@ -213,7 +274,7 @@ impl Memory {
 
     /// Number of pages currently materialized (diagnostics).
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.frames.len()
     }
 }
 

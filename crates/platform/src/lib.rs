@@ -390,6 +390,18 @@ impl Platform {
         self.sim.set_dispatch(mode);
     }
 
+    /// Sets the trace tier's warm-up/threshold knobs (see
+    /// [`cabt_vliw::sim::VliwSim::set_trace_config`]).
+    pub fn set_trace_config(&mut self, cfg: cabt_exec::trace::TraceConfig) {
+        self.sim.set_trace_config(cfg);
+    }
+
+    /// Trace-tier counters, when [`cabt_vliw::sim::VliwDispatch::Trace`]
+    /// is selected.
+    pub fn trace_stats(&self) -> Option<cabt_exec::trace::TraceStats> {
+        self.sim.trace_stats()
+    }
+
     /// Clones the synchronization device's state. Together with an
     /// engine snapshot *and* a [`Platform::save_soc_bus`] image this is
     /// a resumable image of a platform run: the device's generation

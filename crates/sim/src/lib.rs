@@ -41,6 +41,7 @@
 //! once per completed `run`.
 
 use cabt_core::{DetailLevel, Granularity, TranslateError, Translated, Translator};
+use cabt_exec::trace::{TraceConfig, TraceStats};
 use cabt_exec::{EngineStats, ExecutionEngine, Limit, StopCause};
 use cabt_isa::elf::ElfFile;
 use cabt_platform::{
@@ -193,6 +194,26 @@ impl Backend {
         }
     }
 
+    /// The golden model on the profile-guided trace tier: hot block
+    /// chains fused into superblock closures after a warm-up window
+    /// (see [`DispatchMode::Trace`] and
+    /// [`SimBuilder::trace_config`]).
+    pub fn golden_trace() -> Self {
+        Backend::Golden {
+            dispatch: DispatchMode::Trace,
+        }
+    }
+
+    /// A translated session at `level` on the VLIW trace tier (hot
+    /// fall-through packet chains dispatched as fused runs — see
+    /// [`VliwDispatch::Trace`]).
+    pub fn translated_trace(level: DetailLevel) -> Self {
+        Backend::Translated {
+            level,
+            dispatch: VliwDispatch::Trace,
+        }
+    }
+
     /// A sharded multi-core session: `cores` shards of `base`, run by
     /// the sequential round-robin scheduler.
     ///
@@ -236,16 +257,21 @@ impl Backend {
     }
 
     /// Every single-core backend generic drivers should sweep: golden
-    /// and the four translation detail levels on both production
-    /// dispatch cores (pre-decoded and block-/closure-compiled), plus
-    /// RTL — the full Table 2 column set. The retained naive
-    /// interpreters are differential references, not production
-    /// backends, and are spelled explicitly where needed; sharded
-    /// configurations via [`Backend::sharded`].
+    /// and the four translation detail levels on all three production
+    /// dispatch tiers (pre-decoded, block-/closure-compiled, and the
+    /// profile-guided trace tier), plus RTL — the full Table 2 column
+    /// set. The retained naive interpreters are differential
+    /// references, not production backends, and are spelled explicitly
+    /// where needed; sharded configurations via [`Backend::sharded`].
     pub fn all() -> Vec<Backend> {
-        let mut v = vec![Backend::golden(), Backend::golden_compiled()];
+        let mut v = vec![
+            Backend::golden(),
+            Backend::golden_compiled(),
+            Backend::golden_trace(),
+        ];
         v.extend(DetailLevel::ALL.map(Backend::translated));
         v.extend(DetailLevel::ALL.map(Backend::translated_compiled));
+        v.extend(DetailLevel::ALL.map(Backend::translated_trace));
         v.push(Backend::Rtl);
         v
     }
@@ -263,11 +289,13 @@ impl fmt::Display for Backend {
             Backend::Golden { dispatch } => match dispatch {
                 DispatchMode::Predecoded => f.write_str("golden"),
                 DispatchMode::Compiled => f.write_str("golden:compiled"),
+                DispatchMode::Trace => f.write_str("golden:trace"),
                 DispatchMode::Naive => f.write_str("golden:naive"),
             },
             Backend::Translated { level, dispatch } => match dispatch {
                 VliwDispatch::Predecoded => write!(f, "translated:{level}"),
                 VliwDispatch::Compiled => write!(f, "translated:{level}:compiled"),
+                VliwDispatch::Trace => write!(f, "translated:{level}:trace"),
                 VliwDispatch::Naive => write!(f, "translated:{level}:naive"),
             },
             Backend::Rtl => f.write_str("rtl"),
@@ -405,6 +433,7 @@ pub struct SimBuilder {
     granularity: Granularity,
     epoch: u64,
     shard_epoch: Option<u64>,
+    trace_config: Option<TraceConfig>,
     soc_bus: Option<SharedSocBus>,
     on_epoch: Vec<ObserverFn>,
     on_stop: Vec<ObserverFn>,
@@ -433,6 +462,7 @@ impl SimBuilder {
             granularity: Granularity::default(),
             epoch: DEFAULT_EPOCH,
             shard_epoch: None,
+            trace_config: None,
             soc_bus: None,
             on_epoch: Vec::new(),
             on_stop: Vec::new(),
@@ -508,6 +538,17 @@ impl SimBuilder {
         self
     }
 
+    /// Warm-up/threshold knobs of the trace dispatch tier, applied to
+    /// every engine the session builds (including each shard of a
+    /// sharded session). Only observable when the selected backend's
+    /// dispatch mode is `Trace`; other tiers carry the configuration
+    /// but never profile. Defaults to
+    /// [`cabt_exec::trace::TraceConfig::default`].
+    pub fn trace_config(mut self, cfg: TraceConfig) -> Self {
+        self.trace_config = Some(cfg);
+        self
+    }
+
     /// Epoch length between epoch-observer firings inside
     /// [`Session::run`], in the units of the limit `run` is given —
     /// engine cycles under [`Limit::Cycles`], retirements under
@@ -566,6 +607,7 @@ impl SimBuilder {
             self.granularity,
             self.soc_bus,
             self.shard_epoch,
+            self.trace_config,
         )?;
         Ok(Session {
             vehicle,
@@ -585,10 +627,14 @@ impl SimBuilder {
         granularity: Granularity,
         soc_bus: Option<SharedSocBus>,
         shard_epoch: Option<u64>,
+        trace_config: Option<TraceConfig>,
     ) -> Result<Vehicle, SessionError> {
         Ok(match backend {
             Backend::Golden { dispatch } => {
                 let mut sim = Simulator::new(elf)?;
+                if let Some(cfg) = trace_config {
+                    sim.set_trace_config(cfg);
+                }
                 sim.set_dispatch(dispatch);
                 if let Some(bus) = &soc_bus {
                     sim.set_io_device(Box::new(GoldenBridge::new(bus.clone())));
@@ -606,12 +652,16 @@ impl SimBuilder {
                     Some(bus) => Platform::with_shared_bus(&image, platform_cfg, bus.clone())?,
                     None => Platform::new(&image, platform_cfg)?,
                 };
+                if let Some(cfg) = trace_config {
+                    platform.set_trace_config(cfg);
+                }
                 platform.set_dispatch(dispatch);
                 Vehicle::Translated {
                     platform: Box::new(platform),
                     image: Box::new(image),
                     cfg: platform_cfg,
                     dispatch,
+                    trace_config,
                     shared: soc_bus,
                 }
             }
@@ -640,6 +690,7 @@ impl SimBuilder {
                     platform_cfg,
                     granularity,
                     shard_epoch,
+                    trace_config,
                 )?))
             }
         })
@@ -663,6 +714,9 @@ enum Vehicle {
         image: Box<Translated>,
         cfg: PlatformConfig,
         dispatch: VliwDispatch,
+        /// Trace-tier knobs the session was built with, re-applied by
+        /// [`Session::reset`]'s platform rebuild.
+        trace_config: Option<TraceConfig>,
         /// Externally owned bus the platform was built around, if any:
         /// reset reattaches it instead of minting fresh devices.
         shared: Option<SharedSocBus>,
@@ -808,6 +862,7 @@ impl ShardSet {
         platform_cfg: PlatformConfig,
         granularity: Granularity,
         shard_epoch: Option<u64>,
+        trace_config: Option<TraceConfig>,
     ) -> Result<ShardSet, SessionError> {
         // One private device population per shard, plus the arbiter's
         // canonical mirror — all born in the same (default) state.
@@ -844,6 +899,7 @@ impl ShardSet {
                     _ => Some(buses[id as usize].clone()),
                 },
                 None,
+                trace_config,
             )?;
             let mut shard = Session {
                 vehicle,
@@ -1127,6 +1183,32 @@ impl Session {
         }
     }
 
+    /// Trace-tier counters (traces formed, blocks fused, units retired
+    /// inside traces) — `Some` only when the session's engine has an
+    /// active trace tier, i.e. its backend dispatch mode is `Trace`.
+    /// Sharded sessions aggregate across shards (every shard runs the
+    /// same deterministic program, so per-shard values are identical
+    /// for SPMD workloads).
+    pub fn trace_stats(&self) -> Option<TraceStats> {
+        match &self.vehicle {
+            Vehicle::Golden { sim, .. } => sim.trace_stats(),
+            Vehicle::Translated { platform, .. } => platform.trace_stats(),
+            Vehicle::Rtl(_) => None,
+            Vehicle::Sharded(set) => {
+                let per: Vec<TraceStats> =
+                    set.shards.iter().filter_map(|s| s.trace_stats()).collect();
+                if per.is_empty() {
+                    return None;
+                }
+                Some(per.iter().fold(TraceStats::default(), |a, t| TraceStats {
+                    traces: a.traces + t.traces,
+                    trace_blocks: a.trace_blocks + t.trace_blocks,
+                    trace_retired: a.trace_retired + t.trace_retired,
+                }))
+            }
+        }
+    }
+
     /// Per-shard and aggregate counters plus the merged UART log —
     /// `Some` only for [`Backend::Sharded`] sessions.
     pub fn sharded_stats(&self) -> Option<ShardedStats> {
@@ -1370,6 +1452,7 @@ impl ExecutionEngine for Session {
                 image,
                 cfg,
                 dispatch,
+                trace_config,
                 shared,
             } => {
                 let mut fresh = match shared {
@@ -1377,6 +1460,9 @@ impl ExecutionEngine for Session {
                     None => Platform::new(image, *cfg),
                 }
                 .expect("rebuilding a platform that built once");
+                if let Some(tc) = trace_config {
+                    fresh.set_trace_config(*tc);
+                }
                 fresh.set_dispatch(*dispatch);
                 **platform = fresh;
             }
@@ -1592,17 +1678,25 @@ mod tests {
         assert!(all.iter().any(|b| matches!(b, Backend::Golden { .. })));
         assert!(all.iter().any(|b| matches!(b, Backend::Translated { .. })));
         assert!(all.iter().any(|b| matches!(b, Backend::Rtl)));
-        // Both production dispatch cores of each dispatch-capable
+        // All three production dispatch tiers of each dispatch-capable
         // vehicle (the naive interpreters are differential references,
         // deliberately absent).
-        for dispatch in [DispatchMode::Predecoded, DispatchMode::Compiled] {
+        for dispatch in [
+            DispatchMode::Predecoded,
+            DispatchMode::Compiled,
+            DispatchMode::Trace,
+        ] {
             assert!(
                 all.contains(&Backend::Golden { dispatch }),
                 "golden {dispatch:?} missing from Backend::all()"
             );
         }
         for level in DetailLevel::ALL {
-            for dispatch in [VliwDispatch::Predecoded, VliwDispatch::Compiled] {
+            for dispatch in [
+                VliwDispatch::Predecoded,
+                VliwDispatch::Compiled,
+                VliwDispatch::Trace,
+            ] {
                 assert!(
                     all.contains(&Backend::Translated { level, dispatch }),
                     "translated {level}/{dispatch:?} missing from Backend::all()"

@@ -327,6 +327,36 @@ impl CacheSim {
         self.hits += 1;
     }
 
+    /// True when the line containing `addr` currently sits in the
+    /// most-recently-used way of its set. While this holds, any number
+    /// of [`CacheSim::access`]es to the line are pure hits with *no*
+    /// state change beyond the hit counter (`touch` is idempotent for
+    /// the MRU way) — the residency guard behind the trace tier's
+    /// batched fetch accounting ([`CacheSim::batch_hits`]).
+    #[inline]
+    pub fn mru_resident(&self, addr: u32) -> bool {
+        let set = self.cfg.set_of(addr);
+        let base = (set * self.cfg.ways) as usize;
+        let ways = self.cfg.ways as usize;
+        let mut mru = 0usize;
+        for w in 0..ways {
+            if self.lru[base + w] == 0 {
+                mru = w;
+                break;
+            }
+        }
+        self.tags[base + mru] == (self.cfg.tag_of(addr) as u64 | VALID)
+    }
+
+    /// Accounts `n` accesses that are all guaranteed MRU hits (proved
+    /// via [`CacheSim::mru_resident`] over every line of a fused run):
+    /// the aggregate effect of `n` individual [`CacheSim::access`]es —
+    /// `n` hits, no LRU or tag movement — applied in one add.
+    #[inline]
+    pub fn batch_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
     /// [`CacheSim::access`] with the most-recently-used way probed
     /// first — the compiled core's lead-access path. A hit on the MRU
     /// way leaves the LRU ranks exactly as a full access would

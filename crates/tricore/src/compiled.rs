@@ -43,8 +43,11 @@
 
 use crate::arch::{CacheConfig, CacheSim, IssueClass, PreTiming, TimingModel, TimingState};
 use crate::isa::{Instr, LdKind, StKind, RA};
-use crate::sim::{route_load, route_store, Cpu, IoDevice, PreInstr, RunExitKind, RunStats, SimError, NO_IDX};
+use crate::sim::{
+    route_load, route_store, Cpu, IoDevice, PreInstr, RunExitKind, RunStats, SimError, NO_IDX,
+};
 use cabt_exec::blocks::{BlockMap, UnitFlow};
+use cabt_exec::trace::TracePlan;
 use cabt_isa::mem::Memory;
 
 /// Where control goes after an op closure.
@@ -180,11 +183,209 @@ pub(crate) struct CompiledProgram {
     pub blocks: Vec<CompiledBlock>,
 }
 
+/// The edge a trace seam expects control to leave through — the static
+/// half of the side-exit guard ([`Ctl::Next`]/[`Ctl::Fall`] match a
+/// `Fall` seam, [`Ctl::Taken`] a `Taken` seam, and [`Ctl::Indirect`]
+/// never matches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TraceCont {
+    /// Continue through the fall-through edge.
+    Fall,
+    /// Continue through the direct-target edge.
+    Taken,
+}
+
+/// One block of a fused trace: the block's op run (recompiled with
+/// trace-wide line-run knowledge) plus the terminator's resolved exits
+/// — the side-exit targets when the guard fails — and the seam guard
+/// into the next segment.
+pub(crate) struct TraceSeg {
+    /// Fused ops. The *first* op's fetch prologue may carry a seam
+    /// proof: inside a trace, control reaches segment `i + 1` only
+    /// through segment `i`'s terminator, so the line that terminator
+    /// ended on is a build-time fact — exactly the within-block
+    /// line-run argument of [`Hot::icache_op`], extended across block
+    /// seams.
+    pub ops: Box<[OpFn]>,
+    /// The same ops compiled *without* their fetch prologues, for the
+    /// batched-fetch fast path: when every line in [`TraceSeg::lines`]
+    /// is MRU-resident ([`CacheSim::mru_resident`]), each per-op access
+    /// would be a pure hit with no tag/LRU movement, so the executor
+    /// runs these and applies [`TraceSeg::accesses`] in one add after
+    /// the segment completes — bit-identical, order-free accounting.
+    /// (A same-line MRU hit is also exactly what the back-edge seam
+    /// proof of [`CompiledTrace::loop_head_ops`] specializes, so the
+    /// fast path needs no separate loop-head variant.)
+    pub lean_ops: Box<[OpFn]>,
+    /// Distinct fetch lines the segment touches, in fetch order —
+    /// the residency guard of the batched-fetch fast path.
+    pub lines: Box<[u32]>,
+    /// Total instruction-cache accesses of one full segment execution.
+    pub accesses: u32,
+    /// Accesses performed by ops `0..=i` (fetch precedes execute, so a
+    /// fault at op `i` has fetched exactly this many lines) — the
+    /// batched path's fault reconstruction, mirroring how retirement
+    /// is reconstructed.
+    pub acc_prefix: Box<[u32]>,
+    /// Source pc of each op (fault parking, as in [`CompiledBlock`]).
+    pub pcs: Box<[u32]>,
+    /// Instruction-table index of the first op.
+    pub first: u32,
+    /// Architectural fall-through exit of the terminator.
+    pub fall_pc: u32,
+    /// Table index of the fall-through exit (`NO_IDX` off-image).
+    pub fall_unit: u32,
+    /// Direct-target exit.
+    pub target_pc: u32,
+    /// Table index of the direct-target exit.
+    pub taken_unit: u32,
+    /// The terminating instruction (what a completed step reports).
+    pub term: Instr,
+    /// The edge that continues the trace into the next segment
+    /// (`None` on the final segment — the loop back edge, when there is
+    /// one, lives on [`CompiledTrace::loop_cont`]).
+    pub cont: Option<TraceCont>,
+}
+
+/// One fused superblock of the golden model's trace tier: segments in
+/// execution order, plus the loop-trace specialization when the
+/// selected chain closes back on its head.
+pub(crate) struct CompiledTrace {
+    pub segs: Box<[TraceSeg]>,
+    /// For loop traces: the edge of the *last* segment that re-enters
+    /// the head; the executor iterates in place while it matches.
+    pub loop_cont: Option<TraceCont>,
+    /// Loop-head specialization: the head segment's ops recompiled with
+    /// the back-edge seam proved (on iterations ≥ 2 the previous
+    /// dynamic instruction is the last segment's terminator, so its
+    /// fetch line is a build-time fact too). Iteration 1 keeps the
+    /// unproved `segs[0].ops` — control may enter the trace from
+    /// anywhere.
+    pub loop_head_ops: Option<Box<[OpFn]>>,
+    /// Union of every segment's fetch lines — the whole-trace residency
+    /// guard, checked *once* per trace step: while it holds, no op of
+    /// any segment can move cache state, so it keeps holding through
+    /// loop iterations and the executor batches all fetch accounting
+    /// for the step into one add.
+    pub lines: Box<[u32]>,
+}
+
+/// Compiles a selected superblock ([`cabt_exec::trace::grow`]) into its
+/// fused form. Segments reuse [`compile_op`] — every op performs the
+/// exact per-instruction work of the block-compiled core, so trace
+/// dispatch stays bit-identical — but the line-run analysis now spans
+/// the whole chain: `prev_line` carries across seams, because a seam is
+/// only crossed after the guard confirmed control left through the
+/// expected edge, and on *both* edge kinds the previous dynamic fetch
+/// is the terminator's last line.
+pub(crate) fn compile_trace(
+    table: &[PreInstr],
+    map: &BlockMap,
+    plan: &TracePlan,
+    line_bytes: u32,
+) -> CompiledTrace {
+    let compile_span =
+        |first: u32, end: u32, last: u32, mut prev_line: Option<u32>, fetch: bool| {
+            (first..end)
+                .map(|u| {
+                    let pi = &table[u as usize];
+                    let first_repeat = prev_line == Some(pi.line_first);
+                    prev_line = Some(pi.line_last);
+                    compile_op(pi, u == last, first_repeat, fetch)
+                })
+                .collect::<Box<[OpFn]>>()
+        };
+    let mut prev_line: Option<u32> = None;
+    let segs: Box<[TraceSeg]> = plan
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(si, &b)| {
+            let span = &map.blocks[b as usize];
+            let last = span.last();
+            let ops = compile_span(span.first, span.end(), last, prev_line, true);
+            let lean_ops = compile_span(span.first, span.end(), last, None, false);
+            prev_line = Some(table[last as usize].line_last);
+            let pcs: Box<[u32]> = (span.first..span.end())
+                .map(|u| table[u as usize].pc)
+                .collect();
+            // Static fetch plan of the segment: the distinct lines in
+            // fetch order (pcs ascend within a block, so consecutive
+            // dedup suffices) and the per-op cumulative access counts
+            // the batched fast path applies.
+            let mut lines: Vec<u32> = Vec::new();
+            let mut accesses = 0u32;
+            let acc_prefix: Box<[u32]> = (span.first..span.end())
+                .map(|u| {
+                    let pi = &table[u as usize];
+                    let mut line = pi.line_first;
+                    loop {
+                        if lines.last() != Some(&line) {
+                            lines.push(line);
+                        }
+                        accesses += 1;
+                        if line == pi.line_last {
+                            break;
+                        }
+                        line += line_bytes;
+                    }
+                    accesses
+                })
+                .collect();
+            let t = &table[last as usize];
+            TraceSeg {
+                ops,
+                lean_ops,
+                lines: lines.into_boxed_slice(),
+                accesses,
+                acc_prefix,
+                pcs,
+                first: span.first,
+                fall_pc: t.fall_pc,
+                fall_unit: t.fall,
+                target_pc: t.target_pc,
+                taken_unit: t.target,
+                term: t.instr,
+                cont: plan.via_taken.get(si).map(|&taken| {
+                    if taken {
+                        TraceCont::Taken
+                    } else {
+                        TraceCont::Fall
+                    }
+                }),
+            }
+        })
+        .collect();
+    let loop_cont = plan.loop_back.then(|| {
+        if plan.loop_via_taken {
+            TraceCont::Taken
+        } else {
+            TraceCont::Fall
+        }
+    });
+    let loop_head_ops = plan.loop_back.then(|| {
+        // prev_line currently holds the final segment's terminator line
+        // — the instruction the back edge is taken from.
+        let span = &map.blocks[plan.blocks[0] as usize];
+        compile_span(span.first, span.end(), span.last(), prev_line, true)
+    });
+    let mut lines: Vec<u32> = segs.iter().flat_map(|s| s.lines.iter().copied()).collect();
+    lines.sort_unstable();
+    lines.dedup();
+    CompiledTrace {
+        segs,
+        loop_cont,
+        loop_head_ops,
+        lines: lines.into_boxed_slice(),
+    }
+}
+
 /// The control-flow role the block builder needs, derived from a
 /// pre-decoded entry — the shared [`Instr::unit_flow`] classifier, so
 /// the engine's partition matches the translator's by construction.
 fn flow_of(pi: &PreInstr) -> UnitFlow {
-    pi.instr.unit_flow((pi.target != NO_IDX).then_some(pi.target))
+    pi.instr
+        .unit_flow((pi.target != NO_IDX).then_some(pi.target))
 }
 
 /// Compiles the whole pre-decoded table into fused blocks. `entry` is
@@ -209,7 +410,7 @@ pub(crate) fn compile(table: &[PreInstr], entry: u32) -> CompiledProgram {
                     let pi = &table[u as usize];
                     let first_repeat = prev_line == Some(pi.line_first);
                     prev_line = Some(pi.line_last);
-                    compile_op(pi, u == last, first_repeat)
+                    compile_op(pi, u == last, first_repeat, true)
                 })
                 .collect();
             let pcs: Box<[u32]> = (span.first..span.end())
@@ -239,6 +440,11 @@ struct Meta {
     /// The op's first line repeats the previous op's last line (static
     /// line-run analysis — see [`Hot::icache_op`]).
     first_repeat: bool,
+    /// Whether the fused op carries its fetch prologue. `false` only
+    /// for a trace segment's lean variant, whose fetch accounting the
+    /// trace executor batches per segment (const-dispatched so the
+    /// prologue folds out of the closure entirely).
+    fetch: bool,
     timing: PreTiming,
     reads: [u8; 3],
     nreads: u8,
@@ -247,11 +453,12 @@ struct Meta {
 }
 
 impl Meta {
-    fn of(pi: &PreInstr, first_repeat: bool) -> Meta {
+    fn of(pi: &PreInstr, first_repeat: bool, fetch: bool) -> Meta {
         Meta {
             line_first: pi.line_first,
             line_last: pi.line_last,
             first_repeat,
+            fetch,
             timing: pi.timing,
             reads: pi.reads,
             nreads: pi.nreads,
@@ -267,10 +474,13 @@ impl Meta {
 /// the closure).
 macro_rules! by_class {
     ($ctor:ident, $m:expr, $($arg:expr),+) => {
-        match $m.timing.class {
-            IssueClass::Ip => $ctor::<false, false, _>($m, $($arg),+),
-            IssueClass::Ls => $ctor::<true, false, _>($m, $($arg),+),
-            IssueClass::Br => $ctor::<false, true, _>($m, $($arg),+),
+        match ($m.timing.class, $m.fetch) {
+            (IssueClass::Ip, true) => $ctor::<false, false, true, _>($m, $($arg),+),
+            (IssueClass::Ls, true) => $ctor::<true, false, true, _>($m, $($arg),+),
+            (IssueClass::Br, true) => $ctor::<false, true, true, _>($m, $($arg),+),
+            (IssueClass::Ip, false) => $ctor::<false, false, false, _>($m, $($arg),+),
+            (IssueClass::Ls, false) => $ctor::<true, false, false, _>($m, $($arg),+),
+            (IssueClass::Br, false) => $ctor::<false, true, false, _>($m, $($arg),+),
         }
     };
 }
@@ -285,12 +495,18 @@ where
     by_class!(fuse_class, m, exit, body)
 }
 
-fn fuse_class<const IS_LS: bool, const IS_BR: bool, F>(m: Meta, exit: Ctl, body: F) -> OpFn
+fn fuse_class<const IS_LS: bool, const IS_BR: bool, const FETCH: bool, F>(
+    m: Meta,
+    exit: Ctl,
+    body: F,
+) -> OpFn
 where
     F: Fn(&mut Hot<'_>) -> Result<(), SimError> + Send + 'static,
 {
     Box::new(move |h| {
-        h.icache_op(&m);
+        if FETCH {
+            h.icache_op(&m);
+        }
         body(h)?;
         h.model.step_pre_class::<IS_LS, IS_BR>(
             h.tstate,
@@ -313,12 +529,17 @@ where
     by_class!(fuse_cond_class, m, body)
 }
 
-fn fuse_cond_class<const IS_LS: bool, const IS_BR: bool, F>(m: Meta, body: F) -> OpFn
+fn fuse_cond_class<const IS_LS: bool, const IS_BR: bool, const FETCH: bool, F>(
+    m: Meta,
+    body: F,
+) -> OpFn
 where
     F: Fn(&mut Hot<'_>) -> bool + Send + 'static,
 {
     Box::new(move |h| {
-        h.icache_op(&m);
+        if FETCH {
+            h.icache_op(&m);
+        }
         let t = body(h);
         h.model.step_pre_class::<IS_LS, IS_BR>(
             h.tstate,
@@ -346,12 +567,17 @@ where
     by_class!(fuse_indirect_class, m, body)
 }
 
-fn fuse_indirect_class<const IS_LS: bool, const IS_BR: bool, F>(m: Meta, body: F) -> OpFn
+fn fuse_indirect_class<const IS_LS: bool, const IS_BR: bool, const FETCH: bool, F>(
+    m: Meta,
+    body: F,
+) -> OpFn
 where
     F: Fn(&mut Hot<'_>) -> u32 + Send + 'static,
 {
     Box::new(move |h| {
-        h.icache_op(&m);
+        if FETCH {
+            h.icache_op(&m);
+        }
         let a = body(h);
         h.model.step_pre_class::<IS_LS, IS_BR>(
             h.tstate,
@@ -369,8 +595,8 @@ where
 /// with [`Ctl::Next`], the same op in terminator position exits with
 /// [`Ctl::Fall`]. `first_repeat` is the static line-run fact for the
 /// fetch prologue.
-fn compile_op(pi: &PreInstr, terminator: bool, first_repeat: bool) -> OpFn {
-    let m = Meta::of(pi, first_repeat);
+fn compile_op(pi: &PreInstr, terminator: bool, first_repeat: bool, fetch: bool) -> OpFn {
+    let m = Meta::of(pi, first_repeat, fetch);
     // Exit of a non-control op, decided by block position.
     let next = if terminator { Ctl::Fall } else { Ctl::Next };
     let fall_pc = pi.fall_pc;

@@ -13,7 +13,7 @@
 //!
 //! # Dispatch modes
 //!
-//! The simulator has three dispatch cores selected by [`DispatchMode`]:
+//! The simulator has four dispatch cores selected by [`DispatchMode`]:
 //!
 //! * [`DispatchMode::Predecoded`] (the default) decodes the whole
 //!   `.text` image once at load into a dense table. Each entry carries
@@ -29,6 +29,13 @@
 //!   the successor block id. Bit-identical to the pre-decoded core at
 //!   every block boundary; block boundaries are the *only* stop
 //!   points (budgeted runs overshoot into the current block's end).
+//! * [`DispatchMode::Trace`] adds the profile-guided superblock tier on
+//!   top of the compiled core: block-edge counters collected during a
+//!   warm-up window, hot chains fused into single multi-block closure
+//!   runs with side-exit guards ([`cabt_exec::trace`]). One step
+//!   dispatches a whole *trace* (up to a bounded number of loop
+//!   iterations for loop traces), so stop points coarsen further; the
+//!   architectural trajectory stays bit-identical.
 //! * [`DispatchMode::Naive`] is the retained seed interpreter: an
 //!   address-keyed map looked up on every step, with per-step line and
 //!   operand-set computation. It exists as the reference for the
@@ -36,12 +43,13 @@
 //!
 //! All modes produce exactly the same architectural state, cycle
 //! counts, statistics and fault behaviour (the compiled core observed
-//! at block boundaries).
+//! at block boundaries, the trace core at trace boundaries).
 
 use crate::arch::{ArchDesc, CacheConfig, CacheSim, PreTiming, TimingModel, TimingState};
-use crate::compiled::{self, CompiledProgram, Ctl, Hot};
+use crate::compiled::{self, CompiledProgram, CompiledTrace, Ctl, Hot, TraceCont};
 use crate::encode::decode_section;
 use crate::isa::{AReg, Instr, LdKind, StKind, RA};
+use cabt_exec::trace::{grow, TraceConfig, TraceProfile, TraceStats};
 use cabt_exec::{EngineStats, ExecutionEngine};
 use cabt_isa::elf::ElfFile;
 use cabt_isa::mem::Memory;
@@ -195,6 +203,20 @@ pub enum DispatchMode {
     /// cycle counts, statistics and fault behaviour are bit-identical
     /// to [`DispatchMode::Predecoded`] at every boundary.
     Compiled,
+    /// Trace-compiled dispatch: the compiled core plus the
+    /// profile-guided superblock tier. During a warm-up window
+    /// ([`cabt_exec::trace::TraceConfig::warmup`] profiled block
+    /// dispatches) the engine counts block executions and exit edges;
+    /// when a block's count reaches the hot threshold, the hottest
+    /// fall/taken chain is fused into one closure run spanning its
+    /// blocks, with fetch line runs proved across the seams and
+    /// side-exit guards falling back to block dispatch. Once the
+    /// window closes profiling stops and dispatch is pure table
+    /// lookups. One [`Simulator::step`] executes a whole trace —
+    /// bounded loop-trace iteration included — so budgets overshoot
+    /// further than under [`DispatchMode::Compiled`]; everything
+    /// architectural stays bit-identical at every stop point.
+    Trace,
     /// The retained seed interpreter: address-map fetch on every step.
     Naive,
 }
@@ -256,7 +278,49 @@ pub struct SimSnapshot {
     stats: RunStats,
     cur: u32,
     halted: bool,
+    trace: Option<TraceTierSnap>,
 }
+
+/// Trace-tier replay state carried by [`SimSnapshot`]. The tier is
+/// architecturally invisible, but its profile counters decide *where*
+/// budgeted runs stop (trace-granular overshoot), so a replay from a
+/// snapshot must rewind them too. Compiled trace closures are not
+/// cloned: restore keeps traces that were already formed at snapshot
+/// time and drops later ones — the restored profile re-forms those at
+/// the same points, from the same (deterministic) plans.
+#[derive(Debug, Clone)]
+struct TraceTierSnap {
+    profile: TraceProfile,
+    formed: Vec<bool>,
+    tstats: TraceStats,
+}
+
+/// The golden model's trace-tier state: the warm-up profile, the formed
+/// traces (indexed by head block id) and the coverage counters.
+struct TraceTier {
+    cfg: TraceConfig,
+    profile: TraceProfile,
+    traces: Vec<Option<CompiledTrace>>,
+    tstats: TraceStats,
+}
+
+impl TraceTier {
+    fn new(blocks: usize, cfg: TraceConfig) -> TraceTier {
+        TraceTier {
+            cfg,
+            profile: TraceProfile::new(blocks, &cfg),
+            traces: (0..blocks).map(|_| None).collect(),
+            tstats: TraceStats::default(),
+        }
+    }
+}
+
+/// Loop traces iterate in place, but a single [`Simulator::step`] stays
+/// bounded: after this many back-edge trips the step returns (parked on
+/// the loop head, a block leader) and the next step re-enters the
+/// trace. Purely a stop-point granularity knob — any value yields the
+/// same architectural trajectory.
+const TRACE_LOOP_CAP: u32 = 64;
 
 /// Where execution goes after an instruction.
 #[derive(Debug, Clone, Copy)]
@@ -308,6 +372,15 @@ pub struct Simulator {
     /// [`DispatchMode::Compiled`]; a load-time constant afterwards,
     /// shared by snapshots like the pre-decoded table).
     compiled: Option<CompiledProgram>,
+    /// Trace-tier state (profile, formed traces, coverage counters) —
+    /// built on first selection of [`DispatchMode::Trace`]. Formed
+    /// traces are deterministic compilations of load-time data, so
+    /// like the compiled table they survive [`ExecutionEngine::reset`]
+    /// and are not part of snapshots: whichever tier dispatches a
+    /// block, the architectural trajectory is identical.
+    trace: Option<Box<TraceTier>>,
+    /// Trace-tier knobs ([`Simulator::set_trace_config`]).
+    trace_cfg: TraceConfig,
     /// Cached table index of `cpu.pc` (`NO_IDX` forces a map lookup).
     cur: u32,
     mode: DispatchMode,
@@ -413,6 +486,8 @@ impl Simulator {
             table,
             index_of,
             compiled: None,
+            trace: None,
+            trace_cfg: TraceConfig::default(),
             cur,
             mode: DispatchMode::default(),
             entry: elf.entry,
@@ -434,15 +509,43 @@ impl Simulator {
     /// load-time cost, like the pre-decode pass itself).
     pub fn set_dispatch(&mut self, mode: DispatchMode) {
         self.mode = mode;
-        if mode == DispatchMode::Compiled && self.compiled.is_none() {
+        if matches!(mode, DispatchMode::Compiled | DispatchMode::Trace) && self.compiled.is_none() {
             let entry = self.index_of.get(&self.entry).copied().unwrap_or(NO_IDX);
             self.compiled = Some(compiled::compile(&self.table, entry));
+        }
+        if mode == DispatchMode::Trace && self.trace.is_none() {
+            let blocks = self.compiled.as_ref().expect("compiled above").map.len();
+            self.trace = Some(Box::new(TraceTier::new(blocks, self.trace_cfg)));
         }
     }
 
     /// The dispatch core in use.
     pub fn dispatch(&self) -> DispatchMode {
         self.mode
+    }
+
+    /// Sets the trace-tier knobs (warm-up window, hot threshold, trace
+    /// length cap). Call before — or together with — selecting
+    /// [`DispatchMode::Trace`]: an already-built tier is rebuilt with a
+    /// fresh profile and no formed traces.
+    pub fn set_trace_config(&mut self, cfg: TraceConfig) {
+        self.trace_cfg = cfg;
+        if self.trace.is_some() {
+            let blocks = self
+                .compiled
+                .as_ref()
+                .map(|p| p.map.len())
+                .unwrap_or_default();
+            self.trace = Some(Box::new(TraceTier::new(blocks, cfg)));
+        }
+    }
+
+    /// Trace-tier formation/coverage counters (`None` unless
+    /// [`DispatchMode::Trace`] was ever selected). Deliberately outside
+    /// [`RunStats`], which is compared bit-for-bit across dispatch
+    /// modes by the differential suites.
+    pub fn trace_stats(&self) -> Option<TraceStats> {
+        self.trace.as_ref().map(|t| t.tstats)
     }
 
     /// Attaches a memory-mapped I/O device for `IO_BASE..IO_END`.
@@ -496,6 +599,7 @@ impl Simulator {
         match self.mode {
             DispatchMode::Predecoded => self.step_predecoded(),
             DispatchMode::Compiled => self.step_compiled(),
+            DispatchMode::Trace => self.step_trace(),
             DispatchMode::Naive => self.step_naive(),
         }
     }
@@ -587,6 +691,244 @@ impl Simulator {
             Ctl::Indirect(a) => (a, index_of.get(&a).copied().unwrap_or(NO_IDX)),
         };
         cpu.pc = next_pc;
+        *cur_field = next_idx;
+        Ok(blk.term)
+    }
+
+    /// The trace-tier hot loop. At a block leader with a formed trace,
+    /// the whole fused superblock executes inside this one step — seam
+    /// guards compare each segment terminator's actual exit with the
+    /// edge the trace was selected along, side-exiting into normal
+    /// dispatch on mismatch; loop traces iterate in place (bounded by
+    /// [`TRACE_LOOP_CAP`]) using the head segment's back-edge
+    /// specialization. Leaders without a trace take single-block
+    /// compiled dispatch, feeding the warm-up profile that forms
+    /// traces; mid-block entries keep the pre-decoded fallback.
+    /// Retirement is batched per trace and reconstructed on the fault
+    /// path exactly like the block core.
+    fn step_trace(&mut self) -> Result<Instr, SimError> {
+        if self.compiled.is_none() || self.trace.is_none() {
+            // Defensive: `set_dispatch` builds both tables.
+            self.set_dispatch(DispatchMode::Trace);
+        }
+        let pc = self.cpu.pc;
+        let cur = if self.cur != NO_IDX && self.table[self.cur as usize].pc == pc {
+            self.cur
+        } else {
+            *self.index_of.get(&pc).ok_or(SimError::PcInvalid { pc })?
+        };
+        let off = {
+            let prog = self.compiled.as_ref().expect("compiled table built above");
+            prog.map.location(cur).offset
+        };
+        if off != 0 {
+            self.cur = cur;
+            return self.step_predecoded();
+        }
+        let Simulator {
+            compiled,
+            trace,
+            table,
+            cpu,
+            mem,
+            io,
+            tstate,
+            cache,
+            cache_cfg,
+            model,
+            stats,
+            halted,
+            cur: cur_field,
+            index_of,
+            ..
+        } = self;
+        let prog = compiled.as_ref().expect("compiled table built above");
+        let tier = &mut **trace.as_mut().expect("trace tier built above");
+        let head = prog.map.location(cur).block;
+
+        // Warm-up profiling: count the dispatch; on the hot-threshold
+        // crossing, grow the hottest chain and fuse it.
+        if tier.traces[head as usize].is_none()
+            && tier.profile.warm()
+            && tier.profile.record_exec(head, tier.cfg.hot_threshold)
+        {
+            if let Some(plan) = grow(&prog.map, &tier.profile, head, &tier.cfg) {
+                tier.tstats.traces += 1;
+                tier.tstats.trace_blocks += plan.blocks.len() as u64;
+                tier.traces[head as usize] = Some(compiled::compile_trace(
+                    table.as_slice(),
+                    &prog.map,
+                    &plan,
+                    cache_cfg.line_bytes,
+                ));
+            }
+        }
+
+        let mut hot = Hot {
+            cpu: &mut *cpu,
+            mem: &mut *mem,
+            io: &mut *io,
+            tstate: &mut *tstate,
+            cache: &mut *cache,
+            cache_cfg: *cache_cfg,
+            model,
+            stats: &mut *stats,
+            halted: &mut *halted,
+        };
+
+        if let Some(tr) = tier.traces[head as usize].as_ref() {
+            // Fused superblock dispatch. Batched-fetch fast path: when
+            // every line the whole trace touches is MRU-resident, each
+            // per-op access would be a pure hit with no tag/LRU
+            // movement — so the fetch-free ops run, nothing can move
+            // cache state for the rest of the step (the guard keeps
+            // holding through seams and loop iterations), and all
+            // fetch accounting of the step collapses into one add at
+            // the exit point. Bit-identical: no observation point
+            // exists inside a step. With no cache configured the fast
+            // path is unconditional and accounts nothing, like the
+            // pre-decoded prologue.
+            let (batched, counted) = match hot.cache.as_ref() {
+                None => (true, false),
+                Some(c) => (tr.lines.iter().all(|&l| c.mru_resident(l)), true),
+            };
+            let mut done = 0u64; // units retired in completed segments
+            let mut acc = 0u64; // batched icache accesses of those
+            let mut si = 0usize;
+            let mut iters = 0u32;
+            let mut on_back_edge = false;
+            loop {
+                let seg = &tr.segs[si];
+                let ops = if batched {
+                    &seg.lean_ops[..]
+                } else if on_back_edge && si == 0 {
+                    tr.loop_head_ops
+                        .as_deref()
+                        .expect("loop traces carry head ops")
+                } else {
+                    &seg.ops[..]
+                };
+                let mut i = 0usize;
+                let exit = loop {
+                    match (ops[i])(&mut hot) {
+                        Ok(Ctl::Next) => i += 1,
+                        Ok(ctl) => break ctl,
+                        Err(e) => {
+                            // Fault inside the trace: identical parking
+                            // to the block core — the completed prefix
+                            // retires, the faulting op does not. On the
+                            // batched path, fetch precedes execute, so
+                            // ops 0..=i did fetch — their accesses (all
+                            // guarded hits) land now.
+                            if batched && counted {
+                                let n = acc + u64::from(seg.acc_prefix[i]);
+                                hot.stats.icache_accesses += n;
+                                hot.cache
+                                    .as_mut()
+                                    .expect("counted implies a cache")
+                                    .batch_hits(n);
+                            }
+                            let retired = done + i as u64;
+                            hot.stats.instructions += retired;
+                            tier.tstats.trace_retired += retired;
+                            hot.cpu.pc = seg.pcs[i];
+                            *cur_field = seg.first + i as u32;
+                            return Err(e);
+                        }
+                    }
+                };
+                acc += u64::from(seg.accesses);
+                done += (i + 1) as u64;
+                // Seam guard: did control leave through the edge the
+                // trace was selected along?
+                let cont = if si + 1 < tr.segs.len() {
+                    seg.cont
+                } else {
+                    tr.loop_cont
+                };
+                let follows = !*hot.halted
+                    && match (cont, exit) {
+                        (Some(TraceCont::Fall), Ctl::Next | Ctl::Fall) => true,
+                        (Some(TraceCont::Taken), Ctl::Taken) => true,
+                        _ => false,
+                    };
+                if follows {
+                    if si + 1 < tr.segs.len() {
+                        si += 1;
+                        continue;
+                    }
+                    // Back edge of a loop trace: iterate in place.
+                    iters += 1;
+                    if iters < TRACE_LOOP_CAP {
+                        si = 0;
+                        on_back_edge = true;
+                        continue;
+                    }
+                    // Cap hit: end the step on the matched edge — it
+                    // lands on the head leader, like any side exit.
+                }
+                // Side exit: resolve the successor exactly as the
+                // block core would and return to normal dispatch.
+                let (next_pc, next_idx) = match exit {
+                    Ctl::Next | Ctl::Fall => (seg.fall_pc, seg.fall_unit),
+                    Ctl::Taken => (seg.target_pc, seg.taken_unit),
+                    Ctl::Indirect(a) => (a, index_of.get(&a).copied().unwrap_or(NO_IDX)),
+                };
+                // Direct side exits always land on block leaders
+                // (targets and post-terminator successors are leaders
+                // by construction); indirect exits may land mid-block
+                // and take the documented pre-decoded fallback.
+                debug_assert!(
+                    matches!(exit, Ctl::Indirect(_))
+                        || next_idx == NO_IDX
+                        || prog.map.location(next_idx).offset == 0,
+                    "trace side exit must land on a block leader"
+                );
+                if batched && counted {
+                    hot.stats.icache_accesses += acc;
+                    hot.cache
+                        .as_mut()
+                        .expect("counted implies a cache")
+                        .batch_hits(acc);
+                }
+                hot.cpu.pc = next_pc;
+                *cur_field = next_idx;
+                hot.stats.instructions += done;
+                tier.tstats.trace_retired += done;
+                return Ok(seg.term);
+            }
+        }
+
+        // Single-block compiled dispatch, recording exit edges while
+        // the warm-up window is open.
+        let blk = &prog.blocks[head as usize];
+        let mut i = 0usize;
+        let exit = loop {
+            match (blk.ops[i])(&mut hot) {
+                Ok(Ctl::Next) => i += 1,
+                Ok(ctl) => break ctl,
+                Err(e) => {
+                    hot.stats.instructions += i as u64;
+                    hot.cpu.pc = blk.pcs[i];
+                    *cur_field = blk.first + i as u32;
+                    return Err(e);
+                }
+            }
+        };
+        hot.stats.instructions += (i + 1) as u64;
+        if tier.profile.warm() {
+            match exit {
+                Ctl::Next | Ctl::Fall => tier.profile.record_fall(head),
+                Ctl::Taken => tier.profile.record_taken(head),
+                Ctl::Indirect(_) => {}
+            }
+        }
+        let (next_pc, next_idx) = match exit {
+            Ctl::Next | Ctl::Fall => (blk.fall_pc, blk.fall_unit),
+            Ctl::Taken => (blk.target_pc, blk.taken_unit),
+            Ctl::Indirect(a) => (a, index_of.get(&a).copied().unwrap_or(NO_IDX)),
+        };
+        hot.cpu.pc = next_pc;
         *cur_field = next_idx;
         Ok(blk.term)
     }
@@ -951,6 +1293,11 @@ impl ExecutionEngine for Simulator {
             stats: self.stats,
             cur: self.cur,
             halted: self.halted,
+            trace: self.trace.as_ref().map(|t| TraceTierSnap {
+                profile: t.profile.clone(),
+                formed: t.traces.iter().map(Option::is_some).collect(),
+                tstats: t.tstats,
+            }),
         }
     }
 
@@ -962,6 +1309,24 @@ impl ExecutionEngine for Simulator {
         self.stats = snapshot.stats;
         self.cur = snapshot.cur;
         self.halted = snapshot.halted;
+        match (&mut self.trace, &snapshot.trace) {
+            (Some(tier), Some(snap)) => {
+                tier.profile = snap.profile.clone();
+                tier.tstats = snap.tstats;
+                for (tr, &formed) in tier.traces.iter_mut().zip(&snap.formed) {
+                    if !formed {
+                        *tr = None;
+                    }
+                }
+            }
+            // Snapshot predates the tier: replay starts from a fresh
+            // profile, exactly as the snapshotted engine would have.
+            (Some(tier), None) => {
+                let (blocks, cfg) = (tier.traces.len(), tier.cfg);
+                **tier = TraceTier::new(blocks, cfg);
+            }
+            _ => {}
+        }
     }
 
     /// Flat register space: `0..16` = `D0..D15`, `16..32` = `A0..A15`.
@@ -979,6 +1344,13 @@ impl ExecutionEngine for Simulator {
         self.stats = RunStats::default();
         self.halted = false;
         self.cur = self.index_of.get(&self.entry).copied().unwrap_or(NO_IDX);
+        // A reset engine reruns from a cold trace profile, so a rerun
+        // reproduces the original run exactly — budget stop points
+        // included, not just the architectural trajectory.
+        if let Some(tier) = &mut self.trace {
+            let (blocks, cfg) = (tier.traces.len(), tier.cfg);
+            **tier = TraceTier::new(blocks, cfg);
+        }
     }
 
     fn step_unit(&mut self) -> Result<(), SimError> {
@@ -1236,19 +1608,35 @@ mod tests {
         assert_eq!(sim.cpu.d(5), 8);
     }
 
+    /// An aggressive trace config so short unit-test programs actually
+    /// form traces: no warm-up gate, near-immediate hotness.
+    fn eager_traces() -> TraceConfig {
+        TraceConfig {
+            warmup: 1_000_000,
+            hot_threshold: 2,
+            max_blocks: 16,
+            follow_taken: true,
+        }
+    }
+
     /// Every observable — registers, stats, cycles, fault shape — must
-    /// be identical across all three dispatch cores at the halt.
+    /// be identical across all four dispatch cores at the halt.
     fn diff_modes(src: &str) {
         let elf = assemble(src).expect("assembles");
         let mut fast = Simulator::new(&elf).expect("loads");
         let run_as = |mode: DispatchMode| {
             let mut sim = Simulator::new(&elf).expect("loads");
+            sim.set_trace_config(eager_traces());
             sim.set_dispatch(mode);
             let r = sim.run(1_000_000);
             (r, sim)
         };
         let rf = fast.run(1_000_000);
-        for mode in [DispatchMode::Naive, DispatchMode::Compiled] {
+        for mode in [
+            DispatchMode::Naive,
+            DispatchMode::Compiled,
+            DispatchMode::Trace,
+        ] {
             let (rm, sim) = run_as(mode);
             assert_eq!(rf, rm, "{mode:?}: run results diverge");
             assert_eq!(fast.stats(), sim.stats(), "{mode:?}: stats diverge");
@@ -1287,7 +1675,10 @@ mod tests {
         let mut sim = Simulator::new(&elf).unwrap();
         sim.set_dispatch(DispatchMode::Compiled);
         let term = sim.step().unwrap();
-        assert!(matches!(term, Instr::Debug16), "step reports the terminator");
+        assert!(
+            matches!(term, Instr::Debug16),
+            "step reports the terminator"
+        );
         assert_eq!(sim.stats().instructions, 4, "whole block retired");
         assert!(sim.is_halted());
 
@@ -1356,6 +1747,104 @@ mod tests {
             stats(DispatchMode::Predecoded),
             stats(DispatchMode::Compiled)
         );
+    }
+
+    #[test]
+    fn trace_tier_forms_traces_and_matches_predecoded() {
+        // A hot loop plus a call/ret pair: the loop head crosses the
+        // hot threshold, a loop trace forms, and most retirement moves
+        // inside it — all while staying bit-identical to the
+        // pre-decoded core.
+        let src = "
+            .text
+        _start:
+            mov %d0, 200
+            mov %d2, 0
+        top:
+            call leaf
+            add %d2, %d0
+            addi %d0, %d0, -1
+            jnz %d0, top
+            debug
+        leaf:
+            addi %d10, %d10, 3
+            ret
+        ";
+        let elf = assemble(src).unwrap();
+        let mut base = Simulator::new(&elf).unwrap();
+        base.run(1_000_000).unwrap();
+
+        let mut sim = Simulator::new(&elf).unwrap();
+        sim.set_trace_config(eager_traces());
+        sim.set_dispatch(DispatchMode::Trace);
+        sim.run(1_000_000).unwrap();
+
+        assert_eq!(base.stats(), sim.stats());
+        for i in 0..16 {
+            assert_eq!(base.cpu.d(i), sim.cpu.d(i), "d{i}");
+            assert_eq!(base.cpu.a(i), sim.cpu.a(i), "a{i}");
+        }
+        let ts = sim.trace_stats().expect("trace tier active");
+        assert!(ts.traces > 0, "hot loop must form a trace");
+        assert!(
+            ts.trace_retired > sim.stats().instructions / 2,
+            "most retirement should land inside traces: {} of {}",
+            ts.trace_retired,
+            sim.stats().instructions
+        );
+    }
+
+    #[test]
+    fn trace_tier_faults_and_budget_match_predecoded() {
+        // The loop body loads through %a2, which walks forward by 6
+        // each iteration and crosses into a misaligned word address
+        // after the trace has formed: the fault must park pc on the
+        // load with the completed-prefix retirement, exactly like the
+        // pre-decoded core.
+        let src = "
+            .text
+        _start:
+            movh.a %a2, 0x4000
+            mov %d0, 64
+        top:
+            ld.w %d3, [%a2]0
+            add %d2, %d3
+            addi %d0, %d0, -1
+            lea %a2, [%a2]6
+            jnz %d0, top
+            debug
+        ";
+        let elf = assemble(src).unwrap();
+        let observe = |mode: DispatchMode| {
+            let mut sim = Simulator::new(&elf).unwrap();
+            sim.set_trace_config(eager_traces());
+            sim.set_dispatch(mode);
+            let err = loop {
+                match sim.step() {
+                    Ok(_) => {}
+                    Err(e) => break e,
+                }
+            };
+            (err, sim.cpu.pc, sim.cpu.a(2), sim.stats())
+        };
+        let p = observe(DispatchMode::Predecoded);
+        let t = observe(DispatchMode::Trace);
+        assert_eq!(p, t, "fault shape diverges between predecoded and trace");
+        assert!(matches!(p.0, SimError::Mem(_)));
+
+        // Instruction budgets overshoot at most to the end of the
+        // current step for block-granular cores; the trace core keeps
+        // reporting correct totals under a budget that lands mid-trace.
+        let budget = |mode: DispatchMode, max: u64| {
+            let mut sim = Simulator::new(&elf).unwrap();
+            sim.set_trace_config(eager_traces());
+            sim.set_dispatch(mode);
+            let _ = sim.run(max);
+            sim.stats().instructions
+        };
+        let fine = budget(DispatchMode::Predecoded, 100);
+        let fused = budget(DispatchMode::Trace, 100);
+        assert!(fused >= fine, "trace core must not under-run the budget");
     }
 
     #[test]

@@ -53,12 +53,30 @@ pub(crate) type SlotFn = Box<
         + Send,
 >;
 
-/// One compiled execute packet.
+/// One compiled execute packet: all slots fused into a single closure
+/// so the hot loop pays one indirect call per packet, with no slot
+/// iteration or per-slot bounds checks.
 pub(crate) struct CompiledPacket {
     /// Issue cycles (packet epilogue cost).
     pub issue: u32,
-    /// Fused slots in issue order.
-    pub slots: Box<[SlotFn]>,
+    /// The whole packet, slots composed in issue order.
+    pub run: SlotFn,
+}
+
+/// Composes the packet's slot closures pairwise into one body. Slots
+/// only read architectural registers (staged writes commit between
+/// packets), so sequential composition is exactly the interpretive
+/// cores' slot loop.
+fn fuse_packet(slots: Vec<SlotFn>) -> SlotFn {
+    slots
+        .into_iter()
+        .reduce(|a, b| {
+            Box::new(move |h, writes, stall, branch| {
+                a(h, writes, stall, branch)?;
+                b(h, writes, stall, branch)
+            })
+        })
+        .unwrap_or_else(|| Box::new(|_, _, _, _| Ok(())))
 }
 
 /// The compiled program: the shared block partition over the packet
@@ -94,9 +112,8 @@ fn flow_of(slots: &[PreSlot]) -> UnitFlow {
 /// pre-decoded table and slot arena the compiled program is a view
 /// over.
 pub(crate) fn compile(pre: &[PrePacket], pre_slots: &[PreSlot]) -> CompiledProgram {
-    let slots_of = |p: &PrePacket| {
-        &pre_slots[p.first_slot as usize..(p.first_slot + p.nslots) as usize]
-    };
+    let slots_of =
+        |p: &PrePacket| &pre_slots[p.first_slot as usize..(p.first_slot + p.nslots) as usize];
     let units: Vec<UnitFlow> = pre.iter().map(|p| flow_of(slots_of(p))).collect();
     // Packets are a dense arena: every packet's sequential successor is
     // the next table entry.
@@ -105,7 +122,7 @@ pub(crate) fn compile(pre: &[PrePacket], pre_slots: &[PreSlot]) -> CompiledProgr
         .iter()
         .map(|p| CompiledPacket {
             issue: p.issue,
-            slots: slots_of(p).iter().map(compile_slot).collect(),
+            run: fuse_packet(slots_of(p).iter().map(compile_slot).collect()),
         })
         .collect();
     CompiledProgram { map, packets }
@@ -172,14 +189,20 @@ fn compile_slot(ps: &PreSlot) -> SlotFn {
             alu!(|h| h.regs[s1.index()].wrapping_add(v), d)
         }
         Op::Shl { d, s1, s2 } => {
-            alu!(|h| h.regs[s1.index()].wrapping_shl(h.regs[s2.index()] & 31), d)
+            alu!(
+                |h| h.regs[s1.index()].wrapping_shl(h.regs[s2.index()] & 31),
+                d
+            )
         }
         Op::Shr { d, s1, s2 } => alu!(
             |h| ((h.regs[s1.index()] as i32).wrapping_shr(h.regs[s2.index()] & 31)) as u32,
             d
         ),
         Op::Shru { d, s1, s2 } => {
-            alu!(|h| h.regs[s1.index()].wrapping_shr(h.regs[s2.index()] & 31), d)
+            alu!(
+                |h| h.regs[s1.index()].wrapping_shr(h.regs[s2.index()] & 31),
+                d
+            )
         }
         Op::ShlI { d, s1, imm5 } => {
             let sh = imm5 as u32 & 31;
@@ -268,9 +291,7 @@ fn compile_slot(ps: &PreSlot) -> SlotFn {
             })
         }
         Op::B { disp21 } => {
-            let dest = ps
-                .slot_addr
-                .wrapping_add((disp21 as u32).wrapping_mul(4));
+            let dest = ps.slot_addr.wrapping_add((disp21 as u32).wrapping_mul(4));
             let b_idx = ps.b_idx;
             guard(pred, counts, move |_, _, _, branch| {
                 *branch = Some((dest, b_idx));

@@ -10,7 +10,7 @@
 //!
 //! # Dispatch modes
 //!
-//! Like the golden model, the VLIW core has three dispatch paths
+//! Like the golden model, the VLIW core has four dispatch paths
 //! selected by [`VliwDispatch`]:
 //!
 //! * [`VliwDispatch::Predecoded`] (default) flattens the packet list
@@ -28,6 +28,12 @@
 //!   and the debugger's single-step contract needs packet boundaries —
 //!   so this core is bit-identical to the pre-decoded one at *every*
 //!   packet.
+//! * [`VliwDispatch::Trace`] adds the profile-guided trace tier on top
+//!   of the compiled core: hot fall-through packet chains (block
+//!   shadows make every in-trace edge a fall edge) are dispatched as
+//!   one fused run per step, with the branch-shadow and delayed-write
+//!   pipeline checked between packets inside the run and side exits
+//!   falling back to packet dispatch.
 //! * [`VliwDispatch::Naive`] is the retained seed interpreter (clone
 //!   the packet, scan for slot positions, hash branch targets), kept as
 //!   the reference half of the differential tests.
@@ -37,6 +43,7 @@
 use crate::compiled::{self, CompiledProgram, VHot};
 use crate::isa::{Op, Packet, Reg, Slot, Width};
 use cabt_exec::blocks::BlockMap;
+use cabt_exec::trace::{grow, TraceConfig, TraceProfile, TraceStats};
 use cabt_exec::{EngineStats, ExecutionEngine};
 use cabt_isa::mem::Memory;
 use cabt_isa::IsaError;
@@ -128,12 +135,72 @@ pub enum VliwDispatch {
     /// crate docs — bit-identical to the pre-decoded core at every
     /// packet).
     Compiled,
+    /// The compiled core plus the profile-guided trace tier. During the
+    /// warm-up window ([`TraceConfig::warmup`] dispatches) block
+    /// execution and fall-edge counters are collected; when a block
+    /// crosses [`TraceConfig::hot_threshold`] the hottest fall chain is
+    /// fused into a trace and dispatched as one run per step. Once
+    /// warm-up closes, profiling cost drops to zero and the trace set
+    /// is frozen. Budget overshoot is trace-granular (like the golden
+    /// compiled core's block granularity); the lockstep debugger
+    /// downgrades to [`VliwDispatch::Compiled`] to keep packet
+    /// stepping.
+    Trace,
     /// The retained seed interpreter (per-packet clone and scans).
     Naive,
 }
 
+impl VliwDispatch {
+    /// The packet-granular core a single-stepping debugger should use:
+    /// [`VliwDispatch::Trace`] retires whole traces per step, which
+    /// breaks the lockstep single-step contract, so it downgrades to
+    /// [`VliwDispatch::Compiled`]; every other mode is already
+    /// packet-granular and is kept as-is.
+    #[must_use]
+    pub fn debug_downgrade(self) -> Self {
+        match self {
+            VliwDispatch::Trace => VliwDispatch::Compiled,
+            other => other,
+        }
+    }
+}
+
 /// Sentinel for "no packet index".
 pub(crate) const NO_IDX: u32 = u32::MAX;
+
+/// The profile-guided trace tier of the VLIW core. Branch shadows make
+/// every in-trace edge a *fall* edge (a redirect lands packets after
+/// the branch), so a VLIW trace is simply a consecutive packet range
+/// starting at a hot block's leader; no separate trace compilation is
+/// needed on top of the fused packet closures.
+struct TraceTier {
+    cfg: TraceConfig,
+    profile: TraceProfile,
+    /// Per head block: one past the last packet of the fused range
+    /// (`None` until a trace forms at that head).
+    ends: Vec<Option<u32>>,
+    /// Per block: one past the last packet of the longest formed range
+    /// *covering* the block ([`NO_IDX`] when uncovered). Dispatch from
+    /// any pc inside a covered block — its leader or a mid-block
+    /// landing of an indirect side exit — fuses the rest of the range.
+    span: Vec<u32>,
+    tstats: TraceStats,
+}
+
+impl TraceTier {
+    fn new(blocks: usize, mut cfg: TraceConfig) -> TraceTier {
+        // Taken edges leave the consecutive arena; VLIW traces only
+        // ever grow along fall chains.
+        cfg.follow_taken = false;
+        TraceTier {
+            profile: TraceProfile::new(blocks, &cfg),
+            cfg,
+            ends: vec![None; blocks],
+            span: vec![NO_IDX; blocks],
+            tstats: TraceStats::default(),
+        }
+    }
+}
 
 /// Pre-decoded per-packet record: issue cost plus the slice of the slot
 /// arena this packet owns.
@@ -176,6 +243,20 @@ pub struct VliwSnapshot {
     pending_branch_idx: u32,
     stats: VliwStats,
     halted: bool,
+    trace: Option<VTraceSnap>,
+}
+
+/// Trace-tier replay state carried by [`VliwSnapshot`]. The tier is
+/// architecturally invisible, but its profile counters decide where
+/// budgeted runs stop (trace-granular overshoot), so a replay from a
+/// snapshot must rewind them too. VLIW traces are plain packet ranges
+/// (no closures), so the whole tier state clones.
+#[derive(Debug, Clone)]
+struct VTraceSnap {
+    profile: TraceProfile,
+    ends: Vec<Option<u32>>,
+    span: Vec<u32>,
+    tstats: TraceStats,
 }
 
 /// The VLIW target simulator. See the crate docs for an example.
@@ -196,6 +277,11 @@ pub struct VliwSim {
     /// Closure-compiled packet table (built on first selection of
     /// [`VliwDispatch::Compiled`]; a load-time constant afterwards).
     compiled: Option<CompiledProgram>,
+    /// Trace-tier state (profile counters + formed trace ranges), built
+    /// on selection of [`VliwDispatch::Trace`].
+    trace: Option<Box<TraceTier>>,
+    /// Warm-up/threshold knobs the trace tier is built with.
+    trace_cfg: TraceConfig,
     pc: usize,
     cycle: u64,
     pending_writes: Vec<(u64, Reg, u32)>,
@@ -278,6 +364,8 @@ impl VliwSim {
             pre,
             pre_slots,
             compiled: None,
+            trace: None,
+            trace_cfg: TraceConfig::default(),
             pc: 0,
             cycle: 0,
             pending_writes: Vec::new(),
@@ -316,9 +404,35 @@ impl VliwSim {
     /// like the pre-decode flattening itself).
     pub fn set_dispatch(&mut self, mode: VliwDispatch) {
         self.mode = mode;
-        if mode == VliwDispatch::Compiled && self.compiled.is_none() {
+        if matches!(mode, VliwDispatch::Compiled | VliwDispatch::Trace) && self.compiled.is_none() {
             self.compiled = Some(compiled::compile(&self.pre, &self.pre_slots));
         }
+        if mode == VliwDispatch::Trace && self.trace.is_none() {
+            let blocks = self.compiled.as_ref().expect("compiled above").map.len();
+            self.trace = Some(Box::new(TraceTier::new(blocks, self.trace_cfg)));
+        }
+    }
+
+    /// Sets the trace tier's warm-up/threshold knobs. Resets any
+    /// existing profile and formed traces so the new configuration
+    /// applies from a clean slate.
+    pub fn set_trace_config(&mut self, cfg: TraceConfig) {
+        self.trace_cfg = cfg;
+        if self.trace.is_some() {
+            let blocks = self
+                .compiled
+                .as_ref()
+                .expect("trace implies compiled")
+                .map
+                .len();
+            self.trace = Some(Box::new(TraceTier::new(blocks, cfg)));
+        }
+    }
+
+    /// Trace-tier counters (`None` unless [`VliwDispatch::Trace`] has
+    /// been selected).
+    pub fn trace_stats(&self) -> Option<TraceStats> {
+        self.trace.as_ref().map(|t| t.tstats)
     }
 
     /// The dispatch core in use.
@@ -353,23 +467,12 @@ impl VliwSim {
     /// call this before inspecting registers so the architecturally
     /// visible state is observed.
     pub fn commit_due_writes(&mut self) {
-        let now = self.cycle;
-        self.pending_writes.sort_by_key(|&(c, _, _)| c);
-        let mut i = 0;
-        while i < self.pending_writes.len() {
-            if self.pending_writes[i].0 <= now {
-                let (_, r, v) = self.pending_writes.remove(i);
-                self.regs[r.index()] = v;
-            } else {
-                i += 1;
-            }
-        }
-        self.next_due = self
-            .pending_writes
-            .iter()
-            .map(|&(c, _, _)| c)
-            .min()
-            .unwrap_or(u64::MAX);
+        commit_due(
+            &mut self.pending_writes,
+            &mut self.next_due,
+            &mut self.regs,
+            self.cycle,
+        );
     }
 
     /// Current cycle count.
@@ -441,6 +544,7 @@ impl VliwSim {
         match self.mode {
             VliwDispatch::Predecoded => self.step_packet_predecoded(),
             VliwDispatch::Compiled => self.step_packet_compiled(),
+            VliwDispatch::Trace => self.step_packet_trace(),
             VliwDispatch::Naive => self.step_packet_naive(),
         }
     }
@@ -471,9 +575,12 @@ impl VliwSim {
         }
 
         let mut stall = 0u64;
-        let mut writes = std::mem::take(&mut self.scratch);
         let mut branch: Option<(u32, u32)> = None;
         let issue;
+        // Slots stage straight into `pending_writes` (results only
+        // become due from the next cycle on, so nothing staged here can
+        // commit mid-packet): no scratch-buffer swap per step.
+        let staged = self.pending_writes.len();
         let result = {
             let VliwSim {
                 compiled,
@@ -483,9 +590,13 @@ impl VliwSim {
                 cycle,
                 halted,
                 stats,
+                pending_writes,
                 ..
             } = self;
-            let cp = &compiled.as_ref().expect("compiled table built above").packets[pcv];
+            let cp = &compiled
+                .as_ref()
+                .expect("compiled table built above")
+                .packets[pcv];
             issue = cp.issue;
             let mut hot = VHot {
                 regs,
@@ -495,29 +606,235 @@ impl VliwSim {
                 halted,
                 slots: &mut stats.slots,
             };
-            let mut result = Ok(());
-            for slot in cp.slots.iter() {
-                if let Err(e) = slot(&mut hot, &mut writes, &mut stall, &mut branch) {
-                    result = Err(e);
-                    break;
-                }
-            }
-            result
+            (cp.run)(&mut hot, pending_writes, &mut stall, &mut branch)
         };
         if let Err(e) = result {
-            writes.clear();
-            self.scratch = writes;
+            self.pending_writes.truncate(staged);
             return Err(e);
         }
 
         // End of packet: stage results (visible from the next cycle on).
-        for &(c, _, _) in &writes {
+        for &(c, _, _) in &self.pending_writes[staged..] {
             self.next_due = self.next_due.min(c);
         }
-        self.pending_writes.append(&mut writes);
-        self.scratch = writes;
 
         self.finish_packet(branch, issue, stall)
+    }
+
+    /// The trace-tier hot loop. At any packet inside a formed trace
+    /// range — its head leader or a mid-range landing — the rest of
+    /// the consecutive range dispatches inside this one step via
+    /// [`VliwSim::run_vliw_trace`]; uncovered packets take the
+    /// compiled per-packet path, feeding the warm-up fall-edge profile
+    /// that forms traces.
+    fn step_packet_trace(&mut self) -> Result<(), VliwError> {
+        if self.compiled.is_none() || self.trace.is_none() {
+            // Defensive: `set_dispatch` builds both tables.
+            self.set_dispatch(VliwDispatch::Trace);
+        }
+        // Prologue order matches the per-packet cores: retire due
+        // writes, then redirect an expired branch shadow — only then is
+        // `pc` the packet this step actually dispatches.
+        if self.cycle >= self.next_due {
+            if self.pending_writes.len() == 1 {
+                let (_, r, v) = self.pending_writes.pop().expect("len checked");
+                self.regs[r.index()] = v;
+                self.next_due = u64::MAX;
+            } else {
+                self.commit_due_writes();
+            }
+        }
+        self.redirect_if_due()?;
+
+        let pcv = self.pc;
+        if pcv >= self.pre.len() {
+            return Err(self.off_end_error());
+        }
+
+        let tier = &mut **self.trace.as_mut().expect("trace tier built above");
+        let prog = self.compiled.as_ref().expect("compiled table built above");
+        let loc = prog.map.location(pcv as u32);
+        let warm = tier.profile.warm();
+        if loc.offset == 0 {
+            let head = loc.block;
+            if tier.ends[head as usize].is_none()
+                && warm
+                && tier.profile.record_exec(head, tier.cfg.hot_threshold)
+            {
+                if let Some(plan) = grow(&prog.map, &tier.profile, head, &tier.cfg) {
+                    // Fall chains are consecutive in the dense packet
+                    // arena, so the trace is just a packet range.
+                    let last = prog.map.blocks[*plan.blocks.last().expect("non-empty") as usize];
+                    debug_assert_eq!(
+                        prog.map.blocks[head as usize].first
+                            + plan
+                                .blocks
+                                .iter()
+                                .map(|&b| prog.map.blocks[b as usize].len)
+                                .sum::<u32>()
+                            - last.len,
+                        last.first,
+                        "VLIW trace blocks must be consecutive"
+                    );
+                    tier.tstats.traces += 1;
+                    tier.tstats.trace_blocks += plan.blocks.len() as u64;
+                    let end = last.end();
+                    tier.ends[head as usize] = Some(end);
+                    // Every block of the range is now covered; keep the
+                    // longest cover per block.
+                    for &b in plan.blocks.iter() {
+                        let s = &mut tier.span[b as usize];
+                        if *s == NO_IDX || end > *s {
+                            *s = end;
+                        }
+                    }
+                }
+            }
+        }
+        // Any pc inside a formed range — its head, an interior leader,
+        // or a mid-block landing of an indirect side exit (`BReg`
+        // returns) — dispatches the rest of the range as one fused
+        // run. Bit-identical either way: the fused loop replays the
+        // per-packet semantics from any starting pc.
+        let end = tier.span[loc.block as usize];
+        if end != NO_IDX {
+            debug_assert!((pcv as u32) < end, "covers end on block boundaries");
+            return self.run_vliw_trace(end);
+        }
+
+        // No trace here: one compiled packet, recording the fall edge
+        // while the warm-up window is open (a packet "falls" when it is
+        // the last of its block and no redirect lands before the next
+        // packet — branch shadows mean taken edges leave via
+        // `redirect_if_due` later, which ends trace growth anyway).
+        let last_of_block = pcv as u32 == prog.map.blocks[loc.block as usize].last();
+        let r = self.step_packet_compiled();
+        if r.is_ok() && warm && last_of_block {
+            let redirecting = self.pending_branch.is_some_and(|(rem, _)| rem <= 0);
+            if !redirecting && !self.halted {
+                let tier = self.trace.as_mut().expect("trace tier built above");
+                tier.profile.record_fall(loc.block);
+            }
+        }
+        r
+    }
+
+    /// Dispatches every packet from `pc` up to (exclusive) `end` as one
+    /// fused run — the trace body. The delayed-write and branch-shadow
+    /// pipeline is honored between packets exactly as the per-packet
+    /// cores do it; an expiring branch shadow is a *side exit* that
+    /// hands the redirect target back to normal dispatch. Retirement
+    /// (`stats.packets`) is batched per run.
+    fn run_vliw_trace(&mut self, end: u32) -> Result<(), VliwError> {
+        let VliwSim {
+            compiled,
+            trace,
+            regs,
+            mem,
+            bus,
+            index,
+            pc,
+            cycle,
+            pending_writes,
+            next_due,
+            pending_branch,
+            pending_branch_idx,
+            stats,
+            halted,
+            ..
+        } = self;
+        let prog = compiled.as_ref().expect("compiled table built above");
+        let tier = &mut **trace.as_mut().expect("trace tier built above");
+        let mut pcv = *pc;
+        let mut cyc = *cycle;
+        let mut retired = 0u64;
+        let mut stall_acc = 0u64;
+        // One borrow bundle for the whole run; only `cycle` varies per
+        // packet.
+        let mut hot = VHot {
+            regs,
+            mem,
+            bus,
+            cycle: cyc,
+            halted,
+            slots: &mut stats.slots,
+        };
+        let result = loop {
+            if *hot.halted {
+                break Ok(());
+            }
+            // Expired branch shadow: side-exit to the redirect target.
+            if let Some((remaining, target)) = *pending_branch {
+                if remaining <= 0 {
+                    let idx = if *pending_branch_idx != NO_IDX {
+                        let idx = *pending_branch_idx as usize;
+                        // Static branch destinations are leaders by
+                        // block construction: a resolved side exit
+                        // re-enters dispatch at a `BlockMap` leader.
+                        debug_assert_eq!(
+                            prog.map.location(idx as u32).offset,
+                            0,
+                            "trace side exit must land on a block leader"
+                        );
+                        idx
+                    } else {
+                        // Indirect targets (`BReg`, unresolved `B`) may
+                        // land mid-block; the per-packet path handles
+                        // them on the next step.
+                        match index.get(&target) {
+                            Some(&i) => i,
+                            None => break Err(VliwError::BadPc { addr: target }),
+                        }
+                    };
+                    *pending_branch = None;
+                    *pending_branch_idx = NO_IDX;
+                    pcv = idx;
+                    break Ok(());
+                }
+            }
+            if pcv as u32 >= end {
+                break Ok(());
+            }
+            if cyc >= *next_due {
+                commit_due(pending_writes, next_due, hot.regs, cyc);
+            }
+
+            let cp = &prog.packets[pcv];
+            let mut stall = 0u64;
+            let mut branch: Option<(u32, u32)> = None;
+            let staged = pending_writes.len();
+            hot.cycle = cyc;
+            let r = (cp.run)(&mut hot, pending_writes, &mut stall, &mut branch);
+            if let Err(e) = r {
+                pending_writes.truncate(staged);
+                break Err(e);
+            }
+            for &(c, _, _) in &pending_writes[staged..] {
+                *next_due = (*next_due).min(c);
+            }
+
+            // Packet epilogue, inline (`finish_packet` minus the
+            // per-packet counter, which is batched below).
+            if let Some((target, idx)) = branch {
+                if pending_branch.is_some() {
+                    break Err(VliwError::OverlappingBranches { cycle: cyc });
+                }
+                *pending_branch = Some((5, target));
+                *pending_branch_idx = idx;
+            } else if let Some((remaining, _)) = pending_branch {
+                *remaining -= cp.issue as i64;
+            }
+            retired += 1;
+            stall_acc += stall;
+            cyc += cp.issue as u64 + stall;
+            pcv += 1;
+        };
+        *pc = pcv;
+        *cycle = cyc;
+        stats.stall_cycles += stall_acc;
+        stats.packets += retired;
+        tier.tstats.trace_retired += retired;
+        result
     }
 
     /// Redirects fetch if the pending branch's shadow has expired.
@@ -788,7 +1105,15 @@ impl VliwSim {
         unsigned: bool,
         stall: &mut u64,
     ) -> Result<u32, VliwError> {
-        route_load(&mut self.mem, &mut self.bus, self.cycle, addr, w, unsigned, stall)
+        route_load(
+            &mut self.mem,
+            &mut self.bus,
+            self.cycle,
+            addr,
+            w,
+            unsigned,
+            stall,
+        )
     }
 
     fn store(&mut self, addr: u32, w: Width, v: u32, stall: &mut u64) -> Result<(), VliwError> {
@@ -848,6 +1173,29 @@ pub(crate) fn route_store(
     Ok(())
 }
 
+/// Retires all staged writes due at `now` and recomputes the earliest
+/// remaining due cycle — the write-back half of the packet prologue,
+/// shared by the per-packet cores (via
+/// [`VliwSim::commit_due_writes`]) and the in-trace packet loop.
+fn commit_due(
+    pending: &mut Vec<(u64, Reg, u32)>,
+    next_due: &mut u64,
+    regs: &mut [u32; 64],
+    now: u64,
+) {
+    pending.sort_by_key(|&(c, _, _)| c);
+    let mut i = 0;
+    while i < pending.len() {
+        if pending[i].0 <= now {
+            let (_, r, v) = pending.remove(i);
+            regs[r.index()] = v;
+        } else {
+            i += 1;
+        }
+    }
+    *next_due = pending.iter().map(|&(c, _, _)| c).min().unwrap_or(u64::MAX);
+}
+
 impl ExecutionEngine for VliwSim {
     type Error = VliwError;
     type Snapshot = VliwSnapshot;
@@ -864,6 +1212,12 @@ impl ExecutionEngine for VliwSim {
             pending_branch_idx: self.pending_branch_idx,
             stats: self.stats,
             halted: self.halted,
+            trace: self.trace.as_ref().map(|t| VTraceSnap {
+                profile: t.profile.clone(),
+                ends: t.ends.clone(),
+                span: t.span.clone(),
+                tstats: t.tstats,
+            }),
         }
     }
 
@@ -878,6 +1232,21 @@ impl ExecutionEngine for VliwSim {
         self.pending_branch_idx = snapshot.pending_branch_idx;
         self.stats = snapshot.stats;
         self.halted = snapshot.halted;
+        match (&mut self.trace, &snapshot.trace) {
+            (Some(tier), Some(snap)) => {
+                tier.profile = snap.profile.clone();
+                tier.ends.clone_from(&snap.ends);
+                tier.span.clone_from(&snap.span);
+                tier.tstats = snap.tstats;
+            }
+            // Snapshot predates the tier: replay starts from a fresh
+            // profile, exactly as the snapshotted engine would have.
+            (Some(tier), None) => {
+                let (blocks, cfg) = (tier.ends.len(), tier.cfg);
+                **tier = TraceTier::new(blocks, cfg);
+            }
+            _ => {}
+        }
     }
 
     /// Flat register space: indices `0..64` are the physical registers
@@ -897,6 +1266,12 @@ impl ExecutionEngine for VliwSim {
         self.pending_branch_idx = NO_IDX;
         self.stats = VliwStats::default();
         self.halted = false;
+        // Rerun from a cold trace profile so a reset run reproduces the
+        // original exactly, budget stop points included.
+        if let Some(tier) = &mut self.trace {
+            let (blocks, cfg) = (tier.ends.len(), tier.cfg);
+            **tier = TraceTier::new(blocks, cfg);
+        }
     }
 
     fn step_unit(&mut self) -> Result<(), VliwError> {
@@ -1571,8 +1946,18 @@ mod tests {
         };
         let mut fast = VliwSim::new(build()).unwrap();
         let rf = fast.run(10_000).unwrap();
-        for mode in [VliwDispatch::Naive, VliwDispatch::Compiled] {
+        for mode in [
+            VliwDispatch::Naive,
+            VliwDispatch::Compiled,
+            VliwDispatch::Trace,
+        ] {
             let mut other = VliwSim::new(build()).unwrap();
+            other.set_trace_config(TraceConfig {
+                warmup: 10_000,
+                hot_threshold: 2,
+                max_blocks: 16,
+                follow_taken: true, // forced off by the VLIW tier
+            });
             other.set_dispatch(mode);
             let ro = other.run(10_000).unwrap();
             assert_eq!(rf, ro, "{mode:?}: stats diverge");
@@ -1581,6 +1966,11 @@ mod tests {
                 assert_eq!(fast.reg(r), other.reg(r), "{mode:?}: {r} diverged");
             }
             assert_eq!(fast.cycle(), other.cycle(), "{mode:?}");
+            if mode == VliwDispatch::Trace {
+                let ts = other.trace_stats().expect("tier active");
+                assert!(ts.traces > 0, "hot loop must form a trace");
+                assert!(ts.trace_retired > 0, "retirement must move into traces");
+            }
         }
     }
 
@@ -1625,10 +2015,19 @@ mod tests {
         // leader), [3] (branch target).
         assert_eq!(map.len(), 3);
         assert_eq!(map.location(0).block, 0);
-        assert_eq!(map.location(1), cabt_exec::blocks::UnitLoc { block: 0, offset: 1 });
+        assert_eq!(
+            map.location(1),
+            cabt_exec::blocks::UnitLoc {
+                block: 0,
+                offset: 1
+            }
+        );
         assert_eq!(map.location(2).block, 1);
         assert_eq!(map.location(3).block, 2);
-        assert_eq!(map.blocks[0].taken, 2, "branch edge resolves to the target block");
+        assert_eq!(
+            map.blocks[0].taken, 2,
+            "branch edge resolves to the target block"
+        );
         assert_eq!(map.blocks[0].fall, 1, "branch shadows fall through");
         // The map is the compiled core's view: the same sim still runs.
         sim.set_dispatch(VliwDispatch::Compiled);

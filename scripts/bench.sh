@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the fig5_speed benchmark (host throughput of every simulator
-# configuration, the naive vs pre-decoded vs block-compiled dispatch
-# comparison — golden and VLIW compiled cores included — and the
+# configuration, the naive vs pre-decoded vs block-compiled vs
+# profile-guided trace dispatch comparison — golden and VLIW cores on
+# every tier, with per-workload trace-formation stats — and the
 # sharded multi-core throughput scaling 1->2->4 cores with paired
 # sequential/parallel scheduler rows) and leaves the machine-readable
 # result in BENCH_fig5.json at the repo root, so the performance
@@ -9,7 +10,9 @@
 #
 # `bench.sh --smoke` runs a tiny-budget single-shard pass instead (CI
 # keep-alive for the bench paths, covering BOTH shard schedulers and
-# all THREE dispatch cores) and does NOT touch BENCH_fig5.json.
+# all FOUR dispatch cores — the trace tier is exercised on every
+# bundled fig5 workload with an eager formation config, and the bench
+# asserts traces actually form) and does NOT touch BENCH_fig5.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

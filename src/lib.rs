@@ -21,9 +21,9 @@
 //! | crate | role |
 //! |---|---|
 //! | [`isa`] | memory model, ELF32 reader/writer, deterministic PRNG |
-//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator; the shared basic-block layer (`exec::blocks`); single-core, sharded sequential and thread-parallel epoch drivers |
-//! | [`tricore`] | source ISA, assembler, cycle-accurate golden model (pre-decoded + block-compiled dispatch cores) |
-//! | [`vliw`] | target VLIW ISA, binary container format, simulator (pre-decoded + closure-compiled dispatch cores) |
+//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator; the shared basic-block layer (`exec::blocks`) and the profile/trace-growth layer (`exec::trace`) both compiled cores' trace tiers build on; execution fingerprints; single-core, sharded sequential and thread-parallel epoch drivers |
+//! | [`tricore`] | source ISA, assembler, cycle-accurate golden model (pre-decoded, block-compiled and trace-compiled dispatch cores) |
+//! | [`vliw`] | target VLIW ISA, binary container format, simulator (pre-decoded, closure-compiled and trace dispatch cores) |
 //! | [`core`] | **the translator** (the paper's contribution) — its CFG is a view over the shared block layer |
 //! | [`platform`] | synchronization device, snapshottable (and `Send`) SoC bus + peripherals, epoch-barrier shard arbiter with deterministic state merge and O(epoch) delta exchange for append-only devices |
 //! | [`rtlsim`] | event-driven RT-level baseline simulator |
@@ -31,7 +31,7 @@
 //! | [`debug`] | generic lockstep driver, dual-translation debugger + RSP packet layer |
 //! | [`workloads`] | the paper's benchmark programs (plus the multi-core `producer_consumer`) |
 //!
-//! Execution comes in three dispatch tiers, all bit-identical and all
+//! Execution comes in four dispatch tiers, all bit-identical and all
 //! selected as plain `Backend` data. The retained naive interpreters
 //! (`DispatchMode::Naive`/`VliwDispatch::Naive`) re-fetch through an
 //! address map per step and exist as differential references. The
@@ -48,7 +48,16 @@
 //! line runs and timing classes captured as constants), dispatched
 //! block-at-a-time on the golden model for another ~1.5–2×
 //! over the pre-decoded core (`BENCH_fig5.json`), bit-identical at
-//! every block boundary (`tests/compiled_diff.rs`).
+//! every block boundary (`tests/compiled_diff.rs`). The **trace
+//! tier** (`DispatchMode::Trace`/`VliwDispatch::Trace`) adds
+//! profile-guided superblocks on top: block-edge counters collected
+//! during a warm-up window ([`cabt_exec::trace::TraceConfig`]) pick
+//! hot chains, which fuse into one dispatch run per step — closure
+//! chains with side-exit guards and in-place loop iteration on the
+//! golden model, consecutive packet ranges on the VLIW core — for
+//! ≥3× over pre-decoded on the golden model and ≥1.5× on the VLIW
+//! core (`fir`/`sieve` rows of `BENCH_fig5.json`), still
+//! bit-identical at every stop point.
 //!
 //! Every vehicle — the golden model, the translated platform, *and* the
 //! RTL core — implements [`cabt_exec::ExecutionEngine`], including its
@@ -120,7 +129,7 @@
 //! "#;
 //!
 //! // Every production vehicle answers the same way — golden and
-//! // translated on both the pre-decoded and the block-compiled
+//! // translated on the pre-decoded, block-compiled and trace
 //! // dispatch cores, plus the RTL baseline:
 //! for backend in Backend::all() {
 //!     let mut s = SimBuilder::asm(src).backend(backend).build()?;

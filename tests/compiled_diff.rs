@@ -10,12 +10,25 @@
 //! jumps out of the image).
 
 use cabt::prelude::*;
-use cabt_exec::ExecutionEngine;
+use cabt_exec::trace::TraceConfig;
+use cabt_exec::{fingerprint_engine, ExecutionEngine};
 use cabt_isa::elf::SectionKind;
 use cabt_isa::rng::Pcg32;
 use cabt_tricore::sim::{DispatchMode, SimError, Simulator};
 use cabt_vliw::sim::VliwDispatch;
 use std::fmt::Write as _;
+
+/// Aggressive trace formation for differential tests: the warm-up
+/// window never closes and two executions make a block hot, so even
+/// short workloads run mostly inside fused traces.
+fn eager_traces() -> TraceConfig {
+    TraceConfig {
+        warmup: 1_000_000_000,
+        hot_threshold: 2,
+        max_blocks: 16,
+        follow_taken: true,
+    }
+}
 
 /// All bundled workloads (the Fig. 5 set plus the Table 2 set).
 fn all_workloads() -> Vec<Workload> {
@@ -84,11 +97,7 @@ fn tricore_compiled_agrees_at_every_block_boundary() {
             while pre.stats().instructions < boundary {
                 pre.step().expect("predecoded steps");
             }
-            assert_tricore_equal(
-                &format!("{} block {blocks}", w.name),
-                &mut pre,
-                &mut comp,
-            );
+            assert_tricore_equal(&format!("{} block {blocks}", w.name), &mut pre, &mut comp);
             blocks += 1;
         }
         assert!(comp.is_halted(), "{}: did not halt in bounds", w.name);
@@ -280,6 +289,235 @@ fn compiled_sessions_match_predecoded_sessions() {
             };
             assert_eq!(drive(pre), drive(comp), "{}: {pre} vs {comp}", w.name);
         }
+    }
+}
+
+/// The trace tier on the golden model: every bundled workload runs
+/// bit-identically to the pre-decoded engine — registers, memory,
+/// stats, checksum — while retiring most of its instructions inside
+/// fused superblocks.
+#[test]
+fn tricore_trace_is_bit_identical_on_all_workloads() {
+    for w in all_workloads() {
+        let elf = w.elf().expect("assembles");
+        let mut pre = Simulator::new(&elf).expect("loads");
+        let mut tr = Simulator::new(&elf).expect("loads");
+        tr.set_trace_config(eager_traces());
+        tr.set_dispatch(DispatchMode::Trace);
+        let rp = pre.run(500_000_000).expect("halts");
+        let rt = tr.run(500_000_000).expect("halts");
+        assert_eq!(rp, rt, "{}: final stats", w.name);
+        assert_eq!(tr.cpu.d(2), w.expected_d2, "{}: checksum", w.name);
+        assert_tricore_equal(w.name, &mut pre, &mut tr);
+        assert_memory_equal(w.name, &elf, &mut pre, &mut tr);
+        let ts = tr.trace_stats().expect("trace dispatch selected");
+        assert!(ts.traces > 0, "{}: no traces formed", w.name);
+        assert!(
+            ts.trace_retired * 2 > tr.stats().instructions,
+            "{}: traces cover too little ({} of {})",
+            w.name,
+            ts.trace_retired,
+            tr.stats().instructions
+        );
+    }
+}
+
+/// The trace tier on the VLIW target: bit-identical to the pre-decoded
+/// engine at the halt on every bundled workload and detail level,
+/// retiring packets inside fused packet ranges.
+#[test]
+fn vliw_trace_is_bit_identical_on_all_workloads() {
+    for w in all_workloads() {
+        let elf = w.elf().expect("assembles");
+        for level in [DetailLevel::Static, DetailLevel::Cache] {
+            let t = Translator::new(level).translate(&elf).expect("translates");
+            let run = |mode: VliwDispatch| {
+                let mut p = Platform::new(&t, PlatformConfig::unlimited()).expect("builds");
+                p.set_trace_config(eager_traces());
+                p.set_dispatch(mode);
+                let stats = p.run(5_000_000_000).expect("halts");
+                let regs: Vec<u32> = (0..64).map(|i| p.sim().read_reg_index(i)).collect();
+                (stats, regs, p.sim().stats(), p.trace_stats())
+            };
+            let (sp, rp, vp, _) = run(VliwDispatch::Predecoded);
+            let (st, rt, vt, ts) = run(VliwDispatch::Trace);
+            assert_eq!(sp, st, "{} level {level}: platform stats diverged", w.name);
+            assert_eq!(vp, vt, "{} level {level}: engine stats diverged", w.name);
+            assert_eq!(rp, rt, "{} level {level}: register file diverged", w.name);
+            let ts = ts.expect("trace dispatch selected");
+            assert!(ts.traces > 0, "{} level {level}: no traces formed", w.name);
+            assert!(
+                ts.trace_retired > 0,
+                "{} level {level}: no trace retirement",
+                w.name
+            );
+        }
+    }
+}
+
+/// Randomized programs with hot loops and *indirect* branches, some
+/// deliberately pointed one instruction past a block leader: a `ji`
+/// into the middle of a fused region must fall back to per-instruction
+/// dispatch, bit-identically. Boundary comparisons are 8-byte
+/// [`fingerprint_engine`] digests; the halt check is the full-state
+/// anchor.
+#[test]
+fn random_hot_indirect_programs_agree_in_trace_mode() {
+    let mut rng = Pcg32::seed_from_u64(0x7_ace);
+    let mut formed = 0u64;
+    for case in 0..25 {
+        let mut src =
+            String::from(".text\n_start:\n    movh.a %a4, hi:p1\n    lea %a4, [%a4]lo:p1\n");
+        // Odd cases skew the indirect target one instruction past the
+        // `p1` leader — a mid-trace entry.
+        if case % 2 == 1 {
+            src.push_str("    lea %a4, [%a4]4\n");
+        }
+        src.push_str("    movh.a %a5, hi:p2\n    lea %a5, [%a5]lo:p2\n");
+        let n = rng.random_range(40..160);
+        let _ = writeln!(src, "    mov %d9, {n}\nloop_top:");
+        // Flip-flop between the two indirect paths.
+        src.push_str("    xor %d7, %d7, 1\n    jnz %d7, odd\n    ji %a5\nodd:\n    ji %a4\n");
+        for label in ["p1", "p2"] {
+            let _ = writeln!(src, "{label}:");
+            for _ in 0..rng.random_range(2..6) {
+                let d = rng.random_range(10..14);
+                let s = rng.random_range(10..14);
+                match rng.below(3) {
+                    0 => {
+                        let _ = writeln!(src, "    add %d{d}, %d{d}, %d{s}");
+                    }
+                    1 => {
+                        let _ = writeln!(src, "    mul %d{d}, %d{d}, %d{s}");
+                    }
+                    _ => {
+                        let _ = writeln!(
+                            src,
+                            "    xor %d{d}, %d{s}, {}",
+                            rng.random_range(0..256) as i32 - 128
+                        );
+                    }
+                }
+            }
+            // `%d9 >= 1` inside the body, so this always rejoins.
+            src.push_str("    jnz %d9, join\n");
+        }
+        src.push_str("join:\n    addi %d9, %d9, -1\n    jnz %d9, loop_top\n    debug\n");
+
+        let elf = cabt_tricore::asm::assemble(&src).expect("assembles");
+        let mut pre = Simulator::new(&elf).expect("loads");
+        let mut tr = Simulator::new(&elf).expect("loads");
+        tr.set_trace_config(eager_traces());
+        tr.set_dispatch(DispatchMode::Trace);
+        let mut steps = 0u64;
+        while !tr.is_halted() && steps < 100_000 {
+            tr.step().expect("trace steps");
+            let boundary = tr.stats().instructions;
+            while pre.stats().instructions < boundary {
+                pre.step().expect("predecoded steps");
+            }
+            assert_eq!(
+                fingerprint_engine(&pre),
+                fingerprint_engine(&tr),
+                "case {case}: digest diverged at retirement {boundary}"
+            );
+            steps += 1;
+        }
+        assert!(tr.is_halted(), "case {case}: did not halt in bounds");
+        // One full-state anchor per case backs the digests.
+        assert_tricore_equal(&format!("case {case}"), &mut pre, &mut tr);
+        formed += tr.trace_stats().expect("trace dispatch selected").traces;
+    }
+    assert!(formed > 0, "no case formed a trace");
+}
+
+/// A memory fault in the *middle* of a fused trace: the pre-decoded and
+/// trace engines report the same error, park the pc on the faulting
+/// instruction, and agree on the retired prefix.
+#[test]
+fn trace_fault_parity_matches_predecoded() {
+    // The load walks forward 6 bytes per iteration: aligned on the
+    // first trip, misaligned once the loop is hot and fused.
+    let elf = cabt_tricore::asm::assemble(
+        ".text\n_start:
+    movh.a %a2, 0xd000
+    mov %d9, 50
+walk:
+    ld.w %d3, [%a2]0
+    add %d2, %d3
+    lea %a2, [%a2]6
+    addi %d9, %d9, -1
+    jnz %d9, walk
+    debug\n",
+    )
+    .expect("assembles");
+    let run = |mode: DispatchMode| {
+        let mut sim = Simulator::new(&elf).expect("loads");
+        sim.set_trace_config(eager_traces());
+        sim.set_dispatch(mode);
+        let err = loop {
+            match sim.step() {
+                Ok(_) => {}
+                Err(e) => break e,
+            }
+        };
+        (err, sim.cpu.pc, sim.cpu.a(2), sim.cpu.d(9), sim.stats())
+    };
+    let (ep, pp, ap, dp, sp) = run(DispatchMode::Predecoded);
+    let (et, pt, at, dt, st) = run(DispatchMode::Trace);
+    assert_eq!(
+        (&ep, pp, ap, dp, sp),
+        (&et, pt, at, dt, st),
+        "fault state diverged"
+    );
+    assert!(
+        matches!(ep, SimError::Mem(_)),
+        "expected a memory fault, got {ep:?}"
+    );
+}
+
+/// Session snapshots taken while traces are live restore across trace
+/// side exits: the replay revisits the same budget stop points (the
+/// snapshot carries the tier's profile), the same halt state and the
+/// same checksum — on both trace backends.
+#[test]
+fn trace_sessions_snapshot_across_side_exits() {
+    let w = cabt::workloads::sieve(200);
+    for backend in [
+        Backend::golden_trace(),
+        Backend::translated_trace(DetailLevel::Static),
+    ] {
+        let mut s = SimBuilder::workload(&w)
+            .backend(backend)
+            .trace_config(eager_traces())
+            .build()
+            .expect("builds");
+        s.run_until(Limit::Retirements(500)).expect("warms up");
+        assert!(
+            s.trace_stats().expect("trace backend").traces > 0,
+            "{backend}: no trace live at the snapshot point"
+        );
+        let snap = s.snapshot();
+        s.run_until(Limit::Retirements(1500)).expect("runs on");
+        let mid = (s.stats(), s.cycle(), s.read_d(2));
+        s.run_until(Limit::Cycles(u64::MAX)).expect("halts");
+        let end = (s.stats(), s.read_d(2));
+        assert_eq!(end.1, w.expected_d2, "{backend}: checksum");
+
+        s.restore(&snap);
+        s.run_until(Limit::Retirements(1500)).expect("replays");
+        assert_eq!(
+            (s.stats(), s.cycle(), s.read_d(2)),
+            mid,
+            "{backend}: replay took a different trajectory"
+        );
+        s.run_until(Limit::Cycles(u64::MAX))
+            .expect("replays to halt");
+        assert_eq!(
+            (s.stats(), s.read_d(2)),
+            end,
+            "{backend}: halt replay diverged"
+        );
     }
 }
 

@@ -111,10 +111,8 @@ fn lockstep_drives_the_compiled_vliw_core() {
 /// Breakpoints hit at the same source addresses on the compiled core.
 #[test]
 fn breakpoints_work_on_the_compiled_core() {
-    let elf = assemble(
-        ".text\n_start: mov %d1, 1\nmid: mov %d2, 2\n add %d2, %d1\n debug\n",
-    )
-    .expect("assembles");
+    let elf = assemble(".text\n_start: mov %d1, 1\nmid: mov %d2, 2\n add %d2, %d1\n debug\n")
+        .expect("assembles");
     let mid = elf.symbol("mid").expect("symbol").value;
     let mut dbg = DebugSession::from_builder(
         SimBuilder::elf(elf).backend(Backend::translated_compiled(DetailLevel::Static)),

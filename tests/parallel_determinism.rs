@@ -16,6 +16,7 @@
 //! (any divergence prints the seed for replay), at N = 2/4/8.
 
 use cabt::prelude::*;
+use cabt_exec::{fingerprint_engine, Fingerprint};
 use cabt_isa::elf::SectionKind;
 use cabt_isa::rng::Pcg32;
 use cabt_sim::ShardedStats;
@@ -83,6 +84,36 @@ fn observe(s: &mut Session, stop: Option<StopCause>) -> Observed {
         devices: s.soc_bus_state(),
         halted: s.is_halted(),
     }
+}
+
+/// 8-byte digest of a sharded session's observable state: per-shard
+/// engine trajectories ([`fingerprint_engine`]: counters, registers,
+/// pc, halt flag), per-shard data/BSS windows, the shared-bus counters
+/// and the merged UART log. The long randomized sweeps compare these
+/// digests instead of hauling full [`Observed`] images around; one
+/// full-state comparison per test anchors them.
+fn digest_session(s: &mut Session, stop: StopCause) -> u64 {
+    let windows = data_windows(s.source_elf());
+    let mut fp = Fingerprint::new();
+    fp.mix_u64(u64::from(stop == StopCause::Halted));
+    for i in 0..s.shard_count() {
+        let shard = s.shard_mut(i).expect("sharded session");
+        fp.mix_u64(fingerprint_engine(shard));
+        for &(addr, len) in &windows {
+            fp.mix_bytes(&shard.read_mem(addr, len).expect("readable window"));
+        }
+    }
+    let st = s.sharded_stats().expect("sharded session");
+    fp.mix_u64(st.bus_transactions);
+    fp.mix_u64(st.epochs);
+    for &(t, b) in &st.uart {
+        fp.mix_u64(t);
+        fp.mix_bytes(&[b]);
+    }
+    if let Some(d) = s.soc_bus_state() {
+        fp.mix_u64(d.transactions());
+    }
+    fp.digest()
 }
 
 fn build(source: &Workload, cores: u8, base: Backend, schedule: ShardSchedule) -> Session {
@@ -278,6 +309,9 @@ fn randomized_spmd_programs_are_schedule_independent() {
     for case in 0..12u64 {
         let seed = 0x5eed_0000 + case;
         let src = random_spmd_program(seed);
+        // One full-state anchor per test (the first sweep point) backs
+        // the digest comparisons everywhere else.
+        let anchor = case == 0;
         for cores in [2u8, 4] {
             for base in [
                 Backend::golden(),
@@ -293,19 +327,25 @@ fn randomized_spmd_programs_are_schedule_independent() {
                     let stop = s
                         .run_until(BUDGET)
                         .unwrap_or_else(|e| panic!("seed {seed:#x}: faulted: {e}"));
-                    observe(&mut s, Some(stop))
+                    let digest = digest_session(&mut s, stop);
+                    let full = anchor.then(|| observe(&mut s, Some(stop)));
+                    let uart_len = s.sharded_stats().expect("sharded").uart.len();
+                    (digest, full, s.is_halted(), uart_len)
                 };
-                let seq = drive(ShardSchedule::Sequential);
-                let par = drive(ShardSchedule::Parallel);
+                let (dseq, fseq, halted, uart_len) = drive(ShardSchedule::Sequential);
+                let (dpar, fpar, _, _) = drive(ShardSchedule::Parallel);
                 assert_eq!(
-                    seq, par,
-                    "seed {seed:#x} ({cores}x{base}): parallel diverged — replay with \
+                    dseq, dpar,
+                    "seed {seed:#x} ({cores}x{base}): parallel digest diverged — replay with \
                      random_spmd_program({seed:#x})"
                 );
-                assert!(seq.halted, "seed {seed:#x}: program must halt");
                 assert_eq!(
-                    seq.stats.uart.len(),
-                    cores as usize,
+                    fseq, fpar,
+                    "seed {seed:#x} ({cores}x{base}): full-state anchor diverged"
+                );
+                assert!(halted, "seed {seed:#x}: program must halt");
+                assert_eq!(
+                    uart_len, cores as usize,
                     "seed {seed:#x}: every core transmits once"
                 );
             }

@@ -28,6 +28,7 @@ fn all_backends() -> Vec<Backend> {
     for dispatch in [
         DispatchMode::Predecoded,
         DispatchMode::Compiled,
+        DispatchMode::Trace,
         DispatchMode::Naive,
     ] {
         v.push(Backend::Golden { dispatch });
@@ -36,6 +37,7 @@ fn all_backends() -> Vec<Backend> {
         for dispatch in [
             VliwDispatch::Predecoded,
             VliwDispatch::Compiled,
+            VliwDispatch::Trace,
             VliwDispatch::Naive,
         ] {
             v.push(Backend::Translated { level, dispatch });
@@ -45,16 +47,20 @@ fn all_backends() -> Vec<Backend> {
     v
 }
 
-/// True for engines whose dispatch unit is a whole basic block: their
-/// budget checks happen between blocks, so an unmet budget may be
-/// overshot into the end of the current block (documented on
-/// `DispatchMode::Compiled`). Every *met-at-entry* semantic below is
+/// True for engines whose dispatch unit is a whole basic block (or a
+/// fused trace of blocks): their budget checks happen between units,
+/// so an unmet budget may be overshot into the end of the current unit
+/// (documented on `DispatchMode::Compiled`/`Trace` and
+/// `VliwDispatch::Trace`). Every *met-at-entry* semantic below is
 /// identical regardless.
 fn block_granular(backend: Backend) -> bool {
     matches!(
         backend,
         Backend::Golden {
-            dispatch: DispatchMode::Compiled
+            dispatch: DispatchMode::Compiled | DispatchMode::Trace
+        } | Backend::Translated {
+            dispatch: VliwDispatch::Trace,
+            ..
         }
     )
 }

@@ -114,9 +114,19 @@ fn golden_model_snapshot_is_bit_identical_in_every_dispatch_mode() {
     for mode in [
         DispatchMode::Predecoded,
         DispatchMode::Compiled,
+        DispatchMode::Trace,
         DispatchMode::Naive,
     ] {
         let mut sim = Simulator::new(&elf).unwrap();
+        // Aggressive trace formation so the snapshot/restore straddles
+        // fused-trace dispatch (the tier is architecturally invisible,
+        // so restore need not rewind the profile — replay must still be
+        // bit-identical).
+        sim.set_trace_config(cabt::exec::trace::TraceConfig {
+            warmup: 1_000_000,
+            hot_threshold: 2,
+            ..Default::default()
+        });
         sim.set_dispatch(mode);
         diff_snapshot(&format!("golden/{mode:?}"), &mut sim, 7, 9, &win);
     }
@@ -131,9 +141,15 @@ fn vliw_core_snapshot_is_bit_identical_in_both_dispatch_modes() {
         for mode in [
             VliwDispatch::Predecoded,
             VliwDispatch::Compiled,
+            VliwDispatch::Trace,
             VliwDispatch::Naive,
         ] {
             let mut sim = t.make_sim().unwrap();
+            sim.set_trace_config(cabt::exec::trace::TraceConfig {
+                warmup: 1_000_000,
+                hot_threshold: 2,
+                ..Default::default()
+            });
             sim.set_dispatch(mode);
             // Snapshot inside the program: loads in flight, branch
             // shadows pending.
