@@ -159,13 +159,56 @@ fn main() {
         sharded.push(par);
     }
 
+    // Fleet throughput: M concurrent sessions as epoch-sized work items
+    // over the pooled scheduler, paired rows per concurrency level — a
+    // single pool worker versus a multi-worker pool. Both schedule the
+    // *identical* batch of simulations (the folded per-session epoch
+    // digest chains are asserted equal); on a single-CPU host the pool
+    // rows track the serial rows, and the pairing shows scheduling
+    // overhead rather than parallel speedup.
+    println!("\nfleet throughput (pooled epoch scheduler, 1 worker vs 4):");
+    let session_counts: &[usize] = if smoke { &[1, 10] } else { &[1, 10, 100, 1000] };
+    let mut fleet = Vec::new();
+    for &sessions in session_counts {
+        // Large batches amortize their own timing noise; keep the
+        // repeat count down so the 1000-session row stays affordable.
+        let fleet_iters = if sessions <= 10 { iters } else { 1 };
+        let serial = cabt_bench::fleet_throughput("gcd", sessions, 1, fleet_iters);
+        let pooled = cabt_bench::fleet_throughput("gcd", sessions, 4, fleet_iters);
+        assert_eq!(
+            serial.total_retired, pooled.total_retired,
+            "scheduler configurations must retire identical totals"
+        );
+        assert_eq!(
+            serial.batch_digest, pooled.batch_digest,
+            "scheduler configurations must simulate the identical batch"
+        );
+        println!(
+            "  {:<6} sessions {:>5}  {:>9} retired/batch  1w {:>8.1} sess/s {:>8.2} MIPS   4w {:>8.1} sess/s {:>8.2} MIPS",
+            serial.workload,
+            sessions,
+            serial.total_retired,
+            serial.sessions_per_sec,
+            serial.aggregate_mips,
+            pooled.sessions_per_sec,
+            pooled.aggregate_mips,
+        );
+        fleet.push(serial);
+        fleet.push(pooled);
+    }
+
     let json = format!(
-        "{{\"bench\":\"fig5_speed\",\"rows\":[{}],\"sharded\":[{}]}}\n",
+        "{{\"bench\":\"fig5_speed\",\"rows\":[{}],\"sharded\":[{}],\"fleet\":[{}]}}\n",
         rows.iter()
             .map(|r| r.to_json())
             .collect::<Vec<_>>()
             .join(","),
         sharded
+            .iter()
+            .map(|r| r.to_json())
+            .collect::<Vec<_>>()
+            .join(","),
+        fleet
             .iter()
             .map(|r| r.to_json())
             .collect::<Vec<_>>()

@@ -709,6 +709,102 @@ pub fn sharded_throughput(
     }
 }
 
+/// Host-side throughput of the fleet service at one concurrency level:
+/// `sessions` concurrent sessions of one workload scheduled over a
+/// [`cabt_fleet::FleetPool`] of `workers` threads, reported as sessions
+/// completed per host second and million source instructions retired
+/// per host second summed across the whole batch.
+#[derive(Debug, Clone)]
+pub struct FleetThroughput {
+    /// Workload name (a `cabt_workloads::by_name` entry).
+    pub workload: &'static str,
+    /// Concurrent sessions in the batch.
+    pub sessions: usize,
+    /// Pool worker threads.
+    pub workers: usize,
+    /// Sessions completed per host second.
+    pub sessions_per_sec: f64,
+    /// Aggregate million source instructions per host second.
+    pub aggregate_mips: f64,
+    /// Total instructions retired across the batch, per run.
+    pub total_retired: u64,
+    /// Per-session epoch digest chains folded in request order — two
+    /// scheduler configurations ran the identical batch iff equal.
+    pub batch_digest: u64,
+}
+
+impl FleetThroughput {
+    /// Renders one JSON object (hand-rolled; the workspace is
+    /// dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"sessions\":{},\"workers\":{},",
+                "\"sessions_per_sec\":{:.2},\"aggregate_mips\":{:.3},",
+                "\"total_retired\":{},\"batch_digest\":\"{:016x}\"}}"
+            ),
+            self.workload,
+            self.sessions,
+            self.workers,
+            self.sessions_per_sec,
+            self.aggregate_mips,
+            self.total_retired,
+            self.batch_digest,
+        )
+    }
+}
+
+/// Measures the fleet service: `sessions` concurrent copies of the
+/// named workload on the golden backend, scheduled as epoch-sized work
+/// items over a pool of `workers` threads, timed end to end (session
+/// build included — the service cost is what is being measured).
+/// Validates every session's checksum and folds the per-session epoch
+/// digest chains so callers can assert two scheduler configurations
+/// simulated the identical batch.
+///
+/// # Panics
+///
+/// Panics on unknown workloads, session faults, or checksum mismatches.
+pub fn fleet_throughput(
+    workload: &'static str,
+    sessions: usize,
+    workers: usize,
+    iters: u32,
+) -> FleetThroughput {
+    use cabt_fleet::{run_fleet, FleetPool, FleetRequest};
+    let pool = FleetPool::new(workers);
+    let requests: Vec<FleetRequest> = (0..sessions)
+        .map(|_| {
+            FleetRequest::named(workload)
+                .backend(Backend::golden())
+                .budget(HALT_BUDGET)
+        })
+        .collect();
+    let mut total_retired = 0u64;
+    let mut batch = 0u64;
+    let secs = bench_seconds(iters, || {
+        let results = run_fleet(&pool, &requests);
+        total_retired = 0;
+        let mut chain = cabt_exec::Fingerprint::new();
+        for r in results {
+            let r = r.unwrap_or_else(|e| panic!("fleet session faulted: {e}"));
+            assert!(r.checksum_ok(), "{workload}: wrong checksum in the fleet");
+            total_retired += r.stats.retired;
+            chain.mix_u64(r.epoch_chain);
+        }
+        batch = chain.digest();
+    });
+    FleetThroughput {
+        workload,
+        sessions,
+        workers,
+        sessions_per_sec: sessions as f64 / secs,
+        aggregate_mips: total_retired as f64 / secs / 1e6,
+        total_retired,
+        batch_digest: batch,
+    }
+}
+
 /// Formats seconds the way the paper's Table 2 does (µs/ms/s).
 pub fn human_time(seconds: f64) -> String {
     if seconds < 1e-3 {

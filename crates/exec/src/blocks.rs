@@ -202,15 +202,15 @@ impl BlockMap {
 
         // Resolve terminator edges to block ids. Targets are leaders by
         // construction, so their offset is always 0.
-        for b in 0..blocks.len() {
-            let last = blocks[b].last() as usize;
+        for block in &mut blocks {
+            let last = block.last() as usize;
             if let Some(t) = units[last].target() {
                 if (t as usize) < n {
-                    blocks[b].taken = loc[t as usize].block;
+                    block.taken = loc[t as usize].block;
                 }
             }
             if units[last].falls_through() && contiguous(last) && last + 1 < n {
-                blocks[b].fall = loc[last + 1].block;
+                block.fall = loc[last + 1].block;
             }
         }
         BlockMap { blocks, loc }

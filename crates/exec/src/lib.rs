@@ -395,12 +395,74 @@ pub fn run_shard_round_sequential<E: ExecutionEngine>(
     deadline: u64,
 ) -> Result<(), E::Error> {
     for s in shards.iter_mut() {
-        if s.is_halted() || s.cycle() >= deadline {
-            continue;
-        }
-        if s.run_until(Limit::Cycles(deadline))? == StopCause::LimitReached && s.is_halted() {
-            s.commit_arch_state();
-        }
+        run_shard_to_deadline(s, deadline, true)?;
+    }
+    Ok(())
+}
+
+/// What the epoch scheduler decided for the next round — the planning
+/// half of the shared shard-round loop, split out so external
+/// schedulers (the fleet thread pool drives rounds as work items, not
+/// as a blocking loop) make *exactly* the decision the in-process
+/// drivers make. One plan per barrier: compute the frontier, call
+/// [`plan_epoch_round`], act on the verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochPlan {
+    /// The frontier reached the cycle budget: stop with
+    /// [`StopCause::LimitReached`]. Checked *before* the halt state,
+    /// mirroring [`ExecutionEngine::run_until`]'s budget-first rule.
+    LimitReached,
+    /// Every shard halted: commit architectural state on all shards and
+    /// stop with [`StopCause::Halted`].
+    Halted,
+    /// Run every live shard below `deadline` up to it, then exchange
+    /// shared state at the barrier and plan again.
+    Round {
+        /// The cycle deadline of this round
+        /// (`frontier + epoch`, clamped to the budget).
+        deadline: u64,
+    },
+}
+
+/// Plans one epoch round from a shard set's frontier — the single
+/// decision procedure behind [`run_epochs_sharded`],
+/// [`run_epochs_parallel`] and the fleet pool scheduler. `frontier` and
+/// `all_halted` come from [`shard_frontier`]; `epoch` is clamped to at
+/// least one cycle.
+pub fn plan_epoch_round(frontier: u64, all_halted: bool, max_cycles: u64, epoch: u64) -> EpochPlan {
+    if frontier >= max_cycles {
+        return EpochPlan::LimitReached;
+    }
+    if all_halted {
+        return EpochPlan::Halted;
+    }
+    let deadline = frontier.saturating_add(epoch.max(1)).min(max_cycles);
+    EpochPlan::Round { deadline }
+}
+
+/// Advances one shard to an epoch-round deadline — the per-shard body
+/// both round schedulers (and the fleet pool's shard work items) share.
+/// Halted shards and shards already at the deadline are skipped; with
+/// `commit_boundary_halts`, a shard that halts exactly on the deadline
+/// gets its architectural state committed inside the round (a completed
+/// run, same as the single-engine epoch driver).
+///
+/// # Errors
+///
+/// Propagates the shard's fault.
+pub fn run_shard_to_deadline<E: ExecutionEngine>(
+    shard: &mut E,
+    deadline: u64,
+    commit_boundary_halts: bool,
+) -> Result<(), E::Error> {
+    if shard.is_halted() || shard.cycle() >= deadline {
+        return Ok(());
+    }
+    if shard.run_until(Limit::Cycles(deadline))? == StopCause::LimitReached
+        && commit_boundary_halts
+        && shard.is_halted()
+    {
+        shard.commit_arch_state();
     }
     Ok(())
 }
@@ -410,7 +472,9 @@ pub fn run_shard_round_sequential<E: ExecutionEngine>(
 /// here *exactly once* — the drivers differ only in the `round`
 /// callback that advances the shards to each deadline. This is what
 /// makes the sequential/parallel bit-identity claim structural rather
-/// than a matter of keeping two loops in sync.
+/// than a matter of keeping two loops in sync. The planning half is
+/// public as [`plan_epoch_round`], so out-of-process schedulers (the
+/// fleet pool) share the same decisions without borrowing this loop.
 fn run_epochs_rounds<E: ExecutionEngine>(
     shards: &mut [E],
     max_cycles: u64,
@@ -418,24 +482,24 @@ fn run_epochs_rounds<E: ExecutionEngine>(
     mut on_epoch: impl FnMut(&mut [E]),
     mut round: impl FnMut(&mut [E], u64) -> Result<(), E::Error>,
 ) -> Result<StopCause, E::Error> {
-    let epoch = epoch.max(1);
     if shards.is_empty() {
         return Ok(StopCause::Halted);
     }
     loop {
         let (frontier, all_halted) = shard_frontier(shards);
-        if frontier >= max_cycles {
-            return Ok(StopCause::LimitReached);
-        }
-        if all_halted {
-            for s in shards.iter_mut() {
-                s.commit_arch_state();
+        match plan_epoch_round(frontier, all_halted, max_cycles, epoch) {
+            EpochPlan::LimitReached => return Ok(StopCause::LimitReached),
+            EpochPlan::Halted => {
+                for s in shards.iter_mut() {
+                    s.commit_arch_state();
+                }
+                return Ok(StopCause::Halted);
             }
-            return Ok(StopCause::Halted);
+            EpochPlan::Round { deadline } => {
+                round(shards, deadline)?;
+                on_epoch(shards);
+            }
         }
-        let deadline = frontier.saturating_add(epoch).min(max_cycles);
-        round(shards, deadline)?;
-        on_epoch(shards);
     }
 }
 
@@ -504,16 +568,7 @@ where
                 continue;
             }
             handles.push(
-                scope.spawn(move || match s.run_until(Limit::Cycles(deadline)) {
-                    Ok(StopCause::LimitReached) if commit_boundary_halts && s.is_halted() => {
-                        // Halted exactly on the epoch boundary: a completed
-                        // run, same as the single-engine epoch driver.
-                        s.commit_arch_state();
-                        Ok(())
-                    }
-                    Ok(_) => Ok(()),
-                    Err(e) => Err(e),
-                }),
+                scope.spawn(move || run_shard_to_deadline(s, deadline, commit_boundary_halts)),
             );
         }
         // Joined in spawn (= shard) order, so the reported fault is the

@@ -21,6 +21,7 @@
 //! observable.
 
 use crate::blocks::{BlockMap, NO_BLOCK};
+use cabt_isa::codec::{ByteReader, ByteWriter, CodecError};
 
 /// Knobs of the profile-guided trace tier. Engines expose these through
 /// their session builder; the defaults suit the bundled workloads.
@@ -216,6 +217,103 @@ impl TraceStats {
         } else {
             self.trace_blocks as f64 / self.traces as f64
         }
+    }
+}
+
+// --- portable-snapshot codecs -------------------------------------------
+//
+// The trace tier is part of an engine's resumable state (profiles keep
+// counting and traces keep forming after a park/resume), so its types
+// serialize with the rest of the snapshot. Engines embed these in their
+// own snapshot codecs.
+
+impl TraceConfig {
+    /// Serializes the tier knobs (part of a session's config descriptor).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new(out);
+        w.u64(self.warmup);
+        w.u32(self.hot_threshold);
+        w.u32(self.max_blocks);
+        w.bool(self.follow_taken);
+    }
+
+    /// Decodes a [`TraceConfig::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(TraceConfig {
+            warmup: r.u64()?,
+            hot_threshold: r.u32()?,
+            max_blocks: r.u32()?,
+            follow_taken: r.bool()?,
+        })
+    }
+}
+
+/// Encodes a `Vec<u32>` counter table (length prefix + values).
+fn encode_counters(out: &mut Vec<u8>, v: &[u32]) {
+    let mut w = ByteWriter::new(out);
+    w.u64(v.len() as u64);
+    for &c in v {
+        w.u32(c);
+    }
+}
+
+fn decode_counters(r: &mut ByteReader<'_>, what: &'static str) -> Result<Vec<u32>, CodecError> {
+    let n = r.count(what, 4)?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(r.u32()?);
+    }
+    Ok(v)
+}
+
+impl TraceProfile {
+    /// Serializes the profile counters.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        ByteWriter::new(out).u64(self.warmup_left);
+        encode_counters(out, &self.exec);
+        encode_counters(out, &self.fall);
+        encode_counters(out, &self.taken);
+    }
+
+    /// Decodes a [`TraceProfile::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(TraceProfile {
+            warmup_left: r.u64()?,
+            exec: decode_counters(r, "trace exec counters")?,
+            fall: decode_counters(r, "trace fall counters")?,
+            taken: decode_counters(r, "trace taken counters")?,
+        })
+    }
+}
+
+impl TraceStats {
+    /// Serializes the formation/coverage counters.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new(out);
+        w.u64(self.traces);
+        w.u64(self.trace_blocks);
+        w.u64(self.trace_retired);
+    }
+
+    /// Decodes a [`TraceStats::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(TraceStats {
+            traces: r.u64()?,
+            trace_blocks: r.u64()?,
+            trace_retired: r.u64()?,
+        })
     }
 }
 

@@ -1,0 +1,625 @@
+#![forbid(unsafe_code)]
+//! Fleet-scale session service over the CABT vehicles.
+//!
+//! The paper's platform is a *single-session* instrument: one workload,
+//! one vehicle, one run. This crate turns it into a service. Three
+//! pieces:
+//!
+//! * **[`FleetPool`]** — a fixed work-stealing thread pool. Epoch
+//!   rounds are work items, so M concurrent sessions × N shards
+//!   multiplex onto a bounded worker population instead of the
+//!   thread-per-shard-per-round discipline of
+//!   [`cabt_exec::run_epochs_parallel`].
+//! * **The pooled epoch scheduler** ([`run_fleet`]) — event-driven:
+//!   the pool job that completes the last shard of a session's epoch
+//!   round performs the barrier exchange and schedules the next round.
+//!   Decisions are made by the *same* [`cabt_exec::plan_epoch_round`] /
+//!   [`cabt_exec::run_shard_to_deadline`] pair the in-process drivers
+//!   use, so the simulation is bit-identical to a plain
+//!   [`Session`](cabt_sim::Session) run — pinned per epoch by a rolling
+//!   [`cabt_exec::fingerprint_engine`] digest chain.
+//! * **Portable sessions** — [`cabt_sim::Session::park`] serializes a
+//!   mid-run session to versioned bytes; [`cabt_sim::Session::resume`]
+//!   rebuilds it on any worker, or in another process entirely. The
+//!   `fleet-server` binary front-ends both over a line protocol.
+//!
+//! ```
+//! use cabt_exec::Limit;
+//! use cabt_fleet::{run_fleet, FleetPool, FleetRequest};
+//!
+//! let pool = FleetPool::new(2);
+//! let requests: Vec<FleetRequest> = ["gcd", "sieve"]
+//!     .iter()
+//!     .map(|w| FleetRequest::named(*w).budget(Limit::Cycles(10_000_000)))
+//!     .collect();
+//! for result in run_fleet(&pool, &requests) {
+//!     let r = result?;
+//!     assert!(r.checksum_ok());
+//! }
+//! # Ok::<(), cabt_sim::SessionError>(())
+//! ```
+
+mod pool;
+
+pub use pool::{FleetPool, Latch};
+
+use cabt_exec::{
+    fingerprint_engine, plan_epoch_round, run_shard_to_deadline, EngineStats, EpochPlan,
+    Fingerprint, Limit, StopCause,
+};
+use cabt_platform::ShardArbiter;
+use cabt_sim::{Backend, Session, SessionError, SimBuilder};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Scheduling epoch (target cycles) used when a request does not name
+/// one — the same default granularity sharded sessions fall back to.
+pub const FLEET_EPOCH_CYCLES: u64 = 4096;
+
+/// One workload the fleet should run.
+#[derive(Debug, Clone)]
+pub struct FleetRequest {
+    /// Named `cabt-workloads` entry (`"gcd"`, `"sieve"`, …).
+    pub workload: String,
+    /// The vehicle to run it on. [`Backend::Sharded`] requests are
+    /// decomposed into per-shard work items around a shared device
+    /// fabric; single-core backends become one work item per epoch.
+    pub backend: Backend,
+    /// Run budget (frontier cycles or aggregate retirements, exactly as
+    /// [`cabt_sim::Session::run`] interprets them).
+    pub budget: Limit,
+    /// Scheduling epoch in target cycles ([`FLEET_EPOCH_CYCLES`] when
+    /// `None`).
+    pub epoch: Option<u64>,
+}
+
+impl FleetRequest {
+    /// A request for the named workload on the default backend with an
+    /// effectively unbounded budget.
+    pub fn named(workload: impl Into<String>) -> FleetRequest {
+        FleetRequest {
+            workload: workload.into(),
+            backend: Backend::default(),
+            budget: Limit::Cycles(u64::MAX),
+            epoch: None,
+        }
+    }
+
+    /// Selects the backend.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the run budget.
+    #[must_use]
+    pub fn budget(mut self, budget: Limit) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides the scheduling epoch (target cycles, clamped to ≥ 1).
+    #[must_use]
+    pub fn epoch(mut self, target_cycles: u64) -> Self {
+        self.epoch = Some(target_cycles.max(1));
+        self
+    }
+}
+
+/// What one fleet session produced.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// The request's workload name.
+    pub workload: String,
+    /// The request's backend.
+    pub backend: Backend,
+    /// Why the run stopped.
+    pub stop: StopCause,
+    /// Aggregate counters (`retired`/`stall_cycles` summed across
+    /// shards, `cycles` the longest shard clock).
+    pub stats: EngineStats,
+    /// Epoch rounds the scheduler drove.
+    pub epochs: u64,
+    /// Final state digest: every shard's
+    /// [`cabt_exec::fingerprint_engine`] mixed in shard order.
+    pub digest: u64,
+    /// Rolling digest chain over every epoch boundary — two schedulers
+    /// ran the *same simulation* iff their chains match, not just their
+    /// final states.
+    pub epoch_chain: u64,
+    /// Checksum register `%d2` of shard 0 at stop.
+    pub d2: u32,
+    /// The workload's predicted checksum.
+    pub expected_d2: u32,
+    /// Merged UART transmit log (timestamped bytes), where the vehicle
+    /// has a device fabric.
+    pub uart: Vec<(u64, u8)>,
+}
+
+impl FleetResult {
+    /// True when the session halted with the workload's predicted
+    /// checksum in `%d2`.
+    pub fn checksum_ok(&self) -> bool {
+        self.stop == StopCause::Halted && self.d2 == self.expected_d2
+    }
+}
+
+/// A fleet session decomposed for the pool: N shard slots (N = 1 for
+/// single-core backends) plus the barrier arbiter of sharded requests.
+struct UnitState {
+    workload: String,
+    backend: Backend,
+    expected_d2: u32,
+    budget: Limit,
+    epoch: u64,
+    shards: Vec<Mutex<Session>>,
+    /// `Some` for sharded requests: the canonical device fabric merged
+    /// at every epoch barrier.
+    arbiter: Mutex<Option<ShardArbiter>>,
+    /// Live shards still to finish the current round.
+    remaining: AtomicUsize,
+    /// First fault of the current round (lowest-indexed shard wins at
+    /// collection time; rounds run to the barrier like the parallel
+    /// driver).
+    fault: Mutex<Option<SessionError>>,
+    /// Rounds completed plus the rolling per-epoch digest chain.
+    progress: Mutex<(u64, Fingerprint)>,
+    /// The final outcome, set exactly once.
+    outcome: Mutex<Option<Result<StopCause, SessionError>>>,
+}
+
+impl UnitState {
+    fn build(req: &FleetRequest) -> Result<UnitState, SessionError> {
+        let expected_d2 = cabt_workloads::by_name(&req.workload)
+            .ok_or_else(|| SessionError::UnknownWorkload(req.workload.clone()))?
+            .expected_d2;
+        let (shards, arbiter) = match req.backend {
+            // Decompose a sharded backend into fleet-owned shard
+            // sessions around a shared device fabric — the same
+            // construction `Backend::Sharded` performs internally
+            // (private bus clone per shard, core id in `%d15`), built
+            // here from the public surface so every shard is an
+            // independently schedulable work item.
+            Backend::Sharded { cores, backend, .. } => {
+                if cores == 0 {
+                    return Err(SessionError::ShardConfig(
+                        "a sharded fleet request needs at least one core".into(),
+                    ));
+                }
+                let buses: Vec<cabt_platform::SharedSocBus> = (0..cores)
+                    .map(|_| cabt_platform::SharedSocBus::new(cabt_platform::default_soc_bus()))
+                    .collect();
+                let arbiter = ShardArbiter::new(cabt_platform::default_soc_bus(), buses.clone());
+                let mut shards = Vec::with_capacity(cores as usize);
+                for id in 0..cores {
+                    let mut builder =
+                        SimBuilder::named(&req.workload).backend(Backend::from(backend));
+                    // RTL shards have no I/O window; the builder ignores
+                    // a bus for them, matching the sharded vehicle.
+                    if !matches!(Backend::from(backend), Backend::Rtl) {
+                        builder = builder.soc_bus(buses[id as usize].clone());
+                    }
+                    let mut shard = builder.build()?;
+                    shard.write_d(15, u32::from(id));
+                    shards.push(Mutex::new(shard));
+                }
+                (shards, Some(arbiter))
+            }
+            backend => {
+                let session = SimBuilder::named(&req.workload).backend(backend).build()?;
+                (vec![Mutex::new(session)], None)
+            }
+        };
+        Ok(UnitState {
+            workload: req.workload.clone(),
+            backend: req.backend,
+            expected_d2,
+            budget: req.budget,
+            epoch: req.epoch.unwrap_or(FLEET_EPOCH_CYCLES).max(1),
+            shards,
+            arbiter: Mutex::new(arbiter),
+            remaining: AtomicUsize::new(0),
+            fault: Mutex::new(None),
+            progress: Mutex::new((0, Fingerprint::new())),
+            outcome: Mutex::new(None),
+        })
+    }
+
+    /// Frontier clock and halt state, as [`cabt_exec::shard_frontier`]
+    /// defines them, over the locked shard slots.
+    fn frontier(&self) -> (u64, bool) {
+        let mut frontier = u64::MAX;
+        let mut all_halted = true;
+        for slot in &self.shards {
+            let shard = slot.lock().unwrap();
+            if !cabt_exec::ExecutionEngine::is_halted(&*shard) {
+                all_halted = false;
+                frontier = frontier.min(cabt_exec::ExecutionEngine::cycle(&*shard));
+            }
+        }
+        if all_halted {
+            frontier = self
+                .shards
+                .iter()
+                .map(|s| cabt_exec::ExecutionEngine::cycle(&*s.lock().unwrap()))
+                .max()
+                .unwrap_or(0);
+        }
+        (frontier, all_halted)
+    }
+
+    fn aggregate_retired(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| cabt_exec::ExecutionEngine::engine_stats(&*s.lock().unwrap()).retired)
+            .sum()
+    }
+
+    fn aggregate_stats(&self) -> EngineStats {
+        let mut agg = EngineStats::default();
+        for slot in &self.shards {
+            let s = cabt_exec::ExecutionEngine::engine_stats(&*slot.lock().unwrap());
+            agg.retired += s.retired;
+            agg.stall_cycles += s.stall_cycles;
+            agg.cycles = agg.cycles.max(s.cycles);
+        }
+        agg
+    }
+
+    fn commit_all(&self) {
+        for slot in &self.shards {
+            cabt_exec::ExecutionEngine::commit_arch_state(&mut *slot.lock().unwrap());
+        }
+    }
+
+    /// Barrier work at the end of a round: exchange device state (when
+    /// the unit has a fabric) and extend the per-epoch digest chain.
+    fn complete_round(&self) {
+        if let Some(arbiter) = self.arbiter.lock().unwrap().as_mut() {
+            arbiter.exchange();
+        }
+        let mut progress = self.progress.lock().unwrap();
+        progress.0 += 1;
+        for slot in &self.shards {
+            let digest = fingerprint_engine(&*slot.lock().unwrap());
+            progress.1.mix_u64(digest);
+        }
+    }
+
+    /// Records the outcome and releases the caller's handle *before*
+    /// counting down, so the batch driver's `Arc::into_inner` cannot
+    /// race the completing worker.
+    fn finish(self: Arc<Self>, outcome: Result<StopCause, SessionError>, latch: &Latch) {
+        *self.outcome.lock().unwrap() = Some(outcome);
+        drop(self);
+        latch.count_down();
+    }
+
+    /// Collects the finished unit into a [`FleetResult`]. Works on a
+    /// shared handle — a worker that has decremented the round counter
+    /// may still hold its `Arc` briefly after the latch fires, so the
+    /// batch driver cannot assume unique ownership.
+    fn take_result(&self) -> Result<FleetResult, SessionError> {
+        let stats = self.aggregate_stats();
+        let stop = self
+            .outcome
+            .lock()
+            .unwrap()
+            .take()
+            .expect("finished unit has an outcome")?;
+        let mut digest = Fingerprint::new();
+        for slot in &self.shards {
+            digest.mix_u64(fingerprint_engine(&*slot.lock().unwrap()));
+        }
+        let uart = match self.arbiter.lock().unwrap().as_ref() {
+            Some(arbiter) => arbiter.uart_log(),
+            None => {
+                let shard = self.shards[0].lock().unwrap();
+                shard
+                    .soc_bus_handle()
+                    .map_or_else(Vec::new, |b| b.uart_log())
+            }
+        };
+        let d2 = self.shards[0].lock().unwrap().read_d(2);
+        let (epochs, chain) = *self.progress.lock().unwrap();
+        Ok(FleetResult {
+            workload: self.workload.clone(),
+            backend: self.backend,
+            stop,
+            stats,
+            epochs,
+            digest: digest.digest(),
+            epoch_chain: chain.digest(),
+            d2,
+            expected_d2: self.expected_d2,
+            uart,
+        })
+    }
+}
+
+/// What the next round of one unit should do — the fleet-side
+/// reflection of [`cabt_exec::EpochPlan`], extended with the
+/// retirement-budget arithmetic of sharded sessions.
+enum RoundPlan {
+    Done(StopCause),
+    Round {
+        deadline: u64,
+        commit_boundary_halts: bool,
+        live: Vec<usize>,
+    },
+}
+
+fn plan_round(unit: &UnitState) -> RoundPlan {
+    let (frontier, all_halted) = unit.frontier();
+    match unit.budget {
+        Limit::Cycles(max_cycles) => {
+            match plan_epoch_round(frontier, all_halted, max_cycles, unit.epoch) {
+                EpochPlan::LimitReached => RoundPlan::Done(StopCause::LimitReached),
+                EpochPlan::Halted => {
+                    unit.commit_all();
+                    RoundPlan::Done(StopCause::Halted)
+                }
+                EpochPlan::Round { deadline } => RoundPlan::Round {
+                    deadline,
+                    commit_boundary_halts: true,
+                    live: live_below(unit, deadline),
+                },
+            }
+        }
+        // Aggregate retirement budget: the same round arithmetic as the
+        // sharded session driver — room shrinks as the budget drains, a
+        // shard retires at most one unit per cycle, and boundary halts
+        // commit only when the whole set has halted.
+        Limit::Retirements(budget) => {
+            if unit.aggregate_retired() >= budget {
+                return RoundPlan::Done(StopCause::LimitReached);
+            }
+            if all_halted {
+                unit.commit_all();
+                return RoundPlan::Done(StopCause::Halted);
+            }
+            let room = ((budget - unit.aggregate_retired()) / unit.shards.len() as u64)
+                .clamp(1, unit.epoch);
+            let deadline = frontier.saturating_add(room);
+            RoundPlan::Round {
+                deadline,
+                commit_boundary_halts: false,
+                live: live_below(unit, deadline),
+            }
+        }
+    }
+}
+
+fn live_below(unit: &UnitState, deadline: u64) -> Vec<usize> {
+    unit.shards
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| {
+            let shard = slot.lock().unwrap();
+            !cabt_exec::ExecutionEngine::is_halted(&*shard)
+                && cabt_exec::ExecutionEngine::cycle(&*shard) < deadline
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Plans and schedules the unit's next round. Called once per unit from
+/// [`run_fleet`], then again from whichever pool job completes the last
+/// shard of each round — event-driven, no per-session coordinator
+/// thread blocks anywhere.
+fn schedule_round(unit: Arc<UnitState>, core: Arc<pool::PoolCore>, latch: Arc<Latch>) {
+    let fault = unit.fault.lock().unwrap().take();
+    if let Some(fault) = fault {
+        unit.finish(Err(fault), &latch);
+        return;
+    }
+    match plan_round(&unit) {
+        RoundPlan::Done(stop) => unit.finish(Ok(stop), &latch),
+        RoundPlan::Round {
+            deadline,
+            commit_boundary_halts,
+            live,
+        } => {
+            unit.remaining.store(live.len(), Ordering::Release);
+            for i in live {
+                let (unit, core2, latch) =
+                    (Arc::clone(&unit), Arc::clone(&core), Arc::clone(&latch));
+                core.push(Box::new(move || {
+                    let result = {
+                        let mut shard = unit.shards[i].lock().unwrap();
+                        run_shard_to_deadline(&mut *shard, deadline, commit_boundary_halts)
+                    };
+                    if let Err(e) = result {
+                        let mut fault = unit.fault.lock().unwrap();
+                        if fault.is_none() {
+                            *fault = Some(e);
+                        }
+                    }
+                    if unit.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        unit.complete_round();
+                        schedule_round(unit, Arc::clone(&core2), latch);
+                    }
+                }));
+            }
+        }
+    }
+}
+
+/// Runs every request to completion on the pool and returns the results
+/// in request order. Sessions run *concurrently* — M sessions × N
+/// shards multiplex as epoch-sized work items over the pool's fixed
+/// worker population — but each session's simulation is bit-identical
+/// to a dedicated [`cabt_sim::Session::run`] with the same budget,
+/// whatever the worker count (the per-epoch digest chain in
+/// [`FleetResult::epoch_chain`] is the receipt).
+///
+/// Build failures (unknown workload, invalid configuration) are
+/// reported per request; they do not abort the batch.
+pub fn run_fleet(
+    pool: &FleetPool,
+    requests: &[FleetRequest],
+) -> Vec<Result<FleetResult, SessionError>> {
+    let mut units: Vec<Result<Arc<UnitState>, SessionError>> = Vec::with_capacity(requests.len());
+    for req in requests {
+        units.push(UnitState::build(req).map(Arc::new));
+    }
+    let latch = Arc::new(Latch::new(units.iter().filter(|u| u.is_ok()).count()));
+    for unit in units.iter().flatten() {
+        schedule_round(Arc::clone(unit), pool.core(), Arc::clone(&latch));
+    }
+    latch.wait();
+    units.into_iter().map(|unit| unit?.take_result()).collect()
+}
+
+/// Convenience single-session entry: one request, run to completion on
+/// the pool.
+///
+/// # Errors
+///
+/// Build and engine faults, as [`run_fleet`] reports them.
+pub fn run_one(pool: &FleetPool, request: FleetRequest) -> Result<FleetResult, SessionError> {
+    run_fleet(pool, std::slice::from_ref(&request))
+        .pop()
+        .expect("one request yields one result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_matches_dedicated_session_on_single_core_backends() {
+        let pool = FleetPool::new(2);
+        for backend in [Backend::golden(), Backend::golden_compiled()] {
+            let req = FleetRequest::named("gcd")
+                .backend(backend)
+                .budget(Limit::Cycles(50_000_000));
+            let fleet = run_one(&pool, req).unwrap();
+            let mut oracle = SimBuilder::named("gcd").backend(backend).build().unwrap();
+            oracle.run(Limit::Cycles(50_000_000)).unwrap();
+            assert_eq!(fleet.stop, StopCause::Halted, "{backend}");
+            assert!(fleet.checksum_ok(), "{backend}");
+            let mut expected = Fingerprint::new();
+            expected.mix_u64(fingerprint_engine(&oracle));
+            assert_eq!(
+                fleet.digest,
+                expected.digest(),
+                "{backend}: fleet diverged from the dedicated session"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_shard_groups_match_the_sharded_session_oracle() {
+        let pool = FleetPool::new(3);
+        let backend = Backend::sharded(2, Backend::golden());
+        let fleet = run_one(
+            &pool,
+            FleetRequest::named("producer_consumer")
+                .backend(backend)
+                .budget(Limit::Cycles(50_000_000)),
+        )
+        .unwrap();
+        let mut oracle = SimBuilder::named("producer_consumer")
+            .backend(backend)
+            .build()
+            .unwrap();
+        oracle.run(Limit::Cycles(50_000_000)).unwrap();
+        assert_eq!(fleet.stop, StopCause::Halted);
+        // Shard-for-shard bit identity against the in-process sharded
+        // vehicle, plus the merged device log.
+        let mut expected = Fingerprint::new();
+        for i in 0..oracle.shard_count() {
+            expected.mix_u64(fingerprint_engine(oracle.shard(i).unwrap()));
+        }
+        assert_eq!(fleet.digest, expected.digest(), "shard states diverged");
+        assert_eq!(
+            fleet.uart,
+            oracle.sharded_stats().unwrap().uart,
+            "device fabric diverged"
+        );
+    }
+
+    #[test]
+    fn digest_chain_is_identical_across_worker_counts() {
+        let requests: Vec<FleetRequest> = ["gcd", "sieve", "fibonacci"]
+            .iter()
+            .map(|w| {
+                FleetRequest::named(*w)
+                    .backend(Backend::sharded(2, Backend::golden()))
+                    .budget(Limit::Cycles(50_000_000))
+            })
+            .collect();
+        let one = run_fleet(&FleetPool::new(1), &requests);
+        let many = run_fleet(&FleetPool::new(4), &requests);
+        for (a, b) in one.iter().zip(&many) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(
+                a.epoch_chain, b.epoch_chain,
+                "{}: schedule leaked in",
+                a.workload
+            );
+            assert_eq!(a.digest, b.digest);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.epochs, b.epochs);
+        }
+    }
+
+    #[test]
+    fn retirement_budgets_stop_without_halting() {
+        let pool = FleetPool::new(2);
+        let r = run_one(
+            &pool,
+            FleetRequest::named("sieve")
+                .backend(Backend::golden())
+                .budget(Limit::Retirements(1_000)),
+        )
+        .unwrap();
+        assert_eq!(r.stop, StopCause::LimitReached);
+        assert!(r.stats.retired >= 1_000);
+    }
+
+    #[test]
+    fn unknown_workloads_fail_per_request_not_per_batch() {
+        let pool = FleetPool::new(1);
+        let results = run_fleet(
+            &pool,
+            &[
+                FleetRequest::named("nonesuch"),
+                FleetRequest::named("gcd").budget(Limit::Cycles(50_000_000)),
+            ],
+        );
+        assert!(matches!(results[0], Err(SessionError::UnknownWorkload(_))));
+        assert!(results[1].as_ref().unwrap().checksum_ok());
+    }
+
+    #[test]
+    fn parked_sessions_resume_inside_pool_workers() {
+        // Park on this thread, resume and finish inside a pool job —
+        // the migration the portable snapshot format exists for.
+        let pool = FleetPool::new(2);
+        let backend = Backend::translated_compiled(cabt_core_detail());
+        let mut donor = SimBuilder::named("gcd").backend(backend).build().unwrap();
+        donor.run(Limit::Retirements(500)).unwrap();
+        let parked = donor.park().unwrap();
+        donor.run(Limit::Cycles(50_000_000)).unwrap();
+        let expected = fingerprint_engine(&donor);
+
+        let latch = Arc::new(Latch::new(1));
+        let slot: Arc<Mutex<Option<u64>>> = Arc::new(Mutex::new(None));
+        let (l2, s2) = (Arc::clone(&latch), Arc::clone(&slot));
+        pool.spawn(move || {
+            let mut resumed = Session::resume(&parked).unwrap();
+            resumed.run(Limit::Cycles(50_000_000)).unwrap();
+            *s2.lock().unwrap() = Some(fingerprint_engine(&resumed));
+            l2.count_down();
+        });
+        latch.wait();
+        assert_eq!(slot.lock().unwrap().unwrap(), expected);
+    }
+
+    fn cabt_core_detail() -> cabt_core::DetailLevel {
+        cabt_core::DetailLevel::Cache
+    }
+}

@@ -1,0 +1,270 @@
+//! The fixed work-stealing thread pool fleet scheduling runs on.
+//!
+//! The paper's prototyping platform runs *one* session; a fleet service
+//! runs hundreds, and the thread-per-shard-per-round discipline of
+//! `cabt_exec::run_epochs_parallel` does not scale past a handful of
+//! concurrent sessions (M sessions × N shards × one spawn per round).
+//! [`FleetPool`] replaces it with a fixed worker population: epoch
+//! rounds are *work items*, and however many sessions are in flight,
+//! host parallelism stays bounded by the worker count.
+//!
+//! Stealing discipline: every worker owns a deque and pops its own work
+//! LIFO (a worker that just finished a shard round keeps the cache-hot
+//! session); idle workers steal FIFO from the external injector queue
+//! and then from their peers, oldest item first — so one long-running
+//! session cannot starve the rest of the fleet. Jobs a worker spawns
+//! land on its own deque; external spawns land on the injector.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread;
+
+/// One unit of pool work (an epoch round of one shard, a batch driver's
+/// bookkeeping step, …).
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// The pool this thread is a worker of, if any — lets jobs spawned
+    /// from inside a worker land on the worker's own deque (stolen only
+    /// when a peer goes idle).
+    static WORKER: std::cell::RefCell<Option<(Weak<PoolCore>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Shared state of a [`FleetPool`]: the deques, the sleep gate and the
+/// shutdown flag. Jobs hold an `Arc` of this so they can schedule
+/// follow-up work (the event-driven epoch scheduler reschedules a
+/// session's next round from the job that completed its last).
+pub(crate) struct PoolCore {
+    /// One deque per worker, then the injector queue last.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Guards sleeping: pushes bump the generation under this lock, so
+    /// a worker that re-checks the queues under it cannot miss a wake.
+    gate: Mutex<u64>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolCore {
+    /// Enqueues a job: onto the current worker's own deque when called
+    /// from inside this pool, onto the injector otherwise.
+    pub(crate) fn push(self: &Arc<Self>, job: Job) {
+        let slot = WORKER.with(|w| {
+            w.borrow()
+                .as_ref()
+                .and_then(|(core, id)| (Weak::as_ptr(core) == Arc::as_ptr(self)).then_some(*id))
+        });
+        let q = slot.unwrap_or(self.queues.len() - 1);
+        self.queues[q].lock().unwrap().push_back(job);
+        let mut generation = self.gate.lock().unwrap();
+        *generation += 1;
+        drop(generation);
+        self.wake.notify_all();
+    }
+
+    /// Own deque LIFO, then injector and peers FIFO.
+    fn grab(&self, id: usize) -> Option<Job> {
+        if let Some(job) = self.queues[id].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        // Start at the injector (index n-1), then sweep the peers.
+        for step in 0..n {
+            let q = (n - 1 + step) % n;
+            if q == id {
+                continue;
+            }
+            if let Some(job) = self.queues[q].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+    }
+
+    fn worker(self: Arc<Self>, id: usize) {
+        WORKER.with(|w| *w.borrow_mut() = Some((Arc::downgrade(&self), id)));
+        loop {
+            if let Some(job) = self.grab(id) {
+                job();
+                continue;
+            }
+            let generation = self.gate.lock().unwrap();
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // Re-check under the gate: a push between `grab` and the
+            // lock bumped the generation and must not be slept through.
+            if self.has_work() {
+                continue;
+            }
+            drop(self.wake.wait(generation).unwrap());
+        }
+    }
+}
+
+/// A fixed pool of worker threads executing fleet work items.
+///
+/// Dropping the pool shuts it down: workers finish the jobs already
+/// queued, then exit and are joined. [`FleetPool::spawn`] is the raw
+/// entry; the epoch scheduler in the crate root is the intended client.
+pub struct FleetPool {
+    core: Arc<PoolCore>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl FleetPool {
+    /// A pool of `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> FleetPool {
+        let workers = workers.max(1);
+        let core = Arc::new(PoolCore {
+            queues: (0..=workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            gate: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let core = Arc::clone(&core);
+                thread::Builder::new()
+                    .name(format!("fleet-worker-{id}"))
+                    .spawn(move || core.worker(id))
+                    .expect("spawning a fleet worker")
+            })
+            .collect();
+        FleetPool { core, handles }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    pub fn with_host_parallelism() -> FleetPool {
+        let workers = thread::available_parallelism().map_or(1, |n| n.get());
+        FleetPool::new(workers)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues a job for execution on some worker.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.core.push(Box::new(job));
+    }
+
+    /// The shared core, for jobs that schedule follow-up work.
+    pub(crate) fn core(&self) -> Arc<PoolCore> {
+        Arc::clone(&self.core)
+    }
+}
+
+impl Drop for FleetPool {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::Release);
+        {
+            let mut generation = self.core.gate.lock().unwrap();
+            *generation += 1;
+        }
+        self.core.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A countdown latch: the coordinator waits until `n` completions have
+/// been counted down — how batch drivers block on a fleet of
+/// event-driven sessions without polling.
+pub struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    /// A latch expecting `n` completions.
+    pub fn new(n: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Records one completion.
+    pub fn count_down(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every expected completion has been counted down.
+    pub fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_every_job_exactly_once() {
+        let pool = FleetPool::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(Latch::new(100));
+        for _ in 0..100 {
+            let (hits, latch) = (Arc::clone(&hits), Arc::clone(&latch));
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                latch.count_down();
+            });
+        }
+        latch.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn jobs_spawned_from_workers_run_and_steal_across_workers() {
+        // A chain of follow-up jobs spawned from inside worker threads —
+        // the shape of the event-driven epoch scheduler.
+        let pool = FleetPool::new(3);
+        let latch = Arc::new(Latch::new(1));
+        let core = pool.core();
+        fn step(core: Arc<PoolCore>, latch: Arc<Latch>, left: usize) {
+            if left == 0 {
+                latch.count_down();
+                return;
+            }
+            let next = Arc::clone(&core);
+            core.push(Box::new(move || step(next, latch, left - 1)));
+        }
+        step(core, Arc::clone(&latch), 64);
+        latch.wait();
+    }
+
+    #[test]
+    fn drop_finishes_queued_work() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(Latch::new(8));
+        {
+            let pool = FleetPool::new(2);
+            for _ in 0..8 {
+                let (hits, latch) = (Arc::clone(&hits), Arc::clone(&latch));
+                pool.spawn(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    latch.count_down();
+                });
+            }
+            latch.wait();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+}

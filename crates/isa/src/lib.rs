@@ -10,6 +10,8 @@
 //!   symbol tables, string tables). The paper's translator consumes ELF
 //!   object code ("the compiler reads the object file, which is usually
 //!   provided in ELF format"); so does ours.
+//! * [`codec`] — the little-endian byte reader/writer pair every crate
+//!   uses to serialize its snapshot state for portable park/resume.
 //! * Common error types ([`IsaError`]) and address/word conventions.
 //!
 //! # Example
@@ -23,6 +25,7 @@
 //! # Ok::<(), cabt_isa::IsaError>(())
 //! ```
 
+pub mod codec;
 pub mod elf;
 pub mod mem;
 pub mod rng;

@@ -26,6 +26,7 @@
 //! thread-parallel scheduler produce bit-identical runs — and every
 //! type in the exchange is `Send`, so shards can run on worker threads.
 
+use cabt_isa::codec::{ByteReader, ByteWriter, CodecError};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -115,6 +116,35 @@ impl SocBusState {
     /// Transactions the bus had served when this image was captured.
     pub fn transactions(&self) -> u64 {
         self.transactions
+    }
+
+    /// Serializes the bus image for a portable snapshot. Per-device
+    /// images are opaque bytes (their encoding is private to each
+    /// device), carried positionally.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new(out);
+        w.u64(self.devices.len() as u64);
+        for img in &self.devices {
+            w.bytes(img);
+        }
+        w.u64(self.transactions);
+    }
+
+    /// Decodes a [`SocBusState::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let ndevices = r.count("bus device images", 8)?;
+        let mut devices = Vec::with_capacity(ndevices);
+        for _ in 0..ndevices {
+            devices.push(r.bytes("device image")?.to_vec());
+        }
+        Ok(SocBusState {
+            devices,
+            transactions: r.u64()?,
+        })
     }
 }
 

@@ -17,6 +17,8 @@
 //! ordering (wait-for-main, then wait-for-correction) behaves exactly as
 //! on the real hardware.
 
+use cabt_isa::codec::{ByteReader, ByteWriter, CodecError};
+
 /// How fast the device can generate SoC cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncRate {
@@ -126,6 +128,52 @@ impl SyncDevice {
     /// by this count).
     pub fn soc_time(&self) -> u64 {
         self.generated + self.corrected
+    }
+
+    /// Serializes the device (rate and queue/counter state) for a
+    /// portable snapshot.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new(out);
+        match self.rate {
+            SyncRate::Unlimited => w.u8(0),
+            SyncRate::Ratio { num, den } => {
+                w.u8(1);
+                w.u32(num);
+                w.u32(den);
+            }
+        }
+        w.u64(self.done_at);
+        w.u64(self.generated);
+        w.u64(self.corrected);
+        w.u64(self.stalls);
+    }
+
+    /// Decodes a [`SyncDevice::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let rate = match r.u8()? {
+            0 => SyncRate::Unlimited,
+            1 => {
+                let num = r.u32()?;
+                SyncRate::Ratio { num, den: r.u32()? }
+            }
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "SyncRate",
+                    tag,
+                })
+            }
+        };
+        Ok(SyncDevice {
+            rate,
+            done_at: r.u64()?,
+            generated: r.u64()?,
+            corrected: r.u64()?,
+            stalls: r.u64()?,
+        })
     }
 }
 

@@ -10,6 +10,7 @@
 
 use crate::kernel::{DeltaOverflow, Kernel, KernelState, SignalId};
 use cabt_exec::{EngineStats, ExecutionEngine};
+use cabt_isa::codec::{ByteReader, ByteWriter, CodecError};
 use cabt_isa::elf::ElfFile;
 use cabt_isa::mem::Memory;
 use cabt_isa::IsaError;
@@ -77,6 +78,28 @@ pub struct RtlSnapshot {
     kernel: KernelState,
     mem: Memory,
     instructions: u64,
+}
+
+impl RtlSnapshot {
+    /// Serializes the snapshot for portable park/resume.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.kernel.encode_into(out);
+        self.mem.encode_into(out);
+        ByteWriter::new(out).u64(self.instructions);
+    }
+
+    /// Decodes an [`RtlSnapshot::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(RtlSnapshot {
+            kernel: KernelState::decode(r)?,
+            mem: Memory::decode(r)?,
+            instructions: r.u64()?,
+        })
+    }
 }
 
 /// The RTL-style core bound to a program image.

@@ -5,6 +5,7 @@
 //! writes are staged and committed between delta cycles, and simulated
 //! time only advances once the delta iteration reaches a fixed point.
 
+use cabt_isa::codec::{ByteReader, ByteWriter, CodecError};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -46,6 +47,49 @@ pub struct KernelState {
     runnable: Vec<usize>,
     time: u64,
     deltas: u64,
+}
+
+impl KernelState {
+    /// Serializes the kernel state for a portable snapshot. The
+    /// runnable set is already sorted by [`Kernel::save_state`], so the
+    /// encoding is deterministic.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new(out);
+        w.u64(self.values.len() as u64);
+        for &v in &self.values {
+            w.u64(v);
+        }
+        w.u64(self.runnable.len() as u64);
+        for &p in &self.runnable {
+            w.u64(p as u64);
+        }
+        w.u64(self.time);
+        w.u64(self.deltas);
+    }
+
+    /// Decodes a [`KernelState::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let nvalues = r.count("kernel signals", 8)?;
+        let mut values = Vec::with_capacity(nvalues);
+        for _ in 0..nvalues {
+            values.push(r.u64()?);
+        }
+        let nrunnable = r.count("runnable processes", 8)?;
+        let mut runnable = Vec::with_capacity(nrunnable);
+        for _ in 0..nrunnable {
+            runnable.push(r.u64()? as usize);
+        }
+        Ok(KernelState {
+            values,
+            runnable,
+            time: r.u64()?,
+            deltas: r.u64()?,
+        })
+    }
 }
 
 /// Error raised when the delta iteration does not converge (a

@@ -43,9 +43,12 @@
 use cabt_core::{DetailLevel, Granularity, TranslateError, Translated, Translator};
 use cabt_exec::trace::{TraceConfig, TraceStats};
 use cabt_exec::{EngineStats, ExecutionEngine, Limit, StopCause};
+use cabt_isa::codec::{ByteReader, ByteWriter, CodecError};
 use cabt_isa::elf::ElfFile;
+use cabt_isa::IsaError;
 use cabt_platform::{
     GoldenBridge, Platform, PlatformConfig, PlatformStats, ShardArbiter, SharedSocBus, SocBusState,
+    SyncRate,
 };
 use cabt_rtlsim::{RtlCore, RtlError, RtlSnapshot};
 use cabt_tricore::asm::AsmError;
@@ -311,6 +314,75 @@ impl fmt::Display for Backend {
     }
 }
 
+/// [`Backend`] parses back from its [`Display`](fmt::Display) form —
+/// the descriptor syntax CLI flags, the fleet server's request lines
+/// and the park envelope all share:
+///
+/// ```
+/// use cabt_sim::Backend;
+///
+/// for b in Backend::all() {
+///     assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
+/// }
+/// assert_eq!(
+///     "sharded-4x-par:translated:cache:compiled".parse::<Backend>().unwrap(),
+///     Backend::sharded_parallel(4, Backend::translated_compiled(cabt_core::DetailLevel::Cache)),
+/// );
+/// ```
+impl std::str::FromStr for Backend {
+    type Err = SessionError;
+
+    fn from_str(s: &str) -> Result<Self, SessionError> {
+        let err = || SessionError::ParseBackend(s.to_string());
+        // `sharded-{N}x:{base}` / `sharded-{N}x-par:{base}`.
+        if let Some(rest) = s.strip_prefix("sharded-") {
+            let (head, base) = rest.split_once(':').ok_or_else(err)?;
+            let (digits, schedule) = match head.strip_suffix("x-par") {
+                Some(d) => (d, ShardSchedule::Parallel),
+                None => (
+                    head.strip_suffix('x').ok_or_else(err)?,
+                    ShardSchedule::Sequential,
+                ),
+            };
+            let cores: u8 = digits.parse().map_err(|_| err())?;
+            return match base.parse()? {
+                Backend::Sharded { .. } => Err(err()),
+                base => Ok(Backend::sharded_with_schedule(cores, base, schedule)),
+            };
+        }
+        if s == "rtl" {
+            return Ok(Backend::Rtl);
+        }
+        if s == "golden" || s.starts_with("golden:") {
+            let dispatch = match s.strip_prefix("golden").unwrap() {
+                "" => DispatchMode::Predecoded,
+                ":compiled" => DispatchMode::Compiled,
+                ":trace" => DispatchMode::Trace,
+                ":naive" => DispatchMode::Naive,
+                _ => return Err(err()),
+            };
+            return Ok(Backend::Golden { dispatch });
+        }
+        let rest = s.strip_prefix("translated:").ok_or_else(err)?;
+        let (level, dispatch) = match rest.rsplit_once(':') {
+            Some((level, "compiled")) => (level, VliwDispatch::Compiled),
+            Some((level, "trace")) => (level, VliwDispatch::Trace),
+            Some((level, "naive")) => (level, VliwDispatch::Naive),
+            // No dispatch suffix ("branch-predict" has a hyphen but no
+            // colon, so it lands here too).
+            _ => (rest, VliwDispatch::Predecoded),
+        };
+        let level = match level {
+            "functional" => DetailLevel::Functional,
+            "static" => DetailLevel::Static,
+            "branch-predict" => DetailLevel::BranchPredict,
+            "cache" => DetailLevel::Cache,
+            _ => return Err(err()),
+        };
+        Ok(Backend::Translated { level, dispatch })
+    }
+}
+
 /// Errors raised while building or running a session.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SessionError {
@@ -328,6 +400,15 @@ pub enum SessionError {
     Rtl(RtlError),
     /// A sharded backend was configured invalidly (e.g. zero cores).
     ShardConfig(String),
+    /// A backend descriptor string did not parse (see the
+    /// [`Backend`] `FromStr` impl for the grammar).
+    ParseBackend(String),
+    /// A park image failed to decode (truncated, corrupt, or a
+    /// version this build does not read).
+    Codec(CodecError),
+    /// The session's ELF image failed to (re-)serialize or parse
+    /// while building or resuming a park image.
+    Elf(IsaError),
 }
 
 impl fmt::Display for SessionError {
@@ -340,6 +421,9 @@ impl fmt::Display for SessionError {
             SessionError::Target(e) => write!(f, "target fault: {e}"),
             SessionError::Rtl(e) => write!(f, "RTL model fault: {e}"),
             SessionError::ShardConfig(msg) => write!(f, "invalid shard configuration: {msg}"),
+            SessionError::ParseBackend(s) => write!(f, "unknown backend descriptor `{s}`"),
+            SessionError::Codec(e) => write!(f, "park image does not decode: {e}"),
+            SessionError::Elf(e) => write!(f, "ELF image error: {e}"),
         }
     }
 }
@@ -376,6 +460,18 @@ impl From<RtlError> for SessionError {
     }
 }
 
+impl From<CodecError> for SessionError {
+    fn from(e: CodecError) -> Self {
+        SessionError::Codec(e)
+    }
+}
+
+impl From<IsaError> for SessionError {
+    fn from(e: IsaError) -> Self {
+        SessionError::Elf(e)
+    }
+}
+
 impl From<cabt_platform::PlatformError> for SessionError {
     fn from(e: cabt_platform::PlatformError) -> Self {
         match e {
@@ -391,6 +487,101 @@ enum SourceSpec {
     Asm(String),
     Elf(ElfFile),
     Named(String),
+}
+
+/// The build-time knobs a session retains so it can describe itself —
+/// the configuration half of the park envelope, enough to rebuild an
+/// identical vehicle in another process. Runtime-only builder state
+/// (observers, an externally owned bus) is deliberately absent: a
+/// resumed session owns a private device population whose *state* comes
+/// from the snapshot payload.
+#[derive(Debug, Clone, Copy)]
+struct BuildConfig {
+    platform: PlatformConfig,
+    granularity: Granularity,
+    shard_epoch: Option<u64>,
+    trace_config: Option<TraceConfig>,
+}
+
+impl BuildConfig {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new(out);
+        w.u64(self.platform.target_hz);
+        w.u64(self.platform.soc_hz);
+        match self.platform.rate {
+            SyncRate::Unlimited => w.u8(0),
+            SyncRate::Ratio { num, den } => {
+                w.u8(1);
+                w.u32(num);
+                w.u32(den);
+            }
+        }
+        w.u32(self.platform.bus_handshake);
+        w.u8(match self.granularity {
+            Granularity::BasicBlock => 0,
+            Granularity::PerInstruction => 1,
+        });
+        match self.shard_epoch {
+            None => w.bool(false),
+            Some(e) => {
+                w.bool(true);
+                w.u64(e);
+            }
+        }
+        match &self.trace_config {
+            None => w.bool(false),
+            Some(cfg) => {
+                w.bool(true);
+                cfg.encode_into(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let target_hz = r.u64()?;
+        let soc_hz = r.u64()?;
+        let rate = match r.u8()? {
+            0 => SyncRate::Unlimited,
+            1 => {
+                let num = r.u32()?;
+                SyncRate::Ratio { num, den: r.u32()? }
+            }
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "SyncRate",
+                    tag,
+                })
+            }
+        };
+        let platform = PlatformConfig {
+            target_hz,
+            soc_hz,
+            rate,
+            bus_handshake: r.u32()?,
+        };
+        let granularity = match r.u8()? {
+            0 => Granularity::BasicBlock,
+            1 => Granularity::PerInstruction,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "Granularity",
+                    tag,
+                })
+            }
+        };
+        let shard_epoch = if r.bool()? { Some(r.u64()?) } else { None };
+        let trace_config = if r.bool()? {
+            Some(TraceConfig::decode(r)?)
+        } else {
+            None
+        };
+        Ok(BuildConfig {
+            platform,
+            granularity,
+            shard_epoch,
+            trace_config,
+        })
+    }
 }
 
 /// Everything observers receive: uniform counters plus position, taken
@@ -600,6 +791,12 @@ impl SimBuilder {
                 .ok_or(SessionError::UnknownWorkload(name))?
                 .elf()?,
         };
+        let config = BuildConfig {
+            platform: self.platform,
+            granularity: self.granularity,
+            shard_epoch: self.shard_epoch,
+            trace_config: self.trace_config,
+        };
         let vehicle = Self::build_vehicle(
             &elf,
             self.backend,
@@ -613,6 +810,7 @@ impl SimBuilder {
             vehicle,
             elf,
             backend: self.backend,
+            config,
             epoch: self.epoch,
             on_epoch: self.on_epoch,
             on_stop: self.on_stop,
@@ -794,7 +992,124 @@ impl Snap {
             Snap::Sharded { .. } => "sharded",
         }
     }
+
+    /// The codec tag byte of this vehicle kind.
+    fn tag(&self) -> u8 {
+        match self {
+            Snap::Golden(_) => 0,
+            Snap::Target { .. } => 1,
+            Snap::Rtl(_) => 2,
+            Snap::Sharded { .. } => 3,
+        }
+    }
 }
+
+/// True when `snap` structurally matches the vehicle `backend` builds —
+/// same kind, and (recursively) the same shard population. What keeps a
+/// corrupt-but-well-formed park payload from panicking
+/// [`Session::restore`].
+fn snapshot_matches_backend(backend: Backend, snap: &Snap) -> bool {
+    match (backend, snap) {
+        (Backend::Golden { .. }, Snap::Golden(_))
+        | (Backend::Translated { .. }, Snap::Target { .. })
+        | (Backend::Rtl, Snap::Rtl(_)) => true,
+        (Backend::Sharded { cores, backend, .. }, Snap::Sharded { shards, .. }) => {
+            shards.len() == cores as usize
+                && shards
+                    .iter()
+                    .all(|s| snapshot_matches_backend(backend.into(), &s.snap))
+        }
+        _ => false,
+    }
+}
+
+impl SessionSnapshot {
+    /// Serializes the snapshot (engine state, synchronization device
+    /// where the vehicle has one, SoC device images, recursive shard
+    /// snapshots) into `out`. The byte layout is documented in
+    /// `docs/snapshot-format.md`; [`Session::park`] wraps it in the
+    /// versioned envelope.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        ByteWriter::new(out).u8(self.snap.tag());
+        match &self.snap {
+            Snap::Golden(s) => s.encode_into(out),
+            Snap::Target { engine, sync } => {
+                engine.encode_into(out);
+                sync.encode_into(out);
+            }
+            Snap::Rtl(s) => s.encode_into(out),
+            Snap::Sharded {
+                shards,
+                epochs,
+                step_exchange_at,
+            } => {
+                ByteWriter::new(out).u64(shards.len() as u64);
+                for s in shards {
+                    s.encode_into(out);
+                }
+                let mut w = ByteWriter::new(out);
+                w.u64(*epochs);
+                w.u64(*step_exchange_at);
+            }
+        }
+        match &self.devices {
+            None => ByteWriter::new(out).bool(false),
+            Some(d) => {
+                ByteWriter::new(out).bool(true);
+                d.encode_into(out);
+            }
+        }
+    }
+
+    /// Decodes a [`SessionSnapshot::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let snap = match r.u8()? {
+            0 => Snap::Golden(Box::new(SimSnapshot::decode(r)?)),
+            1 => Snap::Target {
+                engine: Box::new(VliwSnapshot::decode(r)?),
+                sync: cabt_platform::SyncDevice::decode(r)?,
+            },
+            2 => Snap::Rtl(Box::new(RtlSnapshot::decode(r)?)),
+            3 => {
+                // Every shard snapshot is at least a tag byte and a
+                // devices flag.
+                let n = r.count("shard snapshots", 2)?;
+                let mut shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    shards.push(SessionSnapshot::decode(r)?);
+                }
+                Snap::Sharded {
+                    shards,
+                    epochs: r.u64()?,
+                    step_exchange_at: r.u64()?,
+                }
+            }
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "session snapshot vehicle",
+                    tag,
+                })
+            }
+        };
+        let devices = if r.bool()? {
+            Some(SocBusState::decode(r)?)
+        } else {
+            None
+        };
+        Ok(SessionSnapshot { snap, devices })
+    }
+}
+
+/// Magic prefix of a park envelope ([`Session::park`]).
+pub const PARK_MAGIC: &[u8; 8] = b"CABTPARK";
+
+/// Park-envelope format version this build writes — and the only one it
+/// reads. See `docs/snapshot-format.md` for the compatibility policy.
+pub const PARK_VERSION: u16 = 1;
 
 impl fmt::Debug for SessionSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -854,6 +1169,7 @@ struct ShardSet {
 }
 
 impl ShardSet {
+    #[allow(clippy::too_many_arguments)]
     fn build(
         elf: &ElfFile,
         cores: u8,
@@ -905,6 +1221,12 @@ impl ShardSet {
                 vehicle,
                 elf: elf.clone(),
                 backend: backend.into(),
+                config: BuildConfig {
+                    platform: platform_cfg,
+                    granularity,
+                    shard_epoch: None,
+                    trace_config,
+                },
                 epoch: DEFAULT_EPOCH,
                 on_epoch: Vec::new(),
                 on_stop: Vec::new(),
@@ -1059,6 +1381,9 @@ pub struct Session {
     vehicle: Vehicle,
     elf: ElfFile,
     backend: Backend,
+    /// Build-time knobs, retained so [`Session::park`] can emit a
+    /// self-describing envelope.
+    config: BuildConfig,
     epoch: u64,
     on_epoch: Vec<ObserverFn>,
     on_stop: Vec<ObserverFn>,
@@ -1335,6 +1660,146 @@ impl Session {
                 vehicle => vehicle.device_bus().map(|b| b.save_state()),
             },
         }
+    }
+
+    /// Captures the session into an existing snapshot, reusing its
+    /// allocations where the shapes line up (the per-vehicle boxes and
+    /// the recursive shard list) instead of minting fresh ones — the
+    /// in-memory half of what keeps fleet park/resume loops from
+    /// churning the allocator (the byte half is
+    /// [`Session::park_into`]). Equivalent to `*out = self.snapshot()`
+    /// in every observable way; a mismatched snapshot (other backend
+    /// kind, other shard count) is simply replaced.
+    pub fn snapshot_into(&self, out: &mut SessionSnapshot) {
+        match (&self.vehicle, &mut out.snap) {
+            (Vehicle::Golden { sim, .. }, Snap::Golden(slot)) => **slot = sim.snapshot(),
+            (Vehicle::Translated { platform, .. }, Snap::Target { engine, sync }) => {
+                **engine = platform.sim().snapshot();
+                *sync = platform.save_sync_device();
+            }
+            (Vehicle::Rtl(core), Snap::Rtl(slot)) => **slot = core.snapshot(),
+            (
+                Vehicle::Sharded(set),
+                Snap::Sharded {
+                    shards,
+                    epochs,
+                    step_exchange_at,
+                },
+            ) if shards.len() == set.shards.len() => {
+                for (shard, slot) in set.shards.iter().zip(shards.iter_mut()) {
+                    shard.snapshot_into(slot);
+                }
+                *epochs = set.arbiter.epochs();
+                *step_exchange_at = set.step_exchange_at;
+            }
+            (_, snap) => *snap = self.snapshot_with_devices().snap,
+        }
+        out.devices = match &self.vehicle {
+            Vehicle::Sharded(set) => Some(set.arbiter.canonical_state()),
+            vehicle => vehicle.device_bus().map(|b| b.save_state()),
+        };
+    }
+
+    /// Serializes the whole session — backend descriptor, build
+    /// configuration, ELF image and a full [`Session::snapshot`] — into
+    /// a versioned, self-describing byte envelope. [`Session::resume`]
+    /// rebuilds an identical session from it in any process: parking a
+    /// session mid-run and resuming it elsewhere replays bit-identically
+    /// (`tests/snapshot_restore.rs` pins this for every backend).
+    ///
+    /// Sessions built around an externally owned bus
+    /// ([`SimBuilder::soc_bus`]) park their device *state*; the resumed
+    /// session owns a private device population restored from it.
+    /// Observers are runtime wiring, not state, and do not park.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::Elf`] if the retained ELF image fails to
+    /// re-serialize (not reachable for images that assembled or parsed).
+    pub fn park(&self) -> Result<Vec<u8>, SessionError> {
+        let mut out = Vec::new();
+        self.park_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`Session::park`] into a caller-owned buffer (cleared first) —
+    /// park loops keep one scratch `Vec` and re-encode into it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::park`].
+    pub fn park_into(&self, out: &mut Vec<u8>) -> Result<(), SessionError> {
+        out.clear();
+        {
+            let mut w = ByteWriter::new(out);
+            w.raw(PARK_MAGIC);
+            w.u16(PARK_VERSION);
+            w.str(&self.backend.to_string());
+        }
+        self.config.encode_into(out);
+        let elf = self.elf.to_bytes()?;
+        ByteWriter::new(out).bytes(&elf);
+        self.snapshot_with_devices().encode_into(out);
+        Ok(())
+    }
+
+    /// Rebuilds a parked session from [`Session::park`] bytes: parses
+    /// the envelope, reconstructs the vehicle from the embedded backend
+    /// descriptor, configuration and ELF image, and restores the
+    /// snapshot payload. The resumed session continues exactly where
+    /// the donor stopped, on any thread or in any process.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Codec`] on bad magic, a version this build does
+    /// not read ([`CodecError::Version`]), or truncated/corrupt
+    /// payload bytes; [`SessionError::ParseBackend`] if the descriptor
+    /// does not parse; plus the usual build errors.
+    pub fn resume(bytes: &[u8]) -> Result<Session, SessionError> {
+        let mut r = ByteReader::new(bytes);
+        if r.raw(PARK_MAGIC.len()).map_err(|_| CodecError::BadMagic)? != PARK_MAGIC {
+            return Err(CodecError::BadMagic.into());
+        }
+        let found = r.u16()?;
+        if found != PARK_VERSION {
+            return Err(CodecError::Version {
+                found,
+                expected: PARK_VERSION,
+            }
+            .into());
+        }
+        let backend: Backend = r.str("backend descriptor")?.parse()?;
+        let config = BuildConfig::decode(&mut r)?;
+        let elf = ElfFile::parse(r.bytes("ELF image")?)?;
+        let snapshot = SessionSnapshot::decode(&mut r)?;
+        r.finish().map_err(SessionError::Codec)?;
+        if !snapshot_matches_backend(backend, &snapshot.snap) {
+            return Err(CodecError::BadTag {
+                what: "session snapshot vehicle",
+                tag: snapshot.snap.tag(),
+            }
+            .into());
+        }
+        let vehicle = SimBuilder::build_vehicle(
+            &elf,
+            backend,
+            config.platform,
+            config.granularity,
+            None,
+            config.shard_epoch,
+            config.trace_config,
+        )?;
+        let mut session = Session {
+            vehicle,
+            elf,
+            backend,
+            config,
+            epoch: DEFAULT_EPOCH,
+            on_epoch: Vec::new(),
+            on_stop: Vec::new(),
+        };
+        session.restore(&snapshot);
+        Ok(session)
     }
 
     /// The device state of the session's SoC bus, if it has one —
@@ -1727,6 +2192,55 @@ mod tests {
         }
     }
 
+    /// The property the fleet front end relies on: every backend's
+    /// `Display` form parses back to the same value — including the
+    /// naive reference dispatch tiers and every sharded combination.
+    #[test]
+    fn backend_display_round_trips_through_from_str() {
+        let mut singles = Backend::all();
+        singles.extend([
+            Backend::Golden {
+                dispatch: DispatchMode::Naive,
+            },
+            Backend::Translated {
+                level: DetailLevel::Cache,
+                dispatch: VliwDispatch::Naive,
+            },
+        ]);
+        for b in &singles {
+            assert_eq!(b.to_string().parse::<Backend>().unwrap(), *b, "{b}");
+        }
+        for base in singles {
+            for schedule in [ShardSchedule::Sequential, ShardSchedule::Parallel] {
+                let b = Backend::sharded_with_schedule(3, base, schedule);
+                assert_eq!(b.to_string().parse::<Backend>().unwrap(), b, "{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_backend_descriptors_are_rejected() {
+        for s in [
+            "",
+            "gold",
+            "golden:bogus",
+            "translated",
+            "translated:warp",
+            "translated:cache:jit",
+            "sharded-4x",
+            "sharded-x:golden",
+            "sharded-4:golden",
+            "sharded-999x:golden",
+            "sharded-2x:sharded-2x:golden",
+            "rtl:compiled",
+        ] {
+            assert!(
+                matches!(s.parse::<Backend>(), Err(SessionError::ParseBackend(_))),
+                "`{s}` must not parse"
+            );
+        }
+    }
+
     #[test]
     fn named_workloads_resolve_and_unknown_names_fail() {
         let mut s = SimBuilder::named("gcd").build().unwrap();
@@ -1854,6 +2368,69 @@ mod tests {
             assert_eq!(s.stats(), end, "{backend}: replay stats diverged");
             assert_eq!(s.read_d(2), d2, "{backend}: replay checksum diverged");
         }
+    }
+
+    #[test]
+    fn park_resume_continues_bit_identically() {
+        for backend in [
+            Backend::golden_trace(),
+            Backend::translated_compiled(DetailLevel::Cache),
+            Backend::sharded(2, Backend::golden()),
+        ] {
+            let mut s = SimBuilder::asm(SUM).backend(backend).build().unwrap();
+            s.run(Limit::Retirements(5)).unwrap();
+            let parked = s.park().unwrap();
+            s.run(Limit::Cycles(10_000_000)).unwrap();
+            let end_fp = cabt_exec::fingerprint_engine(&s);
+            let mut resumed = Session::resume(&parked).unwrap();
+            assert_eq!(resumed.backend(), backend, "{backend}");
+            resumed.run(Limit::Cycles(10_000_000)).unwrap();
+            assert_eq!(
+                cabt_exec::fingerprint_engine(&resumed),
+                end_fp,
+                "{backend}: resumed replay diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_into_reuses_and_matches_snapshot() {
+        let mut s = SimBuilder::asm(SUM)
+            .backend(Backend::sharded(2, Backend::golden()))
+            .build()
+            .unwrap();
+        s.run(Limit::Retirements(4)).unwrap();
+        // Seed a reusable snapshot, then advance and recapture into it.
+        let mut reused = s.snapshot();
+        s.run(Limit::Retirements(9)).unwrap();
+        s.snapshot_into(&mut reused);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        reused.encode_into(&mut a);
+        s.snapshot().encode_into(&mut b);
+        assert_eq!(a, b, "snapshot_into must capture the same state");
+    }
+
+    #[test]
+    fn park_rejects_foreign_and_future_versions() {
+        let s = SimBuilder::asm(SUM).build().unwrap();
+        let parked = s.park().unwrap();
+        // Foreign magic.
+        let mut corrupt = parked.clone();
+        corrupt[0] ^= 0xff;
+        assert!(matches!(
+            Session::resume(&corrupt),
+            Err(SessionError::Codec(CodecError::BadMagic))
+        ));
+        // A future format version must be rejected, not misdecoded.
+        let mut future = parked.clone();
+        future[8..10].copy_from_slice(&(PARK_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            Session::resume(&future),
+            Err(SessionError::Codec(CodecError::Version { .. }))
+        ));
+        // Truncation anywhere is an error, never a panic.
+        assert!(Session::resume(&parked[..parked.len() - 3]).is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! that cross basic-block boundaries, branch outcomes, and cache misses.
 
 use crate::isa::Instr;
+use cabt_isa::codec::{ByteReader, ByteWriter, CodecError};
 
 /// Issue pipeline of an instruction (the TriCore-style dual pipe).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -418,6 +419,52 @@ impl CacheSim {
         }
         self.lru[base + used] = 0;
     }
+
+    /// Serializes the full cache state (geometry, tags, LRU, counters)
+    /// for a portable snapshot.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new(out);
+        w.u32(self.cfg.sets);
+        w.u32(self.cfg.ways);
+        w.u32(self.cfg.line_bytes);
+        w.u32(self.cfg.miss_penalty);
+        w.u64(self.tags.len() as u64);
+        for &t in &self.tags {
+            w.u64(t);
+        }
+        w.u64(self.lru.len() as u64);
+        w.raw(&self.lru);
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    /// Decodes a [`CacheSim::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let cfg = CacheConfig {
+            sets: r.u32()?,
+            ways: r.u32()?,
+            line_bytes: r.u32()?,
+            miss_penalty: r.u32()?,
+        };
+        let ntags = r.count("cache tags", 8)?;
+        let mut tags = Vec::with_capacity(ntags);
+        for _ in 0..ntags {
+            tags.push(r.u64()?);
+        }
+        let nlru = r.count("cache lru ranks", 1)?;
+        let lru = r.raw(nlru)?.to_vec();
+        Ok(CacheSim {
+            cfg,
+            tags,
+            lru,
+            hits: r.u64()?,
+            misses: r.u64()?,
+        })
+    }
 }
 
 /// Complete architecture description: what the paper's XML file carries.
@@ -505,6 +552,61 @@ impl TimingState {
     pub fn stall(&mut self, cycles: u64) {
         self.next += cycles;
         self.pair = None;
+    }
+
+    /// Serializes the pipeline state for a portable snapshot.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new(out);
+        for &c in &self.ready {
+            w.u64(c);
+        }
+        for &c in &self.mac_ready {
+            w.u64(c);
+        }
+        w.u64(self.next);
+        match self.pair {
+            None => w.bool(false),
+            Some(p) => {
+                w.bool(true);
+                w.u64(p.cycle);
+                w.raw(&p.writes);
+                w.u8(p.nwrites);
+            }
+        }
+    }
+
+    /// Decodes a [`TimingState::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mut ready = [0u64; 32];
+        for c in &mut ready {
+            *c = r.u64()?;
+        }
+        let mut mac_ready = [0u64; 32];
+        for c in &mut mac_ready {
+            *c = r.u64()?;
+        }
+        let next = r.u64()?;
+        let pair = if r.bool()? {
+            let cycle = r.u64()?;
+            let writes: [u8; 2] = r.raw(2)?.try_into().expect("2 bytes");
+            Some(PairSlot {
+                cycle,
+                writes,
+                nwrites: r.u8()?,
+            })
+        } else {
+            None
+        };
+        Ok(TimingState {
+            ready,
+            mac_ready,
+            next,
+            pair,
+        })
     }
 }
 

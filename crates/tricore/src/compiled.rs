@@ -356,12 +356,10 @@ pub(crate) fn compile_trace(
             }
         })
         .collect();
-    let loop_cont = plan.loop_back.then(|| {
-        if plan.loop_via_taken {
-            TraceCont::Taken
-        } else {
-            TraceCont::Fall
-        }
+    let loop_cont = plan.loop_back.then_some(if plan.loop_via_taken {
+        TraceCont::Taken
+    } else {
+        TraceCont::Fall
     });
     let loop_head_ops = plan.loop_back.then(|| {
         // prev_line currently holds the final segment's terminator line

@@ -51,6 +51,7 @@ use crate::encode::decode_section;
 use crate::isa::{AReg, Instr, LdKind, StKind, RA};
 use cabt_exec::trace::{grow, TraceConfig, TraceProfile, TraceStats};
 use cabt_exec::{EngineStats, ExecutionEngine};
+use cabt_isa::codec::{ByteReader, ByteWriter, CodecError};
 use cabt_isa::elf::ElfFile;
 use cabt_isa::mem::Memory;
 use cabt_isa::IsaError;
@@ -293,6 +294,122 @@ struct TraceTierSnap {
     profile: TraceProfile,
     formed: Vec<bool>,
     tstats: TraceStats,
+}
+
+impl SimSnapshot {
+    /// Serializes the snapshot for portable park/resume. The encoding
+    /// captures exactly the fields `restore` re-seats; the pre-decoded
+    /// table and timing model are load-time constants the resuming
+    /// engine rebuilds from the same ELF.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new(out);
+        for &v in &self.cpu.d {
+            w.u32(v);
+        }
+        for &v in &self.cpu.a {
+            w.u32(v);
+        }
+        w.u32(self.cpu.pc);
+        self.mem.encode_into(out);
+        self.tstate.encode_into(out);
+        let mut w = ByteWriter::new(out);
+        match &self.cache {
+            None => w.bool(false),
+            Some(c) => {
+                w.bool(true);
+                c.encode_into(out);
+            }
+        }
+        let mut w = ByteWriter::new(out);
+        w.u64(self.stats.instructions);
+        w.u64(self.stats.cycles);
+        w.u64(self.stats.cond_branches);
+        w.u64(self.stats.taken);
+        w.u64(self.stats.mispredicted);
+        w.u64(self.stats.icache_accesses);
+        w.u64(self.stats.icache_misses);
+        w.u64(self.stats.stall_cycles);
+        w.bool(matches!(self.stats.exit, Some(RunExitKind::Halted)));
+        w.u32(self.cur);
+        w.bool(self.halted);
+        match &self.trace {
+            None => w.bool(false),
+            Some(t) => {
+                w.bool(true);
+                t.profile.encode_into(out);
+                let mut w = ByteWriter::new(out);
+                w.u64(t.formed.len() as u64);
+                for &f in &t.formed {
+                    w.bool(f);
+                }
+                t.tstats.encode_into(out);
+            }
+        }
+    }
+
+    /// Decodes a [`SimSnapshot::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mut cpu = Cpu::default();
+        for v in &mut cpu.d {
+            *v = r.u32()?;
+        }
+        for v in &mut cpu.a {
+            *v = r.u32()?;
+        }
+        cpu.pc = r.u32()?;
+        let mem = Memory::decode(r)?;
+        let tstate = TimingState::decode(r)?;
+        let cache = if r.bool()? {
+            Some(CacheSim::decode(r)?)
+        } else {
+            None
+        };
+        let mut stats = RunStats {
+            instructions: r.u64()?,
+            cycles: r.u64()?,
+            cond_branches: r.u64()?,
+            taken: r.u64()?,
+            mispredicted: r.u64()?,
+            icache_accesses: r.u64()?,
+            icache_misses: r.u64()?,
+            stall_cycles: r.u64()?,
+            exit: None,
+        };
+        if r.bool()? {
+            stats.exit = Some(RunExitKind::Halted);
+        }
+        let cur = r.u32()?;
+        let halted = r.bool()?;
+        let trace = if r.bool()? {
+            let profile = TraceProfile::decode(r)?;
+            let nformed = r.count("formed trace flags", 1)?;
+            let mut formed = Vec::with_capacity(nformed);
+            for _ in 0..nformed {
+                formed.push(r.bool()?);
+            }
+            Some(TraceTierSnap {
+                profile,
+                formed,
+                tstats: TraceStats::decode(r)?,
+            })
+        } else {
+            None
+        };
+        Ok(SimSnapshot {
+            cpu,
+            mem,
+            tstate,
+            cache,
+            stats,
+            cur,
+            halted,
+            trace,
+        })
+    }
 }
 
 /// The golden model's trace-tier state: the warm-up profile, the formed
@@ -847,11 +964,11 @@ impl Simulator {
                     tr.loop_cont
                 };
                 let follows = !*hot.halted
-                    && match (cont, exit) {
-                        (Some(TraceCont::Fall), Ctl::Next | Ctl::Fall) => true,
-                        (Some(TraceCont::Taken), Ctl::Taken) => true,
-                        _ => false,
-                    };
+                    && matches!(
+                        (cont, exit),
+                        (Some(TraceCont::Fall), Ctl::Next | Ctl::Fall)
+                            | (Some(TraceCont::Taken), Ctl::Taken)
+                    );
                 if follows {
                     if si + 1 < tr.segs.len() {
                         si += 1;

@@ -45,6 +45,7 @@ use crate::isa::{Op, Packet, Reg, Slot, Width};
 use cabt_exec::blocks::BlockMap;
 use cabt_exec::trace::{grow, TraceConfig, TraceProfile, TraceStats};
 use cabt_exec::{EngineStats, ExecutionEngine};
+use cabt_isa::codec::{ByteReader, ByteWriter, CodecError};
 use cabt_isa::mem::Memory;
 use cabt_isa::IsaError;
 use std::collections::HashMap;
@@ -257,6 +258,138 @@ struct VTraceSnap {
     ends: Vec<Option<u32>>,
     span: Vec<u32>,
     tstats: TraceStats,
+}
+
+impl VliwSnapshot {
+    /// Serializes the snapshot for portable park/resume. Captures
+    /// exactly the fields `restore` re-seats; the packet table and slot
+    /// arena are load-time constants the resuming engine rebuilds from
+    /// the same translated image.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new(out);
+        for &v in &self.regs {
+            w.u32(v);
+        }
+        self.mem.encode_into(out);
+        let mut w = ByteWriter::new(out);
+        w.u64(self.pc as u64);
+        w.u64(self.cycle);
+        w.u64(self.pending_writes.len() as u64);
+        for &(due, reg, val) in &self.pending_writes {
+            w.u64(due);
+            w.u8(reg.index() as u8);
+            w.u32(val);
+        }
+        w.u64(self.next_due);
+        match self.pending_branch {
+            None => w.bool(false),
+            Some((slots, addr)) => {
+                w.bool(true);
+                w.i64(slots);
+                w.u32(addr);
+            }
+        }
+        w.u32(self.pending_branch_idx);
+        w.u64(self.stats.cycles);
+        w.u64(self.stats.packets);
+        w.u64(self.stats.slots);
+        w.u64(self.stats.stall_cycles);
+        w.bool(self.halted);
+        match &self.trace {
+            None => w.bool(false),
+            Some(t) => {
+                w.bool(true);
+                t.profile.encode_into(out);
+                let mut w = ByteWriter::new(out);
+                w.u64(t.ends.len() as u64);
+                for &e in &t.ends {
+                    match e {
+                        None => w.bool(false),
+                        Some(idx) => {
+                            w.bool(true);
+                            w.u32(idx);
+                        }
+                    }
+                }
+                w.u64(t.span.len() as u64);
+                for &s in &t.span {
+                    w.u32(s);
+                }
+                t.tstats.encode_into(out);
+            }
+        }
+    }
+
+    /// Decodes a [`VliwSnapshot::encode_into`] image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mut regs = [0u32; 64];
+        for v in &mut regs {
+            *v = r.u32()?;
+        }
+        let mem = Memory::decode(r)?;
+        let pc = r.u64()? as usize;
+        let cycle = r.u64()?;
+        let npending = r.count("pending writes", 13)?;
+        let mut pending_writes = Vec::with_capacity(npending);
+        for _ in 0..npending {
+            let due = r.u64()?;
+            let reg = Reg::from_index(r.u8()?);
+            pending_writes.push((due, reg, r.u32()?));
+        }
+        let next_due = r.u64()?;
+        let pending_branch = if r.bool()? {
+            let slots = r.i64()?;
+            Some((slots, r.u32()?))
+        } else {
+            None
+        };
+        let pending_branch_idx = r.u32()?;
+        let stats = VliwStats {
+            cycles: r.u64()?,
+            packets: r.u64()?,
+            slots: r.u64()?,
+            stall_cycles: r.u64()?,
+        };
+        let halted = r.bool()?;
+        let trace = if r.bool()? {
+            let profile = TraceProfile::decode(r)?;
+            let nends = r.count("trace ends", 1)?;
+            let mut ends = Vec::with_capacity(nends);
+            for _ in 0..nends {
+                ends.push(if r.bool()? { Some(r.u32()?) } else { None });
+            }
+            let nspan = r.count("trace spans", 4)?;
+            let mut span = Vec::with_capacity(nspan);
+            for _ in 0..nspan {
+                span.push(r.u32()?);
+            }
+            Some(VTraceSnap {
+                profile,
+                ends,
+                span,
+                tstats: TraceStats::decode(r)?,
+            })
+        } else {
+            None
+        };
+        Ok(VliwSnapshot {
+            regs,
+            mem,
+            pc,
+            cycle,
+            pending_writes,
+            next_due,
+            pending_branch,
+            pending_branch_idx,
+            stats,
+            halted,
+            trace,
+        })
+    }
 }
 
 /// The VLIW target simulator. See the crate docs for an example.

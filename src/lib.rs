@@ -27,9 +27,10 @@
 //! | [`core`] | **the translator** (the paper's contribution) — its CFG is a view over the shared block layer |
 //! | [`platform`] | synchronization device, snapshottable (and `Send`) SoC bus + peripherals, epoch-barrier shard arbiter with deterministic state merge and O(epoch) delta exchange for append-only devices |
 //! | [`rtlsim`] | event-driven RT-level baseline simulator |
-//! | [`sim`] | **the front door**: `SimBuilder`/`Session` over every execution vehicle, single-core or sharded |
+//! | [`sim`] | **the front door**: `SimBuilder`/`Session` over every execution vehicle, single-core or sharded; versioned portable park/resume bytes |
 //! | [`debug`] | generic lockstep driver, dual-translation debugger + RSP packet layer |
 //! | [`workloads`] | the paper's benchmark programs (plus the multi-core `producer_consumer`) |
+//! | [`fleet`] | **the session service**: work-stealing epoch-scheduler pool multiplexing M sessions × N shards, batch driver, `fleet-server` binary |
 //!
 //! Execution comes in four dispatch tiers, all bit-identical and all
 //! selected as plain `Backend` data. The retained naive interpreters
@@ -164,10 +165,53 @@
 //! session.restore(&snap);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Fleet quickstart
+//!
+//! Beyond one session at a time, the [`fleet`] crate runs *batches*:
+//! every request becomes epoch-sized work items on a fixed
+//! work-stealing pool, so M sessions × N shards share a bounded worker
+//! population — and each session's simulation stays bit-identical to a
+//! dedicated run, whatever the worker count (pinned per epoch by
+//! rolling [`cabt_exec::fingerprint_engine`] digest chains). Sessions
+//! also **park** to versioned portable bytes mid-run
+//! ([`cabt_sim::Session::park`]) and **resume** on any worker or in
+//! another process ([`cabt_sim::Session::resume`]) — the
+//! `fleet-server` binary serves run/park/resume over a line protocol
+//! (`docs/snapshot-format.md` specifies the byte format):
+//!
+//! ```
+//! use cabt::prelude::*;
+//!
+//! let pool = FleetPool::new(2);
+//! let requests: Vec<FleetRequest> = ["gcd", "sieve"]
+//!     .iter()
+//!     .map(|w| {
+//!         FleetRequest::named(*w)
+//!             .backend(Backend::sharded(2, Backend::golden()))
+//!             .budget(Limit::Cycles(50_000_000))
+//!     })
+//!     .collect();
+//! for result in run_fleet(&pool, &requests) {
+//!     let r = result?;
+//!     assert!(r.checksum_ok(), "{}", r.workload);
+//! }
+//!
+//! // Park a running session to portable bytes; resume and finish it
+//! // anywhere — another thread, another process, another machine.
+//! let mut s = SimBuilder::named("gcd").build()?;
+//! s.run(Limit::Retirements(100))?;
+//! let bytes = s.park()?;
+//! let mut resumed = Session::resume(&bytes)?;
+//! resumed.run(Limit::Cycles(50_000_000))?;
+//! assert_eq!(resumed.read_d(2), cabt::workloads::by_name("gcd").unwrap().expected_d2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use cabt_core as core;
 pub use cabt_debug as debug;
 pub use cabt_exec as exec;
+pub use cabt_fleet as fleet;
 pub use cabt_isa as isa;
 pub use cabt_platform as platform;
 pub use cabt_rtlsim as rtlsim;
@@ -181,6 +225,7 @@ pub mod prelude {
     pub use cabt_core::{DetailLevel, Granularity, Translated, Translator};
     pub use cabt_debug::{DebugSession, StopReason};
     pub use cabt_exec::{ExecutionEngine, Limit, StopCause};
+    pub use cabt_fleet::{run_fleet, run_one, FleetPool, FleetRequest, FleetResult};
     pub use cabt_platform::{Platform, PlatformConfig, SyncRate};
     pub use cabt_sim::{Backend, Session, SessionError, ShardSchedule, SimBuilder};
     pub use cabt_tricore::asm::assemble;

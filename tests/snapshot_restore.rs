@@ -368,3 +368,92 @@ fn sessions_snapshot_uniformly_across_backends() {
         assert_eq!((s.stats(), s.read_d(2)), end, "{backend}: replay diverged");
     }
 }
+
+/// The *portable* capability: `park` serializes a mid-run session to
+/// versioned bytes, `resume` rebuilds it from nothing but those bytes —
+/// on EVERY backend, with the resumed session finishing on a *different
+/// thread* (a fleet pool worker) and matching the `fingerprint_engine`
+/// digest of the uninterrupted run exactly. The bytes carry the full
+/// rebuild recipe (backend descriptor, platform/trace configuration,
+/// ELF image, snapshot payload); nothing is shared with the donor.
+#[test]
+fn parked_bytes_resume_bit_identically_on_every_backend() {
+    use std::sync::{Arc, Mutex};
+    let pool = FleetPool::new(2);
+    for backend in Backend::all() {
+        let mut donor = SimBuilder::asm(SRC).backend(backend).build().unwrap();
+        donor.run_until(Limit::Retirements(6)).unwrap();
+        let parked = donor.park().unwrap();
+        donor.run_until(Limit::Cycles(u64::MAX)).unwrap();
+        let expected = (
+            cabt::exec::fingerprint_engine(&donor),
+            donor.stats(),
+            donor.read_d(2),
+        );
+
+        let latch = Arc::new(cabt::fleet::Latch::new(1));
+        let slot = Arc::new(Mutex::new(None));
+        let (l2, s2) = (Arc::clone(&latch), Arc::clone(&slot));
+        pool.spawn(move || {
+            let mut resumed = Session::resume(&parked).expect("parked bytes decode");
+            resumed
+                .run_until(Limit::Cycles(u64::MAX))
+                .expect("resumed session finishes");
+            *s2.lock().unwrap() = Some((
+                cabt::exec::fingerprint_engine(&resumed),
+                resumed.stats(),
+                resumed.read_d(2),
+            ));
+            l2.count_down();
+        });
+        latch.wait();
+        let got = slot.lock().unwrap().take().expect("worker reported");
+        assert_eq!(
+            got, expected,
+            "{backend}: resumed-on-a-worker run diverged from the uninterrupted one"
+        );
+    }
+}
+
+/// Version safety of the portable format: a flipped magic and a bumped
+/// version header are both rejected with typed errors — a future format
+/// revision can never be misparsed as the current one.
+#[test]
+fn park_header_rejects_foreign_and_future_images() {
+    use cabt_isa::codec::CodecError;
+
+    let mut s = SimBuilder::asm(SRC).build().unwrap();
+    s.run_until(Limit::Retirements(6)).unwrap();
+    let good = s.park().unwrap();
+    assert!(Session::resume(&good).is_ok(), "the pristine image resumes");
+
+    // Bytes 0..8 are the magic.
+    let mut foreign = good.clone();
+    foreign[0] ^= 0xff;
+    assert!(
+        matches!(
+            Session::resume(&foreign),
+            Err(SessionError::Codec(CodecError::BadMagic))
+        ),
+        "foreign magic must be rejected"
+    );
+
+    // Bytes 8..10 are the little-endian format version.
+    let mut future = good.clone();
+    future[8] = future[8].wrapping_add(1);
+    match Session::resume(&future) {
+        Err(SessionError::Codec(CodecError::Version { found, expected })) => {
+            assert_eq!(expected, cabt::sim::PARK_VERSION);
+            assert_ne!(found, expected);
+        }
+        other => panic!("future version must be rejected, got {other:?}"),
+    }
+
+    // Truncation anywhere is a typed decode error, never a panic.
+    for cut in [5, 9, good.len() / 2, good.len() - 1] {
+        assert!(
+            matches!(Session::resume(&good[..cut]), Err(SessionError::Codec(_))),
+            "truncated at {cut}: must fail to decode"
+        );
+    }
+}
