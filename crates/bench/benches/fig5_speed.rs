@@ -131,6 +131,41 @@ fn main() {
         );
     }
 
+    // Static trace prediction vs the dynamic profile: the analyzer's
+    // predicted-hot chains against the chains the tier actually fused,
+    // plus the static side-exit verification over every fused chain
+    // (must report nothing).
+    println!("\ntrace prediction (static analyzer vs dynamic profile):");
+    let eager = TraceConfig {
+        warmup: 1_000_000,
+        hot_threshold: 4,
+        ..TraceConfig::default()
+    };
+    let prediction: Vec<_> = [
+        cabt_workloads::gcd(16, 0xcab7),
+        cabt_workloads::fir(16, 300, 0xcab7),
+        cabt_workloads::sieve(400),
+    ]
+    .iter()
+    .map(|w| cabt_bench::trace_prediction(w, eager))
+    .collect();
+    for r in &prediction {
+        println!(
+            "  {:<8} predicted {:>2} chains, formed {:>2}, heads hit {:>2}, exact {:>2}, exit findings {}",
+            r.workload, r.predicted, r.formed, r.heads_hit, r.exact_matches, r.exit_findings,
+        );
+        assert_eq!(
+            r.exit_findings, 0,
+            "{}: a fused trace failed static leader verification",
+            r.workload
+        );
+        assert!(
+            r.heads_hit > 0,
+            "{}: no statically predicted head turned hot",
+            r.workload
+        );
+    }
+
     // Sharded throughput: the producer/consumer workload on 1, 2 and 4
     // translated shards, paired rows per core count — the sequential
     // round-robin scheduler versus the thread-parallel scheduler (one
@@ -198,19 +233,24 @@ fn main() {
     }
 
     let json = format!(
-        "{{\"bench\":\"fig5_speed\",\"rows\":[{}],\"sharded\":[{}],\"fleet\":[{}]}}\n",
+        "{{\"bench\":\"fig5_speed\",\"rows\":[{}],\"prediction\":[{}],\"sharded\":[{}],\"fleet\":[{}]}}\n",
         rows.iter()
-            .map(|r| r.to_json())
+            .map(cabt_bench::DispatchComparison::to_json)
+            .collect::<Vec<_>>()
+            .join(","),
+        prediction
+            .iter()
+            .map(cabt_bench::TracePredictionRow::to_json)
             .collect::<Vec<_>>()
             .join(","),
         sharded
             .iter()
-            .map(|r| r.to_json())
+            .map(cabt_bench::ShardedThroughput::to_json)
             .collect::<Vec<_>>()
             .join(","),
         fleet
             .iter()
-            .map(|r| r.to_json())
+            .map(cabt_bench::FleetThroughput::to_json)
             .collect::<Vec<_>>()
             .join(","),
     );

@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! Experiment harnesses regenerating every table and figure of the
 //! paper's evaluation (§4).
 //!
@@ -382,6 +381,94 @@ impl TraceCoverage {
             "{{\"traces\":{},\"avg_blocks\":{:.2},\"retired_in_traces\":{:.3}}}",
             self.traces, self.avg_blocks, self.retired_in_traces
         )
+    }
+}
+
+/// Static trace prediction versus the dynamic [`TraceProfile`]: the
+/// analyzer's predicted-hot chains (`exec::analyze::predict_traces`
+/// over natural loops) compared against the chains the golden trace
+/// tier actually fused on the same run — the static/dynamic
+/// cross-validation row of the analysis subsystem.
+///
+/// [`TraceProfile`]: cabt_exec::trace::TraceProfile
+#[derive(Debug, Clone)]
+pub struct TracePredictionRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Chains the analyzer predicted hot (one per natural loop).
+    pub predicted: usize,
+    /// Chains the trace tier dynamically fused.
+    pub formed: usize,
+    /// Predicted heads that did turn hot dynamically.
+    pub heads_hit: usize,
+    /// Dynamic chains that match a predicted chain block-for-block.
+    pub exact_matches: usize,
+    /// Static side-exit verification findings over the *dynamic*
+    /// chains — must be zero: every exit of every fused trace lands on
+    /// a block leader.
+    pub exit_findings: usize,
+}
+
+impl TracePredictionRow {
+    /// Renders one JSON object (hand-rolled; the workspace is
+    /// dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"predicted\":{},\"formed\":{},",
+                "\"heads_hit\":{},\"exact_matches\":{},\"exit_findings\":{}}}"
+            ),
+            self.workload,
+            self.predicted,
+            self.formed,
+            self.heads_hit,
+            self.exact_matches,
+            self.exit_findings
+        )
+    }
+}
+
+/// Runs `w` to halt on the golden trace tier under `cfg` and compares
+/// the fused chains against the static prediction.
+///
+/// # Panics
+///
+/// Panics on assembly/build/run failures (bench-harness style).
+pub fn trace_prediction(w: &Workload, cfg: TraceConfig) -> TracePredictionRow {
+    use cabt_exec::analyze::{natural_loops, predict_traces, verify_trace_exits};
+    let elf = w.elf().expect("assembles");
+    let prog = cabt_tricore::analyze::lower_elf(&elf).expect("lowers");
+    let graph = prog.graph();
+    let loops = natural_loops(&graph);
+    let predicted = predict_traces(&graph, &loops, cfg.max_blocks as usize);
+
+    let mut s = SimBuilder::workload(w)
+        .backend(Backend::golden_trace())
+        .trace_config(cfg)
+        .build()
+        .expect("builds");
+    s.run(Limit::Cycles(u64::MAX)).expect("halts");
+    let plans = s.trace_plans();
+
+    let heads_hit = predicted
+        .iter()
+        .filter(|p| plans.iter().any(|pl| pl.blocks[0] == p.head))
+        .count();
+    let exact_matches = plans
+        .iter()
+        .filter(|pl| predicted.iter().any(|p| p.blocks == pl.blocks))
+        .count();
+    let exit_findings = plans
+        .iter()
+        .map(|pl| verify_trace_exits(&graph, &pl.blocks, |u| prog.units[u as usize].pc).len())
+        .sum();
+    TracePredictionRow {
+        workload: w.name,
+        predicted: predicted.len(),
+        formed: plans.len(),
+        heads_hit,
+        exact_matches,
+        exit_findings,
     }
 }
 

@@ -147,7 +147,7 @@ fn analyze_block(block: &Block, info: &mut BaseAddrInfo) {
             Instr::MovD { d: r, a: s } => d[r.0 as usize] = a[s.0 as usize],
             Instr::MovAA { a: r, s } => a[r.0 as usize] = a[s.0 as usize],
             Instr::MovRR16 { d: r, s } | Instr::MovRR { d: r, s } => {
-                d[r.0 as usize] = d[s.0 as usize]
+                d[r.0 as usize] = d[s.0 as usize];
             }
             Instr::Ld {
                 base,

@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! The cycle-accurate static binary translator — the paper's primary
 //! contribution (Schnerr, Bringmann, Rosenstiel, DATE 2005).
 //!

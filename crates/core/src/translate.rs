@@ -1025,7 +1025,7 @@ mod tests {
     fn cache_level_appends_subroutine_and_layout() {
         let t = translate(SUM_SRC, DetailLevel::Cache);
         let layout = t.cache_layout.expect("cache layout present");
-        let code_end: u32 = t.entry + t.packets.iter().map(|p| p.size()).sum::<u32>();
+        let code_end: u32 = t.entry + t.packets.iter().map(cabt_vliw::Packet::size).sum::<u32>();
         assert_eq!(layout.base, code_end);
         assert!(t.blocks.iter().all(|b| b.analysis_blocks >= 1));
     }

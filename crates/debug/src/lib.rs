@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! Debugging of translated code (§3.5 of the paper).
 //!
 //! "The debug code contains two translations of the original code. In

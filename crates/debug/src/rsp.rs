@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 /// Frames a payload as `$payload#xx` with the two-digit modulo-256
 /// checksum gdb uses.
 pub fn frame(payload: &str) -> String {
-    let sum: u8 = payload.bytes().fold(0u8, |a, b| a.wrapping_add(b));
+    let sum: u8 = payload.bytes().fold(0u8, u8::wrapping_add);
     format!("${payload}#{sum:02x}")
 }
 
@@ -26,7 +26,7 @@ pub fn unframe(packet: &str) -> Option<&str> {
     let hash = rest.rfind('#')?;
     let (payload, sum) = rest.split_at(hash);
     let sum = u8::from_str_radix(&sum[1..], 16).ok()?;
-    let actual: u8 = payload.bytes().fold(0u8, |a, b| a.wrapping_add(b));
+    let actual: u8 = payload.bytes().fold(0u8, u8::wrapping_add);
     (actual == sum).then_some(payload)
 }
 

@@ -345,4 +345,61 @@ mod tests {
         assert!(m.is_empty());
         assert!(m.loc.is_empty());
     }
+
+    #[test]
+    fn all_indirect_program_is_one_block_per_unit_without_edges() {
+        let units = vec![UnitFlow::Indirect; 4];
+        let m = BlockMap::build(&units, |_| true, [0u32], false);
+        assert_eq!(m.len(), 4, "every indirect terminator ends its block");
+        for (i, b) in m.blocks.iter().enumerate() {
+            assert_eq!(b.len, 1);
+            assert_eq!(b.fall, NO_BLOCK, "block {i}: indirect never falls");
+            assert_eq!(b.taken, NO_BLOCK, "block {i}: no static target");
+        }
+        // Every unit is its own leader: the conservative indirect
+        // analyses depend on this (any unit is a possible landing pad).
+        assert!((0..4).all(|u| m.location(u).offset == 0));
+    }
+
+    #[test]
+    fn entry_past_the_table_end_is_ignored() {
+        let mut units = straight(3);
+        units[2] = UnitFlow::Halt;
+        let m = BlockMap::build(&units, |_| true, [0u32, 17, u32::MAX], false);
+        // The out-of-range entries add no leaders and don't panic.
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.blocks[0].len, 3);
+    }
+
+    #[test]
+    fn decode_gap_makes_a_leader_and_severs_the_fall_edge() {
+        // 0,1 straight | gap | 2,3 straight, 4 halt. Unit 2 must lead
+        // its own block and the gap block must not fall into it.
+        let mut units = straight(5);
+        units[4] = UnitFlow::Halt;
+        let m = BlockMap::build(&units, |i| i != 1, [0u32], false);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.blocks[0].len, 2);
+        assert_eq!(m.blocks[0].fall, NO_BLOCK, "no fall across the gap");
+        assert_eq!(
+            m.location(2),
+            UnitLoc {
+                block: 1,
+                offset: 0
+            },
+            "first unit after the gap is a leader"
+        );
+    }
+
+    #[test]
+    fn block_totals_on_single_unit_blocks_is_the_per_unit_cost() {
+        let mut units = straight(4);
+        units[3] = UnitFlow::Halt;
+        let m = BlockMap::build(&units, |_| true, [0u32], true);
+        assert_eq!(
+            m.block_totals(|u| u as u64 * 10 + 1),
+            vec![1, 11, 21, 31],
+            "a one-unit block's total is exactly its unit's cost"
+        );
+    }
 }

@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! The execution-engine abstraction shared by every CABT simulator.
 //!
 //! The paper's experiments (Fig. 5, Fig. 6, Tables 1/2) compare *four*
@@ -34,6 +33,7 @@
 //! [`blocks`]: one index-based partition algorithm producing leaders,
 //! block spans and fall-through/taken block edges.
 
+pub mod analyze;
 pub mod blocks;
 pub mod trace;
 
@@ -895,7 +895,7 @@ mod tests {
         let mut boundaries = 0;
         let r = run_epochs_sharded(&mut shards, u64::MAX, 8, |_| boundaries += 1);
         assert_eq!(r, Ok(StopCause::Halted));
-        assert!(shards.iter().all(|s| s.is_halted()));
+        assert!(shards.iter().all(super::ExecutionEngine::is_halted));
         assert!(boundaries >= 2, "multiple epoch rounds: {boundaries}");
         let agg = aggregate_stats(&shards);
         assert_eq!(agg.retired, 14);
@@ -906,7 +906,7 @@ mod tests {
     fn sharded_driver_budget_precedes_halt_and_is_frontier_based() {
         // Zero budget: LimitReached without dispatching, even halted.
         let mut shards = vec![scaled(1, 0), scaled(1, 0)];
-        assert!(shards.iter().all(|s| s.is_halted()));
+        assert!(shards.iter().all(super::ExecutionEngine::is_halted));
         let r = run_epochs_sharded(&mut shards, 0, 4, |_| {});
         assert_eq!(r, Ok(StopCause::LimitReached));
         // With budget, a fully halted set reports Halted.
@@ -935,7 +935,10 @@ mod tests {
         let run = || {
             let mut shards = vec![scaled(3, 40), scaled(5, 25), scaled(2, 60)];
             run_epochs_sharded(&mut shards, u64::MAX, 16, |_| {}).unwrap();
-            shards.iter().map(|s| s.engine_stats()).collect::<Vec<_>>()
+            shards
+                .iter()
+                .map(super::ExecutionEngine::engine_stats)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }
@@ -964,7 +967,11 @@ mod tests {
             let rp = run_epochs_parallel(&mut par, budget, 16, |_| par_bounds += 1).unwrap();
             assert_eq!(rs, rp, "budget {budget}: stop cause");
             assert_eq!(seq_bounds, par_bounds, "budget {budget}: epoch boundaries");
-            let stats = |v: &[ScaledToy]| v.iter().map(|s| s.engine_stats()).collect::<Vec<_>>();
+            let stats = |v: &[ScaledToy]| {
+                v.iter()
+                    .map(super::ExecutionEngine::engine_stats)
+                    .collect::<Vec<_>>()
+            };
             assert_eq!(stats(&seq), stats(&par), "budget {budget}: shard stats");
         }
     }

@@ -20,6 +20,10 @@
 //! resume <hex> cycles|retirements <n>
 //!     Rebuild a parked session from hex bytes — from this process or
 //!     any other — and continue it under the budget.
+//! analyze <workload>
+//!     Run the static analyzer over a named workload (or a `bad-*`
+//!     known-bad corpus entry) without executing it.
+//!     → {"ok":true,"report":{"target":...,"clean":...,"findings":[...]}}
 //! workloads | backends
 //!     List known workload names / backend descriptors.
 //! quit
@@ -166,6 +170,22 @@ fn dispatch(pool: &FleetPool, line: &str) -> Result<String, SessionError> {
                 json_str(&workload),
                 json_str(&backend.to_string()),
                 json_str(&hex_encode(&parked)),
+            ))
+        }
+        "analyze" => {
+            let workload = words
+                .next()
+                .ok_or_else(|| protocol("analyze needs <workload>"))?;
+            // Known-bad corpus entries are addressable too, so a client
+            // can exercise the expected-findings path over the wire.
+            let report = if workload.starts_with("bad-") {
+                cabt_sim::analyze::analyze_known_bad(workload)?
+            } else {
+                cabt_sim::analyze::analyze_named(workload)?
+            };
+            Ok(format!(
+                "{{\"ok\":true,\"report\":{}}}",
+                cabt_sim::analyze::report_json(workload, &report)
             ))
         }
         "resume" => {

@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! Fleet-scale session service over the CABT vehicles.
 //!
 //! The paper's platform is a *single-session* instrument: one workload,

@@ -141,7 +141,7 @@ impl FleetPool {
 
     /// A pool sized to the host's available parallelism.
     pub fn with_host_parallelism() -> FleetPool {
-        let workers = thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = thread::available_parallelism().map_or(1, std::num::NonZero::get);
         FleetPool::new(workers)
     }
 

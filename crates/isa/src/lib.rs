@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! Shared infrastructure for the CABT cycle-accurate binary translator.
 //!
 //! This crate provides the substrate every other CABT crate builds on:

@@ -74,8 +74,7 @@ pub trait SocPeripheral: Send {
             .iter()
             .rev()
             .find(|img| **img != base)
-            .map(|img| img.to_vec())
-            .unwrap_or_else(|| base.to_vec())
+            .map_or_else(|| base.to_vec(), |img| img.to_vec())
     }
 
     /// Barrier-delta support (opt-in). A device whose mutable state is
@@ -175,6 +174,15 @@ impl SocBus {
     }
 
     /// Attaches a peripheral.
+    /// The `(first, last_exclusive)` address windows of every attached
+    /// device, in attach order — the MMIO half of the static
+    /// analyzer's valid-address map.
+    pub fn device_ranges(&self) -> Vec<(u32, u32)> {
+        self.devices.iter().map(|d| d.range()).collect()
+    }
+
+    /// Attaches a peripheral to the bus; later devices win address
+    /// overlaps (checked in order).
     pub fn attach(&mut self, dev: Box<dyn SocPeripheral>) {
         self.devices.push(dev);
     }
@@ -673,7 +681,7 @@ impl SharedSocBus {
 
     /// Routes a write at SoC time `soc_cycle`.
     pub fn write(&self, soc_cycle: u64, addr: u32, size: u32, value: u32) {
-        self.lock().write(soc_cycle, addr, size, value)
+        self.lock().write(soc_cycle, addr, size, value);
     }
 
     /// Concatenated transmit logs of all logging peripherals.
@@ -697,7 +705,7 @@ impl SharedSocBus {
     ///
     /// Panics on a device-population mismatch.
     pub fn restore_state(&self, state: &SocBusState) {
-        self.lock().restore_state(state)
+        self.lock().restore_state(state);
     }
 
     /// True if `other` is a handle to the same underlying bus.
@@ -712,7 +720,7 @@ impl SharedSocBus {
     }
 
     fn device_apply_barrier(&self, i: usize, merged: &[u8]) {
-        self.lock().device_apply_barrier(i, merged)
+        self.lock().device_apply_barrier(i, merged);
     }
 
     fn device_state(&self, i: usize) -> Vec<u8> {
@@ -720,11 +728,11 @@ impl SharedSocBus {
     }
 
     fn device_restore(&self, i: usize, state: &[u8]) {
-        self.lock().device_restore(i, state)
+        self.lock().device_restore(i, state);
     }
 
     fn set_transactions(&self, transactions: u64) {
-        self.lock().set_transactions(transactions)
+        self.lock().set_transactions(transactions);
     }
 }
 
@@ -839,7 +847,7 @@ impl ShardArbiter {
             } else {
                 let base = self.mirror.device_state(i);
                 let imgs: Vec<Vec<u8>> = self.buses.iter().map(|b| b.device_state(i)).collect();
-                let refs: Vec<&[u8]> = imgs.iter().map(|v| v.as_slice()).collect();
+                let refs: Vec<&[u8]> = imgs.iter().map(std::vec::Vec::as_slice).collect();
                 let merged = self.mirror.device_merge(i, &base, &refs);
                 self.mirror.device_restore(i, &merged);
                 for bus in &self.buses {

@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! The rapid-prototyping platform model: synchronization device, SoC
 //! bus, peripherals, and the co-execution harness.
 //!

@@ -15,7 +15,7 @@ use cabt_isa::elf::ElfFile;
 use cabt_isa::mem::Memory;
 use cabt_isa::IsaError;
 use cabt_tricore::encode::decode;
-use cabt_tricore::isa::{Cond, Instr, LdKind, StKind, RA};
+use cabt_tricore::isa::{Instr, LdKind, StKind, RA};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -716,13 +716,6 @@ fn st_kind_code(kind: StKind) -> u64 {
         StKind::H => 11,
         StKind::W => 12,
     }
-}
-
-// Silence an unused-variant lint for Cond in this module's imports: the
-// decode path uses it via pattern matching only.
-#[allow(dead_code)]
-fn _cond_witness(c: Cond) -> bool {
-    c.eval(0, 0)
 }
 
 #[cfg(test)]

@@ -230,7 +230,7 @@ impl Kernel {
                 }
                 self.procs[idx] = Some(p);
             }
-            for &(sig, value) in staged.iter() {
+            for &(sig, value) in &staged {
                 if self.values[sig.0] != value {
                     self.values[sig.0] = value;
                     for p in &self.sensitivity[sig.0] {

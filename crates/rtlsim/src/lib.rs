@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! RT-level simulation substrate: an event-driven kernel with signals,
 //! processes and delta cycles, plus a stage-level model of the source
 //! core.

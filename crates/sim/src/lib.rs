@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! The single front door to every CABT execution vehicle.
 //!
 //! The paper's experiments compare the *same* program across four
@@ -39,6 +38,8 @@
 //! touching the hot loop: epoch observers fire between bounded bursts
 //! (every [`SimBuilder::epoch`] engine cycles), stop observers fire
 //! once per completed `run`.
+
+pub mod analyze;
 
 use cabt_core::{DetailLevel, Granularity, TranslateError, Translated, Translator};
 use cabt_exec::trace::{TraceConfig, TraceStats};
@@ -409,6 +410,9 @@ pub enum SessionError {
     /// The session's ELF image failed to (re-)serialize or parse
     /// while building or resuming a park image.
     Elf(IsaError),
+    /// The pre-flight lint gate ([`SimBuilder::strict_lint`]) found
+    /// static-analysis findings; each entry is one finding message.
+    Lint(Vec<String>),
 }
 
 impl fmt::Display for SessionError {
@@ -424,6 +428,12 @@ impl fmt::Display for SessionError {
             SessionError::ParseBackend(s) => write!(f, "unknown backend descriptor `{s}`"),
             SessionError::Codec(e) => write!(f, "park image does not decode: {e}"),
             SessionError::Elf(e) => write!(f, "ELF image error: {e}"),
+            SessionError::Lint(findings) => write!(
+                f,
+                "static analysis found {} issue(s): {}",
+                findings.len(),
+                findings.join("; ")
+            ),
         }
     }
 }
@@ -626,6 +636,7 @@ pub struct SimBuilder {
     shard_epoch: Option<u64>,
     trace_config: Option<TraceConfig>,
     soc_bus: Option<SharedSocBus>,
+    strict_lint: bool,
     on_epoch: Vec<ObserverFn>,
     on_stop: Vec<ObserverFn>,
 }
@@ -655,6 +666,7 @@ impl SimBuilder {
             shard_epoch: None,
             trace_config: None,
             soc_bus: None,
+            strict_lint: false,
             on_epoch: Vec::new(),
             on_stop: Vec::new(),
         }
@@ -777,6 +789,40 @@ impl SimBuilder {
         self
     }
 
+    /// Enables the pre-flight lint gate: [`SimBuilder::build`] runs
+    /// the full static-analysis pass ([`analyze::analyze_elf`]) over
+    /// the resolved image first and refuses to construct a vehicle for
+    /// a program with findings ([`SessionError::Lint`]). Off by
+    /// default — the bundled workloads all pass, but unvetted guest
+    /// programs may trip the conservative analyses.
+    pub fn strict_lint(mut self, enabled: bool) -> Self {
+        self.strict_lint = enabled;
+        self
+    }
+
+    /// Resolves the workload to an ELF image and runs the full
+    /// static-analysis pass over it, without building a vehicle — the
+    /// report-only face of the lint gate.
+    ///
+    /// # Errors
+    ///
+    /// Assembly, lookup and decode failures.
+    pub fn analyze(self) -> Result<analyze::AnalysisReport, SessionError> {
+        let elf = Self::resolve(self.source)?;
+        analyze::analyze_elf(&elf)
+    }
+
+    /// Resolves a source spec to its ELF image.
+    fn resolve(source: SourceSpec) -> Result<ElfFile, SessionError> {
+        Ok(match source {
+            SourceSpec::Asm(src) => cabt_tricore::asm::assemble(&src)?,
+            SourceSpec::Elf(elf) => elf,
+            SourceSpec::Named(name) => cabt_workloads::by_name(&name)
+                .ok_or(SessionError::UnknownWorkload(name))?
+                .elf()?,
+        })
+    }
+
     /// Builds the session: resolves the workload to an ELF image and
     /// constructs the configured vehicle around it.
     ///
@@ -784,13 +830,15 @@ impl SimBuilder {
     ///
     /// Assembly, lookup, translation and engine construction failures.
     pub fn build(self) -> Result<Session, SessionError> {
-        let elf = match self.source {
-            SourceSpec::Asm(src) => cabt_tricore::asm::assemble(&src)?,
-            SourceSpec::Elf(elf) => elf,
-            SourceSpec::Named(name) => cabt_workloads::by_name(&name)
-                .ok_or(SessionError::UnknownWorkload(name))?
-                .elf()?,
-        };
+        let elf = Self::resolve(self.source)?;
+        if self.strict_lint {
+            let report = analyze::analyze_elf(&elf)?;
+            if !report.is_clean() {
+                return Err(SessionError::Lint(
+                    report.findings.iter().map(|f| f.message.clone()).collect(),
+                ));
+            }
+        }
         let config = BuildConfig {
             platform: self.platform,
             granularity: self.granularity,
@@ -1350,7 +1398,11 @@ impl ShardSet {
     }
 
     fn stats(&self) -> ShardedStats {
-        let per_shard: Vec<EngineStats> = self.shards.iter().map(|s| s.engine_stats()).collect();
+        let per_shard: Vec<EngineStats> = self
+            .shards
+            .iter()
+            .map(cabt_exec::ExecutionEngine::engine_stats)
+            .collect();
         ShardedStats {
             aggregate: cabt_exec::aggregate_stats(&self.shards),
             per_shard,
@@ -1521,7 +1573,7 @@ impl Session {
             Vehicle::Rtl(_) => None,
             Vehicle::Sharded(set) => {
                 let per: Vec<TraceStats> =
-                    set.shards.iter().filter_map(|s| s.trace_stats()).collect();
+                    set.shards.iter().filter_map(Session::trace_stats).collect();
                 if per.is_empty() {
                     return None;
                 }
@@ -1531,6 +1583,18 @@ impl Session {
                     trace_retired: a.trace_retired + t.trace_retired,
                 }))
             }
+        }
+    }
+
+    /// The trace chains the golden trace tier has fused so far
+    /// ([`cabt_exec::trace::TracePlan`]s, in head-block order) — the
+    /// dynamic side of the static trace-prediction cross-check. Empty
+    /// for non-golden vehicles (the VLIW tier's traces are consecutive
+    /// packet ranges, not plans) and while nothing is hot.
+    pub fn trace_plans(&self) -> Vec<cabt_exec::trace::TracePlan> {
+        match &self.vehicle {
+            Vehicle::Golden { sim, .. } => sim.trace_plans(),
+            _ => Vec::new(),
         }
     }
 
@@ -1647,7 +1711,7 @@ impl Session {
                 shards: set
                     .shards
                     .iter()
-                    .map(|s| s.snapshot_with_devices())
+                    .map(Session::snapshot_with_devices)
                     .collect(),
                 epochs: set.arbiter.epochs(),
                 step_exchange_at: set.step_exchange_at,
@@ -2005,7 +2069,7 @@ impl ExecutionEngine for Session {
             Vehicle::Golden { sim, .. } => sim.is_halted(),
             Vehicle::Translated { platform, .. } => platform.sim().is_halted(),
             Vehicle::Rtl(core) => ExecutionEngine::is_halted(core.as_ref()),
-            Vehicle::Sharded(set) => set.shards.iter().all(|s| s.is_halted()),
+            Vehicle::Sharded(set) => set.shards.iter().all(cabt_exec::ExecutionEngine::is_halted),
         }
     }
 

@@ -121,7 +121,7 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
         Instr::StW16 { a, s } => push16(out, h16(8, s.0 as u32, a.0 as u32)),
 
         Instr::Mov { d, imm16 } => {
-            push32(out, w32(1, d.0 as u32, 0, ((imm16 as u16) as u32) << 16))
+            push32(out, w32(1, d.0 as u32, 0, ((imm16 as u16) as u32) << 16));
         }
         Instr::Movh { d, imm16 } => push32(out, w32(2, d.0 as u32, 0, (imm16 as u32) << 16)),
         Instr::MovhA { a, imm16 } => push32(out, w32(3, a.0 as u32, 0, (imm16 as u32) << 16)),
@@ -130,7 +130,7 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
             w32(4, d.0 as u32, s.0 as u32, ((imm16 as u16) as u32) << 16),
         ),
         Instr::Addih { d, s, imm16 } => {
-            push32(out, w32(5, d.0 as u32, s.0 as u32, (imm16 as u32) << 16))
+            push32(out, w32(5, d.0 as u32, s.0 as u32, (imm16 as u32) << 16));
         }
         Instr::MovRR { d, s } => push32(out, w32(6, d.0 as u32, s.0 as u32, 0)),
         Instr::MovA { a, s } => push32(out, w32(7, a.0 as u32, s.0 as u32, 0)),
@@ -159,7 +159,7 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
                     s1.0 as u32,
                     ((imm9 as u32) & 0x1ff) << 16,
                 ),
-            )
+            );
         }
         Instr::Madd { d, acc, s1, s2 } => push32(
             out,
@@ -195,7 +195,7 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
                 LdKind::W => 39,
             };
             let rest = (((off10 as u32) & 0x3ff) << 16) | ((postinc as u32) << 26);
-            push32(out, w32(opc, d.0 as u32, base.0 as u32, rest))
+            push32(out, w32(opc, d.0 as u32, base.0 as u32, rest));
         }
         Instr::LdA {
             a,
@@ -205,7 +205,7 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
         } => {
             check((-512..=511).contains(&off10), instr, "off10")?;
             let rest = (((off10 as u32) & 0x3ff) << 16) | ((postinc as u32) << 26);
-            push32(out, w32(40, a.0 as u32, base.0 as u32, rest))
+            push32(out, w32(40, a.0 as u32, base.0 as u32, rest));
         }
         Instr::St {
             kind,
@@ -221,7 +221,7 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
                 StKind::W => 43,
             };
             let rest = (((off10 as u32) & 0x3ff) << 16) | ((postinc as u32) << 26);
-            push32(out, w32(opc, s.0 as u32, base.0 as u32, rest))
+            push32(out, w32(opc, s.0 as u32, base.0 as u32, rest));
         }
         Instr::StA {
             s,
@@ -231,15 +231,15 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
         } => {
             check((-512..=511).contains(&off10), instr, "off10")?;
             let rest = (((off10 as u32) & 0x3ff) << 16) | ((postinc as u32) << 26);
-            push32(out, w32(44, s.0 as u32, base.0 as u32, rest))
+            push32(out, w32(44, s.0 as u32, base.0 as u32, rest));
         }
         Instr::J { disp24 } => {
             check((-(1 << 23)..(1 << 23)).contains(&disp24), instr, "disp24")?;
-            push32(out, 1 | (45 << 1) | (((disp24 as u32) & 0xff_ffff) << 8))
+            push32(out, 1 | (45 << 1) | (((disp24 as u32) & 0xff_ffff) << 8));
         }
         Instr::Jl { disp24 } => {
             check((-(1 << 23)..(1 << 23)).contains(&disp24), instr, "disp24")?;
-            push32(out, 1 | (46 << 1) | (((disp24 as u32) & 0xff_ffff) << 8))
+            push32(out, 1 | (46 << 1) | (((disp24 as u32) & 0xff_ffff) << 8));
         }
         Instr::Ji { a } => push32(out, w32(47, a.0 as u32, 0, 0)),
         Instr::Jli { a } => push32(out, w32(48, a.0 as u32, 0, 0)),
@@ -267,7 +267,7 @@ pub fn encode_into(instr: &Instr, out: &mut Vec<u8>) -> Result<(), EncodeError> 
             ),
         ),
         Instr::Loop { a, disp16 } => {
-            push32(out, w32(61, a.0 as u32, 0, ((disp16 as u16) as u32) << 16))
+            push32(out, w32(61, a.0 as u32, 0, ((disp16 as u16) as u32) << 16));
         }
         Instr::Nop => push32(out, w32(62, 0, 0, 0)),
     }

@@ -241,7 +241,10 @@ impl StKind {
 /// relative to the address of the instruction itself (`target = pc +
 /// 2*disp`), as on the real TriCore.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[allow(missing_docs)] // fields are described by the ISA reference above
+// Every variant carries its own doc line; the allow covers only the
+// payload fields, whose names follow the ISA operand convention
+// (`d`/`s`/`a`/`base` registers, `imm*`/`off*`/`disp*` immediates).
+#[allow(missing_docs)]
 pub enum Instr {
     // ---- 16-bit encodings ----
     /// No operation (16-bit).
@@ -538,10 +541,10 @@ impl fmt::Display for Instr {
             Instr::LdW16 { d, a } => write!(f, "ld.w {d}, [{a}]"),
             Instr::StW16 { a, s } => write!(f, "st.w [{a}], {s}"),
             Instr::Mov { d, imm16 } => write!(f, "mov {d}, {imm16}"),
-            Instr::Movh { d, imm16 } => write!(f, "movh {d}, {:#x}", imm16),
-            Instr::MovhA { a, imm16 } => write!(f, "movh.a {a}, {:#x}", imm16),
+            Instr::Movh { d, imm16 } => write!(f, "movh {d}, {imm16:#x}"),
+            Instr::MovhA { a, imm16 } => write!(f, "movh.a {a}, {imm16:#x}"),
             Instr::Addi { d, s, imm16 } => write!(f, "addi {d}, {s}, {imm16}"),
-            Instr::Addih { d, s, imm16 } => write!(f, "addih {d}, {s}, {:#x}", imm16),
+            Instr::Addih { d, s, imm16 } => write!(f, "addih {d}, {s}, {imm16:#x}"),
             Instr::MovRR { d, s } => write!(f, "mov {d}, {s}"),
             Instr::MovA { a, s } => write!(f, "mov.a {a}, {s}"),
             Instr::MovD { d, a } => write!(f, "mov.d {d}, {a}"),

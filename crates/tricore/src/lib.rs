@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! TriCore-like source processor model for CABT.
 //!
 //! The paper translates Infineon TriCore object code, measuring its
@@ -48,6 +47,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod analyze;
 pub mod arch;
 pub mod asm;
 pub(crate) mod compiled;

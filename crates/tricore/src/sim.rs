@@ -49,7 +49,7 @@ use crate::arch::{ArchDesc, CacheConfig, CacheSim, PreTiming, TimingModel, Timin
 use crate::compiled::{self, CompiledProgram, CompiledTrace, Ctl, Hot, TraceCont};
 use crate::encode::decode_section;
 use crate::isa::{AReg, Instr, LdKind, StKind, RA};
-use cabt_exec::trace::{grow, TraceConfig, TraceProfile, TraceStats};
+use cabt_exec::trace::{grow, TraceConfig, TracePlan, TraceProfile, TraceStats};
 use cabt_exec::{EngineStats, ExecutionEngine};
 use cabt_isa::codec::{ByteReader, ByteWriter, CodecError};
 use cabt_isa::elf::ElfFile;
@@ -663,6 +663,21 @@ impl Simulator {
     /// modes by the differential suites.
     pub fn trace_stats(&self) -> Option<TraceStats> {
         self.trace.as_ref().map(|t| t.tstats)
+    }
+
+    /// The chains the trace tier has fused so far, in head-block order —
+    /// the dynamic side of the static trace-prediction cross-check.
+    /// Empty when the trace tier is off or nothing turned hot yet.
+    pub fn trace_plans(&self) -> Vec<TracePlan> {
+        self.trace
+            .as_ref()
+            .map(|t| {
+                t.traces
+                    .iter()
+                    .filter_map(|tr| tr.as_ref().map(|tr| tr.plan.clone()))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Attaches a memory-mapped I/O device for `IO_BASE..IO_END`.

@@ -103,15 +103,22 @@ impl fmt::Display for Pred {
 
 /// Functional unit of the target core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[allow(missing_docs)]
 pub enum Unit {
+    /// Side-1 logical/arithmetic unit.
     L1,
+    /// Side-1 shifter/branch unit.
     S1,
+    /// Side-1 multiplier.
     M1,
+    /// Side-1 data (load/store) unit.
     D1,
+    /// Side-2 logical/arithmetic unit.
     L2,
+    /// Side-2 shifter/branch unit.
     S2,
+    /// Side-2 multiplier.
     M2,
+    /// Side-2 data (load/store) unit.
     D2,
 }
 
@@ -141,7 +148,7 @@ impl Unit {
 
 impl fmt::Display for Unit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, ".{:?}", self)
+        write!(f, ".{self:?}")
     }
 }
 
@@ -173,6 +180,9 @@ impl Width {
 /// after [`Op::delay_slots`] extra cycles; loads after 4; branches
 /// redirect fetch after 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+// Variants are one-to-one with C6x mnemonics; the allow covers the
+// payload fields, named by the operand convention (`d` destination,
+// `s*` sources, `base`/`woff` addressing, `disp21` branch offset).
 #[allow(missing_docs)]
 pub enum Op {
     Add {
@@ -467,7 +477,7 @@ impl fmt::Display for Op {
             Op::CmpLtU { d, s1, s2 } => write!(f, "CMPLTU {s1}, {s2}, {d}"),
             Op::Mv { d, s } => write!(f, "MV {s}, {d}"),
             Op::Mvk { d, imm16 } => write!(f, "MVK {imm16}, {d}"),
-            Op::Mvkh { d, imm16 } => write!(f, "MVKH {:#x}, {d}", imm16),
+            Op::Mvkh { d, imm16 } => write!(f, "MVKH {imm16:#x}, {d}"),
             Op::Ld {
                 w,
                 unsigned,

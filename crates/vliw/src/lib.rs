@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! C6x-like VLIW target processor for CABT.
 //!
 //! The paper's rapid-prototyping platform executes translated code on a
@@ -44,6 +43,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod analyze;
 pub(crate) mod compiled;
 pub mod encode;
 pub mod isa;

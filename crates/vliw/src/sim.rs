@@ -471,7 +471,7 @@ impl VliwSim {
                 let b_idx = match s.op {
                     Op::B { disp21 } => {
                         let dest = slot_addr.wrapping_add((disp21 as u32).wrapping_mul(4));
-                        index.get(&dest).map(|&i| i as u32).unwrap_or(NO_IDX)
+                        index.get(&dest).map_or(NO_IDX, |&i| i as u32)
                     }
                     _ => NO_IDX,
                 };
@@ -815,7 +815,7 @@ impl VliwSim {
                     tier.ends[head as usize] = Some(end);
                     // Every block of the range is now covered; keep the
                     // longest cover per block.
-                    for &b in plan.blocks.iter() {
+                    for &b in &plan.blocks {
                         let s = &mut tier.span[b as usize];
                         if *s == NO_IDX || end > *s {
                             *s = end;
@@ -991,7 +991,7 @@ impl VliwSim {
 
     fn off_end_error(&self) -> VliwError {
         VliwError::BadPc {
-            addr: self.program.last().map(|p| p.addr + p.size()).unwrap_or(0),
+            addr: self.program.last().map_or(0, |p| p.addr + p.size()),
         }
     }
 
@@ -1192,11 +1192,11 @@ impl VliwSim {
             }
             Op::CmpEq { d, s1, s2 } => put(&op, d, (g(self, s1) == g(self, s2)) as u32),
             Op::CmpGt { d, s1, s2 } => {
-                put(&op, d, ((g(self, s1) as i32) > (g(self, s2) as i32)) as u32)
+                put(&op, d, ((g(self, s1) as i32) > (g(self, s2) as i32)) as u32);
             }
             Op::CmpGtU { d, s1, s2 } => put(&op, d, (g(self, s1) > g(self, s2)) as u32),
             Op::CmpLt { d, s1, s2 } => {
-                put(&op, d, ((g(self, s1) as i32) < (g(self, s2) as i32)) as u32)
+                put(&op, d, ((g(self, s1) as i32) < (g(self, s2) as i32)) as u32);
             }
             Op::CmpLtU { d, s1, s2 } => put(&op, d, (g(self, s1) < g(self, s2)) as u32),
             Op::Mv { d, s } => put(&op, d, g(self, s)),

@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! The paper's benchmark programs, in source-processor assembly.
 //!
 //! §4: "The examples consist of two more control flow dominated programs
@@ -601,6 +600,95 @@ sum:
         source,
         expected_d2: expected,
     }
+}
+
+/// One entry of the seeded known-bad corpus: a tiny program carrying
+/// exactly one statically detectable defect, used to pin the analyzer's
+/// findings (`cabt-analyze --known-bad` and the expected-findings CI
+/// step).
+#[derive(Debug, Clone)]
+pub struct KnownBad {
+    /// Corpus entry name (`bad-<defect>`).
+    pub name: &'static str,
+    /// Assembly source of the defective program.
+    pub source: &'static str,
+    /// The `cabt_exec::analyze::FindingKind::name` string the analyzer
+    /// must report — exactly once, and nothing else.
+    pub expected_finding: &'static str,
+}
+
+impl KnownBad {
+    /// Assembles the corpus entry to an ELF image.
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler error (a bug in the corpus if it ever
+    /// fires — the defects are semantic, not syntactic).
+    pub fn elf(&self) -> Result<ElfFile, AsmError> {
+        assemble(self.source)
+    }
+}
+
+/// The seeded known-bad corpus: one program per defect class the
+/// static analyzer detects. Each must produce exactly its
+/// `expected_finding` and nothing more.
+pub fn known_bad_set() -> Vec<KnownBad> {
+    vec![
+        KnownBad {
+            name: "bad-use-before-def",
+            source: "
+    .text
+_start:
+    mov    %d1, 5
+    add    %d2, %d1, %d3
+    debug
+",
+            expected_finding: "use-before-def",
+        },
+        KnownBad {
+            name: "bad-wild-store",
+            source: "
+    .text
+_start:
+    movh.a %a2, 0xf000
+    lea    %a2, [%a2]0x1000
+    mov    %d0, 1
+    st.w   [%a2], %d0
+    debug
+",
+            expected_finding: "wild-store",
+        },
+        KnownBad {
+            name: "bad-unreachable-block",
+            source: "
+    .text
+_start:
+    mov    %d2, 1
+    j      done
+dead:
+    mov    %d2, 2
+done:
+    debug
+",
+            expected_finding: "unreachable-block",
+        },
+        KnownBad {
+            name: "bad-unbounded-recursion",
+            source: "
+    .text
+_start:
+    jl     f
+f:
+    jl     f
+",
+            expected_finding: "unbounded-recursion",
+        },
+    ]
+}
+
+/// Looks a known-bad corpus entry up by name.
+pub fn known_bad_by_name(name: &str) -> Option<KnownBad> {
+    known_bad_set().into_iter().find(|k| k.name == name)
 }
 
 /// The six Fig. 5 / Fig. 6 programs with their default parameters.

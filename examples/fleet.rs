@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let results = run_fleet(&pool, &requests);
     for result in &results {
-        let r = result.as_ref().map_err(|e| e.to_string())?;
+        let r = result.as_ref().map_err(std::string::ToString::to_string)?;
         assert!(r.checksum_ok(), "{}: wrong checksum", r.workload);
         println!(
             "  {:<18} {:<28} {:>4} epochs  {:>8} retired  d2={:#010x}  chain={:016x}",

@@ -1,0 +1,139 @@
+//! Static-analysis lint CLI: runs the `exec::analyze` dataflow passes
+//! (reachability, use-before-def, constant-store checking, loop
+//! structure + trace prediction) over guest programs and prints one
+//! JSON report line per target.
+//!
+//! ```sh
+//! cabt-analyze prog.elf prog2.s          # files: ELF images or .s assembly
+//! cabt-analyze --workload gcd            # a bundled workload by name
+//! cabt-analyze --all-workloads --strict  # CI gate: nonzero exit on findings
+//! cabt-analyze --known-bad               # expected-findings mode over the corpus
+//! ```
+//!
+//! `--strict` exits nonzero when any target has findings. `--known-bad`
+//! inverts the gate: every corpus entry must produce exactly its
+//! seeded defect (and nothing else), so a pass that silently loses a
+//! detection fails CI just as loudly as a false positive would.
+
+use cabt::sim::analyze::{analyze_elf, report_json, AnalysisReport};
+use cabt_isa::elf::ElfFile;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cabt-analyze [<file.elf|file.s>...] [--workload NAME]... \
+         [--all-workloads] [--known-bad] [--strict]"
+    );
+    ExitCode::FAILURE
+}
+
+/// One thing to analyze: a display name and how to get its image.
+enum Target {
+    File(String),
+    Workload(String),
+    KnownBad(String, &'static str),
+}
+
+impl Target {
+    fn name(&self) -> &str {
+        match self {
+            Target::File(p) => p,
+            Target::Workload(n) | Target::KnownBad(n, _) => n,
+        }
+    }
+
+    fn report(&self) -> Result<AnalysisReport, String> {
+        match self {
+            Target::File(path) => {
+                let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                let elf = if path.ends_with(".s") || path.ends_with(".S") {
+                    let src = String::from_utf8(bytes)
+                        .map_err(|e| format!("{path}: not UTF-8 assembly: {e}"))?;
+                    cabt::tricore::asm::assemble(&src).map_err(|e| format!("{path}: {e}"))?
+                } else {
+                    ElfFile::parse(&bytes).map_err(|e| format!("{path}: {e}"))?
+                };
+                analyze_elf(&elf).map_err(|e| format!("{path}: {e}"))
+            }
+            Target::Workload(name) => {
+                cabt::sim::analyze::analyze_named(name).map_err(|e| format!("{name}: {e}"))
+            }
+            Target::KnownBad(name, _) => {
+                cabt::sim::analyze::analyze_known_bad(name).map_err(|e| format!("{name}: {e}"))
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: Vec<Target> = Vec::new();
+    let mut strict = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--strict" => strict = true,
+            "--workload" => match it.next() {
+                Some(name) => targets.push(Target::Workload(name.clone())),
+                None => return usage(),
+            },
+            "--all-workloads" => {
+                for w in cabt::workloads::fig5_set() {
+                    targets.push(Target::Workload(w.name.to_string()));
+                }
+                targets.push(Target::Workload("fibonacci".into()));
+                targets.push(Target::Workload("producer_consumer".into()));
+            }
+            "--known-bad" => {
+                for k in cabt::workloads::known_bad_set() {
+                    targets.push(Target::KnownBad(k.name.to_string(), k.expected_finding));
+                }
+            }
+            other if !other.starts_with('-') => targets.push(Target::File(other.to_string())),
+            _ => return usage(),
+        }
+    }
+    if targets.is_empty() {
+        return usage();
+    }
+    let mut errored = false;
+    let mut dirty = false;
+    for t in &targets {
+        match t.report() {
+            Ok(report) => {
+                println!("{}", report_json(t.name(), &report));
+                match t {
+                    Target::KnownBad(name, expected) => {
+                        let ok = report.findings.len() == 1
+                            && report.findings[0].kind.name() == *expected;
+                        if !ok {
+                            eprintln!(
+                                "{name}: expected exactly one `{expected}` finding, got {:?}",
+                                report
+                                    .findings
+                                    .iter()
+                                    .map(|f| f.kind.name())
+                                    .collect::<Vec<_>>()
+                            );
+                            errored = true;
+                        }
+                    }
+                    _ => {
+                        if !report.is_clean() {
+                            dirty = true;
+                        }
+                    }
+                }
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                errored = true;
+            }
+        }
+    }
+    if errored || (strict && dirty) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

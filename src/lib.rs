@@ -1,4 +1,3 @@
-#![forbid(unsafe_code)]
 //! # CABT — Cycle-Accurate Binary Translation for SoC Rapid Prototyping
 //!
 //! A from-scratch Rust reproduction of *Schnerr, Bringmann, Rosenstiel:
@@ -21,13 +20,13 @@
 //! | crate | role |
 //! |---|---|
 //! | [`isa`] | memory model, ELF32 reader/writer, deterministic PRNG |
-//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator; the shared basic-block layer (`exec::blocks`) and the profile/trace-growth layer (`exec::trace`) both compiled cores' trace tiers build on; execution fingerprints; single-core, sharded sequential and thread-parallel epoch drivers |
+//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator; the shared basic-block layer (`exec::blocks`), the profile/trace-growth layer (`exec::trace`) and the static-analysis dataflow framework (`exec::analyze`) built over it; execution fingerprints; single-core, sharded sequential and thread-parallel epoch drivers |
 //! | [`tricore`] | source ISA, assembler, cycle-accurate golden model (pre-decoded, block-compiled and trace-compiled dispatch cores) |
 //! | [`vliw`] | target VLIW ISA, binary container format, simulator (pre-decoded, closure-compiled and trace dispatch cores) |
 //! | [`core`] | **the translator** (the paper's contribution) — its CFG is a view over the shared block layer |
 //! | [`platform`] | synchronization device, snapshottable (and `Send`) SoC bus + peripherals, epoch-barrier shard arbiter with deterministic state merge and O(epoch) delta exchange for append-only devices |
 //! | [`rtlsim`] | event-driven RT-level baseline simulator |
-//! | [`sim`] | **the front door**: `SimBuilder`/`Session` over every execution vehicle, single-core or sharded; versioned portable park/resume bytes |
+//! | [`sim`] | **the front door**: `SimBuilder`/`Session` over every execution vehicle, single-core or sharded; versioned portable park/resume bytes; the `sim::analyze` lint surface behind the `cabt-analyze` binary |
 //! | [`debug`] | generic lockstep driver, dual-translation debugger + RSP packet layer |
 //! | [`workloads`] | the paper's benchmark programs (plus the multi-core `producer_consumer`) |
 //! | [`fleet`] | **the session service**: work-stealing epoch-scheduler pool multiplexing M sessions × N shards, batch driver, `fleet-server` binary |
@@ -163,6 +162,14 @@
 //! // Sessions snapshot and rewind, whatever the backend.
 //! let snap = session.snapshot();
 //! session.restore(&snap);
+//!
+//! // Before anything executes, the static analyzer can vet the
+//! // program: dataflow passes over the same basic-block partition the
+//! // engines dispatch (`docs/static-analysis.md`). The `cabt-analyze`
+//! // binary and the opt-in `SimBuilder::strict_lint` gate sit on this.
+//! let report = SimBuilder::asm(src).analyze()?;
+//! assert!(report.is_clean());
+//! assert_eq!(report.loops.len(), 1); // the `fact` countdown loop
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!

@@ -132,7 +132,7 @@ fn predicted_cycle_counts_are_in_the_code() {
     let consts: Vec<i16> = t
         .packets
         .iter()
-        .flat_map(|p| p.slots())
+        .flat_map(cabt_vliw::Packet::slots)
         .filter_map(|s| match s.op {
             Op::Mvk { d, imm16 } if d == cabt_vliw::isa::Reg::a(3) => Some(imm16),
             _ => None,

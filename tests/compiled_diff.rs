@@ -536,3 +536,80 @@ fn compiled_reset_reproduces_the_run() {
     sim.run(10_000_000).expect("halts again");
     assert_eq!(sim.stats(), first, "compiled rerun after reset diverged");
 }
+
+/// Static/dynamic trace cross-check: every chain the golden trace tier
+/// actually fuses on `fir` and `sieve` must pass the analyzer's static
+/// side-exit verification — every possible exit lands on a `BlockMap`
+/// leader and every seam is a real block edge — and each dynamic head
+/// must sit inside a statically predicted natural loop. The analyzer's
+/// lowering mirrors the engine's decode walk, so block ids agree by
+/// construction.
+#[test]
+fn trace_plans_verify_against_the_static_analyzer() {
+    use cabt_exec::analyze::{natural_loops, predict_traces, verify_trace_exits};
+    for w in [
+        cabt::workloads::fir(16, 300, 0xcab7),
+        cabt::workloads::sieve(400),
+    ] {
+        let elf = w.elf().expect("assembles");
+        let prog = cabt_tricore::analyze::lower_elf(&elf).expect("lowers");
+        let graph = prog.graph();
+        let loops = natural_loops(&graph);
+        let predicted = predict_traces(&graph, &loops, eager_traces().max_blocks as usize);
+        assert!(!predicted.is_empty(), "{}: nothing predicted hot", w.name);
+
+        let mut s = SimBuilder::workload(&w)
+            .backend(Backend::golden_trace())
+            .trace_config(eager_traces())
+            .build()
+            .expect("builds");
+        s.run(Limit::Cycles(u64::MAX)).expect("halts");
+        let profile_hot = s.trace_stats().expect("trace backend selected").traces;
+        let plans = s.trace_plans();
+        assert_eq!(
+            plans.len() as u64,
+            profile_hot,
+            "{}: plan list disagrees with the dynamic profile",
+            w.name
+        );
+        assert!(!plans.is_empty(), "{}: no traces formed", w.name);
+        for plan in &plans {
+            let pc_of = |u: u32| prog.units[u as usize].pc;
+            let findings = verify_trace_exits(&graph, &plan.blocks, pc_of);
+            assert!(
+                findings.is_empty(),
+                "{}: chain {:?} fails static leader verification: {:?}",
+                w.name,
+                plan.blocks,
+                findings
+            );
+            // A fused chain never leaves the natural loop its head
+            // belongs to: the chain's block set must be a subset of
+            // some static loop containing the head.
+            let head = plan.blocks[0];
+            assert!(
+                loops.iter().any(|l| {
+                    l.blocks.binary_search(&head).is_ok()
+                        && plan
+                            .blocks
+                            .iter()
+                            .all(|b| l.blocks.binary_search(b).is_ok())
+                }),
+                "{}: chain {:?} escapes every static loop",
+                w.name,
+                plan.blocks
+            );
+        }
+        // And the prediction is complete in the other direction: every
+        // statically predicted hot head did turn hot dynamically.
+        for p in &predicted {
+            assert!(
+                plans.iter().any(|plan| plan.blocks[0] == p.head),
+                "{}: predicted head {} never formed a dynamic trace (formed: {:?})",
+                w.name,
+                p.head,
+                plans.iter().map(|pl| &pl.blocks).collect::<Vec<_>>()
+            );
+        }
+    }
+}
