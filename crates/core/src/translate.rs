@@ -96,6 +96,11 @@ impl Translated {
     /// Propagates simulator construction/load failures.
     pub fn make_sim(&self) -> Result<VliwSim, cabt_vliw::sim::VliwError> {
         let mut sim = VliwSim::new(self.packets.clone())?;
+        // Register-indirect branches carry source-world code addresses
+        // (the guest materializes labels with `movh.a`/`lea`); alias
+        // every source block start to its packet so they resolve on
+        // all dispatch cores.
+        sim.add_branch_aliases(self.addr_map.iter().map(|(&src, &tgt)| (src, tgt)))?;
         for (addr, data) in &self.data_sections {
             sim.mem
                 .load(*addr, data)
@@ -700,7 +705,17 @@ impl Translator {
             )?;
         }
 
-        // 4. The control transfer.
+        // 4. The control transfer. A taken branch reaches its target in
+        // six cycles (branch row + shadow), but the target block was
+        // scheduled against this block's *layout* cycle count — a
+        // long-latency result still in flight (the divider's 17 delay
+        // slots outlive any shadow) would be read stale across the
+        // transfer. Drain in-flight architectural writes first so every
+        // successor reads committed state; blocks with no pending
+        // long-latency writes pad nothing.
+        if term.is_some() {
+            sched.flush_architectural();
+        }
         match term.map(|ir| (ir, ir.instr)) {
             None => {} // fallthrough into the next block
             Some((_, Instr::Debug16)) => {

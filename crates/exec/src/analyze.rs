@@ -1071,12 +1071,31 @@ pub struct AnalysisReport {
     pub loops: Vec<NaturalLoop>,
     /// Statically predicted hot trace chains (one per loop header).
     pub predicted: Vec<PredictedTrace>,
+    /// `Some(reason)` when the program was *not* analyzed — e.g. its
+    /// entry point lies outside the decoded table, so no dataflow fact
+    /// would be grounded. A skipped report carries no findings and
+    /// must not be read as a clean pass; front ends surface the reason
+    /// as a warning row.
+    pub skipped: Option<&'static str>,
 }
 
 impl AnalysisReport {
-    /// True when no analysis produced a finding.
+    /// True when the program was analyzed and no analysis produced a
+    /// finding. A skipped report (see [`AnalysisReport::skipped`]) is
+    /// *not* clean — nothing was proven about it.
     pub fn is_clean(&self) -> bool {
-        self.findings.is_empty()
+        self.findings.is_empty() && self.skipped.is_none()
+    }
+
+    /// An empty report marked skipped for `reason`.
+    pub fn skip(reason: &'static str) -> AnalysisReport {
+        AnalysisReport {
+            findings: Vec::new(),
+            blocks: 0,
+            loops: Vec::new(),
+            predicted: Vec::new(),
+            skipped: Some(reason),
+        }
     }
 }
 
@@ -1108,6 +1127,7 @@ pub fn analyze_program(
         blocks: graph.len(),
         loops,
         predicted,
+        skipped: None,
     }
 }
 

@@ -284,6 +284,80 @@ pub fn fingerprint_engine<E: ExecutionEngine>(engine: &E) -> u64 {
     fp.digest()
 }
 
+/// An ordered list of [`fingerprint_engine`] digests recorded at
+/// comparison boundaries — the unit a differential harness compares
+/// instead of full state dumps.
+///
+/// Two engines driven through the *same* boundary sequence (same epoch
+/// stride, same run-call pattern) produce element-wise equal chains iff
+/// their architecturally visible trajectories agree at every boundary;
+/// [`DigestChain::first_divergence`] then localizes a mismatch to the
+/// first diverging boundary, which is what the fuzz loop's shrinker
+/// and the regression tests pin.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DigestChain {
+    entries: Vec<u64>,
+}
+
+impl DigestChain {
+    /// An empty chain.
+    pub fn new() -> DigestChain {
+        DigestChain::default()
+    }
+
+    /// Records the engine's current [`fingerprint_engine`] digest as
+    /// the next boundary entry and returns it.
+    pub fn record<E: ExecutionEngine>(&mut self, engine: &E) -> u64 {
+        let d = fingerprint_engine(engine);
+        self.entries.push(d);
+        d
+    }
+
+    /// Appends a precomputed digest (e.g. one augmented with memory
+    /// windows on top of [`fingerprint_engine`]).
+    pub fn push(&mut self, digest: u64) {
+        self.entries.push(digest);
+    }
+
+    /// Number of recorded boundaries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no boundary has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded per-boundary digests, in order.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// The whole chain folded into one digest (order-sensitive).
+    pub fn rolled(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        for &e in &self.entries {
+            fp.mix_u64(e);
+        }
+        fp.digest()
+    }
+
+    /// Index of the first boundary where the chains disagree: the
+    /// first element-wise mismatch, or — when one chain is a strict
+    /// prefix of the other — the first index only one of them has.
+    /// `None` iff the chains are identical.
+    pub fn first_divergence(&self, other: &DigestChain) -> Option<usize> {
+        let common = self.entries.len().min(other.entries.len());
+        for i in 0..common {
+            if self.entries[i] != other.entries[i] {
+                return Some(i);
+            }
+        }
+        (self.entries.len() != other.entries.len()).then_some(common)
+    }
+}
+
 /// Generic epoch-batched driver: runs `engine` to halt within a total
 /// cycle budget, advancing in epochs of `epoch` cycles.
 ///
@@ -376,28 +450,36 @@ pub fn run_epochs_sharded<E: ExecutionEngine>(
     on_epoch: impl FnMut(&mut [E]),
 ) -> Result<StopCause, E::Error> {
     run_epochs_rounds(shards, max_cycles, epoch, on_epoch, |shards, deadline| {
-        run_shard_round_sequential(shards, deadline)
+        run_shard_round_sequential(shards, deadline, true)
     })
 }
 
 /// Runs one epoch round in shard order on the calling thread: every
-/// live shard below `deadline` executes `run_until(Cycles(deadline))`,
-/// and a shard that halts exactly on the deadline gets its
-/// architectural state committed inside the round (a completed run,
-/// same as the single-engine epoch driver).
+/// live shard below `deadline` executes `run_until(Cycles(deadline))`.
+/// With `commit_boundary_halts`, a shard that halts exactly on the
+/// deadline gets its architectural state committed inside the round (a
+/// completed run, same as the single-engine epoch driver).
 ///
 /// # Errors
 ///
-/// Propagates the first shard fault; later shards of the round are not
-/// run.
+/// Propagates the fault of the lowest-numbered faulting shard. Every
+/// other shard of the round still runs to its deadline first — the
+/// same post-fault state [`run_shard_round_parallel`] leaves, so a
+/// faulting round is bit-identical under both schedulers.
 pub fn run_shard_round_sequential<E: ExecutionEngine>(
     shards: &mut [E],
     deadline: u64,
+    commit_boundary_halts: bool,
 ) -> Result<(), E::Error> {
+    let mut first_err: Option<E::Error> = None;
     for s in shards.iter_mut() {
-        run_shard_to_deadline(s, deadline, true)?;
+        if let Err(e) = run_shard_to_deadline(s, deadline, commit_boundary_halts) {
+            if first_err.is_none() {
+                first_err = Some(e);
+            }
+        }
     }
-    Ok(())
+    first_err.map_or(Ok(()), Err)
 }
 
 /// What the epoch scheduler decided for the next round — the planning
@@ -522,9 +604,10 @@ fn run_epochs_rounds<E: ExecutionEngine>(
 /// # Errors
 ///
 /// Propagates the fault of the lowest-numbered faulting shard
-/// (deterministic whatever thread finished first). Unlike the
-/// sequential driver — which stops mid-round at the first fault —
-/// every shard of the faulting round has already run to its deadline.
+/// (deterministic whatever thread finished first). Every shard of the
+/// faulting round has already run to its deadline — exactly like the
+/// sequential driver, so faulting runs stay bit-identical under both
+/// schedulers.
 pub fn run_epochs_parallel<E>(
     shards: &mut [E],
     max_cycles: u64,
@@ -1003,5 +1086,81 @@ mod tests {
             stall_cycles: 1,
         };
         assert_eq!(s.to_string(), "10 cycles / 4 retired (1 stalled)");
+    }
+
+    /// Drives a toy to halt recording one chain entry per retirement.
+    fn toy_chain(t: &mut Toy) -> DigestChain {
+        let mut chain = DigestChain::new();
+        chain.record(t);
+        while !t.is_halted() {
+            t.step_unit().unwrap();
+            chain.record(t);
+        }
+        chain
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_chains() {
+        let mut a = toy();
+        let mut b = toy();
+        let ca = toy_chain(&mut a);
+        let cb = toy_chain(&mut b);
+        assert_eq!(ca, cb);
+        assert_eq!(ca.first_divergence(&cb), None);
+        assert_eq!(ca.rolled(), cb.rolled());
+        assert_eq!(ca.len(), 6, "entry boundary plus five retirements");
+        assert!(!ca.is_empty());
+        assert_eq!(ca.entries().len(), ca.len());
+    }
+
+    #[test]
+    fn register_flip_at_epoch_k_diverges_at_k_and_never_earlier() {
+        // Boundary k is recorded after k retirements; flip a register
+        // in engine `b` right before that boundary's record call.
+        for k in 1..=5usize {
+            let mut a = toy();
+            let mut b = toy();
+            let mut ca = DigestChain::new();
+            let mut cb = DigestChain::new();
+            ca.record(&a);
+            cb.record(&b);
+            for step in 1..=5usize {
+                a.step_unit().unwrap();
+                b.step_unit().unwrap();
+                if step == k {
+                    b.write_reg_index(3, b.read_reg_index(3) ^ 1);
+                }
+                ca.record(&a);
+                cb.record(&b);
+            }
+            assert_eq!(
+                ca.first_divergence(&cb),
+                Some(k),
+                "flip at epoch {k} must surface at boundary {k}, never earlier"
+            );
+            assert_eq!(cb.first_divergence(&ca), Some(k), "divergence is symmetric");
+            assert_ne!(ca.rolled(), cb.rolled());
+        }
+    }
+
+    #[test]
+    fn prefix_chains_diverge_at_the_shorter_length() {
+        let mut a = toy();
+        let mut b = toy();
+        let ca = toy_chain(&mut a);
+        let mut cb = DigestChain::new();
+        cb.record(&b);
+        for _ in 0..3 {
+            b.step_unit().unwrap();
+            cb.record(&b);
+        }
+        // `cb` is a strict prefix of `ca`: first index only one has.
+        assert_eq!(ca.first_divergence(&cb), Some(4));
+        assert_eq!(cb.first_divergence(&ca), Some(4));
+
+        // A hand-pushed digest participates like a recorded one.
+        let mut cc = cb.clone();
+        cc.push(0xdead_beef);
+        assert_eq!(cb.first_divergence(&cc), Some(4));
     }
 }

@@ -49,7 +49,16 @@ use cabt_exec::{
 use cabt_platform::ShardArbiter;
 use cabt_sim::{Backend, Session, SessionError, SimBuilder};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a fleet-internal mutex, recovering from poison. A worker that
+/// panicked mid-round poisons the mutexes it held; the values they
+/// guard (shard sessions, counters, logs) stay structurally valid, and
+/// the failed unit is reported as a typed [`SessionError::Service`] —
+/// one lost run must not abort the pool or the whole batch.
+fn lock_ok<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Scheduling epoch (target cycles) used when a request does not name
 /// one — the same default granularity sharded sessions fall back to.
@@ -231,7 +240,7 @@ impl UnitState {
         let mut frontier = u64::MAX;
         let mut all_halted = true;
         for slot in &self.shards {
-            let shard = slot.lock().unwrap();
+            let shard = lock_ok(slot);
             if !cabt_exec::ExecutionEngine::is_halted(&*shard) {
                 all_halted = false;
                 frontier = frontier.min(cabt_exec::ExecutionEngine::cycle(&*shard));
@@ -241,7 +250,7 @@ impl UnitState {
             frontier = self
                 .shards
                 .iter()
-                .map(|s| cabt_exec::ExecutionEngine::cycle(&*s.lock().unwrap()))
+                .map(|s| cabt_exec::ExecutionEngine::cycle(&*lock_ok(s)))
                 .max()
                 .unwrap_or(0);
         }
@@ -251,14 +260,14 @@ impl UnitState {
     fn aggregate_retired(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| cabt_exec::ExecutionEngine::engine_stats(&*s.lock().unwrap()).retired)
+            .map(|s| cabt_exec::ExecutionEngine::engine_stats(&*lock_ok(s)).retired)
             .sum()
     }
 
     fn aggregate_stats(&self) -> EngineStats {
         let mut agg = EngineStats::default();
         for slot in &self.shards {
-            let s = cabt_exec::ExecutionEngine::engine_stats(&*slot.lock().unwrap());
+            let s = cabt_exec::ExecutionEngine::engine_stats(&*lock_ok(slot));
             agg.retired += s.retired;
             agg.stall_cycles += s.stall_cycles;
             agg.cycles = agg.cycles.max(s.cycles);
@@ -268,20 +277,20 @@ impl UnitState {
 
     fn commit_all(&self) {
         for slot in &self.shards {
-            cabt_exec::ExecutionEngine::commit_arch_state(&mut *slot.lock().unwrap());
+            cabt_exec::ExecutionEngine::commit_arch_state(&mut *lock_ok(slot));
         }
     }
 
     /// Barrier work at the end of a round: exchange device state (when
     /// the unit has a fabric) and extend the per-epoch digest chain.
     fn complete_round(&self) {
-        if let Some(arbiter) = self.arbiter.lock().unwrap().as_mut() {
+        if let Some(arbiter) = lock_ok(&self.arbiter).as_mut() {
             arbiter.exchange();
         }
-        let mut progress = self.progress.lock().unwrap();
+        let mut progress = lock_ok(&self.progress);
         progress.0 += 1;
         for slot in &self.shards {
-            let digest = fingerprint_engine(&*slot.lock().unwrap());
+            let digest = fingerprint_engine(&*lock_ok(slot));
             progress.1.mix_u64(digest);
         }
     }
@@ -290,7 +299,7 @@ impl UnitState {
     /// counting down, so the batch driver's `Arc::into_inner` cannot
     /// race the completing worker.
     fn finish(self: Arc<Self>, outcome: Result<StopCause, SessionError>, latch: &Latch) {
-        *self.outcome.lock().unwrap() = Some(outcome);
+        *lock_ok(&self.outcome) = Some(outcome);
         drop(self);
         latch.count_down();
     }
@@ -301,27 +310,26 @@ impl UnitState {
     /// batch driver cannot assume unique ownership.
     fn take_result(&self) -> Result<FleetResult, SessionError> {
         let stats = self.aggregate_stats();
-        let stop = self
-            .outcome
-            .lock()
-            .unwrap()
-            .take()
-            .expect("finished unit has an outcome")?;
+        let stop = lock_ok(&self.outcome).take().ok_or_else(|| {
+            SessionError::Service(
+                "fleet unit finished without an outcome (worker died mid-round)".into(),
+            )
+        })??;
         let mut digest = Fingerprint::new();
         for slot in &self.shards {
-            digest.mix_u64(fingerprint_engine(&*slot.lock().unwrap()));
+            digest.mix_u64(fingerprint_engine(&*lock_ok(slot)));
         }
-        let uart = match self.arbiter.lock().unwrap().as_ref() {
+        let uart = match lock_ok(&self.arbiter).as_ref() {
             Some(arbiter) => arbiter.uart_log(),
             None => {
-                let shard = self.shards[0].lock().unwrap();
+                let shard = lock_ok(&self.shards[0]);
                 shard
                     .soc_bus_handle()
                     .map_or_else(Vec::new, |b| b.uart_log())
             }
         };
-        let d2 = self.shards[0].lock().unwrap().read_d(2);
-        let (epochs, chain) = *self.progress.lock().unwrap();
+        let d2 = lock_ok(&self.shards[0]).read_d(2);
+        let (epochs, chain) = *lock_ok(&self.progress);
         Ok(FleetResult {
             workload: self.workload.clone(),
             backend: self.backend,
@@ -395,7 +403,7 @@ fn live_below(unit: &UnitState, deadline: u64) -> Vec<usize> {
         .iter()
         .enumerate()
         .filter(|(_, slot)| {
-            let shard = slot.lock().unwrap();
+            let shard = lock_ok(slot);
             !cabt_exec::ExecutionEngine::is_halted(&*shard)
                 && cabt_exec::ExecutionEngine::cycle(&*shard) < deadline
         })
@@ -408,7 +416,7 @@ fn live_below(unit: &UnitState, deadline: u64) -> Vec<usize> {
 /// shard of each round — event-driven, no per-session coordinator
 /// thread blocks anywhere.
 fn schedule_round(unit: Arc<UnitState>, core: Arc<pool::PoolCore>, latch: Arc<Latch>) {
-    let fault = unit.fault.lock().unwrap().take();
+    let fault = lock_ok(&unit.fault).take();
     if let Some(fault) = fault {
         unit.finish(Err(fault), &latch);
         return;
@@ -426,11 +434,11 @@ fn schedule_round(unit: Arc<UnitState>, core: Arc<pool::PoolCore>, latch: Arc<La
                     (Arc::clone(&unit), Arc::clone(&core), Arc::clone(&latch));
                 core.push(Box::new(move || {
                     let result = {
-                        let mut shard = unit.shards[i].lock().unwrap();
+                        let mut shard = lock_ok(&unit.shards[i]);
                         run_shard_to_deadline(&mut *shard, deadline, commit_boundary_halts)
                     };
                     if let Err(e) = result {
-                        let mut fault = unit.fault.lock().unwrap();
+                        let mut fault = lock_ok(&unit.fault);
                         if fault.is_none() {
                             *fault = Some(e);
                         }
@@ -480,7 +488,11 @@ pub fn run_fleet(
 pub fn run_one(pool: &FleetPool, request: FleetRequest) -> Result<FleetResult, SessionError> {
     run_fleet(pool, std::slice::from_ref(&request))
         .pop()
-        .expect("one request yields one result")
+        .unwrap_or_else(|| {
+            Err(SessionError::Service(
+                "fleet batch returned no result for the request".into(),
+            ))
+        })
 }
 
 #[cfg(test)]

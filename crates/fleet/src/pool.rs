@@ -17,8 +17,17 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
 use std::thread;
+
+/// Locks a pool-internal mutex, recovering from poison. The pool's
+/// shared state (job deques, the wake generation, latch counters) is
+/// a plain collection of values with no multi-step invariants, so the
+/// state behind a poisoned lock is still coherent — a panicking *job*
+/// must not take the whole worker population down with it.
+fn lock_ok<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One unit of pool work (an epoch round of one shard, a batch driver's
 /// bookkeeping step, …).
@@ -56,8 +65,8 @@ impl PoolCore {
                 .and_then(|(core, id)| (Weak::as_ptr(core) == Arc::as_ptr(self)).then_some(*id))
         });
         let q = slot.unwrap_or(self.queues.len() - 1);
-        self.queues[q].lock().unwrap().push_back(job);
-        let mut generation = self.gate.lock().unwrap();
+        lock_ok(&self.queues[q]).push_back(job);
+        let mut generation = lock_ok(&self.gate);
         *generation += 1;
         drop(generation);
         self.wake.notify_all();
@@ -65,7 +74,7 @@ impl PoolCore {
 
     /// Own deque LIFO, then injector and peers FIFO.
     fn grab(&self, id: usize) -> Option<Job> {
-        if let Some(job) = self.queues[id].lock().unwrap().pop_back() {
+        if let Some(job) = lock_ok(&self.queues[id]).pop_back() {
             return Some(job);
         }
         let n = self.queues.len();
@@ -75,7 +84,7 @@ impl PoolCore {
             if q == id {
                 continue;
             }
-            if let Some(job) = self.queues[q].lock().unwrap().pop_front() {
+            if let Some(job) = lock_ok(&self.queues[q]).pop_front() {
                 return Some(job);
             }
         }
@@ -83,17 +92,22 @@ impl PoolCore {
     }
 
     fn has_work(&self) -> bool {
-        self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+        self.queues.iter().any(|q| !lock_ok(q).is_empty())
     }
 
     fn worker(self: Arc<Self>, id: usize) {
         WORKER.with(|w| *w.borrow_mut() = Some((Arc::downgrade(&self), id)));
         loop {
             if let Some(job) = self.grab(id) {
-                job();
+                // A panicking job must not kill the worker: the pool
+                // would silently lose capacity (and, once every worker
+                // died, deadlock the latch-waiting coordinator). The
+                // session the job belonged to reports the failure
+                // through its own outcome slot; the worker moves on.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                 continue;
             }
-            let generation = self.gate.lock().unwrap();
+            let generation = lock_ok(&self.gate);
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
@@ -102,7 +116,11 @@ impl PoolCore {
             if self.has_work() {
                 continue;
             }
-            drop(self.wake.wait(generation).unwrap());
+            drop(
+                self.wake
+                    .wait(generation)
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
         }
     }
 }
@@ -127,15 +145,24 @@ impl FleetPool {
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
-        let handles = (0..workers)
-            .map(|id| {
+        // A host refusing threads mid-loop degrades the pool to the
+        // workers it did get — queues of spawn-failed slots are still
+        // drained by the survivors via stealing. Only a host that
+        // grants *no* threads at all is unrecoverable: every spawn()
+        // would queue work nobody runs, so fail loudly up front.
+        let handles: Vec<_> = (0..workers)
+            .filter_map(|id| {
                 let core = Arc::clone(&core);
                 thread::Builder::new()
                     .name(format!("fleet-worker-{id}"))
                     .spawn(move || core.worker(id))
-                    .expect("spawning a fleet worker")
+                    .ok()
             })
             .collect();
+        assert!(
+            !handles.is_empty(),
+            "fleet pool: the host refused to spawn even one worker thread"
+        );
         FleetPool { core, handles }
     }
 
@@ -165,7 +192,7 @@ impl Drop for FleetPool {
     fn drop(&mut self) {
         self.core.shutdown.store(true, Ordering::Release);
         {
-            let mut generation = self.core.gate.lock().unwrap();
+            let mut generation = lock_ok(&self.core.gate);
             *generation += 1;
         }
         self.core.wake.notify_all();
@@ -194,7 +221,7 @@ impl Latch {
 
     /// Records one completion.
     pub fn count_down(&self) {
-        let mut remaining = self.remaining.lock().unwrap();
+        let mut remaining = lock_ok(&self.remaining);
         *remaining = remaining.saturating_sub(1);
         if *remaining == 0 {
             self.done.notify_all();
@@ -203,9 +230,12 @@ impl Latch {
 
     /// Blocks until every expected completion has been counted down.
     pub fn wait(&self) {
-        let mut remaining = self.remaining.lock().unwrap();
+        let mut remaining = lock_ok(&self.remaining);
         while *remaining > 0 {
-            remaining = self.done.wait(remaining).unwrap();
+            remaining = self
+                .done
+                .wait(remaining)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -248,6 +278,28 @@ mod tests {
         }
         step(core, Arc::clone(&latch), 64);
         latch.wait();
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        // One worker, so the panicking job and the jobs after it are
+        // guaranteed to share a thread: if the panic killed the worker,
+        // the follow-up jobs would never run and the latch would hang.
+        let pool = FleetPool::new(1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(Latch::new(16));
+        for i in 0..16 {
+            let (hits, latch) = (Arc::clone(&hits), Arc::clone(&latch));
+            pool.spawn(move || {
+                latch.count_down();
+                if i % 4 == 0 {
+                    panic!("job {i} failed");
+                }
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        latch.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 12);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Greedy structural shrinker: reduces a diverging [`FuzzProgram`] to
+//! a minimal reproducer while re-verifying after every candidate that
+//! the *same check* still diverges.
+//!
+//! The mutation space mirrors the generator's structure, so every
+//! candidate is a well-formed program:
+//!
+//! 1. drop whole segments (labels are id-stable, survivors unchanged);
+//! 2. halve loop trip counts (floor 1) and drop nested inner loops;
+//! 3. drop op spans inside segment bodies (halves, then single ops).
+//!
+//! The loop runs to a fixpoint or an attempt budget, whichever comes
+//! first; shrink attempts re-run the full matrix, so the budget keeps
+//! a pathological case from stalling the campaign.
+
+use crate::diff::{run_program, CaseStatus, MatrixOptions};
+use crate::gen::{FuzzProgram, Segment};
+
+/// True when `prog` still produces a divergence whose check id matches
+/// `check` (the failure being minimized).
+fn still_fails(prog: &FuzzProgram, check: &str, opts: &MatrixOptions) -> bool {
+    match run_program(prog, opts).status {
+        CaseStatus::Diverged(divs) => divs.iter().any(|d| d.check == check),
+        _ => false,
+    }
+}
+
+/// The droppable op lists of a segment, as mutable slots.
+fn op_lists(seg: &mut Segment) -> Vec<&mut Vec<String>> {
+    match seg {
+        Segment::Straight { ops, .. } => vec![ops],
+        Segment::Branchy {
+            then_ops, else_ops, ..
+        } => vec![then_ops, else_ops],
+        Segment::Loop { body, inner, .. } => {
+            let mut v = vec![body];
+            if let Some((_, ibody)) = inner {
+                v.push(ibody);
+            }
+            v
+        }
+        Segment::Indirect {
+            even_ops, odd_ops, ..
+        } => vec![even_ops, odd_ops],
+        Segment::Call { body, .. } => vec![body],
+    }
+}
+
+/// Shrinks `prog` against `check`. Returns the smallest program found
+/// (possibly `prog` itself) that still fails the check, plus the
+/// number of verification runs spent.
+pub fn shrink(
+    prog: &FuzzProgram,
+    check: &str,
+    opts: &MatrixOptions,
+    max_attempts: u32,
+) -> (FuzzProgram, u32) {
+    let mut best = prog.clone();
+    let mut attempts = 0u32;
+    let try_candidate = |cand: &FuzzProgram, attempts: &mut u32| -> bool {
+        if *attempts >= max_attempts {
+            return false;
+        }
+        *attempts += 1;
+        still_fails(cand, check, opts)
+    };
+
+    let mut progressed = true;
+    while progressed && attempts < max_attempts {
+        progressed = false;
+
+        // 1. Drop whole segments, longest programs first.
+        let mut i = 0;
+        while i < best.segments.len() {
+            if best.segments.len() == 1 {
+                break;
+            }
+            let mut cand = best.clone();
+            cand.segments.remove(i);
+            if try_candidate(&cand, &mut attempts) {
+                best = cand;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // 2. Reduce loop trip counts and drop inner loops.
+        for i in 0..best.segments.len() {
+            let (is_loop, trips_now, has_inner) = match &best.segments[i] {
+                Segment::Loop { trips, inner, .. } => (true, *trips, inner.is_some()),
+                _ => (false, 0, false),
+            };
+            if is_loop {
+                if trips_now > 1 {
+                    let mut cand = best.clone();
+                    if let Segment::Loop { trips, .. } = &mut cand.segments[i] {
+                        *trips /= 2;
+                    }
+                    if try_candidate(&cand, &mut attempts) {
+                        best = cand;
+                        progressed = true;
+                    }
+                }
+                if has_inner {
+                    let mut cand = best.clone();
+                    if let Segment::Loop { inner, .. } = &mut cand.segments[i] {
+                        *inner = None;
+                    }
+                    if try_candidate(&cand, &mut attempts) {
+                        best = cand;
+                        progressed = true;
+                    }
+                }
+            }
+            if let Segment::Call { calls, .. } = &best.segments[i] {
+                if *calls > 1 {
+                    let mut cand = best.clone();
+                    if let Segment::Call { calls, .. } = &mut cand.segments[i] {
+                        *calls = 1;
+                    }
+                    if try_candidate(&cand, &mut attempts) {
+                        best = cand;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+
+        // 3. Drop op spans: first the back half of each list, then
+        // single ops.
+        for i in 0..best.segments.len() {
+            let n_lists = op_lists(&mut best.segments[i]).len();
+            for l in 0..n_lists {
+                // Halve.
+                loop {
+                    let len = op_lists(&mut best.segments[i])[l].len();
+                    if len < 2 {
+                        break;
+                    }
+                    let mut cand = best.clone();
+                    op_lists(&mut cand.segments[i])[l].truncate(len / 2);
+                    if try_candidate(&cand, &mut attempts) {
+                        best = cand;
+                        progressed = true;
+                    } else {
+                        break;
+                    }
+                }
+                // Single ops.
+                let mut j = 0;
+                loop {
+                    let len = op_lists(&mut best.segments[i])[l].len();
+                    if j >= len {
+                        break;
+                    }
+                    let mut cand = best.clone();
+                    op_lists(&mut cand.segments[i])[l].remove(j);
+                    if try_candidate(&cand, &mut attempts) {
+                        best = cand;
+                        progressed = true;
+                    } else {
+                        j += 1;
+                    }
+                }
+            }
+        }
+
+        // 4. Drop the deliberate fault if the divergence survives
+        // without it.
+        if best.fault.is_some() {
+            let mut cand = best.clone();
+            cand.fault = None;
+            if try_candidate(&cand, &mut attempts) {
+                best = cand;
+                progressed = true;
+            }
+        }
+    }
+    (best, attempts)
+}

@@ -50,12 +50,21 @@ pub fn guest_mem_map(elf: &ElfFile) -> MemMap {
 /// static trace prediction with side-exit verification, and
 /// unbounded-recursion detection.
 ///
+/// A program whose entry point lies outside the decoded table (fuzz
+/// generators and hand-built images produce these) is *skipped*, not
+/// analyzed: the report comes back empty with
+/// [`AnalysisReport::skipped`] set, so front ends emit a warning row
+/// instead of either panicking or passing it silently.
+///
 /// # Errors
 ///
 /// [`SessionError::Golden`] when the image's text sections do not
 /// decode.
 pub fn analyze_elf(elf: &ElfFile) -> Result<AnalysisReport, SessionError> {
     let prog = lower_elf(elf)?;
+    if prog.entries.is_empty() {
+        return Ok(AnalysisReport::skip("entry outside decoded table"));
+    }
     let mem = guest_mem_map(elf);
     let max_blocks = TraceConfig::default().max_blocks as usize;
     Ok(analyze_program(
@@ -97,7 +106,17 @@ pub fn analyze_known_bad(name: &str) -> Result<AnalysisReport, SessionError> {
 /// `cabt-analyze` binary and the `fleet-server` `analyze` verb):
 /// `{"target":...,"clean":...,"blocks":N,"loops":N,`
 /// `"predicted_traces":N,"findings":[{kind,pc,unit,block,message},…]}`.
+/// Skipped reports add a `"skipped":"reason"` member — the warning
+/// row for programs the analyzer declined (entry outside the decoded
+/// table).
 pub fn report_json(target: &str, report: &AnalysisReport) -> String {
+    if let Some(reason) = report.skipped {
+        return format!(
+            "{{\"target\":{},\"clean\":false,\"skipped\":{}}}",
+            json_str(target),
+            json_str(reason)
+        );
+    }
     let findings: Vec<String> = report
         .findings
         .iter()
@@ -187,6 +206,24 @@ mod tests {
             analyze_named("no-such-workload"),
             Err(SessionError::UnknownWorkload(_))
         ));
+    }
+
+    #[test]
+    fn entry_outside_decoded_table_is_skipped_with_a_warning_row() {
+        let mut elf = cabt_workloads::gcd(4, 1).elf().unwrap();
+        // Point the entry between decoded instructions: no analysis
+        // fact is grounded, so the pass declines instead of reporting
+        // every block unreachable (or worse, a clean pass).
+        elf.entry = elf.entry.wrapping_add(2);
+        let report = analyze_elf(&elf).unwrap();
+        assert_eq!(report.skipped, Some("entry outside decoded table"));
+        assert!(!report.is_clean(), "a skipped report is not a clean pass");
+        assert!(report.findings.is_empty());
+        let json = report_json("t", &report);
+        assert!(
+            json.contains("\"skipped\":\"entry outside decoded table\""),
+            "{json}"
+        );
     }
 
     #[test]

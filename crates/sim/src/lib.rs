@@ -413,6 +413,10 @@ pub enum SessionError {
     /// The pre-flight lint gate ([`SimBuilder::strict_lint`]) found
     /// static-analysis findings; each entry is one finding message.
     Lint(Vec<String>),
+    /// A session service (the fleet scheduler) failed outside the
+    /// simulation itself — e.g. a worker died before recording a
+    /// unit's outcome. The run is lost but the service keeps going.
+    Service(String),
 }
 
 impl fmt::Display for SessionError {
@@ -434,6 +438,7 @@ impl fmt::Display for SessionError {
                 findings.len(),
                 findings.join("; ")
             ),
+            SessionError::Service(msg) => write!(f, "session service failure: {msg}"),
         }
     }
 }
@@ -834,9 +839,14 @@ impl SimBuilder {
         if self.strict_lint {
             let report = analyze::analyze_elf(&elf)?;
             if !report.is_clean() {
-                return Err(SessionError::Lint(
-                    report.findings.iter().map(|f| f.message.clone()).collect(),
-                ));
+                // A skipped report has no findings but proves nothing;
+                // under the strict gate that is a refusal, not a pass.
+                let msgs = if let Some(reason) = report.skipped {
+                    vec![format!("analysis skipped: {reason}")]
+                } else {
+                    report.findings.iter().map(|f| f.message.clone()).collect()
+                };
+                return Err(SessionError::Lint(msgs));
             }
         }
         let config = BuildConfig {
@@ -1370,11 +1380,7 @@ impl ShardSet {
                             cabt_exec::run_shard_round_parallel(shards, deadline, false)?;
                         }
                         _ => {
-                            for s in shards.iter_mut() {
-                                if !s.is_halted() && s.cycle() < deadline {
-                                    s.run_until(Limit::Cycles(deadline))?;
-                                }
-                            }
+                            cabt_exec::run_shard_round_sequential(shards, deadline, false)?;
                         }
                     }
                     arbiter.exchange();

@@ -648,6 +648,42 @@ impl VliwSim {
         Ok(())
     }
 
+    /// Registers extra branch-target addresses resolving to existing
+    /// packets. A translated guest computes *source-world* code
+    /// addresses (`movh.a`/`lea` of a label, jump tables in data) and
+    /// branches through registers; the translator's block map provides
+    /// `(source block start, target packet address)` pairs here so
+    /// every register-indirect transfer — on every dispatch core, all
+    /// of which resolve through this one index — lands on the right
+    /// packet. Source and target address spaces are disjoint (the
+    /// target image lives below the source text base), so aliases can
+    /// never shadow a real packet address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VliwError::BadPc`] if an alias collides with a packet
+    /// address (or a previous alias) or its destination is not a packet
+    /// start.
+    pub fn add_branch_aliases(
+        &mut self,
+        aliases: impl IntoIterator<Item = (u32, u32)>,
+    ) -> Result<(), VliwError> {
+        for (alias, dest) in aliases {
+            let idx = *self
+                .index
+                .get(&dest)
+                .ok_or(VliwError::BadPc { addr: dest })?;
+            if self
+                .index
+                .insert(alias, idx)
+                .is_some_and(|prev| prev != idx)
+            {
+                return Err(VliwError::BadPc { addr: alias });
+            }
+        }
+        Ok(())
+    }
+
     /// Runs until `HALT` or until `max_cycles` elapse.
     ///
     /// # Errors

@@ -691,6 +691,142 @@ pub fn known_bad_by_name(name: &str) -> Option<KnownBad> {
     known_bad_set().into_iter().find(|k| k.name == name)
 }
 
+/// One entry of the fuzz-found regression corpus: a hand-minimized
+/// reproducer for a divergence the differential fuzzer (`cabt-fuzz`)
+/// found between execution tiers. Each entry pins a bug class that has
+/// since been fixed — `tests/fuzz_regressions.rs` replays the minimized
+/// source across the whole comparison matrix, so a reintroduced bug
+/// fails the plain test suite, not just a long fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzRegression {
+    /// Corpus entry name (`fuzz-<bug-class>`).
+    pub name: &'static str,
+    /// The fuzz seed that first exposed the divergence
+    /// (`cabt-fuzz --seed N` replays the original, unminimized case).
+    pub seed: u64,
+    /// The matrix check that diverged (a `cabt-fuzz` `Divergence`
+    /// check label), recorded for the reader — the regression test
+    /// runs the full matrix, not just this check.
+    pub check: &'static str,
+    /// Minimized assembly reproducer.
+    pub source: &'static str,
+}
+
+impl FuzzRegression {
+    /// Assembles the corpus entry to an ELF image.
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler error (a bug in the corpus if it ever
+    /// fires — every entry is a well-formed program).
+    pub fn elf(&self) -> Result<ElfFile, AsmError> {
+        assemble(self.source)
+    }
+}
+
+/// The fuzz-found regression corpus: one minimized program per
+/// divergence class the fuzzer has found (and this repo has fixed).
+pub fn fuzz_regression_set() -> Vec<FuzzRegression> {
+    vec![
+        // Register-indirect branches (`ji` / `calli`) carry
+        // *source-world* code addresses at run time; the translated
+        // vehicle faulted with "branch to non-packet address" because
+        // the VLIW sim's packet index only knew target-image addresses.
+        // Fixed by installing the translator's source→target block map
+        // as branch aliases on the sim (`VliwSim::add_branch_aliases`).
+        FuzzRegression {
+            name: "fuzz-indirect-source-branch",
+            seed: 39,
+            check: "cross-isa:stop:translated:static",
+            source: "
+    .text
+    .global _start
+_start:
+    movh   %d7, 39616
+    addi   %d7, %d7, 5504
+    movh.a %a4, hi:even
+    lea    %a4, [%a4]lo:even
+    movh.a %a5, hi:odd
+    lea    %a5, [%a5]lo:odd
+    and    %d11, %d7, 1
+    jnz    %d11, co
+    calli  %a4
+    j      end
+co:
+    calli  %a5
+    j      end
+even:
+    ret
+odd:
+    ret
+end:
+    debug
+",
+        },
+        // A `div`/`rem` result has 17 delay slots — longer than the
+        // 6-cycle branch shadow — so a translated block ending soon
+        // after a divide let successor blocks read the *stale*
+        // register across the control transfer (the scheduler's
+        // scoreboard is per-block). Fixed by draining in-flight
+        // architectural writes before every block terminator
+        // (`Scheduler::flush_architectural`). Here the caller reads
+        // `%d2` right after the leaf's `rem` → `ret`.
+        FuzzRegression {
+            name: "fuzz-div-shadow-hazard",
+            seed: 71,
+            check: "cross-isa:translated:static",
+            source: "
+    .text
+    .global _start
+_start:
+    mov    %d4, 37
+    mov    %d2, 5
+    jl     leaf
+    add    %d2, %d2, %d2
+    debug
+leaf:
+    rem    %d2, %d4, %d2
+    ret
+",
+        },
+        // The sequential shard scheduler stopped mid-round at the
+        // first faulting shard while the parallel scheduler ran every
+        // shard of the round to its deadline — post-fault state (and
+        // retired counts) differed between bit-identical schedules.
+        // Fixed by running every shard of a faulting round to the
+        // deadline and propagating the lowest-numbered shard's fault.
+        // Here odd shards take a wild indirect jump (the only access
+        // class the golden model faults on) while even shards spin, so
+        // under 4 cores the old sequential driver skipped shards 2
+        // and 3 of the faulting round.
+        FuzzRegression {
+            name: "fuzz-shard-fault-parity",
+            seed: 39,
+            check: "sharded-schedule:4x:golden",
+            source: "
+    .text
+    .global _start
+_start:
+    and    %d11, %d15, 1
+    jnz    %d11, faulter
+    mov    %d12, 300
+spin:
+    addi   %d12, %d12, -1
+    jnz    %d12, spin
+    debug
+faulter:
+    movh.a %a4, 0x4000
+    ji     %a4
+",
+        },
+    ]
+}
+
+/// Looks a fuzz-regression corpus entry up by name.
+pub fn fuzz_regression_by_name(name: &str) -> Option<FuzzRegression> {
+    fuzz_regression_set().into_iter().find(|k| k.name == name)
+}
+
 /// The six Fig. 5 / Fig. 6 programs with their default parameters.
 pub fn fig5_set() -> Vec<Workload> {
     vec![

@@ -119,7 +119,12 @@ fn main() -> ExitCode {
                         }
                     }
                     _ => {
-                        if !report.is_clean() {
+                        if let Some(reason) = report.skipped {
+                            // A declined program is a warning, not a
+                            // finding: surfaced loudly, but it neither
+                            // passes silently nor fails the gate.
+                            eprintln!("{}: skipped: {reason}", t.name());
+                        } else if !report.is_clean() {
                             dirty = true;
                         }
                     }

@@ -30,6 +30,7 @@
 //! | [`debug`] | generic lockstep driver, dual-translation debugger + RSP packet layer |
 //! | [`workloads`] | the paper's benchmark programs (plus the multi-core `producer_consumer`) |
 //! | [`fleet`] | **the session service**: work-stealing epoch-scheduler pool multiplexing M sessions × N shards, batch driver, `fleet-server` binary |
+//! | [`fuzz`] | **continuous differential fuzzing**: seed-reproducible program generator, full-matrix comparison on per-epoch digest chains, shrinker to minimal reproducers, `cabt-fuzz` binary |
 //!
 //! Execution comes in four dispatch tiers, all bit-identical and all
 //! selected as plain `Backend` data. The retained naive interpreters
@@ -219,6 +220,7 @@ pub use cabt_core as core;
 pub use cabt_debug as debug;
 pub use cabt_exec as exec;
 pub use cabt_fleet as fleet;
+pub use cabt_fuzz as fuzz;
 pub use cabt_isa as isa;
 pub use cabt_platform as platform;
 pub use cabt_rtlsim as rtlsim;

@@ -1,0 +1,106 @@
+//! The fuzz-found regression corpus, replayed on every `cargo test`.
+//!
+//! Each `cabt_workloads::fuzz_regression_set()` entry is a hand-minimized
+//! reproducer for a divergence the differential fuzzer (`cabt-fuzz`)
+//! found between execution tiers — and that a fix in this repo since
+//! closed. The tests push every minimized source through the *full*
+//! comparison matrix (`cabt_fuzz::run_source`): reverting any of the
+//! fixes makes the corresponding entry diverge again, so the bug class
+//! fails the plain test suite instead of waiting for the next long
+//! fuzz campaign. The original (unminimized) finding seeds are pinned
+//! too, via `cabt_fuzz::run_case`.
+
+use cabt_fuzz::{run_case, run_source, CaseStatus, MatrixOptions};
+use cabt_workloads::{fuzz_regression_by_name, fuzz_regression_set};
+
+/// Runs one corpus entry across the whole matrix and demands a clean
+/// pass — not a skip (the corpus must stay runnable) and not an error.
+fn assert_entry_passes(name: &str) {
+    let entry = fuzz_regression_by_name(name).expect("corpus entry exists");
+    entry.elf().expect("corpus entry assembles");
+    let opts = MatrixOptions::default();
+    let report = run_source(entry.seed, entry.source, false, &opts);
+    match &report.status {
+        CaseStatus::Pass => {}
+        CaseStatus::Skip(why) => panic!("corpus entry {name} was skipped ({why}) — it must run"),
+        CaseStatus::Error(e) => panic!("corpus entry {name} errored: {e}"),
+        CaseStatus::Diverged(divs) => {
+            let lines: Vec<String> = divs
+                .iter()
+                .map(|d| format!("  [{}] {}", d.check, d.detail))
+                .collect();
+            panic!(
+                "corpus entry {name} diverged again (check `{}`):\n{}",
+                entry.check,
+                lines.join("\n")
+            );
+        }
+    }
+    assert!(report.checks > 0, "matrix ran no checks for {name}");
+}
+
+#[test]
+fn corpus_is_well_formed() {
+    let set = fuzz_regression_set();
+    assert!(!set.is_empty());
+    for entry in &set {
+        entry
+            .elf()
+            .unwrap_or_else(|e| panic!("{} does not assemble: {e}", entry.name));
+        assert!(
+            entry.name.starts_with("fuzz-"),
+            "{} breaks the naming scheme",
+            entry.name
+        );
+        assert!(!entry.check.is_empty());
+        assert_eq!(
+            set.iter().filter(|o| o.name == entry.name).count(),
+            1,
+            "duplicate corpus name {}",
+            entry.name
+        );
+    }
+    assert!(fuzz_regression_by_name("no-such-entry").is_none());
+}
+
+/// Register-indirect branches carry source-world addresses; the
+/// translated vehicle must resolve them through the source→target
+/// block map instead of faulting on a non-packet address.
+#[test]
+fn indirect_source_branch_stays_fixed() {
+    assert_entry_passes("fuzz-indirect-source-branch");
+}
+
+/// A `rem` result's 17 delay slots outlive the 6-cycle branch shadow;
+/// the translator must drain in-flight architectural writes before
+/// every block terminator so successors read committed state.
+#[test]
+fn div_shadow_hazard_stays_fixed() {
+    assert_entry_passes("fuzz-div-shadow-hazard");
+}
+
+/// Sequential and parallel shard schedulers must leave bit-identical
+/// state when a shard faults mid-round — every shard of the faulting
+/// round runs to its deadline under both.
+#[test]
+fn shard_fault_parity_stays_fixed() {
+    assert_entry_passes("fuzz-shard-fault-parity");
+}
+
+/// The original, unminimized finding seeds — the generated programs
+/// that first exposed each bug class — stay green on the full matrix.
+#[test]
+fn original_finding_seeds_pass_the_matrix() {
+    let opts = MatrixOptions::default();
+    let mut seeds: Vec<u64> = fuzz_regression_set().iter().map(|e| e.seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    for seed in seeds {
+        let report = run_case(seed, &opts);
+        assert!(
+            matches!(report.status, CaseStatus::Pass),
+            "finding seed {seed} no longer passes: {:?}",
+            report.status
+        );
+    }
+}
