@@ -1,7 +1,9 @@
 //! Bench behind Fig. 5: host cost of running each simulator
 //! configuration on a reduced workload (the figure itself is printed by
 //! `--bin fig5` from simulated clock counts), plus the dispatch
-//! comparison of the naive versus pre-decoded engine cores, emitted as
+//! comparison of the naive versus pre-decoded engine cores, the
+//! sharded-throughput scaling rows up to the 256-core NoC fabric, and
+//! the epoch-barrier cost table (delta vs full-image), emitted as
 //! `BENCH_fig5.json` so the repo's performance trajectory accumulates.
 //!
 //! Run via `cargo bench -p cabt-bench --bench fig5_speed`; the JSON
@@ -166,32 +168,76 @@ fn main() {
         );
     }
 
-    // Sharded throughput: the producer/consumer workload on 1, 2 and 4
-    // translated shards, paired rows per core count — the sequential
-    // round-robin scheduler versus the thread-parallel scheduler (one
-    // worker thread per shard per epoch round). Both simulate the
-    // *same* bit-identical run; the parallel rows are the headline of
-    // thread-parallel shard execution: aggregate MIPS scales with host
-    // cores instead of holding flat.
-    println!("\nsharded throughput (aggregate across shards, sequential vs parallel):");
+    // Sharded throughput: the producer/consumer workload from 1 up to
+    // the NoC-scale fabric widths (8/64/256), paired rows per core
+    // count. Narrow fabrics keep the historical pairing — sequential
+    // round-robin versus the thread-parallel scheduler (one worker
+    // thread per shard per epoch round); wide fabrics pair sequential
+    // with the *pooled* schedule (epoch rounds as work items on a
+    // fixed fleet pool at host parallelism) — a 256-thread round per
+    // epoch is exactly what the pool exists to avoid. All schedules
+    // simulate the same bit-identical run.
+    println!("\nsharded throughput (aggregate across shards, sequential vs parallel/pooled):");
     let mc = cabt_workloads::producer_consumer(160, 0xcab7);
-    let core_counts: &[u8] = if smoke { &[1] } else { &[1, 2, 4] };
+    let core_counts: &[u16] = if smoke {
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 8, 64, 256]
+    };
     let mut sharded = Vec::new();
     for &cores in core_counts {
-        let seq = sharded_throughput(&mc, cores, iters, ShardSchedule::Sequential);
-        let par = sharded_throughput(&mc, cores, iters, ShardSchedule::Parallel);
-        let speedup = par.aggregate_mips / seq.aggregate_mips;
+        // Smoke covers the pooled schedule at 2 cores.
+        let concurrent = if cores >= 8 || smoke {
+            ShardSchedule::Pooled(0)
+        } else {
+            ShardSchedule::Parallel
+        };
+        // The widest fabrics simulate 256x the work per run; fewer
+        // repeats keep the rows affordable.
+        let row_iters = if cores >= 64 { iters.min(2) } else { iters };
+        let seq = sharded_throughput(&mc, cores, row_iters, ShardSchedule::Sequential);
+        let con = sharded_throughput(&mc, cores, row_iters, concurrent);
+        let speedup = con.aggregate_mips / seq.aggregate_mips;
         println!(
-            "  {:<18} cores {}  {:>9} retired/run  seq {:>8.2} MIPS  par {:>8.2} MIPS  ({:.2}x, {} epochs)",
-            seq.workload, cores, seq.aggregate_retired, seq.aggregate_mips, par.aggregate_mips,
-            speedup, seq.epochs,
+            "  {:<18} cores {:>3}  {:>9} retired/run  seq {:>8.2} MIPS  {} {:>8.2} MIPS  ({:.2}x, {} epochs)",
+            seq.workload,
+            cores,
+            seq.aggregate_retired,
+            seq.aggregate_mips,
+            con.schedule_tag(),
+            con.aggregate_mips,
+            speedup,
+            seq.epochs,
         );
         assert_eq!(
-            seq.aggregate_retired, par.aggregate_retired,
+            seq.aggregate_retired, con.aggregate_retired,
             "schedulers must simulate the identical run"
         );
         sharded.push(seq);
-        sharded.push(par);
+        sharded.push(con);
+    }
+
+    // Epoch-barrier cost at NoC scale: nanoseconds per exchange on the
+    // O(traffic) delta barrier versus the full-image barrier it
+    // replaced, measured on the bare device fabric (no engines) under
+    // producer/consumer-shaped traffic. The delta column must grow
+    // sublinearly in the fabric width while the full-image column
+    // scales with cores x device state.
+    println!("\nepoch-barrier cost (delta vs full-image, ns/epoch):");
+    let widths: &[u16] = if smoke { &[8] } else { &[8, 64, 256] };
+    let barrier_epochs = if smoke { 20 } else { 200 };
+    let barrier: Vec<_> = widths
+        .iter()
+        .map(|&n| cabt_bench::barrier_cost(n, 160, barrier_epochs))
+        .collect();
+    for b in &barrier {
+        println!(
+            "  cores {:>3}  delta {:>10.0} ns/epoch   full-image {:>12.0} ns/epoch   ({:.1}x)",
+            b.cores,
+            b.delta_ns_per_epoch,
+            b.full_ns_per_epoch,
+            b.speedup(),
+        );
     }
 
     // Fleet throughput: M concurrent sessions as epoch-sized work items
@@ -233,7 +279,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\"bench\":\"fig5_speed\",\"rows\":[{}],\"prediction\":[{}],\"sharded\":[{}],\"fleet\":[{}]}}\n",
+        "{{\"bench\":\"fig5_speed\",\"rows\":[{}],\"prediction\":[{}],\"sharded\":[{}],\"barrier\":[{}],\"fleet\":[{}]}}\n",
         rows.iter()
             .map(cabt_bench::DispatchComparison::to_json)
             .collect::<Vec<_>>()
@@ -246,6 +292,11 @@ fn main() {
         sharded
             .iter()
             .map(cabt_bench::ShardedThroughput::to_json)
+            .collect::<Vec<_>>()
+            .join(","),
+        barrier
+            .iter()
+            .map(cabt_bench::BarrierCost::to_json)
             .collect::<Vec<_>>()
             .join(","),
         fleet

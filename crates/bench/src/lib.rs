@@ -704,7 +704,7 @@ pub struct ShardedThroughput {
     /// Workload name.
     pub workload: &'static str,
     /// Shard count (= worker threads under the parallel schedule).
-    pub cores: u8,
+    pub cores: u16,
     /// Host schedule of the epoch rounds.
     pub schedule: ShardSchedule,
     /// Aggregate retirements across all shards, per run.
@@ -716,11 +716,13 @@ pub struct ShardedThroughput {
 }
 
 impl ShardedThroughput {
-    /// JSON tag of the schedule.
-    fn schedule_tag(&self) -> &'static str {
+    /// Short tag of the schedule (`sequential` / `parallel` /
+    /// `pooled`), as emitted in the JSON rows.
+    pub fn schedule_tag(&self) -> &'static str {
         match self.schedule {
             ShardSchedule::Sequential => "sequential",
             ShardSchedule::Parallel => "parallel",
+            ShardSchedule::Pooled(_) => "pooled",
         }
     }
 
@@ -753,7 +755,7 @@ impl ShardedThroughput {
 /// Panics on build/run/validation failures.
 pub fn sharded_throughput(
     w: &Workload,
-    cores: u8,
+    cores: u16,
     iters: u32,
     schedule: ShardSchedule,
 ) -> ShardedThroughput {
@@ -793,6 +795,135 @@ pub fn sharded_throughput(
         aggregate_retired: retired,
         aggregate_mips: retired as f64 / secs / 1e6,
         epochs,
+    }
+}
+
+/// Cost of one epoch barrier at one fabric width: mean nanoseconds per
+/// [`ShardArbiter`](cabt_platform::ShardArbiter) exchange under
+/// producer/consumer-shaped traffic (one producer shard writes the
+/// scratch-RAM buffer and a UART byte each epoch; every other shard is
+/// idle), for the O(traffic) delta barrier against the historical
+/// full-image barrier it replaced.
+#[derive(Debug, Clone)]
+pub struct BarrierCost {
+    /// Shard count of the fabric.
+    pub cores: u16,
+    /// Scratch-RAM words the producer writes per epoch.
+    pub words_per_epoch: u32,
+    /// Timed epochs per measurement.
+    pub epochs: u32,
+    /// Mean nanoseconds per `exchange` on the delta barrier.
+    pub delta_ns_per_epoch: f64,
+    /// Mean nanoseconds per epoch on the full-image baseline
+    /// (`save_state` → [`SocBus::merge_states`](cabt_platform::SocBus::merge_states)
+    /// → `restore_state` of every device, every epoch — the barrier the
+    /// delta journals replaced).
+    pub full_ns_per_epoch: f64,
+}
+
+impl BarrierCost {
+    /// Full-image over delta cost ratio (higher = the journals help
+    /// more at this width).
+    pub fn speedup(&self) -> f64 {
+        self.full_ns_per_epoch / self.delta_ns_per_epoch
+    }
+
+    /// Renders one JSON object (hand-rolled; the workspace is
+    /// dependency-free).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"cores\":{},\"words_per_epoch\":{},\"epochs\":{},",
+                "\"delta_ns_per_epoch\":{:.0},\"full_ns_per_epoch\":{:.0},",
+                "\"speedup\":{:.2}}}"
+            ),
+            self.cores,
+            self.words_per_epoch,
+            self.epochs,
+            self.delta_ns_per_epoch,
+            self.full_ns_per_epoch,
+            self.speedup(),
+        )
+    }
+}
+
+/// Measures the epoch-barrier cost of an `cores`-shard device fabric
+/// directly — no engines, just the buses and the arbiter — so the
+/// number isolates exactly what the delta-journal refactor changed.
+/// Each epoch, shard 0 rewrites `words_per_epoch` words of the shared
+/// scratch buffer (a fixed working set, as the producer/consumer
+/// workload's handoff buffer is) and transmits one UART byte; the
+/// barrier then reconciles all `cores` buses. The delta fabric runs
+/// the real [`ShardArbiter::exchange`](cabt_platform::ShardArbiter::exchange);
+/// the baseline fabric replays the historical full-image barrier over
+/// the same traffic through the public state API.
+///
+/// # Panics
+///
+/// Panics if `words_per_epoch` exceeds the shared scratch buffer (192
+/// words) — a harness bug.
+pub fn barrier_cost(cores: u16, words_per_epoch: u32, epochs: u32) -> BarrierCost {
+    use cabt_platform::{mirror_soc_bus, shard_soc_bus, ShardArbiter, SharedSocBus};
+    assert!(
+        (1..=192).contains(&words_per_epoch),
+        "producer traffic outside the shared scratch buffer"
+    );
+    let n = u32::from(cores);
+    let make_buses = || -> Vec<SharedSocBus> {
+        (0..n)
+            .map(|id| SharedSocBus::new(shard_soc_bus(id, n)))
+            .collect()
+    };
+    // One epoch of producer traffic: rewrite the fixed working set
+    // (fresh values so every write journals), one UART byte.
+    let traffic = |producer: &SharedSocBus, e: u32| {
+        for w in 0..words_per_epoch {
+            producer.write(u64::from(e), 0xf000_0204 + 4 * w, 4, e.wrapping_add(w));
+        }
+        producer.write(u64::from(e), 0xf000_0100, 4, e & 0xff);
+    };
+
+    // Delta fabric: the production barrier.
+    let buses = make_buses();
+    let mut arbiter = ShardArbiter::new(mirror_soc_bus(n), buses.clone());
+    let mut delta = std::time::Duration::ZERO;
+    for e in 0..epochs + 3 {
+        traffic(&buses[0], e);
+        let t = Instant::now();
+        arbiter.exchange();
+        if e >= 3 {
+            delta += t.elapsed(); // first epochs warm the fabric up
+        }
+    }
+
+    // Baseline fabric: the pre-journal full-image barrier — capture
+    // every shard's full device state, merge over the canonical image,
+    // broadcast — replayed over identical traffic.
+    let buses = make_buses();
+    let mirror = mirror_soc_bus(n);
+    let mut canonical = mirror.save_state();
+    let mut full = std::time::Duration::ZERO;
+    for e in 0..epochs + 3 {
+        traffic(&buses[0], e);
+        let t = Instant::now();
+        let imgs: Vec<cabt_platform::SocBusState> =
+            buses.iter().map(SharedSocBus::save_state).collect();
+        let merged = mirror.merge_states(&canonical, &imgs);
+        for bus in &buses {
+            bus.restore_state(&merged);
+        }
+        canonical = merged;
+        if e >= 3 {
+            full += t.elapsed();
+        }
+    }
+
+    BarrierCost {
+        cores,
+        words_per_epoch,
+        epochs,
+        delta_ns_per_epoch: delta.as_nanos() as f64 / f64::from(epochs),
+        full_ns_per_epoch: full.as_nanos() as f64 / f64::from(epochs),
     }
 }
 
@@ -969,6 +1100,19 @@ mod tests {
             );
         }
         assert!(r.translation_seconds[0] < r.fpga_seconds * 10.0);
+    }
+
+    #[test]
+    fn delta_barrier_beats_the_full_image_baseline() {
+        // Not a precision measurement — just the shape: at a 16-wide
+        // fabric the O(traffic) barrier must be measurably cheaper than
+        // capturing/merging/broadcasting every device's full image.
+        let c = barrier_cost(16, 64, 50);
+        assert!(c.delta_ns_per_epoch > 0.0);
+        assert!(
+            c.speedup() > 1.0,
+            "delta barrier no cheaper than the full-image baseline: {c:?}"
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod analyze;
 pub mod blocks;
+pub mod pool;
 pub mod trace;
 
 use std::fmt;

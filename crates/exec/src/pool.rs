@@ -1,0 +1,857 @@
+//! The fixed work-stealing thread pool epoch scheduling runs on, and
+//! the pooled shard-round driver built on it.
+//!
+//! The paper's prototyping platform runs *one* session; a fleet service
+//! runs hundreds, and the thread-per-shard-per-round discipline of
+//! [`run_epochs_parallel`](crate::run_epochs_parallel) does not scale
+//! past a handful of concurrent sessions (M sessions × N shards × one
+//! spawn per round). [`FleetPool`] replaces it with a fixed worker
+//! population: epoch rounds are *work items*, and however many sessions
+//! are in flight, host parallelism stays bounded by the worker count.
+//!
+//! [`run_epochs_pooled`] applies the same discipline *within* one
+//! session: the shard rounds of a single NoC-scale sharded run become
+//! pool jobs — one job per live shard per round, no thread spawned per
+//! round — and the job that finishes a round performs the barrier
+//! exchange and plans the next round. The schedule decisions are
+//! [`plan_epoch_round`](crate::plan_epoch_round), the identical
+//! procedure behind the sequential and thread-parallel drivers, so the
+//! pooled schedule is bit-identical to both whenever shards touch no
+//! shared mutable state inside an epoch.
+//!
+//! Stealing discipline: every worker owns a deque and pops its own work
+//! LIFO (a worker that just finished a shard round keeps the cache-hot
+//! session); idle workers steal FIFO from the external injector queue
+//! and then from their peers, oldest item first — so one long-running
+//! session cannot starve the rest of the fleet. Jobs a worker spawns
+//! land on its own deque; external spawns land on the injector.
+
+use crate::{plan_epoch_round, run_shard_to_deadline, EpochPlan, ExecutionEngine, StopCause};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, Weak};
+use std::thread;
+
+/// Locks a pool-internal mutex, recovering from poison. The pool's
+/// shared state (job deques, the wake generation, latch counters) is
+/// a plain collection of values with no multi-step invariants, so the
+/// state behind a poisoned lock is still coherent — a panicking *job*
+/// must not take the whole worker population down with it.
+fn lock_ok<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One unit of pool work (an epoch round of one shard, a batch driver's
+/// bookkeeping step, …).
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// The pool this thread is a worker of, if any — lets jobs spawned
+    /// from inside a worker land on the worker's own deque (stolen only
+    /// when a peer goes idle).
+    static WORKER: std::cell::RefCell<Option<(Weak<PoolCore>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Shared state of a [`FleetPool`]: the deques, the sleep gate and the
+/// shutdown flag. Jobs hold an `Arc` of this so they can schedule
+/// follow-up work (the event-driven epoch schedulers reschedule a
+/// session's next round from the job that completed its last).
+pub struct PoolCore {
+    /// One deque per worker, then the injector queue last.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Guards sleeping: pushes bump the generation under this lock, so
+    /// a worker that re-checks the queues under it cannot miss a wake.
+    gate: Mutex<u64>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolCore {
+    /// Enqueues a job: onto the current worker's own deque when called
+    /// from inside this pool, onto the injector otherwise.
+    pub fn push(self: &Arc<Self>, job: Job) {
+        let slot = WORKER.with(|w| {
+            w.borrow()
+                .as_ref()
+                .and_then(|(core, id)| (Weak::as_ptr(core) == Arc::as_ptr(self)).then_some(*id))
+        });
+        let q = slot.unwrap_or(self.queues.len() - 1);
+        lock_ok(&self.queues[q]).push_back(job);
+        let mut generation = lock_ok(&self.gate);
+        *generation += 1;
+        drop(generation);
+        self.wake.notify_all();
+    }
+
+    /// Own deque LIFO, then injector and peers FIFO.
+    fn grab(&self, id: usize) -> Option<Job> {
+        if let Some(job) = lock_ok(&self.queues[id]).pop_back() {
+            return Some(job);
+        }
+        let n = self.queues.len();
+        // Start at the injector (index n-1), then sweep the peers.
+        for step in 0..n {
+            let q = (n - 1 + step) % n;
+            if q == id {
+                continue;
+            }
+            if let Some(job) = lock_ok(&self.queues[q]).pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        self.queues.iter().any(|q| !lock_ok(q).is_empty())
+    }
+
+    fn worker(self: Arc<Self>, id: usize) {
+        WORKER.with(|w| *w.borrow_mut() = Some((Arc::downgrade(&self), id)));
+        loop {
+            if let Some(job) = self.grab(id) {
+                // A panicking job must not kill the worker: the pool
+                // would silently lose capacity (and, once every worker
+                // died, deadlock the latch-waiting coordinator). The
+                // session the job belonged to reports the failure
+                // through its own outcome slot; the worker moves on.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                continue;
+            }
+            let generation = lock_ok(&self.gate);
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // Re-check under the gate: a push between `grab` and the
+            // lock bumped the generation and must not be slept through.
+            if self.has_work() {
+                continue;
+            }
+            drop(
+                self.wake
+                    .wait(generation)
+                    .unwrap_or_else(PoisonError::into_inner),
+            );
+        }
+    }
+}
+
+/// A fixed pool of worker threads executing epoch-scheduling work items.
+///
+/// Dropping the pool shuts it down: workers finish the jobs already
+/// queued, then exit and are joined. [`FleetPool::spawn`] is the raw
+/// entry; the fleet's cross-session epoch scheduler and the
+/// within-session [`run_epochs_pooled`] driver are the intended
+/// clients.
+pub struct FleetPool {
+    core: Arc<PoolCore>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl FleetPool {
+    /// A pool of `workers` threads (clamped to ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host refuses to spawn even a single worker thread
+    /// (a pool with no workers would queue jobs nobody ever runs).
+    pub fn new(workers: usize) -> FleetPool {
+        let workers = workers.max(1);
+        let core = Arc::new(PoolCore {
+            queues: (0..=workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            gate: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        // A host refusing threads mid-loop degrades the pool to the
+        // workers it did get — queues of spawn-failed slots are still
+        // drained by the survivors via stealing. Only a host that
+        // grants *no* threads at all is unrecoverable: every spawn()
+        // would queue work nobody runs, so fail loudly up front.
+        let handles: Vec<_> = (0..workers)
+            .filter_map(|id| {
+                let core = Arc::clone(&core);
+                thread::Builder::new()
+                    .name(format!("fleet-worker-{id}"))
+                    .spawn(move || core.worker(id))
+                    .ok()
+            })
+            .collect();
+        assert!(
+            !handles.is_empty(),
+            "fleet pool: the host refused to spawn even one worker thread"
+        );
+        FleetPool { core, handles }
+    }
+
+    /// A pool sized to the host's available parallelism.
+    pub fn with_host_parallelism() -> FleetPool {
+        let workers = thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        FleetPool::new(workers)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues a job for execution on some worker.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.core.push(Box::new(job));
+    }
+
+    /// The shared core, for jobs that schedule follow-up work.
+    pub fn core(&self) -> Arc<PoolCore> {
+        Arc::clone(&self.core)
+    }
+}
+
+impl Drop for FleetPool {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::Release);
+        {
+            let mut generation = lock_ok(&self.core.gate);
+            *generation += 1;
+        }
+        self.core.wake.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A countdown latch: the coordinator waits until `n` completions have
+/// been counted down — how batch drivers block on a fleet of
+/// event-driven sessions without polling.
+pub struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    /// A latch expecting `n` completions.
+    pub fn new(n: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Records one completion.
+    pub fn count_down(&self) {
+        let mut remaining = lock_ok(&self.remaining);
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every expected completion has been counted down.
+    pub fn wait(&self) {
+        let mut remaining = lock_ok(&self.remaining);
+        while *remaining > 0 {
+            remaining = self
+                .done
+                .wait(remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+// --- the within-session pooled epoch driver ------------------------------
+
+/// Result of [`run_epochs_pooled`]: the shards and barrier context move
+/// into the run (they cross worker threads, and the workspace forbids
+/// `unsafe`, so scoped borrowing is not an option) and come back here.
+pub struct PooledOutcome<E: ExecutionEngine, C> {
+    /// The shard engines, in shard order, at their final states.
+    pub shards: Vec<E>,
+    /// The barrier context handed to `on_epoch` (e.g. a shard arbiter).
+    pub ctx: C,
+    /// Why the run stopped, or the fault of the lowest-numbered
+    /// faulting shard.
+    pub stop: Result<StopCause, E::Error>,
+}
+
+/// Shared state of one pooled run, held by every job of the run.
+struct PooledRun<E: ExecutionEngine, C, F> {
+    shards: Vec<Mutex<E>>,
+    ctx: Mutex<C>,
+    on_epoch: Mutex<F>,
+    /// Shard jobs still running in the current round; the job that
+    /// takes this to zero performs the barrier.
+    remaining: AtomicUsize,
+    /// Lowest-numbered shard fault of the failing round, if any.
+    fault: Mutex<Option<(usize, <E as ExecutionEngine>::Error)>>,
+    /// Panic payload of a panicking shard job (re-raised by the
+    /// coordinator, like the scoped-thread driver's `resume_unwind`).
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// How the run stopped (`None` while a fault/panic ended it).
+    outcome: Mutex<Option<StopCause>>,
+    max_cycles: u64,
+    epoch: u64,
+    commit_boundary_halts: bool,
+}
+
+/// Plans the next epoch round of a pooled run and either finishes the
+/// run or schedules one shard job per live shard. Runs on a worker (or
+/// once, from the coordinator via the injector).
+fn plan_pooled_round<E, C, F>(
+    run: &Arc<PooledRun<E, C, F>>,
+    core: &Arc<PoolCore>,
+    latch: &Arc<Latch>,
+) where
+    E: ExecutionEngine + Send + 'static,
+    E::Error: Send + 'static,
+    C: Send + 'static,
+    F: FnMut(&mut C) + Send + 'static,
+{
+    // The frontier over the mutex-held shards — no job of this run is
+    // in flight while planning, so each lock is uncontended.
+    let mut max_all = 0u64;
+    let mut min_live: Option<u64> = None;
+    let mut states = Vec::with_capacity(run.shards.len());
+    for s in &run.shards {
+        let g = lock_ok(s);
+        let (c, halted) = (g.cycle(), g.is_halted());
+        states.push((c, halted));
+        max_all = max_all.max(c);
+        if !halted {
+            min_live = Some(min_live.map_or(c, |m| m.min(c)));
+        }
+    }
+    let (frontier, all_halted) = (min_live.unwrap_or(max_all), min_live.is_none());
+    match plan_epoch_round(frontier, all_halted, run.max_cycles, run.epoch) {
+        EpochPlan::LimitReached => {
+            *lock_ok(&run.outcome) = Some(StopCause::LimitReached);
+            latch.count_down();
+        }
+        EpochPlan::Halted => {
+            for s in &run.shards {
+                lock_ok(s).commit_arch_state();
+            }
+            *lock_ok(&run.outcome) = Some(StopCause::Halted);
+            latch.count_down();
+        }
+        EpochPlan::Round { deadline } => {
+            let runnable: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(c, halted))| !halted && c < deadline)
+                .map(|(i, _)| i)
+                .collect();
+            // `plan_epoch_round` only answers `Round` when a live shard
+            // sits below the budget, and the deadline strictly exceeds
+            // the frontier — at least one shard is runnable.
+            run.remaining.store(runnable.len(), Ordering::Release);
+            for idx in runnable {
+                let (run, core, latch) = (Arc::clone(run), Arc::clone(core), Arc::clone(latch));
+                let job_core = Arc::clone(&core);
+                job_core.push(Box::new(move || {
+                    shard_round_job(&run, &core, &latch, idx, deadline);
+                }));
+            }
+        }
+    }
+}
+
+/// One shard's slice of a pooled epoch round; the job that completes
+/// the round (takes `remaining` to zero) runs the barrier exchange and
+/// plans the next round — event-driven, no coordinator polling.
+fn shard_round_job<E, C, F>(
+    run: &Arc<PooledRun<E, C, F>>,
+    core: &Arc<PoolCore>,
+    latch: &Arc<Latch>,
+    idx: usize,
+    deadline: u64,
+) where
+    E: ExecutionEngine + Send + 'static,
+    E::Error: Send + 'static,
+    C: Send + 'static,
+    F: FnMut(&mut C) + Send + 'static,
+{
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut shard = lock_ok(&run.shards[idx]);
+        run_shard_to_deadline(&mut *shard, deadline, run.commit_boundary_halts)
+    }));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => {
+            // Deterministic fault report: the lowest-numbered faulting
+            // shard wins, whatever order the jobs finished in — the
+            // same discipline as the sequential and scoped drivers.
+            let mut slot = lock_ok(&run.fault);
+            if slot.as_ref().is_none_or(|&(winner, _)| idx < winner) {
+                *slot = Some((idx, e));
+            }
+        }
+        Err(payload) => {
+            let mut slot = lock_ok(&run.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+    if run.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last shard of the round. A faulting round ends the run
+        // *without* the barrier — the in-process drivers propagate the
+        // round's error before `on_epoch` fires, and the pooled
+        // schedule must leave bit-identical state behind.
+        if lock_ok(&run.fault).is_some() || lock_ok(&run.panic).is_some() {
+            latch.count_down();
+            return;
+        }
+        {
+            let mut ctx = lock_ok(&run.ctx);
+            let mut on_epoch = lock_ok(&run.on_epoch);
+            (on_epoch)(&mut ctx);
+        }
+        // Re-plan from the pool, not by direct recursion: a long run
+        // crosses millions of barriers and must not grow the stack.
+        let (run, latch) = (Arc::clone(run), Arc::clone(latch));
+        let plan_core = Arc::clone(core);
+        core.push(Box::new(move || {
+            plan_pooled_round(&run, &plan_core, &latch);
+        }));
+    }
+}
+
+/// Pool-scheduled twin of
+/// [`run_epochs_sharded`](crate::run_epochs_sharded): the same epoch
+/// schedule ([`plan_epoch_round`] makes every decision), but each
+/// round's shards run as work items on a [`FleetPool`] — no thread is
+/// spawned per round, and the job that finishes a round performs the
+/// barrier (`on_epoch` over `ctx`) and plans the next. The calling
+/// thread blocks until the run completes and gets the shards and
+/// context back in the [`PooledOutcome`].
+///
+/// Bit-identity with the sequential and scoped-parallel drivers is the
+/// same *property of the shards* those two share: whenever shards touch
+/// no shared mutable state inside an epoch, every schedule runs the
+/// identical rounds to the identical deadlines and exchanges at the
+/// identical barriers.
+///
+/// With `commit_boundary_halts`, a shard halting exactly on a round
+/// deadline gets its architectural state committed inside the round
+/// (matching the other drivers' default); drivers with their own
+/// commit discipline pass `false`.
+///
+/// # Panics
+///
+/// Re-raises a shard job's panic on the calling thread (the same
+/// surface as the scoped-thread driver's `resume_unwind`).
+pub fn run_epochs_pooled<E, C, F>(
+    pool: &FleetPool,
+    shards: Vec<E>,
+    ctx: C,
+    max_cycles: u64,
+    epoch: u64,
+    commit_boundary_halts: bool,
+    on_epoch: F,
+) -> PooledOutcome<E, C>
+where
+    E: ExecutionEngine + Send + 'static,
+    E::Error: Send + 'static,
+    C: Send + 'static,
+    F: FnMut(&mut C) + Send + 'static,
+{
+    if shards.is_empty() {
+        return PooledOutcome {
+            shards,
+            ctx,
+            stop: Ok(StopCause::Halted),
+        };
+    }
+    let run = Arc::new(PooledRun {
+        shards: shards.into_iter().map(Mutex::new).collect(),
+        ctx: Mutex::new(ctx),
+        on_epoch: Mutex::new(on_epoch),
+        remaining: AtomicUsize::new(0),
+        fault: Mutex::new(None),
+        panic: Mutex::new(None),
+        outcome: Mutex::new(None),
+        max_cycles,
+        epoch,
+        commit_boundary_halts,
+    });
+    let latch = Arc::new(Latch::new(1));
+    {
+        let (run, core, latch) = (Arc::clone(&run), pool.core(), Arc::clone(&latch));
+        let spawn_core = Arc::clone(&core);
+        spawn_core.push(Box::new(move || {
+            plan_pooled_round(&run, &core, &latch);
+        }));
+    }
+    latch.wait();
+    // The finishing job counts the latch down while still holding its
+    // `Arc` of the run for a moment; spin until this thread is the sole
+    // owner, then unwrap the state back out.
+    let mut run = run;
+    let inner = loop {
+        match Arc::try_unwrap(run) {
+            Ok(inner) => break inner,
+            Err(still_shared) => {
+                run = still_shared;
+                thread::yield_now();
+            }
+        }
+    };
+    if let Some(payload) = lock_ok(&inner.panic).take() {
+        std::panic::resume_unwind(payload);
+    }
+    let shards = inner
+        .shards
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .collect();
+    let ctx = inner
+        .ctx
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let stop = match inner
+        .fault
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        Some((_, e)) => Err(e),
+        None => Ok(lock_ok(&inner.outcome)
+            .take()
+            .expect("a pooled run without fault or panic records its stop cause")),
+    };
+    PooledOutcome { shards, ctx, stop }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{aggregate_stats, run_epochs_sharded, EngineStats, Limit};
+    use std::fmt;
+
+    #[test]
+    fn pool_runs_every_job_exactly_once() {
+        let pool = FleetPool::new(4);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(Latch::new(100));
+        for _ in 0..100 {
+            let (hits, latch) = (Arc::clone(&hits), Arc::clone(&latch));
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                latch.count_down();
+            });
+        }
+        latch.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn jobs_spawned_from_workers_run_and_steal_across_workers() {
+        // A chain of follow-up jobs spawned from inside worker threads —
+        // the shape of the event-driven epoch scheduler.
+        let pool = FleetPool::new(3);
+        let latch = Arc::new(Latch::new(1));
+        let core = pool.core();
+        fn step(core: Arc<PoolCore>, latch: Arc<Latch>, left: usize) {
+            if left == 0 {
+                latch.count_down();
+                return;
+            }
+            let next = Arc::clone(&core);
+            core.push(Box::new(move || step(next, latch, left - 1)));
+        }
+        step(core, Arc::clone(&latch), 64);
+        latch.wait();
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        // One worker, so the panicking job and the jobs after it are
+        // guaranteed to share a thread: if the panic killed the worker,
+        // the follow-up jobs would never run and the latch would hang.
+        let pool = FleetPool::new(1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(Latch::new(16));
+        for i in 0..16 {
+            let (hits, latch) = (Arc::clone(&hits), Arc::clone(&latch));
+            pool.spawn(move || {
+                if i % 4 == 0 {
+                    latch.count_down();
+                    panic!("job {i} failed");
+                }
+                // Count down only after the increment: the main thread
+                // reads `hits` as soon as the latch opens.
+                hits.fetch_add(1, Ordering::Relaxed);
+                latch.count_down();
+            });
+        }
+        latch.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn drop_finishes_queued_work() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let latch = Arc::new(Latch::new(8));
+        {
+            let pool = FleetPool::new(2);
+            for _ in 0..8 {
+                let (hits, latch) = (Arc::clone(&hits), Arc::clone(&latch));
+                pool.spawn(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    latch.count_down();
+                });
+            }
+            latch.wait();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    /// A toy shard for schedule-parity tests: each unit costs `cost`
+    /// cycles, halts after `halt_units` units, optionally faults at a
+    /// given unit count.
+    struct Shardling {
+        cycles: u64,
+        units: u64,
+        cost: u64,
+        halt_units: u64,
+        fault_at: Option<u64>,
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Boom(u64);
+    impl fmt::Display for Boom {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "boom at unit {}", self.0)
+        }
+    }
+    impl std::error::Error for Boom {}
+
+    impl ExecutionEngine for Shardling {
+        type Error = Boom;
+        type Snapshot = (u64, u64);
+        fn snapshot(&self) -> Self::Snapshot {
+            (self.cycles, self.units)
+        }
+        fn restore(&mut self, &(cycles, units): &Self::Snapshot) {
+            self.cycles = cycles;
+            self.units = units;
+        }
+        fn reset(&mut self) {
+            self.cycles = 0;
+            self.units = 0;
+        }
+        fn step_unit(&mut self) -> Result<(), Boom> {
+            if self.fault_at == Some(self.units) {
+                return Err(Boom(self.units));
+            }
+            self.units += 1;
+            self.cycles += self.cost;
+            Ok(())
+        }
+        fn cycle(&self) -> u64 {
+            self.cycles
+        }
+        fn is_halted(&self) -> bool {
+            self.units >= self.halt_units
+        }
+        fn pc(&self) -> Option<u32> {
+            None
+        }
+        fn reg_count(&self) -> usize {
+            0
+        }
+        fn read_reg_index(&self, _i: usize) -> u32 {
+            0
+        }
+        fn write_reg_index(&mut self, _i: usize, _v: u32) {}
+        fn read_mem(&mut self, _a: u32, len: usize) -> Result<Vec<u8>, Boom> {
+            Ok(vec![0; len])
+        }
+        fn engine_stats(&self) -> EngineStats {
+            EngineStats {
+                cycles: self.cycles,
+                retired: self.units,
+                stall_cycles: 0,
+            }
+        }
+    }
+
+    fn shardling(cost: u64, halt_units: u64) -> Shardling {
+        Shardling {
+            cycles: 0,
+            units: 0,
+            cost,
+            halt_units,
+            fault_at: None,
+        }
+    }
+
+    #[test]
+    fn pooled_schedule_matches_sequential_bit_for_bit() {
+        for budget in [u64::MAX, 50, 0] {
+            let build = || {
+                vec![
+                    shardling(3, 40),
+                    shardling(5, 25),
+                    shardling(2, 60),
+                    shardling(7, 13),
+                ]
+            };
+            let mut seq = build();
+            let mut seq_bounds = 0u32;
+            let rs = run_epochs_sharded(&mut seq, budget, 16, |_| seq_bounds += 1).unwrap();
+
+            let pool = FleetPool::new(3);
+            let out = run_epochs_pooled(&pool, build(), 0u32, budget, 16, true, |bounds| {
+                *bounds += 1;
+            });
+            assert_eq!(out.stop, Ok(rs), "budget {budget}: stop cause");
+            assert_eq!(out.ctx, seq_bounds, "budget {budget}: epoch boundaries");
+            let stats = |v: &[Shardling]| {
+                v.iter()
+                    .map(ExecutionEngine::engine_stats)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                stats(&seq),
+                stats(&out.shards),
+                "budget {budget}: shard stats"
+            );
+            assert_eq!(aggregate_stats(&seq), aggregate_stats(&out.shards));
+        }
+    }
+
+    #[test]
+    fn pooled_entry_semantics_match_the_trait() {
+        let pool = FleetPool::new(2);
+        // Zero budget: LimitReached without dispatching, even halted.
+        let out = run_epochs_pooled(
+            &pool,
+            vec![shardling(1, 0), shardling(1, 0)],
+            (),
+            0,
+            4,
+            true,
+            |()| {},
+        );
+        assert_eq!(out.stop, Ok(StopCause::LimitReached));
+        // With budget, a fully halted set reports Halted.
+        let out = run_epochs_pooled(&pool, out.shards, (), 100, 4, true, |()| {});
+        assert_eq!(out.stop, Ok(StopCause::Halted));
+        // An empty shard set is trivially halted, no job scheduled.
+        let out = run_epochs_pooled(&pool, Vec::<Shardling>::new(), (), 100, 4, true, |()| {});
+        assert_eq!(out.stop, Ok(StopCause::Halted));
+    }
+
+    #[test]
+    fn pooled_fault_reports_lowest_shard_and_skips_the_barrier() {
+        // Shards 1 and 3 fault in the same round; every shard of the
+        // round still runs to its deadline (same post-fault state as
+        // the sequential driver), the reported fault is shard 1's, and
+        // the barrier of the faulting round never fires.
+        let build = || {
+            let mut v = vec![
+                shardling(1, 100),
+                shardling(1, 100),
+                shardling(1, 100),
+                shardling(1, 100),
+            ];
+            v[1].fault_at = Some(3);
+            v[3].fault_at = Some(5);
+            v
+        };
+        let mut seq = build();
+        let mut seq_bounds = 0u32;
+        let seq_err = run_epochs_sharded(&mut seq, u64::MAX, 8, |_| seq_bounds += 1).unwrap_err();
+
+        let pool = FleetPool::new(4);
+        let out = run_epochs_pooled(&pool, build(), 0u32, u64::MAX, 8, true, |bounds| {
+            *bounds += 1;
+        });
+        assert_eq!(out.stop, Err(seq_err), "lowest-numbered fault wins");
+        assert_eq!(out.stop, Err(Boom(3)));
+        assert_eq!(out.ctx, seq_bounds, "no barrier after the faulting round");
+        let stats = |v: &[Shardling]| {
+            v.iter()
+                .map(ExecutionEngine::engine_stats)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stats(&seq), stats(&out.shards), "post-fault state matches");
+    }
+
+    #[test]
+    fn pooled_runs_share_one_pool() {
+        // Two pooled runs scheduled on the same 2-worker pool, one
+        // after the other, both complete — the fixed population is
+        // reused, not consumed.
+        let pool = FleetPool::new(2);
+        for _ in 0..2 {
+            let out = run_epochs_pooled(
+                &pool,
+                (0..8).map(|i| shardling(1 + i % 3, 30)).collect(),
+                (),
+                u64::MAX,
+                8,
+                true,
+                |()| {},
+            );
+            assert_eq!(out.stop, Ok(StopCause::Halted));
+            assert!(out.shards.iter().all(ExecutionEngine::is_halted));
+        }
+    }
+
+    #[test]
+    fn pooled_shard_panic_resurfaces_on_the_coordinator() {
+        struct Bomb;
+        impl ExecutionEngine for Bomb {
+            type Error = Boom;
+            type Snapshot = ();
+            fn snapshot(&self) -> Self::Snapshot {}
+            fn restore(&mut self, (): &Self::Snapshot) {}
+            fn reset(&mut self) {}
+            fn step_unit(&mut self) -> Result<(), Boom> {
+                panic!("engine bug");
+            }
+            fn cycle(&self) -> u64 {
+                0
+            }
+            fn is_halted(&self) -> bool {
+                false
+            }
+            fn pc(&self) -> Option<u32> {
+                None
+            }
+            fn reg_count(&self) -> usize {
+                0
+            }
+            fn read_reg_index(&self, _i: usize) -> u32 {
+                0
+            }
+            fn write_reg_index(&mut self, _i: usize, _v: u32) {}
+            fn read_mem(&mut self, _a: u32, len: usize) -> Result<Vec<u8>, Boom> {
+                Ok(vec![0; len])
+            }
+            fn engine_stats(&self) -> EngineStats {
+                EngineStats::default()
+            }
+        }
+        let pool = FleetPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_epochs_pooled(&pool, vec![Bomb], (), u64::MAX, 8, true, |()| {})
+        }));
+        assert!(caught.is_err(), "the shard panic re-raises, not deadlocks");
+    }
+
+    #[test]
+    fn pooled_retirement_budgets_still_run_through_run_until() {
+        // The pooled driver budgets rounds in cycles; a retirement
+        // budget is the session layer's job. Pin that the pool does not
+        // interfere with a plain run_until on the same engine type.
+        let mut s = shardling(3, 100);
+        assert_eq!(
+            s.run_until(Limit::Retirements(7)),
+            Ok(crate::StopCause::LimitReached)
+        );
+        assert_eq!(s.engine_stats().retired, 7);
+    }
+}

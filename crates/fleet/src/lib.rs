@@ -38,9 +38,7 @@
 //! # Ok::<(), cabt_sim::SessionError>(())
 //! ```
 
-mod pool;
-
-pub use pool::{FleetPool, Latch};
+pub use cabt_exec::pool::{self, FleetPool, Latch};
 
 use cabt_exec::{
     fingerprint_engine, plan_epoch_round, run_shard_to_deadline, EngineStats, EpochPlan,
@@ -196,9 +194,17 @@ impl UnitState {
                     ));
                 }
                 let buses: Vec<cabt_platform::SharedSocBus> = (0..cores)
-                    .map(|_| cabt_platform::SharedSocBus::new(cabt_platform::default_soc_bus()))
+                    .map(|id| {
+                        cabt_platform::SharedSocBus::new(cabt_platform::shard_soc_bus(
+                            u32::from(id),
+                            u32::from(cores),
+                        ))
+                    })
                     .collect();
-                let arbiter = ShardArbiter::new(cabt_platform::default_soc_bus(), buses.clone());
+                let arbiter = ShardArbiter::new(
+                    cabt_platform::mirror_soc_bus(u32::from(cores)),
+                    buses.clone(),
+                );
                 let mut shards = Vec::with_capacity(cores as usize);
                 for id in 0..cores {
                     let mut builder =
@@ -549,6 +555,28 @@ mod tests {
             fleet.uart,
             oracle.sharded_stats().unwrap().uart,
             "device fabric diverged"
+        );
+    }
+
+    #[test]
+    fn fleet_shards_carry_their_core_link_identity() {
+        // The doorbell all-to-all only converges when every fleet-built
+        // shard owns a CoreLink with *its own* core id and the real
+        // core count — a uniform device population (every shard id 0,
+        // count 1) runs to completion with the wrong checksum.
+        let pool = FleetPool::new(2);
+        let fleet = run_one(
+            &pool,
+            FleetRequest::named("mailbox")
+                .backend(Backend::sharded_pooled(2, 2, Backend::golden()))
+                .budget(Limit::Cycles(50_000_000)),
+        )
+        .unwrap();
+        assert_eq!(fleet.stop, StopCause::Halted);
+        assert!(
+            fleet.checksum_ok(),
+            "doorbell all-reduce: d2={:#x}",
+            fleet.d2
         );
     }
 

@@ -50,8 +50,8 @@ pub struct MatrixOptions {
     pub rtl_max_retired: u64,
     /// Translation detail levels to sweep.
     pub levels: Vec<DetailLevel>,
-    /// Shard counts for the sequential-vs-parallel sweep.
-    pub shard_cores: Vec<u8>,
+    /// Shard counts for the sequential/parallel/pooled schedule sweep.
+    pub shard_cores: Vec<u16>,
 }
 
 impl Default for MatrixOptions {
@@ -475,12 +475,12 @@ fn run_final(
     }
 }
 
-/// Drives the sequential and parallel sharded schedulers through an
-/// identical chunked run-call sequence and compares their chains and
-/// final states.
+/// Drives the sequential, parallel and pooled sharded schedulers
+/// through an identical chunked run-call sequence and compares their
+/// chains and final states — seq≡par≡pooled, fuzzed continuously.
 fn sharded_schedule_check(
     elf: &ElfFile,
-    cores: u8,
+    cores: u16,
     base: Backend,
     opts: &MatrixOptions,
     out: &mut Vec<Divergence>,
@@ -488,37 +488,44 @@ fn sharded_schedule_check(
     let check = format!("sharded-schedule:{cores}x:{base}");
     let seq_b = Backend::sharded(cores, base);
     let par_b = Backend::sharded_parallel(cores, base);
-    let (mut seq, mut par) = match (build(elf, seq_b), build(elf, par_b)) {
-        (Ok(a), Ok(b)) => (a, b),
-        (a, b) => {
-            let e = a.err().or(b.err()).expect("one side failed");
-            out.push(Divergence {
-                check: check.clone(),
-                detail: format!("session build failed: {e}"),
-            });
-            return;
-        }
-    };
+    let pool_b = Backend::sharded_pooled(cores, 2, base);
+    let (mut seq, mut par, mut pool) =
+        match (build(elf, seq_b), build(elf, par_b), build(elf, pool_b)) {
+            (Ok(a), Ok(b), Ok(c)) => (a, b, c),
+            (a, b, c) => {
+                let e = a.err().or(b.err()).or(c.err()).expect("one side failed");
+                out.push(Divergence {
+                    check: check.clone(),
+                    detail: format!("session build failed: {e}"),
+                });
+                return;
+            }
+        };
     let mut seq_chain = DigestChain::new();
     let mut par_chain = DigestChain::new();
+    let mut pool_chain = DigestChain::new();
     let cap = opts.cycle_cap.saturating_mul(4);
     let mut deadline = 0u64;
     loop {
         deadline += opts.shard_chunk;
         let se = run_to(&mut seq, Limit::Cycles(deadline));
         let pe = run_to(&mut par, Limit::Cycles(deadline));
+        let oe = run_to(&mut pool, Limit::Cycles(deadline));
         let sd = seq_chain.record(&seq);
         let pd = par_chain.record(&par);
-        if sd != pd || se != pe {
+        let od = pool_chain.record(&pool);
+        if sd != pd || se != pe || sd != od || se != oe {
             out.push(Divergence {
                 check: check.clone(),
                 detail: format!(
-                    "schedulers diverged at chunk {} (deadline {deadline}): sequential {:?} {} vs parallel {:?} {}",
+                    "schedulers diverged at chunk {} (deadline {deadline}): sequential {:?} {} vs parallel {:?} {} vs pooled {:?} {}",
                     seq_chain.len() - 1,
                     se,
                     seq.stats(),
                     pe,
                     par.stats(),
+                    oe,
+                    pool.stats(),
                 ),
             });
             return;
@@ -539,7 +546,7 @@ fn sharded_schedule_check(
     }
     // Per-shard architectural finals and the merged device log.
     for i in 0..usize::from(cores) {
-        let (Some(a), Some(b)) = (seq.shard(i), par.shard(i)) else {
+        let (Some(a), Some(b), Some(c)) = (seq.shard(i), par.shard(i), pool.shard(i)) else {
             break;
         };
         let mut d = Vec::new();
@@ -551,14 +558,26 @@ fn sharded_schedule_check(
             &final_state(b),
             &mut d,
         );
+        diff_finals(
+            &check,
+            "sequential",
+            &final_state(a),
+            "pooled",
+            &final_state(c),
+            &mut d,
+        );
         if let Some(mut dv) = d.pop() {
             dv.detail = format!("shard {i}: {}", dv.detail);
             out.push(dv);
             return;
         }
     }
-    let (ss, ps) = (seq.sharded_stats(), par.sharded_stats());
-    if let (Some(ss), Some(ps)) = (ss, ps) {
+    let (ss, ps, os) = (
+        seq.sharded_stats(),
+        par.sharded_stats(),
+        pool.sharded_stats(),
+    );
+    if let (Some(ss), Some(ps), Some(os)) = (ss, ps, os) {
         if ss.uart != ps.uart || ss.epochs != ps.epochs || ss.aggregate != ps.aggregate {
             out.push(Divergence {
                 check: check.clone(),
@@ -568,8 +587,18 @@ fn sharded_schedule_check(
                 ),
             });
         }
+        if ss.uart != os.uart || ss.epochs != os.epochs || ss.aggregate != os.aggregate {
+            out.push(Divergence {
+                check: check.clone(),
+                detail: format!(
+                    "sharded stats mismatch: sequential {:?}/{} epochs vs pooled {:?}/{} epochs",
+                    ss.aggregate, ss.epochs, os.aggregate, os.epochs
+                ),
+            });
+        }
     }
     diff_memory(&check, elf, &mut seq, &mut par, out);
+    diff_memory(&check, elf, &mut seq, &mut pool, out);
 }
 
 /// Mid-run snapshot/restore replay: runs `backend` in chunks, snapshots

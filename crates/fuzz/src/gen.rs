@@ -17,7 +17,8 @@
 //! * `%d15` — read-only (the sharded loader seeds the core id here).
 //! * `%a2/%a3` — memory base / zero-overhead-loop counter, set by the
 //!   segment that uses them; `%a4/%a5` — indirect-branch targets;
-//!   `%a6` — MMIO window base; `%a8` — `ld.a` destination.
+//!   `%a6` — MMIO window base; `%a7` — CoreLink doorbell/inbox pointer,
+//!   derived by the op that uses it; `%a8` — `ld.a` destination.
 //! * `%a10` (stack pointer, loader-seeded) and `%a11` (link register,
 //!   written by `call`) are never set directly.
 //!
@@ -445,6 +446,36 @@ fn mmio_segment(rng: &mut Pcg32, id: u32) -> Segment {
     }
 }
 
+/// One random CoreLink access through `%a6` (based at the doorbell
+/// endpoint, IO + 0x2000): identity reads, doorbell rings, inbox
+/// polls. The send (+0x400) and inbox (+0x800) slots sit past the
+/// signed 10-bit ld/st offset field, so those ops derive a `%a7`
+/// pointer themselves — every op stays independently droppable. Inbox
+/// reads are deterministic by construction: 0 on single-core sessions
+/// (no barrier, no delivery) and epoch-synchronous on sharded ones.
+fn doorbell_op(rng: &mut Pcg32) -> String {
+    let r = pool(rng);
+    // Slots 0..4 cover self-sends, live peers and (on narrow fabrics)
+    // out-of-range targets, which the endpoint must drop.
+    let t = rng.below(4);
+    match rng.below(6) {
+        0 => format!("ld.w %d{r}, [%a6]0"),
+        1 => format!("ld.w %d{r}, [%a6]4"),
+        2 | 3 => format!("lea %a7, [%a6]{:#x}\n    st.w [%a7]0, %d{r}", 0x400 + 4 * t),
+        _ => format!("lea %a7, [%a6]{:#x}\n    ld.w %d{r}, [%a7]0", 0x800 + 4 * t),
+    }
+}
+
+fn doorbell_segment(rng: &mut Pcg32, id: u32) -> Segment {
+    Segment::Straight {
+        id,
+        setup: vec!["movh.a %a6, 0xf000".into(), "lea %a6, [%a6]0x2000".into()],
+        ops: (0..rng.random_range(2..6))
+            .map(|_| doorbell_op(rng))
+            .collect(),
+    }
+}
+
 fn branchy(rng: &mut Pcg32, id: u32) -> Segment {
     let a = pool(rng);
     let b = pool(rng);
@@ -546,7 +577,8 @@ pub fn generate(seed: u64) -> FuzzProgram {
                 45..=59 => branchy(&mut rng, id),
                 60..=74 => indirect(&mut rng, id),
                 75..=86 => call_segment(&mut rng, id),
-                _ => mmio_segment(&mut rng, id),
+                87..=93 => mmio_segment(&mut rng, id),
+                _ => doorbell_segment(&mut rng, id),
             }
         };
         segments.push(seg);
@@ -586,6 +618,24 @@ mod tests {
             let p = generate(seed);
             let src = p.source();
             cabt_tricore::asm::assemble(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn doorbell_templates_occur_and_assemble() {
+        // The CoreLink templates must actually appear across a modest
+        // seed range (generated_programs_assemble already proves they
+        // assemble), and any program carrying one must flag MMIO so
+        // golden sessions get a bus and the RTL leg is skipped.
+        let doorbell_seeds: Vec<u64> = (0..200)
+            .filter(|&s| generate(s).source().contains("[%a6]0x2000"))
+            .collect();
+        assert!(
+            doorbell_seeds.len() >= 10,
+            "doorbell segments too rare: {doorbell_seeds:?}"
+        );
+        for &s in &doorbell_seeds {
+            assert!(generate(s).uses_mmio(), "seed {s}: doorbell is MMIO");
         }
     }
 

@@ -99,6 +99,23 @@ pub trait SocPeripheral: Send {
     fn apply_barrier(&mut self, merged: &[u8]) {
         let _ = merged;
     }
+
+    /// True if the device's state may have changed since the last
+    /// barrier. The [`ShardArbiter`] skips the whole
+    /// capture/merge/broadcast for a device no shard reports dirty —
+    /// merging unchanged states returns the base bit-identically, so
+    /// skipping is purely a cost change. The conservative default
+    /// (always dirty) keeps custom devices correct; devices that track
+    /// their own traffic override it.
+    fn barrier_dirty(&self) -> bool {
+        true
+    }
+
+    /// Clears the dirty mark after a full-state barrier reconciliation
+    /// (delta devices clear their own journals in
+    /// [`SocPeripheral::apply_barrier`]). Called *after* the broadcast
+    /// `restore_state`, which conservatively re-marks devices dirty.
+    fn mark_exchanged(&mut self) {}
 }
 
 /// Serialized state of every device on a [`SocBus`] plus the bus's own
@@ -336,6 +353,14 @@ impl SocBus {
         self.devices[i].merge_state(base, shards)
     }
 
+    fn device_dirty(&self, i: usize) -> bool {
+        self.devices[i].barrier_dirty()
+    }
+
+    fn device_mark_exchanged(&mut self, i: usize) {
+        self.devices[i].mark_exchanged();
+    }
+
     fn set_transactions(&mut self, transactions: u64) {
         self.transactions = transactions;
     }
@@ -369,6 +394,9 @@ pub struct Timer {
     base: u32,
     epoch: u64,
     compare: u32,
+    /// Reconfigured since the last barrier (not part of the state
+    /// image — barrier bookkeeping, not device state).
+    dirty: bool,
 }
 
 impl Timer {
@@ -378,6 +406,7 @@ impl Timer {
             base,
             epoch: 0,
             compare: u32::MAX,
+            dirty: false,
         }
     }
 }
@@ -399,8 +428,14 @@ impl SocPeripheral for Timer {
 
     fn write(&mut self, soc_cycle: u64, addr: u32, _size: u32, value: u32) {
         match addr - self.base {
-            0x4 => self.compare = value,
-            0xc => self.epoch = soc_cycle,
+            0x4 => {
+                self.compare = value;
+                self.dirty = true;
+            }
+            0xc => {
+                self.epoch = soc_cycle;
+                self.dirty = true;
+            }
             _ => {}
         }
     }
@@ -415,6 +450,17 @@ impl SocPeripheral for Timer {
     fn restore_state(&mut self, state: &[u8]) {
         self.epoch = get_u64(state, 0);
         self.compare = get_u32(state, 8);
+        // Conservative: the restored state may diverge from the
+        // arbiter's canonical image, so the next barrier must look.
+        self.dirty = true;
+    }
+
+    fn barrier_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    fn mark_exchanged(&mut self) {
+        self.dirty = false;
     }
 }
 
@@ -530,15 +576,35 @@ impl SocPeripheral for Uart {
         self.log.extend(Self::decode_entries(merged));
         self.exchanged = self.log.len();
     }
+
+    /// Dirty exactly when bytes sit past the exchanged prefix — no
+    /// separate flag to maintain.
+    fn barrier_dirty(&self) -> bool {
+        self.log.len() > self.exchanged
+    }
 }
 
 /// A scratch RAM window on the SoC bus (shared mailbox / DMA-style
 /// buffer). Byte and halfword accesses honor their byte lanes.
+///
+/// The RAM keeps a *dirty-word journal*: every word address written
+/// since the last barrier. The journal makes the epoch barrier
+/// O(traffic) — [`SocPeripheral::barrier_delta`] ships only the
+/// journaled `(addr, word)` pairs, and the canonical merge applies the
+/// concatenated per-shard journals in shard order (on a conflict the
+/// highest-numbered *writer* wins — a fixed, schedule-independent
+/// tie-break), instead of diffing and broadcasting the full contents
+/// every epoch however large the RAM has grown.
 #[derive(Debug, Default)]
 pub struct ScratchRam {
     base: u32,
     size: u32,
     words: HashMap<u32, u32>,
+    /// Word addresses written since the last barrier, kept sorted so
+    /// delta images are deterministic. Part of the saved state: a
+    /// mid-epoch snapshot must resume with its pending writes still
+    /// scheduled for the next barrier.
+    journal: std::collections::BTreeSet<u32>,
 }
 
 impl ScratchRam {
@@ -548,7 +614,39 @@ impl ScratchRam {
             base,
             size,
             words: HashMap::new(),
+            journal: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// State image: an 8-byte journal-length header, the journaled
+    /// addresses (ascending), then every `(addr, word)` pair sorted by
+    /// address.
+    fn encode(words: &HashMap<u32, u32>, journal: &std::collections::BTreeSet<u32>) -> Vec<u8> {
+        let mut entries: Vec<(u32, u32)> = words.iter().map(|(&a, &w)| (a, w)).collect();
+        entries.sort_unstable();
+        let mut out = Vec::with_capacity(8 + 4 * journal.len() + 8 * entries.len());
+        put_u64(&mut out, journal.len() as u64);
+        for &addr in journal {
+            put_u32(&mut out, addr);
+        }
+        for (addr, word) in entries {
+            put_u32(&mut out, addr);
+            put_u32(&mut out, word);
+        }
+        out
+    }
+
+    fn decode(state: &[u8]) -> (HashMap<u32, u32>, std::collections::BTreeSet<u32>) {
+        let njournal = get_u64(state, 0) as usize;
+        let journal = state[8..8 + 4 * njournal]
+            .chunks_exact(4)
+            .map(|c| get_u32(c, 0))
+            .collect();
+        let words = state[8 + 4 * njournal..]
+            .chunks_exact(8)
+            .map(|c| (get_u32(c, 0), get_u32(c, 4)))
+            .collect();
+        (words, journal)
     }
 }
 
@@ -581,55 +679,219 @@ impl SocPeripheral for ScratchRam {
             _ => value,
         };
         self.words.insert(key, new);
+        self.journal.insert(key);
     }
 
     fn save_state(&self) -> Vec<u8> {
         // Sorted by address: HashMap iteration order must not leak into
         // the snapshot image (replays compare state bytes for equality).
-        let mut entries: Vec<(u32, u32)> = self.words.iter().map(|(&a, &w)| (a, w)).collect();
-        entries.sort_unstable();
-        let mut out = Vec::with_capacity(8 * entries.len());
-        for (addr, word) in entries {
+        Self::encode(&self.words, &self.journal)
+    }
+
+    fn restore_state(&mut self, state: &[u8]) {
+        let (words, journal) = Self::decode(state);
+        self.words = words;
+        self.journal = journal;
+    }
+
+    /// Word-granular merge: every journaled write is applied in shard
+    /// order (on a conflict the highest-numbered writer wins — a fixed,
+    /// schedule-independent tie-break). The merged journal is the union
+    /// of the inputs' journals, so merging unchanged shards returns
+    /// `base` bit-identically. (Full-state fallback — the arbiter
+    /// normally reconciles the RAM through the O(traffic)
+    /// barrier-delta path instead, with the same write-wins rule.)
+    fn merge_state(&self, base: &[u8], shards: &[&[u8]]) -> Vec<u8> {
+        let (mut merged, mut journal) = Self::decode(base);
+        for img in shards {
+            let (words, shard_journal) = Self::decode(img);
+            for &addr in &shard_journal {
+                merged.insert(addr, words.get(&addr).copied().unwrap_or(0));
+            }
+            journal.extend(shard_journal);
+        }
+        Self::encode(&merged, &journal)
+    }
+
+    /// O(traffic) barrier exchange: only the journaled `(addr, word)`
+    /// pairs travel.
+    fn barrier_delta(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(8 * self.journal.len());
+        for &addr in &self.journal {
             put_u32(&mut out, addr);
-            put_u32(&mut out, word);
+            put_u32(&mut out, self.words.get(&addr).copied().unwrap_or(0));
+        }
+        Some(out)
+    }
+
+    fn apply_barrier(&mut self, merged: &[u8]) {
+        for c in merged.chunks_exact(8) {
+            self.words.insert(get_u32(c, 0), get_u32(c, 4));
+        }
+        self.journal.clear();
+    }
+
+    fn barrier_dirty(&self) -> bool {
+        !self.journal.is_empty()
+    }
+}
+
+/// The per-shard NoC doorbell endpoint: a core-id register and one
+/// mailbox per peer core, giving SPMD guests an inter-core signaling
+/// path that does not round-trip through the merged scratch RAM.
+///
+/// Register map (offsets from base):
+///
+/// * `0x000` — this core's id (read-only; replaces the `%d15` seeding
+///   convention, which is kept for compatibility)
+/// * `0x004` — the shard count (read-only)
+/// * `0x400 + 4*t` — doorbell *send* window: writing a word rings core
+///   `t`'s doorbell with that value (writes to cores ≥ the shard count
+///   are dropped)
+/// * `0x800 + 4*s` — doorbell *inbox* window: the last value core `s`
+///   sent to this core, `0` until the first delivery
+///
+/// Delivery is *epoch-synchronous*: sends append to a private outbox
+/// journal and are delivered into the targets' inboxes at the next
+/// epoch barrier, in shard order (the [`ShardArbiter`]'s delta
+/// contract) — so delivery has a deterministic one-epoch latency and
+/// runs are bit-identical whatever host schedule executed the epoch.
+/// On a single-core session the device still answers the id/count
+/// registers, but with no barrier there is no delivery.
+///
+/// Unlike every other peripheral the CoreLink is *not* identical
+/// across shards — each shard's inbox is private, which is exactly why
+/// it reconciles through the per-device
+/// [`SocPeripheral::apply_barrier`] (each endpoint filters the merged
+/// send journal by its own id) rather than a broadcast canonical
+/// image. The id and shard count are construction identity, not state:
+/// they are excluded from the state image so resets and snapshot
+/// restores cannot clobber which core a bus belongs to.
+#[derive(Debug)]
+pub struct CoreLink {
+    base: u32,
+    /// This endpoint's core id; `u32::MAX` marks an arbiter mirror,
+    /// which observes the exchange but never receives a delivery.
+    core_id: u32,
+    ncores: u32,
+    /// Last delivered value per source core.
+    inbox: Vec<u32>,
+    /// `(src, target, value)` sends since the last barrier.
+    outbox: Vec<(u32, u32, u32)>,
+}
+
+/// Byte size of the [`CoreLink`] MMIO window (fixed — covers 256
+/// cores, the fabric's design ceiling).
+pub const CORE_LINK_WINDOW: u32 = 0xc00;
+
+impl CoreLink {
+    /// The endpoint of core `core_id` in a fabric of `ncores`.
+    pub fn new(base: u32, core_id: u32, ncores: u32) -> Self {
+        CoreLink {
+            base,
+            core_id,
+            ncores,
+            inbox: vec![0; ncores as usize],
+            outbox: Vec::new(),
+        }
+    }
+
+    /// An arbiter-mirror endpoint: participates in the barrier exchange
+    /// (so device populations stay positional) but is no core, receives
+    /// nothing, and keeps an all-zero inbox.
+    pub fn mirror(base: u32, ncores: u32) -> Self {
+        Self::new(base, u32::MAX, ncores)
+    }
+}
+
+impl SocPeripheral for CoreLink {
+    fn range(&self) -> (u32, u32) {
+        (self.base, self.base + CORE_LINK_WINDOW)
+    }
+
+    fn read(&mut self, _soc_cycle: u64, addr: u32, _size: u32) -> u32 {
+        match addr - self.base {
+            0x0 => self.core_id,
+            0x4 => self.ncores,
+            o if (0x800..CORE_LINK_WINDOW).contains(&o) => {
+                let src = ((o - 0x800) / 4) as usize;
+                self.inbox.get(src).copied().unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, _soc_cycle: u64, addr: u32, _size: u32, value: u32) {
+        let o = addr - self.base;
+        if (0x400..0x800).contains(&o) {
+            let target = (o - 0x400) / 4;
+            if target < self.ncores {
+                self.outbox.push((self.core_id, target, value));
+            }
+        }
+    }
+
+    /// State image: an 8-byte inbox-length header, the inbox words,
+    /// an 8-byte outbox-length header, then the `(src, target, value)`
+    /// send triples. The core id and shard count are construction
+    /// identity and deliberately not part of the image.
+    fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 4 * self.inbox.len() + 12 * self.outbox.len());
+        put_u64(&mut out, self.inbox.len() as u64);
+        for &w in &self.inbox {
+            put_u32(&mut out, w);
+        }
+        put_u64(&mut out, self.outbox.len() as u64);
+        for &(src, target, value) in &self.outbox {
+            put_u32(&mut out, src);
+            put_u32(&mut out, target);
+            put_u32(&mut out, value);
         }
         out
     }
 
     fn restore_state(&mut self, state: &[u8]) {
-        self.words = state
-            .chunks_exact(8)
-            .map(|c| (get_u32(c, 0), get_u32(c, 4)))
+        let ninbox = get_u64(state, 0) as usize;
+        self.inbox = state[8..8 + 4 * ninbox]
+            .chunks_exact(4)
+            .map(|c| get_u32(c, 0))
+            .collect();
+        let at = 8 + 4 * ninbox;
+        let noutbox = get_u64(state, at) as usize;
+        self.outbox = state[at + 8..at + 8 + 12 * noutbox]
+            .chunks_exact(12)
+            .map(|c| (get_u32(c, 0), get_u32(c, 4), get_u32(c, 8)))
             .collect();
     }
 
-    /// Word-granular merge: each shard's words that differ from the
-    /// canonical image are applied in shard order (on a conflict the
-    /// highest-numbered writer wins — a fixed, schedule-independent
-    /// tie-break).
-    fn merge_state(&self, base: &[u8], shards: &[&[u8]]) -> Vec<u8> {
-        let decode = |img: &[u8]| -> HashMap<u32, u32> {
-            img.chunks_exact(8)
-                .map(|c| (get_u32(c, 0), get_u32(c, 4)))
-                .collect()
-        };
-        let base_words = decode(base);
-        let mut merged = base_words.clone();
-        for img in shards {
-            for (addr, word) in decode(img) {
-                if base_words.get(&addr) != Some(&word) {
-                    merged.insert(addr, word);
+    /// O(traffic) barrier exchange: only the sends of the epoch travel.
+    fn barrier_delta(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(12 * self.outbox.len());
+        for &(src, target, value) in &self.outbox {
+            put_u32(&mut out, src);
+            put_u32(&mut out, target);
+            put_u32(&mut out, value);
+        }
+        Some(out)
+    }
+
+    /// Delivery: every send of the epoch, in shard order; each endpoint
+    /// keeps only the triples addressed to its own id (on two sends
+    /// from one source, the later one in shard-merge order wins).
+    fn apply_barrier(&mut self, merged: &[u8]) {
+        for c in merged.chunks_exact(12) {
+            let (src, target, value) = (get_u32(c, 0), get_u32(c, 4), get_u32(c, 8));
+            if target == self.core_id {
+                if let Some(slot) = self.inbox.get_mut(src as usize) {
+                    *slot = value;
                 }
             }
         }
-        let mut entries: Vec<(u32, u32)> = merged.into_iter().collect();
-        entries.sort_unstable();
-        let mut out = Vec::with_capacity(8 * entries.len());
-        for (addr, word) in entries {
-            put_u32(&mut out, addr);
-            put_u32(&mut out, word);
-        }
-        out
+        self.outbox.clear();
+    }
+
+    fn barrier_dirty(&self) -> bool {
+        !self.outbox.is_empty()
     }
 }
 
@@ -731,6 +993,14 @@ impl SharedSocBus {
         self.lock().device_restore(i, state);
     }
 
+    fn device_dirty(&self, i: usize) -> bool {
+        self.lock().device_dirty(i)
+    }
+
+    fn device_mark_exchanged(&self, i: usize) {
+        self.lock().device_mark_exchanged(i);
+    }
+
     fn set_transactions(&self, transactions: u64) {
         self.lock().set_transactions(transactions);
     }
@@ -825,6 +1095,11 @@ impl ShardArbiter {
     ///
     /// Both paths produce the same canonical image the all-full-state
     /// exchange produced; the delta path is purely a cost change.
+    ///
+    /// A device *no* shard reports dirty ([`SocPeripheral::barrier_dirty`])
+    /// is skipped outright: its merge would return the canonical base
+    /// bit-identically, so neither capture, merge, nor broadcast runs —
+    /// an idle device costs the barrier one flag read per shard.
     pub fn exchange(&mut self) -> u64 {
         let base_transactions = self.mirror.transactions();
         let served: u64 = self
@@ -833,6 +1108,9 @@ impl ShardArbiter {
             .map(|b| b.transactions() - base_transactions)
             .sum();
         for i in 0..self.mirror.device_count() {
+            if !self.buses.iter().any(|b| b.device_dirty(i)) {
+                continue;
+            }
             if self.mirror.device_supports_delta(i) {
                 // O(epoch): move only the per-epoch suffixes, in shard
                 // order (the delta-merge contract).
@@ -852,6 +1130,13 @@ impl ShardArbiter {
                 self.mirror.device_restore(i, &merged);
                 for bus in &self.buses {
                     bus.device_restore(i, &merged);
+                }
+                // `restore_state` conservatively re-marks devices
+                // dirty; the broadcast IS the reconciliation, so clear
+                // the marks (after the restores, or they would stick).
+                self.mirror.device_mark_exchanged(i);
+                for bus in &self.buses {
+                    bus.device_mark_exchanged(i);
                 }
             }
         }
@@ -1218,6 +1503,188 @@ mod tests {
     fn arbiter_rejects_aliased_shard_buses() {
         let bus = SharedSocBus::new(arbiter_population());
         ShardArbiter::new(arbiter_population(), vec![bus.clone(), bus.clone()]);
+    }
+
+    #[test]
+    fn scratch_ram_journal_is_the_epoch_traffic_only() {
+        let mut r = ScratchRam::new(0, 0x100);
+        r.write(0, 0x10, 4, 7);
+        r.write(0, 0x20, 4, 9);
+        let d = r.barrier_delta().expect("scratch ram supports deltas");
+        assert_eq!(d.len(), 16, "two journaled words");
+        r.apply_barrier(&d);
+        assert!(!r.barrier_dirty(), "journal cleared at the barrier");
+        assert_eq!(
+            r.barrier_delta().unwrap().len(),
+            0,
+            "after the barrier nothing is pending"
+        );
+        // Only the epoch's writes travel, however full the RAM.
+        r.write(0, 0x10, 4, 8);
+        assert_eq!(r.barrier_delta().unwrap().len(), 8);
+        assert_eq!(r.read(0, 0x20, 4), 9, "contents intact");
+
+        // The journal survives a save/restore round trip (a mid-epoch
+        // snapshot resumes with its writes still pending exchange).
+        let img = r.save_state();
+        let mut fresh = ScratchRam::new(0, 0x100);
+        fresh.restore_state(&img);
+        assert_eq!(fresh.barrier_delta(), r.barrier_delta());
+        assert_eq!(fresh.save_state(), img);
+    }
+
+    #[test]
+    fn timer_dirty_tracks_configuration_writes() {
+        let mut t = Timer::new(0);
+        assert!(!t.barrier_dirty(), "fresh timer is clean");
+        assert_eq!(t.read(5, 0x0, 4), 5);
+        assert!(!t.barrier_dirty(), "reads do not dirty");
+        t.write(0, 0x4, 4, 100);
+        assert!(t.barrier_dirty());
+        t.mark_exchanged();
+        assert!(!t.barrier_dirty());
+        t.restore_state(&t.save_state());
+        assert!(t.barrier_dirty(), "a restore is conservatively dirty");
+    }
+
+    /// A device whose capture calls are observable, for pinning the
+    /// arbiter's clean-device skip.
+    struct Probe {
+        captures: Arc<std::sync::atomic::AtomicUsize>,
+        dirty: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl SocPeripheral for Probe {
+        fn range(&self) -> (u32, u32) {
+            (0x9000, 0x9010)
+        }
+        fn read(&mut self, _c: u64, _a: u32, _s: u32) -> u32 {
+            0
+        }
+        fn write(&mut self, _c: u64, _a: u32, _s: u32, _v: u32) {}
+        fn save_state(&self) -> Vec<u8> {
+            use std::sync::atomic::Ordering;
+            self.captures.fetch_add(1, Ordering::Relaxed);
+            Vec::new()
+        }
+        fn barrier_dirty(&self) -> bool {
+            self.dirty.load(std::sync::atomic::Ordering::Relaxed)
+        }
+        fn mark_exchanged(&mut self) {
+            self.dirty
+                .store(false, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn arbiter_skips_devices_no_shard_dirtied() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        let captures = Arc::new(AtomicUsize::new(0));
+        let dirty = Arc::new(AtomicBool::new(false));
+        let population = || {
+            let mut bus = SocBus::new();
+            bus.attach(Box::new(Probe {
+                captures: Arc::clone(&captures),
+                dirty: Arc::clone(&dirty),
+            }));
+            bus
+        };
+        let shard0 = SharedSocBus::new(population());
+        let shard1 = SharedSocBus::new(population());
+        let mut arb = ShardArbiter::new(population(), vec![shard0, shard1]);
+        arb.exchange();
+        assert_eq!(
+            captures.load(Ordering::Relaxed),
+            0,
+            "a clean device is not captured, merged, or broadcast"
+        );
+        dirty.store(true, Ordering::Relaxed);
+        arb.exchange();
+        assert_eq!(
+            captures.load(Ordering::Relaxed),
+            3,
+            "a dirty device is captured on the mirror and both shards"
+        );
+        assert!(!dirty.load(Ordering::Relaxed), "marked exchanged after");
+    }
+
+    fn doorbell_population(core_id: u32, ncores: u32) -> SocBus {
+        let mut bus = SocBus::new();
+        bus.attach(Box::new(Uart::new(0x100)));
+        bus.attach(Box::new(CoreLink::new(0x2000, core_id, ncores)));
+        bus
+    }
+
+    #[test]
+    fn corelink_identity_registers_and_window() {
+        let mut link = CoreLink::new(0x2000, 3, 8);
+        assert_eq!(link.range(), (0x2000, 0x2c00));
+        assert_eq!(link.read(0, 0x2000, 4), 3, "core id");
+        assert_eq!(link.read(0, 0x2004, 4), 8, "shard count");
+        assert_eq!(link.read(0, 0x2800, 4), 0, "inbox empty");
+        // Sends to cores beyond the fabric are dropped.
+        link.write(0, 0x2400 + 4 * 9, 4, 1);
+        assert!(!link.barrier_dirty());
+    }
+
+    #[test]
+    fn corelink_delivers_doorbells_at_the_barrier() {
+        let shard0 = SharedSocBus::new(doorbell_population(0, 2));
+        let shard1 = SharedSocBus::new(doorbell_population(1, 2));
+        let mirror = {
+            let mut bus = SocBus::new();
+            bus.attach(Box::new(Uart::new(0x100)));
+            bus.attach(Box::new(CoreLink::mirror(0x2000, 2)));
+            bus
+        };
+        let mut arb = ShardArbiter::new(mirror, vec![shard0.clone(), shard1.clone()]);
+
+        // Core 0 rings core 1 (value 42) and itself (value 7); core 1
+        // rings core 0 (value 9). Nothing lands before the barrier.
+        shard0.write(1, 0x2400 + 4, 4, 42);
+        shard0.write(2, 0x2400, 4, 7);
+        shard1.write(3, 0x2400, 4, 9);
+        assert_eq!(shard1.read(4, 0x2800, 4), 0, "pre-barrier: no delivery");
+        arb.exchange();
+        assert_eq!(shard1.read(5, 0x2800, 4), 42, "core 0 → core 1");
+        assert_eq!(shard0.read(5, 0x2800, 4), 7, "self-send delivered");
+        assert_eq!(shard0.read(5, 0x2804, 4), 9, "core 1 → core 0");
+        assert_eq!(shard1.read(5, 0x2804, 4), 0, "not addressed to core 1");
+
+        // Idle epoch: outboxes drained, nothing re-delivered.
+        arb.exchange();
+        assert_eq!(shard1.read(6, 0x2800, 4), 42, "inbox latches");
+
+        // Identity is construction state: a fabric-wide reset keeps
+        // per-core ids while clearing the mailboxes.
+        let initial = doorbell_population(0, 2).save_state();
+        arb.reset(&initial);
+        assert_eq!(shard1.read(7, 0x2000, 4), 1, "id survives reset");
+        assert_eq!(shard1.read(7, 0x2800, 4), 0, "inbox cleared");
+    }
+
+    #[test]
+    fn corelink_state_round_trips_without_identity() {
+        let mut link = CoreLink::new(0, 1, 3);
+        link.write(0, 0x400 + 8, 4, 5); // ring core 2
+        let mut delivered = CoreLink::new(0, 2, 3);
+        let d = link.barrier_delta().unwrap();
+        delivered.apply_barrier(&d);
+        assert_eq!(delivered.read(0, 0x800 + 4, 4), 5, "from core 1");
+        let img = delivered.save_state();
+        // Restoring core 2's image into another endpoint moves the
+        // mailboxes but not the identity.
+        let mut fresh = CoreLink::new(0, 0, 3);
+        fresh.restore_state(&img);
+        assert_eq!(fresh.read(0, 0x0, 4), 0, "identity kept");
+        assert_eq!(fresh.read(0, 0x804, 4), 5, "inbox restored");
+        assert_eq!(fresh.save_state(), img);
+        // Pending sends survive the round trip too.
+        let img2 = link.save_state();
+        let mut fresh2 = CoreLink::new(0, 1, 3);
+        fresh2.restore_state(&img2);
+        assert_eq!(fresh2.barrier_delta(), link.barrier_delta());
+        assert!(fresh2.barrier_dirty());
     }
 
     #[test]

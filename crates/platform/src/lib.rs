@@ -46,8 +46,8 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 pub use bus::{
-    GoldenBridge, ScratchRam, ShardArbiter, SharedSocBus, SocBus, SocBusState, SocPeripheral,
-    Timer, Uart,
+    CoreLink, GoldenBridge, ScratchRam, ShardArbiter, SharedSocBus, SocBus, SocBusState,
+    SocPeripheral, Timer, Uart, CORE_LINK_WINDOW,
 };
 pub use sync::{SyncDevice, SyncRate};
 
@@ -56,6 +56,9 @@ pub use sync::{SyncDevice, SyncRate};
 pub const IO_BASE: u32 = 0xf000_0000;
 /// End (exclusive) of the I/O window.
 pub const IO_END: u32 = 0xf010_0000;
+/// Base of the per-shard [`CoreLink`] doorbell window (core-id register,
+/// send doorbells, inboxes — see the device's register map).
+pub const CORE_LINK_BASE: u32 = IO_BASE + 0x2000;
 
 /// Clock and handshake configuration of the platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -230,13 +233,37 @@ impl From<VliwError> for PlatformError {
 pub type PlatformEngine = VliwSim;
 
 /// The default SoC device population: timer at `0xf000_0000`, UART at
-/// `0xf000_0100`, and a 1 KiB scratch RAM (shared mailbox) at
-/// `0xf000_0200`.
+/// `0xf000_0100`, a 1 KiB scratch RAM (shared mailbox) at
+/// `0xf000_0200`, and the [`CoreLink`] doorbell endpoint at
+/// [`CORE_LINK_BASE`]. Single-core sessions get the core-0 endpoint of
+/// a one-core fabric; sharded sessions build per-shard populations with
+/// [`shard_soc_bus`] instead.
 pub fn default_soc_bus() -> SocBus {
+    shard_soc_bus(0, 1)
+}
+
+/// The device population of shard `core_id` in a fabric of `ncores`:
+/// identical to [`default_soc_bus`] except for the [`CoreLink`]
+/// endpoint, which carries the shard's identity.
+pub fn shard_soc_bus(core_id: u32, ncores: u32) -> SocBus {
     let mut soc = SocBus::new();
     soc.attach(Box::new(Timer::new(IO_BASE)));
     soc.attach(Box::new(Uart::new(IO_BASE + 0x100)));
     soc.attach(Box::new(ScratchRam::new(IO_BASE + 0x200, 0x400)));
+    soc.attach(Box::new(CoreLink::new(CORE_LINK_BASE, core_id, ncores)));
+    soc
+}
+
+/// The [`ShardArbiter`] mirror population for a fabric of `ncores`:
+/// the same devices as [`shard_soc_bus`], with a mirror [`CoreLink`]
+/// that observes the doorbell exchange without being a deliverable
+/// endpoint.
+pub fn mirror_soc_bus(ncores: u32) -> SocBus {
+    let mut soc = SocBus::new();
+    soc.attach(Box::new(Timer::new(IO_BASE)));
+    soc.attach(Box::new(Uart::new(IO_BASE + 0x100)));
+    soc.attach(Box::new(ScratchRam::new(IO_BASE + 0x200, 0x400)));
+    soc.attach(Box::new(CoreLink::mirror(CORE_LINK_BASE, ncores)));
     soc
 }
 

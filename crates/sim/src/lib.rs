@@ -96,10 +96,14 @@ pub enum Backend {
     /// bit-identical state. Each shard is seeded with its core id in
     /// source register `%d15` (shard 0 keeps the conventional
     /// single-core role), which is how SPMD workloads like
-    /// `producer_consumer` pick their role.
+    /// `producer_consumer` pick their role; each shard's bus also
+    /// carries a private `CoreLink` MMIO window (core-id register,
+    /// per-core doorbell mailboxes — see `docs/sharding.md`), the
+    /// NoC-scale signaling path that does not round-trip through the
+    /// merged scratch RAM.
     Sharded {
         /// Number of shards (≥ 1, validated at build time).
-        cores: u8,
+        cores: u16,
         /// The vehicle every shard runs.
         backend: ShardBackend,
         /// How epoch rounds map onto host threads.
@@ -109,7 +113,7 @@ pub enum Backend {
 
 /// How a sharded session's epoch rounds execute on the host.
 ///
-/// Both schedules run the *same* deterministic protocol — identical
+/// All schedules run the *same* deterministic protocol — identical
 /// epoch deadlines, identical barrier exchanges — and therefore
 /// produce bit-identical simulations; they differ only in wall-clock
 /// scaling. `tests/parallel_determinism.rs` pins the equivalence.
@@ -123,6 +127,16 @@ pub enum ShardSchedule {
     /// (`cabt_exec::run_epochs_parallel`): aggregate throughput scales
     /// with host cores, not just simulated ones.
     Parallel,
+    /// Shard rounds as work items on a fixed worker pool
+    /// (`cabt_exec::pool::run_epochs_pooled`): no thread is spawned per
+    /// round, so host parallelism stays bounded at NoC scale (64–256
+    /// shards on a handful of workers). The value is the worker count;
+    /// `0` sizes the pool to the host's available parallelism. The
+    /// pool schedules cycle-bounded runs; retirement-budgeted rounds
+    /// (the stepping/debug path) run sequentially — the rounds are
+    /// schedule-independent, so the result is bit-identical either
+    /// way.
+    Pooled(u16),
 }
 
 /// The per-shard vehicle of [`Backend::Sharded`]: any single-core
@@ -225,7 +239,7 @@ impl Backend {
     ///
     /// Panics if `base` is itself [`Backend::Sharded`] — sharding does
     /// not nest.
-    pub fn sharded(cores: u8, base: Backend) -> Self {
+    pub fn sharded(cores: u16, base: Backend) -> Self {
         Self::sharded_with_schedule(cores, base, ShardSchedule::Sequential)
     }
 
@@ -237,8 +251,21 @@ impl Backend {
     /// # Panics
     ///
     /// Panics if `base` is itself [`Backend::Sharded`].
-    pub fn sharded_parallel(cores: u8, base: Backend) -> Self {
+    pub fn sharded_parallel(cores: u16, base: Backend) -> Self {
         Self::sharded_with_schedule(cores, base, ShardSchedule::Parallel)
+    }
+
+    /// A sharded multi-core session scheduled on a fixed worker pool:
+    /// epoch rounds become pool work items instead of per-round
+    /// threads, bit-identical to [`Backend::sharded`] but scaling to
+    /// NoC-sized shard counts (64–256) on `workers` host threads
+    /// (`0` = the host's available parallelism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is itself [`Backend::Sharded`].
+    pub fn sharded_pooled(cores: u16, workers: u16, base: Backend) -> Self {
+        Self::sharded_with_schedule(cores, base, ShardSchedule::Pooled(workers))
     }
 
     /// A sharded multi-core session with an explicit [`ShardSchedule`].
@@ -246,7 +273,7 @@ impl Backend {
     /// # Panics
     ///
     /// Panics if `base` is itself [`Backend::Sharded`].
-    pub fn sharded_with_schedule(cores: u8, base: Backend, schedule: ShardSchedule) -> Self {
+    pub fn sharded_with_schedule(cores: u16, base: Backend, schedule: ShardSchedule) -> Self {
         let backend = match base {
             Backend::Golden { dispatch } => ShardBackend::Golden { dispatch },
             Backend::Translated { level, dispatch } => ShardBackend::Translated { level, dispatch },
@@ -310,6 +337,9 @@ impl fmt::Display for Backend {
             } => match schedule {
                 ShardSchedule::Sequential => write!(f, "sharded-{cores}x:{backend}"),
                 ShardSchedule::Parallel => write!(f, "sharded-{cores}x-par:{backend}"),
+                ShardSchedule::Pooled(workers) => {
+                    write!(f, "sharded-{cores}x-pool{workers}:{backend}")
+                }
             },
         }
     }
@@ -329,23 +359,32 @@ impl fmt::Display for Backend {
 ///     "sharded-4x-par:translated:cache:compiled".parse::<Backend>().unwrap(),
 ///     Backend::sharded_parallel(4, Backend::translated_compiled(cabt_core::DetailLevel::Cache)),
 /// );
+/// assert_eq!(
+///     "sharded-64x-pool8:golden".parse::<Backend>().unwrap(),
+///     Backend::sharded_pooled(64, 8, Backend::golden()),
+/// );
 /// ```
 impl std::str::FromStr for Backend {
     type Err = SessionError;
 
     fn from_str(s: &str) -> Result<Self, SessionError> {
         let err = || SessionError::ParseBackend(s.to_string());
-        // `sharded-{N}x:{base}` / `sharded-{N}x-par:{base}`.
+        // `sharded-{N}x:{base}` / `sharded-{N}x-par:{base}` /
+        // `sharded-{N}x-pool{W}:{base}`.
         if let Some(rest) = s.strip_prefix("sharded-") {
             let (head, base) = rest.split_once(':').ok_or_else(err)?;
-            let (digits, schedule) = match head.strip_suffix("x-par") {
-                Some(d) => (d, ShardSchedule::Parallel),
-                None => (
-                    head.strip_suffix('x').ok_or_else(err)?,
-                    ShardSchedule::Sequential,
-                ),
+            let (digits, schedule) = if let Some((d, w)) = head.split_once("x-pool") {
+                (d, ShardSchedule::Pooled(w.parse().map_err(|_| err())?))
+            } else {
+                match head.strip_suffix("x-par") {
+                    Some(d) => (d, ShardSchedule::Parallel),
+                    None => (
+                        head.strip_suffix('x').ok_or_else(err)?,
+                        ShardSchedule::Sequential,
+                    ),
+                }
             };
-            let cores: u8 = digits.parse().map_err(|_| err())?;
+            let cores: u16 = digits.parse().map_err(|_| err())?;
             return match base.parse()? {
                 Backend::Sharded { .. } => Err(err()),
                 base => Ok(Backend::sharded_with_schedule(cores, base, schedule)),
@@ -1167,7 +1206,13 @@ pub const PARK_MAGIC: &[u8; 8] = b"CABTPARK";
 
 /// Park-envelope format version this build writes — and the only one it
 /// reads. See `docs/snapshot-format.md` for the compatibility policy.
-pub const PARK_VERSION: u16 = 1;
+///
+/// Version history: v2 added the `CoreLink` doorbell device to the
+/// default bus population and the dirty-word journal to the
+/// `ScratchRam` state encoding — v1 images carry a three-device bus
+/// state and the journal-less scratch encoding, so they no longer
+/// decode and are rejected by version, not misread.
+pub const PARK_VERSION: u16 = 2;
 
 impl fmt::Debug for SessionSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -1224,13 +1269,16 @@ struct ShardSet {
     /// its next barrier exchange (the run drivers exchange per round on
     /// their own and re-arm this afterwards).
     step_exchange_at: u64,
+    /// The worker pool of [`ShardSchedule::Pooled`] runs, built lazily
+    /// on the first pooled run and reused for the session's lifetime.
+    pool: Option<cabt_exec::pool::FleetPool>,
 }
 
 impl ShardSet {
     #[allow(clippy::too_many_arguments)]
     fn build(
         elf: &ElfFile,
-        cores: u8,
+        cores: u16,
         backend: ShardBackend,
         schedule: ShardSchedule,
         platform_cfg: PlatformConfig,
@@ -1238,13 +1286,24 @@ impl ShardSet {
         shard_epoch: Option<u64>,
         trace_config: Option<TraceConfig>,
     ) -> Result<ShardSet, SessionError> {
-        // One private device population per shard, plus the arbiter's
-        // canonical mirror — all born in the same (default) state.
+        // One private device population per shard — each with its own
+        // CoreLink identity (core-id register, doorbell window) — plus
+        // the arbiter's canonical mirror. Identity registers are not
+        // part of the exchanged device state, so every bus is born in
+        // the same canonical state.
         let buses: Vec<SharedSocBus> = (0..cores)
-            .map(|_| SharedSocBus::new(cabt_platform::default_soc_bus()))
+            .map(|id| {
+                SharedSocBus::new(cabt_platform::shard_soc_bus(
+                    u32::from(id),
+                    u32::from(cores),
+                ))
+            })
             .collect();
         let initial_bus = buses[0].save_state();
-        let arbiter = ShardArbiter::new(cabt_platform::default_soc_bus(), buses.clone());
+        let arbiter = ShardArbiter::new(
+            cabt_platform::mirror_soc_bus(u32::from(cores)),
+            buses.clone(),
+        );
         // One SyncRate epoch of target cycles when the configuration
         // bounds one, else the fallback granularity; an explicit
         // builder override wins.
@@ -1270,7 +1329,7 @@ impl ShardSet {
                 // the bus for them.
                 match backend {
                     ShardBackend::Rtl => None,
-                    _ => Some(buses[id as usize].clone()),
+                    _ => Some(buses[usize::from(id)].clone()),
                 },
                 None,
                 trace_config,
@@ -1289,7 +1348,7 @@ impl ShardSet {
                 on_epoch: Vec::new(),
                 on_stop: Vec::new(),
             };
-            shard.write_d(15, id as u32);
+            shard.write_d(15, u32::from(id));
             shards.push(shard);
         }
         Ok(ShardSet {
@@ -1299,6 +1358,7 @@ impl ShardSet {
             schedule,
             initial_bus,
             step_exchange_at: epoch,
+            pool: None,
         })
     }
 
@@ -1325,7 +1385,50 @@ impl ShardSet {
             .map(|(i, _)| i)
     }
 
+    /// Runs cycle-bounded epochs on the session's worker pool: shards
+    /// and arbiter move into the run (pool jobs are `'static`) and come
+    /// back when it completes. The schedule decisions are the same
+    /// `plan_epoch_round` the in-process drivers use, so the result is
+    /// bit-identical to them.
+    fn run_cycles_pooled(
+        &mut self,
+        max_cycles: u64,
+        workers: u16,
+    ) -> Result<StopCause, SessionError> {
+        let pool = self.pool.get_or_insert_with(|| {
+            if workers == 0 {
+                cabt_exec::pool::FleetPool::with_host_parallelism()
+            } else {
+                cabt_exec::pool::FleetPool::new(usize::from(workers))
+            }
+        });
+        let shards = std::mem::take(&mut self.shards);
+        let arbiter = std::mem::replace(
+            &mut self.arbiter,
+            ShardArbiter::new(cabt_platform::mirror_soc_bus(0), Vec::new()),
+        );
+        let out = cabt_exec::pool::run_epochs_pooled(
+            pool,
+            shards,
+            arbiter,
+            max_cycles,
+            self.epoch,
+            true,
+            |arb| {
+                arb.exchange();
+            },
+        );
+        self.shards = out.shards;
+        self.arbiter = out.ctx;
+        out.stop
+    }
+
     fn run_until(&mut self, limit: Limit) -> Result<StopCause, SessionError> {
+        if let (Limit::Cycles(c), ShardSchedule::Pooled(workers)) = (limit, self.schedule) {
+            let result = self.run_cycles_pooled(c, workers);
+            self.step_exchange_at = self.frontier().saturating_add(self.epoch);
+            return result;
+        }
         let ShardSet {
             shards,
             arbiter,
@@ -1335,7 +1438,7 @@ impl ShardSet {
         } = self;
         let result = match limit {
             Limit::Cycles(c) => match schedule {
-                ShardSchedule::Sequential => {
+                ShardSchedule::Sequential | ShardSchedule::Pooled(_) => {
                     cabt_exec::run_epochs_sharded(shards, c, *epoch, |_| {
                         arbiter.exchange();
                     })
@@ -1826,6 +1929,35 @@ impl Session {
     /// payload bytes; [`SessionError::ParseBackend`] if the descriptor
     /// does not parse; plus the usual build errors.
     pub fn resume(bytes: &[u8]) -> Result<Session, SessionError> {
+        let (backend, config, elf, snapshot) = Self::decode_park(bytes)?;
+        let vehicle = SimBuilder::build_vehicle(
+            &elf,
+            backend,
+            config.platform,
+            config.granularity,
+            None,
+            config.shard_epoch,
+            config.trace_config,
+        )?;
+        let mut session = Session {
+            vehicle,
+            elf,
+            backend,
+            config,
+            epoch: DEFAULT_EPOCH,
+            on_epoch: Vec::new(),
+            on_stop: Vec::new(),
+        };
+        session.restore(&snapshot);
+        Ok(session)
+    }
+
+    /// Parses and validates a park envelope without building a vehicle —
+    /// the shared front half of [`Session::resume`] and
+    /// [`Session::adopt_shard`].
+    fn decode_park(
+        bytes: &[u8],
+    ) -> Result<(Backend, BuildConfig, ElfFile, SessionSnapshot), SessionError> {
         let mut r = ByteReader::new(bytes);
         if r.raw(PARK_MAGIC.len()).map_err(|_| CodecError::BadMagic)? != PARK_MAGIC {
             return Err(CodecError::BadMagic.into());
@@ -1850,16 +1982,108 @@ impl Session {
             }
             .into());
         }
+        Ok((backend, config, elf, snapshot))
+    }
+
+    /// Serializes shard `i` of a sharded session into its own park
+    /// envelope — the donor half of live shard migration. The envelope
+    /// is a complete single-core park image (the shard's backend
+    /// descriptor, configuration, ELF image and snapshot, including its
+    /// private — possibly mid-epoch — bus state), so it travels across
+    /// threads or processes like any [`Session::park`] image.
+    ///
+    /// Call at an epoch barrier (after [`Session::run`] returns) so the
+    /// shard's private device state and the arbiter's canonical image
+    /// are consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::ShardConfig`] on single-core sessions or
+    /// out-of-range indices; [`SessionError::Elf`] if the image fails
+    /// to re-serialize.
+    pub fn park_shard(&self, i: usize) -> Result<Vec<u8>, SessionError> {
+        match &self.vehicle {
+            Vehicle::Sharded(set) => set
+                .shards
+                .get(i)
+                .ok_or_else(|| {
+                    SessionError::ShardConfig(format!(
+                        "no shard {i} in a {}-shard session",
+                        set.shards.len()
+                    ))
+                })?
+                .park(),
+            _ => Err(SessionError::ShardConfig(
+                "park_shard needs a sharded session".into(),
+            )),
+        }
+    }
+
+    /// Rebuilds shard `i` from a [`Session::park_shard`] envelope — the
+    /// receiving half of live shard migration. The shard's vehicle is
+    /// reconstructed *around the arbiter's registered bus handle* for
+    /// slot `i`, so the barrier fabric keeps aliasing the shard's
+    /// devices, and the envelope's snapshot (engine state plus the
+    /// donor's private bus image) is restored into it. Run at an epoch
+    /// barrier, the migrated run replays bit-identically.
+    ///
+    /// `backend_override` rebuilds the shard on a *different* vehicle —
+    /// a different dispatch tier of the same vehicle kind (pre-decoded
+    /// ↔ compiled ↔ trace), which shares architectural state — proving
+    /// heterogeneous shard sets. The parked snapshot must structurally
+    /// fit the override; a cross-kind override (golden → RTL) is
+    /// rejected. Note the set-level backend descriptor keeps describing
+    /// the original uniform population: a whole-session park/resume
+    /// rebuilds uniform shards (with shard `i`'s *state* preserved).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::ShardConfig`] on single-core sessions,
+    /// out-of-range indices, or an override the snapshot does not fit;
+    /// plus everything [`Session::resume`] raises for the envelope.
+    pub fn adopt_shard(
+        &mut self,
+        i: usize,
+        bytes: &[u8],
+        backend_override: Option<Backend>,
+    ) -> Result<(), SessionError> {
+        let Vehicle::Sharded(set) = &mut self.vehicle else {
+            return Err(SessionError::ShardConfig(
+                "adopt_shard needs a sharded session".into(),
+            ));
+        };
+        if i >= set.shards.len() {
+            return Err(SessionError::ShardConfig(format!(
+                "no shard {i} in a {}-shard session",
+                set.shards.len()
+            )));
+        }
+        let (parked_backend, config, elf, snapshot) = Self::decode_park(bytes)?;
+        let backend = backend_override.unwrap_or(parked_backend);
+        if matches!(backend, Backend::Sharded { .. }) {
+            return Err(SessionError::ShardConfig(
+                "a shard is a single-core session; sharding does not nest".into(),
+            ));
+        }
+        if !snapshot_matches_backend(backend, &snapshot.snap) {
+            return Err(SessionError::ShardConfig(format!(
+                "parked shard snapshot does not fit backend `{backend}`"
+            )));
+        }
+        let bus = match backend {
+            Backend::Rtl => None,
+            _ => Some(set.arbiter.bus(i)),
+        };
         let vehicle = SimBuilder::build_vehicle(
             &elf,
             backend,
             config.platform,
             config.granularity,
-            None,
+            bus,
             config.shard_epoch,
             config.trace_config,
         )?;
-        let mut session = Session {
+        let mut shard = Session {
             vehicle,
             elf,
             backend,
@@ -1868,8 +2092,9 @@ impl Session {
             on_epoch: Vec::new(),
             on_stop: Vec::new(),
         };
-        session.restore(&snapshot);
-        Ok(session)
+        shard.restore(&snapshot);
+        set.shards[i] = shard;
+        Ok(())
     }
 
     /// The device state of the session's SoC bus, if it has one —
@@ -2281,7 +2506,12 @@ mod tests {
             assert_eq!(b.to_string().parse::<Backend>().unwrap(), *b, "{b}");
         }
         for base in singles {
-            for schedule in [ShardSchedule::Sequential, ShardSchedule::Parallel] {
+            for schedule in [
+                ShardSchedule::Sequential,
+                ShardSchedule::Parallel,
+                ShardSchedule::Pooled(0),
+                ShardSchedule::Pooled(8),
+            ] {
                 let b = Backend::sharded_with_schedule(3, base, schedule);
                 assert_eq!(b.to_string().parse::<Backend>().unwrap(), b, "{b}");
             }
@@ -2300,7 +2530,9 @@ mod tests {
             "sharded-4x",
             "sharded-x:golden",
             "sharded-4:golden",
-            "sharded-999x:golden",
+            "sharded-99999x:golden",
+            "sharded-4x-pool:golden",
+            "sharded-4x-poolx:golden",
             "sharded-2x:sharded-2x:golden",
             "rtl:compiled",
         ] {
@@ -2446,6 +2678,7 @@ mod tests {
             Backend::golden_trace(),
             Backend::translated_compiled(DetailLevel::Cache),
             Backend::sharded(2, Backend::golden()),
+            Backend::sharded_pooled(2, 2, Backend::golden()),
         ] {
             let mut s = SimBuilder::asm(SUM).backend(backend).build().unwrap();
             s.run(Limit::Retirements(5)).unwrap();

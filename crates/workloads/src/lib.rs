@@ -602,6 +602,75 @@ sum:
     }
 }
 
+/// `mailbox` — an SPMD all-to-all over the CoreLink doorbell fabric,
+/// touching **no** shared RAM: every core discovers its identity from
+/// the CoreLink id/count registers (`0xf000_2000` / `0xf000_2004` —
+/// not the legacy `%d15` seeding), rings every peer's doorbell
+/// (`0xf000_2400 + 4*t`) with its contribution `7 + 3*id`, then polls
+/// its own inboxes (`0xf000_2800 + 4*s`) until all `ncores`
+/// contributions have landed and sums them into `%d2`. Every core must
+/// halt with the same all-reduce total `7*n + 3*n*(n-1)/2`.
+///
+/// Delivery is epoch-synchronous (doorbells travel in the barrier
+/// delta), so the program only terminates on a *sharded* session whose
+/// core count equals `ncores` — on a single-core session there is no
+/// barrier and the poll spins forever, which is why this workload is
+/// deliberately absent from [`fig5_set`] / [`table2_set`].
+///
+/// # Panics
+///
+/// Panics unless `1 <= ncores <= 256` (the CoreLink window covers 256
+/// inboxes).
+pub fn mailbox(ncores: u32) -> Workload {
+    assert!(
+        (1..=256).contains(&ncores),
+        "core count outside the CoreLink fabric's ceiling"
+    );
+    let expected = (0..ncores).fold(0u32, |a, id| a.wrapping_add(7 + 3 * id));
+
+    let source = format!(
+        "
+    .text
+_start:
+    movh.a %a2, 0xf000
+    lea    %a2, [%a2]0x2000     # CoreLink id/count registers
+    ld.w   %d10, [%a2]0         # this core's id
+    ld.w   %d11, [%a2]4         # fabric core count
+    mul    %d4, %d10, 3
+    addi   %d4, %d4, 7          # contribution = 7 + 3*id
+
+    # ring every peer's doorbell (self included)
+    movh.a %a4, 0xf000
+    lea    %a4, [%a4]0x2400     # doorbell send window
+    mov    %d5, %d11
+ring:
+    st.w   [%a4+]4, %d4
+    addi   %d5, %d5, -1
+    jnz    %d5, ring
+
+    # collect all {ncores} contributions; each poll loop spins across
+    # epoch barriers until that sender's doorbell lands
+    movh.a %a5, 0xf000
+    lea    %a5, [%a5]0x2800     # inbox window
+    mov    %d5, %d11
+    mov    %d2, 0
+collect:
+    ld.w   %d1, [%a5]0
+    jz     %d1, collect
+    add    %d2, %d1
+    lea    %a5, [%a5]4
+    addi   %d5, %d5, -1
+    jnz    %d5, collect
+    debug
+",
+    );
+    Workload {
+        name: "mailbox",
+        source,
+        expected_d2: expected,
+    }
+}
+
 /// One entry of the seeded known-bad corpus: a tiny program carrying
 /// exactly one statically detectable defect, used to pin the analyzer's
 /// findings (`cabt-analyze --known-bad` and the expected-findings CI
@@ -848,7 +917,11 @@ pub fn table2_set() -> Vec<Workload> {
 /// Looks a workload up by its paper name (`gcd`, `sieve`, `fir`,
 /// `ellip`, `dpcm`, `subband`, `fibonacci`), at the default Fig. 5 /
 /// Table 2 parameterization — the registry behind session builders
-/// that accept a named workload.
+/// that accept a named workload. The SPMD extras ride along:
+/// `producer_consumer` (any sharded core count) and `mailbox` (at its
+/// two-core default; sessions with other core counts should call
+/// [`mailbox`] directly, since the checksum depends on the fabric
+/// size).
 pub fn by_name(name: &str) -> Option<Workload> {
     match name {
         "gcd" => Some(gcd(16, 0xcab7)),
@@ -859,6 +932,7 @@ pub fn by_name(name: &str) -> Option<Workload> {
         "subband" => Some(subband(120, 0xcab7)),
         "fibonacci" => Some(fibonacci(1150, 6)),
         "producer_consumer" => Some(producer_consumer(64, 0xcab7)),
+        "mailbox" => Some(mailbox(2)),
         _ => None,
     }
 }
@@ -946,6 +1020,21 @@ mod tests {
         assert_eq!(log[0].1, (w.expected_d2 & 0xff) as u8);
         // The shared buffer holds the published words behind the flag.
         assert_eq!(bus.read(0, 0xf000_0200, 4), 48, "flag = element count");
+    }
+
+    #[test]
+    fn mailbox_assembles_and_predicts_the_all_reduce() {
+        // The mailbox workload only *runs* on a sharded session (the
+        // doorbell delivery needs epoch barriers — see
+        // `tests/parallel_determinism.rs` for the execution cases), but
+        // the image and the reference model are pinned here.
+        for n in [1u32, 2, 64, 256] {
+            let w = mailbox(n);
+            w.elf()
+                .unwrap_or_else(|e| panic!("mailbox({n}) fails to assemble: {e}"));
+            assert_eq!(w.expected_d2, 7 * n + 3 * n * (n - 1) / 2);
+        }
+        assert_eq!(mailbox(64).expected_d2, 6496);
     }
 
     #[test]

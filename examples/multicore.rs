@@ -1,14 +1,15 @@
 //! Multi-core sharding: N cores, private device clones reconciled at
-//! epoch barriers, one session — under BOTH shard schedulers.
+//! epoch barriers, one session — under ALL THREE shard schedules.
 //!
 //! `Backend::Sharded` builds N copies of any single-core vehicle, each
 //! around a *private* clone of the SoC device population (timer, UART,
-//! scratch-RAM mailbox). Shards run one epoch at a time; at every
-//! barrier the `ShardArbiter` merges the per-shard `SocBusState`
-//! images in fixed shard order into a canonical image broadcast back
-//! to every shard. Because shards never touch each other's state
-//! inside an epoch, the sequential round-robin scheduler and the
-//! thread-parallel scheduler (one worker thread per shard per round)
+//! scratch-RAM mailbox, CoreLink doorbell endpoint). Shards run one
+//! epoch at a time; at every barrier the `ShardArbiter` reconciles the
+//! per-shard device states (O(traffic) delta journals; idle devices
+//! are skipped). Because shards never touch each other's state inside
+//! an epoch, the sequential round-robin scheduler, the thread-parallel
+//! scheduler (one worker thread per shard per round) and the *pooled*
+//! scheduler (epoch rounds as work items on a fixed fleet pool)
 //! produce **bit-identical** runs — this example proves it end to end,
 //! then proves snapshot → restore → rerun replays bit-identically too.
 //!
@@ -17,6 +18,13 @@
 //! `%d15` — core 0 publishes data through the shared scratch RAM,
 //! every other core polls the mailbox, checksums the data and
 //! transmits the result on the shared UART.
+//!
+//! The finale scales to NoC width: 64 cores on the pooled schedule
+//! running the `mailbox` workload — an all-to-all over the per-shard
+//! CoreLink doorbell fabric (core id read from MMIO, no `%d15`, no
+//! shared RAM) — with one shard parked mid-run and adopted back onto
+//! the *other* dispatch core (live migration), invisibly to the
+//! result.
 //!
 //! ```sh
 //! cargo run --release --example multicore
@@ -27,7 +35,7 @@ use cabt::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = cabt_workloads::by_name("producer_consumer").expect("bundled workload");
 
-    for cores in [2u8, 4] {
+    for cores in [2u16, 4] {
         let build = |schedule: ShardSchedule| {
             SimBuilder::workload(&workload)
                 .backend(Backend::sharded_with_schedule(
@@ -98,6 +106,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!("  parallel scheduler ({cores} worker threads): bit-identical");
 
+        // ...the POOLED scheduler too (epoch rounds as work items on a
+        // fixed two-worker fleet pool — no per-round thread spawns)...
+        let mut pooled = build(ShardSchedule::Pooled(2))?;
+        pooled.run_until(Limit::Cycles(500))?;
+        pooled.run(Limit::Cycles(50_000_000))?;
+        assert_eq!(
+            pooled.sharded_stats().expect("sharded"),
+            stats,
+            "pooled scheduler must be bit-identical to sequential"
+        );
+        println!("  pooled scheduler (2 pool workers): bit-identical");
+
         // ...and a snapshot captured under one scheduler replays
         // bit-identically under the other: snapshots pin simulation
         // state, not the host schedule.
@@ -110,5 +130,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!("  snapshot (sequential) -> restore -> parallel rerun: bit-identical\n");
     }
+
+    // -- NoC scale: 64 cores on the fleet pool, doorbell mailboxes,
+    // live shard migration ---------------------------------------------
+    //
+    // The mailbox workload is an all-to-all over the CoreLink doorbell
+    // fabric: every core reads its id/count from MMIO (0xf000_2000),
+    // rings every peer's doorbell with its contribution, and sums the
+    // 64 epoch-synchronously delivered contributions into %d2 — no
+    // shared RAM involved. Mid-run, shard 13 is parked at an epoch
+    // barrier and adopted back onto the *compiled* dispatch core; the
+    // barrier fabric keeps the shard's bus slot, so the migration is
+    // invisible to the run.
+    let mailbox = cabt_workloads::mailbox(64);
+    let mut noc = SimBuilder::workload(&mailbox)
+        .backend(Backend::sharded_pooled(64, 0, Backend::golden()))
+        .build()?;
+    noc.run_until(Limit::Cycles(8192))?; // two epochs: doorbells delivered
+    let parked = noc.park_shard(13)?;
+    noc.adopt_shard(13, &parked, Some(Backend::golden_compiled()))?;
+    noc.run(Limit::Cycles(50_000_000))?;
+    for i in 0..64 {
+        assert_eq!(
+            noc.shard(i).expect("shard").read_d(2),
+            mailbox.expected_d2,
+            "core {i}: doorbell all-reduce"
+        );
+    }
+    println!(
+        "64 cores, pooled schedule: doorbell all-reduce = {} on every core \
+         (shard 13 live-migrated to the compiled dispatch core mid-run)",
+        mailbox.expected_d2
+    );
     Ok(())
 }

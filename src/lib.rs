@@ -20,15 +20,15 @@
 //! | crate | role |
 //! |---|---|
 //! | [`isa`] | memory model, ELF32 reader/writer, deterministic PRNG |
-//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator; the shared basic-block layer (`exec::blocks`), the profile/trace-growth layer (`exec::trace`) and the static-analysis dataflow framework (`exec::analyze`) built over it; execution fingerprints; single-core, sharded sequential and thread-parallel epoch drivers |
+//! | [`exec`] | `ExecutionEngine` — dispatch + snapshot/restore interface of every simulator; the shared basic-block layer (`exec::blocks`), the profile/trace-growth layer (`exec::trace`) and the static-analysis dataflow framework (`exec::analyze`) built over it; execution fingerprints; the work-stealing `exec::pool::FleetPool`; single-core, sharded sequential, thread-parallel and pool-scheduled epoch drivers |
 //! | [`tricore`] | source ISA, assembler, cycle-accurate golden model (pre-decoded, block-compiled and trace-compiled dispatch cores) |
 //! | [`vliw`] | target VLIW ISA, binary container format, simulator (pre-decoded, closure-compiled and trace dispatch cores) |
 //! | [`core`] | **the translator** (the paper's contribution) — its CFG is a view over the shared block layer |
-//! | [`platform`] | synchronization device, snapshottable (and `Send`) SoC bus + peripherals, epoch-barrier shard arbiter with deterministic state merge and O(epoch) delta exchange for append-only devices |
+//! | [`platform`] | synchronization device, snapshottable (and `Send`) SoC bus + peripherals (including the per-shard CoreLink doorbell endpoint), epoch-barrier shard arbiter with deterministic state merge and O(traffic) journaled delta exchange (`docs/sharding.md`) |
 //! | [`rtlsim`] | event-driven RT-level baseline simulator |
-//! | [`sim`] | **the front door**: `SimBuilder`/`Session` over every execution vehicle, single-core or sharded; versioned portable park/resume bytes; the `sim::analyze` lint surface behind the `cabt-analyze` binary |
+//! | [`sim`] | **the front door**: `SimBuilder`/`Session` over every execution vehicle, single-core or sharded (up to 256 cores, with live shard migration via `park_shard`/`adopt_shard`); versioned portable park/resume bytes; the `sim::analyze` lint surface behind the `cabt-analyze` binary |
 //! | [`debug`] | generic lockstep driver, dual-translation debugger + RSP packet layer |
-//! | [`workloads`] | the paper's benchmark programs (plus the multi-core `producer_consumer`) |
+//! | [`workloads`] | the paper's benchmark programs (plus the multi-core `producer_consumer` and the doorbell all-to-all `mailbox`) |
 //! | [`fleet`] | **the session service**: work-stealing epoch-scheduler pool multiplexing M sessions × N shards, batch driver, `fleet-server` binary |
 //! | [`fuzz`] | **continuous differential fuzzing**: seed-reproducible program generator, full-matrix comparison on per-epoch digest chains, shrinker to minimal reproducers, `cabt-fuzz` binary |
 //!
@@ -77,18 +77,24 @@
 //! (UART logs, timer epochs, scratch-RAM contents), so
 //! `snapshot → run → restore → run` replays device behaviour
 //! bit-identically. That state capture is what powers the multi-core
-//! backend: `Backend::Sharded` builds N engines, each with a *private*
-//! clone of the SoC device population; shards run one epoch at a time
-//! and exchange `SocBusState` images at every epoch barrier, where the
-//! `ShardArbiter` merges them in fixed shard order into one canonical
-//! image. Because shards are isolated inside an epoch, the run is
-//! *schedule independent*: the sequential round-robin scheduler
-//! ([`cabt_exec::run_epochs_sharded`]) and the thread-parallel
+//! backend: `Backend::Sharded` builds N engines (up to 256), each with
+//! a *private* clone of the SoC device population; shards run one
+//! epoch at a time and reconcile at every epoch barrier, where the
+//! `ShardArbiter` exchanges journaled device deltas in fixed shard
+//! order — O(traffic), with full-image merge as the fallback — and
+//! delivers CoreLink doorbell messages (per-shard MMIO: core-id
+//! register plus per-core mailboxes, `docs/sharding.md`). Because
+//! shards are isolated inside an epoch, the run is *schedule
+//! independent*: the sequential round-robin scheduler
+//! ([`cabt_exec::run_epochs_sharded`]), the thread-parallel
 //! scheduler ([`cabt_exec::run_epochs_parallel`], one worker thread
-//! per shard, aggregate throughput scaling with host cores) produce
-//! bit-identical runs — same session lifecycle, merged UART logs,
-//! per-shard plus aggregate statistics, pinned by
-//! `tests/parallel_determinism.rs`:
+//! per shard, aggregate throughput scaling with host cores) and the
+//! pooled scheduler ([`cabt_exec::run_epochs_pooled`], shard rounds
+//! as work items on a fixed `FleetPool` — the NoC-scale driver)
+//! produce bit-identical runs — same session lifecycle, merged UART
+//! logs, per-shard plus aggregate statistics, live shard migration at
+//! barriers ([`cabt_sim::Session::park_shard`]/`adopt_shard`), pinned
+//! by `tests/parallel_determinism.rs`:
 //!
 //! ```
 //! use cabt::prelude::*;

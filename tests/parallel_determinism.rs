@@ -1,11 +1,15 @@
-//! The determinism contract of thread-parallel shard execution:
+//! The determinism contract of concurrent shard execution:
 //! `ShardSchedule::Parallel` (one worker thread per shard per epoch
-//! round, `cabt_exec::run_epochs_parallel`) must be **bit-identical**
+//! round, `cabt_exec::run_epochs_parallel`) and
+//! `ShardSchedule::Pooled` (rounds as work items on a fixed pool,
+//! `cabt_exec::pool::run_epochs_pooled`) must both be **bit-identical**
 //! to `ShardSchedule::Sequential` (round-robin,
 //! `cabt_exec::run_epochs_sharded`) — per-shard registers, per-shard
 //! data memory, cycle counts, `EngineStats`, the merged UART log, the
 //! canonical SoC device state, and the stop cause all have to match,
-//! whatever the host's thread scheduling did.
+//! whatever the host's thread scheduling did. The NoC-scale cases (N =
+//! 64, including a mid-run shard migration and a doorbell-mailbox SPMD
+//! program) live at the bottom of the file.
 //!
 //! The property holds by construction — within an epoch every shard
 //! touches only its own engine and its *private* clone of the device
@@ -116,16 +120,16 @@ fn digest_session(s: &mut Session, stop: StopCause) -> u64 {
     fp.digest()
 }
 
-fn build(source: &Workload, cores: u8, base: Backend, schedule: ShardSchedule) -> Session {
+fn build(source: &Workload, cores: u16, base: Backend, schedule: ShardSchedule) -> Session {
     SimBuilder::workload(source)
         .backend(Backend::sharded_with_schedule(cores, base, schedule))
         .build()
         .expect("sharded session builds")
 }
 
-/// The differential core: run the same workload under both schedules
+/// The differential core: run the same workload under every schedule
 /// and demand identical observables.
-fn assert_schedules_agree(label: &str, w: &Workload, cores: u8, base: Backend, limit: Limit) {
+fn assert_schedules_agree(label: &str, w: &Workload, cores: u16, base: Backend, limit: Limit) {
     let drive = |schedule: ShardSchedule| {
         let mut s = build(w, cores, base, schedule);
         let stop = s.run_until(limit).expect("runs");
@@ -133,16 +137,21 @@ fn assert_schedules_agree(label: &str, w: &Workload, cores: u8, base: Backend, l
     };
     let seq = drive(ShardSchedule::Sequential);
     let par = drive(ShardSchedule::Parallel);
+    let pooled = drive(ShardSchedule::Pooled(3));
     assert_eq!(
         seq, par,
         "{label}: {cores}x{base} parallel run diverged from sequential"
+    );
+    assert_eq!(
+        seq, pooled,
+        "{label}: {cores}x{base} pooled run diverged from sequential"
     );
 }
 
 #[test]
 fn producer_consumer_is_schedule_independent_at_2_4_8_shards() {
     let w = cabt_workloads::by_name("producer_consumer").unwrap();
-    for cores in [2u8, 4, 8] {
+    for cores in [2u16, 4, 8] {
         for base in [
             Backend::golden(),
             Backend::golden_compiled(),
@@ -312,7 +321,7 @@ fn randomized_spmd_programs_are_schedule_independent() {
         // One full-state anchor per test (the first sweep point) backs
         // the digest comparisons everywhere else.
         let anchor = case == 0;
-        for cores in [2u8, 4] {
+        for cores in [2u16, 4] {
             for base in [
                 Backend::golden(),
                 Backend::golden_compiled(),
@@ -409,6 +418,133 @@ fn parallel_shard_types_are_send_clean() {
     assert_send::<Simulator>();
     assert_send::<cabt::rtlsim::RtlCore>();
     assert_send::<Platform>();
+}
+
+// --- NoC-scale cases: 64-shard fabric --------------------------------
+
+/// The tentpole claim at NoC scale: a 64-shard producer/consumer run is
+/// bit-identical across all three schedules, and the pooled run is
+/// *correct* (every consumer sees the producer's checksum through the
+/// barrier-exchanged scratch RAM).
+#[test]
+fn noc_scale_64_shard_fabric_is_schedule_independent() {
+    let w = cabt_workloads::by_name("producer_consumer").unwrap();
+    let base = Backend::golden();
+    let drive = |schedule: ShardSchedule| {
+        let mut s = build(&w, 64, base, schedule);
+        let stop = s.run_until(BUDGET).expect("runs");
+        assert_eq!(stop, StopCause::Halted, "{schedule:?}");
+        digest_session(&mut s, stop)
+    };
+    let seq = drive(ShardSchedule::Sequential);
+    assert_eq!(
+        seq,
+        drive(ShardSchedule::Parallel),
+        "64x parallel diverged from sequential"
+    );
+    assert_eq!(
+        seq,
+        drive(ShardSchedule::Pooled(4)),
+        "64x pooled diverged from sequential"
+    );
+
+    let mut s = build(&w, 64, base, ShardSchedule::Pooled(4));
+    assert_eq!(s.run_until(BUDGET).unwrap(), StopCause::Halted);
+    for i in 0..64 {
+        assert_eq!(
+            s.shard(i).unwrap().read_d(2),
+            w.expected_d2,
+            "pooled 64x core {i}: barrier handoff"
+        );
+    }
+    assert_eq!(s.sharded_stats().unwrap().uart.len(), 64);
+}
+
+/// Live migration: parking one shard at an epoch barrier mid-run and
+/// adopting it back — even onto the *other* dispatch core — must
+/// replay bit-identically against an uninterrupted run. The adopted
+/// shard keeps its arbiter bus slot, so the barrier fabric never
+/// notices the rebuild.
+#[test]
+fn mid_run_shard_migration_replays_bit_identically() {
+    let w = cabt_workloads::by_name("producer_consumer").unwrap();
+    let cores = 64u16;
+    let schedule = ShardSchedule::Pooled(4);
+
+    let mut reference = build(&w, cores, Backend::golden(), schedule);
+    let stop = reference.run_until(BUDGET).expect("reference runs");
+    assert_eq!(stop, StopCause::Halted);
+    let want = digest_session(&mut reference, stop);
+
+    // Same-backend migration, and a dispatch-tier migration onto the
+    // compiled core — both must be invisible to the digest.
+    for target in [None, Some(Backend::golden_compiled())] {
+        let mut s = build(&w, cores, Backend::golden(), schedule);
+        // Two full epochs in: a barrier point, every shard at the same
+        // deadline.
+        s.run_until(Limit::Cycles(8192)).expect("partial run");
+        let parked = s.park_shard(13).expect("shard 13 parks");
+        s.adopt_shard(13, &parked, target)
+            .expect("shard 13 adopts back");
+        let stop = s.run_until(BUDGET).expect("resumes after migration");
+        assert_eq!(stop, StopCause::Halted);
+        assert_eq!(
+            digest_session(&mut s, stop),
+            want,
+            "migration (target {target:?}) diverged from the uninterrupted run"
+        );
+    }
+
+    // Sharding does not nest: a sharded adoption target is refused.
+    let mut s = build(&w, 2, Backend::golden(), schedule);
+    s.run_until(Limit::Cycles(4096)).expect("partial run");
+    let parked = s.park_shard(0).expect("parks");
+    assert!(
+        s.adopt_shard(0, &parked, Some(Backend::sharded(2, Backend::golden())))
+            .is_err(),
+        "nested sharded adoption must be rejected"
+    );
+}
+
+/// The doorbell-mailbox SPMD program: an all-to-all over the CoreLink
+/// fabric touching no shared RAM, at the full 64-shard scale. Every
+/// core must converge on the all-reduce total, identically under every
+/// schedule.
+#[test]
+fn mailbox_all_to_all_converges_at_64_shards() {
+    let w = cabt_workloads::mailbox(64);
+    assert_schedules_agree("mailbox", &w, 64, Backend::golden(), BUDGET);
+
+    let mut s = build(&w, 64, Backend::golden(), ShardSchedule::Pooled(4));
+    assert_eq!(s.run_until(BUDGET).unwrap(), StopCause::Halted);
+    for i in 0..64 {
+        assert_eq!(
+            s.shard(i).unwrap().read_d(2),
+            w.expected_d2,
+            "core {i}: doorbell all-reduce"
+        );
+    }
+}
+
+/// The mailbox program across the MMIO-capable bases at a small core
+/// count — the CoreLink window must behave identically on the golden
+/// model and both translated dispatch cores.
+#[test]
+fn mailbox_runs_on_every_mmio_capable_base() {
+    let w = cabt_workloads::mailbox(4);
+    for base in [
+        Backend::golden(),
+        Backend::golden_compiled(),
+        Backend::translated(DetailLevel::Static),
+        Backend::translated_compiled(DetailLevel::Static),
+    ] {
+        assert_schedules_agree("mailbox", &w, 4, base, BUDGET);
+        let mut s = build(&w, 4, base, ShardSchedule::Pooled(2));
+        assert_eq!(s.run_until(BUDGET).unwrap(), StopCause::Halted, "{base}");
+        for i in 0..4 {
+            assert_eq!(s.shard(i).unwrap().read_d(2), w.expected_d2, "{base}/{i}");
+        }
+    }
 }
 
 /// Private buses are the isolation the determinism proof rests on: no

@@ -10,7 +10,7 @@ use cabt_sim::ShardedStats;
 
 const BUDGET: Limit = Limit::Cycles(50_000_000);
 
-fn pc_session(cores: u8, base: Backend) -> Session {
+fn pc_session(cores: u16, base: Backend) -> Session {
     SimBuilder::named("producer_consumer")
         .backend(Backend::sharded(cores, base))
         .build()
@@ -30,7 +30,7 @@ fn expected_checksum() -> u32 {
 
 #[test]
 fn producer_consumer_hands_off_across_shards() {
-    for cores in [2u8, 4] {
+    for cores in [2u16, 4] {
         for base in [Backend::translated(DetailLevel::Static), Backend::golden()] {
             let mut s = pc_session(cores, base);
             let stats = run_to_halt(&mut s);
@@ -61,7 +61,7 @@ fn producer_consumer_hands_off_across_shards() {
 
 #[test]
 fn repeated_runs_are_deterministic() {
-    for cores in [2u8, 4] {
+    for cores in [2u16, 4] {
         let run = || {
             let mut s = pc_session(cores, Backend::translated(DetailLevel::Static));
             run_to_halt(&mut s)
@@ -89,7 +89,7 @@ fn repeated_runs_are_deterministic() {
 
 #[test]
 fn snapshot_restore_replays_bit_identically() {
-    for cores in [2u8, 4] {
+    for cores in [2u16, 4] {
         let mut s = pc_session(cores, Backend::translated(DetailLevel::Static));
         // Warm up into the middle of the handoff, snapshot, finish.
         assert_eq!(

@@ -307,7 +307,7 @@ fn golden_and_translated_timers_agree() {
 #[test]
 fn sharded_snapshots_are_schedule_independent() {
     let w = cabt_workloads::by_name("producer_consumer").unwrap();
-    for cores in [2u8, 4] {
+    for cores in [2u16, 4] {
         let build = |schedule: ShardSchedule| {
             SimBuilder::workload(&w)
                 .backend(Backend::sharded_with_schedule(
